@@ -1,0 +1,32 @@
+//! DQN costs: one inference (the hub's 9 ms budget in Fig. 9(a)) and one
+//! replay training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::config::DqnConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dqn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = DqnConfig::default();
+    let mut agent = DqnAgent::new(config.clone(), &mut rng);
+    let obs = vec![0.3; config.input_size()];
+
+    c.bench_function("dqn_inference_paper_shape", |b| {
+        b.iter(|| std::hint::black_box(agent.q_values(&obs)));
+    });
+
+    // Fill the replay buffer so train_step has data.
+    for i in 0..512 {
+        let mut state = obs.clone();
+        state[0] = (i % 7) as f64 / 7.0;
+        agent.observe(state.clone(), i % config.num_actions(), -10.0, state, &mut rng);
+    }
+    c.bench_function("dqn_train_step_batch32", |b| {
+        b.iter(|| std::hint::black_box(agent.train_step(&mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_dqn);
+criterion_main!(benches);

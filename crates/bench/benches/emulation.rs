@@ -1,0 +1,34 @@
+//! EmuBee emulation cost: quantization with and without the Eq. (2)
+//! α optimizer, per OFDM window and per ZigBee symbol burst.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctjam_phy::emulation::{optimize_alpha, EmulationConfig, Emulator};
+use ctjam_phy::qam::Qam64;
+use ctjam_phy::wifi::ofdm::OfdmModulator;
+use ctjam_phy::zigbee::oqpsk::OqpskModulator;
+
+fn bench_emulation(c: &mut Criterion) {
+    let modulator = OqpskModulator::with_oversampling(10);
+    let burst = modulator.modulate_symbols(&[0x3, 0xA, 0x5, 0xC]);
+    let qam = Qam64::new();
+    let spectrum = OfdmModulator::with_cyclic_prefix(false).analyze_window(&burst[..64]);
+
+    c.bench_function("optimize_alpha_48_targets", |b| {
+        b.iter(|| std::hint::black_box(optimize_alpha(&qam, &spectrum)));
+    });
+
+    let optimized = Emulator::new(EmulationConfig::default());
+    let fixed = Emulator::new(EmulationConfig {
+        optimize_alpha: false,
+        ..EmulationConfig::default()
+    });
+    c.bench_function("emulate_burst_optimized", |b| {
+        b.iter(|| std::hint::black_box(optimized.emulate(&burst)));
+    });
+    c.bench_function("emulate_burst_fixed_alpha", |b| {
+        b.iter(|| std::hint::black_box(fixed.emulate(&burst)));
+    });
+}
+
+criterion_group!(benches, bench_emulation);
+criterion_main!(benches);

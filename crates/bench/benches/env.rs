@@ -1,0 +1,43 @@
+//! Environment costs: slot steps in the concrete and kernel environments
+//! and one full 3-second star-network slot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctjam_core::defender::{Defender, RandomFh};
+use ctjam_core::env::{CompetitionEnv, EnvParams, Environment};
+use ctjam_core::kernel::KernelEnv;
+use ctjam_net::star::StarNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_env(c: &mut Criterion) {
+    let params = EnvParams::default();
+
+    c.bench_function("competition_env_step", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut env = CompetitionEnv::new(params.clone(), &mut rng);
+        let mut defender = RandomFh::new(&params, &mut rng);
+        b.iter(|| {
+            let d = defender.decide(&mut rng);
+            std::hint::black_box(Environment::step(&mut env, d, &mut rng));
+        });
+    });
+
+    c.bench_function("kernel_env_step", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut env = KernelEnv::new(params.clone(), &mut rng);
+        let mut defender = RandomFh::new(&params, &mut rng);
+        b.iter(|| {
+            let d = defender.decide(&mut rng);
+            std::hint::black_box(env.step(d, &mut rng));
+        });
+    });
+
+    c.bench_function("star_network_3s_slot", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = StarNetwork::new(3);
+        b.iter(|| std::hint::black_box(net.run_slot(3.0, true, 0.0, &mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_env);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! FFT throughput: the inner loop of both the OFDM chain and the
+//! emulation path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctjam_phy::fft::Fft;
+use ctjam_phy::Complex64;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[64usize, 256, 1024] {
+        let plan = Fft::new(n).unwrap();
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            let mut buf = input.clone();
+            b.iter(|| {
+                plan.forward(&mut buf).unwrap();
+                std::hint::black_box(&buf);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+            let mut buf = input.clone();
+            b.iter(|| {
+                plan.forward(&mut buf).unwrap();
+                plan.inverse(&mut buf).unwrap();
+                std::hint::black_box(&buf);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Figs. 6, 7, and 8: the simulation sweeps.
+//!
+//! The three figures plot five Table-I metrics (ST, AH, AP, SH, SP) over
+//! the same four parameter sweeps — `L_J`, sweep cycle, `L_H`, and the
+//! lower bound of `L_{p_i}` — under both jammer modes. Each data point
+//! trains a fresh DQN on the MDP-kernel environment (the paper's Matlab
+//! simulation setting) and evaluates it for `CTJAM_EVAL_SLOTS` slots
+//! (paper: 20 000).
+//!
+//! Budget knobs: `CTJAM_TRAIN_SLOTS` (default 12 000), `CTJAM_EVAL_SLOTS`
+//! (default 20 000). The full run is ~70 DQN trainings; expect ~10 min at
+//! defaults on one core.
+
+use ctjam_bench::{banner, maybe_write_csv, pct, table_header, table_row};
+use ctjam_core::env::EnvParams;
+use ctjam_core::jammer::JammerMode;
+use ctjam_core::runner::{sweep_kernel, SweepBudget};
+
+fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBudget) {
+    println!("\n### Sweep: {name} (Fig. 6/7/8 columns)\n");
+    for mode in [JammerMode::MaxPower, JammerMode::RandomPower] {
+        let mode_points: Vec<EnvParams> = points
+            .iter()
+            .cloned()
+            .map(|mut p| {
+                p.jammer.mode = mode;
+                p
+            })
+            .collect();
+        let metrics = sweep_kernel(&mode_points, budget, 0xC7A1, |_, _| {});
+        println!("jammer mode: {mode:?}");
+        table_header(&[name, "ST", "AH", "AP", "SH", "SP"]);
+        let mut csv_rows = Vec::new();
+        for (x, m) in xs.iter().zip(&metrics) {
+            table_row(&[
+                x.clone(),
+                pct(m.success_rate()),
+                pct(m.fh_adoption_rate()),
+                pct(m.pc_adoption_rate()),
+                pct(m.fh_success_rate()),
+                pct(m.pc_success_rate()),
+            ]);
+            csv_rows.push(vec![
+                x.clone(),
+                format!("{}", m.success_rate()),
+                format!("{}", m.fh_adoption_rate()),
+                format!("{}", m.pc_adoption_rate()),
+                format!("{}", m.fh_success_rate()),
+                format!("{}", m.pc_success_rate()),
+            ]);
+        }
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        maybe_write_csv(
+            &format!("fig06_08_{slug}_{mode:?}"),
+            &[name, "st", "ah", "ap", "sh", "sp"],
+            &csv_rows,
+        );
+        println!();
+    }
+}
+
+fn main() {
+    banner(
+        "Figs. 6-8 (simulation sweeps)",
+        "ST ~0 below L_J=15, ~78% above L_J=50; ST rises with sweep cycle, falls with L_H, hits 100% once lb(L_p)>=11; AH/AP/SH/SP trends per Figs. 7-8",
+    );
+    let budget = SweepBudget::from_env();
+    println!(
+        "budget: {} training slots, {} evaluation slots per point",
+        budget.train_slots, budget.eval_slots
+    );
+
+    // Fig 6(a)/7(a,b)/8(a,b): L_J sweep.
+    let lj_values = [10.0, 15.0, 20.0, 35.0, 50.0, 65.0, 80.0, 100.0];
+    run_sweep(
+        "L_J",
+        &lj_values.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
+        lj_values
+            .iter()
+            .map(|&l_j| EnvParams {
+                l_j,
+                ..EnvParams::default()
+            })
+            .collect(),
+        budget,
+    );
+
+    // Fig 6(b)/7(c,d)/8(c,d): sweep-cycle sweep.
+    let cycles = [2usize, 4, 6, 8, 12, 16];
+    run_sweep(
+        "sweep cycle",
+        &cycles.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
+        cycles
+            .iter()
+            .map(|&cycle| {
+                let mut p = EnvParams::default();
+                p.jammer = p.jammer.with_sweep_cycle(cycle);
+                p
+            })
+            .collect(),
+        budget,
+    );
+
+    // Fig 6(c)/7(e,f)/8(e,f): L_H sweep.
+    let lh_values = [0.0, 20.0, 40.0, 60.0, 85.0, 100.0];
+    run_sweep(
+        "L_H",
+        &lh_values.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
+        lh_values
+            .iter()
+            .map(|&l_h| EnvParams {
+                l_h,
+                ..EnvParams::default()
+            })
+            .collect(),
+        budget,
+    );
+
+    // Fig 6(d)/7(g,h)/8(g,h): lower bound of L_{p_i}.
+    let lbs = [6i64, 8, 9, 10, 11, 13, 15];
+    run_sweep(
+        "lb(L_p)",
+        &lbs.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
+        lbs.iter()
+            .map(|&lb| EnvParams::default().with_tx_lower_bound(lb))
+            .collect(),
+        budget,
+    );
+
+    println!("reference paper anchors: ST(L_J=100) ~ 78%; ST(lb>=11) = 100%; AH falls and AP rises with lb(L_p)");
+}

@@ -1,0 +1,64 @@
+//! Theorems III.4–III.5: threshold structure of the optimal policy.
+//!
+//! Solves the anti-jamming MDP exactly (value iteration) across parameter
+//! ranges and prints the hop threshold `n*`, verifying:
+//!
+//! * Lemma III.2 / III.3 — Q(n, stay) decreases and Q(n, hop) increases
+//!   in `n`;
+//! * Theorem III.4 — the optimal policy is a threshold policy;
+//! * Theorem III.5 — `n*` falls with `L_J`, rises with `L_H` and `⌈K/m⌉`.
+
+use ctjam_bench::{banner, table_header, table_row};
+use ctjam_mdp::analysis::{
+    check_lemma_iii2, check_lemma_iii3, check_threshold_structure, solve_threshold,
+    thresholds_vs_lh, thresholds_vs_lj, thresholds_vs_sweep_cycle,
+};
+use ctjam_mdp::antijam::{AntijamParams, JammerMode};
+
+fn main() {
+    banner(
+        "Theorems III.4-III.5 (threshold policy analysis)",
+        "optimal policy is a threshold n*; n* decreases with L_J, increases with L_H and ceil(K/m)",
+    );
+
+    let base = AntijamParams {
+        jammer_mode: JammerMode::RandomPower,
+        ..AntijamParams::default()
+    };
+
+    println!("\n### Structure checks on the default instance\n");
+    let (mdp, q, threshold) = solve_threshold(base.clone());
+    println!("lemma III.2 (Q(n,stay) decreasing): {}", check_lemma_iii2(&mdp, &q).is_none());
+    println!("lemma III.3 (Q(n,hop) increasing):  {}", check_lemma_iii3(&mdp, &q).is_none());
+    println!("theorem III.4 (threshold policy):   {}", check_threshold_structure(&mdp, &q));
+    println!("default instance threshold n* = {threshold}");
+
+    println!("\n### Theorem III.5: n* vs L_J (expect non-increasing)\n");
+    let lj = [10.0, 20.0, 40.0, 70.0, 100.0, 200.0, 500.0, 1000.0];
+    let t_lj = thresholds_vs_lj(&base, &lj);
+    table_header(&["L_J", "n*"]);
+    for (x, t) in lj.iter().zip(&t_lj) {
+        table_row(&[format!("{x}"), format!("{t}")]);
+    }
+
+    println!("\n### Theorem III.5: n* vs L_H (expect non-decreasing)\n");
+    let lh = [0.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0];
+    let t_lh = thresholds_vs_lh(&base, &lh);
+    table_header(&["L_H", "n*"]);
+    for (x, t) in lh.iter().zip(&t_lh) {
+        table_row(&[format!("{x}"), format!("{t}")]);
+    }
+
+    println!("\n### Theorem III.5: n* vs sweep cycle (expect non-decreasing)\n");
+    let cycles = [2usize, 3, 4, 6, 8, 12, 16];
+    let t_c = thresholds_vs_sweep_cycle(&base, &cycles);
+    table_header(&["ceil(K/m)", "n*"]);
+    for (x, t) in cycles.iter().zip(&t_c) {
+        table_row(&[format!("{x}"), format!("{t}")]);
+    }
+
+    let lj_ok = t_lj.windows(2).all(|w| w[1] <= w[0]);
+    let lh_ok = t_lh.windows(2).all(|w| w[1] >= w[0]);
+    let c_ok = t_c.windows(2).all(|w| w[1] >= w[0]);
+    println!("\ntrends hold: L_J {lj_ok}, L_H {lh_ok}, sweep cycle {c_ok}");
+}

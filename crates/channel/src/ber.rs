@@ -1,0 +1,100 @@
+//! Bit-error rate of the IEEE 802.15.4 2.4 GHz O-QPSK/DSSS PHY.
+//!
+//! The standard closed form (IEEE 802.15.4-2020 Annex, also used by ns-3):
+//!
+//! ```text
+//! BER = (8/15) · (1/16) · Σ_{k=2}^{16} (−1)^k · C(16,k) · exp(20·SINR·(1/k − 1))
+//! ```
+//!
+//! where SINR is the linear signal-to-interference-plus-noise ratio over
+//! the 2 MHz channel. The curve falls off a cliff around −1…+2 dB, which
+//! is what makes the jam/no-jam outcome in the slot-level simulator an
+//! almost binary threshold on received power — the `P(p_T > τ)` abstraction
+//! used in the paper's MDP.
+
+/// Binomial coefficients C(16, k) for k = 0..=16.
+const CHOOSE_16: [f64; 17] = [
+    1.0, 16.0, 120.0, 560.0, 1820.0, 4368.0, 8008.0, 11440.0, 12870.0, 11440.0, 8008.0, 4368.0,
+    1820.0, 560.0, 120.0, 16.0, 1.0,
+];
+
+/// BER of the 802.15.4 O-QPSK/DSSS PHY at a given linear SINR.
+///
+/// Clamped to `[0, 0.5]`; a SINR of 0 (or negative, which can't happen for
+/// a linear ratio but guards against misuse) returns 0.5.
+///
+/// ```
+/// use ctjam_channel::ber::oqpsk_dsss_ber;
+/// use ctjam_channel::units::db_to_linear;
+///
+/// let good = oqpsk_dsss_ber(db_to_linear(5.0));
+/// let bad = oqpsk_dsss_ber(db_to_linear(-5.0));
+/// assert!(good < 1e-9);
+/// assert!(bad > 0.05);
+/// ```
+#[allow(clippy::needless_range_loop)] // k appears in the closed-form exponent
+pub fn oqpsk_dsss_ber(sinr_linear: f64) -> f64 {
+    if sinr_linear <= 0.0 {
+        return 0.5;
+    }
+    let mut sum = 0.0;
+    for k in 2..=16usize {
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        sum += sign * CHOOSE_16[k] * (20.0 * sinr_linear * (1.0 / k as f64 - 1.0)).exp();
+    }
+    let ber = (8.0 / 15.0) * (1.0 / 16.0) * sum;
+    ber.clamp(0.0, 0.5)
+}
+
+/// Symbol error rate from BER, for the 4-bit symbols of the PHY.
+///
+/// Uses the standard orthogonal-signaling relation
+/// `SER = BER · (2⁴ − 1) / 2³` inverted: `SER = BER · 15/8`, clamped to 1.
+pub fn symbol_error_rate(ber: f64) -> f64 {
+    (ber * 15.0 / 8.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::db_to_linear;
+
+    #[test]
+    fn monotone_decreasing_in_sinr() {
+        let mut prev = 0.5;
+        for db10 in -100..=100 {
+            let sinr = db_to_linear(db10 as f64 / 10.0);
+            let ber = oqpsk_dsss_ber(sinr);
+            assert!(ber <= prev + 1e-15, "BER rose at {} dB", db10 as f64 / 10.0);
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn asymptotes() {
+        assert_eq!(oqpsk_dsss_ber(0.0), 0.5);
+        assert!(oqpsk_dsss_ber(db_to_linear(-30.0)) > 0.4);
+        assert!(oqpsk_dsss_ber(db_to_linear(10.0)) < 1e-20);
+    }
+
+    #[test]
+    fn cliff_sits_around_zero_db() {
+        // The waterfall region: meaningfully above 1e-4 below −1 dB,
+        // essentially error-free above +3 dB.
+        assert!(oqpsk_dsss_ber(db_to_linear(-1.0)) > 1e-4);
+        assert!(oqpsk_dsss_ber(db_to_linear(3.0)) < 1e-6);
+    }
+
+    #[test]
+    fn ser_scales_and_clamps() {
+        assert_eq!(symbol_error_rate(0.0), 0.0);
+        assert!((symbol_error_rate(0.08) - 0.15).abs() < 1e-12);
+        assert_eq!(symbol_error_rate(0.9), 1.0);
+    }
+
+    #[test]
+    fn binomials_sum_to_two_pow_16() {
+        let total: f64 = CHOOSE_16.iter().sum();
+        assert_eq!(total, 65536.0);
+    }
+}

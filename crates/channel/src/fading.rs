@@ -1,0 +1,150 @@
+//! Small-scale fading: Rayleigh and Rician envelope models.
+//!
+//! Shadowing ([`crate::pathloss`]) captures slow, obstacle-scale power
+//! variation; *fading* captures fast multipath variation within a packet.
+//! Indoor 2.4 GHz links typically see Rician fading (a line-of-sight
+//! component plus scatter, `K` factor a few dB); fully obstructed links
+//! degenerate to Rayleigh (`K = 0`).
+
+use rand::Rng;
+
+/// A small-scale fading model for the received power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fading {
+    /// No fading: the deterministic link budget.
+    None,
+    /// Rayleigh fading (no line-of-sight): power gain is exponential
+    /// with unit mean.
+    Rayleigh,
+    /// Rician fading with linear `K` factor (LOS-to-scatter power
+    /// ratio). `K = 0` is Rayleigh; large `K` approaches no fading.
+    Rician {
+        /// LOS-to-scatter power ratio (linear, ≥ 0).
+        k: f64,
+    },
+}
+
+impl Fading {
+    /// A typical indoor line-of-sight profile: `K = 4` (≈ 6 dB).
+    pub fn indoor_los() -> Self {
+        Fading::Rician { k: 4.0 }
+    }
+
+    /// Draws one power gain (linear, unit mean) from the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Rician `K` factor is negative.
+    pub fn sample_gain<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Fading::None => 1.0,
+            Fading::Rayleigh => {
+                // |h|² with h ~ CN(0, 1): exponential(1).
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -u.ln()
+            }
+            Fading::Rician { k } => {
+                assert!(k >= 0.0, "rician K factor cannot be negative");
+                // h = ν + s·(g1 + i·g2)/√2 with ν² = K/(K+1), s² = 1/(K+1):
+                // E[|h|²] = 1.
+                let nu = (k / (k + 1.0)).sqrt();
+                let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
+                let g1 = gaussian(rng) * sigma + nu;
+                let g2 = gaussian(rng) * sigma;
+                g1 * g1 + g2 * g2
+            }
+        }
+    }
+
+    /// Applies one fading draw to a power in dBm.
+    pub fn apply_dbm<R: Rng + ?Sized>(&self, power_dbm: f64, rng: &mut R) -> f64 {
+        let gain = self.sample_gain(rng);
+        power_dbm + 10.0 * gain.max(1e-12).log10()
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_gain(model: Fading, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| model.sample_gain(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_models_have_unit_mean_power() {
+        assert_eq!(mean_gain(Fading::None, 10, 0), 1.0);
+        let rayleigh = mean_gain(Fading::Rayleigh, 60_000, 1);
+        assert!((rayleigh - 1.0).abs() < 0.02, "rayleigh mean {rayleigh}");
+        let rician = mean_gain(Fading::indoor_los(), 60_000, 2);
+        assert!((rician - 1.0).abs() < 0.02, "rician mean {rician}");
+    }
+
+    #[test]
+    fn rician_variance_shrinks_with_k() {
+        let var = |model: Fading, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples: Vec<f64> = (0..40_000).map(|_| model.sample_gain(&mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64
+        };
+        let v_rayleigh = var(Fading::Rayleigh, 3);
+        let v_k4 = var(Fading::Rician { k: 4.0 }, 4);
+        let v_k20 = var(Fading::Rician { k: 20.0 }, 5);
+        assert!(v_rayleigh > v_k4, "{v_rayleigh} vs {v_k4}");
+        assert!(v_k4 > v_k20, "{v_k4} vs {v_k20}");
+        // Rayleigh (exponential) variance is 1.
+        assert!((v_rayleigh - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn rician_k0_matches_rayleigh_distribution() {
+        // Compare deep-fade probabilities P(gain < 0.1).
+        let deep = |model: Fading, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..40_000)
+                .filter(|_| model.sample_gain(&mut rng) < 0.1)
+                .count() as f64
+                / 40_000.0
+        };
+        let a = deep(Fading::Rayleigh, 6);
+        let b = deep(Fading::Rician { k: 0.0 }, 7);
+        // Exponential: P(< 0.1) = 1 − e^−0.1 ≈ 0.0952.
+        assert!((a - 0.0952).abs() < 0.01, "rayleigh deep-fade {a}");
+        assert!((a - b).abs() < 0.01, "K=0 should match rayleigh: {a} vs {b}");
+    }
+
+    #[test]
+    fn strong_los_rarely_fades_deep() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = Fading::Rician { k: 20.0 };
+        let deep = (0..40_000)
+            .filter(|_| model.sample_gain(&mut rng) < 0.1)
+            .count();
+        assert_eq!(deep, 0, "K=20 should essentially never fade 10 dB");
+    }
+
+    #[test]
+    fn apply_dbm_shifts_by_gain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let faded = Fading::Rayleigh.apply_dbm(-60.0, &mut rng);
+        assert!(faded.is_finite());
+        assert_eq!(Fading::None.apply_dbm(-60.0, &mut rng), -60.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Fading::Rician { k: -1.0 }.sample_gain(&mut rng);
+    }
+}

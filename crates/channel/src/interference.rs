@@ -1,0 +1,186 @@
+//! How different jamming-signal families couple into a ZigBee receiver.
+//!
+//! The paper's Fig. 2(b) experiment ranks jammers EmuBee > ZigBee > Wi-Fi.
+//! Three mechanisms produce that ordering, and this module models each:
+//!
+//! 1. **Transmit power.** EmuBee rides a Wi-Fi front end (up to 100 mW /
+//!    20 dBm); a conventional ZigBee jammer is energy-constrained
+//!    (≈ 1 mW / 0 dBm).
+//! 2. **Spectral overlap.** A 20 MHz Wi-Fi waveform spreads its power over
+//!    10× the ZigBee bandwidth, so only ~1/10 lands in the victim channel;
+//!    ZigBee-shaped signals (real or emulated) concentrate everything
+//!    in-channel.
+//! 3. **DSSS processing gain.** The despreader correlates 32 chips per
+//!    symbol. Uncorrelated interference (plain Wi-Fi OFDM) is averaged
+//!    down by the full spreading factor — 10·log₁₀(32) ≈ 15 dB — while a
+//!    chip-faithful waveform (ZigBee or EmuBee) *is* valid chip energy and
+//!    bypasses the gain entirely. This is why the paper finds plain Wi-Fi
+//!    the weakest jammer despite its 20 dB power advantage.
+
+use crate::units::db_to_linear;
+
+/// DSSS processing gain of the 802.15.4 despreader against uncorrelated
+/// interference, in dB: the 32-chip correlation averages uncorrelated
+/// energy down by the spreading factor, 10·log₁₀(32) ≈ 15 dB.
+pub const DSSS_PROCESSING_GAIN_DB: f64 = 15.05;
+
+/// The family a jamming signal belongs to, which determines how the
+/// victim's receiver experiences it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterferenceKind {
+    /// A Wi-Fi-emulated ZigBee waveform: Wi-Fi power, ZigBee shape.
+    EmuBee,
+    /// A genuine ZigBee waveform from a ZigBee radio.
+    ZigBee,
+    /// A plain Wi-Fi OFDM burst: noise-like to the despreader.
+    WifiOfdm,
+    /// Wideband Gaussian noise.
+    Noise,
+}
+
+impl InterferenceKind {
+    /// Fraction of the jammer's transmit power that lands inside the
+    /// victim's 2 MHz channel.
+    pub fn in_channel_fraction(self) -> f64 {
+        match self {
+            // ZigBee-shaped waveforms put all power in the 2 MHz channel.
+            InterferenceKind::EmuBee | InterferenceKind::ZigBee => 1.0,
+            // A 20 MHz waveform overlaps a 2 MHz channel with 1/10 of its
+            // power (uniform spectral density approximation).
+            InterferenceKind::WifiOfdm | InterferenceKind::Noise => {
+                ctjam_phy::zigbee::CHANNEL_BANDWIDTH_HZ / ctjam_phy::wifi::CHANNEL_BANDWIDTH_HZ
+            }
+        }
+    }
+
+    /// Whether the despreader's processing gain suppresses this signal.
+    ///
+    /// Chip-faithful waveforms correlate with the PN sequences and defeat
+    /// the gain; noise-like waveforms are suppressed by it.
+    pub fn defeats_processing_gain(self) -> bool {
+        matches!(self, InterferenceKind::EmuBee | InterferenceKind::ZigBee)
+    }
+
+    /// Multiplies an in-channel interference power (linear, mW) into the
+    /// *effective* power seen at the despreader's decision point.
+    pub fn effective_power_mw(self, in_channel_mw: f64) -> f64 {
+        if self.defeats_processing_gain() {
+            in_channel_mw
+        } else {
+            in_channel_mw / db_to_linear(DSSS_PROCESSING_GAIN_DB)
+        }
+    }
+
+    /// Whether the victim radio can *detect* this signal as a jammer.
+    ///
+    /// EmuBee decodes as valid chips but never forms a valid frame, so
+    /// intrusion detection that looks for malformed ZigBee packets or
+    /// energy bursts misses it (the paper's stealthiness property).
+    /// A ZigBee jammer emits attributable ZigBee packets; plain Wi-Fi and
+    /// noise show up as anomalous wideband energy.
+    pub fn is_stealthy(self) -> bool {
+        matches!(self, InterferenceKind::EmuBee)
+    }
+
+    /// Typical transmit power in dBm for the radio class that emits this
+    /// kind of signal (paper §II.B: Wi-Fi up to 100 mW, ZigBee ≈ 1 mW).
+    pub fn typical_tx_dbm(self) -> f64 {
+        match self {
+            InterferenceKind::EmuBee | InterferenceKind::WifiOfdm | InterferenceKind::Noise => {
+                20.0
+            }
+            InterferenceKind::ZigBee => 0.0,
+        }
+    }
+
+    /// Number of consecutive ZigBee channels one transmission can cover.
+    pub fn channels_covered(self) -> usize {
+        match self {
+            InterferenceKind::EmuBee | InterferenceKind::WifiOfdm | InterferenceKind::Noise => {
+                ctjam_phy::wifi::ZIGBEE_CHANNELS_COVERED
+            }
+            InterferenceKind::ZigBee => 1,
+        }
+    }
+}
+
+/// A single interference source impinging on the victim receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// Signal family.
+    pub kind: InterferenceKind,
+    /// Power arriving at the victim antenna, in dBm (after path loss).
+    pub received_dbm: f64,
+}
+
+impl Interferer {
+    /// Effective interference power at the despreader decision point, in
+    /// milliwatts.
+    pub fn effective_mw(&self) -> f64 {
+        let in_channel =
+            crate::units::dbm_to_mw(self.received_dbm) * self.kind.in_channel_fraction();
+        self.kind.effective_power_mw(in_channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper_for_equal_distance() {
+        // Same path loss for everyone: EmuBee > ZigBee > WiFi in effective
+        // power (EmuBee has Wi-Fi power AND defeats the processing gain).
+        let loss_db = 60.0;
+        let effective = |kind: InterferenceKind| {
+            Interferer {
+                kind,
+                received_dbm: kind.typical_tx_dbm() - loss_db,
+            }
+            .effective_mw()
+        };
+        let emubee = effective(InterferenceKind::EmuBee);
+        let zigbee = effective(InterferenceKind::ZigBee);
+        let wifi = effective(InterferenceKind::WifiOfdm);
+        assert!(emubee > zigbee, "EmuBee {emubee} should beat ZigBee {zigbee}");
+        assert!(zigbee > wifi, "ZigBee {zigbee} should beat WiFi {wifi}");
+    }
+
+    #[test]
+    fn emubee_is_20db_stronger_than_zigbee_jammer() {
+        // Same shape, Wi-Fi front end: the 100 mW vs 1 mW gap is 20 dB.
+        let e = InterferenceKind::EmuBee.typical_tx_dbm();
+        let z = InterferenceKind::ZigBee.typical_tx_dbm();
+        assert_eq!(e - z, 20.0);
+    }
+
+    #[test]
+    fn wifi_suppressed_by_bandwidth_and_gain() {
+        let wifi = Interferer {
+            kind: InterferenceKind::WifiOfdm,
+            received_dbm: 0.0,
+        };
+        // 1 mW received → 0.1 mW in channel → /32 processing gain.
+        let expected = 0.1 / db_to_linear(DSSS_PROCESSING_GAIN_DB);
+        assert!((wifi.effective_mw() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_emubee_is_stealthy() {
+        assert!(InterferenceKind::EmuBee.is_stealthy());
+        assert!(!InterferenceKind::ZigBee.is_stealthy());
+        assert!(!InterferenceKind::WifiOfdm.is_stealthy());
+        assert!(!InterferenceKind::Noise.is_stealthy());
+    }
+
+    #[test]
+    fn wideband_kinds_cover_four_channels() {
+        assert_eq!(InterferenceKind::EmuBee.channels_covered(), 4);
+        assert_eq!(InterferenceKind::ZigBee.channels_covered(), 1);
+    }
+
+    #[test]
+    fn processing_gain_is_the_spreading_factor() {
+        assert!((db_to_linear(DSSS_PROCESSING_GAIN_DB) - 32.0).abs() < 0.4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Thermal noise floor.
+//!
+//! `N = −174 dBm/Hz + 10·log₁₀(BW) + NF` — the receiver-side noise power
+//! against which SINR is computed.
+
+/// Thermal noise power spectral density at 290 K, in dBm/Hz.
+pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -174.0;
+
+/// A receiver noise model.
+///
+/// ```
+/// use ctjam_channel::noise::NoiseFloor;
+///
+/// // A 2 MHz ZigBee receiver with a 10 dB noise figure:
+/// let nf = NoiseFloor::new(2.0e6, 10.0);
+/// assert!((nf.power_dbm() - (-101.0)).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseFloor {
+    bandwidth_hz: f64,
+    noise_figure_db: f64,
+}
+
+impl NoiseFloor {
+    /// Creates a noise floor for a receiver bandwidth and noise figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_hz <= 0`.
+    pub fn new(bandwidth_hz: f64, noise_figure_db: f64) -> Self {
+        assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+        NoiseFloor {
+            bandwidth_hz,
+            noise_figure_db,
+        }
+    }
+
+    /// A typical ZigBee receiver: 2 MHz bandwidth, 10 dB noise figure.
+    pub fn zigbee() -> Self {
+        NoiseFloor::new(ctjam_phy::zigbee::CHANNEL_BANDWIDTH_HZ, 10.0)
+    }
+
+    /// Receiver bandwidth in Hz.
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.bandwidth_hz
+    }
+
+    /// Total noise power in dBm.
+    pub fn power_dbm(&self) -> f64 {
+        THERMAL_NOISE_DBM_PER_HZ + 10.0 * self.bandwidth_hz.log10() + self.noise_figure_db
+    }
+
+    /// Total noise power in milliwatts.
+    pub fn power_mw(&self) -> f64 {
+        crate::units::dbm_to_mw(self.power_dbm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigbee_floor_is_about_minus_101_dbm() {
+        let floor = NoiseFloor::zigbee().power_dbm();
+        assert!((floor - (-101.0)).abs() < 0.2, "floor = {floor}");
+    }
+
+    #[test]
+    fn wider_bandwidth_is_noisier() {
+        let narrow = NoiseFloor::new(2.0e6, 10.0);
+        let wide = NoiseFloor::new(20.0e6, 10.0);
+        assert!((wide.power_dbm() - narrow.power_dbm() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn milliwatt_conversion_consistent() {
+        let nf = NoiseFloor::zigbee();
+        assert!((crate::units::mw_to_dbm(nf.power_mw()) - nf.power_dbm()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        NoiseFloor::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Log-distance path-loss model.
+//!
+//! `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀)` with an optional log-normal
+//! shadowing term. The reference loss `PL(d₀)` defaults to the free-space
+//! value at 1 m for 2.4 GHz (≈ 40.05 dB).
+
+use rand::Rng;
+
+/// Free-space path loss at 1 m for 2.44 GHz in dB:
+/// `20·log₁₀(4π·d·f/c)` with `d = 1 m`.
+pub const FSPL_1M_2G4_DB: f64 = 40.05;
+
+/// A log-distance path-loss model.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_channel::pathloss::PathLoss;
+///
+/// let pl = PathLoss::indoor();
+/// // Doubling the distance adds 10·n·log10(2) ≈ 3n dB.
+/// let delta = pl.loss_db(2.0) - pl.loss_db(1.0);
+/// assert!((delta - 10.0 * pl.exponent() * 2f64.log10()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLoss {
+    reference_db: f64,
+    exponent: f64,
+    shadowing_sigma_db: f64,
+}
+
+impl PathLoss {
+    /// Creates a model with an explicit 1 m reference loss and exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent <= 0` or `shadowing_sigma_db < 0`.
+    pub fn new(reference_db: f64, exponent: f64, shadowing_sigma_db: f64) -> Self {
+        assert!(exponent > 0.0, "path loss exponent must be positive");
+        assert!(shadowing_sigma_db >= 0.0, "shadowing sigma cannot be negative");
+        PathLoss {
+            reference_db,
+            exponent,
+            shadowing_sigma_db,
+        }
+    }
+
+    /// Free-space propagation (exponent 2, no shadowing).
+    pub fn free_space() -> Self {
+        PathLoss::new(FSPL_1M_2G4_DB, 2.0, 0.0)
+    }
+
+    /// A typical cluttered-indoor profile (exponent 3, mild shadowing) —
+    /// the kind of environment in the paper's lab experiments.
+    pub fn indoor() -> Self {
+        PathLoss::new(FSPL_1M_2G4_DB, 3.0, 4.0)
+    }
+
+    /// The path-loss exponent `n`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Deterministic (median) path loss in dB at `distance_m` meters.
+    ///
+    /// Distances below 10 cm are clamped to avoid the near-field
+    /// singularity.
+    pub fn loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(0.1);
+        self.reference_db + 10.0 * self.exponent * d.log10()
+    }
+
+    /// Path loss with a log-normal shadowing draw from `rng`.
+    pub fn loss_db_shadowed<R: Rng + ?Sized>(&self, distance_m: f64, rng: &mut R) -> f64 {
+        self.loss_db(distance_m) + self.shadowing_sigma_db * gaussian(rng)
+    }
+
+    /// Received power in dBm for a transmit power in dBm at a distance.
+    pub fn received_dbm(&self, tx_dbm: f64, distance_m: f64) -> f64 {
+        tx_dbm - self.loss_db(distance_m)
+    }
+}
+
+/// A standard-normal draw via Box–Muller (keeps `rand` usage to the `Rng`
+/// core so no distribution crates are needed).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_increases_with_distance() {
+        let pl = PathLoss::free_space();
+        let mut prev = f64::NEG_INFINITY;
+        for d in 1..20 {
+            let loss = pl.loss_db(d as f64);
+            assert!(loss > prev);
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn free_space_reference_value() {
+        let pl = PathLoss::free_space();
+        assert!((pl.loss_db(1.0) - FSPL_1M_2G4_DB).abs() < 1e-9);
+        // At 10 m free space adds 20 dB.
+        assert!((pl.loss_db(10.0) - FSPL_1M_2G4_DB - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn received_power_is_tx_minus_loss() {
+        let pl = PathLoss::indoor();
+        let rx = pl.received_dbm(20.0, 5.0);
+        assert!((rx - (20.0 - pl.loss_db(5.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let pl = PathLoss::free_space();
+        assert_eq!(pl.loss_db(0.0), pl.loss_db(0.1));
+        assert_eq!(pl.loss_db(-5.0), pl.loss_db(0.1));
+    }
+
+    #[test]
+    fn shadowing_is_zero_mean_ish() {
+        let pl = PathLoss::indoor();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|_| pl.loss_db_shadowed(5.0, &mut rng) - pl.loss_db(5.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.5, "shadowing mean {mean} too far from zero");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_exponent_rejected() {
+        PathLoss::new(40.0, 0.0, 0.0);
+    }
+}

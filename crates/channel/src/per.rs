@@ -1,0 +1,73 @@
+//! Packet error rate and throughput derived from bit error rate.
+
+use crate::ber::oqpsk_dsss_ber;
+
+/// Packet error rate for a packet of `payload_bytes` of PSDU plus the
+/// 6-byte PHY overhead, assuming independent bit errors.
+///
+/// `PER = 1 − (1 − BER)^(8·bytes)`.
+///
+/// ```
+/// use ctjam_channel::per::packet_error_rate;
+///
+/// assert_eq!(packet_error_rate(0.0, 100), 0.0);
+/// assert!(packet_error_rate(1e-3, 100) > packet_error_rate(1e-3, 10));
+/// ```
+pub fn packet_error_rate(ber: f64, payload_bytes: usize) -> f64 {
+    let bits = 8.0 * (payload_bytes + crate::per::PHY_OVERHEAD_BYTES) as f64;
+    1.0 - (1.0 - ber.clamp(0.0, 1.0)).powf(bits)
+}
+
+/// PHY overhead: 4-byte preamble + SFD + PHR.
+pub const PHY_OVERHEAD_BYTES: usize = 6;
+
+/// Packet error rate straight from a linear SINR.
+pub fn per_from_sinr(sinr_linear: f64, payload_bytes: usize) -> f64 {
+    packet_error_rate(oqpsk_dsss_ber(sinr_linear), payload_bytes)
+}
+
+/// Effective goodput in bits/second over a 250 kb/s ZigBee link:
+/// `(1 − PER) · payload_fraction · bitrate`.
+pub fn goodput_bps(per: f64, payload_bytes: usize) -> f64 {
+    let payload_fraction =
+        payload_bytes as f64 / (payload_bytes + PHY_OVERHEAD_BYTES) as f64;
+    (1.0 - per.clamp(0.0, 1.0)) * payload_fraction * ctjam_phy::zigbee::BIT_RATE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::db_to_linear;
+
+    #[test]
+    fn per_bounds() {
+        assert_eq!(packet_error_rate(0.0, 50), 0.0);
+        assert_eq!(packet_error_rate(1.0, 50), 1.0);
+        let p = packet_error_rate(1e-4, 50);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn per_monotone_in_ber_and_length() {
+        assert!(packet_error_rate(1e-3, 50) > packet_error_rate(1e-4, 50));
+        assert!(packet_error_rate(1e-3, 120) > packet_error_rate(1e-3, 20));
+    }
+
+    #[test]
+    fn per_from_sinr_waterfall() {
+        assert!(per_from_sinr(db_to_linear(5.0), 100) < 1e-4);
+        assert!(per_from_sinr(db_to_linear(-5.0), 100) > 0.99);
+    }
+
+    #[test]
+    fn goodput_zero_when_always_lost() {
+        assert_eq!(goodput_bps(1.0, 100), 0.0);
+    }
+
+    #[test]
+    fn goodput_peaks_at_zero_per() {
+        let g = goodput_bps(0.0, 100);
+        assert!(g > 0.9 * ctjam_phy::zigbee::BIT_RATE * 100.0 / 106.0);
+        assert!(g <= ctjam_phy::zigbee::BIT_RATE);
+    }
+}

@@ -1,0 +1,76 @@
+//! Signal-to-interference-plus-noise ratio.
+
+use crate::interference::Interferer;
+use crate::noise::NoiseFloor;
+use crate::units::{dbm_to_mw, linear_to_db};
+
+/// Computes the SINR (linear ratio) at the despreader decision point.
+///
+/// Interference powers add linearly; each interferer is weighted by its
+/// kind's in-channel fraction and processing-gain suppression before the
+/// sum (see [`crate::interference`]).
+///
+/// ```
+/// use ctjam_channel::sinr::sinr_linear;
+/// use ctjam_channel::noise::NoiseFloor;
+///
+/// // Without interference the SINR equals SNR.
+/// let snr = sinr_linear(-70.0, &[], &NoiseFloor::zigbee());
+/// assert!(snr > 1.0e3);
+/// ```
+pub fn sinr_linear(signal_dbm: f64, interferers: &[Interferer], noise: &NoiseFloor) -> f64 {
+    let signal_mw = dbm_to_mw(signal_dbm);
+    let interference_mw: f64 = interferers.iter().map(Interferer::effective_mw).sum();
+    signal_mw / (interference_mw + noise.power_mw())
+}
+
+/// [`sinr_linear`] expressed in dB.
+pub fn sinr_db(signal_dbm: f64, interferers: &[Interferer], noise: &NoiseFloor) -> f64 {
+    linear_to_db(sinr_linear(signal_dbm, interferers, noise))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceKind;
+
+    #[test]
+    fn interference_lowers_sinr() {
+        let noise = NoiseFloor::zigbee();
+        let clean = sinr_linear(-70.0, &[], &noise);
+        let jammed = sinr_linear(
+            -70.0,
+            &[Interferer {
+                kind: InterferenceKind::EmuBee,
+                received_dbm: -65.0,
+            }],
+            &noise,
+        );
+        assert!(jammed < clean);
+        // A 5 dB-stronger chip-faithful jammer pushes SINR below -4 dB.
+        assert!(linear_to_db(jammed) < -4.0);
+    }
+
+    #[test]
+    fn interferers_accumulate() {
+        let noise = NoiseFloor::zigbee();
+        let one = [Interferer {
+            kind: InterferenceKind::ZigBee,
+            received_dbm: -75.0,
+        }];
+        let two = [one[0], one[0]];
+        assert!(sinr_linear(-70.0, &two, &noise) < sinr_linear(-70.0, &one, &noise));
+    }
+
+    #[test]
+    fn db_and_linear_agree() {
+        let noise = NoiseFloor::zigbee();
+        let interferers = [Interferer {
+            kind: InterferenceKind::WifiOfdm,
+            received_dbm: -60.0,
+        }];
+        let lin = sinr_linear(-72.0, &interferers, &noise);
+        let db = sinr_db(-72.0, &interferers, &noise);
+        assert!((linear_to_db(lin) - db).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Decibel and power-unit conversions.
+//!
+//! All channel math happens in dB/dBm where quantities multiply, and in
+//! linear milliwatts where they add (interference powers sum linearly).
+
+/// Converts a power in milliwatts to dBm.
+///
+/// # Panics
+///
+/// Panics if `mw` is not strictly positive.
+///
+/// ```
+/// use ctjam_channel::units::mw_to_dbm;
+/// assert_eq!(mw_to_dbm(1.0), 0.0);
+/// assert_eq!(mw_to_dbm(100.0), 20.0);
+/// ```
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power must be positive to express in dBm, got {mw}");
+    10.0 * mw.log10()
+}
+
+/// Converts a power in dBm to milliwatts.
+///
+/// ```
+/// use ctjam_channel::units::dbm_to_mw;
+/// assert_eq!(dbm_to_mw(0.0), 1.0);
+/// assert!((dbm_to_mw(20.0) - 100.0).abs() < 1e-9);
+/// ```
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts a dB ratio to a linear ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear ratio to dB.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not strictly positive.
+pub fn linear_to_db(ratio: f64) -> f64 {
+    assert!(ratio > 0.0, "ratio must be positive to express in dB, got {ratio}");
+    10.0 * ratio.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_roundtrip() {
+        for dbm in [-90.0, -30.0, 0.0, 20.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-40.0, -3.0, 0.0, 9.0, 30.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_db_doubles() {
+        assert!((db_to_linear(3.0103) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_power_has_no_dbm() {
+        mw_to_dbm(0.0);
+    }
+}

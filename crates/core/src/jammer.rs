@@ -1,0 +1,323 @@
+//! The cross-technology sweep jammer (paper §II.C).
+//!
+//! A Wi-Fi-based EmuBee jammer covers `m` consecutive ZigBee channels at
+//! once (4 for a 20 MHz front end) and needs `⌈K/m⌉` slots to scan all
+//! `K` channels. It sweeps the channel blocks in a fresh random order each
+//! cycle (a deterministic cycle would be trivially predictable — the
+//! paper's Fig. 6(b) notes the degenerate sweep-cycle-2 case), locks onto
+//! a victim when its block shows activity, and leaves again once the
+//! victim disappears.
+
+use rand::Rng;
+
+/// Jammer power-selection mode (paper §II.C.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JammerMode {
+    /// High-performance mode: always the maximum power level.
+    #[default]
+    MaxPower,
+    /// Hidden mode: a uniformly random power level each slot.
+    RandomPower,
+}
+
+/// Configuration of the sweep jammer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JammerConfig {
+    /// Total selectable channels `K` (16 on the 2.4 GHz band).
+    pub num_channels: usize,
+    /// Channels covered per slot `m` (4 for EmuBee).
+    pub jam_width: usize,
+    /// Selectable jamming power levels (`L^J` values).
+    pub powers: Vec<f64>,
+    /// Power-selection mode.
+    pub mode: JammerMode,
+}
+
+impl Default for JammerConfig {
+    fn default() -> Self {
+        JammerConfig {
+            num_channels: ctjam_phy::zigbee::NUM_CHANNELS,
+            jam_width: ctjam_phy::wifi::ZIGBEE_CHANNELS_COVERED,
+            powers: (11..=20).map(f64::from).collect(),
+            mode: JammerMode::MaxPower,
+        }
+    }
+}
+
+impl JammerConfig {
+    /// Number of channel blocks = the sweep cycle `⌈K/m⌉`.
+    pub fn sweep_cycle(&self) -> usize {
+        self.num_channels.div_ceil(self.jam_width)
+    }
+
+    /// Rescales the block count to obtain a target sweep cycle while
+    /// keeping `m` fixed (the Fig. 6(b)/7(c,d)/8(c,d) sweep).
+    #[must_use]
+    pub fn with_sweep_cycle(mut self, cycle: usize) -> Self {
+        self.num_channels = cycle * self.jam_width;
+        self
+    }
+}
+
+/// The sweeping jammer's runtime state.
+#[derive(Debug, Clone)]
+pub struct SweepJammer {
+    config: JammerConfig,
+    /// Random block order for the current cycle.
+    order: Vec<usize>,
+    /// Position within `order`.
+    cursor: usize,
+    /// Block currently locked onto, if a victim was found.
+    locked: Option<usize>,
+}
+
+/// What the jammer did this slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JamAction {
+    /// First channel of the attacked block.
+    pub block_start: usize,
+    /// Jamming power (an `L^J` value).
+    pub power: f64,
+    /// Whether the jammer was in locked (tracking) mode.
+    pub locked: bool,
+}
+
+impl SweepJammer {
+    /// Creates a jammer and shuffles its first sweep cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero channels/width,
+    /// no power levels, or `jam_width > num_channels`).
+    pub fn new<R: Rng + ?Sized>(config: JammerConfig, rng: &mut R) -> Self {
+        assert!(config.num_channels > 0, "need at least one channel");
+        assert!(config.jam_width > 0, "jam width must be positive");
+        assert!(
+            config.jam_width <= config.num_channels,
+            "jam width exceeds the channel count"
+        );
+        assert!(!config.powers.is_empty(), "need at least one power level");
+        let blocks = config.sweep_cycle();
+        let mut jammer = SweepJammer {
+            config,
+            order: (0..blocks).collect(),
+            cursor: 0,
+            locked: None,
+        };
+        jammer.shuffle_cycle(rng);
+        jammer
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JammerConfig {
+        &self.config
+    }
+
+    /// Whether the jammer is currently locked onto a block.
+    pub fn is_locked(&self) -> bool {
+        self.locked.is_some()
+    }
+
+    fn shuffle_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher–Yates.
+        for i in (1..self.order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.order.swap(i, j);
+        }
+        self.cursor = 0;
+    }
+
+    /// The block index containing `channel`.
+    pub fn block_of(&self, channel: usize) -> usize {
+        channel / self.config.jam_width
+    }
+
+    /// Advances one slot: the jammer attacks one block and reports it.
+    ///
+    /// `victim_channel` is where the victim transmits this slot (the
+    /// jammer senses activity in its attacked block; per §II.C it sends
+    /// EmuBee only where the victim is, and monitors at slot start
+    /// whether the victim is still there).
+    pub fn step<R: Rng + ?Sized>(&mut self, victim_channel: usize, rng: &mut R) -> JamAction {
+        let victim_block = self.block_of(victim_channel);
+
+        let block = match self.locked {
+            Some(block) if block == victim_block => block, // keep tracking
+            Some(_) => {
+                // Victim left: resume sweeping for the next opportunity.
+                self.locked = None;
+                self.next_sweep_block(rng)
+            }
+            None => self.next_sweep_block(rng),
+        };
+
+        if block == victim_block {
+            self.locked = Some(block);
+        }
+
+        JamAction {
+            block_start: block * self.config.jam_width,
+            power: self.pick_power(rng),
+            locked: self.locked == Some(block) && block == victim_block,
+        }
+    }
+
+    fn next_sweep_block<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        if self.cursor >= self.order.len() {
+            self.shuffle_cycle(rng);
+        }
+        let block = self.order[self.cursor];
+        self.cursor += 1;
+        block
+    }
+
+    fn pick_power<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self.config.mode {
+            JammerMode::MaxPower => self
+                .config
+                .powers
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max),
+            JammerMode::RandomPower => {
+                self.config.powers[rng.gen_range(0..self.config.powers.len())]
+            }
+        }
+    }
+
+    /// Whether a block attack covers the given channel.
+    pub fn covers(&self, action: &JamAction, channel: usize) -> bool {
+        (action.block_start..action.block_start + self.config.jam_width).contains(&channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_sweep_cycle_is_four() {
+        assert_eq!(JammerConfig::default().sweep_cycle(), 4);
+    }
+
+    #[test]
+    fn with_sweep_cycle_rescales() {
+        let c = JammerConfig::default().with_sweep_cycle(8);
+        assert_eq!(c.sweep_cycle(), 8);
+        assert_eq!(c.num_channels, 32);
+    }
+
+    #[test]
+    fn finds_static_victim_within_one_cycle() {
+        let mut r = rng(1);
+        let mut jammer = SweepJammer::new(JammerConfig::default(), &mut r);
+        let victim = 9usize;
+        let mut found_at = None;
+        for slot in 0..4 {
+            let action = jammer.step(victim, &mut r);
+            if jammer.covers(&action, victim) {
+                found_at = Some(slot);
+                break;
+            }
+        }
+        assert!(found_at.is_some(), "sweep must find a static victim in a cycle");
+    }
+
+    #[test]
+    fn locks_and_tracks_until_victim_leaves() {
+        let mut r = rng(2);
+        let mut jammer = SweepJammer::new(JammerConfig::default(), &mut r);
+        let victim = 5usize;
+        // Step until found.
+        for _ in 0..4 {
+            let a = jammer.step(victim, &mut r);
+            if a.locked {
+                break;
+            }
+        }
+        assert!(jammer.is_locked());
+        // Stays locked while victim remains.
+        let a = jammer.step(victim, &mut r);
+        assert!(a.locked);
+        assert!(jammer.covers(&a, victim));
+        // Victim hops far away: jammer unlocks and resumes sweeping.
+        let far = 15usize;
+        let a = jammer.step(far, &mut r);
+        assert!(!a.locked || jammer.covers(&a, far));
+        // After the victim leaves, the lock on the old block is gone.
+        assert!(jammer.locked != Some(jammer.block_of(victim)) || jammer.covers(&a, victim));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // slot doubles as histogram bin
+    fn discovery_hazard_is_uniform_over_cycle() {
+        // A static victim should be discovered at a uniformly distributed
+        // slot within the sweep cycle (the 1/(⌈K/m⌉−n) hazard of Eq. 6).
+        let mut r = rng(3);
+        let mut histogram = [0usize; 4];
+        for _ in 0..4000 {
+            let mut jammer = SweepJammer::new(JammerConfig::default(), &mut r);
+            for slot in 0..4 {
+                let action = jammer.step(7, &mut r);
+                if jammer.covers(&action, 7) {
+                    histogram[slot] += 1;
+                    break;
+                }
+            }
+        }
+        let total: usize = histogram.iter().sum();
+        assert_eq!(total, 4000, "victim must always be found in one cycle");
+        for (slot, &count) in histogram.iter().enumerate() {
+            let frac = count as f64 / total as f64;
+            assert!(
+                (frac - 0.25).abs() < 0.03,
+                "slot {slot} discovery fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_mode_always_uses_max_power() {
+        let mut r = rng(4);
+        let mut jammer = SweepJammer::new(JammerConfig::default(), &mut r);
+        for _ in 0..20 {
+            assert_eq!(jammer.step(0, &mut r).power, 20.0);
+        }
+    }
+
+    #[test]
+    fn random_mode_spreads_over_levels() {
+        let mut r = rng(5);
+        let mut jammer = SweepJammer::new(
+            JammerConfig {
+                mode: JammerMode::RandomPower,
+                ..JammerConfig::default()
+            },
+            &mut r,
+        );
+        let seen: std::collections::HashSet<i64> = (0..300)
+            .map(|_| jammer.step(0, &mut r).power as i64)
+            .collect();
+        assert!(seen.len() >= 8, "random powers too narrow: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wide_jam_width_rejected() {
+        let mut r = rng(6);
+        SweepJammer::new(
+            JammerConfig {
+                num_channels: 2,
+                jam_width: 4,
+                ..JammerConfig::default()
+            },
+            &mut r,
+        );
+    }
+}

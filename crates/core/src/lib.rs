@@ -1,0 +1,56 @@
+//! The CTJam anti-jamming system — the paper's primary contribution,
+//! assembled from the suite's substrates.
+//!
+//! * [`jammer`] — the cross-technology sweep jammer: scans `m` consecutive
+//!   ZigBee channels per slot in a random-permutation cycle, locks onto a
+//!   found victim, and picks its power per mode (max / random).
+//! * [`env`](crate::env) — the slot-level Tx↔Jx competition environment: the defender
+//!   picks `(channel, power)` each slot, the environment resolves clean /
+//!   jammed-but-survived (`TJ`) / jammed (`J`) and pays the Eq. (5) loss.
+//! * [`kernel`] — the paper's Matlab-simulation world: an environment
+//!   sampling the Eqs. 6–14 transition kernel directly (Figs. 6–8).
+//! * [`adaptive`] — a DeepJam-class adaptive jammer (wideband sensing +
+//!   LastBlock/Markov/RNN traffic prediction) and its environment — the
+//!   extension adversary.
+//! * [`defender`] — anti-jamming strategies: the paper's DQN scheme plus
+//!   the passive-FH and random-FH baselines of Fig. 11(a), a no-defense
+//!   floor, and an MDP-oracle upper reference.
+//! * [`metrics`] — Table I: success rate of transmission (ST), adoption
+//!   and success rates of frequency hopping (AH, SH) and power control
+//!   (AP, SP).
+//! * [`runner`] — training and evaluation loops (the 20 000-slot runs of
+//!   §IV.A) and parameter-sweep helpers.
+//! * [`field`] — the field-experiment simulator: the slot competition
+//!   driving the star network with the paper's timing model
+//!   (Figs. 9–11).
+//!
+//! # Example
+//!
+//! Train the DQN defense briefly and measure its success rate:
+//!
+//! ```
+//! use ctjam_core::defender::DqnDefender;
+//! use ctjam_core::env::{CompetitionEnv, EnvParams};
+//! use ctjam_core::runner::{evaluate, train};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let params = EnvParams::default();
+//! let mut defender = DqnDefender::small_for_tests(&params, &mut rng);
+//! train(&params, &mut defender, 3_000, &mut rng);
+//! let report = evaluate(&params, &mut defender, 2_000, &mut rng);
+//! assert!(report.metrics.success_rate() > 0.4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod defender;
+pub mod env;
+pub mod field;
+pub mod jammer;
+pub mod kernel;
+pub mod metrics;
+pub mod runner;

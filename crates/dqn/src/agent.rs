@@ -1,0 +1,436 @@
+//! The DQN agent: ε-greedy action selection, replay training, and a
+//! target network.
+
+use crate::config::DqnConfig;
+use crate::replay::{Experience, ReplayBuffer};
+use ctjam_nn::mlp::{Mlp, MlpBuilder};
+use ctjam_nn::optimizer::Adam;
+use rand::Rng;
+
+/// A deep Q-network agent over `C × PL` (channel, power) actions.
+///
+/// See the crate-level example for basic usage. The typical loop is:
+///
+/// 1. [`DqnAgent::act`] on the current observation,
+/// 2. step the environment,
+/// 3. [`DqnAgent::observe`] the transition — which trains the online
+///    network from replay and periodically syncs the target network.
+#[derive(Debug, Clone)]
+pub struct DqnAgent {
+    config: DqnConfig,
+    online: Mlp,
+    target: Mlp,
+    optimizer: Adam,
+    replay: ReplayBuffer,
+    steps: usize,
+    train_steps: usize,
+}
+
+impl DqnAgent {
+    /// Creates an agent with freshly initialized networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DqnConfig::validate`]).
+    pub fn new<R: Rng + ?Sized>(config: DqnConfig, rng: &mut R) -> Self {
+        config.validate();
+        let online = MlpBuilder::new(config.input_size())
+            .hidden(config.hidden.0)
+            .hidden(config.hidden.1)
+            .output(config.num_actions())
+            .build(rng);
+        let target = online.clone();
+        let optimizer = Adam::with_learning_rate(config.learning_rate);
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        DqnAgent {
+            config,
+            online,
+            target,
+            optimizer,
+            replay,
+            steps: 0,
+            train_steps: 0,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// The online (trained) network.
+    pub fn network(&self) -> &Mlp {
+        &self.online
+    }
+
+    /// Loads pre-trained weights into both networks (the paper trains
+    /// offline, then loads the result onto the hub).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture differs from the configuration's.
+    pub fn load_network(&mut self, net: &Mlp) {
+        self.online.copy_weights_from(net);
+        self.target.copy_weights_from(net);
+    }
+
+    /// Environment steps observed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Gradient updates performed so far.
+    pub fn train_steps(&self) -> usize {
+        self.train_steps
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.config.epsilon_at(self.steps)
+    }
+
+    /// Q-values of every action at an observation.
+    pub fn q_values(&self, observation: &[f64]) -> Vec<f64> {
+        self.online.forward(observation)
+    }
+
+    /// Greedy action (no exploration).
+    pub fn act_greedy(&self, observation: &[f64]) -> usize {
+        argmax(&self.q_values(observation))
+    }
+
+    /// ε-greedy action selection (paper §III.C): the best action with
+    /// probability `1 − ε`, otherwise one of the remaining actions
+    /// uniformly (`ε/(C·PL − 1)` each).
+    pub fn act<R: Rng + ?Sized>(&self, observation: &[f64], rng: &mut R) -> usize {
+        let best = self.act_greedy(observation);
+        let epsilon = self.epsilon();
+        let n = self.config.num_actions();
+        if n == 1 || !rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+            return best;
+        }
+        // Uniform over the other n−1 actions.
+        let mut pick = rng.gen_range(0..n - 1);
+        if pick >= best {
+            pick += 1;
+        }
+        pick
+    }
+
+    /// Boltzmann (softmax) action selection: samples an action with
+    /// probability `∝ exp(Q(s, a)/τ)`.
+    ///
+    /// A randomized deployment policy: unlike ε-greedy — whose greedy arm
+    /// is deterministic and therefore learnable by a traffic-predicting
+    /// (DeepJam-class) jammer — softmax sampling spreads probability over
+    /// all near-optimal actions, trading a little reward for
+    /// unpredictability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature` is not strictly positive.
+    pub fn act_softmax<R: Rng + ?Sized>(
+        &self,
+        observation: &[f64],
+        temperature: f64,
+        rng: &mut R,
+    ) -> usize {
+        assert!(temperature > 0.0, "softmax temperature must be positive");
+        let q = self.q_values(observation);
+        let max = q.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = q.iter().map(|v| ((v - max) / temperature).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut u = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return i;
+            }
+            u -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Records a transition and performs the training schedule: push to
+    /// replay, train every `train_interval` steps once `warmup` is
+    /// reached, and sync the target network every
+    /// `target_sync_interval` steps. Returns the training loss when a
+    /// gradient step ran.
+    pub fn observe<R: Rng + ?Sized>(
+        &mut self,
+        state: Vec<f64>,
+        action: usize,
+        reward: f64,
+        next_state: Vec<f64>,
+        rng: &mut R,
+    ) -> Option<f64> {
+        self.replay.push(Experience {
+            state,
+            action,
+            reward,
+            next_state,
+        });
+        self.steps += 1;
+
+        let mut loss = None;
+        if self.replay.len() >= self.config.warmup && self.steps.is_multiple_of(self.config.train_interval)
+        {
+            loss = Some(self.train_step(rng));
+        }
+        if self.steps.is_multiple_of(self.config.target_sync_interval) {
+            self.sync_target();
+        }
+        loss
+    }
+
+    /// One gradient step on a replay minibatch; returns the loss.
+    ///
+    /// Targets are `r + γ·max_{a′} Q_target(s′, a′)` written into the
+    /// online network's own prediction vector so only the taken action's
+    /// output receives gradient.
+    pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let batch = self.replay.sample(self.config.batch_size, rng);
+        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(batch.len());
+        let mut targets: Vec<Vec<f64>> = Vec::with_capacity(batch.len());
+        for e in &batch {
+            let mut target_vec = self.online.forward(&e.state);
+            let next_q = self.target.forward(&e.next_state);
+            let bootstrap = if self.config.double_dqn {
+                // Double DQN: the online network selects, the target
+                // network evaluates.
+                let online_next = self.online.forward(&e.next_state);
+                next_q[argmax(&online_next)]
+            } else {
+                next_q.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            };
+            target_vec[e.action] = e.reward + self.config.gamma * bootstrap;
+            inputs.push(e.state.clone());
+            targets.push(target_vec);
+        }
+        let pairs: Vec<(&[f64], &[f64])> = inputs
+            .iter()
+            .zip(&targets)
+            .map(|(i, t)| (i.as_slice(), t.as_slice()))
+            .collect();
+        self.train_steps += 1;
+        self.online.train_batch(&pairs, &mut self.optimizer)
+    }
+
+    /// Copies the online network into the target network.
+    pub fn sync_target(&mut self) {
+        self.target.copy_weights_from(&self.online);
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q values"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> DqnConfig {
+        DqnConfig {
+            history_len: 2,
+            num_channels: 4,
+            num_power_levels: 2,
+            hidden: (16, 16),
+            learning_rate: 5e-3,
+            replay_capacity: 2_000,
+            batch_size: 16,
+            target_sync_interval: 50,
+            epsilon_start: 1.0,
+            epsilon_end: 0.05,
+            epsilon_decay_steps: 500,
+            train_interval: 1,
+            warmup: 32,
+            gamma: 0.8,
+            double_dqn: false,
+        }
+    }
+
+    #[test]
+    fn act_returns_valid_actions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = DqnAgent::new(small_config(), &mut rng);
+        let obs = vec![0.0; agent.config().input_size()];
+        for _ in 0..100 {
+            assert!(agent.act(&obs, &mut rng) < agent.config().num_actions());
+        }
+    }
+
+    #[test]
+    fn epsilon_greedy_explores_and_exploits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agent = DqnAgent::new(
+            DqnConfig {
+                epsilon_end: 0.0,
+                ..small_config()
+            },
+            &mut rng,
+        );
+        // Force ε to its floor of 0 → always the greedy action.
+        agent.steps = 10_000;
+        let obs = vec![0.1; agent.config().input_size()];
+        let greedy = agent.act_greedy(&obs);
+        for _ in 0..50 {
+            assert_eq!(agent.act(&obs, &mut rng), greedy);
+        }
+        // ε = 1 → never stuck on one action.
+        agent.steps = 0;
+        let seen: std::collections::HashSet<usize> =
+            (0..200).map(|_| agent.act(&obs, &mut rng)).collect();
+        assert!(seen.len() > 3, "exploration too narrow: {seen:?}");
+    }
+
+    #[test]
+    fn learns_a_contextual_bandit() {
+        // Reward 0 for the action equal to the context tag, −10 otherwise.
+        // With γ > 0 and identical next-states the optimal Q still ranks
+        // the matching action highest.
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = small_config();
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let contexts: Vec<Vec<f64>> = (0..4)
+            .map(|c| {
+                let mut v = vec![0.0; config.input_size()];
+                v[c] = 1.0;
+                v
+            })
+            .collect();
+        for step in 0..3_000 {
+            let c = step % 4;
+            let obs = contexts[c].clone();
+            let action = agent.act(&obs, &mut rng);
+            let reward = if action == c { 0.0 } else { -10.0 };
+            let next = contexts[(c + 1) % 4].clone();
+            agent.observe(obs, action, reward, next, &mut rng);
+        }
+        let mut correct = 0;
+        for (c, obs) in contexts.iter().enumerate() {
+            if agent.act_greedy(obs) == c {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 3, "only {correct}/4 contexts learned");
+    }
+
+    #[test]
+    fn target_sync_happens_on_schedule() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = small_config();
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let obs = vec![0.0; config.input_size()];
+        for _ in 0..config.target_sync_interval {
+            agent.observe(obs.clone(), 0, -1.0, obs.clone(), &mut rng);
+        }
+        // Right after a sync the two networks agree.
+        assert_eq!(agent.online.forward(&obs), agent.target.forward(&obs));
+    }
+
+    #[test]
+    fn warmup_gates_training() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = small_config();
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let obs = vec![0.0; config.input_size()];
+        for i in 0..config.warmup - 1 {
+            let loss = agent.observe(obs.clone(), 0, -1.0, obs.clone(), &mut rng);
+            assert!(loss.is_none(), "trained too early at step {i}");
+        }
+        let loss = agent.observe(obs.clone(), 0, -1.0, obs.clone(), &mut rng);
+        assert!(loss.is_some(), "training never started");
+        assert!(agent.train_steps() == 1);
+    }
+
+    #[test]
+    fn softmax_policy_is_randomized_but_value_seeking() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let agent = DqnAgent::new(small_config(), &mut rng);
+        let obs = vec![0.4; agent.config().input_size()];
+        // Low temperature concentrates on the greedy action.
+        let greedy = agent.act_greedy(&obs);
+        let cold: Vec<usize> = (0..100).map(|_| agent.act_softmax(&obs, 1e-4, &mut rng)).collect();
+        assert!(cold.iter().all(|&a| a == greedy), "cold softmax must be greedy");
+        // High temperature spreads over many actions.
+        let hot: std::collections::HashSet<usize> =
+            (0..300).map(|_| agent.act_softmax(&obs, 100.0, &mut rng)).collect();
+        assert!(hot.len() > 4, "hot softmax too concentrated: {hot:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn softmax_rejects_nonpositive_temperature() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let agent = DqnAgent::new(small_config(), &mut rng);
+        let obs = vec![0.0; agent.config().input_size()];
+        agent.act_softmax(&obs, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn double_dqn_also_learns_the_bandit() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = DqnConfig {
+            double_dqn: true,
+            ..small_config()
+        };
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let contexts: Vec<Vec<f64>> = (0..4)
+            .map(|c| {
+                let mut v = vec![0.0; config.input_size()];
+                v[c] = 1.0;
+                v
+            })
+            .collect();
+        for step in 0..3_000 {
+            let c = step % 4;
+            let obs = contexts[c].clone();
+            let action = agent.act(&obs, &mut rng);
+            let reward = if action == c { 0.0 } else { -10.0 };
+            let next = contexts[(c + 1) % 4].clone();
+            agent.observe(obs, action, reward, next, &mut rng);
+        }
+        let mut correct = 0;
+        for (c, obs) in contexts.iter().enumerate() {
+            if agent.act_greedy(obs) == c {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 3, "double DQN learned only {correct}/4 contexts");
+    }
+
+    #[test]
+    fn double_dqn_targets_never_exceed_vanilla() {
+        // The double estimator is bounded above by the max estimator for
+        // the same networks: Q_t(s', argmax Q_o) <= max Q_t(s').
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = small_config();
+        let agent = DqnAgent::new(config.clone(), &mut rng);
+        let obs = vec![0.25; config.input_size()];
+        let online = agent.online.forward(&obs);
+        let target = agent.target.forward(&obs);
+        let double = target[argmax(&online)];
+        let vanilla = target.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(double <= vanilla + 1e-12);
+    }
+
+    #[test]
+    fn load_network_overrides_both_nets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = small_config();
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let donor = DqnAgent::new(config.clone(), &mut rng);
+        agent.load_network(donor.network());
+        let obs = vec![0.5; config.input_size()];
+        assert_eq!(agent.online.forward(&obs), donor.online.forward(&obs));
+        assert_eq!(agent.target.forward(&obs), donor.online.forward(&obs));
+    }
+}

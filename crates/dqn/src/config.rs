@@ -1,0 +1,181 @@
+//! DQN hyperparameters.
+
+/// Configuration of the DQN agent.
+///
+/// Defaults mirror the paper's setup: `I = 8` slots of history (3
+/// observable indexes each), `C = 16` ZigBee channels, `PL = 10` power
+/// levels, two hidden layers sized so the deployed network lands at the
+/// paper's ~10 k parameters / ~42.7 KB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DqnConfig {
+    /// History window `I` (slots of (outcome, channel, power) context).
+    pub history_len: usize,
+    /// Number of selectable channels `C`.
+    pub num_channels: usize,
+    /// Number of transmit power levels `PL`.
+    pub num_power_levels: usize,
+    /// Widths of the two hidden layers.
+    pub hidden: (usize, usize),
+    /// Discount factor `γ`.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Replay buffer capacity ("data blocks from historical information").
+    pub replay_capacity: usize,
+    /// Minibatch size per training step.
+    pub batch_size: usize,
+    /// Environment steps between target-network synchronizations.
+    pub target_sync_interval: usize,
+    /// Initial exploration rate ε.
+    pub epsilon_start: f64,
+    /// Final exploration rate ε.
+    pub epsilon_end: f64,
+    /// Steps over which ε decays linearly from start to end.
+    pub epsilon_decay_steps: usize,
+    /// Environment steps between gradient updates (1 = every step).
+    pub train_interval: usize,
+    /// Replay fill level required before training starts.
+    pub warmup: usize,
+    /// Use Double DQN targets (`r + γ·Q_target(s′, argmax_a Q_online(s′, a))`)
+    /// instead of vanilla max targets. An extension over the paper's
+    /// vanilla DQN that reduces maximization bias; off by default to
+    /// match §III.C.
+    pub double_dqn: bool,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            history_len: 8,
+            num_channels: 16,
+            num_power_levels: 10,
+            hidden: (48, 42),
+            gamma: 0.9,
+            learning_rate: 1e-3,
+            replay_capacity: 120_000,
+            batch_size: 32,
+            target_sync_interval: 250,
+            epsilon_start: 1.0,
+            epsilon_end: 0.05,
+            epsilon_decay_steps: 5_000,
+            train_interval: 1,
+            warmup: 256,
+            double_dqn: false,
+        }
+    }
+}
+
+impl DqnConfig {
+    /// Input width of the network: `3 × I`.
+    pub fn input_size(&self) -> usize {
+        3 * self.history_len
+    }
+
+    /// Output width of the network: `C × PL` actions.
+    pub fn num_actions(&self) -> usize {
+        self.num_channels * self.num_power_levels
+    }
+
+    /// Exploration rate after `steps` environment steps (linear decay).
+    pub fn epsilon_at(&self, steps: usize) -> f64 {
+        if self.epsilon_decay_steps == 0 || steps >= self.epsilon_decay_steps {
+            return self.epsilon_end;
+        }
+        let f = steps as f64 / self.epsilon_decay_steps as f64;
+        self.epsilon_start + (self.epsilon_end - self.epsilon_start) * f
+    }
+
+    /// Decomposes an action index into `(channel, power_level)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn decode_action(&self, action: usize) -> (usize, usize) {
+        assert!(action < self.num_actions(), "action {action} out of range");
+        (action / self.num_power_levels, action % self.num_power_levels)
+    }
+
+    /// Inverse of [`DqnConfig::decode_action`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is out of range.
+    pub fn encode_action(&self, channel: usize, power_level: usize) -> usize {
+        assert!(channel < self.num_channels, "channel {channel} out of range");
+        assert!(
+            power_level < self.num_power_levels,
+            "power level {power_level} out of range"
+        );
+        channel * self.num_power_levels + power_level
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero or probabilities are out of
+    /// range — configuration bugs, not runtime conditions.
+    pub fn validate(&self) {
+        assert!(self.history_len > 0, "history length must be positive");
+        assert!(self.num_channels > 0, "need at least one channel");
+        assert!(self.num_power_levels > 0, "need at least one power level");
+        assert!(self.hidden.0 > 0 && self.hidden.1 > 0, "hidden widths must be positive");
+        assert!((0.0..1.0).contains(&self.gamma), "gamma must be in [0,1)");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.replay_capacity >= self.batch_size, "replay smaller than a batch");
+        assert!(
+            (0.0..=1.0).contains(&self.epsilon_start) && (0.0..=1.0).contains(&self.epsilon_end),
+            "epsilon must be a probability"
+        );
+        assert!(self.train_interval > 0, "train interval must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_architecture() {
+        let c = DqnConfig::default();
+        c.validate();
+        assert_eq!(c.input_size(), 24); // 3 × I with I = 8
+        assert_eq!(c.num_actions(), 160); // C × PL = 16 × 10
+    }
+
+    #[test]
+    fn epsilon_decays_linearly_then_floors() {
+        let c = DqnConfig::default();
+        assert_eq!(c.epsilon_at(0), 1.0);
+        let mid = c.epsilon_at(c.epsilon_decay_steps / 2);
+        assert!((mid - (1.0 + 0.05) / 2.0).abs() < 0.01);
+        assert_eq!(c.epsilon_at(c.epsilon_decay_steps), 0.05);
+        assert_eq!(c.epsilon_at(usize::MAX), 0.05);
+    }
+
+    #[test]
+    fn action_codec_roundtrip() {
+        let c = DqnConfig::default();
+        for action in 0..c.num_actions() {
+            let (ch, p) = c.decode_action(action);
+            assert_eq!(c.encode_action(ch, p), action);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn decode_out_of_range_panics() {
+        DqnConfig::default().decode_action(160);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        DqnConfig {
+            gamma: 1.5,
+            ..DqnConfig::default()
+        }
+        .validate();
+    }
+}

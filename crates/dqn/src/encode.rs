@@ -1,0 +1,218 @@
+//! The `3 × I` observation encoding of paper §III.C.
+//!
+//! "The input layer has 3 × I neurons, which correspond to the state
+//! (i.e., success or failure) and action (i.e., channel and power level)
+//! of the Tx in previous I time slots because these three indexes are
+//! observable to the victim."
+
+use std::collections::VecDeque;
+
+/// The victim-observable outcome of one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotOutcome {
+    /// Transmission succeeded cleanly.
+    Success,
+    /// Transmission succeeded despite jamming (the `TJ` state: elevated
+    /// error rate is observable even though data got through).
+    SuccessUnderJamming,
+    /// Transmission failed.
+    Failure,
+}
+
+impl SlotOutcome {
+    /// Numeric encoding fed to the network.
+    pub fn encoded(self) -> f64 {
+        match self {
+            SlotOutcome::Success => 1.0,
+            SlotOutcome::SuccessUnderJamming => 0.5,
+            SlotOutcome::Failure => 0.0,
+        }
+    }
+}
+
+/// One slot's observable record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotRecord {
+    /// What happened.
+    pub outcome: SlotOutcome,
+    /// Channel used (`0..num_channels`).
+    pub channel: usize,
+    /// Power level used (`0..num_power_levels`).
+    pub power_level: usize,
+}
+
+/// Sliding-window encoder producing the `3 × I` observation vector.
+///
+/// Channels and power levels are normalized to `[0, 1]`; the window is
+/// zero-padded until `I` slots have been observed.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_dqn::encode::{ObservationEncoder, SlotOutcome, SlotRecord};
+///
+/// let mut enc = ObservationEncoder::new(4, 16, 10);
+/// enc.push(SlotRecord { outcome: SlotOutcome::Success, channel: 3, power_level: 9 });
+/// let obs = enc.encode();
+/// assert_eq!(obs.len(), 12);
+/// // Newest record occupies the trailing triple.
+/// assert_eq!(&obs[9..], &[1.0, 0.2, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationEncoder {
+    history_len: usize,
+    num_channels: usize,
+    num_power_levels: usize,
+    window: VecDeque<SlotRecord>,
+}
+
+impl ObservationEncoder {
+    /// Creates an encoder for `history_len` slots of context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(history_len: usize, num_channels: usize, num_power_levels: usize) -> Self {
+        assert!(history_len > 0, "history length must be positive");
+        assert!(num_channels > 0, "need at least one channel");
+        assert!(num_power_levels > 0, "need at least one power level");
+        ObservationEncoder {
+            history_len,
+            num_channels,
+            num_power_levels,
+            window: VecDeque::with_capacity(history_len),
+        }
+    }
+
+    /// Appends a slot record, evicting the oldest when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel or power level is out of range.
+    pub fn push(&mut self, record: SlotRecord) {
+        assert!(record.channel < self.num_channels, "channel out of range");
+        assert!(
+            record.power_level < self.num_power_levels,
+            "power level out of range"
+        );
+        if self.window.len() == self.history_len {
+            self.window.pop_front();
+        }
+        self.window.push_back(record);
+    }
+
+    /// Number of records currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Clears the window (start of a fresh episode/run).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    /// Encodes the window into the `3 × I` vector: oldest slot first,
+    /// each slot contributing `(outcome, channel/(C−1), power/(PL−1))`.
+    /// Missing history is zero-padded at the front.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut out = vec![0.0; 3 * self.history_len];
+        let offset = self.history_len - self.window.len();
+        for (i, rec) in self.window.iter().enumerate() {
+            let base = 3 * (offset + i);
+            out[base] = rec.outcome.encoded();
+            out[base + 1] = normalize(rec.channel, self.num_channels);
+            out[base + 2] = normalize(rec.power_level, self.num_power_levels);
+        }
+        out
+    }
+}
+
+fn normalize(value: usize, count: usize) -> f64 {
+    if count <= 1 {
+        0.0
+    } else {
+        value as f64 / (count - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(outcome: SlotOutcome, channel: usize, power: usize) -> SlotRecord {
+        SlotRecord {
+            outcome,
+            channel,
+            power_level: power,
+        }
+    }
+
+    #[test]
+    fn encoding_dimensions() {
+        let enc = ObservationEncoder::new(8, 16, 10);
+        assert_eq!(enc.encode().len(), 24);
+        assert!(enc.is_empty());
+    }
+
+    #[test]
+    fn zero_padding_at_front() {
+        let mut enc = ObservationEncoder::new(3, 16, 10);
+        enc.push(rec(SlotOutcome::Failure, 15, 0));
+        let obs = enc.encode();
+        assert_eq!(&obs[..6], &[0.0; 6]);
+        assert_eq!(&obs[6..], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut enc = ObservationEncoder::new(2, 4, 4);
+        enc.push(rec(SlotOutcome::Success, 0, 0));
+        enc.push(rec(SlotOutcome::Success, 1, 1));
+        enc.push(rec(SlotOutcome::Failure, 2, 2));
+        assert_eq!(enc.len(), 2);
+        let obs = enc.encode();
+        // Oldest remaining = (1,1) success; newest = (2,2) failure.
+        assert_eq!(obs[0], 1.0);
+        assert!((obs[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(obs[3], 0.0);
+        assert!((obs[4] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_encoding_distinct() {
+        assert_eq!(SlotOutcome::Success.encoded(), 1.0);
+        assert_eq!(SlotOutcome::SuccessUnderJamming.encoded(), 0.5);
+        assert_eq!(SlotOutcome::Failure.encoded(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut enc = ObservationEncoder::new(2, 4, 4);
+        enc.push(rec(SlotOutcome::Success, 0, 0));
+        enc.reset();
+        assert!(enc.is_empty());
+        assert_eq!(enc.encode(), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn values_always_normalized() {
+        let mut enc = ObservationEncoder::new(4, 16, 10);
+        for i in 0..20 {
+            enc.push(rec(SlotOutcome::SuccessUnderJamming, i % 16, i % 10));
+            for v in enc.encode() {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_channel_panics() {
+        ObservationEncoder::new(2, 4, 4).push(rec(SlotOutcome::Success, 4, 0));
+    }
+}

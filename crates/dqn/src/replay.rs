@@ -1,0 +1,152 @@
+//! Experience replay buffer.
+
+use rand::Rng;
+
+/// One transition `(s, a, r, s′)` of the continuing anti-jamming task
+/// (no terminal states — the competition never ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experience {
+    /// Observation before acting.
+    pub state: Vec<f64>,
+    /// Action index taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Observation after the environment stepped.
+    pub next_state: Vec<f64>,
+}
+
+/// A fixed-capacity ring buffer of experiences with uniform sampling.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_dqn::replay::{Experience, ReplayBuffer};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut buf = ReplayBuffer::new(100);
+/// buf.push(Experience { state: vec![0.0], action: 1, reward: -5.0, next_state: vec![1.0] });
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let batch = buf.sample(1, &mut rng);
+/// assert_eq!(batch[0].action, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Experience>,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` experiences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            items: Vec::with_capacity(capacity.min(4096)),
+            write: 0,
+        }
+    }
+
+    /// Maximum number of stored experiences.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of stored experiences.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts an experience, overwriting the oldest once full.
+    pub fn push(&mut self, experience: Experience) {
+        if self.items.len() < self.capacity {
+            self.items.push(experience);
+        } else {
+            self.items[self.write] = experience;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Samples `batch` experiences uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample<'a, R: Rng + ?Sized>(&'a self, batch: usize, rng: &mut R) -> Vec<&'a Experience> {
+        assert!(!self.items.is_empty(), "cannot sample an empty replay buffer");
+        (0..batch)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exp(tag: f64) -> Experience {
+        Experience {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag + 1.0],
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(exp(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        // Items 0 and 1 were overwritten by 3 and 4.
+        let rewards: Vec<f64> = buf.items.iter().map(|e| e.reward).collect();
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+        assert!(!rewards.contains(&0.0));
+    }
+
+    #[test]
+    fn sampling_covers_contents() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.push(exp(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let seen: std::collections::HashSet<i64> = buf
+            .sample(500, &mut rng)
+            .iter()
+            .map(|e| e.reward as i64)
+            .collect();
+        assert_eq!(seen.len(), 10, "uniform sampling should hit everything");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        buf.sample(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the DQN agent's components.
+
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::config::DqnConfig;
+use ctjam_dqn::encode::{ObservationEncoder, SlotOutcome, SlotRecord};
+use ctjam_dqn::replay::{Experience, ReplayBuffer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_config(channels: usize, powers: usize, history: usize) -> DqnConfig {
+    DqnConfig {
+        history_len: history,
+        num_channels: channels,
+        num_power_levels: powers,
+        hidden: (8, 8),
+        replay_capacity: 64,
+        batch_size: 8,
+        warmup: 8,
+        ..DqnConfig::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn action_codec_is_a_bijection(channels in 1usize..20, powers in 1usize..12) {
+        let config = tiny_config(channels, powers, 2);
+        let mut seen = std::collections::HashSet::new();
+        for action in 0..config.num_actions() {
+            let (c, p) = config.decode_action(action);
+            prop_assert!(c < channels && p < powers);
+            prop_assert_eq!(config.encode_action(c, p), action);
+            prop_assert!(seen.insert((c, p)));
+        }
+        prop_assert_eq!(seen.len(), channels * powers);
+    }
+
+    #[test]
+    fn epsilon_is_monotone_and_bounded(steps_a in 0usize..20_000, steps_b in 0usize..20_000) {
+        let config = DqnConfig::default();
+        let (lo, hi) = if steps_a <= steps_b { (steps_a, steps_b) } else { (steps_b, steps_a) };
+        let e_lo = config.epsilon_at(lo);
+        let e_hi = config.epsilon_at(hi);
+        prop_assert!(e_hi <= e_lo + 1e-12, "epsilon rose: {} -> {}", e_lo, e_hi);
+        prop_assert!((config.epsilon_end..=config.epsilon_start).contains(&e_hi));
+    }
+
+    #[test]
+    fn encoder_output_always_in_unit_cube(
+        records in prop::collection::vec((0usize..16, 0usize..10, 0u8..3), 0..30),
+        history in 1usize..12,
+    ) {
+        let mut enc = ObservationEncoder::new(history, 16, 10);
+        for (ch, pw, outcome) in records {
+            let outcome = match outcome {
+                0 => SlotOutcome::Success,
+                1 => SlotOutcome::SuccessUnderJamming,
+                _ => SlotOutcome::Failure,
+            };
+            enc.push(SlotRecord { outcome, channel: ch, power_level: pw });
+            let obs = enc.encode();
+            prop_assert_eq!(obs.len(), 3 * history);
+            for v in obs {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_never_exceeds_capacity(capacity in 1usize..64, pushes in 0usize..200) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(Experience {
+                state: vec![i as f64],
+                action: 0,
+                reward: 0.0,
+                next_state: vec![],
+            });
+            prop_assert!(buf.len() <= capacity);
+        }
+        prop_assert_eq!(buf.len(), pushes.min(capacity));
+    }
+
+    #[test]
+    fn replay_keeps_the_most_recent_items(capacity in 2usize..16, extra in 1usize..32) {
+        let mut buf = ReplayBuffer::new(capacity);
+        let total = capacity + extra;
+        for i in 0..total {
+            buf.push(Experience {
+                state: vec![],
+                action: i,
+                reward: 0.0,
+                next_state: vec![],
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let actions: std::collections::HashSet<usize> =
+            buf.sample(400, &mut rng).iter().map(|e| e.action).collect();
+        // Everything sampled must come from the newest `capacity` pushes.
+        for a in &actions {
+            prop_assert!(*a >= total - capacity, "stale item {} survived", a);
+        }
+    }
+
+    #[test]
+    fn softmax_never_returns_out_of_range(seed in any::<u64>(), tau in 0.01f64..50.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = tiny_config(4, 3, 2);
+        let agent = DqnAgent::new(config.clone(), &mut rng);
+        let obs = vec![0.2; config.input_size()];
+        for _ in 0..50 {
+            let a = agent.act_softmax(&obs, tau, &mut rng);
+            prop_assert!(a < config.num_actions());
+        }
+    }
+}

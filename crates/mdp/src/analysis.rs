@@ -1,0 +1,235 @@
+//! Threshold-policy analysis of the solved anti-jamming MDP.
+//!
+//! Verifies, on concrete solved instances, the paper's structural results:
+//!
+//! * **Lemma III.2** — `Q*(n, (stay, pᵢ))` decreases in `n`.
+//! * **Lemma III.3** — `Q*(n, (hop, pᵢ))` increases in `n`.
+//! * **Theorem III.4** — the optimal policy is a threshold in `n`.
+//! * **Theorem III.5** — the threshold `n*` decreases in `L_J` and
+//!   increases in `L_H` and in `⌈K/m⌉`.
+
+use crate::antijam::{Action, AntijamMdp, AntijamParams, State};
+use crate::solve::value_iteration::value_iteration;
+
+/// Default solver settings used by the analysis helpers.
+const GAMMA: f64 = 0.9;
+const TOL: f64 = 1e-10;
+const MAX_ITERS: usize = 100_000;
+
+/// Extracts the hop threshold `n*` from a solved Q table: the smallest
+/// `n` at which hopping (at its best power) beats staying (at its best
+/// power). Returns `⌈K/m⌉` when staying is preferred everywhere
+/// (the paper's convention in Theorem III.4).
+pub fn threshold_of(mdp: &AntijamMdp, q: &[Vec<f64>]) -> usize {
+    for n in 1..=mdp.num_safe_states() {
+        let s = mdp.state_index(State::Safe(n));
+        if best_hop(mdp, &q[s]) > best_stay(mdp, &q[s]) {
+            return n;
+        }
+    }
+    mdp.sweep_cycle()
+}
+
+/// Best stay-action value at a state row of the Q table.
+pub fn best_stay(mdp: &AntijamMdp, q_row: &[f64]) -> f64 {
+    (0..mdp.num_powers())
+        .map(|p| q_row[mdp.action_index(Action { hop: false, power: p })])
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Best hop-action value at a state row of the Q table.
+pub fn best_hop(mdp: &AntijamMdp, q_row: &[f64]) -> f64 {
+    (0..mdp.num_powers())
+        .map(|p| q_row[mdp.action_index(Action { hop: true, power: p })])
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Solves an instance and returns `(mdp, q, threshold)`.
+pub fn solve_threshold(params: AntijamParams) -> (AntijamMdp, Vec<Vec<f64>>, usize) {
+    let mdp = AntijamMdp::new(params);
+    let sol = value_iteration(mdp.tabular(), GAMMA, TOL, MAX_ITERS);
+    let threshold = threshold_of(&mdp, &sol.q);
+    (mdp, sol.q, threshold)
+}
+
+/// Checks Lemma III.2 on a solved instance: for every power level,
+/// `Q*(n, (stay, p))` is non-increasing in `n`. Returns the first
+/// violation as `(power, n)` or `None` when the lemma holds.
+pub fn check_lemma_iii2(mdp: &AntijamMdp, q: &[Vec<f64>]) -> Option<(usize, usize)> {
+    for p in 0..mdp.num_powers() {
+        let a = mdp.action_index(Action { hop: false, power: p });
+        for n in 2..=mdp.num_safe_states() {
+            let prev = q[mdp.state_index(State::Safe(n - 1))][a];
+            let cur = q[mdp.state_index(State::Safe(n))][a];
+            if cur > prev + 1e-9 {
+                return Some((p, n));
+            }
+        }
+    }
+    None
+}
+
+/// Checks Lemma III.3 on a solved instance: for every power level,
+/// `Q*(n, (hop, p))` is non-decreasing in `n`. Returns the first
+/// violation as `(power, n)` or `None` when the lemma holds.
+pub fn check_lemma_iii3(mdp: &AntijamMdp, q: &[Vec<f64>]) -> Option<(usize, usize)> {
+    for p in 0..mdp.num_powers() {
+        let a = mdp.action_index(Action { hop: true, power: p });
+        for n in 2..=mdp.num_safe_states() {
+            let prev = q[mdp.state_index(State::Safe(n - 1))][a];
+            let cur = q[mdp.state_index(State::Safe(n))][a];
+            if cur < prev - 1e-9 {
+                return Some((p, n));
+            }
+        }
+    }
+    None
+}
+
+/// Checks Theorem III.4 on a solved instance: once hopping is preferred
+/// at some `n`, it stays preferred for every larger `n`. Returns `true`
+/// when the policy has the threshold structure.
+pub fn check_threshold_structure(mdp: &AntijamMdp, q: &[Vec<f64>]) -> bool {
+    let mut hopping = false;
+    for n in 1..=mdp.num_safe_states() {
+        let s = mdp.state_index(State::Safe(n));
+        let prefer_hop = best_hop(mdp, &q[s]) > best_stay(mdp, &q[s]);
+        if hopping && !prefer_hop {
+            return false;
+        }
+        hopping = prefer_hop;
+    }
+    true
+}
+
+/// Theorem III.5 sweep: thresholds for a range of `L_J` values
+/// (everything else at `base`). The paper predicts a non-increasing
+/// sequence.
+pub fn thresholds_vs_lj(base: &AntijamParams, lj_values: &[f64]) -> Vec<usize> {
+    lj_values
+        .iter()
+        .map(|&l_j| solve_threshold(AntijamParams { l_j, ..base.clone() }).2)
+        .collect()
+}
+
+/// Theorem III.5 sweep over `L_H` (paper predicts non-decreasing).
+pub fn thresholds_vs_lh(base: &AntijamParams, lh_values: &[f64]) -> Vec<usize> {
+    lh_values
+        .iter()
+        .map(|&l_h| solve_threshold(AntijamParams { l_h, ..base.clone() }).2)
+        .collect()
+}
+
+/// Theorem III.5 sweep over `⌈K/m⌉` (paper predicts non-decreasing).
+pub fn thresholds_vs_sweep_cycle(base: &AntijamParams, cycles: &[usize]) -> Vec<usize> {
+    cycles
+        .iter()
+        .map(|&sweep_cycle| {
+            solve_threshold(AntijamParams {
+                sweep_cycle,
+                ..base.clone()
+            })
+            .2
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antijam::JammerMode;
+
+    fn base() -> AntijamParams {
+        AntijamParams {
+            jammer_mode: JammerMode::RandomPower,
+            ..AntijamParams::default()
+        }
+    }
+
+    #[test]
+    fn lemmas_hold_on_default_instances() {
+        for mode in [JammerMode::MaxPower, JammerMode::RandomPower] {
+            let params = AntijamParams {
+                jammer_mode: mode,
+                ..AntijamParams::default()
+            };
+            let (mdp, q, _) = solve_threshold(params);
+            assert_eq!(check_lemma_iii2(&mdp, &q), None, "{mode:?}");
+            assert_eq!(check_lemma_iii3(&mdp, &q), None, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn lemmas_hold_across_sweep_cycles() {
+        for cycle in [2usize, 3, 4, 8, 16] {
+            let (mdp, q, _) = solve_threshold(AntijamParams {
+                sweep_cycle: cycle,
+                ..base()
+            });
+            assert_eq!(check_lemma_iii2(&mdp, &q), None, "cycle {cycle}");
+            assert_eq!(check_lemma_iii3(&mdp, &q), None, "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn optimal_policy_is_threshold_everywhere_we_look() {
+        for l_j in [10.0, 40.0, 70.0, 100.0, 200.0] {
+            for l_h in [0.0, 25.0, 50.0, 100.0] {
+                let (mdp, q, _) = solve_threshold(AntijamParams {
+                    l_j,
+                    l_h,
+                    ..base()
+                });
+                assert!(
+                    check_threshold_structure(&mdp, &q),
+                    "not a threshold policy at L_J={l_j}, L_H={l_h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_decreases_with_lj() {
+        let ts = thresholds_vs_lj(&base(), &[10.0, 30.0, 60.0, 100.0, 300.0, 1000.0]);
+        for w in ts.windows(2) {
+            assert!(w[1] <= w[0], "threshold rose with L_J: {ts:?}");
+        }
+        // And the effect is real: very small L_J tolerates jamming, very
+        // large L_J hops immediately.
+        assert!(ts.first().unwrap() > ts.last().unwrap(), "{ts:?}");
+    }
+
+    #[test]
+    fn threshold_increases_with_lh() {
+        let ts = thresholds_vs_lh(&base(), &[0.0, 10.0, 50.0, 150.0, 400.0]);
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0], "threshold fell with L_H: {ts:?}");
+        }
+        assert!(ts.last().unwrap() > ts.first().unwrap(), "{ts:?}");
+    }
+
+    #[test]
+    fn threshold_increases_with_sweep_cycle() {
+        let ts = thresholds_vs_sweep_cycle(&base(), &[2, 4, 8, 16]);
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0], "threshold fell with sweep cycle: {ts:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_cases_of_theorem_iii4() {
+        // Huge L_H: never worth hopping → n* = ⌈K/m⌉ (the "stay" extreme).
+        let (_, _, t) = solve_threshold(AntijamParams {
+            l_h: 1.0e6,
+            ..base()
+        });
+        assert_eq!(t, 4);
+        // Zero L_H and huge L_J: hop immediately → n* = 1.
+        let (_, _, t) = solve_threshold(AntijamParams {
+            l_h: 0.0,
+            l_j: 1.0e5,
+            ..base()
+        });
+        assert_eq!(t, 1);
+    }
+}

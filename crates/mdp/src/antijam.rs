@@ -1,0 +1,539 @@
+//! The anti-jamming MDP of paper §III.A (Eqs. 3–14).
+//!
+//! **States** (Eq. 3): `X = {1, …, ⌈K/m⌉−1, TJ, J}` where `n` counts
+//! consecutive successful slots on the current channel, `TJ` means jammed
+//! but surviving (jammer power lost the comparison), and `J` means jammed.
+//!
+//! **Actions** (Eq. 4): `{stay, hop} × {p₁ … p_M}` — frequency hopping
+//! jointly with transmit power control.
+//!
+//! **Rewards** (Eq. 5): a loss `L_p` for the chosen power, plus `L_J` when
+//! the next state is `J`, plus `L_H` when the action hops.
+//!
+//! **Transitions** (Eqs. 6–14): staying on a channel the jammer has not
+//! found for `n` slots carries the sweep hazard `1/(⌈K/m⌉−n)`; hopping
+//! resets the counter but can land on the jammer's current sweep position
+//! with probability `(⌈K/m⌉−n−1)/((⌈K/m⌉−1)(⌈K/m⌉−n))`; from `TJ`/`J`
+//! hopping always escapes (Eq. 14) while staying keeps the power duel
+//! (Eqs. 12–13).
+
+use crate::mdp::{MdpBuilder, TabularMdp};
+use std::fmt;
+
+/// How the jammer selects its power each slot (paper §II.C.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JammerMode {
+    /// High-performance mode: always the largest power level.
+    #[default]
+    MaxPower,
+    /// Hidden mode: uniformly random power level.
+    RandomPower,
+}
+
+/// Parameters of the anti-jamming MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AntijamParams {
+    /// Sweep cycle `⌈K/m⌉`: slots the jammer needs to scan all channels.
+    pub sweep_cycle: usize,
+    /// Tx power levels; each value is both the power and its loss
+    /// `L_{p_i}` (paper §IV.A.1 uses `L^T_{p_i} ∈ [6, 15]`).
+    pub tx_powers: Vec<f64>,
+    /// Jammer power levels (`L^J_{p_i} ∈ [11, 20]` in the paper).
+    pub jx_powers: Vec<f64>,
+    /// Loss of a frequency hop, `L_H`.
+    pub l_h: f64,
+    /// Loss of being successfully jammed, `L_J`.
+    pub l_j: f64,
+    /// Jammer power-selection mode.
+    pub jammer_mode: JammerMode,
+}
+
+impl Default for AntijamParams {
+    /// The paper's simulation setting: sweep cycle 4, ten Tx levels
+    /// `6..=15`, ten Jx levels `11..=20`, `L_H = 50`, `L_J = 100`.
+    fn default() -> Self {
+        AntijamParams {
+            sweep_cycle: 4,
+            tx_powers: (6..=15).map(f64::from).collect(),
+            jx_powers: (11..=20).map(f64::from).collect(),
+            l_h: 50.0,
+            l_j: 100.0,
+            jammer_mode: JammerMode::MaxPower,
+        }
+    }
+}
+
+impl AntijamParams {
+    /// Shifts the Tx power range to `[lower, lower + count − 1]` — the
+    /// Fig. 6(d)/7(g,h)/8(g,h) sweep over the lower bound of `L_{p_i}`.
+    #[must_use]
+    pub fn with_tx_lower_bound(mut self, lower: i64) -> Self {
+        let count = self.tx_powers.len() as i64;
+        self.tx_powers = (lower..lower + count).map(|v| v as f64).collect();
+        self
+    }
+}
+
+/// A state of the anti-jamming MDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum State {
+    /// `n` consecutive successful slots on the current channel
+    /// (`1 ≤ n ≤ ⌈K/m⌉ − 1`).
+    Safe(usize),
+    /// Jammed unsuccessfully (`TJ`): the Tx power won the duel.
+    JammedUnsuccessfully,
+    /// Jammed (`J`): transmission lost.
+    Jammed,
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            State::Safe(n) => write!(f, "n={n}"),
+            State::JammedUnsuccessfully => write!(f, "TJ"),
+            State::Jammed => write!(f, "J"),
+        }
+    }
+}
+
+/// An action of the anti-jamming MDP: hop or stay, with a power level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Action {
+    /// `true` = hop to a new channel, `false` = stay.
+    pub hop: bool,
+    /// Index into [`AntijamParams::tx_powers`].
+    pub power: usize,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, p{})", if self.hop { "h" } else { "s" }, self.power)
+    }
+}
+
+/// The anti-jamming MDP: parameters plus the validated tabular form.
+#[derive(Debug, Clone)]
+pub struct AntijamMdp {
+    params: AntijamParams,
+    tabular: TabularMdp,
+}
+
+impl AntijamMdp {
+    /// Builds the MDP from parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sweep_cycle < 2`, either power list is empty, or the
+    /// losses are negative — such instances are outside the paper's model.
+    pub fn new(params: AntijamParams) -> Self {
+        assert!(params.sweep_cycle >= 2, "sweep cycle must be at least 2");
+        assert!(!params.tx_powers.is_empty(), "need at least one Tx power level");
+        assert!(!params.jx_powers.is_empty(), "need at least one Jx power level");
+        assert!(params.l_h >= 0.0 && params.l_j >= 0.0, "losses must be nonnegative");
+
+        let tabular = build_tabular(&params);
+        AntijamMdp { params, tabular }
+    }
+
+    /// The parameters this instance was built from.
+    pub fn params(&self) -> &AntijamParams {
+        &self.params
+    }
+
+    /// The validated tabular MDP (feed this to the solvers).
+    pub fn tabular(&self) -> &TabularMdp {
+        &self.tabular
+    }
+
+    /// Sweep cycle `⌈K/m⌉`.
+    pub fn sweep_cycle(&self) -> usize {
+        self.params.sweep_cycle
+    }
+
+    /// Number of distinct `n` states (`⌈K/m⌉ − 1`).
+    pub fn num_safe_states(&self) -> usize {
+        self.params.sweep_cycle - 1
+    }
+
+    /// Number of power levels `M`.
+    pub fn num_powers(&self) -> usize {
+        self.params.tx_powers.len()
+    }
+
+    /// Probability that Tx power level `i` survives a jamming attempt —
+    /// the `P(p^T_i > τ)` of Eqs. (7)–(13), with the paper's convention
+    /// that the transmission succeeds when `L^T ≥ L^J`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn win_probability(&self, i: usize) -> f64 {
+        let tx = self.params.tx_powers[i];
+        match self.params.jammer_mode {
+            JammerMode::MaxPower => {
+                let tau = self
+                    .params
+                    .jx_powers
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if tx >= tau {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            JammerMode::RandomPower => {
+                let wins = self.params.jx_powers.iter().filter(|&&j| tx >= j).count();
+                wins as f64 / self.params.jx_powers.len() as f64
+            }
+        }
+    }
+
+    /// Maps a [`State`] to its tabular index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Safe(n)` with `n` outside `1..=⌈K/m⌉−1`.
+    pub fn state_index(&self, state: State) -> usize {
+        match state {
+            State::Safe(n) => {
+                assert!(
+                    (1..=self.num_safe_states()).contains(&n),
+                    "safe state n={n} out of range 1..={}",
+                    self.num_safe_states()
+                );
+                n - 1
+            }
+            State::JammedUnsuccessfully => self.num_safe_states(),
+            State::Jammed => self.num_safe_states() + 1,
+        }
+    }
+
+    /// Inverse of [`AntijamMdp::state_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range index.
+    pub fn state_of(&self, index: usize) -> State {
+        let safe = self.num_safe_states();
+        if index < safe {
+            State::Safe(index + 1)
+        } else if index == safe {
+            State::JammedUnsuccessfully
+        } else if index == safe + 1 {
+            State::Jammed
+        } else {
+            panic!("state index {index} out of range");
+        }
+    }
+
+    /// Maps an [`Action`] to its tabular index
+    /// (`hop·M + power`, `M` = number of power levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power index is out of range.
+    pub fn action_index(&self, action: Action) -> usize {
+        assert!(action.power < self.num_powers(), "power index out of range");
+        usize::from(action.hop) * self.num_powers() + action.power
+    }
+
+    /// Inverse of [`AntijamMdp::action_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range index.
+    pub fn action_of(&self, index: usize) -> Action {
+        assert!(index < 2 * self.num_powers(), "action index {index} out of range");
+        Action {
+            hop: index >= self.num_powers(),
+            power: index % self.num_powers(),
+        }
+    }
+
+    /// Expected immediate reward `E[U(x, a)]` — Eq. (23)/(24) closed form,
+    /// via the tabular expectation.
+    pub fn expected_reward(&self, state: State, action: Action) -> f64 {
+        self.tabular
+            .expected_reward(self.state_index(state), self.action_index(action))
+    }
+}
+
+/// Builds the tabular transition/reward structure per Eqs. (5)–(14).
+fn build_tabular(params: &AntijamParams) -> TabularMdp {
+    let n_cap = params.sweep_cycle; // ⌈K/m⌉, written N below.
+    let safe = n_cap - 1;
+    let num_states = safe + 2;
+    let m = params.tx_powers.len();
+    let num_actions = 2 * m;
+    let tj = safe;
+    let j = safe + 1;
+
+    let win = |i: usize| -> f64 {
+        let tx = params.tx_powers[i];
+        match params.jammer_mode {
+            JammerMode::MaxPower => {
+                let tau = params
+                    .jx_powers
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if tx >= tau {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            JammerMode::RandomPower => {
+                params.jx_powers.iter().filter(|&&jx| tx >= jx).count() as f64
+                    / params.jx_powers.len() as f64
+            }
+        }
+    };
+
+    let mut b = MdpBuilder::new(num_states, num_actions);
+    for i in 0..m {
+        let l_p = params.tx_powers[i];
+        let p_win = win(i);
+        let stay = i;
+        let hop = m + i;
+
+        // Safe states n = 1..=N−1 (Eqs. 6–11).
+        for n in 1..=safe {
+            let s = n - 1;
+            let hazard = 1.0 / (n_cap - n) as f64; // 1/(⌈K/m⌉ − n)
+
+            // (s, p_i): Eq. 6 survival, Eqs. 7–8 jam split.
+            let survive = 1.0 - hazard;
+            if n < safe {
+                b = b.transition(s, stay, n, survive, -l_p); // to n+1
+            } else if survive > 0.0 {
+                // n = N−1: survival probability is exactly 0 by Eq. 6.
+                unreachable!("survival mass must vanish at n = N-1");
+            }
+            b = b
+                .transition(s, stay, tj, hazard * p_win, -l_p)
+                .transition(s, stay, j, hazard * (1.0 - p_win), -l_p - params.l_j);
+
+            // (h, p_i): Eqs. 9–11 — hopping can land on the sweep.
+            let land_on_jammer =
+                (n_cap - n - 1) as f64 / (((n_cap - 1) * (n_cap - n)) as f64);
+            b = b
+                .transition(s, hop, 0, 1.0 - land_on_jammer, -l_p - params.l_h)
+                .transition(s, hop, tj, land_on_jammer * p_win, -l_p - params.l_h)
+                .transition(
+                    s,
+                    hop,
+                    j,
+                    land_on_jammer * (1.0 - p_win),
+                    -l_p - params.l_h - params.l_j,
+                );
+        }
+
+        // TJ and J (Eqs. 12–14): the jammer has locked on.
+        for &s in &[tj, j] {
+            b = b
+                .transition(s, stay, tj, p_win, -l_p)
+                .transition(s, stay, j, 1.0 - p_win, -l_p - params.l_j)
+                .transition(s, hop, 0, 1.0, -l_p - params.l_h);
+        }
+    }
+    b.build().expect("anti-jamming MDP construction is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_mdp() -> AntijamMdp {
+        AntijamMdp::new(AntijamParams::default())
+    }
+
+    #[test]
+    fn state_space_matches_eq_3() {
+        let mdp = default_mdp();
+        // ⌈K/m⌉ = 4 → states {1, 2, 3, TJ, J}.
+        assert_eq!(mdp.tabular().num_states(), 5);
+        assert_eq!(mdp.num_safe_states(), 3);
+        assert_eq!(mdp.state_of(0), State::Safe(1));
+        assert_eq!(mdp.state_of(2), State::Safe(3));
+        assert_eq!(mdp.state_of(3), State::JammedUnsuccessfully);
+        assert_eq!(mdp.state_of(4), State::Jammed);
+    }
+
+    #[test]
+    fn action_space_matches_eq_4() {
+        let mdp = default_mdp();
+        assert_eq!(mdp.tabular().num_actions(), 20);
+        for idx in 0..20 {
+            let a = mdp.action_of(idx);
+            assert_eq!(mdp.action_index(a), idx);
+        }
+        assert!(!mdp.action_of(0).hop);
+        assert!(mdp.action_of(10).hop);
+    }
+
+    #[test]
+    fn state_index_roundtrip() {
+        let mdp = default_mdp();
+        for idx in 0..5 {
+            assert_eq!(mdp.state_index(mdp.state_of(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn transition_probabilities_match_eq_6_to_8() {
+        let mdp = default_mdp();
+        let t = mdp.tabular();
+        // From n=1 staying: survive to n=2 with 1 − 1/(4−1) = 2/3.
+        let s = mdp.state_index(State::Safe(1));
+        let a = mdp.action_index(Action { hop: false, power: 0 });
+        let transitions = t.transitions(s, a);
+        let survive = transitions
+            .iter()
+            .find(|tr| tr.next == mdp.state_index(State::Safe(2)))
+            .unwrap();
+        assert!((survive.prob - 2.0 / 3.0).abs() < 1e-12);
+        // Max-power jammer, weakest Tx power: always jammed on hit.
+        let jammed = transitions
+            .iter()
+            .find(|tr| tr.next == mdp.state_index(State::Jammed))
+            .unwrap();
+        assert!((jammed.prob - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_landing_probability_matches_eq_9() {
+        let mdp = default_mdp();
+        let t = mdp.tabular();
+        // From n=1 hopping: land on jammer with (4−1−1)/((4−1)(4−1)) = 2/9.
+        let s = mdp.state_index(State::Safe(1));
+        let a = mdp.action_index(Action { hop: true, power: 0 });
+        let to_one: f64 = t
+            .transitions(s, a)
+            .iter()
+            .filter(|tr| tr.next == mdp.state_index(State::Safe(1)))
+            .map(|tr| tr.prob)
+            .sum();
+        assert!((to_one - (1.0 - 2.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_from_jammed_always_escapes_eq_14() {
+        let mdp = default_mdp();
+        let t = mdp.tabular();
+        for state in [State::JammedUnsuccessfully, State::Jammed] {
+            let s = mdp.state_index(state);
+            for p in 0..mdp.num_powers() {
+                let a = mdp.action_index(Action { hop: true, power: p });
+                let transitions = t.transitions(s, a);
+                assert_eq!(transitions.len(), 1);
+                assert_eq!(transitions[0].next, mdp.state_index(State::Safe(1)));
+                assert!((transitions[0].prob - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn win_probability_max_mode() {
+        let mdp = default_mdp();
+        // Tx max is 15, Jx max is 20: the Tx can never win.
+        for i in 0..mdp.num_powers() {
+            assert_eq!(mdp.win_probability(i), 0.0);
+        }
+        // Raise the Tx range so its top level matches the Jx max.
+        let strong = AntijamMdp::new(AntijamParams::default().with_tx_lower_bound(11));
+        assert_eq!(strong.win_probability(9), 1.0); // 20 ≥ 20
+        assert_eq!(strong.win_probability(8), 0.0); // 19 < 20
+    }
+
+    #[test]
+    fn win_probability_random_mode() {
+        let params = AntijamParams {
+            jammer_mode: JammerMode::RandomPower,
+            ..AntijamParams::default()
+        };
+        let mdp = AntijamMdp::new(params);
+        // Tx power 15 beats Jx powers 11..=15 → 5 of 10.
+        assert!((mdp.win_probability(9) - 0.5).abs() < 1e-12);
+        // Tx power 6 beats none.
+        assert_eq!(mdp.win_probability(0), 0.0);
+    }
+
+    #[test]
+    fn rewards_match_eq_5() {
+        let mdp = default_mdp();
+        let t = mdp.tabular();
+        let s = mdp.state_index(State::Jammed);
+        let p = 3;
+        let l_p = mdp.params().tx_powers[p];
+        // Stay from J with p_win = 0: goes to J with reward −L_p − L_J.
+        let a = mdp.action_index(Action { hop: false, power: p });
+        let tr = &t.transitions(s, a)[0];
+        assert_eq!(tr.next, mdp.state_index(State::Jammed));
+        assert!((tr.reward - (-l_p - 100.0)).abs() < 1e-12);
+        // Hop from J: reward −L_p − L_H.
+        let a = mdp.action_index(Action { hop: true, power: p });
+        let tr = &t.transitions(s, a)[0];
+        assert!((tr.reward - (-l_p - 50.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_reward_matches_eq_23() {
+        // E[U(n, (s, p))] = −L_p − L_J · P(lose)/(⌈K/m⌉ − n).
+        let mdp = default_mdp();
+        for n in 1..=3usize {
+            for p in 0..10 {
+                let expect = -mdp.params().tx_powers[p]
+                    - 100.0 * (1.0 - mdp.win_probability(p)) / (4 - n) as f64;
+                let got = mdp.expected_reward(State::Safe(n), Action { hop: false, power: p });
+                assert!((got - expect).abs() < 1e-9, "n={n} p={p}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_reward_matches_eq_24() {
+        // E[U(n, (h, p))] = −L_p − L_H − L_J·P(lose)·(N−n−1)/((N−1)(N−n)).
+        let mdp = default_mdp();
+        for n in 1..=3usize {
+            for p in 0..10 {
+                let land = (4 - n - 1) as f64 / ((3 * (4 - n)) as f64);
+                let expect = -mdp.params().tx_powers[p]
+                    - 50.0
+                    - 100.0 * (1.0 - mdp.win_probability(p)) * land;
+                let got = mdp.expected_reward(State::Safe(n), Action { hop: true, power: p });
+                assert!((got - expect).abs() < 1e-9, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_sweep_cycles_build() {
+        for cycle in 2..=16 {
+            let mdp = AntijamMdp::new(AntijamParams {
+                sweep_cycle: cycle,
+                ..AntijamParams::default()
+            });
+            assert_eq!(mdp.tabular().num_states(), cycle + 1);
+        }
+    }
+
+    #[test]
+    fn tx_lower_bound_shifts_range() {
+        let p = AntijamParams::default().with_tx_lower_bound(12);
+        assert_eq!(p.tx_powers.first().copied(), Some(12.0));
+        assert_eq!(p.tx_powers.last().copied(), Some(21.0));
+        assert_eq!(p.tx_powers.len(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sweep_cycle_one_rejected() {
+        AntijamMdp::new(AntijamParams {
+            sweep_cycle: 1,
+            ..AntijamParams::default()
+        });
+    }
+}

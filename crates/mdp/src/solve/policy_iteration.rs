@@ -1,0 +1,141 @@
+//! Policy iteration (Howard's algorithm): alternate exact-ish policy
+//! evaluation with greedy improvement until the policy is stable.
+
+use crate::mdp::TabularMdp;
+use crate::solve::Solution;
+
+/// Solves `mdp` by policy iteration.
+///
+/// Policy evaluation runs iteratively to `eval_tolerance`; improvement is
+/// the greedy step. Terminates when the policy stops changing or after
+/// `max_improvements` rounds.
+///
+/// # Panics
+///
+/// Panics if `gamma` is outside `[0, 1)` or `eval_tolerance` is not
+/// positive.
+#[allow(clippy::needless_range_loop)] // state index drives q_value lookups
+pub fn policy_iteration(
+    mdp: &TabularMdp,
+    gamma: f64,
+    eval_tolerance: f64,
+    max_improvements: usize,
+) -> Solution {
+    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1), got {gamma}");
+    assert!(eval_tolerance > 0.0, "tolerance must be positive");
+
+    let mut policy = vec![0usize; mdp.num_states()];
+    let mut v = vec![0.0; mdp.num_states()];
+    let mut rounds = 0;
+
+    for _ in 0..max_improvements {
+        rounds += 1;
+        // Policy evaluation.
+        loop {
+            let mut delta = 0.0f64;
+            for s in 0..mdp.num_states() {
+                let new = mdp.q_value(gamma, &v, s, policy[s]);
+                delta = delta.max((new - v[s]).abs());
+                v[s] = new;
+            }
+            if delta < eval_tolerance {
+                break;
+            }
+        }
+        // Greedy improvement.
+        let mut stable = true;
+        for s in 0..mdp.num_states() {
+            let (best_a, _) = (0..mdp.num_actions())
+                .map(|a| (a, mdp.q_value(gamma, &v, s, a)))
+                .fold((0, f64::NEG_INFINITY), |acc, cand| {
+                    if cand.1 > acc.1 {
+                        cand
+                    } else {
+                        acc
+                    }
+                });
+            if best_a != policy[s] {
+                policy[s] = best_a;
+                stable = false;
+            }
+        }
+        if stable {
+            break;
+        }
+    }
+    let residual = {
+        let mut out = vec![0.0; mdp.num_states()];
+        mdp.bellman_backup(gamma, &v, &mut out)
+    };
+    Solution::from_values(mdp, gamma, v, rounds, residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use crate::solve::value_iteration::value_iteration;
+
+    fn random_ish_mdp(states: usize, actions: usize, seed: u64) -> TabularMdp {
+        // Deterministic pseudo-random MDP without pulling in rand here.
+        let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut nextf = move || {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((x >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        let mut b = MdpBuilder::new(states, actions);
+        for s in 0..states {
+            for a in 0..actions {
+                // Two-target distribution.
+                let t1 = (s + a + 1) % states;
+                let t2 = (s * 7 + a * 3 + 2) % states;
+                let p = 0.3 + 0.4 * (nextf() % 1.0).abs().min(1.0);
+                let r1 = nextf() * 10.0 - 5.0;
+                let r2 = nextf() * 10.0 - 5.0;
+                if t1 == t2 {
+                    b = b.transition(s, a, t1, 1.0, r1);
+                } else {
+                    b = b.transition(s, a, t1, p, r1).transition(s, a, t2, 1.0 - p, r2);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_value_iteration() {
+        for seed in 0..5u64 {
+            let mdp = random_ish_mdp(8, 3, seed);
+            let vi = value_iteration(&mdp, 0.9, 1e-12, 100_000);
+            let pi = policy_iteration(&mdp, 0.9, 1e-12, 1_000);
+            for s in 0..8 {
+                assert!(
+                    (vi.v[s] - pi.v[s]).abs() < 1e-6,
+                    "seed {seed} state {s}: {} vs {}",
+                    vi.v[s],
+                    pi.v[s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policies_achieve_equal_value_even_when_tied() {
+        let mdp = random_ish_mdp(6, 4, 99);
+        let vi = value_iteration(&mdp, 0.85, 1e-12, 100_000);
+        let pi = policy_iteration(&mdp, 0.85, 1e-12, 1_000);
+        // Policies may differ on ties; their Q-values must match.
+        for s in 0..6 {
+            let qa = vi.q[s][pi.policy[s]];
+            let qb = vi.q[s][vi.policy[s]];
+            assert!((qa - qb).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn converges_in_few_rounds() {
+        let mdp = random_ish_mdp(10, 3, 7);
+        let pi = policy_iteration(&mdp, 0.9, 1e-12, 1_000);
+        assert!(pi.iterations <= 20, "took {} rounds", pi.iterations);
+    }
+}

@@ -1,0 +1,181 @@
+//! Tabular Q-learning on a sampled model.
+//!
+//! The paper jumps from the exact MDP solution to a DQN because the Tx
+//! cannot observe its true state; tabular Q-learning is the intermediate
+//! point — model-free like the DQN, exact-state like the MDP — and serves
+//! as a correctness oracle for both.
+
+use crate::mdp::TabularMdp;
+use rand::Rng;
+
+/// Q-learning hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QLearningConfig {
+    /// Discount factor `γ`.
+    pub gamma: f64,
+    /// Learning rate `α`.
+    pub alpha: f64,
+    /// Exploration rate `ε` (ε-greedy).
+    pub epsilon: f64,
+    /// Number of environment steps.
+    pub steps: usize,
+}
+
+impl Default for QLearningConfig {
+    fn default() -> Self {
+        QLearningConfig {
+            gamma: 0.9,
+            alpha: 0.1,
+            epsilon: 0.2,
+            steps: 200_000,
+        }
+    }
+}
+
+/// Samples a transition of `mdp` from `(state, action)`.
+///
+/// Returns `(next_state, reward)`.
+pub fn sample_transition<R: Rng + ?Sized>(
+    mdp: &TabularMdp,
+    state: usize,
+    action: usize,
+    rng: &mut R,
+) -> (usize, f64) {
+    let mut u: f64 = rng.gen_range(0.0..1.0);
+    let transitions = mdp.transitions(state, action);
+    for t in transitions {
+        if u < t.prob {
+            return (t.next, t.reward);
+        }
+        u -= t.prob;
+    }
+    let last = transitions.last().expect("validated mdp has transitions");
+    (last.next, last.reward)
+}
+
+/// Runs ε-greedy tabular Q-learning over a continuing task on `mdp`,
+/// returning the learned Q table.
+///
+/// # Panics
+///
+/// Panics if `config.gamma` is outside `[0, 1)`.
+pub fn q_learning<R: Rng + ?Sized>(
+    mdp: &TabularMdp,
+    config: &QLearningConfig,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    assert!(
+        (0.0..1.0).contains(&config.gamma),
+        "gamma must be in [0,1), got {}",
+        config.gamma
+    );
+    let mut q = vec![vec![0.0f64; mdp.num_actions()]; mdp.num_states()];
+    let mut state = 0usize;
+    for _ in 0..config.steps {
+        let action = if rng.gen_bool(config.epsilon) {
+            rng.gen_range(0..mdp.num_actions())
+        } else {
+            argmax(&q[state])
+        };
+        let (next, reward) = sample_transition(mdp, state, action, rng);
+        let target = reward + config.gamma * q[next].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        q[state][action] += config.alpha * (target - q[state][action]);
+        state = next;
+    }
+    q
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q values"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use crate::solve::value_iteration::value_iteration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> TabularMdp {
+        // Two states; action 1 in state 0 pays off by moving to state 1
+        // where action 0 yields reward 2 and stays.
+        MdpBuilder::new(2, 2)
+            .transition(0, 0, 0, 1.0, 0.0)
+            .transition(0, 1, 1, 1.0, 0.0)
+            .transition(1, 0, 1, 1.0, 2.0)
+            .transition(1, 1, 0, 1.0, 0.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn learns_the_optimal_policy() {
+        let mdp = chain();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = q_learning(&mdp, &QLearningConfig::default(), &mut rng);
+        assert!(q[0][1] > q[0][0], "should hop to the rewarding state");
+        assert!(q[1][0] > q[1][1], "should stay on the rewarding state");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (s, a) index the Q tables
+    fn q_values_approach_value_iteration() {
+        let mdp = chain();
+        let exact = value_iteration(&mdp, 0.9, 1e-12, 100_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = QLearningConfig {
+            steps: 400_000,
+            alpha: 0.05,
+            ..QLearningConfig::default()
+        };
+        let q = q_learning(&mdp, &config, &mut rng);
+        for s in 0..2 {
+            for a in 0..2 {
+                assert!(
+                    (q[s][a] - exact.q[s][a]).abs() < 0.5,
+                    "Q[{s}][{a}] = {} vs exact {}",
+                    q[s][a],
+                    exact.q[s][a]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mdp = MdpBuilder::new(2, 1)
+            .transition(0, 0, 0, 0.25, 0.0)
+            .transition(0, 0, 1, 0.75, 1.0)
+            .transition(1, 0, 1, 1.0, 0.0)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40_000;
+        let ones = (0..n)
+            .filter(|_| sample_transition(&mdp, 0, 0, &mut rng).0 == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_gamma_rejected() {
+        let mdp = chain();
+        let mut rng = StdRng::seed_from_u64(0);
+        q_learning(
+            &mdp,
+            &QLearningConfig {
+                gamma: 1.0,
+                ..QLearningConfig::default()
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Value iteration: repeated application of the Bellman optimality
+//! operator (Eq. 20), which Theorem III.1 shows is a `γ`-contraction with
+//! a unique fixed point `V*`.
+
+use crate::mdp::TabularMdp;
+use crate::solve::Solution;
+
+/// Solves `mdp` by value iteration.
+///
+/// Iterates until the max-norm residual drops below `tolerance` or
+/// `max_iterations` sweeps have run, then extracts `Q*` and the greedy
+/// policy (Eq. 19).
+///
+/// # Panics
+///
+/// Panics if `gamma` is outside `[0, 1)` or `tolerance` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_mdp::mdp::MdpBuilder;
+/// use ctjam_mdp::solve::value_iteration::value_iteration;
+///
+/// // One state, two actions: reward 0 vs reward 1. The optimal value is
+/// // the discounted sum of always taking the better action: 1/(1−γ).
+/// let mdp = MdpBuilder::new(1, 2)
+///     .transition(0, 0, 0, 1.0, 0.0)
+///     .transition(0, 1, 0, 1.0, 1.0)
+///     .build()
+///     .unwrap();
+/// let sol = value_iteration(&mdp, 0.5, 1e-12, 1_000);
+/// assert!((sol.v[0] - 2.0).abs() < 1e-9);
+/// assert_eq!(sol.policy, vec![1]);
+/// ```
+pub fn value_iteration(
+    mdp: &TabularMdp,
+    gamma: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Solution {
+    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1), got {gamma}");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut v = vec![0.0; mdp.num_states()];
+    let mut next = vec![0.0; mdp.num_states()];
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        residual = mdp.bellman_backup(gamma, &v, &mut next);
+        std::mem::swap(&mut v, &mut next);
+        iterations += 1;
+        if residual < tolerance {
+            break;
+        }
+    }
+    Solution::from_values(mdp, gamma, v, iterations, residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+
+    /// A 3-state corridor: move right (action 1) to reach the terminal
+    /// reward, or stay (action 0) for nothing.
+    fn corridor() -> TabularMdp {
+        MdpBuilder::new(3, 2)
+            .transition(0, 0, 0, 1.0, 0.0)
+            .transition(0, 1, 1, 1.0, 0.0)
+            .transition(1, 0, 1, 1.0, 0.0)
+            .transition(1, 1, 2, 1.0, 10.0)
+            .transition(2, 0, 2, 1.0, 0.0)
+            .transition(2, 1, 2, 1.0, 0.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn corridor_values_and_policy() {
+        let sol = value_iteration(&corridor(), 0.9, 1e-12, 10_000);
+        // V(1) = 10, V(0) = 0.9·10 = 9, V(2) = 0.
+        assert!((sol.v[1] - 10.0).abs() < 1e-8);
+        assert!((sol.v[0] - 9.0).abs() < 1e-8);
+        assert!(sol.v[2].abs() < 1e-8);
+        assert_eq!(sol.policy[0], 1);
+        assert_eq!(sol.policy[1], 1);
+    }
+
+    #[test]
+    fn residual_below_tolerance() {
+        let sol = value_iteration(&corridor(), 0.9, 1e-10, 10_000);
+        assert!(sol.residual < 1e-10);
+        assert!(sol.iterations < 10_000);
+    }
+
+    #[test]
+    fn convergence_is_geometric() {
+        // Banach: the residual sequence decays at least like γ^k.
+        let mdp = corridor();
+        let gamma = 0.8;
+        let mut v = vec![0.0; 3];
+        let mut next = vec![0.0; 3];
+        let mut residuals = Vec::new();
+        for _ in 0..30 {
+            residuals.push(mdp.bellman_backup(gamma, &v, &mut next));
+            std::mem::swap(&mut v, &mut next);
+        }
+        for w in residuals.windows(2) {
+            if w[0] > 1e-12 {
+                assert!(
+                    w[1] <= gamma * w[0] + 1e-9,
+                    "residual did not contract: {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q_is_consistent_with_v() {
+        let sol = value_iteration(&corridor(), 0.9, 1e-12, 10_000);
+        for s in 0..3 {
+            let max_q = sol.q[s].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!((max_q - sol.v[s]).abs() < 1e-7, "state {s}");
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let sol = value_iteration(&corridor(), 0.99, 1e-15, 3);
+        assert_eq!(sol.iterations, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gamma_one_rejected() {
+        value_iteration(&corridor(), 1.0, 1e-9, 10);
+    }
+}

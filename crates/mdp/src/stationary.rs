@@ -1,0 +1,195 @@
+//! Stationary analysis of the chain a fixed policy induces on the MDP.
+//!
+//! Once a policy is fixed, the anti-jamming MDP becomes a Markov chain;
+//! its stationary distribution predicts long-run quantities like the
+//! success rate of transmission *analytically* — a closed-form
+//! cross-check for the 20 000-slot simulations (§IV.A.1) that the
+//! integration tests exploit.
+
+use crate::antijam::{AntijamMdp, State};
+use crate::mdp::TabularMdp;
+
+/// The row-stochastic transition matrix induced by `policy` on `mdp`
+/// (`matrix[s][s′] = P(s′ | s, policy[s])`).
+///
+/// # Panics
+///
+/// Panics if `policy.len()` differs from the state count or any action
+/// index is out of range.
+pub fn induced_chain(mdp: &TabularMdp, policy: &[usize]) -> Vec<Vec<f64>> {
+    assert_eq!(policy.len(), mdp.num_states(), "policy length mismatch");
+    let n = mdp.num_states();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (s, &a) in policy.iter().enumerate() {
+        assert!(a < mdp.num_actions(), "action {a} out of range");
+        for t in mdp.transitions(s, a) {
+            matrix[s][t.next] += t.prob;
+        }
+    }
+    matrix
+}
+
+/// The stationary distribution of a row-stochastic matrix by power
+/// iteration (the induced chains here are finite and aperiodic enough in
+/// practice; `iterations` bounds the work).
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or not square.
+pub fn stationary_distribution(matrix: &[Vec<f64>], iterations: usize) -> Vec<f64> {
+    let n = matrix.len();
+    assert!(n > 0, "empty chain");
+    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+    let mut dist = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|v| *v = 0.0);
+        for (s, &mass) in dist.iter().enumerate() {
+            for (t, &p) in matrix[s].iter().enumerate() {
+                next[t] += mass * p;
+            }
+        }
+        // Damping stabilizes periodic corner cases.
+        for (d, nx) in dist.iter_mut().zip(&next) {
+            *d = 0.5 * *d + 0.5 * nx;
+        }
+        let total: f64 = dist.iter().sum();
+        dist.iter_mut().for_each(|v| *v /= total);
+    }
+    dist
+}
+
+/// Long-run quantities of a fixed policy on the anti-jamming MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyStationary {
+    /// Stationary state distribution (indexed like the tabular MDP).
+    pub distribution: Vec<f64>,
+    /// Predicted success rate of transmission: in steady state, a slot
+    /// succeeds unless the *next* state is `J`, so this is
+    /// `1 − Σ_s π(s)·P(J | s, policy)`.
+    pub success_rate: f64,
+    /// Predicted adoption rate of frequency hopping.
+    pub fh_adoption_rate: f64,
+    /// Predicted mean Eq. (5) reward per slot.
+    pub mean_reward: f64,
+}
+
+/// Computes the stationary prediction for `policy` on the anti-jamming
+/// MDP.
+///
+/// # Panics
+///
+/// Panics on a mismatched policy (see [`induced_chain`]).
+pub fn analyze_policy(mdp: &AntijamMdp, policy: &[usize]) -> PolicyStationary {
+    let tabular = mdp.tabular();
+    let chain = induced_chain(tabular, policy);
+    let distribution = stationary_distribution(&chain, 10_000);
+
+    let j = mdp.state_index(State::Jammed);
+    let mut jam_flow = 0.0;
+    let mut fh = 0.0;
+    let mut reward = 0.0;
+    for (s, &pi) in distribution.iter().enumerate() {
+        let a = policy[s];
+        if mdp.action_of(a).hop {
+            fh += pi;
+        }
+        reward += pi * tabular.expected_reward(s, a);
+        jam_flow += pi
+            * tabular
+                .transitions(s, a)
+                .iter()
+                .filter(|t| t.next == j)
+                .map(|t| t.prob)
+                .sum::<f64>();
+    }
+    PolicyStationary {
+        distribution,
+        success_rate: 1.0 - jam_flow,
+        fh_adoption_rate: fh,
+        mean_reward: reward,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antijam::{Action, AntijamParams, JammerMode};
+    use crate::solve::value_iteration::value_iteration;
+
+    fn default_mdp(mode: JammerMode) -> AntijamMdp {
+        AntijamMdp::new(AntijamParams {
+            jammer_mode: mode,
+            ..AntijamParams::default()
+        })
+    }
+
+    fn always_hop_policy(mdp: &AntijamMdp) -> Vec<usize> {
+        let a = mdp.action_index(Action { hop: true, power: 0 });
+        vec![a; mdp.tabular().num_states()]
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one_and_is_fixed() {
+        let mdp = default_mdp(JammerMode::MaxPower);
+        let policy = always_hop_policy(&mdp);
+        let chain = induced_chain(mdp.tabular(), &policy);
+        let pi = stationary_distribution(&chain, 10_000);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // π·P = π.
+        for t in 0..pi.len() {
+            let flow: f64 = (0..pi.len()).map(|s| pi[s] * chain[s][t]).sum();
+            assert!((flow - pi[t]).abs() < 1e-6, "state {t}: {flow} vs {}", pi[t]);
+        }
+    }
+
+    #[test]
+    fn always_hop_success_rate_matches_hand_calculation() {
+        // From Safe(1) a hop is jammed w.p. 2/9 (max-power mode loses the
+        // duel); from TJ/J a hop always escapes (Eq. 14). Stationary:
+        // π(S1) = 9/11, π(J) = 2/11, ST = 1 − (9/11)(2/9) = 9/11.
+        let mdp = default_mdp(JammerMode::MaxPower);
+        let analysis = analyze_policy(&mdp, &always_hop_policy(&mdp));
+        assert!(
+            (analysis.success_rate - 9.0 / 11.0).abs() < 1e-6,
+            "ST = {}",
+            analysis.success_rate
+        );
+        assert!((analysis.fh_adoption_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_policy_beats_always_hop_in_mean_reward() {
+        let mdp = default_mdp(JammerMode::RandomPower);
+        let solution = value_iteration(mdp.tabular(), 0.9, 1e-10, 100_000);
+        let optimal = analyze_policy(&mdp, &solution.policy);
+        let naive = analyze_policy(&mdp, &always_hop_policy(&mdp));
+        assert!(
+            optimal.mean_reward > naive.mean_reward,
+            "optimal {} vs always-hop {}",
+            optimal.mean_reward,
+            naive.mean_reward
+        );
+    }
+
+    #[test]
+    fn always_stay_gets_pinned() {
+        // Staying forever in max-power mode: once jammed, stay jammed.
+        let mdp = default_mdp(JammerMode::MaxPower);
+        let a = mdp.action_index(Action { hop: false, power: 0 });
+        let policy = vec![a; mdp.tabular().num_states()];
+        let analysis = analyze_policy(&mdp, &policy);
+        assert!(
+            analysis.success_rate < 0.05,
+            "pinned ST should be ~0: {}",
+            analysis.success_rate
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_policy_rejected() {
+        let mdp = default_mdp(JammerMode::MaxPower);
+        analyze_policy(&mdp, &[0, 0]);
+    }
+}

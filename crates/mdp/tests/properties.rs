@@ -1,0 +1,82 @@
+//! Property-based tests: the paper's structural theorems should hold for
+//! *every* valid parameterization, not just the defaults.
+
+use ctjam_mdp::analysis::{
+    check_lemma_iii2, check_lemma_iii3, check_threshold_structure, solve_threshold,
+};
+use ctjam_mdp::antijam::{AntijamMdp, AntijamParams, JammerMode};
+use ctjam_mdp::solve::value_iteration::value_iteration;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = AntijamParams> {
+    (
+        2usize..10,            // sweep cycle
+        2usize..8,             // number of Tx power levels
+        1.0f64..20.0,          // Tx power lower bound
+        5.0f64..25.0,          // Jx power lower bound
+        0.0f64..150.0,         // L_H
+        0.0f64..300.0,         // L_J
+        prop::bool::ANY,       // jammer mode
+    )
+        .prop_map(|(cycle, m, tx_lo, jx_lo, l_h, l_j, random_mode)| AntijamParams {
+            sweep_cycle: cycle,
+            tx_powers: (0..m).map(|i| tx_lo + i as f64).collect(),
+            jx_powers: (0..10).map(|i| jx_lo + i as f64).collect(),
+            l_h,
+            l_j,
+            jammer_mode: if random_mode {
+                JammerMode::RandomPower
+            } else {
+                JammerMode::MaxPower
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transition_kernel_is_always_valid(params in arb_params()) {
+        // Construction validates distributions; just confirm it succeeds
+        // and probabilities stay in range.
+        let mdp = AntijamMdp::new(params);
+        let t = mdp.tabular();
+        for s in 0..t.num_states() {
+            for a in 0..t.num_actions() {
+                let mass: f64 = t.transitions(s, a).iter().map(|tr| tr.prob).sum();
+                prop_assert!((mass - 1.0).abs() < 1e-9);
+                for tr in t.transitions(s, a) {
+                    prop_assert!(tr.prob > 0.0 && tr.prob <= 1.0 + 1e-12);
+                    prop_assert!(tr.reward <= 0.0, "rewards are losses");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemmas_and_threshold_hold_generally(params in arb_params()) {
+        let (mdp, q, threshold) = solve_threshold(params);
+        prop_assert_eq!(check_lemma_iii2(&mdp, &q), None);
+        prop_assert_eq!(check_lemma_iii3(&mdp, &q), None);
+        prop_assert!(check_threshold_structure(&mdp, &q));
+        prop_assert!(threshold >= 1 && threshold <= mdp.sweep_cycle());
+    }
+
+    #[test]
+    fn value_iteration_is_stable_under_warm_start(params in arb_params()) {
+        // Banach uniqueness: starting from the converged V must stay put.
+        let mdp = AntijamMdp::new(params);
+        let sol = value_iteration(mdp.tabular(), 0.9, 1e-11, 100_000);
+        let mut out = vec![0.0; sol.v.len()];
+        let residual = mdp.tabular().bellman_backup(0.9, &sol.v, &mut out);
+        prop_assert!(residual < 1e-9, "fixed point moved by {residual}");
+    }
+
+    #[test]
+    fn win_probability_is_monotone_in_power(params in arb_params()) {
+        let mdp = AntijamMdp::new(params);
+        for i in 1..mdp.num_powers() {
+            prop_assert!(mdp.win_probability(i) >= mdp.win_probability(i - 1));
+        }
+    }
+}

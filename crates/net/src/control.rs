@@ -1,0 +1,176 @@
+//! The control-channel rendezvous protocol.
+//!
+//! §II.C.2 / §IV.A.2: "In the case when the hub cannot contact peripheral
+//! nodes using the current channel, we assume the existence of a control
+//! channel for negotiating the communication channel."
+//!
+//! This module makes that assumption concrete. A peripheral that missed
+//! an FH announcement (its channel was jammed, or it lost the polling
+//! frame) falls back to a duty-cycled listen schedule on the well-known
+//! control channel: it wakes every [`ControlChannel::check_interval_s`]
+//! and listens for [`ControlChannel::listen_window_s`]. The hub pages the
+//! missing node continuously; rendezvous completes at the first overlap
+//! of a page with a listen window, plus a fixed handshake.
+//!
+//! The distribution this produces — roughly `U(0, check_interval) +
+//! handshake` — is where the timing model's multi-second straggler
+//! recoveries (Fig. 9(b)'s outliers) come from.
+
+use rand::Rng;
+
+/// Control-channel rendezvous parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlChannel {
+    /// Period of the lost node's listen schedule, seconds.
+    pub check_interval_s: f64,
+    /// Length of each listen window, seconds.
+    pub listen_window_s: f64,
+    /// Duration of one hub page transmission, seconds.
+    pub page_duration_s: f64,
+    /// Fixed re-sync handshake once a page is heard, seconds.
+    pub handshake_s: f64,
+}
+
+impl Default for ControlChannel {
+    /// Defaults sized so the mean recovery matches the timing model's
+    /// `straggler_recovery_s ≈ 1.2 s`: a 2.2 s check interval gives a
+    /// ~1.1 s mean wait plus a ~0.1 s handshake.
+    fn default() -> Self {
+        ControlChannel {
+            check_interval_s: 2.2,
+            listen_window_s: 0.05,
+            page_duration_s: 0.01,
+            handshake_s: 0.1,
+        }
+    }
+}
+
+/// Outcome of one rendezvous.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rendezvous {
+    /// Wall-clock time from "node declared lost" to re-sync complete.
+    pub recovery_s: f64,
+    /// Pages the hub transmitted before being heard.
+    pub pages_sent: u64,
+}
+
+impl ControlChannel {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is non-positive or the listen window is
+    /// shorter than a page (the node could never hear a full page).
+    pub fn validate(&self) {
+        assert!(self.check_interval_s > 0.0, "check interval must be positive");
+        assert!(self.listen_window_s > 0.0, "listen window must be positive");
+        assert!(self.page_duration_s > 0.0, "page duration must be positive");
+        assert!(self.handshake_s >= 0.0, "handshake cannot be negative");
+        assert!(
+            self.listen_window_s >= self.page_duration_s,
+            "listen window must fit at least one page"
+        );
+    }
+
+    /// Simulates one rendezvous: the lost node's schedule has a uniformly
+    /// random phase relative to the moment the hub starts paging.
+    pub fn rendezvous<R: Rng + ?Sized>(&self, rng: &mut R) -> Rendezvous {
+        self.validate();
+        // The node's next listen window starts `phase` seconds from now.
+        let phase: f64 = rng.gen_range(0.0..self.check_interval_s);
+        // The hub pages back-to-back; the node hears the first page that
+        // fully fits inside its window. The window must contain one full
+        // page, which it does by validation, so the node syncs in its
+        // first window.
+        let heard_at = phase + self.page_duration_s;
+        let pages_sent = (heard_at / self.page_duration_s).ceil() as u64;
+        Rendezvous {
+            recovery_s: heard_at + self.handshake_s,
+            pages_sent,
+        }
+    }
+
+    /// Mean recovery time over `trials` simulated rendezvous.
+    pub fn mean_recovery_s<R: Rng + ?Sized>(&self, trials: usize, rng: &mut R) -> f64 {
+        if trials == 0 {
+            return 0.0;
+        }
+        (0..trials).map(|_| self.rendezvous(rng).recovery_s).sum::<f64>() / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovery_bounded_by_interval_plus_handshake() {
+        let cc = ControlChannel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2_000 {
+            let r = cc.rendezvous(&mut rng);
+            assert!(r.recovery_s >= cc.handshake_s);
+            assert!(
+                r.recovery_s <= cc.check_interval_s + cc.page_duration_s + cc.handshake_s,
+                "recovery {} exceeded the worst case",
+                r.recovery_s
+            );
+            assert!(r.pages_sent >= 1);
+        }
+    }
+
+    #[test]
+    fn mean_recovery_matches_the_timing_models_constant() {
+        // The defaults must justify straggler_recovery_s ≈ 1.2 s.
+        let cc = ControlChannel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean = cc.mean_recovery_s(20_000, &mut rng);
+        assert!(
+            (mean - 1.2).abs() < 0.05,
+            "mean recovery {mean} should sit near the 1.2 s constant"
+        );
+    }
+
+    #[test]
+    fn denser_listening_recovers_faster_but_costs_energy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lazy = ControlChannel::default();
+        let eager = ControlChannel {
+            check_interval_s: 0.4,
+            ..ControlChannel::default()
+        };
+        let lazy_mean = lazy.mean_recovery_s(5_000, &mut rng);
+        let eager_mean = eager.mean_recovery_s(5_000, &mut rng);
+        assert!(eager_mean < lazy_mean / 2.0, "{eager_mean} vs {lazy_mean}");
+    }
+
+    #[test]
+    fn pages_scale_with_wait() {
+        let cc = ControlChannel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = cc.rendezvous(&mut rng);
+        // Pages are sent back to back for the whole wait.
+        let expected = (r.recovery_s - cc.handshake_s) / cc.page_duration_s;
+        assert!((r.pages_sent as f64 - expected).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_shorter_than_page_rejected() {
+        let cc = ControlChannel {
+            listen_window_s: 0.001,
+            page_duration_s: 0.01,
+            ..ControlChannel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        cc.rendezvous(&mut rng);
+    }
+
+    #[test]
+    fn zero_trials_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ControlChannel::default().mean_recovery_s(0, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Confidentiality for FH/PC announcements.
+//!
+//! §IV.A.2: "the hub will notify peripheral nodes of the FH and PC
+//! information in advance. The transmitted information can be encrypted
+//! to prevent eavesdropping" — otherwise the jammer could simply read
+//! where the victim is hopping next.
+//!
+//! This module provides that hook with a keystream cipher driven by a
+//! 64-bit shared key and a per-frame nonce (the slot counter), plus a
+//! keyed integrity tag.
+//!
+//! **Not cryptographically secure.** The keystream is a SplitMix64
+//! sequence — adequate to demonstrate the protocol mechanics and to
+//! model an eavesdropping jammer's view in simulation, not to protect
+//! real traffic. A real deployment would use the 802.15.4 CCM* suite.
+
+/// A shared symmetric key between hub and peripherals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Key(pub u64);
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn keystream(key: Key, nonce: u64, len: usize) -> Vec<u8> {
+    let mut state = key.0 ^ nonce.rotate_left(17) ^ 0xA076_1D64_78BD_642F;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let word = splitmix(&mut state);
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Keyed tag over the ciphertext (again: integrity *mechanics*, not a
+/// real MAC).
+fn tag(key: Key, nonce: u64, data: &[u8]) -> u32 {
+    let mut state = key.0 ^ nonce ^ 0x2545_F491_4F6C_DD1D;
+    for &b in data {
+        state ^= u64::from(b);
+        let _ = splitmix(&mut state);
+    }
+    (splitmix(&mut state) & 0xFFFF_FFFF) as u32
+}
+
+/// Seals a plaintext: XOR keystream, append a 4-byte tag.
+///
+/// ```
+/// use ctjam_net::crypto::{open, seal, Key};
+///
+/// let key = Key(0xC0FFEE);
+/// let sealed = seal(key, 42, b"ch=19,p=7");
+/// assert_eq!(open(key, 42, &sealed).unwrap(), b"ch=19,p=7");
+/// assert!(open(key, 43, &sealed).is_none(), "wrong nonce must fail");
+/// ```
+pub fn seal(key: Key, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
+    let stream = keystream(key, nonce, plaintext.len());
+    let mut out: Vec<u8> = plaintext
+        .iter()
+        .zip(&stream)
+        .map(|(p, k)| p ^ k)
+        .collect();
+    let t = tag(key, nonce, &out);
+    out.extend_from_slice(&t.to_le_bytes());
+    out
+}
+
+/// Opens a sealed buffer: verify the tag, strip it, undo the keystream.
+/// Returns `None` on tag mismatch (wrong key, wrong nonce, or tampering).
+pub fn open(key: Key, nonce: u64, sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < 4 {
+        return None;
+    }
+    let (body, tag_bytes) = sealed.split_at(sealed.len() - 4);
+    let expected = u32::from_le_bytes([tag_bytes[0], tag_bytes[1], tag_bytes[2], tag_bytes[3]]);
+    if tag(key, nonce, body) != expected {
+        return None;
+    }
+    let stream = keystream(key, nonce, body.len());
+    Some(body.iter().zip(&stream).map(|(c, k)| c ^ k).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = Key(0xDEAD_BEEF);
+        for nonce in [0u64, 1, u64::MAX] {
+            let pt = b"channel 22 power 9";
+            let sealed = seal(key, nonce, pt);
+            assert_eq!(open(key, nonce, &sealed).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let key = Key(7);
+        let sealed = seal(key, 1, b"hop to 19");
+        assert!(!sealed.windows(3).any(|w| w == b"hop"));
+    }
+
+    #[test]
+    fn wrong_key_or_nonce_rejected() {
+        let sealed = seal(Key(1), 5, b"secret");
+        assert!(open(Key(2), 5, &sealed).is_none());
+        assert!(open(Key(1), 6, &sealed).is_none());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let key = Key(11);
+        let mut sealed = seal(key, 9, b"payload");
+        for i in 0..sealed.len() {
+            sealed[i] ^= 0x01;
+            assert!(open(key, 9, &sealed).is_none(), "missed tamper at {i}");
+            sealed[i] ^= 0x01;
+        }
+        assert!(open(key, 9, &sealed).is_some());
+    }
+
+    #[test]
+    fn nonce_reuse_gives_distinct_ciphertexts_for_distinct_nonces() {
+        let key = Key(3);
+        let a = seal(key, 1, b"same plaintext");
+        let b = seal(key, 2, b"same plaintext");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn short_buffers_rejected() {
+        assert!(open(Key(1), 0, &[]).is_none());
+        assert!(open(Key(1), 0, &[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn empty_plaintext_works() {
+        let key = Key(42);
+        let sealed = seal(key, 0, b"");
+        assert_eq!(sealed.len(), 4);
+        assert_eq!(open(key, 0, &sealed).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,87 @@
+//! The IEEE 802.15.4 frame check sequence: CRC-16/CCITT (polynomial
+//! `x¹⁶ + x¹² + x⁵ + 1`, i.e. `0x1021` reflected to `0x8408`), initial
+//! value 0, transmitted little-endian.
+
+/// Computes the 802.15.4 FCS over a byte slice.
+///
+/// ```
+/// use ctjam_net::fcs::crc16;
+/// // Appending a frame's own FCS (little-endian) yields remainder 0.
+/// let mut data = b"ctjam".to_vec();
+/// let fcs = crc16(&data);
+/// data.extend_from_slice(&fcs.to_le_bytes());
+/// assert_eq!(crc16(&data), 0);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0x0000;
+    for &byte in data {
+        crc ^= u16::from(byte);
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0x8408;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends the FCS to a frame body, producing the on-air bytes.
+pub fn append_fcs(mut body: Vec<u8>) -> Vec<u8> {
+    let fcs = crc16(&body);
+    body.extend_from_slice(&fcs.to_le_bytes());
+    body
+}
+
+/// Verifies and strips a trailing FCS. Returns `None` when the check
+/// fails or the buffer is too short to hold one.
+pub fn verify_and_strip(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < 2 {
+        return None;
+    }
+    let (body, fcs_bytes) = bytes.split_at(bytes.len() - 2);
+    let expected = u16::from_le_bytes([fcs_bytes[0], fcs_bytes[1]]);
+    (crc16(body) == expected).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_crc_is_zero() {
+        assert_eq!(crc16(&[]), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let framed = append_fcs(vec![1, 2, 3, 4, 5]);
+        assert_eq!(verify_and_strip(&framed).unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut framed = append_fcs(b"payload".to_vec());
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                framed[byte] ^= 1 << bit;
+                assert!(verify_and_strip(&framed).is_none(), "missed flip {byte}:{bit}");
+                framed[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn short_buffers_rejected() {
+        assert!(verify_and_strip(&[]).is_none());
+        assert!(verify_and_strip(&[0xFF]).is_none());
+    }
+
+    #[test]
+    fn known_vector() {
+        // CRC-16/KERMIT ("123456789") = 0x2189 — same polynomial/reflect,
+        // init 0, which is the 802.15.4 FCS configuration.
+        assert_eq!(crc16(b"123456789"), 0x2189);
+    }
+}

@@ -1,0 +1,128 @@
+//! Goodput and slot-utilization accounting (paper §IV.D.2, Fig. 10).
+//!
+//! *Goodput* counts only useful payload deliveries — ACKs, negotiation
+//! frames, and retransmissions don't count. *Utilization* is the fraction
+//! of the slot left for data after the per-slot negotiation overhead.
+
+/// Accumulates goodput statistics across slots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GoodputMeter {
+    slots: u64,
+    delivered: u64,
+    attempted: u64,
+    payload_bytes: u64,
+    overhead_s: f64,
+    slot_s: f64,
+}
+
+impl GoodputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        GoodputMeter::default()
+    }
+
+    /// Records one slot's outcome.
+    pub fn record_slot(
+        &mut self,
+        delivered: u64,
+        attempted: u64,
+        payload_bytes: u64,
+        overhead_s: f64,
+        slot_s: f64,
+    ) {
+        self.slots += 1;
+        self.delivered += delivered;
+        self.attempted += attempted;
+        self.payload_bytes += payload_bytes;
+        self.overhead_s += overhead_s;
+        self.slot_s += slot_s;
+    }
+
+    /// Number of slots recorded.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Mean unique packets delivered per slot — the paper's
+    /// "goodput (pkts/timeslot)" y-axis.
+    pub fn packets_per_slot(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.slots as f64
+        }
+    }
+
+    /// Mean payload bits per second across all recorded time.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.slot_s == 0.0 {
+            0.0
+        } else {
+            (self.payload_bytes * 8) as f64 / self.slot_s
+        }
+    }
+
+    /// Fraction of attempted transmissions that were delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.attempted as f64
+        }
+    }
+
+    /// Mean fraction of the slot available for data — the paper's
+    /// "utilization rate of timeslot" (Fig. 10(b)).
+    pub fn utilization(&self) -> f64 {
+        if self.slot_s == 0.0 {
+            0.0
+        } else {
+            1.0 - self.overhead_s / self.slot_s
+        }
+    }
+
+    /// Mean per-slot negotiation overhead in seconds.
+    pub fn overhead_per_slot_s(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.overhead_s / self.slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let m = GoodputMeter::new();
+        assert_eq!(m.packets_per_slot(), 0.0);
+        assert_eq!(m.goodput_bps(), 0.0);
+        assert_eq!(m.delivery_ratio(), 0.0);
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut m = GoodputMeter::new();
+        m.record_slot(100, 120, 10_000, 0.07, 1.0);
+        m.record_slot(300, 310, 30_000, 0.07, 1.0);
+        assert_eq!(m.slots(), 2);
+        assert_eq!(m.packets_per_slot(), 200.0);
+        assert_eq!(m.goodput_bps(), 160_000.0);
+        assert!((m.delivery_ratio() - 400.0 / 430.0).abs() < 1e-12);
+        assert!((m.utilization() - 0.93).abs() < 1e-12);
+        assert!((m.overhead_per_slot_s() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_rises_with_longer_slots() {
+        let mut short = GoodputMeter::new();
+        short.record_slot(0, 0, 0, 0.08, 1.0);
+        let mut long = GoodputMeter::new();
+        long.record_slot(0, 0, 0, 0.08, 5.0);
+        assert!(long.utilization() > short.utilization());
+    }
+}

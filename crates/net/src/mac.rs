@@ -1,0 +1,177 @@
+//! Listen-Before-Talk channel access (unslotted CSMA-CA of 802.15.4).
+//!
+//! The star network's peripherals use LBT to avoid colliding with each
+//! other (paper §II.A.2). The algorithm: wait a random backoff of
+//! `0..2^BE − 1` unit periods, perform a clear-channel assessment (CCA),
+//! transmit if idle, otherwise increase `BE` and retry up to
+//! `max_backoffs` times.
+
+use rand::Rng;
+
+/// 802.15.4 unit backoff period: 20 symbol periods = 320 µs.
+pub const UNIT_BACKOFF_S: f64 = 320.0e-6;
+
+/// CCA detection time: 8 symbol periods = 128 µs.
+pub const CCA_TIME_S: f64 = 128.0e-6;
+
+/// CSMA-CA parameters (802.15.4 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsmaConfig {
+    /// Minimum backoff exponent (`macMinBE`).
+    pub min_be: u8,
+    /// Maximum backoff exponent (`macMaxBE`).
+    pub max_be: u8,
+    /// Maximum number of CCA failures before giving up
+    /// (`macMaxCSMABackoffs`).
+    pub max_backoffs: u8,
+}
+
+impl Default for CsmaConfig {
+    fn default() -> Self {
+        CsmaConfig {
+            min_be: 3,
+            max_be: 5,
+            max_backoffs: 4,
+        }
+    }
+}
+
+/// Result of one channel-access attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsmaOutcome {
+    /// Whether the node got to transmit.
+    pub granted: bool,
+    /// Number of CCAs performed.
+    pub cca_attempts: u8,
+    /// Total time consumed by backoffs and CCAs, seconds.
+    pub elapsed_s: f64,
+}
+
+/// Runs the CSMA-CA procedure against a channel-busy oracle.
+///
+/// `channel_busy` is sampled once per CCA and should return `true` when
+/// the medium is occupied at that instant.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_net::mac::{csma_ca, CsmaConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let outcome = csma_ca(&CsmaConfig::default(), &mut rng, |_| false);
+/// assert!(outcome.granted);
+/// assert_eq!(outcome.cca_attempts, 1);
+/// ```
+pub fn csma_ca<R, F>(config: &CsmaConfig, rng: &mut R, mut channel_busy: F) -> CsmaOutcome
+where
+    R: Rng + ?Sized,
+    F: FnMut(u8) -> bool,
+{
+    let mut be = config.min_be;
+    let mut elapsed = 0.0;
+    for attempt in 0..=config.max_backoffs {
+        let slots = rng.gen_range(0..(1u32 << be));
+        elapsed += f64::from(slots) * UNIT_BACKOFF_S + CCA_TIME_S;
+        if !channel_busy(attempt) {
+            return CsmaOutcome {
+                granted: true,
+                cca_attempts: attempt + 1,
+                elapsed_s: elapsed,
+            };
+        }
+        be = (be + 1).min(config.max_be);
+    }
+    CsmaOutcome {
+        granted: false,
+        cca_attempts: config.max_backoffs + 1,
+        elapsed_s: elapsed,
+    }
+}
+
+/// Probability that CSMA-CA fails outright when each CCA independently
+/// finds the channel busy with probability `p_busy` — the closed form
+/// used in tests and in analytic workload sizing: `p_busy^(max_backoffs+1)`.
+pub fn failure_probability(config: &CsmaConfig, p_busy: f64) -> f64 {
+    p_busy.clamp(0.0, 1.0).powi(i32::from(config.max_backoffs) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idle_channel_granted_first_try() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = csma_ca(&CsmaConfig::default(), &mut rng, |_| false);
+        assert!(o.granted);
+        assert_eq!(o.cca_attempts, 1);
+        assert!(o.elapsed_s >= CCA_TIME_S);
+    }
+
+    #[test]
+    fn busy_channel_exhausts_backoffs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = CsmaConfig::default();
+        let o = csma_ca(&cfg, &mut rng, |_| true);
+        assert!(!o.granted);
+        assert_eq!(o.cca_attempts, cfg.max_backoffs + 1);
+    }
+
+    #[test]
+    fn transient_busy_eventually_granted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let o = csma_ca(&CsmaConfig::default(), &mut rng, |attempt| attempt < 2);
+        assert!(o.granted);
+        assert_eq!(o.cca_attempts, 3);
+    }
+
+    #[test]
+    fn backoff_time_grows_with_contention() {
+        // With an always-busy channel, mean elapsed time across seeds
+        // exceeds the single-CCA case because BE escalates.
+        let cfg = CsmaConfig::default();
+        let mut total_busy = 0.0;
+        let mut total_idle = 0.0;
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total_busy += csma_ca(&cfg, &mut rng, |_| true).elapsed_s;
+            let mut rng = StdRng::seed_from_u64(seed);
+            total_idle += csma_ca(&cfg, &mut rng, |_| false).elapsed_s;
+        }
+        assert!(total_busy > total_idle * 2.0);
+    }
+
+    #[test]
+    fn failure_probability_closed_form() {
+        let cfg = CsmaConfig::default();
+        assert_eq!(failure_probability(&cfg, 0.0), 0.0);
+        assert_eq!(failure_probability(&cfg, 1.0), 1.0);
+        let p = failure_probability(&cfg, 0.5);
+        assert!((p - 0.5f64.powi(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_closed_form() {
+        let cfg = CsmaConfig::default();
+        let p_busy = 0.7;
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 20000;
+        let failures = (0..trials)
+            .filter(|_| {
+                let mut backoff_rng = StdRng::seed_from_u64(rng.gen());
+                let mut busy_rng = StdRng::seed_from_u64(rng.gen());
+                !csma_ca(&cfg, &mut backoff_rng, |_| busy_rng.gen_bool(p_busy)).granted
+            })
+            .count();
+        let measured = failures as f64 / trials as f64;
+        let expected = failure_probability(&cfg, p_busy);
+        assert!(
+            (measured - expected).abs() < 0.02,
+            "measured {measured}, expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Polling-mode FH/PC negotiation (paper §IV.D.1 "Polling Mode" and
+//! Fig. 9(b)).
+//!
+//! At the start of each slot the hub announces next-slot channel and power
+//! to every peripheral in turn, waits for each confirmation, then commands
+//! the simultaneous switch. A node that is off-channel (e.g. it lost the
+//! previous announcement to jamming) must be recovered over the control
+//! channel, which costs seconds — the outliers visible in Fig. 9(b).
+
+use crate::timing::TimingModel;
+use rand::Rng;
+
+/// Breakdown of one negotiation round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegotiationReport {
+    /// Total wall-clock duration, seconds.
+    pub total_s: f64,
+    /// Time spent on regular polling, seconds.
+    pub polling_s: f64,
+    /// Time spent recovering stragglers over the control channel, seconds.
+    pub recovery_s: f64,
+    /// Indices of nodes that had to be recovered.
+    pub stragglers: Vec<usize>,
+}
+
+/// Simulates one polling round over `num_nodes` peripherals.
+///
+/// Every node costs one [`TimingModel::poll_one_node`] draw; nodes flagged
+/// as stragglers additionally cost a control-channel recovery.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_net::negotiation::negotiate;
+/// use ctjam_net::timing::TimingModel;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let report = negotiate(&TimingModel::noiseless(), 3, &mut rng);
+/// assert!((report.total_s - 3.0 * 0.0131).abs() < 1e-9);
+/// ```
+pub fn negotiate<R: Rng + ?Sized>(
+    timing: &TimingModel,
+    num_nodes: usize,
+    rng: &mut R,
+) -> NegotiationReport {
+    let mut polling = 0.0;
+    let mut recovery = 0.0;
+    let mut stragglers = Vec::new();
+    for node in 0..num_nodes {
+        polling += timing.poll_one_node(rng);
+        if timing.is_straggler(rng) {
+            recovery += timing.straggler_recovery(rng);
+            stragglers.push(node);
+        }
+    }
+    NegotiationReport {
+        total_s: polling + recovery,
+        polling_s: polling,
+        recovery_s: recovery,
+        stragglers,
+    }
+}
+
+/// Mean negotiation duration over `trials` rounds — one Fig. 9(b) point.
+pub fn mean_negotiation_s<R: Rng + ?Sized>(
+    timing: &TimingModel,
+    num_nodes: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    (0..trials)
+        .map(|_| negotiate(timing, num_nodes, rng).total_s)
+        .sum::<f64>()
+        / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_cost_is_linear_in_nodes() {
+        let t = TimingModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(0);
+        for n in 0..10 {
+            let r = negotiate(&t, n, &mut rng);
+            assert!((r.total_s - n as f64 * 0.0131).abs() < 1e-9);
+            assert!(r.stragglers.is_empty());
+        }
+    }
+
+    #[test]
+    fn mean_grows_with_network_size() {
+        let t = TimingModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut prev = 0.0;
+        for n in 1..=10 {
+            let mean = mean_negotiation_s(&t, n, 400, &mut rng);
+            assert!(mean > prev, "mean at {n} nodes did not grow");
+            prev = mean;
+        }
+    }
+
+    #[test]
+    fn stragglers_cost_seconds() {
+        let t = TimingModel {
+            straggler_prob: 1.0,
+            ..TimingModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = negotiate(&t, 4, &mut rng);
+        assert_eq!(r.stragglers, vec![0, 1, 2, 3]);
+        assert!(r.total_s > 4.0, "4 stragglers should cost > 4 s, got {}", r.total_s);
+    }
+
+    #[test]
+    fn occasional_outliers_exist_at_default_rate() {
+        // Fig. 9(b): "in some cases, it can be several seconds".
+        let t = TimingModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let worst = (0..500)
+            .map(|_| negotiate(&t, 10, &mut rng).total_s)
+            .fold(0.0f64, f64::max);
+        assert!(worst > 1.0, "no multi-second outlier in 500 rounds ({worst})");
+    }
+
+    #[test]
+    fn zero_trials_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(mean_negotiation_s(&TimingModel::default(), 5, 0, &mut rng), 0.0);
+    }
+}

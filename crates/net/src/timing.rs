@@ -1,0 +1,181 @@
+//! The field experiment's timing model (paper §IV.D.1, Fig. 9(a)).
+//!
+//! The paper measures four functions over 100 trials each on the
+//! TI CC26X2R1 / USRP testbed:
+//!
+//! | function                    | typical time |
+//! |-----------------------------|--------------|
+//! | DQN inference on the hub    | 9 ms         |
+//! | data → ACK round trip       | 0.9 ms       |
+//! | hub-side packet processing  | 0.6 ms       |
+//! | polling one node (FH info)  | 13.1 ms      |
+//!
+//! Those constants are hardware measurements we cannot re-run, so they are
+//! injected here as the simulation's timing model, with multiplicative
+//! jitter so Fig. 9(a)'s distributions have realistic spread.
+
+use rand::Rng;
+
+/// Measured time constants of the testbed, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// One DQN forward pass on the hub MCU.
+    pub dqn_inference_s: f64,
+    /// Data frame → ACK round trip as seen by a peripheral.
+    pub ack_round_trip_s: f64,
+    /// Hub-side processing per received data frame.
+    pub data_processing_s: f64,
+    /// Polling one peripheral with next-slot FH/PC info (including its
+    /// confirmation).
+    pub polling_per_node_s: f64,
+    /// Relative jitter (standard deviation / mean) applied to each draw.
+    pub jitter_rel: f64,
+    /// Probability that a peripheral missed the channel and must be
+    /// recovered over the control channel during negotiation.
+    pub straggler_prob: f64,
+    /// Time to recover one straggler over the control channel (waiting
+    /// for it to fall back), in seconds. The paper observes multi-second
+    /// negotiations "because some nodes may not be in the correct channel".
+    pub straggler_recovery_s: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            dqn_inference_s: 0.009,
+            ack_round_trip_s: 0.0009,
+            data_processing_s: 0.0006,
+            polling_per_node_s: 0.0131,
+            jitter_rel: 0.08,
+            straggler_prob: 0.01,
+            straggler_recovery_s: 1.2,
+        }
+    }
+}
+
+impl TimingModel {
+    /// A jitter-free model for deterministic tests.
+    pub fn noiseless() -> Self {
+        TimingModel {
+            jitter_rel: 0.0,
+            straggler_prob: 0.0,
+            ..TimingModel::default()
+        }
+    }
+
+    /// Draws one jittered sample around `mean` (truncated at 10% of the
+    /// mean so durations stay positive).
+    pub fn sample<R: Rng + ?Sized>(&self, mean: f64, rng: &mut R) -> f64 {
+        if self.jitter_rel == 0.0 {
+            return mean;
+        }
+        let g = gaussian(rng);
+        (mean * (1.0 + self.jitter_rel * g)).max(mean * 0.1)
+    }
+
+    /// One DQN inference duration.
+    pub fn dqn_inference<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample(self.dqn_inference_s, rng)
+    }
+
+    /// One data → ACK round trip duration.
+    pub fn ack_round_trip<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample(self.ack_round_trip_s, rng)
+    }
+
+    /// One hub-side processing duration.
+    pub fn data_processing<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample(self.data_processing_s, rng)
+    }
+
+    /// Duration of polling one (reachable) node.
+    pub fn poll_one_node<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample(self.polling_per_node_s, rng)
+    }
+
+    /// Whether a node turns out to be a straggler this negotiation.
+    pub fn is_straggler<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.straggler_prob > 0.0 && rng.gen_bool(self.straggler_prob)
+    }
+
+    /// Time to recover one straggler over the control channel.
+    pub fn straggler_recovery<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample(self.straggler_recovery_s, rng)
+    }
+
+    /// Duration of one complete data exchange (frame airtime + ACK wait +
+    /// hub processing) for a frame of the given airtime.
+    pub fn packet_cycle<R: Rng + ?Sized>(&self, airtime_s: f64, rng: &mut R) -> f64 {
+        airtime_s + self.ack_round_trip(rng) + self.data_processing(rng)
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_match_paper_measurements() {
+        let t = TimingModel::default();
+        assert_eq!(t.dqn_inference_s, 0.009);
+        assert_eq!(t.ack_round_trip_s, 0.0009);
+        assert_eq!(t.data_processing_s, 0.0006);
+        assert_eq!(t.polling_per_node_s, 0.0131);
+    }
+
+    #[test]
+    fn noiseless_is_deterministic() {
+        let t = TimingModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(t.dqn_inference(&mut rng), 0.009);
+        assert_eq!(t.poll_one_node(&mut rng), 0.0131);
+        assert!(!t.is_straggler(&mut rng));
+    }
+
+    #[test]
+    fn jittered_samples_center_on_mean() {
+        let t = TimingModel::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 5000;
+        let mean: f64 = (0..n).map(|_| t.dqn_inference(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.009).abs() < 0.0005, "mean = {mean}");
+    }
+
+    #[test]
+    fn samples_stay_positive() {
+        let t = TimingModel {
+            jitter_rel: 2.0,
+            ..TimingModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            assert!(t.ack_round_trip(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn packet_cycle_adds_components() {
+        let t = TimingModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cycle = t.packet_cycle(0.004, &mut rng);
+        assert!((cycle - (0.004 + 0.0009 + 0.0006)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_rate_respected() {
+        let t = TimingModel::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20000;
+        let hits = (0..n).filter(|_| t.is_straggler(&mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - t.straggler_prob).abs() < 0.01, "rate = {rate}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the network substrate.
+
+use ctjam_net::fcs::{append_fcs, crc16, verify_and_strip};
+use ctjam_net::frame::{MacFrame, NodeId, MAX_PAYLOAD};
+use ctjam_net::mac::{csma_ca, CsmaConfig};
+use ctjam_net::star::StarNetwork;
+use ctjam_net::timing::TimingModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #[test]
+    fn fcs_roundtrip(body in prop::collection::vec(any::<u8>(), 0..200)) {
+        let framed = append_fcs(body.clone());
+        prop_assert_eq!(verify_and_strip(&framed).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn fcs_detects_any_single_byte_change(
+        body in prop::collection::vec(any::<u8>(), 1..64),
+        idx in 0usize..64,
+        delta in 1u8..=255,
+    ) {
+        let mut framed = append_fcs(body);
+        let i = idx % framed.len();
+        framed[i] = framed[i].wrapping_add(delta);
+        prop_assert!(verify_and_strip(&framed).is_none());
+    }
+
+    #[test]
+    fn crc_is_deterministic(body in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(crc16(&body), crc16(&body));
+    }
+
+    #[test]
+    fn mac_data_roundtrip(
+        src in 1u8..=200,
+        seq in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+    ) {
+        let frame = MacFrame::Data { src: NodeId(src), seq, payload };
+        let psdu = frame.to_psdu().unwrap();
+        prop_assert_eq!(MacFrame::from_psdu(&psdu).unwrap(), frame);
+    }
+
+    #[test]
+    fn csma_never_exceeds_backoff_budget(seed in any::<u64>(), p_busy in 0.0f64..1.0) {
+        let cfg = CsmaConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut busy_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let o = csma_ca(&cfg, &mut rng, |_| busy_rng.gen_bool(p_busy));
+        prop_assert!(o.cca_attempts <= cfg.max_backoffs + 1);
+        prop_assert!(o.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn slot_invariants(seed in any::<u64>(), slot_ds in 5u32..=50, up in any::<bool>()) {
+        let slot_s = f64::from(slot_ds) / 10.0;
+        let mut net = StarNetwork::new(3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let o = net.run_slot(slot_s, up, 0.1, &mut rng);
+        prop_assert!(o.delivered <= o.attempted);
+        prop_assert!(o.data_time_s <= slot_s);
+        prop_assert!(o.overhead_s >= 0.0);
+        if !up {
+            prop_assert_eq!(o.delivered, 0);
+        }
+    }
+
+    #[test]
+    fn noiseless_timing_is_reproducible(nodes in 0usize..8) {
+        let t = TimingModel::noiseless();
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let a = ctjam_net::negotiation::negotiate(&t, nodes, &mut rng1).total_s;
+        let b = ctjam_net::negotiation::negotiate(&t, nodes, &mut rng2).total_s;
+        prop_assert_eq!(a, b);
+    }
+}

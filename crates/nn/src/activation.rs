@@ -1,0 +1,87 @@
+//! Activation functions.
+
+/// An elementwise activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)` — the paper's hidden-layer
+    /// activation.
+    #[default]
+    Relu,
+    /// Identity (linear output layer, standard for Q-value heads).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    ///
+    /// ```
+    /// use ctjam_nn::activation::Activation;
+    /// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+    /// assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    /// assert_eq!(Activation::Identity.apply(-2.0), -2.0);
+    /// ```
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation value.
+    ///
+    /// ReLU's derivative at 0 is taken as 0 (the usual convention).
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to a slice in place.
+    pub fn apply_slice(self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn derivatives_are_consistent_with_finite_differences() {
+        let h = 1e-7;
+        for act in [Activation::Relu, Activation::Identity] {
+            for x in [-2.0, -0.5, 0.5, 2.0] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                assert!(
+                    (act.derivative(x) - numeric).abs() < 1e-6,
+                    "{act:?} at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_application() {
+        let mut xs = [-1.0, 0.0, 1.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Loss functions for regression heads (Q-value targets).
+
+/// A pointwise regression loss.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Loss {
+    /// Mean squared error, `(ŷ − y)²` averaged over outputs.
+    #[default]
+    Mse,
+    /// Huber loss with threshold `δ`: quadratic near zero, linear in the
+    /// tails — the standard DQN stabilizer against outlier TD errors.
+    Huber {
+        /// Transition point between quadratic and linear regimes.
+        delta: f64,
+    },
+}
+
+impl Loss {
+    /// Loss value for a prediction/target pair.
+    pub fn value(self, prediction: f64, target: f64) -> f64 {
+        let e = prediction - target;
+        match self {
+            Loss::Mse => e * e,
+            Loss::Huber { delta } => {
+                if e.abs() <= delta {
+                    0.5 * e * e
+                } else {
+                    delta * (e.abs() - 0.5 * delta)
+                }
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the prediction.
+    pub fn gradient(self, prediction: f64, target: f64) -> f64 {
+        let e = prediction - target;
+        match self {
+            Loss::Mse => 2.0 * e,
+            Loss::Huber { delta } => e.clamp(-delta, delta),
+        }
+    }
+
+    /// Mean loss over a pair of equal-length slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn mean(self, predictions: &[f64], targets: &[f64]) -> f64 {
+        assert_eq!(predictions.len(), targets.len(), "length mismatch");
+        assert!(!predictions.is_empty(), "empty loss batch");
+        predictions
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| self.value(p, t))
+            .sum::<f64>()
+            / predictions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(Loss::Mse.value(3.0, 1.0), 4.0);
+        assert_eq!(Loss::Mse.gradient(3.0, 1.0), 4.0);
+        assert_eq!(Loss::Mse.value(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn huber_is_quadratic_then_linear() {
+        let h = Loss::Huber { delta: 1.0 };
+        assert_eq!(h.value(0.5, 0.0), 0.125);
+        assert_eq!(h.value(3.0, 0.0), 2.5); // 1·(3 − 0.5)
+        assert_eq!(h.gradient(0.5, 0.0), 0.5);
+        assert_eq!(h.gradient(5.0, 0.0), 1.0); // clipped
+        assert_eq!(h.gradient(-5.0, 0.0), -1.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let eps = 1e-7;
+        for loss in [Loss::Mse, Loss::Huber { delta: 1.5 }] {
+            for (p, t) in [(0.3, 0.0), (2.0, -1.0), (-3.0, 0.5)] {
+                let numeric = (loss.value(p + eps, t) - loss.value(p - eps, t)) / (2.0 * eps);
+                assert!(
+                    (loss.gradient(p, t) - numeric).abs() < 1e-5,
+                    "{loss:?} at ({p}, {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_averages() {
+        let m = Loss::Mse.mean(&[1.0, 3.0], &[1.0, 1.0]);
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_batch_panics() {
+        Loss::Mse.mean(&[], &[]);
+    }
+}

@@ -1,0 +1,240 @@
+//! A row-major `f64` matrix with the operations backpropagation needs.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_nn::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let x = vec![1.0, 1.0];
+/// assert_eq!(a.mul_vec(&x), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat view of the entries (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of the entries (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[allow(clippy::needless_range_loop)] // row index computes the data offset
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(x).map(|(w, v)| w * v).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // row index computes the data offset
+    pub fn mul_vec_transposed(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let yr = y[r];
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * yr;
+            }
+        }
+        out
+    }
+
+    /// Accumulates the outer product `y·xᵀ` into `self` scaled by `scale`
+    /// (the weight-gradient update `dW += scale · dz xᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[allow(clippy::needless_range_loop)] // row index computes the data offset
+    pub fn add_outer(&mut self, y: &[f64], x: &[f64], scale: f64) {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let yr = y[r] * scale;
+            for (w, v) in row.iter_mut().zip(x) {
+                *w += yr * v;
+            }
+        }
+    }
+
+    /// Fills the matrix with zeros in place.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn mul_vec_matches_hand_result() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transposed_product_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = [1.0, -1.0, 2.0];
+        // Aᵀy = [1−3+10, 2−4+12] = [8, 10].
+        assert_eq!(a.mul_vec_transposed(&y), vec![8.0, 10.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut g = Matrix::zeros(2, 2);
+        g.add_outer(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(g.as_slice(), &[1.5, 2.0, 3.0, 4.0]);
+        g.add_outer(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(g[(1, 1)], 8.0);
+        g.fill_zero();
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        Matrix::zeros(2, 3).mul_vec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+}

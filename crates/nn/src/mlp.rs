@@ -1,0 +1,473 @@
+//! The multi-layer perceptron with exact backpropagation.
+
+use crate::activation::Activation;
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::optimizer::Optimizer;
+use rand::Rng;
+
+/// One dense layer: `a = act(W·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    weights: Matrix,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+impl DenseLayer {
+    /// Xavier/Glorot-uniform initialization.
+    fn init<R: Rng + ?Sized>(
+        input: usize,
+        output: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let limit = (6.0 / (input + output) as f64).sqrt();
+        DenseLayer {
+            weights: Matrix::from_fn(output, input, |_, _| rng.gen_range(-limit..limit)),
+            biases: vec![0.0; output],
+            activation,
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Parameters in this layer (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.biases.len()
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut z = self.weights.mul_vec(x);
+        for (zi, b) in z.iter_mut().zip(&self.biases) {
+            *zi += b;
+        }
+        let mut a = z.clone();
+        self.activation.apply_slice(&mut a);
+        (z, a)
+    }
+}
+
+/// A fully connected network.
+///
+/// Build with [`MlpBuilder`]; see the crate docs for a training example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    loss: Loss,
+}
+
+/// Builder for [`Mlp`].
+///
+/// ```
+/// use ctjam_nn::mlp::MlpBuilder;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // The paper's architecture: 3·I inputs, two ReLU hidden layers, C·PL
+/// // linear outputs.
+/// let net = MlpBuilder::new(24).hidden(40).hidden(40).output(160).build(&mut rng);
+/// assert_eq!(net.shape(), vec![24, 40, 40, 160]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    sizes: Vec<usize>,
+    loss: Loss,
+}
+
+impl MlpBuilder {
+    /// Starts a network with `input` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input == 0`.
+    pub fn new(input: usize) -> Self {
+        assert!(input > 0, "input width must be positive");
+        MlpBuilder {
+            sizes: vec![input],
+            loss: Loss::Mse,
+        }
+    }
+
+    /// Appends a ReLU hidden layer of `width` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn hidden(mut self, width: usize) -> Self {
+        assert!(width > 0, "hidden width must be positive");
+        self.sizes.push(width);
+        self
+    }
+
+    /// Selects the training loss (default MSE).
+    #[must_use]
+    pub fn loss(mut self, loss: Loss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Appends the linear output layer and finalizes the architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn output(mut self, width: usize) -> MlpFinal {
+        assert!(width > 0, "output width must be positive");
+        self.sizes.push(width);
+        MlpFinal {
+            sizes: self.sizes,
+            loss: self.loss,
+        }
+    }
+}
+
+/// A finalized architecture awaiting weight initialization.
+#[derive(Debug, Clone)]
+pub struct MlpFinal {
+    sizes: Vec<usize>,
+    loss: Loss,
+}
+
+impl MlpFinal {
+    /// Initializes weights (Xavier uniform) and produces the network.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Mlp {
+        let n = self.sizes.len();
+        let layers = (0..n - 1)
+            .map(|i| {
+                let activation = if i + 2 == n {
+                    Activation::Identity
+                } else {
+                    Activation::Relu
+                };
+                DenseLayer::init(self.sizes[i], self.sizes[i + 1], activation, rng)
+            })
+            .collect();
+        Mlp {
+            layers,
+            loss: self.loss,
+        }
+    }
+}
+
+impl Mlp {
+    /// Layer widths including input and output.
+    pub fn shape(&self) -> Vec<usize> {
+        let mut shape = vec![self.layers[0].input_size()];
+        shape.extend(self.layers.iter().map(DenseLayer::output_size));
+        shape
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].input_size()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("at least one layer").output_size()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(DenseLayer::param_count).sum()
+    }
+
+    /// The training loss in force.
+    pub fn loss(&self) -> Loss {
+        self.loss
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_size(), "input width mismatch");
+        let mut a = x.to_vec();
+        for layer in &self.layers {
+            a = layer.forward(&a).1;
+        }
+        a
+    }
+
+    /// Forward pass keeping every layer's pre-activation and activation —
+    /// the trace backpropagation consumes.
+    fn forward_trace(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut activations = vec![x.to_vec()];
+        let mut preacts = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (z, a) = layer.forward(activations.last().expect("nonempty"));
+            preacts.push(z);
+            activations.push(a);
+        }
+        (activations, preacts)
+    }
+
+    /// Flattens all parameters (per layer: weights row-major, then biases).
+    pub fn flatten_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights.as_slice());
+            out.extend_from_slice(&layer.biases);
+        }
+        out
+    }
+
+    /// Writes back a flat parameter vector (inverse of
+    /// [`Mlp::flatten_params`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match [`Mlp::param_count`].
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let w = layer.weights.len();
+            layer
+                .weights
+                .as_mut_slice()
+                .copy_from_slice(&params[offset..offset + w]);
+            offset += w;
+            let b = layer.biases.len();
+            layer.biases.copy_from_slice(&params[offset..offset + b]);
+            offset += b;
+        }
+    }
+
+    /// Copies another network's weights into this one (target-network
+    /// synchronization in DQN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architectures differ.
+    pub fn copy_weights_from(&mut self, other: &Mlp) {
+        assert_eq!(self.shape(), other.shape(), "architecture mismatch");
+        self.set_params(&other.flatten_params());
+    }
+
+    /// Computes the mean per-sample loss and its gradient over a batch
+    /// without updating weights. The gradient is flat, aligned with
+    /// [`Mlp::flatten_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or mismatched widths.
+    pub fn loss_and_gradient(&self, batch: &[(&[f64], &[f64])]) -> (f64, Vec<f64>) {
+        assert!(!batch.is_empty(), "empty training batch");
+        let out_dim = self.output_size() as f64;
+        let scale = 1.0 / batch.len() as f64;
+
+        let mut grad_w: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.output_size(), l.input_size()))
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.output_size()])
+            .collect();
+        let mut total_loss = 0.0;
+
+        for &(x, t) in batch {
+            assert_eq!(t.len(), self.output_size(), "target width mismatch");
+            let (activations, preacts) = self.forward_trace(x);
+            let prediction = activations.last().expect("output exists");
+            total_loss += self.loss.mean(prediction, t);
+
+            // dL/da at the output (per-sample loss is the mean over dims).
+            let mut delta: Vec<f64> = prediction
+                .iter()
+                .zip(t)
+                .map(|(&p, &y)| self.loss.gradient(p, y) / out_dim)
+                .collect();
+
+            for l in (0..self.layers.len()).rev() {
+                let layer = &self.layers[l];
+                // dz = dL/da ⊙ act′(z).
+                let dz: Vec<f64> = delta
+                    .iter()
+                    .zip(&preacts[l])
+                    .map(|(&d, &z)| d * layer.activation.derivative(z))
+                    .collect();
+                grad_w[l].add_outer(&dz, &activations[l], scale);
+                for (g, d) in grad_b[l].iter_mut().zip(&dz) {
+                    *g += d * scale;
+                }
+                if l > 0 {
+                    delta = layer.weights.mul_vec_transposed(&dz);
+                }
+            }
+        }
+
+        let mut flat = Vec::with_capacity(self.param_count());
+        for (gw, gb) in grad_w.iter().zip(&grad_b) {
+            flat.extend_from_slice(gw.as_slice());
+            flat.extend_from_slice(gb);
+        }
+        (total_loss * scale, flat)
+    }
+
+    /// One optimization step on a batch; returns the pre-update mean loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or mismatched widths.
+    pub fn train_batch<O: Optimizer>(&mut self, batch: &[(&[f64], &[f64])], opt: &mut O) -> f64 {
+        let (loss, grads) = self.loss_and_gradient(batch);
+        let mut params = self.flatten_params();
+        opt.step(&mut params, &grads);
+        self.set_params(&params);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn shape_and_param_count() {
+        let net = MlpBuilder::new(24).hidden(40).hidden(40).output(160).build(&mut rng());
+        assert_eq!(net.shape(), vec![24, 40, 40, 160]);
+        // 24·40+40 + 40·40+40 + 40·160+160 = 9240... computed exactly:
+        let expected = 24 * 40 + 40 + 40 * 40 + 40 + 40 * 160 + 160;
+        assert_eq!(net.param_count(), expected);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = MlpBuilder::new(4).hidden(8).output(2).build(&mut rng());
+        let x = [0.1, -0.2, 0.3, -0.4];
+        assert_eq!(net.forward(&x), net.forward(&x));
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut net = MlpBuilder::new(3).hidden(5).output(2).build(&mut rng());
+        let flat = net.flatten_params();
+        assert_eq!(flat.len(), net.param_count());
+        let mut changed = flat.clone();
+        changed[0] += 1.0;
+        net.set_params(&changed);
+        assert_eq!(net.flatten_params(), changed);
+    }
+
+    #[test]
+    fn copy_weights_synchronizes_outputs() {
+        let mut r = rng();
+        let a = MlpBuilder::new(4).hidden(6).output(3).build(&mut r);
+        let mut b = MlpBuilder::new(4).hidden(6).output(3).build(&mut r);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_ne!(a.forward(&x), b.forward(&x));
+        b.copy_weights_from(&a);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let net = MlpBuilder::new(3).hidden(5).hidden(4).output(2).build(&mut rng());
+        let x = [0.5, -1.0, 0.25];
+        let t = [1.0, -1.0];
+        let batch: Vec<(&[f64], &[f64])> = vec![(&x, &t)];
+        let (_, analytic) = net.loss_and_gradient(&batch);
+
+        let params = net.flatten_params();
+        let eps = 1e-6;
+        let mut worst = 0.0f64;
+        for i in (0..params.len()).step_by(7) {
+            let mut plus = net.clone();
+            let mut p = params.clone();
+            p[i] += eps;
+            plus.set_params(&p);
+            let mut minus = net.clone();
+            p[i] -= 2.0 * eps;
+            minus.set_params(&p);
+            let (lp, _) = plus.loss_and_gradient(&batch);
+            let (lm, _) = minus.loss_and_gradient(&batch);
+            let numeric = (lp - lm) / (2.0 * eps);
+            worst = worst.max((numeric - analytic[i]).abs());
+        }
+        assert!(worst < 1e-5, "max gradient error {worst}");
+    }
+
+    #[test]
+    fn training_reduces_loss_on_regression() {
+        let mut net = MlpBuilder::new(1).hidden(16).output(1).build(&mut rng());
+        let mut adam = Adam::with_learning_rate(0.01);
+        let xs: Vec<[f64; 1]> = (0..32).map(|i| [i as f64 / 16.0 - 1.0]).collect();
+        let ys: Vec<[f64; 1]> = xs.iter().map(|x| [x[0].sin()]).collect();
+        let batch: Vec<(&[f64], &[f64])> =
+            xs.iter().zip(&ys).map(|(x, y)| (&x[..], &y[..])).collect();
+        let initial = net.train_batch(&batch, &mut adam);
+        let mut last = initial;
+        for _ in 0..1500 {
+            last = net.train_batch(&batch, &mut adam);
+        }
+        assert!(
+            last < initial / 20.0,
+            "loss did not shrink: {initial} -> {last}"
+        );
+    }
+
+    #[test]
+    fn huber_loss_trains_too() {
+        let mut net = MlpBuilder::new(2)
+            .hidden(8)
+            .loss(Loss::Huber { delta: 1.0 })
+            .output(1)
+            .build(&mut rng());
+        let mut adam = Adam::with_learning_rate(0.02);
+        let xs = [[0.0, 1.0], [1.0, 0.0]];
+        let ys = [[1.0], [-1.0]];
+        let batch: Vec<(&[f64], &[f64])> =
+            xs.iter().zip(&ys).map(|(x, y)| (&x[..], &y[..])).collect();
+        let initial = net.train_batch(&batch, &mut adam);
+        let mut last = initial;
+        for _ in 0..800 {
+            last = net.train_batch(&batch, &mut adam);
+        }
+        assert!(last < initial / 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_width_panics() {
+        let net = MlpBuilder::new(3).hidden(4).output(1).build(&mut rng());
+        net.forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_batch_panics() {
+        let mut net = MlpBuilder::new(3).hidden(4).output(1).build(&mut rng());
+        let mut adam = Adam::with_learning_rate(0.01);
+        net.train_batch(&[], &mut adam);
+    }
+}

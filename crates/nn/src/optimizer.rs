@@ -1,0 +1,190 @@
+//! First-order optimizers operating on flat parameter vectors.
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Optional momentum coefficient (0 disables).
+    pub momentum: f64,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no momentum.
+    pub fn with_learning_rate(learning_rate: f64) -> SgdState {
+        SgdState {
+            config: Sgd {
+                learning_rate,
+                momentum: 0.0,
+            },
+            velocity: Vec::new(),
+        }
+    }
+}
+
+/// SGD with its momentum buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdState {
+    config: Sgd,
+    velocity: Vec<f64>,
+}
+
+impl SgdState {
+    /// Creates SGD with momentum.
+    pub fn with_momentum(learning_rate: f64, momentum: f64) -> Self {
+        SgdState {
+            config: Sgd {
+                learning_rate,
+                momentum,
+            },
+            velocity: Vec::new(),
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    step: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Adam with standard `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e−8`.
+    pub fn with_learning_rate(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+/// A stateful optimizer that applies a gradient step to a flat parameter
+/// vector. State buffers are allocated lazily on first use and keyed by
+/// position, so an optimizer must be used with a single network.
+pub trait Optimizer {
+    /// Applies one update: `params ← params − f(grads)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()`, or if the vector length
+    /// changes between calls.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+}
+
+impl Optimizer for SgdState {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient mismatch");
+        if self.config.momentum == 0.0 {
+            for (p, g) in params.iter_mut().zip(grads) {
+                *p -= self.config.learning_rate * g;
+            }
+            return;
+        }
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        assert_eq!(self.velocity.len(), params.len(), "optimizer reuse across networks");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.config.momentum * *v + g;
+            *p -= self.config.learning_rate * *v;
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient mismatch");
+        if self.m.is_empty() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        assert_eq!(self.m.len(), params.len(), "optimizer reuse across networks");
+        self.step += 1;
+        let b1t = 1.0 - self.beta1.powi(self.step as i32);
+        let b2t = 1.0 - self.beta2.powi(self.step as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x − 3)² from x = 0.
+    fn minimize<O: Optimizer>(opt: &mut O, iterations: usize) -> f64 {
+        let mut x = [0.0f64];
+        for _ in 0..iterations {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::with_learning_rate(0.1);
+        assert!((minimize(&mut sgd, 200) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let mut sgd = SgdState::with_momentum(0.02, 0.9);
+        assert!((minimize(&mut sgd, 500) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::with_learning_rate(0.1);
+        assert!((minimize(&mut adam, 500) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_handles_ill_scaled_gradients() {
+        // Two coordinates with gradients 1000× apart: Adam normalizes.
+        let mut adam = Adam::with_learning_rate(0.05);
+        let mut x = [0.0f64, 0.0];
+        for _ in 0..3000 {
+            let g = [2000.0 * (x[0] - 1.0), 2.0 * (x[1] - 1.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 1.0).abs() < 1e-2, "x0 = {}", x[0]);
+        assert!((x[1] - 1.0).abs() < 1e-2, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut adam = Adam::with_learning_rate(0.1);
+        adam.step(&mut [0.0, 0.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reuse_across_networks_panics() {
+        let mut adam = Adam::with_learning_rate(0.1);
+        adam.step(&mut [0.0, 0.0], &[1.0, 1.0]);
+        adam.step(&mut [0.0], &[1.0]);
+    }
+}

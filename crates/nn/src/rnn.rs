@@ -1,0 +1,356 @@
+//! A minimal Elman recurrent network with truncated backpropagation
+//! through time.
+//!
+//! The paper notes (§III.C) that "other neural networks architectures
+//! (e.g. RNN) can also be adopted" for the anti-jamming policy; this
+//! module provides that alternative, and the suite also uses it to build
+//! the DeepJam-style *adaptive* jammer (related work \[14\]) that predicts
+//! the victim's next channel from its traffic history.
+//!
+//! Architecture: `h_t = tanh(W_xh·x_t + W_hh·h_{t−1} + b_h)`,
+//! `y_t = W_hy·h_t + b_y`, trained by BPTT over fixed-length sequences
+//! with MSE loss on every step's output.
+
+use crate::matrix::Matrix;
+use crate::optimizer::Optimizer;
+use rand::Rng;
+
+/// An Elman RNN.
+///
+/// # Example
+///
+/// Learn to echo the previous input (a one-step memory task):
+///
+/// ```
+/// use ctjam_nn::rnn::Rnn;
+/// use ctjam_nn::optimizer::Adam;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let mut rnn = Rnn::new(1, 8, 1, &mut rng);
+/// let mut adam = Adam::with_learning_rate(0.01);
+/// let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![f64::from(i % 2 == 0)]).collect();
+/// // Target at step t is the input at step t−1 (0 for the first step).
+/// let ys: Vec<Vec<f64>> = std::iter::once(vec![0.0])
+///     .chain(xs.iter().take(11).cloned())
+///     .collect();
+/// for _ in 0..400 {
+///     rnn.train_sequence(&xs, &ys, &mut adam);
+/// }
+/// let out = rnn.run(&xs);
+/// assert!((out[5][0] - xs[4][0]).abs() < 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rnn {
+    w_xh: Matrix,
+    w_hh: Matrix,
+    b_h: Vec<f64>,
+    w_hy: Matrix,
+    b_y: Vec<f64>,
+}
+
+impl Rnn {
+    /// Creates an RNN with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new<R: Rng + ?Sized>(input: usize, hidden: usize, output: usize, rng: &mut R) -> Self {
+        assert!(input > 0 && hidden > 0 && output > 0, "dimensions must be positive");
+        let lim_xh = (6.0 / (input + hidden) as f64).sqrt();
+        let lim_hh = (6.0 / (2 * hidden) as f64).sqrt();
+        let lim_hy = (6.0 / (hidden + output) as f64).sqrt();
+        Rnn {
+            w_xh: Matrix::from_fn(hidden, input, |_, _| rng.gen_range(-lim_xh..lim_xh)),
+            w_hh: Matrix::from_fn(hidden, hidden, |_, _| rng.gen_range(-lim_hh..lim_hh)),
+            b_h: vec![0.0; hidden],
+            w_hy: Matrix::from_fn(output, hidden, |_, _| rng.gen_range(-lim_hy..lim_hy)),
+            b_y: vec![0.0; output],
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.w_xh.cols()
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_size(&self) -> usize {
+        self.w_xh.rows()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.w_hy.rows()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w_xh.len() + self.w_hh.len() + self.b_h.len() + self.w_hy.len() + self.b_y.len()
+    }
+
+    /// One recurrent step from hidden state `h`; returns `(h_next, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn step(&self, x: &[f64], h: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(x.len(), self.input_size(), "input width mismatch");
+        assert_eq!(h.len(), self.hidden_size(), "hidden width mismatch");
+        let mut z = self.w_xh.mul_vec(x);
+        let rec = self.w_hh.mul_vec(h);
+        for ((zi, r), b) in z.iter_mut().zip(&rec).zip(&self.b_h) {
+            *zi = (*zi + r + b).tanh();
+        }
+        let mut y = self.w_hy.mul_vec(&z);
+        for (yi, b) in y.iter_mut().zip(&self.b_y) {
+            *yi += b;
+        }
+        (z, y)
+    }
+
+    /// Runs a whole sequence from a zero hidden state, returning every
+    /// step's output.
+    pub fn run(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut h = vec![0.0; self.hidden_size()];
+        xs.iter()
+            .map(|x| {
+                let (h_next, y) = self.step(x, &h);
+                h = h_next;
+                y
+            })
+            .collect()
+    }
+
+    /// Flat parameter vector (w_xh, w_hh, b_h, w_hy, b_y order).
+    pub fn flatten_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        out.extend_from_slice(self.w_xh.as_slice());
+        out.extend_from_slice(self.w_hh.as_slice());
+        out.extend_from_slice(&self.b_h);
+        out.extend_from_slice(self.w_hy.as_slice());
+        out.extend_from_slice(&self.b_y);
+        out
+    }
+
+    /// Writes back a flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        let mut offset = 0;
+        let mut take = |len: usize| {
+            let slice = &params[offset..offset + len];
+            offset += len;
+            slice
+        };
+        let w = self.w_xh.len();
+        self.w_xh.as_mut_slice().copy_from_slice(take(w));
+        let w = self.w_hh.len();
+        self.w_hh.as_mut_slice().copy_from_slice(take(w));
+        let b = self.b_h.len();
+        self.b_h.copy_from_slice(take(b));
+        let w = self.w_hy.len();
+        self.w_hy.as_mut_slice().copy_from_slice(take(w));
+        let b = self.b_y.len();
+        self.b_y.copy_from_slice(take(b));
+    }
+
+    /// Mean per-step MSE loss and its flat gradient over one sequence
+    /// (full BPTT from a zero initial hidden state).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty sequences or width mismatches.
+    pub fn loss_and_gradient(&self, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> (f64, Vec<f64>) {
+        assert!(!xs.is_empty(), "empty training sequence");
+        assert_eq!(xs.len(), ys.len(), "input/target length mismatch");
+        let steps = xs.len();
+        let hidden = self.hidden_size();
+        let out_dim = self.output_size() as f64;
+
+        // Forward, keeping hidden states.
+        let mut hs: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
+        hs.push(vec![0.0; hidden]);
+        let mut outputs = Vec::with_capacity(steps);
+        for x in xs {
+            let (h, y) = self.step(x, hs.last().expect("seeded"));
+            hs.push(h);
+            outputs.push(y);
+        }
+
+        // Backward.
+        let mut g_w_xh = Matrix::zeros(hidden, self.input_size());
+        let mut g_w_hh = Matrix::zeros(hidden, hidden);
+        let mut g_b_h = vec![0.0; hidden];
+        let mut g_w_hy = Matrix::zeros(self.output_size(), hidden);
+        let mut g_b_y = vec![0.0; self.output_size()];
+        let mut loss = 0.0;
+        let scale = 1.0 / steps as f64;
+        let mut dh_next = vec![0.0; hidden];
+
+        for t in (0..steps).rev() {
+            let y = &outputs[t];
+            let target = &ys[t];
+            assert_eq!(target.len(), self.output_size(), "target width mismatch");
+            // Per-step loss: mean over output dims.
+            let dy: Vec<f64> = y
+                .iter()
+                .zip(target)
+                .map(|(p, q)| {
+                    loss += (p - q) * (p - q) / out_dim;
+                    2.0 * (p - q) / out_dim
+                })
+                .collect();
+            g_w_hy.add_outer(&dy, &hs[t + 1], scale);
+            for (g, d) in g_b_y.iter_mut().zip(&dy) {
+                *g += d * scale;
+            }
+            // dL/dh_t = W_hyᵀ·dy + carry from t+1.
+            let mut dh = self.w_hy.mul_vec_transposed(&dy);
+            for (d, c) in dh.iter_mut().zip(&dh_next) {
+                *d += c;
+            }
+            // Through tanh: dz = dh ⊙ (1 − h²).
+            let dz: Vec<f64> = dh
+                .iter()
+                .zip(&hs[t + 1])
+                .map(|(d, h)| d * (1.0 - h * h))
+                .collect();
+            g_w_xh.add_outer(&dz, &xs[t], scale);
+            g_w_hh.add_outer(&dz, &hs[t], scale);
+            for (g, d) in g_b_h.iter_mut().zip(&dz) {
+                *g += d * scale;
+            }
+            dh_next = self.w_hh.mul_vec_transposed(&dz);
+        }
+
+        let mut flat = Vec::with_capacity(self.param_count());
+        flat.extend_from_slice(g_w_xh.as_slice());
+        flat.extend_from_slice(g_w_hh.as_slice());
+        flat.extend_from_slice(&g_b_h);
+        flat.extend_from_slice(g_w_hy.as_slice());
+        flat.extend_from_slice(&g_b_y);
+        (loss * scale, flat)
+    }
+
+    /// One optimization step on a sequence; returns the pre-update loss.
+    pub fn train_sequence<O: Optimizer>(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        opt: &mut O,
+    ) -> f64 {
+        let (loss, grads) = self.loss_and_gradient(xs, ys);
+        let mut params = self.flatten_params();
+        opt.step(&mut params, &grads);
+        self.set_params(&params);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn dimensions_and_param_count() {
+        let rnn = Rnn::new(3, 7, 2, &mut rng());
+        assert_eq!(rnn.input_size(), 3);
+        assert_eq!(rnn.hidden_size(), 7);
+        assert_eq!(rnn.output_size(), 2);
+        assert_eq!(rnn.param_count(), 3 * 7 + 7 * 7 + 7 + 7 * 2 + 2);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut rnn = Rnn::new(2, 4, 1, &mut rng());
+        let mut p = rnn.flatten_params();
+        p[0] += 1.0;
+        rnn.set_params(&p);
+        assert_eq!(rnn.flatten_params(), p);
+    }
+
+    #[test]
+    fn hidden_state_carries_information() {
+        let rnn = Rnn::new(1, 6, 1, &mut rng());
+        let h0 = vec![0.0; 6];
+        let (h1, _) = rnn.step(&[1.0], &h0);
+        let (_, y_fresh) = rnn.step(&[0.0], &h0);
+        let (_, y_after) = rnn.step(&[0.0], &h1);
+        assert!(
+            (y_fresh[0] - y_after[0]).abs() > 1e-9,
+            "hidden state must influence the output"
+        );
+    }
+
+    #[test]
+    fn bptt_gradient_matches_finite_differences() {
+        let rnn = Rnn::new(2, 5, 2, &mut rng());
+        let xs: Vec<Vec<f64>> = (0..6)
+            .map(|t| vec![(t as f64 * 0.7).sin(), (t as f64 * 0.3).cos()])
+            .collect();
+        let ys: Vec<Vec<f64>> = (0..6)
+            .map(|t| vec![(t as f64 * 0.5).cos(), 0.25])
+            .collect();
+        let (l0, grads) = rnn.loss_and_gradient(&xs, &ys);
+        let params = rnn.flatten_params();
+        let eps = 1e-6;
+        let mut worst = 0.0f64;
+        for i in (0..params.len()).step_by(5) {
+            let mut p = params.clone();
+            p[i] += eps;
+            let mut plus = rnn.clone();
+            plus.set_params(&p);
+            p[i] -= 2.0 * eps;
+            let mut minus = rnn.clone();
+            minus.set_params(&p);
+            let lp = plus.loss_and_gradient(&xs, &ys).0;
+            let lm = minus.loss_and_gradient(&xs, &ys).0;
+            let numeric = (lp - lm) / (2.0 * eps);
+            worst = worst.max((numeric - grads[i]).abs());
+        }
+        let _ = l0;
+        assert!(worst < 1e-5, "max BPTT gradient error {worst}");
+    }
+
+    #[test]
+    fn learns_a_memory_task() {
+        // Predict the input from two steps ago — requires real recurrence.
+        let mut rnn = Rnn::new(1, 12, 1, &mut rng());
+        let mut adam = Adam::with_learning_rate(0.02);
+        let pattern = [1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0];
+        let xs: Vec<Vec<f64>> = pattern.iter().map(|&v| vec![v]).collect();
+        let ys: Vec<Vec<f64>> = (0..pattern.len())
+            .map(|t| vec![if t >= 2 { pattern[t - 2] } else { 0.0 }])
+            .collect();
+        let mut last = f64::INFINITY;
+        for _ in 0..1_500 {
+            last = rnn.train_sequence(&xs, &ys, &mut adam);
+        }
+        assert!(last < 0.03, "memory task not learned: loss {last}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sequence_panics() {
+        let rnn = Rnn::new(1, 2, 1, &mut rng());
+        rnn.loss_and_gradient(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_rejected() {
+        Rnn::new(0, 3, 1, &mut rng());
+    }
+}

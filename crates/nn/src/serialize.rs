@@ -1,0 +1,194 @@
+//! Weight (de)serialization and memory accounting.
+//!
+//! The paper reports that its trained DQN is "a series of matrices, which
+//! contain 10 664 float numbers with 42.7 KB memory" — i.e. 32-bit floats
+//! (10 664 × 4 B = 42.66 KB) loaded onto the IoT hub before the
+//! experiment. This module serializes networks in exactly that deployable
+//! f32 format (plus a shape header) and provides the accounting.
+
+use crate::mlp::{Mlp, MlpBuilder};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic tag of the weight file format.
+const MAGIC: &[u8; 4] = b"CTJN";
+
+/// Errors from deserializing a weight blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializeError {
+    /// Missing or wrong magic tag.
+    BadMagic,
+    /// The blob ended prematurely.
+    Truncated,
+    /// The declared shape is invalid (fewer than 2 layers, zero width).
+    BadShape,
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::BadMagic => write!(f, "not a ctjam weight blob"),
+            SerializeError::Truncated => write!(f, "weight blob ended prematurely"),
+            SerializeError::BadShape => write!(f, "weight blob declares an invalid shape"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// Serializes a network to the deployable format: magic, layer count,
+/// layer widths (u32 LE), then all parameters as f32 LE in
+/// [`Mlp::flatten_params`] order.
+pub fn to_bytes(net: &Mlp) -> Bytes {
+    let shape = net.shape();
+    let params = net.flatten_params();
+    let mut buf = BytesMut::with_capacity(4 + 4 + shape.len() * 4 + params.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(shape.len() as u32);
+    for s in &shape {
+        buf.put_u32_le(*s as u32);
+    }
+    for p in params {
+        buf.put_f32_le(p as f32);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a network from [`to_bytes`] output. Weights round-trip
+/// through f32, matching what the deployed MCU actually runs.
+///
+/// # Errors
+///
+/// Returns a [`SerializeError`] on format violations.
+pub fn from_bytes(mut bytes: &[u8]) -> Result<Mlp, SerializeError> {
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(SerializeError::BadMagic);
+    }
+    bytes.advance(4);
+    let num_sizes = bytes.get_u32_le() as usize;
+    if num_sizes < 2 {
+        return Err(SerializeError::BadShape);
+    }
+    if bytes.remaining() < num_sizes * 4 {
+        return Err(SerializeError::Truncated);
+    }
+    let mut shape = Vec::with_capacity(num_sizes);
+    for _ in 0..num_sizes {
+        let s = bytes.get_u32_le() as usize;
+        if s == 0 {
+            return Err(SerializeError::BadShape);
+        }
+        shape.push(s);
+    }
+
+    let mut builder = MlpBuilder::new(shape[0]);
+    for &h in &shape[1..num_sizes - 1] {
+        builder = builder.hidden(h);
+    }
+    // Weight values are about to be overwritten; the RNG seed is moot.
+    let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+    let mut net = builder.output(shape[num_sizes - 1]).build(&mut rng);
+
+    let count = net.param_count();
+    if bytes.remaining() < count * 4 {
+        return Err(SerializeError::Truncated);
+    }
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        params.push(f64::from(bytes.get_f32_le()));
+    }
+    net.set_params(&params);
+    Ok(net)
+}
+
+/// Deployed memory footprint in bytes: 4 bytes per parameter, the f32
+/// format the paper's 42.7 KB figure implies.
+pub fn deployed_bytes(net: &Mlp) -> usize {
+    net.param_count() * 4
+}
+
+/// Human-readable size in KB (matching the paper's reporting style).
+pub fn deployed_kb(net: &Mlp) -> f64 {
+    deployed_bytes(net) as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_scale_net() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 3·I = 24 inputs, two hidden layers, C·PL = 160 outputs.
+        MlpBuilder::new(24).hidden(48).hidden(42).output(160).build(&mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape_and_weights() {
+        let net = paper_scale_net();
+        let blob = to_bytes(&net);
+        let back = from_bytes(&blob).unwrap();
+        assert_eq!(back.shape(), net.shape());
+        // Values survive up to f32 precision.
+        let a = net.flatten_params();
+        let b = back.flatten_params();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn roundtripped_network_predicts_like_the_original() {
+        let net = paper_scale_net();
+        let back = from_bytes(&to_bytes(&net)).unwrap();
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.37).sin()).collect();
+        let a = net.forward(&x);
+        let b = back.forward(&x);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn memory_footprint_matches_paper_order() {
+        // The paper: 10 664 floats, 42.7 KB. Our default DQN shape is the
+        // same order of magnitude and well under the MCU budget.
+        let net = paper_scale_net();
+        let params = net.param_count();
+        assert!(
+            (8_000..13_000).contains(&params),
+            "parameter count {params} far from the paper's 10 664"
+        );
+        assert_eq!(deployed_bytes(&net), params * 4);
+        assert!(
+            (32.0..52.0).contains(&deployed_kb(&net)),
+            "{} KB far from the paper's 42.7 KB",
+            deployed_kb(&net)
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(from_bytes(b"NOPE1234").unwrap_err(), SerializeError::BadMagic);
+        assert_eq!(from_bytes(&[]).unwrap_err(), SerializeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let blob = to_bytes(&paper_scale_net());
+        let cut = &blob[..blob.len() - 10];
+        assert_eq!(from_bytes(cut).unwrap_err(), SerializeError::Truncated);
+    }
+
+    #[test]
+    fn zero_width_shape_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(3);
+        buf.put_u32_le(4);
+        buf.put_u32_le(0);
+        buf.put_u32_le(2);
+        assert_eq!(from_bytes(&buf).unwrap_err(), SerializeError::BadShape);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the neural-network substrate.
+
+use ctjam_nn::loss::Loss;
+use ctjam_nn::matrix::Matrix;
+use ctjam_nn::mlp::MlpBuilder;
+use ctjam_nn::serialize::{from_bytes, to_bytes};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn matvec_is_linear(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in any::<u64>(),
+        alpha in -3.0f64..3.0,
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / (u32::MAX as f64) * 2.0 - 1.0
+        };
+        let m = Matrix::from_fn(rows, cols, |_, _| next());
+        let x: Vec<f64> = (0..cols).map(|_| next()).collect();
+        let y: Vec<f64> = (0..cols).map(|_| next()).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + alpha * b).collect();
+        let lhs = m.mul_vec(&combo);
+        let mx = m.mul_vec(&x);
+        let my = m.mul_vec(&y);
+        for i in 0..rows {
+            prop_assert!((lhs[i] - (mx[i] + alpha * my[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn loss_nonnegative_and_zero_at_target(p in -10.0f64..10.0, delta in 0.1f64..5.0) {
+        for loss in [Loss::Mse, Loss::Huber { delta }] {
+            prop_assert!(loss.value(p, p) == 0.0);
+            prop_assert!(loss.value(p, 0.0) >= 0.0);
+            prop_assert!(loss.gradient(p, p) == 0.0);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip(seed in any::<u64>(), hidden in 1usize..24, out in 1usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = MlpBuilder::new(5).hidden(hidden).output(out).build(&mut rng);
+        let back = from_bytes(&to_bytes(&net)).unwrap();
+        prop_assert_eq!(back.shape(), net.shape());
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let a = net.forward(&x);
+        let b = back.forward(&x);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradient_check_random_architectures(
+        seed in any::<u64>(),
+        h1 in 2usize..8,
+        h2 in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = MlpBuilder::new(3).hidden(h1).hidden(h2).output(2).build(&mut rng);
+        let x = [0.3, -0.6, 0.9];
+        let t = [0.5, -0.5];
+        let batch: Vec<(&[f64], &[f64])> = vec![(&x, &t)];
+        let (l0, grads) = net.loss_and_gradient(&batch);
+        let params = net.flatten_params();
+        let eps = 1e-6;
+        // Spot-check a handful of coordinates.
+        for i in (0..params.len()).step_by(params.len() / 5 + 1) {
+            let mut p = params.clone();
+            p[i] += eps;
+            let mut plus = net.clone();
+            plus.set_params(&p);
+            p[i] -= 2.0 * eps;
+            let mut minus = net.clone();
+            minus.set_params(&p);
+            let lp = plus.loss_and_gradient(&batch).0;
+            let lm = minus.loss_and_gradient(&batch).0;
+            // A ReLU kink inside the probed interval makes the central
+            // difference meaningless; detect it by the two one-sided
+            // slopes disagreeing and skip (the loss is piecewise smooth).
+            let forward = (lp - l0) / eps;
+            let backward = (l0 - lm) / eps;
+            if (forward - backward).abs() > 1e-4 {
+                continue;
+            }
+            let numeric = (lp - lm) / (2.0 * eps);
+            prop_assert!((numeric - grads[i]).abs() < 1e-4, "coord {}: {} vs {}", i, numeric, grads[i]);
+        }
+    }
+
+    #[test]
+    fn flatten_set_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = MlpBuilder::new(4).hidden(6).output(3).build(&mut rng);
+        let flat = net.flatten_params();
+        net.set_params(&flat);
+        prop_assert_eq!(net.flatten_params(), flat);
+    }
+}

@@ -1,0 +1,319 @@
+//! A minimal double-precision complex-number type.
+//!
+//! The suite deliberately avoids external numerics crates, so this module
+//! provides the handful of complex operations the PHY chain needs: the four
+//! arithmetic operators, conjugation, magnitude, and polar construction.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number backed by two `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::Complex64;
+///
+/// let a = Complex64::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// assert_eq!(a * Complex64::I, Complex64::new(-4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar components.
+    ///
+    /// ```
+    /// use ctjam_phy::Complex64;
+    /// use std::f64::consts::FRAC_PI_2;
+    ///
+    /// let z = Complex64::from_polar(2.0, FRAC_PI_2);
+    /// assert!((z - Complex64::new(0.0, 2.0)).norm() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{i·theta}`, a unit phasor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::from_polar(1.0, theta)
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Returns the magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Returns the squared magnitude `|z|²`, cheaper than [`Complex64::norm`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Complex64 {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl From<(f64, f64)> for Complex64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Complex64 {
+        Complex64::new(re, im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Returns the total energy `Σ|z|²` of a sample buffer.
+///
+/// ```
+/// use ctjam_phy::complex::{energy, Complex64};
+/// let buf = [Complex64::new(3.0, 4.0), Complex64::ONE];
+/// assert_eq!(energy(&buf), 26.0);
+/// ```
+pub fn energy(samples: &[Complex64]) -> f64 {
+    samples.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Returns the average power `Σ|z|²/N` of a sample buffer (0 for empty input).
+pub fn mean_power(samples: &[Complex64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        energy(samples) / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(2.5, -1.5);
+        assert_eq!(z + Complex64::ZERO, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert!(close(z / z, Complex64::ONE));
+        assert_eq!(-(-z), z);
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -4.0);
+        // (1+2i)(3-4i) = 3 - 4i + 6i - 8i² = 11 + 2i
+        assert_eq!(a * b, Complex64::new(11.0, 2.0));
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        let z = Complex64::new(1.0, 2.0);
+        assert_eq!(z.conj(), Complex64::new(1.0, -2.0));
+        assert_eq!((z * z.conj()).re, z.norm_sqr());
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::new(-3.0, 4.0);
+        let back = Complex64::from_polar(z.norm(), z.arg());
+        assert!(close(z, back));
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            assert!((Complex64::cis(theta).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(0.7, -0.3);
+        let b = Complex64::new(-1.1, 2.2);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let v = vec![Complex64::ONE; 5];
+        let s: Complex64 = v.into_iter().sum();
+        assert_eq!(s, Complex64::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn energy_and_mean_power() {
+        let buf = [Complex64::new(1.0, 1.0); 4];
+        assert_eq!(energy(&buf), 8.0);
+        assert_eq!(mean_power(&buf), 2.0);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,301 @@
+//! Iterative radix-2 Cooley–Tukey FFT and inverse FFT.
+//!
+//! The Wi-Fi OFDM chain operates on 64-point blocks, and the EmuBee
+//! emulation path runs the same transform backwards, so a power-of-two FFT
+//! is all the suite needs. The implementation is allocation-free once the
+//! plan is built: twiddle factors are precomputed per size.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Error returned when a transform is requested for an unsupported length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftSizeError {
+    len: usize,
+}
+
+impl FftSizeError {
+    /// The offending buffer length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the offending length was zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Display for FftSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fft length {} is not a power of two", self.len)
+    }
+}
+
+impl std::error::Error for FftSizeError {}
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// Building a plan precomputes the bit-reversal permutation and twiddle
+/// factors; [`Fft::forward`] and [`Fft::inverse`] then run in `O(n log n)`
+/// with no allocation.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::fft::Fft;
+/// use ctjam_phy::Complex64;
+///
+/// let fft = Fft::new(8).unwrap();
+/// let mut buf = vec![Complex64::ONE; 8];
+/// fft.forward(&mut buf).unwrap();
+/// // DC bin holds the sum, every other bin is zero.
+/// assert!((buf[0].re - 8.0).abs() < 1e-12);
+/// assert!(buf[1].norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    reversed: Vec<u32>,
+    /// Forward twiddles: `e^{-2πik/n}` for `k` in `0..n/2`.
+    twiddles: Vec<Complex64>,
+}
+
+impl Fft {
+    /// Creates a plan for `n`-point transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftSizeError`] when `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Result<Self, FftSizeError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(FftSizeError { len: n });
+        }
+        let bits = n.trailing_zeros();
+        let reversed = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        let twiddles = (0..n / 2)
+            .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        Ok(Fft {
+            n,
+            reversed: if n == 1 { vec![0] } else { reversed },
+            twiddles,
+        })
+    }
+
+    /// The transform size this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate 1-point plan.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn check(&self, buf: &[Complex64]) -> Result<(), FftSizeError> {
+        if buf.len() == self.n {
+            Ok(())
+        } else {
+            Err(FftSizeError { len: buf.len() })
+        }
+    }
+
+    fn permute(&self, buf: &mut [Complex64]) {
+        for (i, &r) in self.reversed.iter().enumerate() {
+            let r = r as usize;
+            if i < r {
+                buf.swap(i, r);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [Complex64], conjugate: bool) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if conjugate {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_j x[j]·e^{-2πijk/n}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftSizeError`] when `buf.len()` differs from the plan size.
+    pub fn forward(&self, buf: &mut [Complex64]) -> Result<(), FftSizeError> {
+        self.check(buf)?;
+        self.permute(buf);
+        self.butterflies(buf, false);
+        Ok(())
+    }
+
+    /// In-place inverse DFT, normalized by `1/n` so that
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftSizeError`] when `buf.len()` differs from the plan size.
+    pub fn inverse(&self, buf: &mut [Complex64]) -> Result<(), FftSizeError> {
+        self.check(buf)?;
+        self.permute(buf);
+        self.butterflies(buf, true);
+        let scale = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(scale);
+        }
+        Ok(())
+    }
+}
+
+/// One-shot forward FFT returning a new buffer.
+///
+/// # Errors
+///
+/// Returns [`FftSizeError`] when the input length is not a power of two.
+pub fn fft(input: &[Complex64]) -> Result<Vec<Complex64>, FftSizeError> {
+    let plan = Fft::new(input.len())?;
+    let mut buf = input.to_vec();
+    plan.forward(&mut buf)?;
+    Ok(buf)
+}
+
+/// One-shot inverse FFT returning a new buffer.
+///
+/// # Errors
+///
+/// Returns [`FftSizeError`] when the input length is not a power of two.
+pub fn ifft(input: &[Complex64]) -> Result<Vec<Complex64>, FftSizeError> {
+    let plan = Fft::new(input.len())?;
+    let mut buf = input.to_vec();
+    plan.inverse(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::energy;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| x[j] * Complex64::cis(-2.0 * PI * (j * k) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(Fft::new(0).is_err());
+        assert!(Fft::new(3).is_err());
+        assert!(Fft::new(12).is_err());
+        assert!(Fft::new(64).is_ok());
+    }
+
+    #[test]
+    fn rejects_mismatched_buffer() {
+        let plan = Fft::new(8).unwrap();
+        let mut buf = vec![Complex64::ZERO; 4];
+        assert!(plan.forward(&mut buf).is_err());
+        assert!(plan.inverse(&mut buf).is_err());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+                .collect();
+            let fast = fft(&x).unwrap();
+            let slow = naive_dft(&x);
+            assert!(max_err(&fast, &slow) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<Complex64> = (0..128)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let back = ifft(&fft(&x).unwrap()).unwrap();
+        assert!(max_err(&x, &back) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64 * 1.3).cos(), (i as f64 * 0.7).sin()))
+            .collect();
+        let spectrum = fft(&x).unwrap();
+        let time_energy = energy(&x);
+        let freq_energy = energy(&spectrum) / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        let spectrum = fft(&x).unwrap();
+        for bin in spectrum {
+            assert!((bin - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * PI * (j * k) as f64 / n as f64))
+            .collect();
+        let spectrum = fft(&x).unwrap();
+        for (bin, z) in spectrum.iter().enumerate() {
+            if bin == k {
+                assert!((z.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.norm() < 1e-9, "bin {bin} leaked {}", z.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (n - i) as f64)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft(&a).unwrap();
+        let fb = fft(&b).unwrap();
+        let fsum = fft(&sum).unwrap();
+        let combined: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fsum, &combined) < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! PHY-layer digital-signal-processing substrate for the CTJam suite.
+//!
+//! This crate implements, from scratch, every piece of signal-processing
+//! machinery that the cross-technology jamming attack of *“Defending against
+//! Cross-Technology Jamming in Heterogeneous IoT Systems”* (ICDCS 2022)
+//! depends on:
+//!
+//! * [`complex`] — a minimal complex-number type, [`Complex64`].
+//! * [`fft`] — an iterative radix-2 FFT/IFFT pair.
+//! * [`qam`] — the Gray-coded 64-QAM constellation used by 802.11 OFDM.
+//! * [`zigbee`] — IEEE 802.15.4 (2.4 GHz) O-QPSK with 32-chip DSSS
+//!   spreading, half-sine pulse shaping, and the ZigBee PHY frame format.
+//! * [`wifi`] — the 802.11 OFDM symbol chain (64 subcarriers, cyclic
+//!   prefix) driven forwards (modulation) and backwards (emulation).
+//! * [`emulation`] — the *EmuBee* attack: emulating a ZigBee waveform with
+//!   a Wi-Fi transmitter, including the paper's Eq. (1)–(2) quantization
+//!   optimizer that scales the 64-QAM grid to minimize emulation error.
+//! * [`metrics`] — EVM, correlation, and chip-error-rate measurements used
+//!   to quantify emulation fidelity.
+//!
+//! # Example
+//!
+//! Emulate one ZigBee symbol with a Wi-Fi front end and measure the error:
+//!
+//! ```
+//! use ctjam_phy::emulation::{Emulator, EmulationConfig};
+//! use ctjam_phy::zigbee::oqpsk::OqpskModulator;
+//!
+//! let modulator = OqpskModulator::with_oversampling(10);
+//! let target = modulator.modulate_symbols(&[0x3, 0xA, 0x5]);
+//! let emulator = Emulator::new(EmulationConfig::default());
+//! let report = emulator.emulate(&target);
+//! assert!(report.evm() < 1.0, "EmuBee should track the designed waveform");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod emulation;
+pub mod fft;
+pub mod metrics;
+pub mod qam;
+pub mod wifi;
+pub mod zigbee;
+
+pub use complex::Complex64;

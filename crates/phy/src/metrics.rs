@@ -1,0 +1,274 @@
+//! Fidelity metrics for emulated waveforms: EVM, correlation, and chip
+//! error rate at the victim receiver.
+
+use crate::complex::{energy, Complex64};
+use crate::zigbee::oqpsk::OqpskModulator;
+
+/// Root-mean-square error between two waveforms, normalized by the RMS
+/// amplitude of `reference` (an error-vector-magnitude style measure).
+///
+/// Returns 0 when the reference carries no energy.
+///
+/// # Panics
+///
+/// Panics if the buffers differ in length.
+///
+/// ```
+/// use ctjam_phy::metrics::waveform_evm;
+/// use ctjam_phy::Complex64;
+///
+/// let a = vec![Complex64::ONE; 8];
+/// assert_eq!(waveform_evm(&a, &a), 0.0);
+/// ```
+pub fn waveform_evm(reference: &[Complex64], actual: &[Complex64]) -> f64 {
+    assert_eq!(reference.len(), actual.len(), "waveform lengths must match");
+    let ref_energy = energy(reference);
+    if ref_energy == 0.0 {
+        return 0.0;
+    }
+    let err_energy: f64 = reference
+        .iter()
+        .zip(actual)
+        .map(|(r, a)| (*r - *a).norm_sqr())
+        .sum();
+    (err_energy / ref_energy).sqrt()
+}
+
+/// Normalized cross-correlation magnitude `|⟨a,b⟩| / (‖a‖·‖b‖)` in `[0,1]`.
+///
+/// 1 means the waveforms are identical up to a complex scale factor.
+///
+/// # Panics
+///
+/// Panics if the buffers differ in length.
+pub fn normalized_correlation(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "waveform lengths must match");
+    let ea = energy(a);
+    let eb = energy(b);
+    if ea == 0.0 || eb == 0.0 {
+        return 0.0;
+    }
+    let inner: Complex64 = a.iter().zip(b).map(|(x, y)| *x * y.conj()).sum();
+    inner.norm() / (ea.sqrt() * eb.sqrt())
+}
+
+/// Fraction of chips that a victim O-QPSK receiver decides differently
+/// between a `designed` waveform and its `emulated` replica.
+///
+/// This is the metric that ultimately decides jamming effectiveness: a low
+/// chip error rate means the emulated signal collides with legitimate
+/// traffic exactly like a genuine ZigBee signal would.
+///
+/// # Panics
+///
+/// Panics if the waveforms differ in length.
+pub fn chip_error_rate(
+    modulator: &OqpskModulator,
+    designed: &[Complex64],
+    emulated: &[Complex64],
+) -> f64 {
+    assert_eq!(designed.len(), emulated.len(), "waveform lengths must match");
+    let a = modulator.chips_from_waveform(designed);
+    let b = modulator.chips_from_waveform(emulated);
+    if a.is_empty() {
+        return 0.0;
+    }
+    let errors = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+    errors as f64 / a.len() as f64
+}
+
+/// Signal-to-distortion ratio in dB: `10·log10(E_ref / E_err)`.
+///
+/// Returns `f64::INFINITY` for a perfect match and `-INFINITY` for a
+/// zero-energy reference with nonzero error.
+///
+/// # Panics
+///
+/// Panics if the buffers differ in length.
+pub fn distortion_db(reference: &[Complex64], actual: &[Complex64]) -> f64 {
+    assert_eq!(reference.len(), actual.len(), "waveform lengths must match");
+    let ref_energy = energy(reference);
+    let err_energy: f64 = reference
+        .iter()
+        .zip(actual)
+        .map(|(r, a)| (*r - *a).norm_sqr())
+        .sum();
+    if err_energy == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (ref_energy / err_energy).log10()
+    }
+}
+
+/// Averaged-periodogram power spectral density over 64-sample windows.
+///
+/// Returns 64 nonnegative bins in FFT order (bin 0 = DC, bins 33..64 =
+/// negative frequencies), normalized to sum to the mean per-window
+/// energy. Trailing samples that do not fill a window are ignored.
+///
+/// Returns all zeros for inputs shorter than one window.
+pub fn power_spectral_density(samples: &[Complex64]) -> Vec<f64> {
+    use crate::fft::Fft;
+    const N: usize = 64;
+    let mut psd = vec![0.0; N];
+    let windows = samples.len() / N;
+    if windows == 0 {
+        return psd;
+    }
+    let plan = Fft::new(N).expect("64 is a power of two");
+    let mut buf = [Complex64::ZERO; N];
+    for w in 0..windows {
+        buf.copy_from_slice(&samples[w * N..(w + 1) * N]);
+        plan.forward(&mut buf).expect("fixed length");
+        for (bin, z) in psd.iter_mut().zip(&buf) {
+            *bin += z.norm_sqr() / N as f64;
+        }
+    }
+    psd.iter_mut().for_each(|v| *v /= windows as f64);
+    psd
+}
+
+/// Fraction of spectral power inside the bin range
+/// `[center − half_width, center + half_width]` (logical subcarrier
+/// indices, wrapping; at 20 Msps one bin is 312.5 kHz, so a 2 MHz ZigBee
+/// channel spans ±3 bins around its center).
+///
+/// Returns 0 for an all-zero PSD.
+///
+/// # Panics
+///
+/// Panics unless the PSD has 64 bins.
+pub fn band_power_fraction(psd: &[f64], center: i32, half_width: i32) -> f64 {
+    assert_eq!(psd.len(), 64, "psd must come from power_spectral_density");
+    let total: f64 = psd.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut in_band = 0.0;
+    for k in (center - half_width)..=(center + half_width) {
+        let bin = k.rem_euclid(64) as usize;
+        in_band += psd[bin];
+    }
+    in_band / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulation::{frequency_shift, EmulationConfig, Emulator};
+
+    fn waveform() -> Vec<Complex64> {
+        OqpskModulator::with_oversampling(10).modulate_symbols(&[0x1, 0x9, 0x4, 0xE])
+    }
+
+    #[test]
+    fn evm_zero_for_identical() {
+        let w = waveform();
+        assert_eq!(waveform_evm(&w, &w), 0.0);
+        assert_eq!(distortion_db(&w, &w), f64::INFINITY);
+    }
+
+    #[test]
+    fn evm_one_for_zeroed() {
+        let w = waveform();
+        let zero = vec![Complex64::ZERO; w.len()];
+        assert!((waveform_evm(&w, &zero) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_bounds() {
+        let w = waveform();
+        assert!((normalized_correlation(&w, &w) - 1.0).abs() < 1e-12);
+        let scaled: Vec<Complex64> = w.iter().map(|z| z.scale(3.0)).collect();
+        assert!((normalized_correlation(&w, &scaled) - 1.0).abs() < 1e-12);
+        let zero = vec![Complex64::ZERO; w.len()];
+        assert_eq!(normalized_correlation(&w, &zero), 0.0);
+    }
+
+    #[test]
+    fn chip_error_rate_zero_for_identical() {
+        let m = OqpskModulator::with_oversampling(10);
+        let w = waveform();
+        assert_eq!(chip_error_rate(&m, &w, &w), 0.0);
+    }
+
+    #[test]
+    fn emubee_has_low_chip_error_rate() {
+        let m = OqpskModulator::with_oversampling(10);
+        let designed = waveform();
+        let target = frequency_shift(&designed, 16);
+        let report = Emulator::new(EmulationConfig::default()).emulate(&target);
+        let victim_view = frequency_shift(report.emulated(), -16);
+        let cer = chip_error_rate(&m, &designed, &victim_view);
+        assert!(cer < 0.2, "EmuBee chip error rate {cer} too high");
+    }
+
+    #[test]
+    fn optimized_alpha_improves_fidelity_metrics() {
+        let designed = waveform();
+        let target = frequency_shift(&designed, 16);
+        let optimized = Emulator::new(EmulationConfig::default()).emulate(&target);
+        let naive = Emulator::new(EmulationConfig {
+            optimize_alpha: false,
+            fixed_alpha: 1.0,
+            respect_ofdm_mask: true,
+        })
+        .emulate(&target);
+        let evm_opt = waveform_evm(&target, optimized.emulated());
+        let evm_naive = waveform_evm(&target, naive.emulated());
+        assert!(
+            evm_opt <= evm_naive + 1e-9,
+            "optimized {evm_opt} vs naive {evm_naive}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn evm_rejects_length_mismatch() {
+        waveform_evm(&waveform(), &[Complex64::ZERO]);
+    }
+
+    #[test]
+    fn psd_of_a_tone_concentrates_in_its_bin() {
+        let n = 64 * 8;
+        let tone: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * 5.0 * j as f64 / 64.0))
+            .collect();
+        let psd = power_spectral_density(&tone);
+        let frac = band_power_fraction(&psd, 5, 0);
+        assert!(frac > 0.999, "tone leaked: {frac}");
+    }
+
+    #[test]
+    fn zigbee_waveform_occupies_its_2mhz_channel() {
+        // A ZigBee baseband at 10 samples/chip (2 Mchip/s at 20 Msps)
+        // occupies roughly ±1 MHz = ±3.2 bins around DC.
+        let designed = waveform();
+        let psd = power_spectral_density(&designed);
+        let frac = band_power_fraction(&psd, 0, 4);
+        assert!(frac > 0.85, "ZigBee energy outside its channel: {frac}");
+    }
+
+    #[test]
+    fn emulated_energy_lands_on_the_victims_channel() {
+        // Shift to bin +16 (+5 MHz), emulate, and confirm the emitted
+        // power concentrates around bin 16 — the jammer hits the right
+        // 2 MHz slice of the 20 MHz band.
+        let designed = waveform();
+        let target = frequency_shift(&designed, 16);
+        let report = Emulator::new(EmulationConfig::default()).emulate(&target);
+        let psd = power_spectral_density(report.emulated());
+        let on_channel = band_power_fraction(&psd, 16, 4);
+        assert!(on_channel > 0.6, "EmuBee power off-channel: {on_channel}");
+        let wrong_side = band_power_fraction(&psd, -16, 4);
+        assert!(wrong_side < 0.2, "mirror-image leakage: {wrong_side}");
+    }
+
+    #[test]
+    fn psd_handles_short_and_empty_input() {
+        assert_eq!(power_spectral_density(&[]), vec![0.0; 64]);
+        let short = vec![Complex64::ONE; 10];
+        assert_eq!(power_spectral_density(&short), vec![0.0; 64]);
+        assert_eq!(band_power_fraction(&vec![0.0; 64], 0, 3), 0.0);
+    }
+}

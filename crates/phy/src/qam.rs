@@ -1,0 +1,241 @@
+//! Gray-coded 64-QAM constellation used by the 802.11 OFDM PHY.
+//!
+//! The emulation attack (see [`crate::emulation`]) works by quantizing an
+//! arbitrary target spectrum onto this constellation; the paper's key
+//! observation is that the constellation can be *scaled* by a real factor α
+//! before quantization, and that choosing α optimally (Eqs. 1–2) shrinks
+//! the emulation error.
+
+use crate::complex::Complex64;
+
+/// Number of points in the 64-QAM constellation.
+pub const QAM64_POINTS: usize = 64;
+
+/// Per-axis amplitude levels of unnormalized 64-QAM.
+const LEVELS: [f64; 8] = [-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0];
+
+/// 3-bit Gray code, indexed by axis level `0..8` (as used by 802.11a/g).
+const GRAY3: [u8; 8] = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+
+/// The Gray-coded 64-QAM constellation.
+///
+/// Points are normalized so that the *average* symbol energy is 1
+/// (the 802.11 normalization factor `1/√42`).
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::qam::Qam64;
+///
+/// let qam = Qam64::new();
+/// let symbol = qam.modulate(0b101_011);
+/// let (index, _dist) = qam.nearest(symbol);
+/// assert_eq!(qam.demodulate(symbol), 0b101_011);
+/// assert_eq!(index as u8, qam.demodulate(qam.point(index)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qam64 {
+    points: [Complex64; QAM64_POINTS],
+}
+
+impl Default for Qam64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Qam64 {
+    /// 802.11 64-QAM normalization: `1/√42` makes mean symbol energy 1.
+    pub const NORMALIZATION: f64 = 0.154_303_349_962_091_9; // 1/sqrt(42)
+
+    /// Builds the normalized constellation table.
+    pub fn new() -> Self {
+        let mut points = [Complex64::ZERO; QAM64_POINTS];
+        for (index, point) in points.iter_mut().enumerate() {
+            let sym = index as u8;
+            // Bits b5 b4 b3 select I, b2 b1 b0 select Q (Gray mapping).
+            let i_bits = (sym >> 3) & 0b111;
+            let q_bits = sym & 0b111;
+            let i_level = LEVELS[gray_to_level(i_bits)];
+            let q_level = LEVELS[gray_to_level(q_bits)];
+            *point = Complex64::new(i_level, q_level).scale(Self::NORMALIZATION);
+        }
+        Qam64 { points }
+    }
+
+    /// Returns the constellation point for a constellation index `0..64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    #[inline]
+    pub fn point(&self, index: usize) -> Complex64 {
+        self.points[index]
+    }
+
+    /// All 64 constellation points, in symbol order.
+    pub fn points(&self) -> &[Complex64; QAM64_POINTS] {
+        &self.points
+    }
+
+    /// Maps a 6-bit symbol to its constellation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol >= 64`.
+    #[inline]
+    pub fn modulate(&self, symbol: u8) -> Complex64 {
+        assert!(symbol < 64, "64-QAM symbol must be 6 bits, got {symbol}");
+        self.points[symbol as usize]
+    }
+
+    /// Hard-decision demodulation: returns the 6-bit symbol whose point is
+    /// nearest to `received`.
+    pub fn demodulate(&self, received: Complex64) -> u8 {
+        self.nearest(received).0 as u8
+    }
+
+    /// Returns `(index, squared_distance)` of the nearest constellation
+    /// point to `z`.
+    pub fn nearest(&self, z: Complex64) -> (usize, f64) {
+        self.nearest_scaled(z, 1.0)
+    }
+
+    /// Returns `(index, squared_distance)` of the nearest *α-scaled*
+    /// constellation point to `z`, i.e. minimizes `|α·Pᵢ − z|²` over `i`.
+    ///
+    /// This is the inner `min` of the paper's Eq. (1). Because the
+    /// constellation is a rectangular grid the search is done per axis in
+    /// `O(1)` rather than scanning all 64 points.
+    pub fn nearest_scaled(&self, z: Complex64, alpha: f64) -> (usize, f64) {
+        if alpha <= 0.0 || !alpha.is_finite() {
+            // Degenerate scaling collapses the grid onto the origin; fall
+            // back to an exhaustive scan for a well-defined answer.
+            return self.nearest_exhaustive(z, alpha.max(0.0));
+        }
+        let step = alpha * Self::NORMALIZATION;
+        let i_idx = quantize_axis(z.re / step);
+        let q_idx = quantize_axis(z.im / step);
+        let i_bits = GRAY3[i_idx];
+        let q_bits = GRAY3[q_idx];
+        let index = ((i_bits << 3) | q_bits) as usize;
+        let d = (self.points[index].scale(alpha) - z).norm_sqr();
+        (index, d)
+    }
+
+    /// Exhaustive nearest-point search; reference implementation used by
+    /// tests and by degenerate scalings.
+    pub fn nearest_exhaustive(&self, z: Complex64, alpha: f64) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, p) in self.points.iter().enumerate() {
+            let d = (p.scale(alpha) - z).norm_sqr();
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    /// Mean symbol energy of the constellation (≈ 1 after normalization).
+    pub fn mean_energy(&self) -> f64 {
+        self.points.iter().map(|p| p.norm_sqr()).sum::<f64>() / QAM64_POINTS as f64
+    }
+}
+
+/// Maps Gray bits back to an axis level index.
+fn gray_to_level(bits: u8) -> usize {
+    GRAY3
+        .iter()
+        .position(|&g| g == bits)
+        .expect("all 3-bit patterns appear in GRAY3")
+}
+
+/// Snaps a normalized coordinate (in units of the level spacing half-step)
+/// to the nearest of the 8 QAM levels, returning the level index.
+fn quantize_axis(value: f64) -> usize {
+    // Levels are -7,-5,…,7: nearest level index is round((v+7)/2) clamped.
+    let idx = ((value + 7.0) / 2.0).round();
+    idx.clamp(0.0, 7.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constellation_has_unit_mean_energy() {
+        let qam = Qam64::new();
+        assert!((qam.mean_energy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_points_distinct() {
+        let qam = Qam64::new();
+        for i in 0..QAM64_POINTS {
+            for j in (i + 1)..QAM64_POINTS {
+                assert!((qam.point(i) - qam.point(j)).norm() > 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn modulate_demodulate_roundtrip() {
+        let qam = Qam64::new();
+        for sym in 0..64u8 {
+            assert_eq!(qam.demodulate(qam.modulate(sym)), sym);
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_by_one_bit() {
+        for w in GRAY3.windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn fast_nearest_matches_exhaustive() {
+        let qam = Qam64::new();
+        let mut k = 0u32;
+        for alpha in [0.5, 1.0, 1.7, 3.2] {
+            for _ in 0..200 {
+                // Cheap deterministic pseudo-random points.
+                k = k.wrapping_mul(1664525).wrapping_add(1013904223);
+                let re = (k >> 16) as f64 / 65536.0 * 4.0 - 2.0;
+                k = k.wrapping_mul(1664525).wrapping_add(1013904223);
+                let im = (k >> 16) as f64 / 65536.0 * 4.0 - 2.0;
+                let z = Complex64::new(re, im);
+                let fast = qam.nearest_scaled(z, alpha);
+                let slow = qam.nearest_exhaustive(z, alpha);
+                assert!(
+                    (fast.1 - slow.1).abs() < 1e-12,
+                    "alpha={alpha} z={z} fast={fast:?} slow={slow:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_alpha_still_returns() {
+        let qam = Qam64::new();
+        let z = Complex64::new(0.3, -0.2);
+        let (_, d) = qam.nearest_scaled(z, 0.0);
+        assert!((d - z.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn modulate_rejects_out_of_range() {
+        Qam64::new().modulate(64);
+    }
+
+    #[test]
+    fn noise_tolerance_within_half_step() {
+        let qam = Qam64::new();
+        let half_step = Qam64::NORMALIZATION * 0.99;
+        for sym in [0u8, 17, 42, 63] {
+            let noisy = qam.modulate(sym) + Complex64::new(half_step * 0.9, -half_step * 0.9);
+            assert_eq!(qam.demodulate(noisy), sym);
+        }
+    }
+}

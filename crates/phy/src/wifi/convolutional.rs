@@ -1,0 +1,291 @@
+//! The 802.11 rate-1/2 convolutional code (K = 7, generators 133/171
+//! octal) and a hard-decision Viterbi decoder — the "Conv. Decoding" box
+//! of the paper's Fig. 1 inverse chain.
+
+/// Constraint length of the code.
+pub const CONSTRAINT: usize = 7;
+
+/// Number of trellis states (2^(K−1)).
+pub const STATES: usize = 64;
+
+/// Generator polynomial A (octal 133).
+pub const GEN_A: u8 = 0o133;
+
+/// Generator polynomial B (octal 171).
+pub const GEN_B: u8 = 0o171;
+
+#[inline]
+fn parity(x: u8) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Encodes a bit slice at rate 1/2, appending `K − 1` zero tail bits to
+/// terminate the trellis. Output length is `2·(bits.len() + 6)`.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::wifi::convolutional::{encode, viterbi_decode};
+///
+/// let data = vec![1, 0, 1, 1, 0, 0, 1, 0, 1, 1];
+/// let coded = encode(&data);
+/// assert_eq!(coded.len(), 2 * (data.len() + 6));
+/// assert_eq!(viterbi_decode(&coded), data);
+/// ```
+pub fn encode(bits: &[u8]) -> Vec<u8> {
+    let mut state: u8 = 0;
+    let mut out = Vec::with_capacity(2 * (bits.len() + CONSTRAINT - 1));
+    for &bit in bits.iter().chain(std::iter::repeat_n(&0u8, CONSTRAINT - 1)) {
+        debug_assert!(bit <= 1, "bits must be 0/1");
+        let register = (bit << 6) | state;
+        out.push(parity(register & GEN_A));
+        out.push(parity(register & GEN_B));
+        state = register >> 1;
+    }
+    out
+}
+
+/// Hard-decision Viterbi decoding of [`encode`] output (tail-terminated).
+///
+/// Returns the information bits (tail stripped). Corrects up to
+/// `⌊(d_free − 1)/2⌋ = 4` channel bit errors in any short window
+/// (the code's free distance is 10).
+///
+/// # Panics
+///
+/// Panics if `coded.len()` is odd or shorter than the tail.
+#[allow(clippy::needless_range_loop)] // trellis state index drives arithmetic
+pub fn viterbi_decode(coded: &[u8]) -> Vec<u8> {
+    assert!(coded.len().is_multiple_of(2), "rate-1/2 stream must have even length");
+    let steps = coded.len() / 2;
+    assert!(
+        steps >= CONSTRAINT - 1,
+        "coded stream shorter than the terminating tail"
+    );
+
+    const INF: u32 = u32::MAX / 2;
+    let mut metric = [INF; STATES];
+    metric[0] = 0;
+    // survivors[t][s] = (previous state, input bit) for best path into s.
+    let mut survivors: Vec<[(u8, u8); STATES]> = Vec::with_capacity(steps);
+
+    // Precompute per-(state, input) outputs.
+    let mut outputs = [[0u8; 2]; STATES * 2];
+    for state in 0..STATES as u8 {
+        for input in 0..2u8 {
+            let register = (input << 6) | state;
+            outputs[state as usize * 2 + input as usize] =
+                [parity(register & GEN_A) * 2 + parity(register & GEN_B), 0];
+        }
+    }
+
+    for t in 0..steps {
+        let observed = coded[2 * t] * 2 + coded[2 * t + 1];
+        let mut next = [INF; STATES];
+        let mut surv = [(0u8, 0u8); STATES];
+        for state in 0..STATES {
+            if metric[state] >= INF {
+                continue;
+            }
+            for input in 0..2u8 {
+                let register = ((input as usize) << 6) | state;
+                let out_pair = outputs[state * 2 + input as usize][0];
+                let hamming = (out_pair ^ observed).count_ones();
+                let to = register >> 1;
+                let candidate = metric[state] + hamming;
+                if candidate < next[to] {
+                    next[to] = candidate;
+                    surv[to] = (state as u8, input);
+                }
+            }
+        }
+        metric = next;
+        survivors.push(surv);
+    }
+
+    // Tail termination: the path ends in state 0.
+    let mut state = 0usize;
+    let mut decoded = vec![0u8; steps];
+    for t in (0..steps).rev() {
+        let (prev, input) = survivors[t][state];
+        decoded[t] = input;
+        state = prev as usize;
+    }
+    decoded.truncate(steps - (CONSTRAINT - 1));
+    decoded
+}
+
+/// Soft-decision Viterbi: instead of Hamming distance against received
+/// bits, each coded bit position carries a pair of *costs*
+/// `(cost_of_sending_0, cost_of_sending_1)`, and the decoder finds the
+/// codeword minimizing the total cost.
+///
+/// This is how the optimal emulation attacker chooses its payload: the
+/// costs are per-bit quantization errors against the designed waveform
+/// (BICM metrics), and the minimum-cost codeword is the closest waveform
+/// a real (coded) Wi-Fi NIC can emit.
+///
+/// Returns the information bits (tail stripped).
+///
+/// # Panics
+///
+/// Panics if `costs.len()` is odd or shorter than the terminating tail.
+#[allow(clippy::needless_range_loop)] // trellis state index drives arithmetic
+pub fn viterbi_decode_soft(costs: &[(f64, f64)]) -> Vec<u8> {
+    assert!(costs.len().is_multiple_of(2), "rate-1/2 stream must have even length");
+    let steps = costs.len() / 2;
+    assert!(
+        steps >= CONSTRAINT - 1,
+        "coded stream shorter than the terminating tail"
+    );
+
+    const INF: f64 = f64::INFINITY;
+    let mut metric = [INF; STATES];
+    metric[0] = 0.0;
+    let mut survivors: Vec<[(u8, u8); STATES]> = Vec::with_capacity(steps);
+
+    for t in 0..steps {
+        let (a_costs, b_costs) = (costs[2 * t], costs[2 * t + 1]);
+        let mut next = [INF; STATES];
+        let mut surv = [(0u8, 0u8); STATES];
+        for state in 0..STATES {
+            if !metric[state].is_finite() {
+                continue;
+            }
+            for input in 0..2u8 {
+                let register = ((input as usize) << 6) | state;
+                let out_a = parity(register as u8 & GEN_A);
+                let out_b = parity(register as u8 & GEN_B);
+                let branch = if out_a == 0 { a_costs.0 } else { a_costs.1 }
+                    + if out_b == 0 { b_costs.0 } else { b_costs.1 };
+                let to = register >> 1;
+                let candidate = metric[state] + branch;
+                if candidate < next[to] {
+                    next[to] = candidate;
+                    surv[to] = (state as u8, input);
+                }
+            }
+        }
+        metric = next;
+        survivors.push(surv);
+    }
+
+    let mut state = 0usize;
+    let mut decoded = vec![0u8; steps];
+    for t in (0..steps).rev() {
+        let (prev, input) = survivors[t][state];
+        decoded[t] = input;
+        state = prev as usize;
+    }
+    decoded.truncate(steps - (CONSTRAINT - 1));
+    decoded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 62) & 1) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        for len in [1usize, 7, 48, 144, 500] {
+            let data = pseudo_bits(len, len as u64);
+            assert_eq!(viterbi_decode(&encode(&data)), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn known_impulse_response() {
+        // A single 1 followed by zeros produces the generator pattern.
+        let coded = encode(&[1]);
+        // First output pair: register = 1000000 → gA = bit6 of 133? Both
+        // generators have the x^6 tap, so the first pair is (1, 1).
+        assert_eq!(&coded[..2], &[1, 1]);
+        assert_eq!(coded.len(), 2 * 7);
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        let data = pseudo_bits(120, 9);
+        let mut coded = encode(&data);
+        // Flip 4 bits far apart — within the code's correction power.
+        for &idx in &[5usize, 60, 130, 200] {
+            coded[idx] ^= 1;
+        }
+        assert_eq!(viterbi_decode(&coded), data);
+    }
+
+    #[test]
+    fn corrects_one_error_per_window_everywhere() {
+        let data = pseudo_bits(64, 3);
+        let coded = encode(&data);
+        for idx in 0..coded.len() {
+            let mut corrupted = coded.clone();
+            corrupted[idx] ^= 1;
+            assert_eq!(viterbi_decode(&corrupted), data, "flip at {idx}");
+        }
+    }
+
+    #[test]
+    fn burst_beyond_capacity_fails_gracefully() {
+        // 12 consecutive flipped bits exceed d_free; the decoder must
+        // still return *something* of the right length.
+        let data = pseudo_bits(64, 4);
+        let mut coded = encode(&data);
+        for bit in coded.iter_mut().skip(20).take(12) {
+            *bit ^= 1;
+        }
+        let decoded = viterbi_decode(&coded);
+        assert_eq!(decoded.len(), data.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_length_rejected() {
+        viterbi_decode(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn soft_decoder_matches_hard_decoder_on_crisp_costs() {
+        let data = pseudo_bits(80, 6);
+        let coded = encode(&data);
+        let costs: Vec<(f64, f64)> = coded
+            .iter()
+            .map(|&b| if b == 0 { (0.0, 1.0) } else { (1.0, 0.0) })
+            .collect();
+        assert_eq!(viterbi_decode_soft(&costs), data);
+    }
+
+    #[test]
+    fn soft_decoder_uses_confidence() {
+        // One position is received "wrong" but with low confidence;
+        // another correct bit is highly confident. Soft decoding recovers
+        // the data where a hard decision on the flipped bit alone might
+        // not be penalized appropriately.
+        let data = pseudo_bits(40, 8);
+        let coded = encode(&data);
+        let mut costs: Vec<(f64, f64)> = coded
+            .iter()
+            .map(|&b| if b == 0 { (0.0, 2.0) } else { (2.0, 0.0) })
+            .collect();
+        // Weakly contradict position 11 (true bit stays cheaper overall).
+        let true_bit = coded[11];
+        costs[11] = if true_bit == 0 { (0.6, 0.5) } else { (0.5, 0.6) };
+        assert_eq!(viterbi_decode_soft(&costs), data);
+    }
+
+    #[test]
+    fn rate_is_half() {
+        let data = pseudo_bits(100, 5);
+        assert_eq!(encode(&data).len(), 2 * (100 + 6));
+    }
+}

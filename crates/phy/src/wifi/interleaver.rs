@@ -1,0 +1,144 @@
+//! The 802.11 block interleaver for 64-QAM OFDM symbols (and the
+//! "Deinterleaving" box of the paper's Fig. 1 inverse chain).
+//!
+//! Each OFDM symbol carries `N_CBPS = 288` coded bits (48 data
+//! subcarriers × 6 bits). The standard's two-permutation interleaver
+//! spreads adjacent coded bits across subcarriers (first permutation) and
+//! across constellation bit significance (second permutation).
+
+/// Coded bits per 64-QAM OFDM symbol: 48 subcarriers × 6 bits.
+pub const N_CBPS: usize = 288;
+
+/// Coded bits per subcarrier for 64-QAM.
+pub const N_BPSC: usize = 6;
+
+/// `s = max(N_BPSC / 2, 1)` from the standard.
+const S: usize = N_BPSC / 2;
+
+/// Computes the interleaver's output position for input index `k`.
+fn permute(k: usize) -> usize {
+    // First permutation: write row-wise into 16 columns.
+    let i = (N_CBPS / 16) * (k % 16) + k / 16;
+    // Second permutation: rotate within groups of `s`.
+    S * (i / S) + (i + N_CBPS - (16 * i) / N_CBPS) % S
+}
+
+/// The interleaver's output position for input (coded-bit) index `k` —
+/// exposed so soft-metric consumers can route per-bit costs without
+/// materializing bit vectors.
+///
+/// # Panics
+///
+/// Panics if `k >= N_CBPS`.
+pub fn output_position(k: usize) -> usize {
+    assert!(k < N_CBPS, "interleaver index out of range");
+    permute(k)
+}
+
+/// Interleaves one OFDM symbol's worth of coded bits.
+///
+/// # Panics
+///
+/// Panics unless exactly [`N_CBPS`] bits are supplied.
+///
+/// ```
+/// use ctjam_phy::wifi::interleaver::{deinterleave, interleave, N_CBPS};
+///
+/// let bits: Vec<u8> = (0..N_CBPS).map(|i| (i % 2) as u8).collect();
+/// assert_eq!(deinterleave(&interleave(&bits)), bits);
+/// ```
+pub fn interleave(bits: &[u8]) -> Vec<u8> {
+    assert_eq!(bits.len(), N_CBPS, "interleaver works on {N_CBPS}-bit symbols");
+    let mut out = vec![0u8; N_CBPS];
+    for (k, &b) in bits.iter().enumerate() {
+        out[permute(k)] = b;
+    }
+    out
+}
+
+/// Inverts [`interleave`].
+///
+/// # Panics
+///
+/// Panics unless exactly [`N_CBPS`] bits are supplied.
+pub fn deinterleave(bits: &[u8]) -> Vec<u8> {
+    assert_eq!(bits.len(), N_CBPS, "deinterleaver works on {N_CBPS}-bit symbols");
+    let mut out = vec![0u8; N_CBPS];
+    for (k, slot) in out.iter_mut().enumerate() {
+        *slot = bits[permute(k)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut seen = [false; N_CBPS];
+        for k in 0..N_CBPS {
+            let p = permute(k);
+            assert!(p < N_CBPS);
+            assert!(!seen[p], "collision at {p}");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bits: Vec<u8> = (0..N_CBPS).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+        assert_eq!(deinterleave(&interleave(&bits)), bits);
+        assert_eq!(interleave(&deinterleave(&bits)), bits);
+    }
+
+    #[test]
+    fn interleaving_actually_moves_bits() {
+        let mut bits = vec![0u8; N_CBPS];
+        bits[0] = 1;
+        bits[1] = 1;
+        let inter = interleave(&bits);
+        // The two adjacent ones must land far apart (different columns).
+        let positions: Vec<usize> = inter
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == 1)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(positions.len(), 2);
+        assert!(
+            positions[1].abs_diff(positions[0]) >= N_CBPS / 16 - S,
+            "adjacent bits not spread: {positions:?}"
+        );
+    }
+
+    #[test]
+    fn burst_errors_become_scattered() {
+        // The interleaver's whole point: a burst in the channel turns
+        // into isolated errors after deinterleaving, which Viterbi fixes.
+        let bits: Vec<u8> = (0..N_CBPS).map(|i| (i % 2) as u8).collect();
+        let mut on_air = interleave(&bits);
+        for bit in on_air.iter_mut().skip(100).take(6) {
+            *bit ^= 1; // 6-bit channel burst
+        }
+        let received = deinterleave(&on_air);
+        // Find the error positions relative to the original bits.
+        let errors: Vec<usize> = received
+            .iter()
+            .zip(&bits)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(errors.len(), 6);
+        for pair in errors.windows(2) {
+            assert!(pair[1] - pair[0] > 2, "errors still adjacent: {errors:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_rejected() {
+        interleave(&[0u8; 10]);
+    }
+}

@@ -1,0 +1,47 @@
+//! IEEE 802.11 (Wi-Fi) OFDM PHY pieces needed by the emulation attack.
+//!
+//! The full Fig. 1 chain: [`scrambler`], rate-1/2 [`convolutional`]
+//! coding with Viterbi decoding, the 288-bit [`interleaver`], the
+//! 64-subcarrier [`ofdm`] symbol chain, and [`txchain`] tying them all
+//! together forwards (what a NIC does to a payload) and backwards (what
+//! the jammer does to a designed waveform to recover the payload *bits*
+//! it must inject). The symbol-level emulation shortcut — quantizing a
+//! spectrum straight onto the constellation — lives in
+//! [`crate::emulation`].
+
+pub mod convolutional;
+pub mod interleaver;
+pub mod ofdm;
+pub mod scrambler;
+pub mod txchain;
+
+/// Wi-Fi channel bandwidth in Hz (20 MHz).
+pub const CHANNEL_BANDWIDTH_HZ: f64 = 20.0e6;
+
+/// OFDM sample rate (equals the channel bandwidth for 802.11a/g).
+pub const SAMPLE_RATE: f64 = 20.0e6;
+
+/// Number of ZigBee channels fully covered by one Wi-Fi channel.
+///
+/// A 20 MHz Wi-Fi channel overlaps four 5 MHz-spaced ZigBee channels —
+/// the paper's "jam up to 4 consecutive ZigBee channels at a time".
+pub const ZIGBEE_CHANNELS_COVERED: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ratio_is_ten() {
+        assert_eq!(
+            CHANNEL_BANDWIDTH_HZ / crate::zigbee::CHANNEL_BANDWIDTH_HZ,
+            10.0
+        );
+    }
+
+    #[test]
+    fn coverage_matches_spectral_overlap() {
+        // 20 MHz span / 5 MHz ZigBee grid = 4 channels.
+        assert_eq!(ZIGBEE_CHANNELS_COVERED, 4);
+    }
+}

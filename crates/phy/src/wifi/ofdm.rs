@@ -1,0 +1,304 @@
+//! The 802.11a/g OFDM symbol chain (64-point IFFT, 48 data subcarriers,
+//! cyclic prefix).
+//!
+//! The emulation attack constrains which subcarriers a Wi-Fi transmitter
+//! can actually drive: only the 48 data subcarriers accept arbitrary QAM
+//! points, the 4 pilots are fixed, and the 11 guard bins plus DC are null.
+//! [`OfdmModulator`] models exactly that constraint set.
+
+use crate::complex::Complex64;
+use crate::fft::Fft;
+
+/// FFT size of the 20 MHz OFDM PHY.
+pub const FFT_SIZE: usize = 64;
+
+/// Number of data subcarriers per OFDM symbol.
+pub const DATA_SUBCARRIERS: usize = 48;
+
+/// Number of pilot subcarriers per OFDM symbol.
+pub const PILOT_SUBCARRIERS: usize = 4;
+
+/// Cyclic-prefix length in samples (800 ns at 20 MHz).
+pub const CP_LEN: usize = 16;
+
+/// Logical subcarrier indices (−26..=26 excluding 0 and pilots) used for
+/// data, in increasing frequency order.
+pub fn data_subcarrier_indices() -> Vec<i32> {
+    let pilots = [-21, -7, 7, 21];
+    (-26..=26)
+        .filter(|&k| k != 0 && !pilots.contains(&k))
+        .collect()
+}
+
+/// Pilot subcarrier logical indices.
+pub const PILOT_INDICES: [i32; PILOT_SUBCARRIERS] = [-21, -7, 7, 21];
+
+/// Converts a logical subcarrier index (−32..32) to its FFT bin (0..64).
+pub fn logical_to_bin(k: i32) -> usize {
+    ((k + FFT_SIZE as i32) % FFT_SIZE as i32) as usize
+}
+
+/// Error for payload slices of the wrong length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolLenError {
+    got: usize,
+}
+
+impl std::fmt::Display for SymbolLenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ofdm symbol needs exactly {DATA_SUBCARRIERS} data points, got {}",
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for SymbolLenError {}
+
+/// OFDM modulator/demodulator over 64 subcarriers with cyclic prefix.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::wifi::ofdm::{OfdmModulator, DATA_SUBCARRIERS};
+/// use ctjam_phy::Complex64;
+///
+/// let ofdm = OfdmModulator::new();
+/// let data = vec![Complex64::new(0.5, -0.5); DATA_SUBCARRIERS];
+/// let samples = ofdm.modulate(&data)?;
+/// let recovered = ofdm.demodulate(&samples)?;
+/// assert!((recovered[0] - data[0]).norm() < 1e-9);
+/// # Ok::<(), ctjam_phy::wifi::ofdm::SymbolLenError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OfdmModulator {
+    fft: Fft,
+    data_bins: Vec<usize>,
+    pilot_bins: [usize; PILOT_SUBCARRIERS],
+    cyclic_prefix: bool,
+}
+
+impl Default for OfdmModulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OfdmModulator {
+    /// Creates the standard 64-point modulator with cyclic prefix enabled.
+    pub fn new() -> Self {
+        Self::with_cyclic_prefix(true)
+    }
+
+    /// Creates a modulator, optionally omitting the cyclic prefix (the
+    /// emulation path drops it since the jammer controls its own timing).
+    pub fn with_cyclic_prefix(cyclic_prefix: bool) -> Self {
+        let fft = Fft::new(FFT_SIZE).expect("64 is a power of two");
+        let data_bins = data_subcarrier_indices()
+            .into_iter()
+            .map(logical_to_bin)
+            .collect();
+        let pilot_bins = [
+            logical_to_bin(PILOT_INDICES[0]),
+            logical_to_bin(PILOT_INDICES[1]),
+            logical_to_bin(PILOT_INDICES[2]),
+            logical_to_bin(PILOT_INDICES[3]),
+        ];
+        OfdmModulator {
+            fft,
+            data_bins,
+            pilot_bins,
+            cyclic_prefix,
+        }
+    }
+
+    /// Samples produced per OFDM symbol.
+    pub fn samples_per_symbol(&self) -> usize {
+        if self.cyclic_prefix {
+            FFT_SIZE + CP_LEN
+        } else {
+            FFT_SIZE
+        }
+    }
+
+    /// FFT bins carrying data, in logical frequency order.
+    pub fn data_bins(&self) -> &[usize] {
+        &self.data_bins
+    }
+
+    /// Builds one OFDM symbol from 48 data-subcarrier values.
+    ///
+    /// Pilots are driven with the standard BPSK `+1,+1,+1,−1` pattern and
+    /// guard/DC bins are nulled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymbolLenError`] unless exactly 48 points are supplied.
+    pub fn modulate(&self, data: &[Complex64]) -> Result<Vec<Complex64>, SymbolLenError> {
+        if data.len() != DATA_SUBCARRIERS {
+            return Err(SymbolLenError { got: data.len() });
+        }
+        let mut freq = vec![Complex64::ZERO; FFT_SIZE];
+        for (&bin, &value) in self.data_bins.iter().zip(data) {
+            freq[bin] = value;
+        }
+        let pilot_values = [1.0, 1.0, 1.0, -1.0];
+        for (&bin, &p) in self.pilot_bins.iter().zip(&pilot_values) {
+            freq[bin] = Complex64::new(p, 0.0);
+        }
+        self.fft.inverse(&mut freq).expect("length fixed at 64");
+        if self.cyclic_prefix {
+            let mut out = Vec::with_capacity(FFT_SIZE + CP_LEN);
+            out.extend_from_slice(&freq[FFT_SIZE - CP_LEN..]);
+            out.extend_from_slice(&freq);
+            Ok(out)
+        } else {
+            Ok(freq)
+        }
+    }
+
+    /// Recovers the 48 data-subcarrier values from one symbol's samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymbolLenError`] when the sample count does not match
+    /// [`OfdmModulator::samples_per_symbol`].
+    pub fn demodulate(&self, samples: &[Complex64]) -> Result<Vec<Complex64>, SymbolLenError> {
+        if samples.len() != self.samples_per_symbol() {
+            return Err(SymbolLenError { got: samples.len() });
+        }
+        let body = if self.cyclic_prefix {
+            &samples[CP_LEN..]
+        } else {
+            samples
+        };
+        let mut freq = body.to_vec();
+        self.fft.forward(&mut freq).expect("length fixed at 64");
+        Ok(self.data_bins.iter().map(|&b| freq[b]).collect())
+    }
+
+    /// Transforms arbitrary 64 time-domain samples to the frequency domain
+    /// (the first step of the emulation's inverse path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != 64`.
+    pub fn analyze_window(&self, window: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(window.len(), FFT_SIZE, "analysis window must be 64 samples");
+        let mut freq = window.to_vec();
+        self.fft.forward(&mut freq).expect("length fixed at 64");
+        freq
+    }
+
+    /// Synthesizes 64 time-domain samples from a full 64-bin spectrum
+    /// (the last step of the emulation's inverse path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != 64`.
+    pub fn synthesize_window(&self, spectrum: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(spectrum.len(), FFT_SIZE, "spectrum must have 64 bins");
+        let mut time = spectrum.to_vec();
+        self.fft.inverse(&mut time).expect("length fixed at 64");
+        time
+    }
+
+    /// Returns `true` when `bin` is a data bin the transmitter can drive
+    /// with an arbitrary constellation point.
+    pub fn is_data_bin(&self, bin: usize) -> bool {
+        self.data_bins.contains(&bin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_eight_data_subcarriers() {
+        assert_eq!(data_subcarrier_indices().len(), DATA_SUBCARRIERS);
+    }
+
+    #[test]
+    fn pilots_and_data_disjoint() {
+        let data = data_subcarrier_indices();
+        for p in PILOT_INDICES {
+            assert!(!data.contains(&p));
+        }
+    }
+
+    #[test]
+    fn logical_bin_mapping() {
+        assert_eq!(logical_to_bin(0), 0);
+        assert_eq!(logical_to_bin(1), 1);
+        assert_eq!(logical_to_bin(26), 26);
+        assert_eq!(logical_to_bin(-1), 63);
+        assert_eq!(logical_to_bin(-26), 38);
+    }
+
+    #[test]
+    fn modulate_demodulate_roundtrip() {
+        let ofdm = OfdmModulator::new();
+        let data: Vec<Complex64> = (0..DATA_SUBCARRIERS)
+            .map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let samples = ofdm.modulate(&data).unwrap();
+        assert_eq!(samples.len(), FFT_SIZE + CP_LEN);
+        let recovered = ofdm.demodulate(&samples).unwrap();
+        for (a, b) in recovered.iter().zip(&data) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_repeats_tail() {
+        let ofdm = OfdmModulator::new();
+        let data = vec![Complex64::new(1.0, 0.0); DATA_SUBCARRIERS];
+        let samples = ofdm.modulate(&data).unwrap();
+        for i in 0..CP_LEN {
+            assert_eq!(samples[i], samples[FFT_SIZE + i]);
+        }
+    }
+
+    #[test]
+    fn no_cp_variant_is_plain_ifft_window() {
+        let ofdm = OfdmModulator::with_cyclic_prefix(false);
+        let data = vec![Complex64::new(0.0, 1.0); DATA_SUBCARRIERS];
+        let samples = ofdm.modulate(&data).unwrap();
+        assert_eq!(samples.len(), FFT_SIZE);
+        let rec = ofdm.demodulate(&samples).unwrap();
+        for (a, b) in rec.iter().zip(&data) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let ofdm = OfdmModulator::new();
+        assert!(ofdm.modulate(&[Complex64::ZERO; 47]).is_err());
+        assert!(ofdm.demodulate(&[Complex64::ZERO; 10]).is_err());
+    }
+
+    #[test]
+    fn analyze_synthesize_roundtrip() {
+        let ofdm = OfdmModulator::with_cyclic_prefix(false);
+        let window: Vec<Complex64> = (0..FFT_SIZE)
+            .map(|i| Complex64::new((i as f64).cos(), (i as f64 * 0.5).sin()))
+            .collect();
+        let spectrum = ofdm.analyze_window(&window);
+        let back = ofdm.synthesize_window(&spectrum);
+        for (a, b) in back.iter().zip(&window) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn data_bin_membership() {
+        let ofdm = OfdmModulator::new();
+        assert!(ofdm.is_data_bin(logical_to_bin(1)));
+        assert!(!ofdm.is_data_bin(logical_to_bin(0))); // DC
+        assert!(!ofdm.is_data_bin(logical_to_bin(7))); // pilot
+        assert!(!ofdm.is_data_bin(logical_to_bin(30))); // guard
+    }
+}

@@ -1,0 +1,97 @@
+//! The 802.11 data scrambler (and, run backwards, the *descrambler* of
+//! the paper's Fig. 1 inverse chain).
+//!
+//! A 7-bit LFSR with polynomial `x⁷ + x⁴ + 1` generates a 127-bit
+//! pseudo-random sequence that is XORed onto the data bits. Scrambling is
+//! an involution: applying it twice with the same seed restores the
+//! input, which is exactly how the emulation's inverse path recovers the
+//! bits a Wi-Fi NIC must be fed.
+
+/// The 802.11 scrambler.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::wifi::scrambler::Scrambler;
+///
+/// let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
+/// let scrambled = Scrambler::new(0x5D).scramble(&bits);
+/// let restored = Scrambler::new(0x5D).scramble(&scrambled);
+/// assert_eq!(restored, bits);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scrambler {
+    state: u8,
+}
+
+impl Scrambler {
+    /// Creates a scrambler with a 7-bit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero or wider than 7 bits (an all-zero LFSR
+    /// never leaves the zero state).
+    pub fn new(seed: u8) -> Self {
+        assert!(seed != 0, "scrambler seed must be nonzero");
+        assert!(seed < 0x80, "scrambler seed is 7 bits");
+        Scrambler { state: seed }
+    }
+
+    /// Produces the next pseudo-random bit and advances the LFSR.
+    pub fn next_bit(&mut self) -> u8 {
+        // Feedback = x7 XOR x4 (bits 6 and 3 of the state).
+        let feedback = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | feedback) & 0x7F;
+        feedback
+    }
+
+    /// Scrambles (or descrambles — the operation is an involution) a bit
+    /// slice, consuming this scrambler's sequence.
+    pub fn scramble(mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| b ^ self.next_bit()).collect()
+    }
+
+    /// The LFSR period (the sequence repeats after this many bits).
+    pub const PERIOD: usize = 127;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involution() {
+        let bits: Vec<u8> = (0..300).map(|i| (i % 3 == 0) as u8).collect();
+        for seed in [0x01, 0x5D, 0x7F] {
+            let once = Scrambler::new(seed).scramble(&bits);
+            let twice = Scrambler::new(seed).scramble(&once);
+            assert_eq!(twice, bits, "seed {seed:#04x}");
+            assert_ne!(once, bits, "scrambling must change something");
+        }
+    }
+
+    #[test]
+    fn sequence_has_full_period() {
+        let mut s = Scrambler::new(0x7F);
+        let first: Vec<u8> = (0..Scrambler::PERIOD).map(|_| s.next_bit()).collect();
+        let second: Vec<u8> = (0..Scrambler::PERIOD).map(|_| s.next_bit()).collect();
+        assert_eq!(first, second, "sequence must repeat with period 127");
+        // And it is balanced: 64 ones, 63 zeros per period (m-sequence).
+        let ones: u32 = first.iter().map(|&b| u32::from(b)).sum();
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let bits = vec![0u8; 64];
+        let a = Scrambler::new(0x01).scramble(&bits);
+        let b = Scrambler::new(0x5D).scramble(&bits);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_seed_rejected() {
+        Scrambler::new(0);
+    }
+}

@@ -1,0 +1,258 @@
+//! The 16 pseudo-noise chip sequences of the IEEE 802.15.4 2.4 GHz PHY.
+//!
+//! Each 4-bit data symbol is spread onto a 32-chip sequence. Symbols 1–7
+//! are 4-chip cyclic shifts of the symbol-0 base sequence; symbols 8–15 are
+//! the first eight sequences with every odd-indexed chip inverted (which
+//! conjugates the O-QPSK waveform). The receiver despreads by correlating
+//! against all 16 sequences and picking the best match — this correlation
+//! margin is the *processing gain* that makes ZigBee robust to noise-like
+//! (plain Wi-Fi) interference but not to EmuBee chip-faithful interference.
+
+/// Chips per 802.15.4 data symbol.
+pub const CHIPS_PER_SYMBOL: usize = 32;
+
+/// Number of distinct data symbols (4 bits each).
+pub const NUM_SYMBOLS: usize = 16;
+
+/// Base chip sequence for data symbol 0 (IEEE 802.15.4-2020 Table 12-1),
+/// chip c0 first.
+const BASE: [u8; CHIPS_PER_SYMBOL] = [
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1,
+    0,
+];
+
+/// The full symbol→chips table.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::zigbee::chips::ChipTable;
+///
+/// let table = ChipTable::new();
+/// let chips = table.spread(&[0x0, 0xF]);
+/// assert_eq!(chips.len(), 64);
+/// let back = table.despread_exact(&chips).unwrap();
+/// assert_eq!(back, vec![0x0, 0xF]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipTable {
+    sequences: [[u8; CHIPS_PER_SYMBOL]; NUM_SYMBOLS],
+}
+
+impl Default for ChipTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChipTable {
+    /// Builds the 16-sequence table from the standard's base sequence.
+    pub fn new() -> Self {
+        let mut sequences = [[0u8; CHIPS_PER_SYMBOL]; NUM_SYMBOLS];
+        for (sym, seq) in sequences.iter_mut().enumerate() {
+            let shift = (sym % 8) * 4;
+            for (i, chip) in seq.iter_mut().enumerate() {
+                // Right cyclic shift by `shift`: chip i of symbol k is chip
+                // (i - shift) mod 32 of the base sequence.
+                let src = (i + CHIPS_PER_SYMBOL - shift) % CHIPS_PER_SYMBOL;
+                let mut c = BASE[src];
+                if sym >= 8 && i % 2 == 1 {
+                    c ^= 1; // Conjugate: invert odd (Q-branch) chips.
+                }
+                *chip = c;
+            }
+        }
+        ChipTable { sequences }
+    }
+
+    /// The 32-chip sequence for data symbol `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym >= 16`.
+    pub fn sequence(&self, sym: u8) -> &[u8; CHIPS_PER_SYMBOL] {
+        &self.sequences[sym as usize]
+    }
+
+    /// Spreads a slice of 4-bit symbols into a chip stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol is `>= 16`.
+    pub fn spread(&self, symbols: &[u8]) -> Vec<u8> {
+        let mut chips = Vec::with_capacity(symbols.len() * CHIPS_PER_SYMBOL);
+        for &sym in symbols {
+            assert!(sym < 16, "802.15.4 symbols are 4 bits, got {sym}");
+            chips.extend_from_slice(&self.sequences[sym as usize]);
+        }
+        chips
+    }
+
+    /// Despreads a chip stream that is known to be error-free.
+    ///
+    /// Returns `None` when the length is not a multiple of 32 or some block
+    /// matches no sequence exactly.
+    pub fn despread_exact(&self, chips: &[u8]) -> Option<Vec<u8>> {
+        if !chips.len().is_multiple_of(CHIPS_PER_SYMBOL) {
+            return None;
+        }
+        chips
+            .chunks(CHIPS_PER_SYMBOL)
+            .map(|block| {
+                self.sequences
+                    .iter()
+                    .position(|seq| seq[..] == *block)
+                    .map(|p| p as u8)
+            })
+            .collect()
+    }
+
+    /// Soft despreading: for each 32-chip block returns the symbol with the
+    /// smallest Hamming distance together with that distance.
+    ///
+    /// A block decodes *correctly* as long as fewer chips are corrupted than
+    /// half the minimum inter-sequence distance — the DSSS processing gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips.len()` is not a multiple of 32.
+    pub fn despread(&self, chips: &[u8]) -> Vec<(u8, u32)> {
+        assert_eq!(
+            chips.len() % CHIPS_PER_SYMBOL,
+            0,
+            "chip stream length must be a multiple of {CHIPS_PER_SYMBOL}"
+        );
+        chips
+            .chunks(CHIPS_PER_SYMBOL)
+            .map(|block| self.best_match(block))
+            .collect()
+    }
+
+    /// Returns `(symbol, hamming_distance)` of the closest sequence.
+    pub fn best_match(&self, block: &[u8]) -> (u8, u32) {
+        let mut best = (0u8, u32::MAX);
+        for (sym, seq) in self.sequences.iter().enumerate() {
+            let d = hamming(seq, block);
+            if d < best.1 {
+                best = (sym as u8, d);
+            }
+        }
+        best
+    }
+
+    /// Minimum pairwise Hamming distance across all sequence pairs.
+    ///
+    /// Half of this (rounded down) is the per-symbol chip-error correction
+    /// capability of the despreader.
+    pub fn min_distance(&self) -> u32 {
+        let mut min = u32::MAX;
+        for i in 0..NUM_SYMBOLS {
+            for j in (i + 1)..NUM_SYMBOLS {
+                min = min.min(hamming(&self.sequences[i], &self.sequences[j]));
+            }
+        }
+        min
+    }
+}
+
+/// Hamming distance between two chip blocks.
+///
+/// # Panics
+///
+/// Panics if the blocks differ in length.
+pub fn hamming(a: &[u8], b: &[u8]) -> u32 {
+    assert_eq!(a.len(), b.len(), "hamming distance needs equal lengths");
+    a.iter().zip(b).map(|(x, y)| u32::from(x != y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_sequence_is_balancedish() {
+        // The standard base sequence has 16 ones and 16 zeros.
+        let ones: u32 = BASE.iter().map(|&c| u32::from(c)).sum();
+        assert_eq!(ones, 16);
+    }
+
+    #[test]
+    fn sequences_are_distinct() {
+        let t = ChipTable::new();
+        for i in 0..NUM_SYMBOLS {
+            for j in (i + 1)..NUM_SYMBOLS {
+                assert_ne!(t.sequences[i], t.sequences[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_distance_supports_error_correction() {
+        let t = ChipTable::new();
+        let d = t.min_distance();
+        // The standard's sequence family keeps pairs at least 12 chips apart.
+        assert!(d >= 12, "min pairwise distance {d} too small");
+    }
+
+    #[test]
+    fn spread_despread_roundtrip() {
+        let t = ChipTable::new();
+        let symbols: Vec<u8> = (0..16).collect();
+        let chips = t.spread(&symbols);
+        assert_eq!(chips.len(), 16 * CHIPS_PER_SYMBOL);
+        assert_eq!(t.despread_exact(&chips).unwrap(), symbols);
+    }
+
+    #[test]
+    fn despread_tolerates_chip_errors() {
+        let t = ChipTable::new();
+        let tolerance = (t.min_distance() - 1) / 2;
+        for sym in 0..16u8 {
+            let mut chips = t.sequence(sym).to_vec();
+            // Corrupt `tolerance` chips spread across the block.
+            for e in 0..tolerance as usize {
+                let idx = (e * 7) % CHIPS_PER_SYMBOL;
+                chips[idx] ^= 1;
+            }
+            let (decoded, dist) = t.best_match(&chips);
+            assert_eq!(decoded, sym, "symbol {sym} flipped after {tolerance} errors");
+            assert_eq!(dist, tolerance);
+        }
+    }
+
+    #[test]
+    fn despread_exact_rejects_bad_lengths() {
+        let t = ChipTable::new();
+        assert!(t.despread_exact(&[1, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn despread_exact_rejects_unknown_blocks() {
+        let t = ChipTable::new();
+        let mut chips = t.sequence(3).to_vec();
+        chips[0] ^= 1;
+        assert!(t.despread_exact(&chips).is_none());
+    }
+
+    #[test]
+    fn conjugated_sequences_invert_odd_chips() {
+        let t = ChipTable::new();
+        for sym in 0..8u8 {
+            let lo = t.sequence(sym);
+            let hi = t.sequence(sym + 8);
+            for i in 0..CHIPS_PER_SYMBOL {
+                if i % 2 == 0 {
+                    assert_eq!(lo[i], hi[i]);
+                } else {
+                    assert_ne!(lo[i], hi[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn spread_rejects_wide_symbols() {
+        ChipTable::new().spread(&[16]);
+    }
+}

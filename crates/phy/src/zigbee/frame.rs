@@ -1,0 +1,318 @@
+//! ZigBee (IEEE 802.15.4) PHY frame format and the EmuBee stealth property.
+//!
+//! A compliant PHY frame is `preamble (0x00000000) | SFD (0x7A) | PHR
+//! (1 byte length) | PSDU (≤ 127 bytes)` — Fig. 3 of the paper. A receiver
+//! that detects a valid chip stream locks on and decodes; if the frame
+//! structure never materializes (no SFD, or the advertised length never
+//! completes), the radio wastes the decode window and reports nothing.
+//! That is exactly how an EmuBee jamming burst stays hidden: valid
+//! *waveform*, invalid *frame*.
+
+use std::fmt;
+
+/// Maximum PSDU length in bytes.
+pub const MAX_PSDU_LEN: usize = 127;
+
+/// The 4-byte all-zero preamble.
+pub const PREAMBLE: [u8; 4] = [0x00, 0x00, 0x00, 0x00];
+
+/// Start-of-frame delimiter.
+pub const SFD: u8 = 0x7A;
+
+/// Errors produced when building or parsing a PHY frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The payload exceeds [`MAX_PSDU_LEN`].
+    PayloadTooLong {
+        /// Offending payload length.
+        len: usize,
+    },
+    /// The byte stream is shorter than the fixed header.
+    Truncated {
+        /// Number of bytes seen.
+        len: usize,
+    },
+    /// The preamble bytes were not all zero.
+    BadPreamble,
+    /// The start-of-frame delimiter was not `0x7A`.
+    BadSfd {
+        /// The byte found in the SFD position.
+        found: u8,
+    },
+    /// The PHR advertised more payload than the stream contains.
+    LengthMismatch {
+        /// Length advertised by the PHR.
+        advertised: usize,
+        /// Payload bytes actually present.
+        available: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::PayloadTooLong { len } => {
+                write!(f, "psdu of {len} bytes exceeds the {MAX_PSDU_LEN}-byte limit")
+            }
+            FrameError::Truncated { len } => {
+                write!(f, "byte stream of {len} bytes is shorter than a phy header")
+            }
+            FrameError::BadPreamble => write!(f, "preamble is not four zero bytes"),
+            FrameError::BadSfd { found } => {
+                write!(f, "start-of-frame delimiter is {found:#04x}, expected 0x7a")
+            }
+            FrameError::LengthMismatch {
+                advertised,
+                available,
+            } => write!(
+                f,
+                "phr advertises {advertised} payload bytes but only {available} are present"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A validated ZigBee PHY frame.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::zigbee::frame::PhyFrame;
+///
+/// let frame = PhyFrame::new(b"hello".to_vec())?;
+/// let bytes = frame.to_bytes();
+/// let parsed = PhyFrame::parse(&bytes)?;
+/// assert_eq!(parsed.psdu(), b"hello");
+/// # Ok::<(), ctjam_phy::zigbee::frame::FrameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhyFrame {
+    psdu: Vec<u8>,
+}
+
+impl PhyFrame {
+    /// Wraps a payload in a PHY frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::PayloadTooLong`] when the payload exceeds
+    /// [`MAX_PSDU_LEN`] bytes.
+    pub fn new(psdu: Vec<u8>) -> Result<Self, FrameError> {
+        if psdu.len() > MAX_PSDU_LEN {
+            return Err(FrameError::PayloadTooLong { len: psdu.len() });
+        }
+        Ok(PhyFrame { psdu })
+    }
+
+    /// The payload carried by this frame.
+    pub fn psdu(&self) -> &[u8] {
+        &self.psdu
+    }
+
+    /// Total over-the-air length in bytes (preamble + SFD + PHR + PSDU).
+    pub fn wire_len(&self) -> usize {
+        PREAMBLE.len() + 1 + 1 + self.psdu.len()
+    }
+
+    /// Serializes to the over-the-air byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&PREAMBLE);
+        out.push(SFD);
+        out.push(self.psdu.len() as u8);
+        out.extend_from_slice(&self.psdu);
+        out
+    }
+
+    /// Serializes to the 4-bit symbol stream fed to the O-QPSK modulator
+    /// (low nibble of each byte first, per 802.15.4).
+    pub fn to_symbols(&self) -> Vec<u8> {
+        bytes_to_symbols(&self.to_bytes())
+    }
+
+    /// Parses and validates an over-the-air byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`FrameError`] describing the first violation
+    /// encountered: truncation, bad preamble, bad SFD, or a PHR length that
+    /// the stream cannot satisfy.
+    pub fn parse(bytes: &[u8]) -> Result<Self, FrameError> {
+        if bytes.len() < PREAMBLE.len() + 2 {
+            return Err(FrameError::Truncated { len: bytes.len() });
+        }
+        if bytes[..PREAMBLE.len()] != PREAMBLE {
+            return Err(FrameError::BadPreamble);
+        }
+        let sfd = bytes[PREAMBLE.len()];
+        if sfd != SFD {
+            return Err(FrameError::BadSfd { found: sfd });
+        }
+        let advertised = bytes[PREAMBLE.len() + 1] as usize;
+        let payload = &bytes[PREAMBLE.len() + 2..];
+        if advertised > MAX_PSDU_LEN {
+            return Err(FrameError::PayloadTooLong { len: advertised });
+        }
+        if payload.len() < advertised {
+            return Err(FrameError::LengthMismatch {
+                advertised,
+                available: payload.len(),
+            });
+        }
+        Ok(PhyFrame {
+            psdu: payload[..advertised].to_vec(),
+        })
+    }
+
+    /// Parses a symbol stream (inverse of [`PhyFrame::to_symbols`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Truncated`] for odd-length symbol streams, or
+    /// whatever [`PhyFrame::parse`] reports for the reassembled bytes.
+    pub fn parse_symbols(symbols: &[u8]) -> Result<Self, FrameError> {
+        if !symbols.len().is_multiple_of(2) {
+            return Err(FrameError::Truncated { len: symbols.len() / 2 });
+        }
+        PhyFrame::parse(&symbols_to_bytes(symbols))
+    }
+}
+
+/// Splits bytes into 4-bit symbols, low nibble first.
+pub fn bytes_to_symbols(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(b & 0x0F);
+        out.push(b >> 4);
+    }
+    out
+}
+
+/// Reassembles 4-bit symbols (low nibble first) into bytes.
+///
+/// # Panics
+///
+/// Panics if `symbols.len()` is odd or any symbol is `>= 16`.
+pub fn symbols_to_bytes(symbols: &[u8]) -> Vec<u8> {
+    assert!(symbols.len().is_multiple_of(2), "symbol stream must pair into bytes");
+    symbols
+        .chunks(2)
+        .map(|pair| {
+            assert!(pair[0] < 16 && pair[1] < 16, "symbols must be 4 bits");
+            pair[0] | (pair[1] << 4)
+        })
+        .collect()
+}
+
+/// Classifies a decoded byte stream the way a victim radio would.
+///
+/// * `Frame` — a compliant frame: the receiver delivers a packet.
+/// * `Stealthy` — chips decoded but framing never validated: the receiver
+///   burned the decode window for nothing (the EmuBee case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// A valid frame was recovered.
+    Frame(PhyFrame),
+    /// Decodable chips that never satisfied the frame format.
+    Stealthy(FrameError),
+}
+
+/// Runs the victim's frame validation over a decoded byte stream.
+pub fn classify_rx(bytes: &[u8]) -> RxOutcome {
+    match PhyFrame::parse(bytes) {
+        Ok(frame) => RxOutcome::Frame(frame),
+        Err(e) => RxOutcome::Stealthy(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = PhyFrame::new(vec![1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(PhyFrame::parse(&frame.to_bytes()).unwrap(), frame);
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        let frame = PhyFrame::new((0..=40u8).collect()).unwrap();
+        assert_eq!(PhyFrame::parse_symbols(&frame.to_symbols()).unwrap(), frame);
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let frame = PhyFrame::new(Vec::new()).unwrap();
+        assert_eq!(frame.wire_len(), 6);
+        assert_eq!(PhyFrame::parse(&frame.to_bytes()).unwrap().psdu(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn max_payload_accepted_and_over_rejected() {
+        assert!(PhyFrame::new(vec![0; MAX_PSDU_LEN]).is_ok());
+        assert_eq!(
+            PhyFrame::new(vec![0; MAX_PSDU_LEN + 1]),
+            Err(FrameError::PayloadTooLong { len: 128 })
+        );
+    }
+
+    #[test]
+    fn preamble_only_is_stealthy() {
+        // The paper's example: preamble present, delimiter and rest missing.
+        // The receiver enters decode but nothing valid materializes.
+        match classify_rx(&[0, 0, 0, 0, 0x13, 0x55, 0x99]) {
+            RxOutcome::Stealthy(FrameError::BadSfd { found }) => assert_eq!(found, 0x13),
+            other => panic!("expected stealthy outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        assert_eq!(
+            PhyFrame::parse(&[0, 0, 0]),
+            Err(FrameError::Truncated { len: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_preamble_detected() {
+        assert_eq!(
+            PhyFrame::parse(&[0, 1, 0, 0, SFD, 0]),
+            Err(FrameError::BadPreamble)
+        );
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let bytes = [0, 0, 0, 0, SFD, 10, 1, 2, 3];
+        assert_eq!(
+            PhyFrame::parse(&bytes),
+            Err(FrameError::LengthMismatch {
+                advertised: 10,
+                available: 3
+            })
+        );
+    }
+
+    #[test]
+    fn extra_trailing_bytes_ignored() {
+        let mut bytes = PhyFrame::new(vec![9, 9]).unwrap().to_bytes();
+        bytes.extend_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(PhyFrame::parse(&bytes).unwrap().psdu(), &[9, 9]);
+    }
+
+    #[test]
+    fn nibble_order_is_low_first() {
+        assert_eq!(bytes_to_symbols(&[0x7A]), vec![0xA, 0x7]);
+        assert_eq!(symbols_to_bytes(&[0xA, 0x7]), vec![0x7A]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FrameError::BadSfd { found: 0x13 };
+        assert!(e.to_string().contains("0x13"));
+    }
+}

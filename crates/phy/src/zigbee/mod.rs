@@ -1,0 +1,72 @@
+//! IEEE 802.15.4 (ZigBee) 2.4 GHz PHY: DSSS spreading, O-QPSK modulation,
+//! and the PHY frame format.
+//!
+//! The 2.4 GHz PHY maps every 4-bit data symbol onto one of 16
+//! quasi-orthogonal 32-chip pseudo-noise sequences ([`chips`]), transmits
+//! chips with offset-QPSK and half-sine pulse shaping ([`oqpsk`]), and wraps
+//! payloads in a preamble/SFD/PHR frame ([`frame`]).
+//!
+//! The jammer's stealth property analyzed in the paper lives at the frame
+//! layer: an *EmuBee* signal is a valid chip stream (so the victim's radio
+//! locks on and burns decode time) that never satisfies the frame format
+//! (so no "jamming packet" is ever surfaced to higher layers).
+
+pub mod chips;
+pub mod frame;
+pub mod oqpsk;
+pub mod rx;
+
+/// Nominal ZigBee channel bandwidth in Hz (2 MHz).
+pub const CHANNEL_BANDWIDTH_HZ: f64 = 2.0e6;
+
+/// Chip rate of the 2.4 GHz PHY in chips/second.
+pub const CHIP_RATE: f64 = 2.0e6;
+
+/// Data symbol rate (4 bits per symbol, 32 chips per symbol).
+pub const SYMBOL_RATE: f64 = CHIP_RATE / 32.0;
+
+/// Raw bit rate of the 2.4 GHz PHY: 250 kbit/s.
+pub const BIT_RATE: f64 = SYMBOL_RATE * 4.0;
+
+/// Number of selectable ZigBee channels on the 2.4 GHz band (channels 11–26).
+pub const NUM_CHANNELS: usize = 16;
+
+/// Returns the center frequency in Hz of 2.4 GHz-band channel `k ∈ 11..=26`.
+///
+/// # Panics
+///
+/// Panics if `k` is outside `11..=26`.
+///
+/// ```
+/// use ctjam_phy::zigbee::channel_center_hz;
+/// assert_eq!(channel_center_hz(11), 2.405e9);
+/// assert_eq!(channel_center_hz(26), 2.480e9);
+/// ```
+pub fn channel_center_hz(k: u8) -> f64 {
+    assert!((11..=26).contains(&k), "2.4 GHz channels are 11..=26, got {k}");
+    2.405e9 + 5.0e6 * f64::from(k - 11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_consistent() {
+        assert_eq!(BIT_RATE, 250_000.0);
+        assert_eq!(SYMBOL_RATE, 62_500.0);
+    }
+
+    #[test]
+    fn channel_grid_is_5mhz() {
+        for k in 11..26u8 {
+            assert_eq!(channel_center_hz(k + 1) - channel_center_hz(k), 5.0e6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn channel_out_of_range_panics() {
+        channel_center_hz(10);
+    }
+}

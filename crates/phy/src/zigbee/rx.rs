@@ -1,0 +1,337 @@
+//! A streaming ZigBee receiver: preamble synchronization, SFD hunt,
+//! PHR/PSDU framing — and an account of the decode time an EmuBee burst
+//! *wastes* (the paper's stealthiness mechanism, §II.A.2).
+//!
+//! "If a ZigBee packet only has the preamble … the ZigBee receiver will
+//! process it into the decoding state. However, over a period of time,
+//! nothing can be decoded. Meanwhile, the hardware resource is being
+//! occupied and cannot be used to process other packets."
+
+use crate::zigbee::frame::{PhyFrame, MAX_PSDU_LEN};
+
+/// Minimum number of zero symbols that trigger preamble sync (the
+/// standard preamble is 8 zero symbols; real radios sync on fewer).
+pub const SYNC_SYMBOLS: usize = 6;
+
+/// Low/high nibbles of the SFD byte `0x7A`, in over-the-air order.
+const SFD_SYMBOLS: [u8; 2] = [0xA, 0x7];
+
+/// One receiver event produced while scanning a symbol stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxEvent {
+    /// A complete, valid frame was recovered.
+    Frame {
+        /// The recovered frame.
+        frame: PhyFrame,
+        /// Symbols consumed from sync to the end of the PSDU.
+        symbols_used: usize,
+    },
+    /// The radio synchronized and started decoding but never completed a
+    /// valid frame — the decode window was wasted (the EmuBee outcome).
+    Wasted {
+        /// Symbols spent in the failed decode attempt.
+        symbols_used: usize,
+        /// Human-readable reason (diagnostics only).
+        reason: WasteReason,
+    },
+}
+
+/// Why a decode attempt produced nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WasteReason {
+    /// Preamble seen but the SFD never followed.
+    NoSfd,
+    /// SFD seen but the length byte was invalid (> 127).
+    BadLength,
+    /// The stream ended before the advertised payload completed.
+    Truncated,
+}
+
+/// Result of scanning a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanReport {
+    /// Events in stream order.
+    pub events: Vec<RxEvent>,
+    /// Total symbols scanned.
+    pub total_symbols: usize,
+}
+
+impl ScanReport {
+    /// Valid frames recovered.
+    pub fn frames(&self) -> impl Iterator<Item = &PhyFrame> {
+        self.events.iter().filter_map(|e| match e {
+            RxEvent::Frame { frame, .. } => Some(frame),
+            RxEvent::Wasted { .. } => None,
+        })
+    }
+
+    /// Fraction of scanned symbols spent in decode attempts that
+    /// produced nothing — the stealth jammer's damage metric.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.total_symbols == 0 {
+            return 0.0;
+        }
+        let wasted: usize = self
+            .events
+            .iter()
+            .map(|e| match e {
+                RxEvent::Wasted { symbols_used, .. } => *symbols_used,
+                RxEvent::Frame { .. } => 0,
+            })
+            .sum();
+        wasted as f64 / self.total_symbols as f64
+    }
+}
+
+/// Scans a 4-bit symbol stream the way a ZigBee radio does: hunt for a
+/// preamble run, lock, expect the SFD, read the PHR, then the PSDU.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_phy::zigbee::frame::PhyFrame;
+/// use ctjam_phy::zigbee::rx::scan_symbols;
+///
+/// let frame = PhyFrame::new(b"hi".to_vec()).unwrap();
+/// let report = scan_symbols(&frame.to_symbols());
+/// assert_eq!(report.frames().count(), 1);
+/// assert_eq!(report.wasted_fraction(), 0.0);
+/// ```
+pub fn scan_symbols(symbols: &[u8]) -> ScanReport {
+    let mut events = Vec::new();
+    let mut i = 0usize;
+    while i < symbols.len() {
+        // Hunt: find a run of SYNC_SYMBOLS zero symbols.
+        let mut run = 0usize;
+        let mut sync_at = None;
+        let mut j = i;
+        while j < symbols.len() {
+            if symbols[j] == 0 {
+                run += 1;
+                if run >= SYNC_SYMBOLS {
+                    sync_at = Some(j + 1 - run);
+                    break;
+                }
+            } else {
+                run = 0;
+            }
+            j += 1;
+        }
+        let Some(start) = sync_at else {
+            break; // No further sync in the stream.
+        };
+
+        // Locked. Skip any further zero symbols (rest of the preamble).
+        let mut k = start;
+        while k < symbols.len() && symbols[k] == 0 {
+            k += 1;
+        }
+
+        // Expect the SFD nibbles.
+        if k + 1 >= symbols.len() {
+            events.push(RxEvent::Wasted {
+                symbols_used: symbols.len() - start,
+                reason: WasteReason::NoSfd,
+            });
+            i = symbols.len();
+            continue;
+        }
+        if symbols[k] != SFD_SYMBOLS[0] || symbols[k + 1] != SFD_SYMBOLS[1] {
+            events.push(RxEvent::Wasted {
+                symbols_used: k + 2 - start,
+                reason: WasteReason::NoSfd,
+            });
+            i = k + 1; // Resume hunting after the failed position.
+            continue;
+        }
+        k += 2;
+
+        // PHR: one byte (two nibbles, low first).
+        if k + 1 >= symbols.len() {
+            events.push(RxEvent::Wasted {
+                symbols_used: symbols.len() - start,
+                reason: WasteReason::Truncated,
+            });
+            i = symbols.len();
+            continue;
+        }
+        let length = usize::from(symbols[k] | (symbols[k + 1] << 4));
+        k += 2;
+        if length > MAX_PSDU_LEN {
+            events.push(RxEvent::Wasted {
+                symbols_used: k - start,
+                reason: WasteReason::BadLength,
+            });
+            i = k;
+            continue;
+        }
+
+        // PSDU: 2·length nibbles.
+        if k + 2 * length > symbols.len() {
+            events.push(RxEvent::Wasted {
+                symbols_used: symbols.len() - start,
+                reason: WasteReason::Truncated,
+            });
+            i = symbols.len();
+            continue;
+        }
+        let psdu: Vec<u8> = symbols[k..k + 2 * length]
+            .chunks(2)
+            .map(|pair| pair[0] | (pair[1] << 4))
+            .collect();
+        k += 2 * length;
+        events.push(RxEvent::Frame {
+            frame: PhyFrame::new(psdu).expect("length bounded by PHR check"),
+            symbols_used: k - start,
+        });
+        i = k;
+    }
+    ScanReport {
+        events,
+        total_symbols: symbols.len(),
+    }
+}
+
+/// Convenience: demodulates a baseband waveform with `modulator` and
+/// scans the resulting symbol stream.
+///
+/// ```
+/// use ctjam_phy::zigbee::frame::PhyFrame;
+/// use ctjam_phy::zigbee::oqpsk::OqpskModulator;
+/// use ctjam_phy::zigbee::rx::scan_waveform;
+///
+/// let modulator = OqpskModulator::with_oversampling(10);
+/// let frame = PhyFrame::new(b"hi".to_vec()).unwrap();
+/// let wave = modulator.modulate_symbols(&frame.to_symbols());
+/// let report = scan_waveform(&modulator, &wave);
+/// assert_eq!(report.frames().count(), 1);
+/// ```
+pub fn scan_waveform(
+    modulator: &crate::zigbee::oqpsk::OqpskModulator,
+    wave: &[crate::complex::Complex64],
+) -> ScanReport {
+    scan_symbols(&modulator.demodulate(wave))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize) -> Vec<u8> {
+        // Nonzero symbols that never form a preamble.
+        (0..n).map(|i| 1 + (i % 15) as u8).collect()
+    }
+
+    #[test]
+    fn finds_a_frame_in_noise() {
+        let frame = PhyFrame::new(b"sensor".to_vec()).unwrap();
+        let mut stream = noise(40);
+        stream.extend(frame.to_symbols());
+        stream.extend(noise(30));
+        let report = scan_symbols(&stream);
+        let frames: Vec<_> = report.frames().collect();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].psdu(), b"sensor");
+    }
+
+    #[test]
+    fn finds_back_to_back_frames() {
+        let a = PhyFrame::new(vec![1, 2, 3]).unwrap();
+        let b = PhyFrame::new(vec![9; 20]).unwrap();
+        let mut stream = a.to_symbols();
+        stream.extend(b.to_symbols());
+        let report = scan_symbols(&stream);
+        assert_eq!(report.frames().count(), 2);
+        assert_eq!(report.wasted_fraction(), 0.0);
+    }
+
+    #[test]
+    fn preamble_only_burst_wastes_the_decode_window() {
+        // The paper's EmuBee example: preamble, then garbage, no SFD.
+        let mut stream = vec![0u8; 16];
+        stream.extend(noise(60));
+        let report = scan_symbols(&stream);
+        assert_eq!(report.frames().count(), 0);
+        assert!(matches!(
+            report.events[0],
+            RxEvent::Wasted {
+                reason: WasteReason::NoSfd,
+                ..
+            }
+        ));
+        assert!(report.wasted_fraction() > 0.0);
+    }
+
+    #[test]
+    fn truncated_frame_reports_waste() {
+        let frame = PhyFrame::new(vec![7; 50]).unwrap();
+        let symbols = frame.to_symbols();
+        let cut = &symbols[..symbols.len() - 10];
+        let report = scan_symbols(cut);
+        assert_eq!(report.frames().count(), 0);
+        assert!(matches!(
+            report.events[0],
+            RxEvent::Wasted {
+                reason: WasteReason::Truncated,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_length_detected() {
+        // Preamble + SFD + PHR advertising 200 bytes (> 127).
+        let mut stream = vec![0u8; 8];
+        stream.extend([0xA, 0x7]); // SFD
+        stream.extend([200 & 0x0F, 200 >> 4]); // PHR = 200
+        stream.extend(noise(20));
+        let report = scan_symbols(&stream);
+        assert!(matches!(
+            report.events[0],
+            RxEvent::Wasted {
+                reason: WasteReason::BadLength,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn pure_noise_never_syncs() {
+        let report = scan_symbols(&noise(500));
+        assert!(report.events.is_empty());
+        assert_eq!(report.wasted_fraction(), 0.0);
+    }
+
+    #[test]
+    fn frame_after_failed_decoy_still_found() {
+        // Decoy (preamble + junk), then a legitimate frame: the radio
+        // wastes the first window but recovers for the second.
+        let mut stream = vec![0u8; 12];
+        stream.extend([0x3, 0x1, 0x9, 0x9]); // junk, not SFD
+        stream.extend(noise(10));
+        let frame = PhyFrame::new(b"ok".to_vec()).unwrap();
+        stream.extend(frame.to_symbols());
+        let report = scan_symbols(&stream);
+        assert_eq!(report.frames().count(), 1);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, RxEvent::Wasted { .. })));
+    }
+
+    #[test]
+    fn scan_waveform_matches_symbol_scan() {
+        let modulator = crate::zigbee::oqpsk::OqpskModulator::with_oversampling(8);
+        let frame = PhyFrame::new(vec![3, 1, 4]).unwrap();
+        let wave = modulator.modulate_symbols(&frame.to_symbols());
+        let report = scan_waveform(&modulator, &wave);
+        assert_eq!(report.frames().count(), 1);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let report = scan_symbols(&[]);
+        assert!(report.events.is_empty());
+        assert_eq!(report.wasted_fraction(), 0.0);
+    }
+}

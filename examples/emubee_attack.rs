@@ -1,0 +1,104 @@
+//! The attacker's perspective: forging ZigBee with a Wi-Fi radio.
+//!
+//! Walks through the EmuBee pipeline end to end:
+//!
+//! 1. design a ZigBee waveform (a frame the victim would decode),
+//! 2. run the inverse-Wi-Fi-PHY emulation with the Eq. (2) optimal
+//!    64-QAM scaling,
+//! 3. show the victim's radio decodes the chips — but the frame check
+//!    rejects the burst, so nothing attributable is ever logged
+//!    (the stealthiness property),
+//! 4. compare the jamming reach of EmuBee against conventional ZigBee
+//!    and Wi-Fi jammers.
+//!
+//! ```text
+//! cargo run --release --example emubee_attack
+//! ```
+
+use ctjam::channel::link::{JammerKind, JammingScenario};
+use ctjam::phy::emulation::{frequency_shift, EmulationConfig, Emulator};
+use ctjam::phy::metrics::{chip_error_rate, waveform_evm};
+use ctjam::phy::zigbee::frame::{classify_rx, symbols_to_bytes, PhyFrame, RxOutcome};
+use ctjam::phy::zigbee::oqpsk::OqpskModulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== Step 1: design a jamming waveform ==");
+    // A *valid-looking chip stream* that deliberately violates the frame
+    // format: the preamble is present but the SFD never arrives, so the
+    // victim burns its decode window for nothing.
+    let decoy: Vec<u8> = vec![0x0; 8] // preamble nibbles (4 bytes of 0x00)
+        .into_iter()
+        .chain([0x3, 0x1, 0x9, 0x5, 0x9, 0x9, 0x5, 0x5]) // junk, never 0x7A
+        .collect();
+    let modulator = OqpskModulator::with_oversampling(10);
+    let designed = modulator.modulate_symbols(&decoy);
+    println!("designed {} baseband samples ({} chips)", designed.len(), decoy.len() * 32);
+
+    println!("\n== Step 2: emulate it through the Wi-Fi OFDM front end ==");
+    // Place the victim's 2 MHz channel at +5 MHz inside the 20 MHz band.
+    let target = frequency_shift(&designed, 16);
+    let emulator = Emulator::new(EmulationConfig::default());
+    let naive = Emulator::new(EmulationConfig {
+        optimize_alpha: false,
+        ..EmulationConfig::default()
+    });
+    let report = emulator.emulate(&target);
+    let naive_report = naive.emulate(&target);
+    println!(
+        "emulation EVM: optimized alpha {:.4} vs fixed alpha {:.4} ({:.1}% better)",
+        report.evm(),
+        naive_report.evm(),
+        100.0 * (1.0 - report.evm() / naive_report.evm())
+    );
+
+    println!("\n== Step 3: what the victim's radio sees ==");
+    let victim_view = frequency_shift(report.emulated(), -16);
+    let cer = chip_error_rate(&modulator, &designed, &victim_view);
+    let evm = waveform_evm(&designed, &victim_view);
+    println!("victim chip error rate vs designed: {cer:.4} (EVM {evm:.4})");
+    let symbols = modulator.demodulate(&victim_view);
+    let bytes = symbols_to_bytes(&symbols);
+    match classify_rx(&bytes) {
+        RxOutcome::Frame(f) => println!("UNEXPECTED: victim recovered a frame: {f:?}"),
+        RxOutcome::Stealthy(reason) => {
+            println!("victim radio locked on, decoded chips, then dropped the burst: {reason}");
+            println!("=> no jammer signature reaches the victim's logs (stealthy)");
+        }
+    }
+
+    // Contrast with a legitimate frame passing the same path.
+    let frame = PhyFrame::new(b"temperature=23.4C".to_vec())?;
+    let legit_wave = modulator.modulate_symbols(&frame.to_symbols());
+    let legit_emulated =
+        frequency_shift(emulator.emulate(&frequency_shift(&legit_wave, 16)).emulated(), -16);
+    let legit_bytes = symbols_to_bytes(&modulator.demodulate(&legit_emulated));
+    match classify_rx(&legit_bytes) {
+        RxOutcome::Frame(f) => println!(
+            "sanity: a *compliant* emulated frame still parses (psdu {} bytes) — EmuBee can spoof too",
+            f.psdu().len()
+        ),
+        RxOutcome::Stealthy(e) => println!("sanity check failed: {e}"),
+    }
+
+    println!("\n== Step 4: jamming reach (Fig. 2(b) mechanics) ==");
+    let scenario = JammingScenario::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    println!("{:<10} {:>12} {:>12} {:>12}", "dist (m)", "EmuBee PER", "ZigBee PER", "WiFi PER");
+    for d in [2.0, 6.0, 10.0, 14.0] {
+        let e = scenario.evaluate_faded(JammerKind::EmuBee, d, 2_000, &mut rng);
+        let z = scenario.evaluate_faded(JammerKind::ZigBee, d, 2_000, &mut rng);
+        let w = scenario.evaluate_faded(JammerKind::WifiOfdm, d, 2_000, &mut rng);
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>11.1}%",
+            d,
+            100.0 * e.per,
+            100.0 * z.per,
+            100.0 * w.per
+        );
+    }
+    println!("\nEmuBee keeps jamming where conventional jammers have long given up.");
+    Ok(())
+}

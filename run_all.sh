@@ -1,0 +1,11 @@
+#!/bin/bash
+set -x
+cd /root/repo
+mkdir -p results
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+for bin in fig01_emulation_error fig02_jamming_effect fig09_time_consumption mdp_threshold_analysis fig10_goodput_utilization fig11_scheme_comparison ablation_design_choices adaptive_jammer; do
+  cargo run --release -p ctjam-bench --bin $bin > results/$bin.txt 2>&1
+done
+CTJAM_CSV_DIR=results/csv cargo run --release -p ctjam-bench --bin fig06_07_08_sweeps > results/fig06_07_08_sweeps.txt 2>&1
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo ALL_DONE

@@ -1,0 +1,56 @@
+//! # CTJam — Cross-Technology Jamming attack & defense suite
+//!
+//! A full Rust reproduction of *“Defending against Cross-Technology
+//! Jamming in Heterogeneous IoT Systems”* (ICDCS 2022): the EmuBee
+//! Wi-Fi→ZigBee signal-emulation attack, the MDP model of the jamming
+//! competition, and the DQN-based hybrid frequency-hopping/power-control
+//! defense, together with every substrate they need (PHY DSP, channel
+//! models, a ZigBee star network, a from-scratch neural network).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`phy`] | `ctjam-phy` | FFT, 64-QAM, O-QPSK/DSSS, OFDM, EmuBee emulation |
+//! | [`channel`] | `ctjam-channel` | path loss, noise, SINR, BER/PER, link budgets |
+//! | [`net`] | `ctjam-net` | frames, CSMA-CA, star topology, FH negotiation, timing |
+//! | [`mdp`] | `ctjam-mdp` | the anti-jamming MDP, value/policy iteration, analysis |
+//! | [`nn`] | `ctjam-nn` | matrices, backprop, Adam, serialization |
+//! | [`dqn`] | `ctjam-dqn` | replay, target network, ε-greedy agent |
+//! | [`core`] | `ctjam-core` | jammer, environments, defenders, metrics, field sim |
+//!
+//! # Quickstart
+//!
+//! Train the DQN defense against the sweeping EmuBee jammer and compare
+//! it with the passive baseline:
+//!
+//! ```
+//! use ctjam::core::defender::{DqnDefender, PassiveFh};
+//! use ctjam::core::env::EnvParams;
+//! use ctjam::core::runner::{evaluate, train};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let params = EnvParams::default();
+//!
+//! let mut defense = DqnDefender::small_for_tests(&params, &mut rng);
+//! train(&params, &mut defense, 6_000, &mut rng);
+//! defense.set_training(false);
+//!
+//! let rl = evaluate(&params, &mut defense, 4_000, &mut rng);
+//! let mut passive = PassiveFh::new(&params, &mut rng);
+//! let psv = evaluate(&params, &mut passive, 4_000, &mut rng);
+//! assert!(rl.metrics.success_rate() > psv.metrics.success_rate());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ctjam_channel as channel;
+pub use ctjam_core as core;
+pub use ctjam_dqn as dqn;
+pub use ctjam_mdp as mdp;
+pub use ctjam_net as net;
+pub use ctjam_nn as nn;
+pub use ctjam_phy as phy;

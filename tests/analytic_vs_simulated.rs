@@ -1,0 +1,90 @@
+//! Closing the loop: the stationary analysis of the MDP chain must agree
+//! with what the kernel simulator actually produces — math vs Monte
+//! Carlo over the same model.
+
+use ctjam::core::defender::{Defender, MdpOracle};
+use ctjam::core::env::EnvParams;
+use ctjam::core::kernel::{mdp_params_of, KernelEnv};
+use ctjam::core::runner::run_in;
+use ctjam::mdp::antijam::AntijamMdp;
+use ctjam::mdp::solve::value_iteration::value_iteration;
+use ctjam::mdp::stationary::analyze_policy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the exact MDP policy in the kernel environment and compares the
+/// measured ST/AH against the stationary-distribution prediction.
+#[test]
+fn kernel_simulation_matches_stationary_prediction() {
+    let params = EnvParams::default();
+    let mdp = AntijamMdp::new(mdp_params_of(&params));
+    let solution = value_iteration(mdp.tabular(), 0.9, 1e-10, 100_000);
+    let predicted = analyze_policy(&mdp, &solution.policy);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut env = KernelEnv::new(params.clone(), &mut rng);
+    let mut oracle = MdpOracle::new(&params, &mut rng);
+    let slots = 60_000;
+    let report = run_in(&mut env, &mut oracle, slots, &mut rng);
+
+    let st = report.metrics.success_rate();
+    let ah = report.metrics.fh_adoption_rate();
+    assert!(
+        (st - predicted.success_rate).abs() < 0.02,
+        "simulated ST {st} vs analytic {}",
+        predicted.success_rate
+    );
+    assert!(
+        (ah - predicted.fh_adoption_rate).abs() < 0.02,
+        "simulated AH {ah} vs analytic {}",
+        predicted.fh_adoption_rate
+    );
+    assert!(
+        (report.mean_reward() - predicted.mean_reward).abs() < 1.5,
+        "simulated mean reward {} vs analytic {}",
+        report.mean_reward(),
+        predicted.mean_reward
+    );
+}
+
+/// The analytic chain also predicts the always-hop strategy played by a
+/// dumb defender in the kernel env.
+#[test]
+fn always_hop_matches_analytic_nine_elevenths() {
+    struct AlwaysHop {
+        num_channels: usize,
+    }
+    impl Defender for AlwaysHop {
+        fn name(&self) -> &str {
+            "always hop"
+        }
+        fn decide(&mut self, rng: &mut dyn rand::RngCore) -> ctjam::core::env::Decision {
+            use rand::Rng as _;
+            // Hop by a random nonzero offset each slot.
+            ctjam::core::env::Decision {
+                channel: rng.gen_range(0..self.num_channels),
+                power_level: 0,
+            }
+        }
+        fn feedback(
+            &mut self,
+            _result: &ctjam::core::env::SlotResult,
+            _rng: &mut dyn rand::RngCore,
+        ) {
+        }
+    }
+
+    let params = EnvParams::default();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut env = KernelEnv::new(params.clone(), &mut rng);
+    let mut defender = AlwaysHop { num_channels: 16 };
+    let report = run_in(&mut env, &mut defender, 60_000, &mut rng);
+    // Hand calculation (and `stationary` unit test): ST = 9/11 ≈ 0.818.
+    // A uniformly random channel stays put 1/16 of the time, so the
+    // realized rate sits slightly below the pure always-hop bound.
+    let st = report.metrics.success_rate();
+    assert!(
+        (0.74..=0.84).contains(&st),
+        "always-hop ST {st} out of the predicted band"
+    );
+}

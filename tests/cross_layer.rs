@@ -1,0 +1,85 @@
+//! Cross-layer consistency: the PHY's emulation results must justify the
+//! channel layer's interference assumptions.
+
+use ctjam::channel::interference::InterferenceKind;
+use ctjam::phy::emulation::{frequency_shift, EmulationConfig, Emulator};
+use ctjam::phy::metrics::chip_error_rate;
+use ctjam::phy::zigbee::chips::ChipTable;
+use ctjam::phy::zigbee::frame::{classify_rx, symbols_to_bytes, RxOutcome};
+use ctjam::phy::zigbee::oqpsk::OqpskModulator;
+use ctjam::phy::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The channel layer assumes EmuBee "defeats the processing gain" — i.e.
+/// is chip-faithful. Verify at the PHY: the emulated waveform's chips
+/// match the designed chips essentially everywhere.
+#[test]
+fn emubee_is_chip_faithful_as_channel_layer_assumes() {
+    assert!(InterferenceKind::EmuBee.defeats_processing_gain());
+    let modulator = OqpskModulator::with_oversampling(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..5 {
+        let symbols: Vec<u8> = (0..8).map(|_| rng.gen_range(0..16)).collect();
+        let designed = modulator.modulate_symbols(&symbols);
+        let emulated = Emulator::new(EmulationConfig::default())
+            .emulate(&frequency_shift(&designed, 16));
+        let victim_view = frequency_shift(emulated.emulated(), -16);
+        let cer = chip_error_rate(&modulator, &designed, &victim_view);
+        assert!(cer < 0.05, "EmuBee chip error rate {cer} breaks the channel model");
+    }
+}
+
+/// The channel layer assumes plain Wi-Fi OFDM is noise-like — i.e. NOT
+/// chip-faithful. Verify: random OFDM-looking samples decode as chips
+/// with ~50% disagreement against any PN sequence.
+#[test]
+fn plain_wifi_is_noise_like_as_channel_layer_assumes() {
+    assert!(!InterferenceKind::WifiOfdm.defeats_processing_gain());
+    let modulator = OqpskModulator::with_oversampling(10);
+    let table = ChipTable::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    // Gaussian-ish wideband samples (what an OFDM burst looks like to the
+    // despreader).
+    let noise: Vec<Complex64> = (0..32 * 10 * 8)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    let chips = modulator.chips_from_waveform(&noise);
+    // Against every PN sequence the Hamming distance of a random block
+    // should hover near 16/32; the best match still stays far from 0.
+    let mut total_best = 0u32;
+    let mut blocks = 0u32;
+    for block in chips.chunks(32).filter(|b| b.len() == 32) {
+        let (_, d) = table.best_match(block);
+        total_best += d;
+        blocks += 1;
+    }
+    let mean_best = f64::from(total_best) / f64::from(blocks);
+    assert!(
+        mean_best > 6.0,
+        "random noise matched a PN sequence too well ({mean_best} mean chip distance)"
+    );
+}
+
+/// Stealthiness, cross-checked between layers: the channel layer flags
+/// only EmuBee as stealthy; the PHY layer shows why — its bursts decode
+/// but never frame.
+#[test]
+fn stealthiness_is_consistent_across_layers() {
+    assert!(InterferenceKind::EmuBee.is_stealthy());
+    assert!(!InterferenceKind::ZigBee.is_stealthy());
+
+    let modulator = OqpskModulator::with_oversampling(10);
+    // Preamble-only burst (the paper's example of wasted decoding).
+    let symbols = vec![0u8; 8];
+    let designed = modulator.modulate_symbols(&symbols);
+    let emulated = Emulator::new(EmulationConfig::default())
+        .emulate(&frequency_shift(&designed, 16));
+    let victim_view = frequency_shift(emulated.emulated(), -16);
+    let decoded = modulator.demodulate(&victim_view);
+    let bytes = symbols_to_bytes(&decoded);
+    match classify_rx(&bytes) {
+        RxOutcome::Stealthy(_) => {}
+        RxOutcome::Frame(f) => panic!("preamble-only burst parsed as a frame: {f:?}"),
+    }
+}
