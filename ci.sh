@@ -1,0 +1,27 @@
+#!/bin/bash
+# CI gate: formatting, lints, tier-1 tests, and manifest archiving.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q (tier-1 gate) =="
+cargo test -q
+
+# Archive any run manifests produced by figure binaries so CI artifacts
+# keep the provenance (seed, config hash, git describe) of every table.
+if compgen -G "results/*.manifest.json" > /dev/null; then
+  stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+  mkdir -p results/manifests
+  for m in results/*.manifest.json; do
+    cp "$m" "results/manifests/${stamp}.$(basename "$m")"
+  done
+  echo "== archived $(ls results/*.manifest.json | wc -l) manifest(s) to results/manifests/ =="
+fi
+
+echo "CI_OK"

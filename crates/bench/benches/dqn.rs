@@ -21,7 +21,13 @@ fn bench_dqn(c: &mut Criterion) {
     for i in 0..512 {
         let mut state = obs.clone();
         state[0] = (i % 7) as f64 / 7.0;
-        agent.observe(state.clone(), i % config.num_actions(), -10.0, state, &mut rng);
+        agent.observe(
+            state.clone(),
+            i % config.num_actions(),
+            -10.0,
+            state,
+            &mut rng,
+        );
     }
     c.bench_function("dqn_train_step_batch32", |b| {
         b.iter(|| std::hint::black_box(agent.train_step(&mut rng)));

@@ -1,11 +1,17 @@
 //! Environment costs: slot steps in the concrete and kernel environments
-//! and one full 3-second star-network slot.
+//! and one full 3-second star-network slot. The `run_100_slots*` pair
+//! checks the telemetry tentpole's zero-cost claim: the instrumented loop
+//! over `NullSink` must not be measurably slower than it is worth —
+//! `run_in` *is* `run_in_with(.., NullSink)`, so these two must agree
+//! within noise.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ctjam_core::defender::{Defender, RandomFh};
 use ctjam_core::env::{CompetitionEnv, EnvParams, Environment};
 use ctjam_core::kernel::KernelEnv;
+use ctjam_core::runner::{run_in, run_in_with};
 use ctjam_net::star::StarNetwork;
+use ctjam_telemetry::{MemorySink, NullSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,6 +25,44 @@ fn bench_env(c: &mut Criterion) {
         b.iter(|| {
             let d = defender.decide(&mut rng);
             std::hint::black_box(Environment::step(&mut env, d, &mut rng));
+        });
+    });
+
+    c.bench_function("run_100_slots_uninstrumented", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut env = CompetitionEnv::new(params.clone(), &mut rng);
+        let mut defender = RandomFh::new(&params, &mut rng);
+        b.iter(|| std::hint::black_box(run_in(&mut env, &mut defender, 100, &mut rng)));
+    });
+
+    c.bench_function("run_100_slots_null_sink", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut env = CompetitionEnv::new(params.clone(), &mut rng);
+        let mut defender = RandomFh::new(&params, &mut rng);
+        b.iter(|| {
+            std::hint::black_box(run_in_with(
+                &mut env,
+                &mut defender,
+                100,
+                &mut rng,
+                &mut NullSink,
+            ))
+        });
+    });
+
+    c.bench_function("run_100_slots_memory_sink", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut env = CompetitionEnv::new(params.clone(), &mut rng);
+        let mut defender = RandomFh::new(&params, &mut rng);
+        b.iter(|| {
+            let mut sink = MemorySink::new();
+            std::hint::black_box(run_in_with(
+                &mut env,
+                &mut defender,
+                100,
+                &mut rng,
+                &mut sink,
+            ))
         });
     });
 

@@ -18,12 +18,20 @@ fn bench_mdp(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(AntijamMdp::new(p.clone())));
         });
         let mdp = AntijamMdp::new(params.clone());
-        group.bench_with_input(BenchmarkId::new("value_iteration", cycle), &cycle, |b, _| {
-            b.iter(|| std::hint::black_box(value_iteration(mdp.tabular(), 0.9, 1e-9, 100_000)));
-        });
-        group.bench_with_input(BenchmarkId::new("policy_iteration", cycle), &cycle, |b, _| {
-            b.iter(|| std::hint::black_box(policy_iteration(mdp.tabular(), 0.9, 1e-9, 1_000)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("value_iteration", cycle),
+            &cycle,
+            |b, _| {
+                b.iter(|| std::hint::black_box(value_iteration(mdp.tabular(), 0.9, 1e-9, 100_000)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("policy_iteration", cycle),
+            &cycle,
+            |b, _| {
+                b.iter(|| std::hint::black_box(policy_iteration(mdp.tabular(), 0.9, 1e-9, 1_000)));
+            },
+        );
     }
     group.finish();
 }

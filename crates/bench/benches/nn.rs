@@ -10,7 +10,11 @@ use rand::SeedableRng;
 
 fn bench_nn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let net = MlpBuilder::new(24).hidden(48).hidden(42).output(160).build(&mut rng);
+    let net = MlpBuilder::new(24)
+        .hidden(48)
+        .hidden(42)
+        .output(160)
+        .build(&mut rng);
     let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.13).sin()).collect();
 
     c.bench_function("mlp_forward_paper_shape", |b| {

@@ -14,7 +14,9 @@
 //! Knobs: `CTJAM_TRAIN_SLOTS` (default 12 000), `CTJAM_EVAL_SLOTS`
 //! (default 12 000).
 
-use ctjam_bench::{banner, env_usize, pct, table_header, table_row};
+use ctjam_bench::{
+    banner, env_usize, finish_manifest, pct, start_manifest, table_header, table_row,
+};
 use ctjam_core::defender::{DqnDefender, NoDefense, PassiveFh};
 use ctjam_core::env::EnvParams;
 use ctjam_core::jammer::JammerMode;
@@ -23,7 +25,13 @@ use ctjam_dqn::config::DqnConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn dqn_st(params: &EnvParams, config: DqnConfig, train_slots: usize, eval_slots: usize, seed: u64) -> f64 {
+fn dqn_st(
+    params: &EnvParams,
+    config: DqnConfig,
+    train_slots: usize,
+    eval_slots: usize,
+    seed: u64,
+) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut defender = DqnDefender::new(params, config, &mut rng);
     train(params, &mut defender, train_slots, &mut rng);
@@ -40,9 +48,22 @@ fn main() {
     );
     let train_slots = env_usize("CTJAM_TRAIN_SLOTS", 12_000);
     let eval_slots = env_usize("CTJAM_EVAL_SLOTS", 12_000);
+    let manifest = start_manifest(
+        "ablation_design_choices",
+        1,
+        &format!(
+            "train_slots={train_slots}, eval_slots={eval_slots}, {:?}",
+            EnvParams::default()
+        ),
+    );
 
     println!("\n### 1. Action space (concrete 16-channel environment)\n");
-    table_header(&["jammer mode", "hybrid FH+PC", "FH-only", "PC-only (static, max power)"]);
+    table_header(&[
+        "jammer mode",
+        "hybrid FH+PC",
+        "FH-only",
+        "PC-only (static, max power)",
+    ]);
     for mode in [JammerMode::MaxPower, JammerMode::RandomPower] {
         let mut params = EnvParams::default();
         params.jammer.mode = mode;
@@ -72,12 +93,7 @@ fn main() {
             .metrics
             .success_rate();
 
-        table_row(&[
-            format!("{mode:?}"),
-            pct(hybrid),
-            pct(fh_only),
-            pct(pc_only),
-        ]);
+        table_row(&[format!("{mode:?}"), pct(hybrid), pct(fh_only), pct(pc_only)]);
     }
     println!("\nexpected: PC-only collapses in max-power mode (Tx max 15 < Jx max 20); hybrid >= FH-only everywhere");
 
@@ -92,12 +108,14 @@ fn main() {
             num_power_levels: params.num_powers(),
             ..DqnConfig::default()
         };
-        let st = dqn_st(&params, config, train_slots, eval_slots, 10 + history as u64);
-        table_row(&[
-            format!("{history}"),
-            format!("{}", 3 * history),
-            pct(st),
-        ]);
+        let st = dqn_st(
+            &params,
+            config,
+            train_slots,
+            eval_slots,
+            10 + history as u64,
+        );
+        table_row(&[format!("{history}"), format!("{}", 3 * history), pct(st)]);
     }
     println!("\nthe paper uses I = 8; the ablation shows how quickly returns diminish");
 
@@ -113,4 +131,5 @@ fn main() {
         table_row(&[format!("{detection}"), pct(st)]);
     }
     println!("\nevery extra slot of detection latency (EmuBee's stealthiness) costs the reactive scheme dearly");
+    finish_manifest(&manifest);
 }

@@ -15,7 +15,9 @@
 //! Knobs: `CTJAM_TRAIN_SLOTS` (default 12 000), `CTJAM_EVAL_SLOTS`
 //! (default 8 000).
 
-use ctjam_bench::{banner, env_usize, pct, table_header, table_row};
+use ctjam_bench::{
+    banner, env_usize, finish_manifest, pct, start_manifest, table_header, table_row,
+};
 use ctjam_core::adaptive::{AdaptiveEnv, PredictorKind};
 use ctjam_core::defender::{Defender, DqnDefender, PassiveFh, RandomFh};
 use ctjam_core::env::EnvParams;
@@ -34,18 +36,18 @@ fn main() {
 
     // Train the DQN against the paper's sweep jammer (the deployment
     // scenario: the defender does not know which adversary shows up).
+    let manifest = start_manifest(
+        "adaptive_jammer",
+        77,
+        &format!("train_slots={train_slots}, eval_slots={eval_slots}, {params:?}"),
+    );
     let mut rng = StdRng::seed_from_u64(77);
     let mut dqn = DqnDefender::paper_default(&params, &mut rng);
     train(&params, &mut dqn, train_slots, &mut rng);
     dqn.set_training(false);
 
     println!();
-    table_header(&[
-        "defense",
-        "predictor",
-        "defense ST",
-        "jammer hit rate",
-    ]);
+    table_header(&["defense", "predictor", "defense ST", "jammer hit rate"]);
     for kind in [
         PredictorKind::LastBlock,
         PredictorKind::Markov,
@@ -90,4 +92,5 @@ fn main() {
     );
     println!("reading guide: hit rate ~25% = the predictor is at chance (4 blocks);");
     println!("hit rate >> 25% = the defense's hopping pattern has been learned.");
+    finish_manifest(&manifest);
 }

@@ -5,7 +5,7 @@
 //! quantizer, and confirms the emulated waveform still decodes as the
 //! designed chips at the victim.
 
-use ctjam_bench::{banner, env_usize, table_header, table_row};
+use ctjam_bench::{banner, env_usize, finish_manifest, start_manifest, table_header, table_row};
 use ctjam_phy::emulation::{frequency_shift, EmulationConfig, Emulator};
 use ctjam_phy::metrics::{chip_error_rate, normalized_correlation, waveform_evm};
 use ctjam_phy::zigbee::oqpsk::OqpskModulator;
@@ -20,6 +20,14 @@ fn main() {
 
     let bursts = env_usize("CTJAM_BURSTS", 20);
     let symbols_per_burst = env_usize("CTJAM_BURST_SYMBOLS", 8);
+    let manifest = start_manifest(
+        "fig01_emulation_error",
+        2022,
+        &format!(
+            "bursts={bursts}, symbols_per_burst={symbols_per_burst}, {:?}",
+            EmulationConfig::default()
+        ),
+    );
     let mut rng = StdRng::seed_from_u64(2022);
     let modulator = OqpskModulator::with_oversampling(10);
     let optimized = Emulator::new(EmulationConfig::default());
@@ -43,7 +51,9 @@ fn main() {
     let mut evm_opt_sum = 0.0;
     let mut cer_sum = 0.0;
     for burst in 0..bursts {
-        let symbols: Vec<u8> = (0..symbols_per_burst).map(|_| rng.gen_range(0..16)).collect();
+        let symbols: Vec<u8> = (0..symbols_per_burst)
+            .map(|_| rng.gen_range(0..16))
+            .collect();
         let designed = modulator.modulate_symbols(&symbols);
         // The attack synthesizes the ZigBee channel at a +5 MHz offset
         // inside the Wi-Fi band (OFDM cannot drive DC).
@@ -102,7 +112,9 @@ fn main() {
     let mut chain_cer_sum = 0.0;
     let chain_bursts = bursts.min(8);
     for burst in 0..chain_bursts {
-        let symbols: Vec<u8> = (0..symbols_per_burst).map(|_| rng.gen_range(0..16)).collect();
+        let symbols: Vec<u8> = (0..symbols_per_burst)
+            .map(|_| rng.gen_range(0..16))
+            .collect();
         let designed = modulator.modulate_symbols(&symbols);
         let target = frequency_shift(&designed, 16);
 
@@ -136,5 +148,8 @@ fn main() {
         constrained_sum / cn,
         chain_cer_sum / cn,
     );
-    println!("(soft-metric Viterbi chooses the minimum-cost codeword — the best a *coded* NIC can emit)");
+    println!(
+        "(soft-metric Viterbi chooses the minimum-cost codeword — the best a *coded* NIC can emit)"
+    );
+    finish_manifest(&manifest);
 }

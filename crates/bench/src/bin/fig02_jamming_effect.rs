@@ -5,7 +5,9 @@
 //! ordering — EmuBee > ZigBee > Wi-Fi jamming effect, with PER falling
 //! and throughput rising as distance grows — should reproduce.
 
-use ctjam_bench::{banner, env_usize, pct, table_header, table_row};
+use ctjam_bench::{
+    banner, env_usize, finish_manifest, pct, start_manifest, table_header, table_row,
+};
 use ctjam_channel::link::{JammerKind, JammingScenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,6 +20,11 @@ fn main() {
 
     let scenario = JammingScenario::default();
     let draws = env_usize("CTJAM_FADING_DRAWS", 2_000);
+    let manifest = start_manifest(
+        "fig02_jamming_effect",
+        2,
+        &format!("draws={draws}, {scenario:?}"),
+    );
     let mut rng = StdRng::seed_from_u64(2);
     let clean = scenario.evaluate_clean();
     println!(
@@ -62,4 +69,5 @@ fn main() {
     println!("effect ordering EmuBee >= ZigBee >= WiFi at every distance: {ordering_holds}");
     println!("EmuBee PER monotonically decreasing with distance: {per_monotone}");
     println!("paper: 'in most cases, the rank in terms of the jamming effect is: EmuBee > ZigBee > WiFi'");
+    finish_manifest(&manifest);
 }

@@ -11,9 +11,13 @@
 //! (default 20 000). The full run is ~70 DQN trainings; expect ~10 min at
 //! defaults on one core.
 
-use ctjam_bench::{banner, maybe_write_csv, pct, table_header, table_row};
+use ctjam_bench::{
+    banner, finish_manifest, maybe_write_csv, pct, results_dir, start_manifest, table_header,
+    table_row,
+};
 use ctjam_core::env::EnvParams;
 use ctjam_core::jammer::JammerMode;
+use ctjam_core::runner::capture_sweep;
 use ctjam_core::runner::{sweep_kernel, SweepBudget};
 
 fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBudget) {
@@ -27,6 +31,29 @@ fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBud
                 p
             })
             .collect();
+        let slug: String = name
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        // Deterministic-replay capture: record every point's seed before
+        // running so any failing point can be re-run bit-exactly with
+        // `ctjam_core::runner::replay_kernel`.
+        let trace = capture_sweep(
+            &format!("fig06_08_{slug}_{mode:?}"),
+            &mode_points,
+            budget,
+            0xC7A1,
+        );
+        match trace.write(&results_dir()) {
+            Ok(path) => println!("(replay trace {})", path.display()),
+            Err(err) => println!("(replay trace not written: {err})"),
+        }
         let metrics = sweep_kernel(&mode_points, budget, 0xC7A1, |_, _| {});
         println!("jammer mode: {mode:?}");
         table_header(&[name, "ST", "AH", "AP", "SH", "SP"]);
@@ -49,10 +76,6 @@ fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBud
                 format!("{}", m.pc_success_rate()),
             ]);
         }
-        let slug: String = name
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
-            .collect();
         maybe_write_csv(
             &format!("fig06_08_{slug}_{mode:?}"),
             &[name, "st", "ah", "ap", "sh", "sp"],
@@ -68,6 +91,11 @@ fn main() {
         "ST ~0 below L_J=15, ~78% above L_J=50; ST rises with sweep cycle, falls with L_H, hits 100% once lb(L_p)>=11; AH/AP/SH/SP trends per Figs. 7-8",
     );
     let budget = SweepBudget::from_env();
+    let manifest = start_manifest(
+        "fig06_07_08_sweeps",
+        0xC7A1,
+        &format!("budget={budget:?}, base={:?}", EnvParams::default()),
+    );
     println!(
         "budget: {} training slots, {} evaluation slots per point",
         budget.train_slots, budget.eval_slots
@@ -131,4 +159,5 @@ fn main() {
     );
 
     println!("reference paper anchors: ST(L_J=100) ~ 78%; ST(lb>=11) = 100%; AH falls and AP rises with lb(L_p)");
+    finish_manifest(&manifest);
 }

@@ -5,7 +5,7 @@
 //! size 1–10 nodes and prints mean/min/max negotiation time, including
 //! the multi-second control-channel outliers.
 
-use ctjam_bench::{banner, env_usize, table_header, table_row};
+use ctjam_bench::{banner, env_usize, finish_manifest, start_manifest, table_header, table_row};
 use ctjam_net::negotiation::negotiate;
 use ctjam_net::timing::TimingModel;
 use rand::rngs::StdRng;
@@ -26,18 +26,37 @@ fn main() {
     );
     let trials = env_usize("CTJAM_TRIALS", 100);
     let timing = TimingModel::default();
+    let manifest = start_manifest(
+        "fig09_time_consumption",
+        9,
+        &format!("trials={trials}, {timing:?}"),
+    );
     let mut rng = StdRng::seed_from_u64(9);
 
     println!("\n### Fig. 9(a): typical functions ({trials} trials each)\n");
-    table_header(&["function", "mean (ms)", "min (ms)", "max (ms)", "paper (ms)"]);
+    table_header(&[
+        "function",
+        "mean (ms)",
+        "min (ms)",
+        "max (ms)",
+        "paper (ms)",
+    ]);
     let mut sample = |f: &dyn Fn(&mut StdRng) -> f64| -> Vec<f64> {
         (0..trials).map(|_| f(&mut rng) * 1000.0).collect()
     };
     let rows: Vec<(&str, Vec<f64>, f64)> = vec![
         ("DQN inference", sample(&|r| timing.dqn_inference(r)), 9.0),
         ("ACK round trip", sample(&|r| timing.ack_round_trip(r)), 0.9),
-        ("data processing", sample(&|r| timing.data_processing(r)), 0.6),
-        ("polling one node", sample(&|r| timing.poll_one_node(r)), 13.1),
+        (
+            "data processing",
+            sample(&|r| timing.data_processing(r)),
+            0.6,
+        ),
+        (
+            "polling one node",
+            sample(&|r| timing.poll_one_node(r)),
+            13.1,
+        ),
     ];
     for (name, samples, paper) in &rows {
         let (mean, min, max) = stats(samples);
@@ -68,4 +87,5 @@ fn main() {
         ]);
     }
     println!("\npaper: 'the time consumption of negotiation increases with the increase of the number of nodes. In some cases, it can be several seconds'");
+    finish_manifest(&manifest);
 }

@@ -6,7 +6,9 @@
 //! goodput growing 148 → 806 pkts/slot and utilization 91.75% → 98.58%
 //! over that range, with ~0.07 s of FH negotiation per slot.
 
-use ctjam_bench::{banner, env_usize, pct, table_header, table_row};
+use ctjam_bench::{
+    banner, env_usize, finish_manifest, pct, start_manifest, table_header, table_row,
+};
 use ctjam_core::defender::{DqnDefender, NoDefense};
 use ctjam_core::field::{FieldConfig, FieldExperiment};
 use ctjam_core::runner::train;
@@ -25,6 +27,11 @@ fn main() {
     // Train the defense once on the slot-level game, then deploy frozen
     // (the paper trains offline and loads the network onto the hub).
     let base = FieldConfig::default();
+    let manifest = start_manifest(
+        "fig10_goodput_utilization",
+        10,
+        &format!("slots={slots}, train_slots={train_slots}, {base:?}"),
+    );
     let mut defender = DqnDefender::paper_default(&base.env, &mut rng);
     train(&base.env, &mut defender, train_slots, &mut rng);
     defender.set_training(false);
@@ -62,4 +69,5 @@ fn main() {
         ]);
     }
     println!("\npaper anchors: 148 pkts/slot @ 1 s -> 806 @ 5 s; utilization 91.75% -> 98.58%; ~0.07 s negotiation/slot");
+    finish_manifest(&manifest);
 }

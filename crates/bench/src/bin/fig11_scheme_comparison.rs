@@ -9,7 +9,9 @@
 //! Knobs: `CTJAM_FIELD_SLOTS` (default 300 Tx slots per repetition),
 //! `CTJAM_FIELD_REPS` (default 3 seeds averaged), `CTJAM_TRAIN_SLOTS`.
 
-use ctjam_bench::{banner, env_usize, pct, table_header, table_row};
+use ctjam_bench::{
+    banner, env_usize, finish_manifest, pct, start_manifest, table_header, table_row,
+};
 use ctjam_core::defender::{Defender, DqnDefender, NoDefense, PassiveFh, RandomFh};
 use ctjam_core::field::{FieldConfig, FieldExperiment};
 use ctjam_core::runner::train;
@@ -17,7 +19,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Mean (packets/slot, slot ST) over `reps` seeded repetitions.
-fn run_field<D, F>(config: &FieldConfig, make: F, slots: usize, reps: usize, seed: u64) -> (f64, f64)
+fn run_field<D, F>(
+    config: &FieldConfig,
+    make: F,
+    slots: usize,
+    reps: usize,
+    seed: u64,
+) -> (f64, f64)
 where
     D: Defender,
     F: Fn(&mut StdRng) -> D,
@@ -45,6 +53,11 @@ fn main() {
     let train_slots = env_usize("CTJAM_TRAIN_SLOTS", 12_000);
     let mut rng = StdRng::seed_from_u64(11);
     let base = FieldConfig::default();
+    let manifest = start_manifest(
+        "fig11_scheme_comparison",
+        11,
+        &format!("slots={slots}, reps={reps}, train_slots={train_slots}, {base:?}"),
+    );
 
     // Offline training of the RL defense (the paper trains offline and
     // loads the network onto the hub).
@@ -63,7 +76,13 @@ fn main() {
     let rl_res = run_field(&base, |_| rl.clone(), slots, reps, 103);
 
     let full = reference.0;
-    table_header(&["scheme", "goodput (pkts/slot)", "fraction of no-jammer", "slot ST", "paper fraction"]);
+    table_header(&[
+        "scheme",
+        "goodput (pkts/slot)",
+        "fraction of no-jammer",
+        "slot ST",
+        "paper fraction",
+    ]);
     for (name, (pkts, st), paper) in [
         ("PSV FH", psv, "37.6%"),
         ("Rand FH", rnd, "54.1%"),
@@ -91,8 +110,15 @@ fn main() {
             jx_slot_s: jx,
             ..base.clone()
         };
-        let (pkts, st) = run_field(&config, |_| rl.clone(), slots, reps, 200 + (jx * 10.0) as u64);
+        let (pkts, st) = run_field(
+            &config,
+            |_| rl.clone(),
+            slots,
+            reps,
+            200 + (jx * 10.0) as u64,
+        );
         table_row(&[format!("{jx:.1}"), format!("{pkts:.0}"), pct(st)]);
     }
     println!("\npaper: best goodput (~421 pkts/slot) when the Jx slot matches the 3 s Tx slot; faster sweeping hurts most");
+    finish_manifest(&manifest);
 }

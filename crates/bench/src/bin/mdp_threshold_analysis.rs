@@ -8,7 +8,7 @@
 //! * Theorem III.4 — the optimal policy is a threshold policy;
 //! * Theorem III.5 — `n*` falls with `L_J`, rises with `L_H` and `⌈K/m⌉`.
 
-use ctjam_bench::{banner, table_header, table_row};
+use ctjam_bench::{banner, finish_manifest, start_manifest, table_header, table_row};
 use ctjam_mdp::analysis::{
     check_lemma_iii2, check_lemma_iii3, check_threshold_structure, solve_threshold,
     thresholds_vs_lh, thresholds_vs_lj, thresholds_vs_sweep_cycle,
@@ -26,11 +26,22 @@ fn main() {
         ..AntijamParams::default()
     };
 
+    let manifest = start_manifest("mdp_threshold_analysis", 0, &format!("{base:?}"));
+
     println!("\n### Structure checks on the default instance\n");
     let (mdp, q, threshold) = solve_threshold(base.clone());
-    println!("lemma III.2 (Q(n,stay) decreasing): {}", check_lemma_iii2(&mdp, &q).is_none());
-    println!("lemma III.3 (Q(n,hop) increasing):  {}", check_lemma_iii3(&mdp, &q).is_none());
-    println!("theorem III.4 (threshold policy):   {}", check_threshold_structure(&mdp, &q));
+    println!(
+        "lemma III.2 (Q(n,stay) decreasing): {}",
+        check_lemma_iii2(&mdp, &q).is_none()
+    );
+    println!(
+        "lemma III.3 (Q(n,hop) increasing):  {}",
+        check_lemma_iii3(&mdp, &q).is_none()
+    );
+    println!(
+        "theorem III.4 (threshold policy):   {}",
+        check_threshold_structure(&mdp, &q)
+    );
     println!("default instance threshold n* = {threshold}");
 
     println!("\n### Theorem III.5: n* vs L_J (expect non-increasing)\n");
@@ -61,4 +72,5 @@ fn main() {
     let lh_ok = t_lh.windows(2).all(|w| w[1] >= w[0]);
     let c_ok = t_c.windows(2).all(|w| w[1] >= w[0]);
     println!("\ntrends hold: L_J {lj_ok}, L_H {lh_ok}, sweep cycle {c_ok}");
+    finish_manifest(&manifest);
 }

@@ -90,6 +90,34 @@ pub fn maybe_write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> boo
     true
 }
 
+/// Directory figure outputs (CSV, manifests) land in: `$CTJAM_CSV_DIR`
+/// if set, otherwise `results/` under the current directory.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var("CTJAM_CSV_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("results"))
+}
+
+/// Starts the run manifest of a figure binary: base seed, configuration
+/// `Debug` string (hashed for cheap diffing), `git describe`, and the
+/// start-of-run timestamp. Call [`finish_manifest`] after the figure's
+/// tables are printed so the recorded wall time covers the whole run.
+pub fn start_manifest(name: &str, seed: u64, config: &str) -> ctjam_telemetry::RunManifest {
+    ctjam_telemetry::RunManifest::new(name, seed, config)
+}
+
+/// Writes the manifest into [`results_dir`] as `<name>.manifest.json`,
+/// printing the path.
+///
+/// # Panics
+///
+/// Panics if the manifest cannot be written — provenance loss should
+/// fail loudly, exactly like [`maybe_write_csv`] on a bad path.
+pub fn finish_manifest(manifest: &ctjam_telemetry::RunManifest) {
+    let path = manifest.write(&results_dir()).expect("write run manifest");
+    println!("(manifest {})", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +132,13 @@ mod tests {
     fn env_knobs_fall_back() {
         assert_eq!(env_usize("CTJAM_DOES_NOT_EXIST", 5), 5);
         assert_eq!(env_f64("CTJAM_DOES_NOT_EXIST", 2.5), 2.5);
+    }
+
+    #[test]
+    fn results_dir_defaults_to_results() {
+        if std::env::var("CTJAM_CSV_DIR").is_err() {
+            assert_eq!(results_dir(), std::path::PathBuf::from("results"));
+        }
     }
 
     #[test]

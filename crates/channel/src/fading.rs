@@ -120,7 +120,10 @@ mod tests {
         let b = deep(Fading::Rician { k: 0.0 }, 7);
         // Exponential: P(< 0.1) = 1 − e^−0.1 ≈ 0.0952.
         assert!((a - 0.0952).abs() < 0.01, "rayleigh deep-fade {a}");
-        assert!((a - b).abs() < 0.01, "K=0 should match rayleigh: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 0.01,
+            "K=0 should match rayleigh: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -86,9 +86,7 @@ impl InterferenceKind {
     /// kind of signal (paper §II.B: Wi-Fi up to 100 mW, ZigBee ≈ 1 mW).
     pub fn typical_tx_dbm(self) -> f64 {
         match self {
-            InterferenceKind::EmuBee | InterferenceKind::WifiOfdm | InterferenceKind::Noise => {
-                20.0
-            }
+            InterferenceKind::EmuBee | InterferenceKind::WifiOfdm | InterferenceKind::Noise => 20.0,
             InterferenceKind::ZigBee => 0.0,
         }
     }
@@ -142,7 +140,10 @@ mod tests {
         let emubee = effective(InterferenceKind::EmuBee);
         let zigbee = effective(InterferenceKind::ZigBee);
         let wifi = effective(InterferenceKind::WifiOfdm);
-        assert!(emubee > zigbee, "EmuBee {emubee} should beat ZigBee {zigbee}");
+        assert!(
+            emubee > zigbee,
+            "EmuBee {emubee} should beat ZigBee {zigbee}"
+        );
         assert!(zigbee > wifi, "ZigBee {zigbee} should beat WiFi {wifi}");
     }
 

@@ -88,7 +88,9 @@ impl JammingScenario {
             .received_dbm(self.tx_power_dbm, self.link_distance_m);
         let jammer = Interferer {
             kind,
-            received_dbm: self.path_loss.received_dbm(jammer_tx_dbm, jammer_distance_m),
+            received_dbm: self
+                .path_loss
+                .received_dbm(jammer_tx_dbm, jammer_distance_m),
         };
         let sinr = sinr_linear(signal_dbm, &[jammer], &self.noise);
         let per = per_from_sinr(sinr, self.payload_bytes);
@@ -151,8 +153,7 @@ impl JammingScenario {
             let jammer = Interferer {
                 kind,
                 received_dbm: self.fading.apply_dbm(
-                    kind.typical_tx_dbm()
-                        - self.path_loss.loss_db_shadowed(jammer_distance_m, rng),
+                    kind.typical_tx_dbm() - self.path_loss.loss_db_shadowed(jammer_distance_m, rng),
                     rng,
                 ),
             };
@@ -269,9 +270,14 @@ mod tests {
         // Far jammer: deterministic PER ~0; fading creates deep signal
         // fades, so the mean PER rises above it.
         let det = base.evaluate(JammerKind::EmuBee, 20.0).per;
-        let fad = faded.evaluate_faded(JammerKind::EmuBee, 20.0, 4_000, &mut rng).per;
+        let fad = faded
+            .evaluate_faded(JammerKind::EmuBee, 20.0, 4_000, &mut rng)
+            .per;
         assert!(det < 0.05, "deterministic far link should be clean: {det}");
-        assert!(fad > det + 0.02, "fading should lift the tail PER: {fad} vs {det}");
+        assert!(
+            fad > det + 0.02,
+            "fading should lift the tail PER: {fad} vs {det}"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl PathLoss {
     /// Panics if `exponent <= 0` or `shadowing_sigma_db < 0`.
     pub fn new(reference_db: f64, exponent: f64, shadowing_sigma_db: f64) -> Self {
         assert!(exponent > 0.0, "path loss exponent must be positive");
-        assert!(shadowing_sigma_db >= 0.0, "shadowing sigma cannot be negative");
+        assert!(
+            shadowing_sigma_db >= 0.0,
+            "shadowing sigma cannot be negative"
+        );
         PathLoss {
             reference_db,
             exponent,

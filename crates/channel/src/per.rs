@@ -29,8 +29,7 @@ pub fn per_from_sinr(sinr_linear: f64, payload_bytes: usize) -> f64 {
 /// Effective goodput in bits/second over a 250 kb/s ZigBee link:
 /// `(1 − PER) · payload_fraction · bitrate`.
 pub fn goodput_bps(per: f64, payload_bytes: usize) -> f64 {
-    let payload_fraction =
-        payload_bytes as f64 / (payload_bytes + PHY_OVERHEAD_BYTES) as f64;
+    let payload_fraction = payload_bytes as f64 / (payload_bytes + PHY_OVERHEAD_BYTES) as f64;
     (1.0 - per.clamp(0.0, 1.0)) * payload_fraction * ctjam_phy::zigbee::BIT_RATE
 }
 

@@ -15,7 +15,10 @@
 /// assert_eq!(mw_to_dbm(100.0), 20.0);
 /// ```
 pub fn mw_to_dbm(mw: f64) -> f64 {
-    assert!(mw > 0.0, "power must be positive to express in dBm, got {mw}");
+    assert!(
+        mw > 0.0,
+        "power must be positive to express in dBm, got {mw}"
+    );
     10.0 * mw.log10()
 }
 
@@ -41,7 +44,10 @@ pub fn db_to_linear(db: f64) -> f64 {
 ///
 /// Panics if `ratio` is not strictly positive.
 pub fn linear_to_db(ratio: f64) -> f64 {
-    assert!(ratio > 0.0, "ratio must be positive to express in dB, got {ratio}");
+    assert!(
+        ratio > 0.0,
+        "ratio must be positive to express in dB, got {ratio}"
+    );
     10.0 * ratio.log10()
 }
 

@@ -94,15 +94,9 @@ impl Predictor {
             Predictor::Rnn { rnn, .. } => {
                 // Run the RNN over the recent history and take the argmax
                 // of the final output.
-                let xs: Vec<Vec<f64>> = history
-                    .iter()
-                    .map(|&b| one_hot(b, blocks))
-                    .collect();
+                let xs: Vec<Vec<f64>> = history.iter().map(|&b| one_hot(b, blocks)).collect();
                 let outputs = rnn.run(&xs);
-                outputs
-                    .last()
-                    .map(|y| argmax(y))
-                    .unwrap_or(0)
+                outputs.last().map(|y| argmax(y)).unwrap_or(0)
             }
         }
     }
@@ -135,10 +129,7 @@ impl Predictor {
                         .iter()
                         .map(|&b| one_hot(b, blocks))
                         .collect();
-                    let ys: Vec<Vec<f64>> = seq[1..]
-                        .iter()
-                        .map(|&b| one_hot(b, blocks))
-                        .collect();
+                    let ys: Vec<Vec<f64>> = seq[1..].iter().map(|&b| one_hot(b, blocks)).collect();
                     rnn.train_sequence(&xs, &ys, optimizer);
                 }
             }
@@ -205,7 +196,10 @@ impl AdaptiveJammer {
     /// Predicts and commits this slot's attack, *before* seeing where the
     /// victim goes.
     pub fn aim<R: Rng + ?Sized>(&mut self, rng: &mut R) -> JamAction {
-        let block = self.predictor.predict(&self.history, self.blocks).min(self.blocks - 1);
+        let block = self
+            .predictor
+            .predict(&self.history, self.blocks)
+            .min(self.blocks - 1);
         let power = match self.mode {
             JammerMode::MaxPower => self
                 .powers
@@ -381,12 +375,7 @@ mod tests {
         StdRng::seed_from_u64(seed)
     }
 
-    fn run_pattern(
-        kind: PredictorKind,
-        pattern: &[usize],
-        slots: usize,
-        seed: u64,
-    ) -> f64 {
+    fn run_pattern(kind: PredictorKind, pattern: &[usize], slots: usize, seed: u64) -> f64 {
         // A deterministic victim cycling through the given channels.
         let params = EnvParams::default();
         let mut r = rng(seed);
@@ -403,7 +392,11 @@ mod tests {
 
     #[test]
     fn all_predictors_nail_a_static_victim() {
-        for kind in [PredictorKind::LastBlock, PredictorKind::Markov, PredictorKind::Rnn] {
+        for kind in [
+            PredictorKind::LastBlock,
+            PredictorKind::Markov,
+            PredictorKind::Rnn,
+        ] {
             let hit = run_pattern(kind, &[5], 300, 1);
             assert!(hit > 0.9, "{kind:?} hit rate {hit} on a static victim");
         }

@@ -17,6 +17,22 @@ use ctjam_mdp::antijam::{Action as MdpAction, AntijamMdp, State as MdpState};
 use ctjam_mdp::solve::value_iteration::value_iteration;
 use rand::{Rng, RngCore};
 
+/// Telemetry snapshot of a defender's learner state, taken after
+/// `feedback`. Learning-free strategies report all-`None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AgentProbe {
+    /// Current exploration rate.
+    pub epsilon: Option<f64>,
+    /// Loss of the most recent gradient step, if any ran yet.
+    pub last_loss: Option<f64>,
+    /// Gradient updates performed so far.
+    pub train_steps: Option<usize>,
+    /// Transitions currently in the replay buffer.
+    pub replay_len: Option<usize>,
+    /// Replay buffer capacity.
+    pub replay_capacity: Option<usize>,
+}
+
 /// A per-slot decision maker.
 ///
 /// Implementations are driven by [`crate::runner::run`]: `decide` at the
@@ -30,6 +46,12 @@ pub trait Defender {
 
     /// Receives the resolved slot (for learning and state tracking).
     fn feedback(&mut self, result: &SlotResult, rng: &mut dyn RngCore);
+
+    /// Telemetry probe of the learner, read by the runner after each
+    /// `feedback` when a sink is attached.
+    fn probe(&self) -> AgentProbe {
+        AgentProbe::default()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -222,6 +244,16 @@ impl Defender for DqnDefender {
             }
         }
     }
+
+    fn probe(&self) -> AgentProbe {
+        AgentProbe {
+            epsilon: Some(self.agent.epsilon()),
+            last_loss: self.agent.last_loss(),
+            train_steps: Some(self.agent.train_steps()),
+            replay_len: Some(self.agent.replay_len()),
+            replay_capacity: Some(self.agent.replay_capacity()),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -385,7 +417,10 @@ impl NoDefense {
         power_level: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(power_level < params.num_powers(), "power level out of range");
+        assert!(
+            power_level < params.num_powers(),
+            "power level out of range"
+        );
         NoDefense {
             channel: rng.gen_range(0..params.num_channels()),
             power_level,
@@ -506,7 +541,11 @@ mod tests {
         StdRng::seed_from_u64(seed)
     }
 
-    fn run_slots<D: Defender>(defender: &mut D, slots: usize, seed: u64) -> crate::metrics::Metrics {
+    fn run_slots<D: Defender>(
+        defender: &mut D,
+        slots: usize,
+        seed: u64,
+    ) -> crate::metrics::Metrics {
         let mut r = rng(seed);
         let mut env = CompetitionEnv::new(EnvParams::default(), &mut r);
         let mut metrics = crate::metrics::Metrics::new();
@@ -646,7 +685,11 @@ mod tests {
         assert!(!dqn.is_training());
         let steps_before = dqn.agent().steps();
         let _ = run_slots(&mut dqn, 50, 66);
-        assert_eq!(dqn.agent().steps(), steps_before, "frozen agent must not learn");
+        assert_eq!(
+            dqn.agent().steps(),
+            steps_before,
+            "frozen agent must not learn"
+        );
     }
 
     #[test]

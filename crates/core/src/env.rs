@@ -117,6 +117,33 @@ pub struct SlotResult {
     pub jam_action: JamAction,
 }
 
+impl SlotResult {
+    /// Whether the jammer's block covered the defender's channel this
+    /// slot (both jam outcomes imply coverage; `Clean` implies a miss).
+    pub fn jammer_on_channel(&self) -> bool {
+        self.outcome != Outcome::Clean
+    }
+
+    /// This slot as a structured telemetry event.
+    pub fn telemetry_event(&self, slot: u64) -> ctjam_telemetry::SlotEvent {
+        use ctjam_telemetry::SlotOutcome;
+        ctjam_telemetry::SlotEvent {
+            slot,
+            channel: self.decision.channel as u16,
+            power_level: self.decision.power_level as u16,
+            hopped: self.hopped,
+            power_control: self.power_control,
+            outcome: match self.outcome {
+                Outcome::Clean => SlotOutcome::Delivered,
+                Outcome::JammedSurvived => SlotOutcome::SurvivedJam,
+                Outcome::Jammed => SlotOutcome::Jammed,
+            },
+            jammer_on_channel: self.jammer_on_channel(),
+            reward: self.reward,
+        }
+    }
+}
+
 /// A slot-level environment the runner can drive.
 ///
 /// Two implementations exist: [`CompetitionEnv`] (the concrete
@@ -151,7 +178,10 @@ impl CompetitionEnv {
     /// Panics if `tx_powers` is empty or the jammer configuration is
     /// degenerate.
     pub fn new<R: Rng + ?Sized>(params: EnvParams, rng: &mut R) -> Self {
-        assert!(!params.tx_powers.is_empty(), "need at least one Tx power level");
+        assert!(
+            !params.tx_powers.is_empty(),
+            "need at least one Tx power level"
+        );
         let jammer = SweepJammer::new(params.jammer.clone(), rng);
         let current_channel = rng.gen_range(0..params.jammer.num_channels);
         CompetitionEnv {

@@ -126,8 +126,7 @@ impl<D: Defender> FieldExperiment<D> {
 
             // Packet phase: the jammed fraction of the slot loses its
             // packets; surviving-under-jamming time pays the residual PER.
-            let residual =
-                (jam_frac + tj_frac * self.config.env.tj_residual_per).clamp(0.0, 1.0);
+            let residual = (jam_frac + tj_frac * self.config.env.tj_residual_per).clamp(0.0, 1.0);
             let slot = self
                 .network
                 .run_slot(self.config.tx_slot_s, true, residual, rng);
@@ -314,7 +313,10 @@ mod tests {
             let defender = NoDefense::new(&cfg.env, &mut r);
             let mut exp = FieldExperiment::new(cfg, defender, &mut r);
             let pkts = exp.run(8, &mut r).packets_per_slot();
-            assert!(pkts > last, "goodput should grow with duration: {pkts} after {last}");
+            assert!(
+                pkts > last,
+                "goodput should grow with duration: {pkts} after {last}"
+            );
             last = pkts;
         }
     }

@@ -226,7 +226,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_at.is_some(), "sweep must find a static victim in a cycle");
+        assert!(
+            found_at.is_some(),
+            "sweep must find a static victim in a cycle"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::defender::{Defender, DqnDefender};
 use crate::env::{CompetitionEnv, EnvParams, Environment};
 use crate::kernel::KernelEnv;
 use crate::metrics::Metrics;
+use ctjam_telemetry::{EpisodeRecord, EventSink, NullSink, ReplayTrace, TrainEvent};
 use rand::Rng;
 
 /// Result of running a defender for a number of slots.
@@ -34,14 +35,56 @@ pub fn run_in<E: Environment + ?Sized, D: Defender + ?Sized, R: Rng>(
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
+    run_in_with(env, defender, slots, rng, &mut NullSink)
+}
+
+/// [`run_in`] with a telemetry sink attached: emits one
+/// [`ctjam_telemetry::SlotEvent`] per slot and, for learning defenders,
+/// one [`TrainEvent`] per slot in which a gradient step ran.
+///
+/// Monomorphised over [`NullSink`] this is exactly the uninstrumented
+/// loop (every sink hook is an empty default body), which is why
+/// [`run_in`] delegates here unconditionally.
+pub fn run_in_with<E, D, R, S>(
+    env: &mut E,
+    defender: &mut D,
+    slots: usize,
+    rng: &mut R,
+    sink: &mut S,
+) -> EpisodeReport
+where
+    E: Environment + ?Sized,
+    D: Defender + ?Sized,
+    R: Rng,
+    S: EventSink,
+{
     let mut metrics = Metrics::new();
     let mut total_reward = 0.0;
-    for _ in 0..slots {
+    let mut seen_train_steps = defender.probe().train_steps.unwrap_or(0);
+    for slot in 0..slots {
         let decision = defender.decide(rng);
         let result = env.step(decision, rng);
         defender.feedback(&result, rng);
         metrics.record(&result);
         total_reward += result.reward;
+        sink.record_slot(&result.telemetry_event(slot as u64));
+        let probe = defender.probe();
+        if let Some(epsilon) = probe.epsilon {
+            // Attribute a loss to this slot only if feedback actually
+            // performed a gradient step (train_steps advanced).
+            let train_steps = probe.train_steps.unwrap_or(0);
+            let loss = (train_steps > seen_train_steps)
+                .then_some(probe.last_loss)
+                .flatten();
+            seen_train_steps = train_steps;
+            sink.record_train(&TrainEvent {
+                step: slot as u64,
+                loss,
+                epsilon,
+                replay_len: probe.replay_len.unwrap_or(0),
+                replay_capacity: probe.replay_capacity.unwrap_or(0),
+            });
+        }
     }
     EpisodeReport {
         metrics,
@@ -56,8 +99,19 @@ pub fn run<D: Defender + ?Sized, R: Rng>(
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
+    run_with(params, defender, slots, rng, &mut NullSink)
+}
+
+/// [`run`] with a telemetry sink attached.
+pub fn run_with<D: Defender + ?Sized, R: Rng, S: EventSink>(
+    params: &EnvParams,
+    defender: &mut D,
+    slots: usize,
+    rng: &mut R,
+    sink: &mut S,
+) -> EpisodeReport {
     let mut env = CompetitionEnv::new(params.clone(), rng);
-    run_in(&mut env, defender, slots, rng)
+    run_in_with(&mut env, defender, slots, rng, sink)
 }
 
 /// Trains a DQN defender for `slots` slots (learning enabled).
@@ -67,8 +121,20 @@ pub fn train<R: Rng>(
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
+    train_with(params, defender, slots, rng, &mut NullSink)
+}
+
+/// [`train`] with a telemetry sink attached (loss curve, ε decay and
+/// replay occupancy arrive as [`TrainEvent`]s).
+pub fn train_with<R: Rng, S: EventSink>(
+    params: &EnvParams,
+    defender: &mut DqnDefender,
+    slots: usize,
+    rng: &mut R,
+    sink: &mut S,
+) -> EpisodeReport {
     defender.set_training(true);
-    run(params, defender, slots, rng)
+    run_with(params, defender, slots, rng, sink)
 }
 
 /// Outcome of [`train_until`]: how training progressed and why it ended.
@@ -210,25 +276,58 @@ impl SweepBudget {
     }
 }
 
+/// The per-point RNG seed of a sweep: every point of a sweep with
+/// `base_seed` derives its own `StdRng` from this value, so any point can
+/// be re-run bit-exactly in isolation (see [`replay`]).
+pub fn point_seed(base_seed: u64, index: usize) -> u64 {
+    base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9)
+}
+
+fn default_sweep_threads(points: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(points.max(1))
+}
+
 /// Runs one sweep point (train + evaluate a fresh DQN) for each
 /// parameterization, in parallel across available threads.
 ///
 /// Points are seeded deterministically from `base_seed` and the point
-/// index, so results are reproducible regardless of scheduling.
+/// index ([`point_seed`]), so results are reproducible regardless of
+/// scheduling.
 pub fn sweep<F>(points: &[EnvParams], budget: SweepBudget, base_seed: u64, f: F) -> Vec<Metrics>
+where
+    F: Fn(usize, &EpisodeReport) + Sync,
+{
+    sweep_with_threads(
+        points,
+        budget,
+        base_seed,
+        default_sweep_threads(points.len()),
+        f,
+    )
+}
+
+/// [`sweep`] with an explicit worker-thread count. Results must not
+/// depend on `threads` — the cross-thread determinism integration test
+/// (`tests/determinism.rs`) asserts 1-thread and N-thread sweeps agree
+/// bit-exactly.
+pub fn sweep_with_threads<F>(
+    points: &[EnvParams],
+    budget: SweepBudget,
+    base_seed: u64,
+    threads: usize,
+    f: F,
+) -> Vec<Metrics>
 where
     F: Fn(usize, &EpisodeReport) + Sync,
 {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(points.len().max(1));
-
     parallel_map(points, threads, &|index: usize, params: &EnvParams| {
-        let mut rng = StdRng::seed_from_u64(base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng = StdRng::seed_from_u64(point_seed(base_seed, index));
         let (_, report) =
             train_and_evaluate(params, budget.train_slots, budget.eval_slots, &mut rng);
         f(index, &report);
@@ -247,16 +346,31 @@ pub fn sweep_kernel<F>(
 where
     F: Fn(usize, &EpisodeReport) + Sync,
 {
+    sweep_kernel_with_threads(
+        points,
+        budget,
+        base_seed,
+        default_sweep_threads(points.len()),
+        f,
+    )
+}
+
+/// [`sweep_kernel`] with an explicit worker-thread count.
+pub fn sweep_kernel_with_threads<F>(
+    points: &[EnvParams],
+    budget: SweepBudget,
+    base_seed: u64,
+    threads: usize,
+    f: F,
+) -> Vec<Metrics>
+where
+    F: Fn(usize, &EpisodeReport) + Sync,
+{
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(points.len().max(1));
-
     parallel_map(points, threads, &|index: usize, params: &EnvParams| {
-        let mut rng = StdRng::seed_from_u64(base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng = StdRng::seed_from_u64(point_seed(base_seed, index));
         let (_, report) =
             train_and_evaluate_kernel(params, budget.train_slots, budget.eval_slots, &mut rng);
         f(index, &report);
@@ -264,7 +378,59 @@ where
     })
 }
 
-/// Minimal parallel map over chunks using crossbeam scoped threads.
+/// Builds the replay trace of a sweep without running it: one
+/// [`EpisodeRecord`] per point, carrying the exact seed and slot budget
+/// that [`sweep`]/[`sweep_kernel`] would use. Because sweep seeding is a
+/// pure function of `(base_seed, index)`, capture costs nothing and can
+/// be written next to the results before the sweep even starts.
+pub fn capture_sweep(
+    run: &str,
+    points: &[EnvParams],
+    budget: SweepBudget,
+    base_seed: u64,
+) -> ReplayTrace {
+    let config = points
+        .first()
+        .map_or_else(String::new, |p| format!("{p:?}"));
+    let mut trace = ReplayTrace::new(run, base_seed, &config);
+    for (index, params) in points.iter().enumerate() {
+        trace.push(EpisodeRecord {
+            index,
+            label: format!(
+                "{run}[{index}]: {} ch, L_J={}",
+                params.num_channels(),
+                params.l_j
+            ),
+            seed: point_seed(base_seed, index),
+            train_slots: budget.train_slots,
+            eval_slots: budget.eval_slots,
+        });
+    }
+    trace
+}
+
+/// Re-runs one captured sweep point bit-exactly on the concrete
+/// environment: same seed, same budget → identical [`Metrics`] to the
+/// original sweep's point (asserted by `tests/determinism.rs`).
+pub fn replay(params: &EnvParams, record: &EpisodeRecord) -> EpisodeReport {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(record.seed);
+    let (_, report) = train_and_evaluate(params, record.train_slots, record.eval_slots, &mut rng);
+    report
+}
+
+/// [`replay`] for MDP-kernel sweeps ([`sweep_kernel`]).
+pub fn replay_kernel(params: &EnvParams, record: &EpisodeRecord) -> EpisodeReport {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(record.seed);
+    let (_, report) =
+        train_and_evaluate_kernel(params, record.train_slots, record.eval_slots, &mut rng);
+    report
+}
+
+/// Minimal parallel map over chunks using std scoped threads.
 fn parallel_map<T, U, F>(items: &[T], threads: usize, f: &F) -> Vec<U>
 where
     T: Sync,
@@ -277,7 +443,7 @@ where
     let chunk = items.len().div_ceil(threads);
     let mut out: Vec<Option<U>> = Vec::new();
     out.resize_with(items.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = &mut out[..];
         let mut offset = 0usize;
         for piece in items.chunks(chunk) {
@@ -285,14 +451,13 @@ where
             rest = tail;
             let base = offset;
             offset += piece.len();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, (slot, item)) in head.iter_mut().zip(piece).enumerate() {
                     *slot = Some(f(base + i, item));
                 }
             });
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     out.into_iter()
         .map(|o| o.expect("all slots filled"))
         .collect()
@@ -328,7 +493,9 @@ mod tests {
         let mut none = NoDefense::new(&params, &mut r);
         let mut psv = PassiveFh::new(&params, &mut r);
         let mut rnd = RandomFh::new(&params, &mut r);
-        let st_none = run(&params, &mut none, 6_000, &mut r).metrics.success_rate();
+        let st_none = run(&params, &mut none, 6_000, &mut r)
+            .metrics
+            .success_rate();
         let st_psv = run(&params, &mut psv, 6_000, &mut r).metrics.success_rate();
         let st_rnd = run(&params, &mut rnd, 6_000, &mut r).metrics.success_rate();
         assert!(st_psv > st_none, "passive {st_psv} vs none {st_none}");
@@ -380,7 +547,9 @@ mod tests {
         assert!(curve.slots_used <= 8_000);
         assert!(!curve.window_rewards.is_empty());
         d.set_training(false);
-        let st = evaluate(&params, &mut d, 3_000, &mut r).metrics.success_rate();
+        let st = evaluate(&params, &mut d, 3_000, &mut r)
+            .metrics
+            .success_rate();
         assert!(st > 0.4, "trained ST too low: {st}");
     }
 

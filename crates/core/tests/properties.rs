@@ -11,12 +11,12 @@ use rand::{Rng, SeedableRng};
 
 fn arb_params() -> impl Strategy<Value = EnvParams> {
     (
-        1usize..5,        // sweep cycle multiplier (cycle = this value + 1)
-        2usize..6,        // number of tx power levels
-        1.0f64..20.0,     // tx power lower bound
-        0.0f64..120.0,    // l_h
-        0.0f64..300.0,    // l_j
-        prop::bool::ANY,  // random-power mode
+        1usize..5,       // sweep cycle multiplier (cycle = this value + 1)
+        2usize..6,       // number of tx power levels
+        1.0f64..20.0,    // tx power lower bound
+        0.0f64..120.0,   // l_h
+        0.0f64..300.0,   // l_j
+        prop::bool::ANY, // random-power mode
     )
         .prop_map(|(cycle_m1, m, tx_lo, l_h, l_j, random)| {
             let mut p = EnvParams::default();

@@ -24,6 +24,7 @@ pub struct DqnAgent {
     replay: ReplayBuffer,
     steps: usize,
     train_steps: usize,
+    last_loss: Option<f64>,
 }
 
 impl DqnAgent {
@@ -48,6 +49,7 @@ impl DqnAgent {
             online,
             target,
             optimizer,
+            last_loss: None,
             replay,
             steps: 0,
             train_steps: 0,
@@ -88,6 +90,22 @@ impl DqnAgent {
     /// Current exploration rate.
     pub fn epsilon(&self) -> f64 {
         self.config.epsilon_at(self.steps)
+    }
+
+    /// Transitions currently held in the replay buffer (telemetry:
+    /// replay occupancy).
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Replay buffer capacity.
+    pub fn replay_capacity(&self) -> usize {
+        self.replay.capacity()
+    }
+
+    /// Loss of the most recent gradient step, if any ran yet.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.last_loss
     }
 
     /// Q-values of every action at an observation.
@@ -173,7 +191,8 @@ impl DqnAgent {
         self.steps += 1;
 
         let mut loss = None;
-        if self.replay.len() >= self.config.warmup && self.steps.is_multiple_of(self.config.train_interval)
+        if self.replay.len() >= self.config.warmup
+            && self.steps.is_multiple_of(self.config.train_interval)
         {
             loss = Some(self.train_step(rng));
         }
@@ -213,7 +232,9 @@ impl DqnAgent {
             .map(|(i, t)| (i.as_slice(), t.as_slice()))
             .collect();
         self.train_steps += 1;
-        self.online.train_batch(&pairs, &mut self.optimizer)
+        let loss = self.online.train_batch(&pairs, &mut self.optimizer);
+        self.last_loss = Some(loss);
+        loss
     }
 
     /// Copies the online network into the target network.
@@ -358,11 +379,17 @@ mod tests {
         let obs = vec![0.4; agent.config().input_size()];
         // Low temperature concentrates on the greedy action.
         let greedy = agent.act_greedy(&obs);
-        let cold: Vec<usize> = (0..100).map(|_| agent.act_softmax(&obs, 1e-4, &mut rng)).collect();
-        assert!(cold.iter().all(|&a| a == greedy), "cold softmax must be greedy");
+        let cold: Vec<usize> = (0..100)
+            .map(|_| agent.act_softmax(&obs, 1e-4, &mut rng))
+            .collect();
+        assert!(
+            cold.iter().all(|&a| a == greedy),
+            "cold softmax must be greedy"
+        );
         // High temperature spreads over many actions.
-        let hot: std::collections::HashSet<usize> =
-            (0..300).map(|_| agent.act_softmax(&obs, 100.0, &mut rng)).collect();
+        let hot: std::collections::HashSet<usize> = (0..300)
+            .map(|_| agent.act_softmax(&obs, 100.0, &mut rng))
+            .collect();
         assert!(hot.len() > 4, "hot softmax too concentrated: {hot:?}");
     }
 

@@ -92,7 +92,10 @@ impl DqnConfig {
     /// Panics if `action` is out of range.
     pub fn decode_action(&self, action: usize) -> (usize, usize) {
         assert!(action < self.num_actions(), "action {action} out of range");
-        (action / self.num_power_levels, action % self.num_power_levels)
+        (
+            action / self.num_power_levels,
+            action % self.num_power_levels,
+        )
     }
 
     /// Inverse of [`DqnConfig::decode_action`].
@@ -101,7 +104,10 @@ impl DqnConfig {
     ///
     /// Panics if either component is out of range.
     pub fn encode_action(&self, channel: usize, power_level: usize) -> usize {
-        assert!(channel < self.num_channels, "channel {channel} out of range");
+        assert!(
+            channel < self.num_channels,
+            "channel {channel} out of range"
+        );
         assert!(
             power_level < self.num_power_levels,
             "power level {power_level} out of range"
@@ -119,11 +125,17 @@ impl DqnConfig {
         assert!(self.history_len > 0, "history length must be positive");
         assert!(self.num_channels > 0, "need at least one channel");
         assert!(self.num_power_levels > 0, "need at least one power level");
-        assert!(self.hidden.0 > 0 && self.hidden.1 > 0, "hidden widths must be positive");
+        assert!(
+            self.hidden.0 > 0 && self.hidden.1 > 0,
+            "hidden widths must be positive"
+        );
         assert!((0.0..1.0).contains(&self.gamma), "gamma must be in [0,1)");
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
         assert!(self.batch_size > 0, "batch size must be positive");
-        assert!(self.replay_capacity >= self.batch_size, "replay smaller than a batch");
+        assert!(
+            self.replay_capacity >= self.batch_size,
+            "replay smaller than a batch"
+        );
         assert!(
             (0.0..=1.0).contains(&self.epsilon_start) && (0.0..=1.0).contains(&self.epsilon_end),
             "epsilon must be a probability"

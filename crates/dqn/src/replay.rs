@@ -84,7 +84,10 @@ impl ReplayBuffer {
     ///
     /// Panics if the buffer is empty.
     pub fn sample<'a, R: Rng + ?Sized>(&'a self, batch: usize, rng: &mut R) -> Vec<&'a Experience> {
-        assert!(!self.items.is_empty(), "cannot sample an empty replay buffer");
+        assert!(
+            !self.items.is_empty(),
+            "cannot sample an empty replay buffer"
+        );
         (0..batch)
             .map(|_| &self.items[rng.gen_range(0..self.items.len())])
             .collect()

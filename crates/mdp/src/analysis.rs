@@ -33,14 +33,24 @@ pub fn threshold_of(mdp: &AntijamMdp, q: &[Vec<f64>]) -> usize {
 /// Best stay-action value at a state row of the Q table.
 pub fn best_stay(mdp: &AntijamMdp, q_row: &[f64]) -> f64 {
     (0..mdp.num_powers())
-        .map(|p| q_row[mdp.action_index(Action { hop: false, power: p })])
+        .map(|p| {
+            q_row[mdp.action_index(Action {
+                hop: false,
+                power: p,
+            })]
+        })
         .fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Best hop-action value at a state row of the Q table.
 pub fn best_hop(mdp: &AntijamMdp, q_row: &[f64]) -> f64 {
     (0..mdp.num_powers())
-        .map(|p| q_row[mdp.action_index(Action { hop: true, power: p })])
+        .map(|p| {
+            q_row[mdp.action_index(Action {
+                hop: true,
+                power: p,
+            })]
+        })
         .fold(f64::NEG_INFINITY, f64::max)
 }
 
@@ -57,7 +67,10 @@ pub fn solve_threshold(params: AntijamParams) -> (AntijamMdp, Vec<Vec<f64>>, usi
 /// violation as `(power, n)` or `None` when the lemma holds.
 pub fn check_lemma_iii2(mdp: &AntijamMdp, q: &[Vec<f64>]) -> Option<(usize, usize)> {
     for p in 0..mdp.num_powers() {
-        let a = mdp.action_index(Action { hop: false, power: p });
+        let a = mdp.action_index(Action {
+            hop: false,
+            power: p,
+        });
         for n in 2..=mdp.num_safe_states() {
             let prev = q[mdp.state_index(State::Safe(n - 1))][a];
             let cur = q[mdp.state_index(State::Safe(n))][a];
@@ -74,7 +87,10 @@ pub fn check_lemma_iii2(mdp: &AntijamMdp, q: &[Vec<f64>]) -> Option<(usize, usiz
 /// violation as `(power, n)` or `None` when the lemma holds.
 pub fn check_lemma_iii3(mdp: &AntijamMdp, q: &[Vec<f64>]) -> Option<(usize, usize)> {
     for p in 0..mdp.num_powers() {
-        let a = mdp.action_index(Action { hop: true, power: p });
+        let a = mdp.action_index(Action {
+            hop: true,
+            power: p,
+        });
         for n in 2..=mdp.num_safe_states() {
             let prev = q[mdp.state_index(State::Safe(n - 1))][a];
             let cur = q[mdp.state_index(State::Safe(n))][a];
@@ -108,7 +124,13 @@ pub fn check_threshold_structure(mdp: &AntijamMdp, q: &[Vec<f64>]) -> bool {
 pub fn thresholds_vs_lj(base: &AntijamParams, lj_values: &[f64]) -> Vec<usize> {
     lj_values
         .iter()
-        .map(|&l_j| solve_threshold(AntijamParams { l_j, ..base.clone() }).2)
+        .map(|&l_j| {
+            solve_threshold(AntijamParams {
+                l_j,
+                ..base.clone()
+            })
+            .2
+        })
         .collect()
 }
 
@@ -116,7 +138,13 @@ pub fn thresholds_vs_lj(base: &AntijamParams, lj_values: &[f64]) -> Vec<usize> {
 pub fn thresholds_vs_lh(base: &AntijamParams, lh_values: &[f64]) -> Vec<usize> {
     lh_values
         .iter()
-        .map(|&l_h| solve_threshold(AntijamParams { l_h, ..base.clone() }).2)
+        .map(|&l_h| {
+            solve_threshold(AntijamParams {
+                l_h,
+                ..base.clone()
+            })
+            .2
+        })
         .collect()
 }
 
@@ -175,11 +203,7 @@ mod tests {
     fn optimal_policy_is_threshold_everywhere_we_look() {
         for l_j in [10.0, 40.0, 70.0, 100.0, 200.0] {
             for l_h in [0.0, 25.0, 50.0, 100.0] {
-                let (mdp, q, _) = solve_threshold(AntijamParams {
-                    l_j,
-                    l_h,
-                    ..base()
-                });
+                let (mdp, q, _) = solve_threshold(AntijamParams { l_j, l_h, ..base() });
                 assert!(
                     check_threshold_structure(&mdp, &q),
                     "not a threshold policy at L_J={l_j}, L_H={l_h}"

@@ -127,9 +127,18 @@ impl AntijamMdp {
     /// losses are negative — such instances are outside the paper's model.
     pub fn new(params: AntijamParams) -> Self {
         assert!(params.sweep_cycle >= 2, "sweep cycle must be at least 2");
-        assert!(!params.tx_powers.is_empty(), "need at least one Tx power level");
-        assert!(!params.jx_powers.is_empty(), "need at least one Jx power level");
-        assert!(params.l_h >= 0.0 && params.l_j >= 0.0, "losses must be nonnegative");
+        assert!(
+            !params.tx_powers.is_empty(),
+            "need at least one Tx power level"
+        );
+        assert!(
+            !params.jx_powers.is_empty(),
+            "need at least one Jx power level"
+        );
+        assert!(
+            params.l_h >= 0.0 && params.l_j >= 0.0,
+            "losses must be nonnegative"
+        );
 
         let tabular = build_tabular(&params);
         AntijamMdp { params, tabular }
@@ -245,7 +254,10 @@ impl AntijamMdp {
     ///
     /// Panics for an out-of-range index.
     pub fn action_of(&self, index: usize) -> Action {
-        assert!(index < 2 * self.num_powers(), "action index {index} out of range");
+        assert!(
+            index < 2 * self.num_powers(),
+            "action index {index} out of range"
+        );
         Action {
             hop: index >= self.num_powers(),
             power: index % self.num_powers(),
@@ -312,13 +324,16 @@ fn build_tabular(params: &AntijamParams) -> TabularMdp {
                 // n = N−1: survival probability is exactly 0 by Eq. 6.
                 unreachable!("survival mass must vanish at n = N-1");
             }
-            b = b
-                .transition(s, stay, tj, hazard * p_win, -l_p)
-                .transition(s, stay, j, hazard * (1.0 - p_win), -l_p - params.l_j);
+            b = b.transition(s, stay, tj, hazard * p_win, -l_p).transition(
+                s,
+                stay,
+                j,
+                hazard * (1.0 - p_win),
+                -l_p - params.l_j,
+            );
 
             // (h, p_i): Eqs. 9–11 — hopping can land on the sweep.
-            let land_on_jammer =
-                (n_cap - n - 1) as f64 / (((n_cap - 1) * (n_cap - n)) as f64);
+            let land_on_jammer = (n_cap - n - 1) as f64 / (((n_cap - 1) * (n_cap - n)) as f64);
             b = b
                 .transition(s, hop, 0, 1.0 - land_on_jammer, -l_p - params.l_h)
                 .transition(s, hop, tj, land_on_jammer * p_win, -l_p - params.l_h)
@@ -388,7 +403,10 @@ mod tests {
         let t = mdp.tabular();
         // From n=1 staying: survive to n=2 with 1 − 1/(4−1) = 2/3.
         let s = mdp.state_index(State::Safe(1));
-        let a = mdp.action_index(Action { hop: false, power: 0 });
+        let a = mdp.action_index(Action {
+            hop: false,
+            power: 0,
+        });
         let transitions = t.transitions(s, a);
         let survive = transitions
             .iter()
@@ -409,7 +427,10 @@ mod tests {
         let t = mdp.tabular();
         // From n=1 hopping: land on jammer with (4−1−1)/((4−1)(4−1)) = 2/9.
         let s = mdp.state_index(State::Safe(1));
-        let a = mdp.action_index(Action { hop: true, power: 0 });
+        let a = mdp.action_index(Action {
+            hop: true,
+            power: 0,
+        });
         let to_one: f64 = t
             .transitions(s, a)
             .iter()
@@ -426,7 +447,10 @@ mod tests {
         for state in [State::JammedUnsuccessfully, State::Jammed] {
             let s = mdp.state_index(state);
             for p in 0..mdp.num_powers() {
-                let a = mdp.action_index(Action { hop: true, power: p });
+                let a = mdp.action_index(Action {
+                    hop: true,
+                    power: p,
+                });
                 let transitions = t.transitions(s, a);
                 assert_eq!(transitions.len(), 1);
                 assert_eq!(transitions[0].next, mdp.state_index(State::Safe(1)));
@@ -469,12 +493,18 @@ mod tests {
         let p = 3;
         let l_p = mdp.params().tx_powers[p];
         // Stay from J with p_win = 0: goes to J with reward −L_p − L_J.
-        let a = mdp.action_index(Action { hop: false, power: p });
+        let a = mdp.action_index(Action {
+            hop: false,
+            power: p,
+        });
         let tr = &t.transitions(s, a)[0];
         assert_eq!(tr.next, mdp.state_index(State::Jammed));
         assert!((tr.reward - (-l_p - 100.0)).abs() < 1e-12);
         // Hop from J: reward −L_p − L_H.
-        let a = mdp.action_index(Action { hop: true, power: p });
+        let a = mdp.action_index(Action {
+            hop: true,
+            power: p,
+        });
         let tr = &t.transitions(s, a)[0];
         assert!((tr.reward - (-l_p - 50.0)).abs() < 1e-12);
     }
@@ -487,8 +517,17 @@ mod tests {
             for p in 0..10 {
                 let expect = -mdp.params().tx_powers[p]
                     - 100.0 * (1.0 - mdp.win_probability(p)) / (4 - n) as f64;
-                let got = mdp.expected_reward(State::Safe(n), Action { hop: false, power: p });
-                assert!((got - expect).abs() < 1e-9, "n={n} p={p}: {got} vs {expect}");
+                let got = mdp.expected_reward(
+                    State::Safe(n),
+                    Action {
+                        hop: false,
+                        power: p,
+                    },
+                );
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "n={n} p={p}: {got} vs {expect}"
+                );
             }
         }
     }
@@ -503,7 +542,13 @@ mod tests {
                 let expect = -mdp.params().tx_powers[p]
                     - 50.0
                     - 100.0 * (1.0 - mdp.win_probability(p)) * land;
-                let got = mdp.expected_reward(State::Safe(n), Action { hop: true, power: p });
+                let got = mdp.expected_reward(
+                    State::Safe(n),
+                    Action {
+                        hop: true,
+                        power: p,
+                    },
+                );
                 assert!((got - expect).abs() < 1e-9, "n={n} p={p}");
             }
         }

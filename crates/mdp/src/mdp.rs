@@ -39,15 +39,27 @@ pub enum MdpError {
 impl fmt::Display for MdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MdpError::BadDistribution { state, action, mass } => write!(
+            MdpError::BadDistribution {
+                state,
+                action,
+                mass,
+            } => write!(
                 f,
                 "transition distribution for state {state}, action {action} sums to {mass}, not 1"
             ),
-            MdpError::BadTarget { state, action, target } => write!(
+            MdpError::BadTarget {
+                state,
+                action,
+                target,
+            } => write!(
                 f,
                 "transition from state {state}, action {action} targets out-of-range state {target}"
             ),
-            MdpError::BadProbability { state, action, prob } => write!(
+            MdpError::BadProbability {
+                state,
+                action,
+                prob,
+            } => write!(
                 f,
                 "transition from state {state}, action {action} has invalid probability {prob}"
             ),
@@ -279,7 +291,9 @@ mod tests {
             .transition(0, 0, 0, 0.5, 0.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, MdpError::BadDistribution { mass, .. } if (mass - 0.5).abs() < 1e-12));
+        assert!(
+            matches!(err, MdpError::BadDistribution { mass, .. } if (mass - 0.5).abs() < 1e-12)
+        );
     }
 
     #[test]
@@ -355,7 +369,10 @@ mod tests {
             .zip(&t2)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(after <= gamma * before + 1e-12, "{after} > {gamma} * {before}");
+        assert!(
+            after <= gamma * before + 1e-12,
+            "{after} > {gamma} * {before}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub fn policy_iteration(
     eval_tolerance: f64,
     max_improvements: usize,
 ) -> Solution {
-    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1), got {gamma}");
+    assert!(
+        (0.0..1.0).contains(&gamma),
+        "gamma must be in [0,1), got {gamma}"
+    );
     assert!(eval_tolerance > 0.0, "tolerance must be positive");
 
     let mut policy = vec![0usize; mdp.num_states()];
@@ -78,7 +81,9 @@ mod tests {
 
     fn random_ish_mdp(states: usize, actions: usize, seed: u64) -> TabularMdp {
         // Deterministic pseudo-random MDP without pulling in rand here.
-        let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut x = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut nextf = move || {
             x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
             ((x >> 33) as f64) / (u32::MAX as f64 / 2.0)
@@ -95,7 +100,9 @@ mod tests {
                 if t1 == t2 {
                     b = b.transition(s, a, t1, 1.0, r1);
                 } else {
-                    b = b.transition(s, a, t1, p, r1).transition(s, a, t2, 1.0 - p, r2);
+                    b = b
+                        .transition(s, a, t1, p, r1)
+                        .transition(s, a, t2, 1.0 - p, r2);
                 }
             }
         }

@@ -78,7 +78,8 @@ pub fn q_learning<R: Rng + ?Sized>(
             argmax(&q[state])
         };
         let (next, reward) = sample_transition(mdp, state, action, rng);
-        let target = reward + config.gamma * q[next].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let target =
+            reward + config.gamma * q[next].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         q[state][action] += config.alpha * (target - q[state][action]);
         state = next;
     }

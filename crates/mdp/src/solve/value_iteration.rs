@@ -38,7 +38,10 @@ pub fn value_iteration(
     tolerance: f64,
     max_iterations: usize,
 ) -> Solution {
-    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1), got {gamma}");
+    assert!(
+        (0.0..1.0).contains(&gamma),
+        "gamma must be in [0,1), got {gamma}"
+    );
     assert!(tolerance > 0.0, "tolerance must be positive");
     let mut v = vec![0.0; mdp.num_states()];
     let mut next = vec![0.0; mdp.num_states()];

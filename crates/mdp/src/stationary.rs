@@ -39,7 +39,10 @@ pub fn induced_chain(mdp: &TabularMdp, policy: &[usize]) -> Vec<Vec<f64>> {
 pub fn stationary_distribution(matrix: &[Vec<f64>], iterations: usize) -> Vec<f64> {
     let n = matrix.len();
     assert!(n > 0, "empty chain");
-    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(
+        matrix.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
     let mut dist = vec![1.0 / n as f64; n];
     let mut next = vec![0.0; n];
     for _ in 0..iterations {
@@ -125,7 +128,10 @@ mod tests {
     }
 
     fn always_hop_policy(mdp: &AntijamMdp) -> Vec<usize> {
-        let a = mdp.action_index(Action { hop: true, power: 0 });
+        let a = mdp.action_index(Action {
+            hop: true,
+            power: 0,
+        });
         vec![a; mdp.tabular().num_states()]
     }
 
@@ -139,7 +145,11 @@ mod tests {
         // π·P = π.
         for t in 0..pi.len() {
             let flow: f64 = (0..pi.len()).map(|s| pi[s] * chain[s][t]).sum();
-            assert!((flow - pi[t]).abs() < 1e-6, "state {t}: {flow} vs {}", pi[t]);
+            assert!(
+                (flow - pi[t]).abs() < 1e-6,
+                "state {t}: {flow} vs {}",
+                pi[t]
+            );
         }
     }
 
@@ -176,7 +186,10 @@ mod tests {
     fn always_stay_gets_pinned() {
         // Staying forever in max-power mode: once jammed, stay jammed.
         let mdp = default_mdp(JammerMode::MaxPower);
-        let a = mdp.action_index(Action { hop: false, power: 0 });
+        let a = mdp.action_index(Action {
+            hop: false,
+            power: 0,
+        });
         let policy = vec![a; mdp.tabular().num_states()];
         let analysis = analyze_policy(&mdp, &policy);
         assert!(

@@ -62,7 +62,10 @@ impl ControlChannel {
     /// Panics if any duration is non-positive or the listen window is
     /// shorter than a page (the node could never hear a full page).
     pub fn validate(&self) {
-        assert!(self.check_interval_s > 0.0, "check interval must be positive");
+        assert!(
+            self.check_interval_s > 0.0,
+            "check interval must be positive"
+        );
         assert!(self.listen_window_s > 0.0, "listen window must be positive");
         assert!(self.page_duration_s > 0.0, "page duration must be positive");
         assert!(self.handshake_s >= 0.0, "handshake cannot be negative");
@@ -95,7 +98,10 @@ impl ControlChannel {
         if trials == 0 {
             return 0.0;
         }
-        (0..trials).map(|_| self.rendezvous(rng).recovery_s).sum::<f64>() / trials as f64
+        (0..trials)
+            .map(|_| self.rendezvous(rng).recovery_s)
+            .sum::<f64>()
+            / trials as f64
     }
 }
 

@@ -60,11 +60,7 @@ fn tag(key: Key, nonce: u64, data: &[u8]) -> u32 {
 /// ```
 pub fn seal(key: Key, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
     let stream = keystream(key, nonce, plaintext.len());
-    let mut out: Vec<u8> = plaintext
-        .iter()
-        .zip(&stream)
-        .map(|(p, k)| p ^ k)
-        .collect();
+    let mut out: Vec<u8> = plaintext.iter().zip(&stream).map(|(p, k)| p ^ k).collect();
     let t = tag(key, nonce, &out);
     out.extend_from_slice(&t.to_le_bytes());
     out

@@ -66,7 +66,10 @@ mod tests {
         for byte in 0..framed.len() {
             for bit in 0..8 {
                 framed[byte] ^= 1 << bit;
-                assert!(verify_and_strip(&framed).is_none(), "missed flip {byte}:{bit}");
+                assert!(
+                    verify_and_strip(&framed).is_none(),
+                    "missed flip {byte}:{bit}"
+                );
                 framed[byte] ^= 1 << bit;
             }
         }

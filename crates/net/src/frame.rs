@@ -196,7 +196,9 @@ impl MacFrame {
                 if rest.len() != 1 {
                     return Err(MacError::Malformed);
                 }
-                Ok(MacFrame::NegotiateAck { src: NodeId(rest[0]) })
+                Ok(MacFrame::NegotiateAck {
+                    src: NodeId(rest[0]),
+                })
             }
             _ => Err(MacError::Malformed),
         }

@@ -89,6 +89,18 @@ impl GoodputMeter {
             self.overhead_s / self.slots as f64
         }
     }
+
+    /// Emits the meter's summary as named telemetry scalars
+    /// (`goodput.*`): slots, packets/slot, bps, delivery ratio,
+    /// utilization, and per-slot overhead.
+    pub fn emit_scalars<S: ctjam_telemetry::EventSink>(&self, sink: &mut S) {
+        sink.record_scalar("goodput.slots", self.slots as f64);
+        sink.record_scalar("goodput.packets_per_slot", self.packets_per_slot());
+        sink.record_scalar("goodput.bps", self.goodput_bps());
+        sink.record_scalar("goodput.delivery_ratio", self.delivery_ratio());
+        sink.record_scalar("goodput.utilization", self.utilization());
+        sink.record_scalar("goodput.overhead_per_slot_s", self.overhead_per_slot_s());
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +127,25 @@ mod tests {
         assert!((m.delivery_ratio() - 400.0 / 430.0).abs() < 1e-12);
         assert!((m.utilization() - 0.93).abs() < 1e-12);
         assert!((m.overhead_per_slot_s() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emit_scalars_reports_all_summaries() {
+        let mut m = GoodputMeter::new();
+        m.record_slot(100, 120, 10_000, 0.07, 1.0);
+        let mut sink = ctjam_telemetry::MemorySink::new();
+        m.emit_scalars(&mut sink);
+        assert_eq!(sink.scalars.len(), 6);
+        let get = |name: &str| {
+            sink.scalars
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("goodput.slots"), 1.0);
+        assert_eq!(get("goodput.packets_per_slot"), 100.0);
+        assert!((get("goodput.delivery_ratio") - 100.0 / 120.0).abs() < 1e-12);
     }
 
     #[test]

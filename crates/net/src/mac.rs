@@ -94,7 +94,9 @@ where
 /// finds the channel busy with probability `p_busy` — the closed form
 /// used in tests and in analytic workload sizing: `p_busy^(max_backoffs+1)`.
 pub fn failure_probability(config: &CsmaConfig, p_busy: f64) -> f64 {
-    p_busy.clamp(0.0, 1.0).powi(i32::from(config.max_backoffs) + 1)
+    p_busy
+        .clamp(0.0, 1.0)
+        .powi(i32::from(config.max_backoffs) + 1)
 }
 
 #[cfg(test)]

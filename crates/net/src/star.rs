@@ -286,7 +286,10 @@ mod tests {
             let ratio = o.data_time_s / 0.2;
             worst_ratio = worst_ratio.min(ratio);
         }
-        assert!(worst_ratio < 0.6, "negotiation never dominated: {worst_ratio}");
+        assert!(
+            worst_ratio < 0.6,
+            "negotiation never dominated: {worst_ratio}"
+        );
     }
 
     #[test]

@@ -70,10 +70,7 @@ mod tests {
         for act in [Activation::Relu, Activation::Identity] {
             for x in [-2.0, -0.5, 0.5, 2.0] {
                 let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
-                assert!(
-                    (act.derivative(x) - numeric).abs() < 1e-6,
-                    "{act:?} at {x}"
-                );
+                assert!((act.derivative(x) - numeric).abs() < 1e-6, "{act:?} at {x}");
             }
         }
     }

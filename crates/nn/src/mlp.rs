@@ -176,7 +176,10 @@ impl Mlp {
 
     /// Output width.
     pub fn output_size(&self) -> usize {
-        self.layers.last().expect("at least one layer").output_size()
+        self.layers
+            .last()
+            .expect("at least one layer")
+            .output_size()
     }
 
     /// Total number of trainable parameters.
@@ -354,7 +357,11 @@ mod tests {
 
     #[test]
     fn shape_and_param_count() {
-        let net = MlpBuilder::new(24).hidden(40).hidden(40).output(160).build(&mut rng());
+        let net = MlpBuilder::new(24)
+            .hidden(40)
+            .hidden(40)
+            .output(160)
+            .build(&mut rng());
         assert_eq!(net.shape(), vec![24, 40, 40, 160]);
         // 24·40+40 + 40·40+40 + 40·160+160 = 9240... computed exactly:
         let expected = 24 * 40 + 40 + 40 * 40 + 40 + 40 * 160 + 160;
@@ -392,7 +399,11 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let net = MlpBuilder::new(3).hidden(5).hidden(4).output(2).build(&mut rng());
+        let net = MlpBuilder::new(3)
+            .hidden(5)
+            .hidden(4)
+            .output(2)
+            .build(&mut rng());
         let x = [0.5, -1.0, 0.25];
         let t = [1.0, -1.0];
         let batch: Vec<(&[f64], &[f64])> = vec![(&x, &t)];

@@ -99,7 +99,11 @@ impl Optimizer for SgdState {
         if self.velocity.is_empty() {
             self.velocity = vec![0.0; params.len()];
         }
-        assert_eq!(self.velocity.len(), params.len(), "optimizer reuse across networks");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "optimizer reuse across networks"
+        );
         for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             *v = self.config.momentum * *v + g;
             *p -= self.config.learning_rate * *v;
@@ -114,7 +118,11 @@ impl Optimizer for Adam {
             self.m = vec![0.0; params.len()];
             self.v = vec![0.0; params.len()];
         }
-        assert_eq!(self.m.len(), params.len(), "optimizer reuse across networks");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "optimizer reuse across networks"
+        );
         self.step += 1;
         let b1t = 1.0 - self.beta1.powi(self.step as i32);
         let b2t = 1.0 - self.beta2.powi(self.step as i32);

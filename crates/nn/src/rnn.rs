@@ -57,7 +57,10 @@ impl Rnn {
     ///
     /// Panics if any dimension is zero.
     pub fn new<R: Rng + ?Sized>(input: usize, hidden: usize, output: usize, rng: &mut R) -> Self {
-        assert!(input > 0 && hidden > 0 && output > 0, "dimensions must be positive");
+        assert!(
+            input > 0 && hidden > 0 && output > 0,
+            "dimensions must be positive"
+        );
         let lim_xh = (6.0 / (input + hidden) as f64).sqrt();
         let lim_hh = (6.0 / (2 * hidden) as f64).sqrt();
         let lim_hy = (6.0 / (hidden + output) as f64).sqrt();
@@ -300,9 +303,7 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..6)
             .map(|t| vec![(t as f64 * 0.7).sin(), (t as f64 * 0.3).cos()])
             .collect();
-        let ys: Vec<Vec<f64>> = (0..6)
-            .map(|t| vec![(t as f64 * 0.5).cos(), 0.25])
-            .collect();
+        let ys: Vec<Vec<f64>> = (0..6).map(|t| vec![(t as f64 * 0.5).cos(), 0.25]).collect();
         let (l0, grads) = rnn.loss_and_gradient(&xs, &ys);
         let params = rnn.flatten_params();
         let eps = 1e-6;

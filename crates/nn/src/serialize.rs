@@ -121,7 +121,11 @@ mod tests {
     fn paper_scale_net() -> Mlp {
         let mut rng = StdRng::seed_from_u64(1);
         // 3·I = 24 inputs, two hidden layers, C·PL = 160 outputs.
-        MlpBuilder::new(24).hidden(48).hidden(42).output(160).build(&mut rng)
+        MlpBuilder::new(24)
+            .hidden(48)
+            .hidden(42)
+            .output(160)
+            .build(&mut rng)
     }
 
     #[test]
@@ -170,7 +174,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(from_bytes(b"NOPE1234").unwrap_err(), SerializeError::BadMagic);
+        assert_eq!(
+            from_bytes(b"NOPE1234").unwrap_err(),
+            SerializeError::BadMagic
+        );
         assert_eq!(from_bytes(&[]).unwrap_err(), SerializeError::BadMagic);
     }
 

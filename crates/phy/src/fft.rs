@@ -290,7 +290,9 @@ mod tests {
     fn linearity() {
         let n = 32;
         let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (n - i) as f64)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (n - i) as f64))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let fa = fft(&a).unwrap();
         let fb = fft(&b).unwrap();

@@ -67,7 +67,11 @@ pub fn chip_error_rate(
     designed: &[Complex64],
     emulated: &[Complex64],
 ) -> f64 {
-    assert_eq!(designed.len(), emulated.len(), "waveform lengths must match");
+    assert_eq!(
+        designed.len(),
+        emulated.len(),
+        "waveform lengths must match"
+    );
     let a = modulator.chips_from_waveform(designed);
     let b = modulator.chips_from_waveform(emulated);
     if a.is_empty() {

@@ -56,7 +56,10 @@ pub fn encode(bits: &[u8]) -> Vec<u8> {
 /// Panics if `coded.len()` is odd or shorter than the tail.
 #[allow(clippy::needless_range_loop)] // trellis state index drives arithmetic
 pub fn viterbi_decode(coded: &[u8]) -> Vec<u8> {
-    assert!(coded.len().is_multiple_of(2), "rate-1/2 stream must have even length");
+    assert!(
+        coded.len().is_multiple_of(2),
+        "rate-1/2 stream must have even length"
+    );
     let steps = coded.len() / 2;
     assert!(
         steps >= CONSTRAINT - 1,
@@ -132,7 +135,10 @@ pub fn viterbi_decode(coded: &[u8]) -> Vec<u8> {
 /// Panics if `costs.len()` is odd or shorter than the terminating tail.
 #[allow(clippy::needless_range_loop)] // trellis state index drives arithmetic
 pub fn viterbi_decode_soft(costs: &[(f64, f64)]) -> Vec<u8> {
-    assert!(costs.len().is_multiple_of(2), "rate-1/2 stream must have even length");
+    assert!(
+        costs.len().is_multiple_of(2),
+        "rate-1/2 stream must have even length"
+    );
     let steps = costs.len() / 2;
     assert!(
         steps >= CONSTRAINT - 1,
@@ -189,7 +195,9 @@ mod tests {
         let mut x = seed;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 62) & 1) as u8
             })
             .collect()
@@ -279,7 +287,11 @@ mod tests {
             .collect();
         // Weakly contradict position 11 (true bit stays cheaper overall).
         let true_bit = coded[11];
-        costs[11] = if true_bit == 0 { (0.6, 0.5) } else { (0.5, 0.6) };
+        costs[11] = if true_bit == 0 {
+            (0.6, 0.5)
+        } else {
+            (0.5, 0.6)
+        };
         assert_eq!(viterbi_decode_soft(&costs), data);
     }
 

@@ -48,7 +48,11 @@ pub fn output_position(k: usize) -> usize {
 /// assert_eq!(deinterleave(&interleave(&bits)), bits);
 /// ```
 pub fn interleave(bits: &[u8]) -> Vec<u8> {
-    assert_eq!(bits.len(), N_CBPS, "interleaver works on {N_CBPS}-bit symbols");
+    assert_eq!(
+        bits.len(),
+        N_CBPS,
+        "interleaver works on {N_CBPS}-bit symbols"
+    );
     let mut out = vec![0u8; N_CBPS];
     for (k, &b) in bits.iter().enumerate() {
         out[permute(k)] = b;
@@ -62,7 +66,11 @@ pub fn interleave(bits: &[u8]) -> Vec<u8> {
 ///
 /// Panics unless exactly [`N_CBPS`] bits are supplied.
 pub fn deinterleave(bits: &[u8]) -> Vec<u8> {
-    assert_eq!(bits.len(), N_CBPS, "deinterleaver works on {N_CBPS}-bit symbols");
+    assert_eq!(
+        bits.len(),
+        N_CBPS,
+        "deinterleaver works on {N_CBPS}-bit symbols"
+    );
     let mut out = vec![0u8; N_CBPS];
     for (k, slot) in out.iter_mut().enumerate() {
         *slot = bits[permute(k)];

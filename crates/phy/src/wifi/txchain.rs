@@ -139,7 +139,10 @@ impl TxChain {
             coded.extend(deinterleave(&symbol_bits));
         }
         let needed = 2 * (payload_len + CONSTRAINT - 1);
-        assert!(coded.len() >= needed, "waveform too short for payload length");
+        assert!(
+            coded.len() >= needed,
+            "waveform too short for payload length"
+        );
         coded.truncate(needed);
         let mut decoded = viterbi_decode(&coded);
         decoded.truncate(payload_len);
@@ -190,8 +193,12 @@ pub fn recover_payload(chain: &TxChain, target: &[Complex64]) -> RecoveredPayloa
             window[..end - start].copy_from_slice(&target[start..end]);
         }
         let spectrum = chain.ofdm.analyze_window(&window);
-        let targets: Vec<Complex64> =
-            chain.ofdm.data_bins().iter().map(|&b| spectrum[b]).collect();
+        let targets: Vec<Complex64> = chain
+            .ofdm
+            .data_bins()
+            .iter()
+            .map(|&b| spectrum[b])
+            .collect();
         let alpha = optimize_alpha(&chain.qam, &targets).alpha;
         alphas.push(alpha);
 
@@ -301,7 +308,10 @@ mod tests {
         assert_eq!(&recovered.payload_bits[..payload.len()], &payload[..]);
         // And the prediction matches the original waveform per window up
         // to the recovered per-window scale.
-        let evm = waveform_evm(&wave, &normalize_windows(&recovered.predicted, &recovered.alphas));
+        let evm = waveform_evm(
+            &wave,
+            &normalize_windows(&recovered.predicted, &recovered.alphas),
+        );
         assert!(evm < 1e-6, "self-recovery EVM {evm}");
     }
 
@@ -348,6 +358,9 @@ mod tests {
         let target = frequency_shift(&modulator.modulate_symbols(&[0x1, 0x2]), 16);
         let ra = recover_payload(&chain_a, &target);
         let rb = recover_payload(&chain_b, &target);
-        assert_ne!(ra.payload_bits, rb.payload_bits, "scrambler seed must matter");
+        assert_ne!(
+            ra.payload_bits, rb.payload_bits,
+            "scrambler seed must matter"
+        );
     }
 }

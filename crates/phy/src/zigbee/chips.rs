@@ -17,8 +17,7 @@ pub const NUM_SYMBOLS: usize = 16;
 /// Base chip sequence for data symbol 0 (IEEE 802.15.4-2020 Table 12-1),
 /// chip c0 first.
 const BASE: [u8; CHIPS_PER_SYMBOL] = [
-    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1,
-    0,
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
 ];
 
 /// The full symbol→chips table.
@@ -215,7 +214,10 @@ mod tests {
                 chips[idx] ^= 1;
             }
             let (decoded, dist) = t.best_match(&chips);
-            assert_eq!(decoded, sym, "symbol {sym} flipped after {tolerance} errors");
+            assert_eq!(
+                decoded, sym,
+                "symbol {sym} flipped after {tolerance} errors"
+            );
             assert_eq!(dist, tolerance);
         }
     }

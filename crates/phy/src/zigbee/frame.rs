@@ -52,7 +52,10 @@ impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FrameError::PayloadTooLong { len } => {
-                write!(f, "psdu of {len} bytes exceeds the {MAX_PSDU_LEN}-byte limit")
+                write!(
+                    f,
+                    "psdu of {len} bytes exceeds the {MAX_PSDU_LEN}-byte limit"
+                )
             }
             FrameError::Truncated { len } => {
                 write!(f, "byte stream of {len} bytes is shorter than a phy header")
@@ -174,7 +177,9 @@ impl PhyFrame {
     /// whatever [`PhyFrame::parse`] reports for the reassembled bytes.
     pub fn parse_symbols(symbols: &[u8]) -> Result<Self, FrameError> {
         if !symbols.len().is_multiple_of(2) {
-            return Err(FrameError::Truncated { len: symbols.len() / 2 });
+            return Err(FrameError::Truncated {
+                len: symbols.len() / 2,
+            });
         }
         PhyFrame::parse(&symbols_to_bytes(symbols))
     }
@@ -196,7 +201,10 @@ pub fn bytes_to_symbols(bytes: &[u8]) -> Vec<u8> {
 ///
 /// Panics if `symbols.len()` is odd or any symbol is `>= 16`.
 pub fn symbols_to_bytes(symbols: &[u8]) -> Vec<u8> {
-    assert!(symbols.len().is_multiple_of(2), "symbol stream must pair into bytes");
+    assert!(
+        symbols.len().is_multiple_of(2),
+        "symbol stream must pair into bytes"
+    );
     symbols
         .chunks(2)
         .map(|pair| {
@@ -247,7 +255,10 @@ mod tests {
     fn empty_payload_is_valid() {
         let frame = PhyFrame::new(Vec::new()).unwrap();
         assert_eq!(frame.wire_len(), 6);
-        assert_eq!(PhyFrame::parse(&frame.to_bytes()).unwrap().psdu(), &[] as &[u8]);
+        assert_eq!(
+            PhyFrame::parse(&frame.to_bytes()).unwrap().psdu(),
+            &[] as &[u8]
+        );
     }
 
     #[test]

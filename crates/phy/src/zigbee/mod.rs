@@ -43,7 +43,10 @@ pub const NUM_CHANNELS: usize = 16;
 /// assert_eq!(channel_center_hz(26), 2.480e9);
 /// ```
 pub fn channel_center_hz(k: u8) -> f64 {
-    assert!((11..=26).contains(&k), "2.4 GHz channels are 11..=26, got {k}");
+    assert!(
+        (11..=26).contains(&k),
+        "2.4 GHz channels are 11..=26, got {k}"
+    );
     2.405e9 + 5.0e6 * f64::from(k - 11)
 }
 

@@ -126,7 +126,11 @@ impl OqpskModulator {
                     break;
                 }
                 let pulse = (PI * s as f64 / (2.0 * os as f64)).sin();
-                let v = if k % 2 == 0 { wave[idx].re } else { wave[idx].im };
+                let v = if k % 2 == 0 {
+                    wave[idx].re
+                } else {
+                    wave[idx].im
+                };
                 corr += v * pulse;
             }
             chips.push(u8::from(corr >= 0.0));
@@ -142,7 +146,11 @@ impl OqpskModulator {
     pub fn demodulate(&self, wave: &[Complex64]) -> Vec<u8> {
         let mut chips = self.chips_from_waveform(wave);
         chips.truncate(chips.len() - chips.len() % CHIPS_PER_SYMBOL);
-        self.table.despread(&chips).into_iter().map(|(s, _)| s).collect()
+        self.table
+            .despread(&chips)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
     }
 
     /// Like [`OqpskModulator::demodulate`] but also reports the per-symbol
@@ -210,7 +218,11 @@ mod tests {
         for os in [2usize, 4, 10, 20] {
             let m = OqpskModulator::with_oversampling(os);
             let symbols = vec![0xA, 0x5];
-            assert_eq!(m.demodulate(&m.modulate_symbols(&symbols)), symbols, "os={os}");
+            assert_eq!(
+                m.demodulate(&m.modulate_symbols(&symbols)),
+                symbols,
+                "os={os}"
+            );
         }
     }
 

@@ -1,0 +1,88 @@
+//! Structured telemetry events.
+//!
+//! These are plain-data mirrors of the core types: `ctjam-core` converts its
+//! `SlotResult` / DQN probe into these records so the telemetry crate stays at
+//! the bottom of the dependency graph.
+
+/// What happened to the defender's transmission in one slot, from the
+/// defender's point of view (paper §III.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// Transmitted on a clear channel — packet delivered.
+    Delivered,
+    /// Jammer was on-channel but power control lifted SINR above threshold —
+    /// packet delivered anyway.
+    SurvivedJam,
+    /// Jammer was on-channel and the packet was lost.
+    Jammed,
+    /// The defender spent the slot hopping (no data transmitted).
+    Hopped,
+}
+
+impl SlotOutcome {
+    /// Short stable label used in CSV/JSON exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlotOutcome::Delivered => "delivered",
+            SlotOutcome::SurvivedJam => "survived_jam",
+            SlotOutcome::Jammed => "jammed",
+            SlotOutcome::Hopped => "hopped",
+        }
+    }
+}
+
+/// One slot of the Tx/Jx competition (paper §III.A), as seen by telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotEvent {
+    /// Slot index within the run, starting at 0.
+    pub slot: u64,
+    /// Defender channel occupied this slot.
+    pub channel: u16,
+    /// Defender transmit power level (index into the power ladder).
+    pub power_level: u16,
+    /// Whether the defender hopped into this slot.
+    pub hopped: bool,
+    /// Whether the defender raised power this slot.
+    pub power_control: bool,
+    /// Jam outcome of the slot.
+    pub outcome: SlotOutcome,
+    /// Whether the sweeping jammer was on the defender's channel.
+    pub jammer_on_channel: bool,
+    /// Eq. 5 reward collected this slot.
+    pub reward: f64,
+}
+
+/// One DQN training step (loss from `DqnAgent::observe`, paper §III.C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainEvent {
+    /// Environment step at which this training step happened.
+    pub step: u64,
+    /// TD loss of the minibatch, if a gradient step ran.
+    pub loss: Option<f64>,
+    /// Exploration rate after this step.
+    pub epsilon: f64,
+    /// Transitions currently held in the replay buffer.
+    pub replay_len: usize,
+    /// Replay buffer capacity.
+    pub replay_capacity: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_labels_are_distinct() {
+        let all = [
+            SlotOutcome::Delivered,
+            SlotOutcome::SurvivedJam,
+            SlotOutcome::Jammed,
+            SlotOutcome::Hopped,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! A tiny JSON value tree and serializer.
+//!
+//! The container has no network access, so instead of pulling in `serde` the
+//! manifest and exporters build [`JsonValue`] trees and serialize them here.
+//! Output is deterministic: object keys keep insertion order, floats use
+//! Rust's shortest round-trip formatting.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number. Non-finite floats serialize as `null` (like
+    /// `serde_json`'s lossy behaviour for f64).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Insert/overwrite a key on an object; panics on non-objects.
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Obj(pairs) => {
+                if let Some(pair) = pairs.iter_mut().find(|(k, _)| k == key) {
+                    pair.1 = value.into();
+                } else {
+                    pairs.push((key.to_string(), value.into()));
+                }
+            }
+            _ => panic!("JsonValue::set on a non-object"),
+        }
+        self
+    }
+
+    /// Look up a key on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d)
+                })
+            }
+            JsonValue::Obj(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d)
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Num(n)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_round_trips_structure() {
+        let mut obj = JsonValue::object();
+        obj.set("name", "fig03")
+            .set("seed", 2022u64)
+            .set("ok", true);
+        obj.set("items", JsonValue::Arr(vec![1.0.into(), 2.5.into()]));
+        assert_eq!(
+            obj.to_string_compact(),
+            r#"{"name":"fig03","seed":2022,"ok":true,"items":[1,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(v.to_string_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        assert_eq!(JsonValue::Num(3.0).to_string_compact(), "3");
+        assert_eq!(JsonValue::Num(-0.125).to_string_compact(), "-0.125");
+    }
+
+    #[test]
+    fn set_overwrites_existing_key() {
+        let mut obj = JsonValue::object();
+        obj.set("k", 1u64);
+        obj.set("k", 2u64);
+        assert_eq!(obj.get("k"), Some(&JsonValue::Num(2.0)));
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let mut obj = JsonValue::object();
+        obj.set("a", 1u64);
+        assert_eq!(obj.to_string_pretty(), "{\n  \"a\": 1\n}\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::object().to_string_pretty(), "{}\n");
+        assert_eq!(JsonValue::Arr(vec![]).to_string_compact(), "[]");
+    }
+}

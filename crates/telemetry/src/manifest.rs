@@ -1,0 +1,176 @@
+//! Run manifests: JSON provenance records written next to figure results.
+//!
+//! A manifest pins everything needed to reproduce a run: the base RNG seed,
+//! the `Debug` rendering of the configuration, a 64-bit FNV-1a hash of that
+//! configuration (cheap to diff across runs), the `git describe` of the tree,
+//! and wall time. Figure binaries create one at startup and
+//! [`RunManifest::write`] it when done.
+
+use crate::json::JsonValue;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// 64-bit FNV-1a — stable, dependency-free configuration fingerprint.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// `git describe --always --dirty` of `dir` (or the current directory), if
+/// git is available and `dir` is a work tree.
+pub fn git_describe(dir: Option<&Path>) -> Option<String> {
+    let mut cmd = Command::new("git");
+    cmd.args(["describe", "--always", "--dirty"]);
+    if let Some(dir) = dir {
+        cmd.current_dir(dir);
+    }
+    let out = cmd.output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+/// Provenance record for one figure/experiment run.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Run name, also the manifest's file stem (e.g. `fig03_convergence`).
+    pub name: String,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// `Debug` rendering of the run's configuration (EnvParams etc.).
+    pub config: String,
+    /// FNV-1a hash of `config`.
+    pub config_hash: u64,
+    /// `git describe --always --dirty`, if resolvable.
+    pub git: Option<String>,
+    /// Unix timestamp (seconds) when the manifest was created.
+    pub created_unix_s: u64,
+    /// Extra key/value pairs (output files, knob overrides, summary numbers).
+    pub extra: Vec<(String, JsonValue)>,
+    started: Instant,
+}
+
+impl RunManifest {
+    /// Start a manifest for the named run. Records the creation time so
+    /// [`RunManifest::write`] can report wall time.
+    pub fn new(name: &str, seed: u64, config: &str) -> Self {
+        RunManifest {
+            name: name.to_string(),
+            seed,
+            config: config.to_string(),
+            config_hash: fnv1a_64(config.as_bytes()),
+            git: git_describe(None),
+            created_unix_s: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+            extra: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Attach an extra key (output paths, knobs, summary numbers).
+    pub fn push_extra(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        self.extra.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// The manifest as a JSON object (wall time measured at call time).
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("name", self.name.as_str())
+            .set("seed", self.seed)
+            .set("config", self.config.as_str())
+            .set("config_hash", format!("{:016x}", self.config_hash))
+            .set(
+                "git",
+                self.git.as_deref().map_or(JsonValue::Null, JsonValue::from),
+            )
+            .set("created_unix_s", self.created_unix_s)
+            .set("wall_s", self.started.elapsed().as_secs_f64());
+        for (k, v) in &self.extra {
+            obj.set(k, v.clone());
+        }
+        obj
+    }
+
+    /// Write `<dir>/<name>.manifest.json` (creating `dir`), returning the
+    /// path written.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.manifest.json", self.name));
+        fs::write(&path, self.to_json().to_string_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_json_has_required_fields() {
+        let mut m = RunManifest::new("unit_test", 2022, "EnvParams { k: 16 }");
+        m.push_extra("csv", "results/unit_test.csv");
+        let json = m.to_json();
+        for key in [
+            "name",
+            "seed",
+            "config",
+            "config_hash",
+            "git",
+            "created_unix_s",
+            "wall_s",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(json.get("seed"), Some(&JsonValue::Num(2022.0)));
+        assert_eq!(
+            json.get("config_hash"),
+            Some(&JsonValue::Str(format!(
+                "{:016x}",
+                fnv1a_64(b"EnvParams { k: 16 }")
+            )))
+        );
+        assert_eq!(
+            json.get("csv"),
+            Some(&JsonValue::Str("results/unit_test.csv".into()))
+        );
+    }
+
+    #[test]
+    fn same_config_same_hash_different_config_different_hash() {
+        let a = RunManifest::new("a", 1, "cfg");
+        let b = RunManifest::new("b", 2, "cfg");
+        let c = RunManifest::new("c", 1, "cfg2");
+        assert_eq!(a.config_hash, b.config_hash);
+        assert_ne!(a.config_hash, c.config_hash);
+    }
+
+    #[test]
+    fn write_creates_manifest_file() {
+        let dir = std::env::temp_dir().join("ctjam-telemetry-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = RunManifest::new("m", 7, "cfg").write(&dir).unwrap();
+        assert!(path.ends_with("m.manifest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"seed\": 7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

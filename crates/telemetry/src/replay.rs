@@ -1,0 +1,146 @@
+//! Deterministic-replay capture.
+//!
+//! Every episode in the CTJam suite is driven by a single `StdRng` seeded
+//! explicitly, so an episode is fully reproducible from `(seed, slot budget,
+//! config)` alone. A [`ReplayTrace`] records that triple for every episode of
+//! a run (e.g. every point of a sweep); a failing episode can then be re-run
+//! bit-exactly in isolation with `ctjam_core::runner::replay` — see
+//! `tests/determinism.rs` and `tests/README.md` at the workspace root.
+
+use crate::json::JsonValue;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One captured episode: everything needed to re-run it bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeRecord {
+    /// Episode index within the run (e.g. sweep point index).
+    pub index: usize,
+    /// Human-readable label (e.g. `"lj=4"` for a sweep point).
+    pub label: String,
+    /// The exact RNG seed the episode's `StdRng` was built from.
+    pub seed: u64,
+    /// Training slots consumed before evaluation (0 for pure evaluation).
+    pub train_slots: usize,
+    /// Evaluation slots measured.
+    pub eval_slots: usize,
+}
+
+/// A replay trace: the capture configuration plus one record per episode.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplayTrace {
+    /// Name of the run being captured.
+    pub run: String,
+    /// Base seed the per-episode seeds were derived from.
+    pub base_seed: u64,
+    /// `Debug` rendering of the shared configuration.
+    pub config: String,
+    /// Captured episodes, in completion order.
+    pub episodes: Vec<EpisodeRecord>,
+}
+
+impl ReplayTrace {
+    /// An empty trace for the named run.
+    pub fn new(run: &str, base_seed: u64, config: &str) -> Self {
+        ReplayTrace {
+            run: run.to_string(),
+            base_seed,
+            config: config.to_string(),
+            episodes: Vec::new(),
+        }
+    }
+
+    /// Record one episode.
+    pub fn push(&mut self, record: EpisodeRecord) {
+        self.episodes.push(record);
+    }
+
+    /// Find an episode by index.
+    pub fn episode(&self, index: usize) -> Option<&EpisodeRecord> {
+        self.episodes.iter().find(|e| e.index == index)
+    }
+
+    /// The trace as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("run", self.run.as_str())
+            .set("base_seed", self.base_seed)
+            .set("config", self.config.as_str());
+        let episodes = self
+            .episodes
+            .iter()
+            .map(|e| {
+                let mut rec = JsonValue::object();
+                rec.set("index", e.index)
+                    .set("label", e.label.as_str())
+                    .set("seed", e.seed)
+                    .set("train_slots", e.train_slots)
+                    .set("eval_slots", e.eval_slots);
+                rec
+            })
+            .collect();
+        obj.set("episodes", JsonValue::Arr(episodes));
+        obj
+    }
+
+    /// Write `<dir>/<run>.replay.json` (creating `dir`), returning the path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.replay.json", self.run));
+        fs::write(&path, self.to_json().to_string_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, seed: u64) -> EpisodeRecord {
+        EpisodeRecord {
+            index,
+            label: format!("point-{index}"),
+            seed,
+            train_slots: 1000,
+            eval_slots: 2000,
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut trace = ReplayTrace::new("sweep", 42, "cfg");
+        trace.push(record(0, 42));
+        trace.push(record(3, 99));
+        assert_eq!(trace.episode(3).unwrap().seed, 99);
+        assert!(trace.episode(1).is_none());
+    }
+
+    #[test]
+    fn json_contains_all_episodes() {
+        let mut trace = ReplayTrace::new("sweep", 42, "cfg");
+        trace.push(record(0, 42));
+        trace.push(record(1, 43));
+        let json = trace.to_json();
+        match json.get("episodes") {
+            Some(JsonValue::Arr(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].get("seed"), Some(&JsonValue::Num(43.0)));
+            }
+            other => panic!("episodes not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("ctjam-telemetry-replay-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut trace = ReplayTrace::new("unit", 7, "cfg");
+        trace.push(record(0, 7));
+        let path = trace.write(&dir).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("\"seed\": 7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

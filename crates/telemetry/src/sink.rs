@@ -1,0 +1,191 @@
+//! The instrumentation trait and its two stock implementations.
+
+use crate::event::{SlotEvent, TrainEvent};
+use crate::stats::{Counter, Histogram};
+
+/// Receiver for telemetry emitted by instrumented code.
+///
+/// Every method has an empty default body so a sink only pays for what it
+/// observes, and instrumented call sites monomorphised over [`NullSink`]
+/// compile down to the uninstrumented loop.
+pub trait EventSink {
+    /// One slot of the competition loop completed.
+    fn record_slot(&mut self, event: &SlotEvent) {
+        let _ = event;
+    }
+
+    /// One DQN training step completed.
+    fn record_train(&mut self, event: &TrainEvent) {
+        let _ = event;
+    }
+
+    /// A named scalar observation outside the slot loop (e.g. final goodput,
+    /// sweep-point summary values).
+    fn record_scalar(&mut self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// The zero-cost sink: observes nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {}
+
+// Allow passing `&mut sink` where a sink is consumed by value-generic code.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn record_slot(&mut self, event: &SlotEvent) {
+        (**self).record_slot(event);
+    }
+    fn record_train(&mut self, event: &TrainEvent) {
+        (**self).record_train(event);
+    }
+    fn record_scalar(&mut self, name: &'static str, value: f64) {
+        (**self).record_scalar(name, value);
+    }
+}
+
+/// In-memory recorder: keeps every event, maintains outcome counters and a
+/// reward histogram, and can export to JSON-lines / CSV (see
+/// [`crate::export`]).
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    /// Every slot event, in order.
+    pub slots: Vec<SlotEvent>,
+    /// Every training event, in order.
+    pub trains: Vec<TrainEvent>,
+    /// Named scalars, in emission order.
+    pub scalars: Vec<(&'static str, f64)>,
+    /// Slots by outcome label plus `hop`/`power_control` action counters.
+    pub counters: Vec<Counter>,
+    /// Distribution of per-slot rewards.
+    pub reward_hist: Histogram,
+    /// Distribution of training losses (only steps where a gradient ran).
+    pub loss_hist: Histogram,
+}
+
+impl MemorySink {
+    /// An empty sink with reward/loss histograms sized for Eq. 5 rewards
+    /// (small negative range) and TD losses.
+    pub fn new() -> Self {
+        MemorySink {
+            reward_hist: Histogram::new("reward", -10.0, 2.0, 24),
+            loss_hist: Histogram::new("loss", 0.0, 5.0, 20),
+            ..MemorySink::default()
+        }
+    }
+
+    fn bump(&mut self, name: &'static str) {
+        if let Some(c) = self.counters.iter_mut().find(|c| c.name == name) {
+            c.incr();
+        } else {
+            let mut c = Counter::new(name);
+            c.incr();
+            self.counters.push(c);
+        }
+    }
+
+    /// Value of a counter, 0 if never bumped.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Mean reward over all recorded slots (NaN if none).
+    pub fn mean_reward(&self) -> f64 {
+        self.reward_hist.mean()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record_slot(&mut self, event: &SlotEvent) {
+        self.bump(event.outcome.label());
+        if event.hopped {
+            self.bump("hop");
+        }
+        if event.power_control {
+            self.bump("power_control");
+        }
+        self.reward_hist.record(event.reward);
+        self.slots.push(*event);
+    }
+
+    fn record_train(&mut self, event: &TrainEvent) {
+        if let Some(loss) = event.loss {
+            self.loss_hist.record(loss);
+        }
+        self.trains.push(*event);
+    }
+
+    fn record_scalar(&mut self, name: &'static str, value: f64) {
+        self.scalars.push((name, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SlotOutcome;
+
+    fn slot(i: u64, outcome: SlotOutcome, hopped: bool, reward: f64) -> SlotEvent {
+        SlotEvent {
+            slot: i,
+            channel: 3,
+            power_level: 0,
+            hopped,
+            power_control: false,
+            outcome,
+            jammer_on_channel: matches!(outcome, SlotOutcome::Jammed | SlotOutcome::SurvivedJam),
+            reward,
+        }
+    }
+
+    #[test]
+    fn memory_sink_counts_outcomes_and_actions() {
+        let mut sink = MemorySink::new();
+        sink.record_slot(&slot(0, SlotOutcome::Delivered, false, 1.0));
+        sink.record_slot(&slot(1, SlotOutcome::Jammed, false, -4.0));
+        sink.record_slot(&slot(2, SlotOutcome::Hopped, true, -1.0));
+        assert_eq!(sink.counter("delivered"), 1);
+        assert_eq!(sink.counter("jammed"), 1);
+        assert_eq!(sink.counter("hopped"), 1);
+        assert_eq!(sink.counter("hop"), 1);
+        assert_eq!(sink.counter("power_control"), 0);
+        assert_eq!(sink.slots.len(), 3);
+        assert!((sink.mean_reward() - (-4.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_sink_records_train_losses() {
+        let mut sink = MemorySink::new();
+        sink.record_train(&TrainEvent {
+            step: 1,
+            loss: None,
+            epsilon: 1.0,
+            replay_len: 1,
+            replay_capacity: 100,
+        });
+        sink.record_train(&TrainEvent {
+            step: 2,
+            loss: Some(0.5),
+            epsilon: 0.99,
+            replay_len: 2,
+            replay_capacity: 100,
+        });
+        assert_eq!(sink.trains.len(), 2);
+        assert_eq!(sink.loss_hist.count(), 1);
+    }
+
+    #[test]
+    fn null_sink_is_a_sink() {
+        fn run<S: EventSink>(sink: &mut S) {
+            sink.record_scalar("x", 1.0);
+        }
+        run(&mut NullSink);
+        let mut mem = MemorySink::new();
+        run(&mut mem);
+        assert_eq!(mem.scalars, vec![("x", 1.0)]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Minimal counters and fixed-bin histograms for slot-loop telemetry.
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// Stable name used in exports.
+    pub name: &'static str,
+    /// Current value.
+    pub value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Add one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+}
+
+/// A fixed-width linear histogram over `[lo, hi)` with under/overflow bins,
+/// tracking exact count/sum/min/max alongside the binned shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Stable name used in exports.
+    pub name: &'static str,
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new("histogram", 0.0, 1.0, 10)
+    }
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(name: &'static str, lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            name,
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation. NaN values are counted but not binned.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value.is_nan() {
+            return;
+        }
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((value - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Bin counts (underflow and overflow excluded).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_lower_edge, count)` pairs, then `("underflow", n)`-style totals
+    /// are available via [`Histogram::underflow`] / [`Histogram::overflow`].
+    pub fn edges(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as f64 * width, c))
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value, 5);
+    }
+
+    #[test]
+    fn histogram_bins_and_moments() {
+        let mut h = Histogram::new("h", 0.0, 10.0, 10);
+        for v in [0.5, 1.5, 1.7, 9.9, -1.0, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.min(), -1.0);
+        assert_eq!(h.max(), 10.0);
+        assert!((h.mean() - (0.5 + 1.5 + 1.7 + 9.9 - 1.0 + 10.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_edge_value_is_overflow_not_panic() {
+        let mut h = Histogram::new("h", 0.0, 1.0, 4);
+        h.record(1.0);
+        h.record(0.999_999_9);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins()[3], 1);
+    }
+
+    #[test]
+    fn nan_counts_without_binning() {
+        let mut h = Histogram::new("h", 0.0, 1.0, 2);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(
+            h.underflow() + h.overflow() + h.bins().iter().sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_nan() {
+        assert!(Histogram::new("h", 0.0, 1.0, 2).mean().is_nan());
+    }
+}

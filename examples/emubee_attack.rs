@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         .collect();
     let modulator = OqpskModulator::with_oversampling(10);
     let designed = modulator.modulate_symbols(&decoy);
-    println!("designed {} baseband samples ({} chips)", designed.len(), decoy.len() * 32);
+    println!(
+        "designed {} baseband samples ({} chips)",
+        designed.len(),
+        decoy.len() * 32
+    );
 
     println!("\n== Step 2: emulate it through the Wi-Fi OFDM front end ==");
     // Place the victim's 2 MHz channel at +5 MHz inside the 20 MHz band.
@@ -72,8 +76,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Contrast with a legitimate frame passing the same path.
     let frame = PhyFrame::new(b"temperature=23.4C".to_vec())?;
     let legit_wave = modulator.modulate_symbols(&frame.to_symbols());
-    let legit_emulated =
-        frequency_shift(emulator.emulate(&frequency_shift(&legit_wave, 16)).emulated(), -16);
+    let legit_emulated = frequency_shift(
+        emulator
+            .emulate(&frequency_shift(&legit_wave, 16))
+            .emulated(),
+        -16,
+    );
     let legit_bytes = symbols_to_bytes(&modulator.demodulate(&legit_emulated));
     match classify_rx(&legit_bytes) {
         RxOutcome::Frame(f) => println!(
@@ -86,7 +94,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n== Step 4: jamming reach (Fig. 2(b) mechanics) ==");
     let scenario = JammingScenario::default();
     let mut rng = StdRng::seed_from_u64(1);
-    println!("{:<10} {:>12} {:>12} {:>12}", "dist (m)", "EmuBee PER", "ZigBee PER", "WiFi PER");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "dist (m)", "EmuBee PER", "ZigBee PER", "WiFi PER"
+    );
     for d in [2.0, 6.0, 10.0, 14.0] {
         let e = scenario.evaluate_faded(JammerKind::EmuBee, d, 2_000, &mut rng);
         let z = scenario.evaluate_faded(JammerKind::ZigBee, d, 2_000, &mut rng);

@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let (mdp, q, threshold) = solve_threshold(params.clone());
 
-    println!("== The optimal playbook (sweep cycle 4, L_H = 50, L_J = 100, hidden-mode jammer) ==\n");
+    println!(
+        "== The optimal playbook (sweep cycle 4, L_H = 50, L_J = 100, hidden-mode jammer) ==\n"
+    );
     let states: Vec<State> = (1..=mdp.num_safe_states())
         .map(State::Safe)
         .chain([State::JammedUnsuccessfully, State::Jammed])

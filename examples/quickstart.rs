@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let eval_slots = 20_000;
     println!("evaluating every scheme for {eval_slots} slots...\n");
-    println!("{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}", "scheme", "ST", "AH", "SH", "AP", "SP");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "scheme", "ST", "AH", "SH", "AP", "SP"
+    );
 
     let report = |name: &str, defender: &mut dyn Defender, rng: &mut StdRng| {
         let rep = evaluate(&params, defender, eval_slots, rng);

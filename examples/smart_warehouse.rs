@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         jammer_enabled: false,
         ..base.clone()
     };
-    let mut exp = FieldExperiment::new(quiet.clone(), NoDefense::new(&quiet.env, &mut rng), &mut rng);
+    let mut exp = FieldExperiment::new(
+        quiet.clone(),
+        NoDefense::new(&quiet.env, &mut rng),
+        &mut rng,
+    );
     let healthy = exp.run(slots, &mut rng);
     println!(
         "goodput {:.0} pkts/slot, slot utilization {:.1}%",

@@ -2,6 +2,7 @@
 set -x
 cd /root/repo
 mkdir -p results
+./ci.sh 2>&1 | tee /root/repo/ci_output.txt
 cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
 for bin in fig01_emulation_error fig02_jamming_effect fig09_time_consumption mdp_threshold_analysis fig10_goodput_utilization fig11_scheme_comparison ablation_design_choices adaptive_jammer; do
   cargo run --release -p ctjam-bench --bin $bin > results/$bin.txt 2>&1

@@ -22,11 +22,14 @@ fn emubee_is_chip_faithful_as_channel_layer_assumes() {
     for _ in 0..5 {
         let symbols: Vec<u8> = (0..8).map(|_| rng.gen_range(0..16)).collect();
         let designed = modulator.modulate_symbols(&symbols);
-        let emulated = Emulator::new(EmulationConfig::default())
-            .emulate(&frequency_shift(&designed, 16));
+        let emulated =
+            Emulator::new(EmulationConfig::default()).emulate(&frequency_shift(&designed, 16));
         let victim_view = frequency_shift(emulated.emulated(), -16);
         let cer = chip_error_rate(&modulator, &designed, &victim_view);
-        assert!(cer < 0.05, "EmuBee chip error rate {cer} breaks the channel model");
+        assert!(
+            cer < 0.05,
+            "EmuBee chip error rate {cer} breaks the channel model"
+        );
     }
 }
 
@@ -73,8 +76,8 @@ fn stealthiness_is_consistent_across_layers() {
     // Preamble-only burst (the paper's example of wasted decoding).
     let symbols = vec![0u8; 8];
     let designed = modulator.modulate_symbols(&symbols);
-    let emulated = Emulator::new(EmulationConfig::default())
-        .emulate(&frequency_shift(&designed, 16));
+    let emulated =
+        Emulator::new(EmulationConfig::default()).emulate(&frequency_shift(&designed, 16));
     let victim_view = frequency_shift(emulated.emulated(), -16);
     let decoded = modulator.demodulate(&victim_view);
     let bytes = symbols_to_bytes(&decoded);

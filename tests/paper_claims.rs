@@ -52,10 +52,19 @@ fn baseline_ordering_matches_paper() {
     let mut none = NoDefense::new(&params, &mut rng);
     let mut psv = PassiveFh::new(&params, &mut rng);
     let mut rnd = RandomFh::new(&params, &mut rng);
-    let st_none = evaluate(&params, &mut none, 8_000, &mut rng).metrics.success_rate();
-    let st_psv = evaluate(&params, &mut psv, 8_000, &mut rng).metrics.success_rate();
-    let st_rnd = evaluate(&params, &mut rnd, 8_000, &mut rng).metrics.success_rate();
-    assert!(st_rnd > st_psv && st_psv > st_none, "{st_rnd} > {st_psv} > {st_none}");
+    let st_none = evaluate(&params, &mut none, 8_000, &mut rng)
+        .metrics
+        .success_rate();
+    let st_psv = evaluate(&params, &mut psv, 8_000, &mut rng)
+        .metrics
+        .success_rate();
+    let st_rnd = evaluate(&params, &mut rnd, 8_000, &mut rng)
+        .metrics
+        .success_rate();
+    assert!(
+        st_rnd > st_psv && st_psv > st_none,
+        "{st_rnd} > {st_psv} > {st_none}"
+    );
     // The paper's field numbers put passive near 37.6% and random near
     // 54.1% of clean goodput; our slot-level equivalents should be in
     // the same neighbourhoods.
@@ -87,9 +96,16 @@ fn oracle_plays_threshold_policy_and_beats_passive() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut oracle = MdpOracle::new(&params, &mut rng);
     let mut passive = PassiveFh::new(&params, &mut rng);
-    let st_oracle = evaluate(&params, &mut oracle, 8_000, &mut rng).metrics.success_rate();
-    let st_passive = evaluate(&params, &mut passive, 8_000, &mut rng).metrics.success_rate();
-    assert!(st_oracle > st_passive, "oracle {st_oracle} vs passive {st_passive}");
+    let st_oracle = evaluate(&params, &mut oracle, 8_000, &mut rng)
+        .metrics
+        .success_rate();
+    let st_passive = evaluate(&params, &mut passive, 8_000, &mut rng)
+        .metrics
+        .success_rate();
+    assert!(
+        st_oracle > st_passive,
+        "oracle {st_oracle} vs passive {st_passive}"
+    );
 }
 
 /// §II.C: the random-power ("hidden") jammer is less damaging to a static

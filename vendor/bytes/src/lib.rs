@@ -1,0 +1,181 @@
+//! Offline stand-in for the subset of the `bytes` API used by the
+//! CTJam workspace (the weight-blob serializer in `ctjam-nn`).
+//!
+//! [`Bytes`]/[`BytesMut`] are plain `Vec<u8>` wrappers — no refcounting
+//! or zero-copy splitting — with the [`Buf`]/[`BufMut`] cursor methods
+//! the serializer needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (`Vec`-backed).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read-cursor operations over a byte source.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `count` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` bytes remain.
+    fn advance(&mut self, count: usize);
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        *self = &self[count..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write-cursor operations over a byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, value: f32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_slice(b"CTJN");
+        buf.put_u32_le(7);
+        buf.put_f32_le(1.5);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 12);
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(&cursor.chunk()[..4], b"CTJN");
+        cursor.advance(4);
+        assert_eq!(cursor.get_u32_le(), 7);
+        assert_eq!(cursor.get_f32_le(), 1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_advance_panics() {
+        let mut cursor: &[u8] = b"ab";
+        cursor.advance(3);
+    }
+}

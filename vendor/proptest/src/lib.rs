@@ -1,0 +1,154 @@
+//! Offline stand-in for the subset of the `proptest` API used by the
+//! CTJam workspace.
+//!
+//! Provides [`Strategy`], range/tuple/collection strategies, [`any`],
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros and
+//! [`ProptestConfig`]. Each test runs `cases` randomized inputs drawn
+//! from a per-test deterministic RNG (seeded from the test name), so
+//! failures reproduce exactly. Unlike upstream proptest there is **no
+//! shrinking**: a failing case panics immediately and the case index is
+//! reported by a drop guard.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Strategy};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this shim matches it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::collection::vec;
+    }
+
+    /// Boolean strategies (`prop::bool::ANY`).
+    pub mod bool {
+        pub use crate::strategy::BoolAny;
+
+        /// Uniform over `{true, false}`.
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+/// The usual import surface: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { .. }`
+/// item becomes a `#[test]` running `cases` randomized inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal item-by-item expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let __guard =
+                    $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                { $body }
+                drop(__guard);
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` under a different name (upstream records instead of
+/// panicking; the shim panics immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a different name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u8, u8)> {
+        (0u8..10, 0u8..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(p in pair().prop_map(|(a, b)| (a as u16) + (b as u16))) {
+            prop_assert!(p < 20);
+        }
+
+        #[test]
+        fn bool_any_is_a_bool(b in prop::bool::ANY, _x in any::<u64>()) {
+            prop_assert!(usize::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("some_test");
+        let mut b = crate::test_runner::TestRng::for_test("some_test");
+        let s = 0usize..1000;
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+    }
+}

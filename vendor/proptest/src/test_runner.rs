@@ -1,0 +1,58 @@
+//! The randomized-case driver behind [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies: a deterministic generator seeded from
+/// the test's name, so every run draws the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the generator for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Reports which case was executing when a test body panicked (the
+/// shim's substitute for proptest's failure persistence).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard { name, case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: test `{}` failed at case {} (cases are \
+                 deterministic per test name; rerun to reproduce)",
+                self.name, self.case
+            );
+        }
+    }
+}
