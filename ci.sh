@@ -13,6 +13,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q (tier-1 gate) =="
 cargo test -q
 
+echo "== cargo doc --no-deps (rustdoc warnings are errors) =="
+# Scoped to the suite's own crates: the vendored shims (rand, proptest,
+# criterion, bytes) predate today's rustdoc lints and are not ours to
+# re-document.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p ctjam -p ctjam-phy -p ctjam-channel -p ctjam-net -p ctjam-mdp \
+  -p ctjam-nn -p ctjam-dqn -p ctjam-core -p ctjam-bench
+
+# Criterion smoke mode: each bench target runs one iteration per
+# benchmark, catching bit-rot in bench code without paying for a full
+# measurement run.
+echo "== cargo bench -- --test (bench smoke) =="
+cargo bench -p ctjam-bench --benches -- --test
+
 # Archive any run manifests produced by figure binaries so CI artifacts
 # keep the provenance (seed, config hash, git describe) of every table.
 if compgen -G "results/*.manifest.json" > /dev/null; then

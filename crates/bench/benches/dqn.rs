@@ -32,6 +32,32 @@ fn bench_dqn(c: &mut Criterion) {
     c.bench_function("dqn_train_step_batch32", |b| {
         b.iter(|| std::hint::black_box(agent.train_step(&mut rng)));
     });
+
+    // The pre-batching reference: sample, then build targets and the
+    // gradient one transition at a time (2 per-sample forwards + a
+    // per-sample backward each), exactly what `train_step` did before
+    // the packed kernels. Kept as a yardstick for the speedup claimed
+    // in EXPERIMENTS.md.
+    let gamma = agent.config().gamma;
+    c.bench_function("dqn_train_step_batch32_per_sample_reference", |b| {
+        b.iter(|| {
+            let batch = agent.replay().sample(32, &mut rng);
+            let mut targets = Vec::with_capacity(batch.len());
+            for e in &batch {
+                let mut q = agent.network().forward(&e.state);
+                let next_q = agent.target_network().forward(&e.next_state);
+                let best = next_q.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                q[e.action] = e.reward + gamma * best;
+                targets.push(q);
+            }
+            let pairs: Vec<(&[f64], &[f64])> = batch
+                .iter()
+                .zip(&targets)
+                .map(|(e, t)| (e.state.as_slice(), t.as_slice()))
+                .collect();
+            std::hint::black_box(agent.network().loss_and_gradient(&pairs))
+        });
+    });
 }
 
 criterion_group!(benches, bench_dqn);

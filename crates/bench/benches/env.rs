@@ -1,15 +1,15 @@
 //! Environment costs: slot steps in the concrete and kernel environments
 //! and one full 3-second star-network slot. The `run_100_slots*` pair
 //! checks the telemetry tentpole's zero-cost claim: the instrumented loop
-//! over `NullSink` must not be measurably slower than it is worth —
-//! `run_in` *is* `run_in_with(.., NullSink)`, so these two must agree
-//! within noise.
+//! over `NullSink` must not be measurably slower than it is worth — a
+//! sinkless `RunBuilder` run *is* the `NullSink` loop, so these two must
+//! agree within noise.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ctjam_core::defender::{Defender, RandomFh};
 use ctjam_core::env::{CompetitionEnv, EnvParams, Environment};
 use ctjam_core::kernel::KernelEnv;
-use ctjam_core::runner::{run_in, run_in_with};
+use ctjam_core::runner::RunBuilder;
 use ctjam_net::star::StarNetwork;
 use ctjam_telemetry::{MemorySink, NullSink};
 use rand::rngs::StdRng;
@@ -32,7 +32,14 @@ fn bench_env(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(4);
         let mut env = CompetitionEnv::new(params.clone(), &mut rng);
         let mut defender = RandomFh::new(&params, &mut rng);
-        b.iter(|| std::hint::black_box(run_in(&mut env, &mut defender, 100, &mut rng)));
+        b.iter(|| {
+            std::hint::black_box(RunBuilder::new(&params).run_in(
+                &mut env,
+                &mut defender,
+                100,
+                &mut rng,
+            ))
+        });
     });
 
     c.bench_function("run_100_slots_null_sink", |b| {
@@ -40,12 +47,11 @@ fn bench_env(c: &mut Criterion) {
         let mut env = CompetitionEnv::new(params.clone(), &mut rng);
         let mut defender = RandomFh::new(&params, &mut rng);
         b.iter(|| {
-            std::hint::black_box(run_in_with(
+            std::hint::black_box(RunBuilder::new(&params).sink(&mut NullSink).run_in(
                 &mut env,
                 &mut defender,
                 100,
                 &mut rng,
-                &mut NullSink,
             ))
         });
     });
@@ -56,12 +62,11 @@ fn bench_env(c: &mut Criterion) {
         let mut defender = RandomFh::new(&params, &mut rng);
         b.iter(|| {
             let mut sink = MemorySink::new();
-            std::hint::black_box(run_in_with(
+            std::hint::black_box(RunBuilder::new(&params).sink(&mut sink).run_in(
                 &mut env,
                 &mut defender,
                 100,
                 &mut rng,
-                &mut sink,
             ))
         });
     });

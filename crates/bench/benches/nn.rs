@@ -2,7 +2,8 @@
 //! shape, and the RNN predictor the adaptive jammer trains online.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ctjam_nn::mlp::MlpBuilder;
+use ctjam_nn::batch::Batch;
+use ctjam_nn::mlp::{BatchScratch, MlpBuilder};
 use ctjam_nn::optimizer::Adam;
 use ctjam_nn::rnn::Rnn;
 use rand::rngs::StdRng;
@@ -25,6 +26,23 @@ fn bench_nn(c: &mut Criterion) {
     let batch: Vec<(&[f64], &[f64])> = vec![(&x, &target); 32];
     c.bench_function("mlp_gradient_batch32_paper_shape", |b| {
         b.iter(|| std::hint::black_box(net.loss_and_gradient(&batch)));
+    });
+
+    // The same minibatch through the packed, scratch-reusing kernels —
+    // bit-identical output (see the property tests), far fewer allocations
+    // and cache misses.
+    let xs = Batch::from_rows(&vec![&x[..]; 32]);
+    let ys = Batch::from_rows(&vec![&target[..]; 32]);
+    let mut scratch = BatchScratch::for_network(&net);
+    c.bench_function("mlp_gradient_batch32_batched", |b| {
+        b.iter(|| {
+            let (loss, _) = net.loss_and_gradient_batch(&xs, &ys, &mut scratch);
+            std::hint::black_box(loss)
+        });
+    });
+
+    c.bench_function("mlp_forward_batch32_batched", |b| {
+        b.iter(|| std::hint::black_box(net.forward_batch(&xs, &mut scratch).rows()));
     });
 
     let mut rnn = Rnn::new(4, 16, 4, &mut rng);

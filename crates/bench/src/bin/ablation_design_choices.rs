@@ -20,7 +20,7 @@ use ctjam_bench::{
 use ctjam_core::defender::{DqnDefender, NoDefense, PassiveFh};
 use ctjam_core::env::EnvParams;
 use ctjam_core::jammer::JammerMode;
-use ctjam_core::runner::{evaluate, run, train};
+use ctjam_core::runner::RunBuilder;
 use ctjam_dqn::config::DqnConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,9 +34,10 @@ fn dqn_st(
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut defender = DqnDefender::new(params, config, &mut rng);
-    train(params, &mut defender, train_slots, &mut rng);
+    RunBuilder::new(params).train(&mut defender, train_slots, &mut rng);
     defender.set_training(false);
-    evaluate(params, &mut defender, eval_slots, &mut rng)
+    RunBuilder::new(params)
+        .evaluate(&mut defender, eval_slots, &mut rng)
         .metrics
         .success_rate()
 }
@@ -89,7 +90,8 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut pc_only_defender =
             NoDefense::with_power(&params, params.num_powers() - 1, &mut rng);
-        let pc_only = run(&params, &mut pc_only_defender, eval_slots, &mut rng)
+        let pc_only = RunBuilder::new(&params)
+            .run(&mut pc_only_defender, eval_slots, &mut rng)
             .metrics
             .success_rate();
 
@@ -125,7 +127,8 @@ fn main() {
     for detection in [1usize, 2, 3, 4] {
         let mut rng = StdRng::seed_from_u64(20 + detection as u64);
         let mut psv = PassiveFh::with_detection_slots(&params, detection, &mut rng);
-        let st = run(&params, &mut psv, eval_slots, &mut rng)
+        let st = RunBuilder::new(&params)
+            .run(&mut psv, eval_slots, &mut rng)
             .metrics
             .success_rate();
         table_row(&[format!("{detection}"), pct(st)]);

@@ -21,7 +21,7 @@ use ctjam_bench::{
 use ctjam_core::adaptive::{AdaptiveEnv, PredictorKind};
 use ctjam_core::defender::{Defender, DqnDefender, PassiveFh, RandomFh};
 use ctjam_core::env::EnvParams;
-use ctjam_core::runner::{run_in, train};
+use ctjam_core::runner::RunBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,7 +43,7 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(77);
     let mut dqn = DqnDefender::paper_default(&params, &mut rng);
-    train(&params, &mut dqn, train_slots, &mut rng);
+    RunBuilder::new(&params).train(&mut dqn, train_slots, &mut rng);
     dqn.set_training(false);
 
     println!();
@@ -64,7 +64,8 @@ fn main() {
         for (name, mut defender) in defenses {
             let mut r = StdRng::seed_from_u64(1000 + kind as u64);
             let mut env = AdaptiveEnv::new(params.clone(), kind, &mut r);
-            let report = run_in(&mut env, defender.as_mut(), eval_slots, &mut r);
+            let report =
+                RunBuilder::new(&params).run_in(&mut env, defender.as_mut(), eval_slots, &mut r);
             table_row(&[
                 name.to_string(),
                 format!("{kind:?}"),
@@ -78,10 +79,12 @@ fn main() {
     let mut r = StdRng::seed_from_u64(2000);
     let mut softmax_dqn = dqn.clone();
     softmax_dqn.set_temperature(Some(8.0));
-    let sweep_greedy = ctjam_core::runner::evaluate(&params, &mut dqn.clone(), eval_slots, &mut r)
+    let sweep_greedy = RunBuilder::new(&params)
+        .evaluate(&mut dqn.clone(), eval_slots, &mut r)
         .metrics
         .success_rate();
-    let sweep_softmax = ctjam_core::runner::evaluate(&params, &mut softmax_dqn, eval_slots, &mut r)
+    let sweep_softmax = RunBuilder::new(&params)
+        .evaluate(&mut softmax_dqn, eval_slots, &mut r)
         .metrics
         .success_rate();
     println!();

@@ -18,7 +18,7 @@ use ctjam_bench::{
 use ctjam_core::env::EnvParams;
 use ctjam_core::jammer::JammerMode;
 use ctjam_core::runner::capture_sweep;
-use ctjam_core::runner::{sweep_kernel, SweepBudget};
+use ctjam_core::runner::{RunBuilder, SweepBudget};
 
 fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBudget) {
     println!("\n### Sweep: {name} (Fig. 6/7/8 columns)\n");
@@ -54,7 +54,11 @@ fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBud
             Ok(path) => println!("(replay trace {})", path.display()),
             Err(err) => println!("(replay trace not written: {err})"),
         }
-        let metrics = sweep_kernel(&mode_points, budget, 0xC7A1, |_, _| {});
+        let metrics = RunBuilder::new(&mode_points[0])
+            .kernel(true)
+            .budget(budget)
+            .seed(0xC7A1)
+            .sweep(&mode_points, |_, _| {});
         println!("jammer mode: {mode:?}");
         table_header(&[name, "ST", "AH", "AP", "SH", "SP"]);
         let mut csv_rows = Vec::new();

@@ -11,7 +11,7 @@ use ctjam_bench::{
 };
 use ctjam_core::defender::{DqnDefender, NoDefense};
 use ctjam_core::field::{FieldConfig, FieldExperiment};
-use ctjam_core::runner::train;
+use ctjam_core::runner::RunBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,7 +33,7 @@ fn main() {
         &format!("slots={slots}, train_slots={train_slots}, {base:?}"),
     );
     let mut defender = DqnDefender::paper_default(&base.env, &mut rng);
-    train(&base.env, &mut defender, train_slots, &mut rng);
+    RunBuilder::new(&base.env).train(&mut defender, train_slots, &mut rng);
     defender.set_training(false);
 
     table_header(&[

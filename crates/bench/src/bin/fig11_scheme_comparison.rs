@@ -14,7 +14,7 @@ use ctjam_bench::{
 };
 use ctjam_core::defender::{Defender, DqnDefender, NoDefense, PassiveFh, RandomFh};
 use ctjam_core::field::{FieldConfig, FieldExperiment};
-use ctjam_core::runner::train;
+use ctjam_core::runner::RunBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,7 +62,7 @@ fn main() {
     // Offline training of the RL defense (the paper trains offline and
     // loads the network onto the hub).
     let mut rl = DqnDefender::paper_default(&base.env, &mut rng);
-    train(&base.env, &mut rl, train_slots, &mut rng);
+    RunBuilder::new(&base.env).train(&mut rl, train_slots, &mut rng);
     rl.set_training(false);
 
     println!("\n### Fig. 11(a): scheme comparison (Tx slot = Jx slot = 3 s)\n");

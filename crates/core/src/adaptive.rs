@@ -367,7 +367,7 @@ impl Environment for AdaptiveEnv {
 mod tests {
     use super::*;
     use crate::defender::{Defender, RandomFh};
-    use crate::runner::run_in;
+    use crate::runner::RunBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -457,7 +457,7 @@ mod tests {
             let mut r = rng(4);
             let mut env = AdaptiveEnv::new(params.clone(), kind, &mut r);
             let mut defender = UniformHopper { num_channels: 16 };
-            let _ = run_in(&mut env, &mut defender, 1_500, &mut r);
+            let _ = RunBuilder::new(&params).run_in(&mut env, &mut defender, 1_500, &mut r);
             let hit = env.jammer().hit_rate();
             assert!(
                 (hit - 0.25).abs() < 0.08,
@@ -476,7 +476,7 @@ mod tests {
         let mut r = rng(4);
         let mut env = AdaptiveEnv::new(params.clone(), PredictorKind::Markov, &mut r);
         let mut defender = RandomFh::new(&params, &mut r);
-        let _ = run_in(&mut env, &mut defender, 1_500, &mut r);
+        let _ = RunBuilder::new(&params).run_in(&mut env, &mut defender, 1_500, &mut r);
         let hit = env.jammer().hit_rate();
         assert!(
             hit > 0.4,
@@ -495,7 +495,7 @@ mod tests {
         let mut plaintext =
             AdaptiveEnv::with_eavesdropping(params.clone(), PredictorKind::Markov, false, &mut r);
         let mut victim = UniformHopper { num_channels: 16 };
-        let report = run_in(&mut plaintext, &mut victim, 800, &mut r);
+        let report = RunBuilder::new(&params).run_in(&mut plaintext, &mut victim, 800, &mut r);
         assert!(
             report.metrics.success_rate() < 0.05,
             "plaintext announcements should be fatal: ST {}",
@@ -507,7 +507,7 @@ mod tests {
         let mut encrypted =
             AdaptiveEnv::with_eavesdropping(params.clone(), PredictorKind::Markov, true, &mut r);
         let mut victim = UniformHopper { num_channels: 16 };
-        let report = run_in(&mut encrypted, &mut victim, 800, &mut r);
+        let report = RunBuilder::new(&params).run_in(&mut encrypted, &mut victim, 800, &mut r);
         assert!(
             report.metrics.success_rate() > 0.6,
             "encryption should restore ~chance-level jamming: ST {}",

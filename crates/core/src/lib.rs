@@ -4,7 +4,7 @@
 //! * [`jammer`] — the cross-technology sweep jammer: scans `m` consecutive
 //!   ZigBee channels per slot in a random-permutation cycle, locks onto a
 //!   found victim, and picks its power per mode (max / random).
-//! * [`env`](crate::env) — the slot-level Tx↔Jx competition environment: the defender
+//! * [`env`](mod@env) — the slot-level Tx↔Jx competition environment: the defender
 //!   picks `(channel, power)` each slot, the environment resolves clean /
 //!   jammed-but-survived (`TJ`) / jammed (`J`) and pays the Eq. (5) loss.
 //! * [`kernel`] — the paper's Matlab-simulation world: an environment
@@ -19,7 +19,8 @@
 //!   and success rates of frequency hopping (AH, SH) and power control
 //!   (AP, SP).
 //! * [`runner`] — training and evaluation loops (the 20 000-slot runs of
-//!   §IV.A) and parameter-sweep helpers.
+//!   §IV.A) and parameter-sweep helpers, behind the fluent
+//!   [`runner::RunBuilder`] entry point.
 //! * [`field`] — the field-experiment simulator: the slot competition
 //!   driving the star network with the paper's timing model
 //!   (Figs. 9–11).
@@ -31,15 +32,15 @@
 //! ```
 //! use ctjam_core::defender::DqnDefender;
 //! use ctjam_core::env::{CompetitionEnv, EnvParams};
-//! use ctjam_core::runner::{evaluate, train};
+//! use ctjam_core::runner::RunBuilder;
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let params = EnvParams::default();
 //! let mut defender = DqnDefender::small_for_tests(&params, &mut rng);
-//! train(&params, &mut defender, 3_000, &mut rng);
-//! let report = evaluate(&params, &mut defender, 2_000, &mut rng);
+//! RunBuilder::new(&params).train(&mut defender, 3_000, &mut rng);
+//! let report = RunBuilder::new(&params).evaluate(&mut defender, 2_000, &mut rng);
 //! assert!(report.metrics.success_rate() > 0.4);
 //! ```
 

@@ -1,12 +1,22 @@
 //! Training and evaluation loops (§IV.A: "the experiment lasts for 20000
 //! time slots to get the average value"), plus parameter-sweep helpers.
+//!
+//! The one entry point is [`RunBuilder`]: a fluent description of *how*
+//! to run (telemetry sink, thread count, environment flavour, sweep
+//! budget and seed) terminated by *what* to run ([`RunBuilder::run`],
+//! [`RunBuilder::train`], [`RunBuilder::sweep`], …). The pre-builder
+//! free functions (`run`, `train_with`, `sweep_kernel_with_threads`, …)
+//! remain as deprecated shims over the same engine; see `CHANGELOG.md`
+//! for the removal schedule.
 
 use crate::defender::{Defender, DqnDefender};
 use crate::env::{CompetitionEnv, EnvParams, Environment};
 use crate::kernel::KernelEnv;
 use crate::metrics::Metrics;
 use ctjam_telemetry::{EpisodeRecord, EventSink, NullSink, ReplayTrace, TrainEvent};
+use rand::rngs::StdRng;
 use rand::Rng;
+use rand::SeedableRng;
 
 /// Result of running a defender for a number of slots.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,24 +38,244 @@ impl EpisodeReport {
     }
 }
 
+/// A fluent description of a run: configure *how* (sink, threads,
+/// environment flavour, sweep budget/seed), then call a terminal method
+/// saying *what* ([`RunBuilder::run`], [`RunBuilder::run_in`],
+/// [`RunBuilder::train`], [`RunBuilder::evaluate`],
+/// [`RunBuilder::sweep`]).
+///
+/// Every terminal takes the RNG explicitly — the repo-wide determinism
+/// contract (`tests/determinism.rs`) requires the caller to own the
+/// seeded stream. A builder-driven run draws from the RNG in exactly the
+/// same order as the deprecated free functions it replaces, so seeded
+/// results are unchanged.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_core::env::EnvParams;
+/// use ctjam_core::defender::RandomFh;
+/// use ctjam_core::runner::RunBuilder;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let params = EnvParams::default();
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let mut defender = RandomFh::new(&params, &mut rng);
+/// let report = RunBuilder::new(&params).run(&mut defender, 1_000, &mut rng);
+/// assert_eq!(report.metrics.slots(), 1_000);
+/// ```
+#[derive(Debug)]
+pub struct RunBuilder<'a, S: EventSink = NullSink> {
+    params: &'a EnvParams,
+    sink: Option<&'a mut S>,
+    threads: Option<usize>,
+    kernel: bool,
+    budget: SweepBudget,
+    base_seed: u64,
+}
+
+impl<'a> RunBuilder<'a, NullSink> {
+    /// Starts a builder over `params` with no telemetry, the concrete
+    /// environment, default sweep budget/seed, and automatic sweep
+    /// threading.
+    pub fn new(params: &'a EnvParams) -> Self {
+        RunBuilder {
+            params,
+            sink: None,
+            threads: None,
+            kernel: false,
+            budget: SweepBudget::default(),
+            base_seed: 0,
+        }
+    }
+}
+
+impl<'a, S: EventSink> RunBuilder<'a, S> {
+    /// Attaches a telemetry sink: the run emits one
+    /// [`ctjam_telemetry::SlotEvent`] per slot and, for learning
+    /// defenders, one [`TrainEvent`] per slot in which a gradient step
+    /// ran. Sweeps run their points in parallel and ignore the sink.
+    pub fn sink<S2: EventSink>(self, sink: &'a mut S2) -> RunBuilder<'a, S2> {
+        RunBuilder {
+            params: self.params,
+            sink: Some(sink),
+            threads: self.threads,
+            kernel: self.kernel,
+            budget: self.budget,
+            base_seed: self.base_seed,
+        }
+    }
+
+    /// Sets the worker-thread count for [`RunBuilder::sweep`] (default:
+    /// available parallelism, capped at the point count). Results never
+    /// depend on this — `tests/determinism.rs` asserts 1-thread and
+    /// N-thread sweeps agree bit-exactly.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Selects the environment flavour: `true` for the MDP-kernel
+    /// environment (the paper's Matlab simulation setting, Figs. 6–8),
+    /// `false` (default) for the concrete slot-level simulator.
+    #[must_use]
+    pub fn kernel(mut self, kernel: bool) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the per-point train/evaluate budget for
+    /// [`RunBuilder::sweep`].
+    #[must_use]
+    pub fn budget(mut self, budget: SweepBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the base seed from which [`RunBuilder::sweep`] derives every
+    /// point's own RNG via [`point_seed`] (default 0).
+    #[must_use]
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Drives `defender` against an existing environment for `slots`
+    /// slots.
+    pub fn run_in<E, D, R>(
+        self,
+        env: &mut E,
+        defender: &mut D,
+        slots: usize,
+        rng: &mut R,
+    ) -> EpisodeReport
+    where
+        E: Environment + ?Sized,
+        D: Defender + ?Sized,
+        R: Rng,
+    {
+        match self.sink {
+            Some(sink) => run_loop(env, defender, slots, rng, sink),
+            None => run_loop(env, defender, slots, rng, &mut NullSink),
+        }
+    }
+
+    /// Runs `defender` against a fresh environment (concrete by default,
+    /// MDP-kernel after [`RunBuilder::kernel`]).
+    pub fn run<D, R>(self, defender: &mut D, slots: usize, rng: &mut R) -> EpisodeReport
+    where
+        D: Defender + ?Sized,
+        R: Rng,
+    {
+        if self.kernel {
+            let mut env = KernelEnv::new(self.params.clone(), rng);
+            self.run_in(&mut env, defender, slots, rng)
+        } else {
+            let mut env = CompetitionEnv::new(self.params.clone(), rng);
+            self.run_in(&mut env, defender, slots, rng)
+        }
+    }
+
+    /// Trains a DQN defender for `slots` slots (learning enabled) against
+    /// a fresh environment.
+    pub fn train<R: Rng>(
+        self,
+        defender: &mut DqnDefender,
+        slots: usize,
+        rng: &mut R,
+    ) -> EpisodeReport {
+        defender.set_training(true);
+        self.run(defender, slots, rng)
+    }
+
+    /// Evaluates any defender for `slots` slots against a fresh
+    /// environment. (For a DQN defender, freeze learning and exploration
+    /// first with `set_training(false)`.)
+    pub fn evaluate<D, R>(self, defender: &mut D, slots: usize, rng: &mut R) -> EpisodeReport
+    where
+        D: Defender + ?Sized,
+        R: Rng,
+    {
+        self.run(defender, slots, rng)
+    }
+
+    /// Runs one sweep point (train + evaluate a fresh paper-default DQN)
+    /// for each parameterization in `points`, in parallel across the
+    /// configured thread count, on the configured environment flavour.
+    ///
+    /// Each point is seeded deterministically from the configured base
+    /// seed and the point index ([`point_seed`]), so results are
+    /// reproducible regardless of scheduling. The builder's own `params`
+    /// are not consulted — every point carries its own. `f` is invoked
+    /// with each finished point's index and report (from a worker
+    /// thread).
+    pub fn sweep<F>(self, points: &[EnvParams], f: F) -> Vec<Metrics>
+    where
+        F: Fn(usize, &EpisodeReport) + Sync,
+    {
+        let threads = self
+            .threads
+            .unwrap_or_else(|| default_sweep_threads(points.len()));
+        let kernel = self.kernel;
+        let budget = self.budget;
+        let base_seed = self.base_seed;
+        parallel_map(points, threads, &|index: usize, params: &EnvParams| {
+            let mut rng = StdRng::seed_from_u64(point_seed(base_seed, index));
+            let (_, report) = if kernel {
+                train_and_evaluate_kernel(params, budget.train_slots, budget.eval_slots, &mut rng)
+            } else {
+                train_and_evaluate(params, budget.train_slots, budget.eval_slots, &mut rng)
+            };
+            f(index, &report);
+            report.metrics
+        })
+    }
+}
+
 /// Drives `defender` against an existing environment for `slots` slots.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).run_in(env, defender, slots, rng)"
+)]
 pub fn run_in<E: Environment + ?Sized, D: Defender + ?Sized, R: Rng>(
     env: &mut E,
     defender: &mut D,
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
-    run_in_with(env, defender, slots, rng, &mut NullSink)
+    run_loop(env, defender, slots, rng, &mut NullSink)
 }
 
-/// [`run_in`] with a telemetry sink attached: emits one
+/// [`run_in`] with a telemetry sink attached.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).sink(sink).run_in(env, defender, slots, rng)"
+)]
+pub fn run_in_with<E, D, R, S>(
+    env: &mut E,
+    defender: &mut D,
+    slots: usize,
+    rng: &mut R,
+    sink: &mut S,
+) -> EpisodeReport
+where
+    E: Environment + ?Sized,
+    D: Defender + ?Sized,
+    R: Rng,
+    S: EventSink,
+{
+    run_loop(env, defender, slots, rng, sink)
+}
+
+/// The slot loop every runner entry point funnels into: emits one
 /// [`ctjam_telemetry::SlotEvent`] per slot and, for learning defenders,
 /// one [`TrainEvent`] per slot in which a gradient step ran.
 ///
 /// Monomorphised over [`NullSink`] this is exactly the uninstrumented
-/// loop (every sink hook is an empty default body), which is why
-/// [`run_in`] delegates here unconditionally.
-pub fn run_in_with<E, D, R, S>(
+/// loop (every sink hook is an empty default body).
+fn run_loop<E, D, R, S>(
     env: &mut E,
     defender: &mut D,
     slots: usize,
@@ -93,16 +323,24 @@ where
 }
 
 /// Runs `defender` against a fresh concrete [`CompetitionEnv`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).run(defender, slots, rng)"
+)]
 pub fn run<D: Defender + ?Sized, R: Rng>(
     params: &EnvParams,
     defender: &mut D,
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
-    run_with(params, defender, slots, rng, &mut NullSink)
+    RunBuilder::new(params).run(defender, slots, rng)
 }
 
 /// [`run`] with a telemetry sink attached.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).sink(sink).run(defender, slots, rng)"
+)]
 pub fn run_with<D: Defender + ?Sized, R: Rng, S: EventSink>(
     params: &EnvParams,
     defender: &mut D,
@@ -110,22 +348,29 @@ pub fn run_with<D: Defender + ?Sized, R: Rng, S: EventSink>(
     rng: &mut R,
     sink: &mut S,
 ) -> EpisodeReport {
-    let mut env = CompetitionEnv::new(params.clone(), rng);
-    run_in_with(&mut env, defender, slots, rng, sink)
+    RunBuilder::new(params).sink(sink).run(defender, slots, rng)
 }
 
 /// Trains a DQN defender for `slots` slots (learning enabled).
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).train(defender, slots, rng)"
+)]
 pub fn train<R: Rng>(
     params: &EnvParams,
     defender: &mut DqnDefender,
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
-    train_with(params, defender, slots, rng, &mut NullSink)
+    RunBuilder::new(params).train(defender, slots, rng)
 }
 
 /// [`train`] with a telemetry sink attached (loss curve, ε decay and
 /// replay occupancy arrive as [`TrainEvent`]s).
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).sink(sink).train(defender, slots, rng)"
+)]
 pub fn train_with<R: Rng, S: EventSink>(
     params: &EnvParams,
     defender: &mut DqnDefender,
@@ -133,8 +378,9 @@ pub fn train_with<R: Rng, S: EventSink>(
     rng: &mut R,
     sink: &mut S,
 ) -> EpisodeReport {
-    defender.set_training(true);
-    run_with(params, defender, slots, rng, sink)
+    RunBuilder::new(params)
+        .sink(sink)
+        .train(defender, slots, rng)
 }
 
 /// Outcome of [`train_until`]: how training progressed and why it ended.
@@ -178,7 +424,7 @@ pub fn train_until<R: Rng>(
     };
     while curve.slots_used < max_slots {
         let this_window = window.min(max_slots - curve.slots_used);
-        let report = run_in(&mut env, defender, this_window, rng);
+        let report = run_loop(&mut env, defender, this_window, rng, &mut NullSink);
         curve.slots_used += this_window;
         let mean = report.mean_reward();
         curve.window_rewards.push(mean);
@@ -198,7 +444,7 @@ pub fn evaluate<D: Defender + ?Sized, R: Rng>(
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
-    run(params, defender, slots, rng)
+    RunBuilder::new(params).evaluate(defender, slots, rng)
 }
 
 /// Trains a fresh paper-default DQN on the concrete environment and
@@ -212,9 +458,9 @@ pub fn train_and_evaluate<R: Rng>(
     rng: &mut R,
 ) -> (DqnDefender, EpisodeReport) {
     let mut defender = DqnDefender::paper_default(params, rng);
-    train(params, &mut defender, train_slots, rng);
+    RunBuilder::new(params).train(&mut defender, train_slots, rng);
     defender.set_training(false);
-    let report = evaluate(params, &mut defender, eval_slots, rng);
+    let report = RunBuilder::new(params).evaluate(&mut defender, eval_slots, rng);
     (defender, report)
 }
 
@@ -230,12 +476,13 @@ pub fn train_and_evaluate_kernel<R: Rng>(
     rng: &mut R,
 ) -> (DqnDefender, EpisodeReport) {
     let mut defender = DqnDefender::paper_default(params, rng);
-    let mut env = KernelEnv::new(params.clone(), rng);
-    defender.set_training(true);
-    run_in(&mut env, &mut defender, train_slots, rng);
+    RunBuilder::new(params)
+        .kernel(true)
+        .train(&mut defender, train_slots, rng);
     defender.set_training(false);
-    let mut eval_env = KernelEnv::new(params.clone(), rng);
-    let report = run_in(&mut eval_env, &mut defender, eval_slots, rng);
+    let report = RunBuilder::new(params)
+        .kernel(true)
+        .evaluate(&mut defender, eval_slots, rng);
     (defender, report)
 }
 
@@ -290,29 +537,41 @@ fn default_sweep_threads(points: usize) -> usize {
         .min(points.max(1))
 }
 
+/// Shim helper: a builder anchored on the first point (the builder's own
+/// params are never consulted by [`RunBuilder::sweep`]). `None` when the
+/// sweep is empty — in which case the result is empty too.
+fn sweep_builder(points: &[EnvParams]) -> Option<RunBuilder<'_, NullSink>> {
+    points.first().map(RunBuilder::new)
+}
+
 /// Runs one sweep point (train + evaluate a fresh DQN) for each
 /// parameterization, in parallel across available threads.
 ///
 /// Points are seeded deterministically from `base_seed` and the point
 /// index ([`point_seed`]), so results are reproducible regardless of
 /// scheduling.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).budget(budget).seed(base_seed).sweep(points, f)"
+)]
 pub fn sweep<F>(points: &[EnvParams], budget: SweepBudget, base_seed: u64, f: F) -> Vec<Metrics>
 where
     F: Fn(usize, &EpisodeReport) + Sync,
 {
-    sweep_with_threads(
-        points,
-        budget,
-        base_seed,
-        default_sweep_threads(points.len()),
-        f,
-    )
+    match sweep_builder(points) {
+        Some(b) => b.budget(budget).seed(base_seed).sweep(points, f),
+        None => Vec::new(),
+    }
 }
 
 /// [`sweep`] with an explicit worker-thread count. Results must not
 /// depend on `threads` — the cross-thread determinism integration test
 /// (`tests/determinism.rs`) asserts 1-thread and N-thread sweeps agree
 /// bit-exactly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).budget(budget).seed(base_seed).threads(threads).sweep(points, f)"
+)]
 pub fn sweep_with_threads<F>(
     points: &[EnvParams],
     budget: SweepBudget,
@@ -323,20 +582,22 @@ pub fn sweep_with_threads<F>(
 where
     F: Fn(usize, &EpisodeReport) + Sync,
 {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    parallel_map(points, threads, &|index: usize, params: &EnvParams| {
-        let mut rng = StdRng::seed_from_u64(point_seed(base_seed, index));
-        let (_, report) =
-            train_and_evaluate(params, budget.train_slots, budget.eval_slots, &mut rng);
-        f(index, &report);
-        report.metrics
-    })
+    match sweep_builder(points) {
+        Some(b) => b
+            .budget(budget)
+            .seed(base_seed)
+            .threads(threads)
+            .sweep(points, f),
+        None => Vec::new(),
+    }
 }
 
 /// Like [`sweep`] but each point trains and evaluates on the MDP-kernel
 /// environment — the paper's simulation setting for Figs. 6–8.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).kernel(true).budget(budget).seed(base_seed).sweep(points, f)"
+)]
 pub fn sweep_kernel<F>(
     points: &[EnvParams],
     budget: SweepBudget,
@@ -346,16 +607,21 @@ pub fn sweep_kernel<F>(
 where
     F: Fn(usize, &EpisodeReport) + Sync,
 {
-    sweep_kernel_with_threads(
-        points,
-        budget,
-        base_seed,
-        default_sweep_threads(points.len()),
-        f,
-    )
+    match sweep_builder(points) {
+        Some(b) => b
+            .kernel(true)
+            .budget(budget)
+            .seed(base_seed)
+            .sweep(points, f),
+        None => Vec::new(),
+    }
 }
 
 /// [`sweep_kernel`] with an explicit worker-thread count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RunBuilder::new(params).kernel(true).budget(budget).seed(base_seed).threads(threads).sweep(points, f)"
+)]
 pub fn sweep_kernel_with_threads<F>(
     points: &[EnvParams],
     budget: SweepBudget,
@@ -366,16 +632,15 @@ pub fn sweep_kernel_with_threads<F>(
 where
     F: Fn(usize, &EpisodeReport) + Sync,
 {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    parallel_map(points, threads, &|index: usize, params: &EnvParams| {
-        let mut rng = StdRng::seed_from_u64(point_seed(base_seed, index));
-        let (_, report) =
-            train_and_evaluate_kernel(params, budget.train_slots, budget.eval_slots, &mut rng);
-        f(index, &report);
-        report.metrics
-    })
+    match sweep_builder(points) {
+        Some(b) => b
+            .kernel(true)
+            .budget(budget)
+            .seed(base_seed)
+            .threads(threads)
+            .sweep(points, f),
+        None => Vec::new(),
+    }
 }
 
 /// Builds the replay trace of a sweep without running it: one
@@ -479,7 +744,7 @@ mod tests {
         let params = EnvParams::default();
         let mut r = rng(0);
         let mut defender = PassiveFh::new(&params, &mut r);
-        let report = run(&params, &mut defender, 500, &mut r);
+        let report = RunBuilder::new(&params).run(&mut defender, 500, &mut r);
         assert_eq!(report.metrics.slots(), 500);
         assert!(report.total_reward < 0.0, "losses are negative");
         assert!(report.mean_reward() < 0.0);
@@ -493,11 +758,18 @@ mod tests {
         let mut none = NoDefense::new(&params, &mut r);
         let mut psv = PassiveFh::new(&params, &mut r);
         let mut rnd = RandomFh::new(&params, &mut r);
-        let st_none = run(&params, &mut none, 6_000, &mut r)
+        let st_none = RunBuilder::new(&params)
+            .run(&mut none, 6_000, &mut r)
             .metrics
             .success_rate();
-        let st_psv = run(&params, &mut psv, 6_000, &mut r).metrics.success_rate();
-        let st_rnd = run(&params, &mut rnd, 6_000, &mut r).metrics.success_rate();
+        let st_psv = RunBuilder::new(&params)
+            .run(&mut psv, 6_000, &mut r)
+            .metrics
+            .success_rate();
+        let st_rnd = RunBuilder::new(&params)
+            .run(&mut rnd, 6_000, &mut r)
+            .metrics
+            .success_rate();
         assert!(st_psv > st_none, "passive {st_psv} vs none {st_none}");
         assert!(st_rnd > st_psv, "random {st_rnd} vs passive {st_psv}");
     }
@@ -509,8 +781,14 @@ mod tests {
             train_slots: 200,
             eval_slots: 200,
         };
-        let a = sweep(&params, budget, 7, |_, _| {});
-        let b = sweep(&params, budget, 7, |_, _| {});
+        let a = RunBuilder::new(&params[0])
+            .budget(budget)
+            .seed(7)
+            .sweep(&params, |_, _| {});
+        let b = RunBuilder::new(&params[0])
+            .budget(budget)
+            .seed(7)
+            .sweep(&params, |_, _| {});
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.success_rate(), y.success_rate());
         }

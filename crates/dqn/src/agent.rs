@@ -3,8 +3,10 @@
 
 use crate::config::DqnConfig;
 use crate::replay::{Experience, ReplayBuffer};
-use ctjam_nn::mlp::{Mlp, MlpBuilder};
+use ctjam_nn::batch::Batch;
+use ctjam_nn::mlp::{BatchScratch, Mlp, MlpBuilder};
 use ctjam_nn::optimizer::Adam;
+use ctjam_nn::optimizer::Optimizer;
 use rand::Rng;
 
 /// A deep Q-network agent over `C × PL` (channel, power) actions.
@@ -22,9 +24,47 @@ pub struct DqnAgent {
     target: Mlp,
     optimizer: Adam,
     replay: ReplayBuffer,
+    scratch: TrainScratch,
     steps: usize,
     train_steps: usize,
     last_loss: Option<f64>,
+}
+
+/// Reusable minibatch buffers for [`DqnAgent::train_step`]: the packed
+/// sample, the two network scratch spaces, and the Q-target batch. Kept
+/// inside the agent so steady-state training performs no per-step
+/// allocation.
+#[derive(Debug, Clone)]
+struct TrainScratch {
+    states: Batch,
+    actions: Vec<usize>,
+    rewards: Vec<f64>,
+    next_states: Batch,
+    /// Traced forward/backward workspace of the online network.
+    online: BatchScratch,
+    /// Forward-only workspace for the target (and, under double DQN, the
+    /// online-next) pass.
+    aux: BatchScratch,
+    targets: Batch,
+    /// Double DQN: per-sample action selected by the online network.
+    selected: Vec<usize>,
+    params: Vec<f64>,
+}
+
+impl TrainScratch {
+    fn for_networks(online: &Mlp) -> Self {
+        TrainScratch {
+            states: Batch::with_cols(online.input_size()),
+            actions: Vec::new(),
+            rewards: Vec::new(),
+            next_states: Batch::with_cols(online.input_size()),
+            online: BatchScratch::for_network(online),
+            aux: BatchScratch::for_network(online),
+            targets: Batch::with_cols(online.output_size()),
+            selected: Vec::new(),
+            params: Vec::new(),
+        }
+    }
 }
 
 impl DqnAgent {
@@ -44,6 +84,7 @@ impl DqnAgent {
         let target = online.clone();
         let optimizer = Adam::with_learning_rate(config.learning_rate);
         let replay = ReplayBuffer::new(config.replay_capacity);
+        let scratch = TrainScratch::for_networks(&online);
         DqnAgent {
             config,
             online,
@@ -51,6 +92,7 @@ impl DqnAgent {
             optimizer,
             last_loss: None,
             replay,
+            scratch,
             steps: 0,
             train_steps: 0,
         }
@@ -64,6 +106,16 @@ impl DqnAgent {
     /// The online (trained) network.
     pub fn network(&self) -> &Mlp {
         &self.online
+    }
+
+    /// The target network used for bootstrap estimates.
+    pub fn target_network(&self) -> &Mlp {
+        &self.target
+    }
+
+    /// The replay buffer.
+    pub fn replay(&self) -> &ReplayBuffer {
+        &self.replay
     }
 
     /// Loads pre-trained weights into both networks (the paper trains
@@ -207,33 +259,71 @@ impl DqnAgent {
     /// Targets are `r + γ·max_{a′} Q_target(s′, a′)` written into the
     /// online network's own prediction vector so only the taken action's
     /// output receives gradient.
+    ///
+    /// The whole minibatch runs through the batched kernels: exactly one
+    /// online forward over the packed states (its trace reused by
+    /// backpropagation), one target forward over the packed next-states,
+    /// and — under double DQN — one online forward over the next-states
+    /// for action selection. Bit-exact with the per-sample formulation
+    /// (regression-tested below).
     pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
-        let batch = self.replay.sample(self.config.batch_size, rng);
-        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(batch.len());
-        let mut targets: Vec<Vec<f64>> = Vec::with_capacity(batch.len());
-        for e in &batch {
-            let mut target_vec = self.online.forward(&e.state);
-            let next_q = self.target.forward(&e.next_state);
-            let bootstrap = if self.config.double_dqn {
-                // Double DQN: the online network selects, the target
-                // network evaluates.
-                let online_next = self.online.forward(&e.next_state);
-                next_q[argmax(&online_next)]
-            } else {
-                next_q.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            };
-            target_vec[e.action] = e.reward + self.config.gamma * bootstrap;
-            inputs.push(e.state.clone());
-            targets.push(target_vec);
+        let Self {
+            config,
+            online,
+            target,
+            optimizer,
+            replay,
+            scratch,
+            train_steps,
+            last_loss,
+            ..
+        } = self;
+        replay.sample_into(
+            config.batch_size,
+            &mut scratch.states,
+            &mut scratch.actions,
+            &mut scratch.rewards,
+            &mut scratch.next_states,
+            rng,
+        );
+        let rows = scratch.states.rows();
+
+        // Double DQN: the online network selects, the target network
+        // evaluates.
+        scratch.selected.clear();
+        if config.double_dqn {
+            let online_next = online.forward_batch(&scratch.next_states, &mut scratch.aux);
+            for s in 0..rows {
+                scratch.selected.push(argmax(online_next.row(s)));
+            }
         }
-        let pairs: Vec<(&[f64], &[f64])> = inputs
-            .iter()
-            .zip(&targets)
-            .map(|(i, t)| (i.as_slice(), t.as_slice()))
-            .collect();
-        self.train_steps += 1;
-        let loss = self.online.train_batch(&pairs, &mut self.optimizer);
-        self.last_loss = Some(loss);
+
+        // One traced online forward over the batch — the predictions seed
+        // the Q-target vectors AND the backward pass reuses the trace.
+        online.forward_batch(&scratch.states, &mut scratch.online);
+        scratch.targets.copy_from(scratch.online.output());
+
+        let next_q = target.forward_batch(&scratch.next_states, &mut scratch.aux);
+        for s in 0..rows {
+            let bootstrap = if config.double_dqn {
+                next_q.row(s)[scratch.selected[s]]
+            } else {
+                next_q
+                    .row(s)
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            };
+            scratch.targets.row_mut(s)[scratch.actions[s]] =
+                scratch.rewards[s] + config.gamma * bootstrap;
+        }
+
+        *train_steps += 1;
+        let (loss, _) = online.backward_batch(&scratch.targets, &mut scratch.online);
+        online.flatten_params_into(&mut scratch.params);
+        optimizer.step(&mut scratch.params, scratch.online.gradient());
+        online.set_params(&scratch.params);
+        *last_loss = Some(loss);
         loss
     }
 
@@ -243,13 +333,23 @@ impl DqnAgent {
     }
 }
 
+/// Index of the largest value. Total over all `f64` inputs: ties resolve
+/// to the last maximum (matching `Iterator::max_by` on a total order) and
+/// NaN entries behave like `NEG_INFINITY` — never selected unless nothing
+/// else exists, in which case index 0 is returned. A NaN sneaking out of
+/// a diverged network thus yields an arbitrary-but-valid action instead
+/// of a panic mid-deployment.
 fn argmax(values: &[f64]) -> usize {
-    values
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q values"))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    let mut best = 0;
+    let mut best_value = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        // NaN compares false, leaving `best` untouched.
+        if v >= best_value {
+            best = i;
+            best_value = v;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -447,6 +547,124 @@ mod tests {
         let double = target[argmax(&online)];
         let vanilla = target.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(double <= vanilla + 1e-12);
+    }
+
+    #[test]
+    fn argmax_is_total_over_nan_and_ties() {
+        // NaN behaves like NEG_INFINITY — skipped, no panic.
+        assert_eq!(argmax(&[1.0, f64::NAN, 3.0, 2.0]), 2);
+        assert_eq!(argmax(&[f64::NAN, 5.0]), 1);
+        // All-NaN and empty inputs fall back to index 0.
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), 0);
+        assert_eq!(argmax(&[]), 0);
+        // Ties resolve to the LAST maximum, matching the previous
+        // `max_by(partial_cmp)` behaviour.
+        assert_eq!(argmax(&[2.0, 7.0, 7.0, 1.0]), 2);
+        assert_eq!(argmax(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), 1);
+    }
+
+    #[test]
+    fn act_greedy_survives_nan_q_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut agent = DqnAgent::new(small_config(), &mut rng);
+        // Poison every parameter so the forward pass emits NaN logits.
+        let poisoned = vec![f64::NAN; agent.network().param_count()];
+        let mut net = agent.network().clone();
+        net.set_params(&poisoned);
+        agent.load_network(&net);
+        let obs = vec![0.5; agent.config().input_size()];
+        assert!(agent.q_values(&obs).iter().all(|q| q.is_nan()));
+        let action = agent.act_greedy(&obs); // must not panic
+        assert!(action < agent.config().num_actions());
+    }
+
+    /// Reference implementation of the pre-batching `train_step`: one
+    /// per-sample forward per network per transition, per-sample target
+    /// assembly, then `Mlp::train_batch`.
+    fn reference_train_step<R: Rng + ?Sized>(
+        online: &mut Mlp,
+        target: &Mlp,
+        replay: &crate::replay::ReplayBuffer,
+        config: &DqnConfig,
+        opt: &mut Adam,
+        rng: &mut R,
+    ) -> f64 {
+        let batch = replay.sample(config.batch_size, rng);
+        let mut inputs: Vec<Vec<f64>> = Vec::new();
+        let mut targets: Vec<Vec<f64>> = Vec::new();
+        for e in &batch {
+            let mut target_vec = online.forward(&e.state);
+            let next_q = target.forward(&e.next_state);
+            let bootstrap = if config.double_dqn {
+                let online_next = online.forward(&e.next_state);
+                next_q[argmax(&online_next)]
+            } else {
+                next_q.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            };
+            target_vec[e.action] = e.reward + config.gamma * bootstrap;
+            inputs.push(e.state.clone());
+            targets.push(target_vec);
+        }
+        let pairs: Vec<(&[f64], &[f64])> = inputs
+            .iter()
+            .zip(&targets)
+            .map(|(i, t)| (i.as_slice(), t.as_slice()))
+            .collect();
+        online.train_batch(&pairs, opt)
+    }
+
+    fn assert_batched_train_step_matches_reference(double_dqn: bool) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = DqnConfig {
+            double_dqn,
+            warmup: 10_000, // gate automatic training off while filling
+            ..small_config()
+        };
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        for i in 0..200 {
+            let mut state = vec![0.0; config.input_size()];
+            state[i % config.input_size()] = (i as f64).sin();
+            let mut next = vec![0.0; config.input_size()];
+            next[(i + 1) % config.input_size()] = (i as f64).cos();
+            agent.observe(
+                state,
+                i % config.num_actions(),
+                -(i as f64 % 7.0),
+                next,
+                &mut rng,
+            );
+        }
+        // Drive the reference path with a clone of everything, including
+        // the RNG, so both draw the same minibatch.
+        let mut reference = agent.network().clone();
+        let target = agent.target_network().clone();
+        let mut opt = Adam::with_learning_rate(config.learning_rate);
+        let mut ref_rng = rng.clone();
+        let ref_loss = reference_train_step(
+            &mut reference,
+            &target,
+            agent.replay(),
+            &config,
+            &mut opt,
+            &mut ref_rng,
+        );
+        let loss = agent.train_step(&mut rng);
+        assert_eq!(loss, ref_loss, "batched loss deviates from per-sample");
+        assert_eq!(
+            agent.network().flatten_params(),
+            reference.flatten_params(),
+            "batched weight update deviates from per-sample"
+        );
+    }
+
+    #[test]
+    fn batched_train_step_is_bit_exact_with_per_sample() {
+        assert_batched_train_step_matches_reference(false);
+    }
+
+    #[test]
+    fn double_dqn_batched_target_selection_is_unchanged() {
+        assert_batched_train_step_matches_reference(true);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Experience replay buffer.
 
+use ctjam_nn::batch::Batch;
 use rand::Rng;
 
 /// One transition `(s, a, r, s′)` of the continuing anti-jamming task
@@ -92,6 +93,42 @@ impl ReplayBuffer {
             .map(|_| &self.items[rng.gen_range(0..self.items.len())])
             .collect()
     }
+
+    /// Samples `batch` experiences uniformly with replacement directly
+    /// into packed, reusable buffers (the batched training path's
+    /// zero-allocation counterpart of [`ReplayBuffer::sample`]).
+    ///
+    /// Draws exactly the same RNG sequence as `sample`, so a seeded run
+    /// picks identical transitions whichever entry point it uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        batch: usize,
+        states: &mut Batch,
+        actions: &mut Vec<usize>,
+        rewards: &mut Vec<f64>,
+        next_states: &mut Batch,
+        rng: &mut R,
+    ) {
+        assert!(
+            !self.items.is_empty(),
+            "cannot sample an empty replay buffer"
+        );
+        states.reset(self.items[0].state.len());
+        next_states.reset(self.items[0].next_state.len());
+        actions.clear();
+        rewards.clear();
+        for _ in 0..batch {
+            let e = &self.items[rng.gen_range(0..self.items.len())];
+            states.push_row(&e.state);
+            actions.push(e.action);
+            rewards.push(e.reward);
+            next_states.push_row(&e.next_state);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +174,44 @@ mod tests {
             .map(|e| e.reward as i64)
             .collect();
         assert_eq!(seen.len(), 10, "uniform sampling should hit everything");
+    }
+
+    #[test]
+    fn sample_into_draws_the_same_transitions_as_sample() {
+        let mut buf = ReplayBuffer::new(32);
+        for i in 0..20 {
+            buf.push(Experience {
+                state: vec![i as f64, -(i as f64)],
+                action: i % 5,
+                reward: i as f64 * 0.5,
+                next_state: vec![i as f64 + 1.0, 0.0],
+            });
+        }
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = rng_a.clone();
+        let reference = buf.sample(12, &mut rng_a);
+
+        let mut states = Batch::default();
+        let mut next_states = Batch::default();
+        let mut actions = Vec::new();
+        let mut rewards = Vec::new();
+        buf.sample_into(
+            12,
+            &mut states,
+            &mut actions,
+            &mut rewards,
+            &mut next_states,
+            &mut rng_b,
+        );
+        assert_eq!(states.rows(), 12);
+        for (s, e) in reference.iter().enumerate() {
+            assert_eq!(states.row(s), &e.state[..]);
+            assert_eq!(actions[s], e.action);
+            assert_eq!(rewards[s], e.reward);
+            assert_eq!(next_states.row(s), &e.next_state[..]);
+        }
+        // Both RNGs advanced identically.
+        assert_eq!(rng_a.gen_range(0..u32::MAX), rng_b.gen_range(0..u32::MAX));
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! A packed row-major minibatch of `f64` feature vectors.
+//!
+//! [`Batch`] is the unit the batched training path moves around: one
+//! contiguous allocation holding `rows` samples of `cols` features each,
+//! reused across training steps (`clear`/`push_row`/`set_shape` never
+//! shrink the backing buffer). The matrix products it offers are
+//! *bit-exact* with the per-sample [`Matrix`]
+//! operations: every output element accumulates its sum in the same
+//! ascending-index order as `mul_vec`/`mul_vec_transposed`, so a batched
+//! forward pass reproduces `rows` per-sample forward passes to the last
+//! bit (property-tested in `tests/properties.rs`).
+
+use crate::matrix::{gemm_nn_into, gemm_nt_into, Matrix};
+
+/// A dense row-major batch: `rows` samples × `cols` features.
+///
+/// # Example
+///
+/// ```
+/// use ctjam_nn::batch::Batch;
+///
+/// let mut b = Batch::with_cols(3);
+/// b.push_row(&[1.0, 2.0, 3.0]);
+/// b.push_row(&[4.0, 5.0, 6.0]);
+/// assert_eq!(b.rows(), 2);
+/// assert_eq!(b.row(1), &[4.0, 5.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Batch {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Batch {
+    /// An empty batch accepting rows of `cols` features.
+    pub fn with_cols(cols: usize) -> Self {
+        Batch {
+            rows: 0,
+            cols,
+            data: Vec::new(),
+        }
+    }
+
+    /// A zero-filled batch of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Batch {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a batch from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "batch needs at least one row");
+        let mut batch = Batch::with_cols(rows[0].len());
+        for row in rows {
+            batch.push_row(row);
+        }
+        batch
+    }
+
+    /// Number of samples currently held.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Features per sample.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Drops all rows, keeping the allocation and the column width.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        self.data.clear();
+    }
+
+    /// Drops all rows and switches to a new column width, keeping the
+    /// allocation.
+    pub fn reset(&mut self, cols: usize) {
+        self.rows = 0;
+        self.cols = cols;
+        self.data.clear();
+    }
+
+    /// Reshapes to `rows × cols`, zero-filling every entry. Reuses the
+    /// backing buffer when capacity allows.
+    pub fn set_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// One sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of all entries.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of all entries.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Iterates over the sample rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Becomes a copy of `other`, reusing the backing buffer.
+    pub fn copy_from(&mut self, other: &Batch) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// `out = self · Wᵀ (+ bias)` — the dense-layer pre-activation for the
+    /// whole batch at once: `out[s][o] = Σ_k self[s][k]·W[o][k] + bias[o]`.
+    ///
+    /// Bit-exact with `W.mul_vec(row)` followed by a bias add, for every
+    /// row (same ascending-`k` accumulation, bias added after the dot
+    /// product completes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != w.cols()` or the bias length differs
+    /// from `w.rows()`.
+    pub fn matmul_transposed_into(&self, w: &Matrix, bias: Option<&[f64]>, out: &mut Batch) {
+        let mut pack = Vec::new();
+        self.matmul_transposed_scratch_into(w, bias, &mut pack, out);
+    }
+
+    /// [`Batch::matmul_transposed_into`] with a caller-owned pack buffer,
+    /// so hot loops (e.g. one forward pass per layer per training step)
+    /// skip the per-call transpose-scratch allocation. The buffer is
+    /// resized as needed and may be reused across any shapes.
+    pub fn matmul_transposed_scratch_into(
+        &self,
+        w: &Matrix,
+        bias: Option<&[f64]>,
+        pack: &mut Vec<f64>,
+        out: &mut Batch,
+    ) {
+        assert_eq!(self.cols, w.cols(), "dimension mismatch");
+        if let Some(b) = bias {
+            assert_eq!(b.len(), w.rows(), "bias width mismatch");
+        }
+        out.set_shape(self.rows, w.rows());
+        gemm_nt_into(
+            &self.data,
+            self.rows,
+            w.as_slice(),
+            w.rows(),
+            self.cols,
+            bias,
+            pack,
+            &mut out.data,
+        );
+    }
+
+    /// `out = self · W (+ bias)` — the dense-layer pre-activation when
+    /// the caller already holds the layer weights *transposed*
+    /// (`W: in×out` row-major, e.g. a cached `Wᵀ`):
+    /// `out[s][o] = Σ_k self[s][k]·W[k][o] + bias[o]`.
+    ///
+    /// Bit-exact with [`Batch::matmul_transposed_into`] on the
+    /// untransposed weights: same ascending-`k` fold per element, bias
+    /// added after the dot product completes — only the memory layout
+    /// of the weights differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != w.rows()` or the bias length differs
+    /// from `w.cols()`.
+    pub fn matmul_bias_into(&self, w: &Matrix, bias: Option<&[f64]>, out: &mut Batch) {
+        assert_eq!(self.cols, w.rows(), "dimension mismatch");
+        if let Some(b) = bias {
+            assert_eq!(b.len(), w.cols(), "bias width mismatch");
+        }
+        out.set_shape(self.rows, w.cols());
+        gemm_nn_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            w.as_slice(),
+            w.cols(),
+            &mut out.data,
+        );
+        if let Some(bs) = bias {
+            for or in out.data.chunks_exact_mut(w.cols()) {
+                for (o, &bv) in or.iter_mut().zip(bs) {
+                    *o += bv;
+                }
+            }
+        }
+    }
+
+    /// `out = self · W` — backward delta propagation for the whole batch:
+    /// `out[s][c] = Σ_r self[s][r]·W[r][c]`.
+    ///
+    /// Bit-exact with `W.mul_vec_transposed(row)` for every row (same
+    /// ascending-`r` accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != w.rows()`.
+    pub fn matmul_into(&self, w: &Matrix, out: &mut Batch) {
+        assert_eq!(self.cols, w.rows(), "dimension mismatch");
+        out.set_shape(self.rows, w.cols());
+        gemm_nn_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            w.as_slice(),
+            w.cols(),
+            &mut out.data,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index() {
+        let mut b = Batch::with_cols(2);
+        b.push_row(&[1.0, 2.0]);
+        b.push_row(&[3.0, 4.0]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.cols(), 2);
+        assert_eq!(b.row(0), &[1.0, 2.0]);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.cols(), 2);
+    }
+
+    #[test]
+    fn set_shape_zero_fills() {
+        let mut b = Batch::from_rows(&[&[1.0, 1.0]]);
+        b.set_shape(2, 3);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.cols(), 3);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matmul_transposed_matches_mul_vec() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Batch::from_rows(&[&[1.0, 0.0, -1.0], &[0.5, 0.5, 0.5]]);
+        let bias = [10.0, 20.0];
+        let mut out = Batch::default();
+        b.matmul_transposed_into(&w, Some(&bias), &mut out);
+        for (s, row) in b.iter_rows().enumerate() {
+            let mut want = w.mul_vec(row);
+            for (z, bi) in want.iter_mut().zip(&bias) {
+                *z += bi;
+            }
+            assert_eq!(out.row(s), &want[..]);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_mul_vec_transposed() {
+        let w = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0], &[-5.0, 6.0]]);
+        let b = Batch::from_rows(&[&[1.0, -1.0, 2.0], &[0.25, 0.5, -0.75]]);
+        let mut out = Batch::default();
+        b.matmul_into(&w, &mut out);
+        for (s, row) in b.iter_rows().enumerate() {
+            assert_eq!(out.row(s), &w.mul_vec_transposed(row)[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_push_panics() {
+        let mut b = Batch::with_cols(2);
+        b.push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dimension_mismatch_panics() {
+        let w = Matrix::zeros(2, 3);
+        let b = Batch::from_rows(&[&[1.0, 2.0]]);
+        let mut out = Batch::default();
+        b.matmul_transposed_into(&w, None, &mut out);
+    }
+}

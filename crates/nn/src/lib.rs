@@ -6,7 +6,9 @@
 //! implements exactly what the DQN requires, from scratch:
 //!
 //! * [`matrix`] — a row-major `f64` matrix with the handful of ops
-//!   backprop needs.
+//!   backprop needs, including blocked matrix–matrix products.
+//! * [`batch`] — a packed row-major minibatch and the batched
+//!   linear-algebra kernels (bit-exact with the per-sample path).
 //! * [`activation`] — ReLU and identity activations with derivatives.
 //! * [`loss`] — mean-squared error and Huber loss.
 //! * [`optimizer`] — SGD and Adam.
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod batch;
 pub mod loss;
 pub mod matrix;
 pub mod mlp;

@@ -137,6 +137,58 @@ impl Matrix {
         }
     }
 
+    /// Blocked matrix–matrix product `A·B`.
+    ///
+    /// Each output element accumulates over `k` in ascending order — the
+    /// same order as [`Matrix::mul_vec_transposed`] — so batched and
+    /// per-sample paths agree bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        gemm_nn_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Blocked/register-tiled product with a transposed right-hand side,
+    /// `A·Bᵀ` (both operands row-major, both traversed contiguously).
+    ///
+    /// Each output element is a plain ascending-`k` dot product — the
+    /// same accumulation order as [`Matrix::mul_vec`] row by row — so the
+    /// result is bit-identical to the per-row path. The tiling only
+    /// interleaves *independent* dot products for instruction-level
+    /// parallelism; it never reorders a single sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let mut pack = Vec::new();
+        gemm_nt_into(
+            &self.data,
+            self.rows,
+            &rhs.data,
+            rhs.rows,
+            self.cols,
+            None,
+            &mut pack,
+            &mut out.data,
+        );
+        out
+    }
+
     /// Fills the matrix with zeros in place.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
@@ -150,6 +202,233 @@ impl Matrix {
     /// Whether the matrix has no entries.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+}
+
+/// `out[s][o] = Σ_k a[s][k]·b[o][k] (+ bias[o])` for `a: a_rows×k`
+/// (row-major), `b: b_rows×k` (row-major), `out: a_rows×b_rows`.
+///
+/// Every output element accumulates in ascending `k` order starting from
+/// `0.0`, with the bias added only after the dot product completes —
+/// bit-identical to `mul_vec` plus a bias add. Lengths are the caller's
+/// contract (`Matrix`/`Batch` wrappers assert shapes).
+///
+/// `pack` is reusable scratch: `b` is transposed into it (`k`-major) so
+/// the hot loop reads both operands contiguously and auto-vectorizes
+/// across *independent* per-column accumulators. The transpose costs one
+/// extra pass over `b` — amortised over `a_rows` — and cannot change a
+/// single bit of the result, because each output element's sum still
+/// folds left over ascending `k`; only the memory layout moves.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS-style gemm signature
+pub(crate) fn gemm_nt_into(
+    a: &[f64],
+    a_rows: usize,
+    b: &[f64],
+    b_rows: usize,
+    k: usize,
+    bias: Option<&[f64]>,
+    pack: &mut Vec<f64>,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(a.len(), a_rows * k);
+    debug_assert_eq!(b.len(), b_rows * k);
+    debug_assert_eq!(out.len(), a_rows * b_rows);
+    pack.clear();
+    pack.resize(k * b_rows, 0.0);
+    for (o, br) in b.chunks_exact(k).enumerate() {
+        for (kk, &w) in br.iter().enumerate() {
+            pack[kk * b_rows + o] = w;
+        }
+    }
+    gemm_nn_into(a, a_rows, k, pack, b_rows, out);
+    if let Some(bs) = bias {
+        for or in out.chunks_exact_mut(b_rows) {
+            for (o, &bv) in or.iter_mut().zip(bs) {
+                *o += bv;
+            }
+        }
+    }
+}
+
+/// `out[s][c] = Σ_r a[s][r]·b[r][c]` for `a: a_rows×a_cols` and
+/// `b: a_cols×b_cols`, both row-major.
+///
+/// Accumulates over `r` in ascending order into independent per-column
+/// accumulators — bit-identical to `mul_vec_transposed` row by row, and
+/// vectorizable because the inner column loop carries no dependency.
+/// Micro-kernel tile of [`gemm_nn_into`]: an `NN_MR × NN_NR` block of
+/// output elements accumulates entirely in registers across the whole
+/// `r` loop, so `out` is stored once instead of once per `r` step and
+/// every load of `b` feeds `NN_MR` rows. Tiling only regroups
+/// *independent* output elements; each one still folds over `r` in
+/// ascending order from `0.0`, so the result is bit-identical to the
+/// naive loop.
+const NN_MR: usize = 4;
+/// Primary register-tile width (output columns per micro-kernel pass).
+const NN_NR: usize = 16;
+/// Narrow register tile for column remainders of the primary tile.
+const NN_NR2: usize = 8;
+
+pub(crate) fn gemm_nn_into(
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f64],
+    b_cols: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(a.len(), a_rows * a_cols);
+    debug_assert_eq!(b.len(), a_cols * b_cols);
+    debug_assert_eq!(out.len(), a_rows * b_cols);
+    let mut s = 0;
+    while s + NN_MR <= a_rows {
+        let mut c = 0;
+        while c + NN_NR <= b_cols {
+            let mut acc = [[0.0f64; NN_NR]; NN_MR];
+            for r in 0..a_cols {
+                let br = &b[r * b_cols + c..r * b_cols + c + NN_NR];
+                for (m, am) in acc.iter_mut().enumerate() {
+                    let av = a[(s + m) * a_cols + r];
+                    for (o, &w) in am.iter_mut().zip(br) {
+                        *o += w * av;
+                    }
+                }
+            }
+            for (m, am) in acc.iter().enumerate() {
+                out[(s + m) * b_cols + c..(s + m) * b_cols + c + NN_NR].copy_from_slice(am);
+            }
+            c += NN_NR;
+        }
+        while c + NN_NR2 <= b_cols {
+            let mut acc = [[0.0f64; NN_NR2]; NN_MR];
+            for r in 0..a_cols {
+                let br = &b[r * b_cols + c..r * b_cols + c + NN_NR2];
+                for (m, am) in acc.iter_mut().enumerate() {
+                    let av = a[(s + m) * a_cols + r];
+                    for (o, &w) in am.iter_mut().zip(br) {
+                        *o += w * av;
+                    }
+                }
+            }
+            for (m, am) in acc.iter().enumerate() {
+                out[(s + m) * b_cols + c..(s + m) * b_cols + c + NN_NR2].copy_from_slice(am);
+            }
+            c += NN_NR2;
+        }
+        // Remaining columns: one register accumulator per output element,
+        // still folding ascending `r`.
+        while c < b_cols {
+            let mut acc = [0.0f64; NN_MR];
+            for r in 0..a_cols {
+                let w = b[r * b_cols + c];
+                for (m, o) in acc.iter_mut().enumerate() {
+                    *o += w * a[(s + m) * a_cols + r];
+                }
+            }
+            for (m, &o) in acc.iter().enumerate() {
+                out[(s + m) * b_cols + c] = o;
+            }
+            c += 1;
+        }
+        s += NN_MR;
+    }
+    // Remaining rows: the plain single-row kernel.
+    for s in s..a_rows {
+        let or = &mut out[s * b_cols..(s + 1) * b_cols];
+        or.fill(0.0);
+        let ar = &a[s * a_cols..(s + 1) * a_cols];
+        for (r, &av) in ar.iter().enumerate() {
+            let br = &b[r * b_cols..(r + 1) * b_cols];
+            for (o, &w) in or.iter_mut().zip(br) {
+                *o += w * av;
+            }
+        }
+    }
+}
+
+/// `out[j][i] = Σ_s (a[s][j]·scale)·b[s][i]` for `a: rows×m` and
+/// `b: rows×n`, both row-major — the batched weight gradient
+/// `dW = (dz·scale)ᵀ·A` as one pass, with no transpose pack (row `s` of
+/// both operands is already contiguous).
+///
+/// Every output element folds over `s` in ascending order from `0.0`,
+/// adding exactly the `(a·scale)·b` products of the per-sample rank-1
+/// update sequence — bit-identical to `Matrix::add_outer` called once
+/// per sample in ascending order on a zeroed accumulator.
+pub(crate) fn gemm_tn_scaled_into(
+    a: &[f64],
+    rows: usize,
+    m: usize,
+    scale: f64,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(a.len(), rows * m);
+    debug_assert_eq!(b.len(), rows * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut j = 0;
+    while j + NN_MR <= m {
+        let mut i = 0;
+        while i + NN_NR <= n {
+            let mut acc = [[0.0f64; NN_NR]; NN_MR];
+            for s in 0..rows {
+                let avs = &a[s * m + j..s * m + j + NN_MR];
+                let bvs = &b[s * n + i..s * n + i + NN_NR];
+                for (mm, am) in acc.iter_mut().enumerate() {
+                    let av = avs[mm] * scale;
+                    for (o, &w) in am.iter_mut().zip(bvs) {
+                        *o += av * w;
+                    }
+                }
+            }
+            for (mm, am) in acc.iter().enumerate() {
+                out[(j + mm) * n + i..(j + mm) * n + i + NN_NR].copy_from_slice(am);
+            }
+            i += NN_NR;
+        }
+        while i + NN_NR2 <= n {
+            let mut acc = [[0.0f64; NN_NR2]; NN_MR];
+            for s in 0..rows {
+                let avs = &a[s * m + j..s * m + j + NN_MR];
+                let bvs = &b[s * n + i..s * n + i + NN_NR2];
+                for (mm, am) in acc.iter_mut().enumerate() {
+                    let av = avs[mm] * scale;
+                    for (o, &w) in am.iter_mut().zip(bvs) {
+                        *o += av * w;
+                    }
+                }
+            }
+            for (mm, am) in acc.iter().enumerate() {
+                out[(j + mm) * n + i..(j + mm) * n + i + NN_NR2].copy_from_slice(am);
+            }
+            i += NN_NR2;
+        }
+        while i < n {
+            let mut acc = [0.0f64; NN_MR];
+            for s in 0..rows {
+                let w = b[s * n + i];
+                for (mm, o) in acc.iter_mut().enumerate() {
+                    *o += (a[s * m + j + mm] * scale) * w;
+                }
+            }
+            for (mm, &o) in acc.iter().enumerate() {
+                out[(j + mm) * n + i] = o;
+            }
+            i += 1;
+        }
+        j += NN_MR;
+    }
+    for j in j..m {
+        let or = &mut out[j * n..(j + 1) * n];
+        or.fill(0.0);
+        for s in 0..rows {
+            let av = a[s * m + j] * scale;
+            let bvs = &b[s * n..(s + 1) * n];
+            for (o, &w) in or.iter_mut().zip(bvs) {
+                *o += av * w;
+            }
+        }
     }
 }
 
@@ -224,6 +503,56 @@ mod tests {
         assert_eq!(g[(1, 1)], 8.0);
         g.fill_zero();
         assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matmul_matches_hand_result() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_equals_explicit_transpose() {
+        // Shapes larger than the register tile so both the tiled body and
+        // the remainder path run.
+        let a = Matrix::from_fn(5, 11, |r, c| ((r * 13 + c * 7) as f64 * 0.3).sin());
+        let b = Matrix::from_fn(19, 11, |r, c| ((r * 5 + c * 3) as f64 * 0.7).cos());
+        let bt = Matrix::from_fn(11, 19, |r, c| b[(c, r)]);
+        assert_eq!(a.matmul_transposed(&b), a.matmul(&bt));
+    }
+
+    #[test]
+    fn matmul_transposed_rows_are_bit_exact_with_mul_vec() {
+        let a = Matrix::from_fn(4, 9, |r, c| ((r * 31 + c) as f64 * 0.11).sin());
+        let b = Matrix::from_fn(21, 9, |r, c| ((r * 17 + c * 2) as f64 * 0.13).cos());
+        let c = a.matmul_transposed(&b);
+        for s in 0..a.rows() {
+            let row: Vec<f64> = (0..a.cols()).map(|j| a[(s, j)]).collect();
+            let want = b.mul_vec(&row);
+            let got: Vec<f64> = (0..b.rows()).map(|o| c[(s, o)]).collect();
+            assert_eq!(got, want, "row {s} diverged from mul_vec");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_are_bit_exact_with_mul_vec_transposed() {
+        let a = Matrix::from_fn(3, 14, |r, c| ((r * 7 + c * 5) as f64 * 0.19).sin());
+        let b = Matrix::from_fn(14, 6, |r, c| ((r * 3 + c * 11) as f64 * 0.23).cos());
+        let c = a.matmul(&b);
+        for s in 0..a.rows() {
+            let row: Vec<f64> = (0..a.cols()).map(|j| a[(s, j)]).collect();
+            let want = b.mul_vec_transposed(&row);
+            let got: Vec<f64> = (0..b.cols()).map(|o| c[(s, o)]).collect();
+            assert_eq!(got, want, "row {s} diverged from mul_vec_transposed");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dimension_mismatch_panics() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
     }
 
     #[test]

@@ -1,8 +1,22 @@
 //! The multi-layer perceptron with exact backpropagation.
+//!
+//! Two equivalent training paths exist:
+//!
+//! * the **per-sample** path ([`Mlp::forward`], [`Mlp::loss_and_gradient`],
+//!   [`Mlp::train_batch`]) — simple, allocation-per-call;
+//! * the **batched** path ([`Mlp::forward_batch`],
+//!   [`Mlp::loss_and_gradient_batch`], [`Mlp::train_minibatch`]) — one
+//!   packed [`Batch`] per layer, reusable [`BatchScratch`] buffers, and
+//!   blocked matrix–matrix kernels.
+//!
+//! The two paths are **bit-exact**: every dot product accumulates in the
+//! same order, so swapping one for the other cannot perturb a single
+//! reproducible run (property-tested in `tests/properties.rs`).
 
 use crate::activation::Activation;
+use crate::batch::Batch;
 use crate::loss::Loss;
-use crate::matrix::Matrix;
+use crate::matrix::{gemm_tn_scaled_into, Matrix};
 use crate::optimizer::Optimizer;
 use rand::Rng;
 
@@ -10,6 +24,10 @@ use rand::Rng;
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseLayer {
     weights: Matrix,
+    /// `Wᵀ`, kept in sync with `weights` (refreshed on every parameter
+    /// write) so the batched forward kernel reads both operands
+    /// contiguously without a per-call transpose.
+    weights_t: Matrix,
     biases: Vec<f64>,
     activation: Activation,
 }
@@ -23,10 +41,27 @@ impl DenseLayer {
         rng: &mut R,
     ) -> Self {
         let limit = (6.0 / (input + output) as f64).sqrt();
-        DenseLayer {
+        let mut layer = DenseLayer {
             weights: Matrix::from_fn(output, input, |_, _| rng.gen_range(-limit..limit)),
+            weights_t: Matrix::zeros(input, output),
             biases: vec![0.0; output],
             activation,
+        };
+        layer.refresh_transpose();
+        layer
+    }
+
+    /// Rebuilds the cached transpose after `weights` changed.
+    fn refresh_transpose(&mut self) {
+        let (rows, cols) = (self.weights.rows(), self.weights.cols());
+        debug_assert_eq!(self.weights_t.rows(), cols);
+        debug_assert_eq!(self.weights_t.cols(), rows);
+        let w = self.weights.as_slice();
+        let wt = self.weights_t.as_mut_slice();
+        for o in 0..rows {
+            for k in 0..cols {
+                wt[k * rows + o] = w[o * cols + k];
+            }
         }
     }
 
@@ -249,6 +284,7 @@ impl Mlp {
                 .weights
                 .as_mut_slice()
                 .copy_from_slice(&params[offset..offset + w]);
+            layer.refresh_transpose();
             offset += w;
             let b = layer.biases.len();
             layer.biases.copy_from_slice(&params[offset..offset + b]);
@@ -341,6 +377,248 @@ impl Mlp {
         opt.step(&mut params, &grads);
         self.set_params(&params);
         loss
+    }
+
+    /// Writes all parameters into `out` (cleared first), in
+    /// [`Mlp::flatten_params`] order, without allocating when `out` has
+    /// capacity.
+    pub fn flatten_params_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights.as_slice());
+            out.extend_from_slice(&layer.biases);
+        }
+    }
+
+    /// Batched forward pass over every row of `x` at once, recording the
+    /// full activation trace in `scratch` (consumed by
+    /// [`Mlp::backward_batch`]). Returns the output batch.
+    ///
+    /// Bit-exact with calling [`Mlp::forward`] on each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the input width.
+    pub fn forward_batch<'s>(&self, x: &Batch, scratch: &'s mut BatchScratch) -> &'s Batch {
+        assert_eq!(x.cols(), self.input_size(), "input width mismatch");
+        scratch.activations[0].copy_from(x);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = scratch.activations.split_at_mut(l + 1);
+            let z = &mut scratch.preacts[l];
+            head[l].matmul_bias_into(&layer.weights_t, Some(&layer.biases), z);
+            let a = &mut tail[0];
+            a.copy_from(z);
+            layer.activation.apply_slice(a.as_mut_slice());
+        }
+        scratch
+            .activations
+            .last()
+            .expect("at least the input activation")
+    }
+
+    /// Backward pass over the activation trace left in `scratch` by the
+    /// most recent [`Mlp::forward_batch`] call (with this network and the
+    /// inputs whose predictions `targets` refers to). Returns the mean
+    /// per-sample loss and the flat gradient, aligned with
+    /// [`Mlp::flatten_params`], both living in `scratch`.
+    ///
+    /// Bit-exact with [`Mlp::loss_and_gradient`] on the same pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or its shape disagrees with the
+    /// recorded trace.
+    pub fn backward_batch<'s>(
+        &self,
+        targets: &Batch,
+        scratch: &'s mut BatchScratch,
+    ) -> (f64, &'s [f64]) {
+        let rows = targets.rows();
+        assert!(rows > 0, "empty training batch");
+        assert_eq!(targets.cols(), self.output_size(), "target width mismatch");
+        let output = scratch.activations.last().expect("output exists");
+        assert_eq!(
+            output.rows(),
+            rows,
+            "trace/target batch-size mismatch (run forward_batch first)"
+        );
+        let out_dim = self.output_size() as f64;
+        let scale = 1.0 / rows as f64;
+
+        // dL/da at the output, one row per sample, accumulating the loss
+        // in ascending sample order (same order as the per-sample path).
+        let mut total_loss = 0.0;
+        scratch.delta.set_shape(rows, self.output_size());
+        for s in 0..rows {
+            let prediction = output.row(s);
+            let target = targets.row(s);
+            total_loss += self.loss.mean(prediction, target);
+            for ((d, &p), &y) in scratch
+                .delta
+                .row_mut(s)
+                .iter_mut()
+                .zip(prediction)
+                .zip(target)
+            {
+                *d = self.loss.gradient(p, y) / out_dim;
+            }
+        }
+
+        for l in (0..self.layers.len()).rev() {
+            let layer = &self.layers[l];
+            let (out_size, in_size) = (layer.output_size(), layer.input_size());
+            // dz = dL/da ⊙ act′(z), for the whole batch.
+            scratch.dz.set_shape(rows, out_size);
+            for ((d, &dl), &z) in scratch
+                .dz
+                .as_mut_slice()
+                .iter_mut()
+                .zip(scratch.delta.as_slice())
+                .zip(scratch.preacts[l].as_slice())
+            {
+                *d = dl * layer.activation.derivative(z);
+            }
+            // dW = (dz·scale)ᵀ · a as one transposed GEMM. Each gradient
+            // element folds over samples in ascending order from 0.0,
+            // adding the identical `(dz[s][j]·scale)·a[s][i]` terms the
+            // per-sample rank-1 updates added — bit-exact, but every
+            // cache line of the activations is now read once instead of
+            // once per sample.
+            gemm_tn_scaled_into(
+                scratch.dz.as_slice(),
+                rows,
+                out_size,
+                scale,
+                scratch.activations[l].as_slice(),
+                in_size,
+                scratch.grad_w[l].as_mut_slice(),
+            );
+            let gb = &mut scratch.grad_b[l];
+            gb.iter_mut().for_each(|g| *g = 0.0);
+            for s in 0..rows {
+                for (g, &d) in gb.iter_mut().zip(scratch.dz.row(s)) {
+                    *g += d * scale;
+                }
+            }
+            if l > 0 {
+                scratch.dz.matmul_into(&layer.weights, &mut scratch.delta);
+            }
+        }
+
+        scratch.flat.clear();
+        scratch.flat.reserve(self.param_count());
+        for (gw, gb) in scratch.grad_w.iter().zip(&scratch.grad_b) {
+            scratch.flat.extend_from_slice(gw.as_slice());
+            scratch.flat.extend_from_slice(gb);
+        }
+        (total_loss * scale, &scratch.flat)
+    }
+
+    /// Batched mean loss and flat gradient — [`Mlp::loss_and_gradient`]
+    /// over packed inputs/targets with zero per-sample allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or mismatched widths.
+    pub fn loss_and_gradient_batch<'s>(
+        &self,
+        x: &Batch,
+        targets: &Batch,
+        scratch: &'s mut BatchScratch,
+    ) -> (f64, &'s [f64]) {
+        assert_eq!(x.rows(), targets.rows(), "input/target batch mismatch");
+        self.forward_batch(x, scratch);
+        self.backward_batch(targets, scratch)
+    }
+
+    /// One optimization step on a packed minibatch; returns the
+    /// pre-update mean loss. Bit-exact with [`Mlp::train_batch`] on the
+    /// same pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or mismatched widths.
+    pub fn train_minibatch<O: Optimizer>(
+        &mut self,
+        x: &Batch,
+        targets: &Batch,
+        scratch: &mut BatchScratch,
+        opt: &mut O,
+    ) -> f64 {
+        let (loss, _) = self.loss_and_gradient_batch(x, targets, scratch);
+        self.flatten_params_into(&mut scratch.params);
+        opt.step(&mut scratch.params, &scratch.flat);
+        self.set_params(&scratch.params);
+        loss
+    }
+}
+
+/// Reusable buffers for the batched forward/backward path: layer
+/// activations and pre-activations for a whole minibatch, gradient
+/// accumulators, and the flattened gradient/parameter vectors. Create one
+/// per network with [`BatchScratch::for_network`] and reuse it across
+/// training steps — after warm-up no path through
+/// [`Mlp::train_minibatch`] allocates.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    /// `activations[0]` is the input batch, `activations[l + 1]` the
+    /// output of layer `l`.
+    activations: Vec<Batch>,
+    /// Pre-activation `z` of each layer.
+    preacts: Vec<Batch>,
+    /// `dL/da` of the layer currently being backpropagated.
+    delta: Batch,
+    /// `dL/dz` of the layer currently being backpropagated.
+    dz: Batch,
+    grad_w: Vec<Matrix>,
+    grad_b: Vec<Vec<f64>>,
+    flat: Vec<f64>,
+    params: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Buffers sized for `net`'s architecture (row counts grow lazily to
+    /// whatever batch size shows up).
+    pub fn for_network(net: &Mlp) -> Self {
+        let mut activations = vec![Batch::with_cols(net.input_size())];
+        activations.extend(net.layers.iter().map(|l| Batch::with_cols(l.output_size())));
+        BatchScratch {
+            activations,
+            preacts: net
+                .layers
+                .iter()
+                .map(|l| Batch::with_cols(l.output_size()))
+                .collect(),
+            delta: Batch::default(),
+            dz: Batch::default(),
+            grad_w: net
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.output_size(), l.input_size()))
+                .collect(),
+            grad_b: net
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.output_size()])
+                .collect(),
+            flat: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// The flat gradient left by the most recent backward pass, aligned
+    /// with [`Mlp::flatten_params`].
+    pub fn gradient(&self) -> &[f64] {
+        &self.flat
+    }
+
+    /// The network output left by the most recent
+    /// [`Mlp::forward_batch`] call.
+    pub fn output(&self) -> &Batch {
+        self.activations
+            .last()
+            .expect("at least the input activation")
     }
 }
 
@@ -465,6 +743,89 @@ mod tests {
             last = net.train_batch(&batch, &mut adam);
         }
         assert!(last < initial / 5.0);
+    }
+
+    #[test]
+    fn forward_batch_is_bit_exact_with_per_sample() {
+        let net = MlpBuilder::new(5)
+            .hidden(9)
+            .hidden(7)
+            .output(3)
+            .build(&mut rng());
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|s| (0..5).map(|k| ((s * 5 + k) as f64).sin()).collect())
+            .collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| &r[..]).collect();
+        let x = Batch::from_rows(&row_refs);
+        let mut scratch = BatchScratch::for_network(&net);
+        let out = net.forward_batch(&x, &mut scratch);
+        for (s, row) in rows.iter().enumerate() {
+            assert_eq!(out.row(s), &net.forward(row)[..]);
+        }
+    }
+
+    #[test]
+    fn batched_gradient_is_bit_exact_with_per_sample() {
+        let net = MlpBuilder::new(4)
+            .hidden(6)
+            .hidden(5)
+            .output(2)
+            .build(&mut rng());
+        let xs: Vec<Vec<f64>> = (0..8)
+            .map(|s| (0..4).map(|k| ((s * 4 + k) as f64 * 0.37).cos()).collect())
+            .collect();
+        let ts: Vec<Vec<f64>> = (0..8)
+            .map(|s| (0..2).map(|k| ((s * 2 + k) as f64 * 0.11).sin()).collect())
+            .collect();
+        let pairs: Vec<(&[f64], &[f64])> =
+            xs.iter().zip(&ts).map(|(x, t)| (&x[..], &t[..])).collect();
+        let (ref_loss, ref_grad) = net.loss_and_gradient(&pairs);
+
+        let x_refs: Vec<&[f64]> = xs.iter().map(|r| &r[..]).collect();
+        let t_refs: Vec<&[f64]> = ts.iter().map(|r| &r[..]).collect();
+        let x = Batch::from_rows(&x_refs);
+        let t = Batch::from_rows(&t_refs);
+        let mut scratch = BatchScratch::for_network(&net);
+        let (loss, grad) = net.loss_and_gradient_batch(&x, &t, &mut scratch);
+        assert_eq!(loss, ref_loss);
+        assert_eq!(grad, &ref_grad[..]);
+    }
+
+    #[test]
+    fn train_minibatch_is_bit_exact_with_train_batch() {
+        let mut per_sample = MlpBuilder::new(3).hidden(8).output(2).build(&mut rng());
+        let mut batched = per_sample.clone();
+        let xs: Vec<Vec<f64>> = (0..5)
+            .map(|s| (0..3).map(|k| (s + k) as f64 / 4.0 - 0.5).collect())
+            .collect();
+        let ts: Vec<Vec<f64>> = (0..5)
+            .map(|s| vec![(s as f64).sin(), (s as f64).cos()])
+            .collect();
+        let pairs: Vec<(&[f64], &[f64])> =
+            xs.iter().zip(&ts).map(|(x, t)| (&x[..], &t[..])).collect();
+        let x_refs: Vec<&[f64]> = xs.iter().map(|r| &r[..]).collect();
+        let t_refs: Vec<&[f64]> = ts.iter().map(|r| &r[..]).collect();
+        let x = Batch::from_rows(&x_refs);
+        let t = Batch::from_rows(&t_refs);
+
+        let mut adam_a = Adam::with_learning_rate(0.01);
+        let mut adam_b = Adam::with_learning_rate(0.01);
+        let mut scratch = BatchScratch::for_network(&batched);
+        for _ in 0..25 {
+            let la = per_sample.train_batch(&pairs, &mut adam_a);
+            let lb = batched.train_minibatch(&x, &t, &mut scratch, &mut adam_b);
+            assert_eq!(la, lb);
+        }
+        assert_eq!(per_sample.flatten_params(), batched.flatten_params());
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_without_forward_trace_panics() {
+        let net = MlpBuilder::new(3).hidden(4).output(2).build(&mut rng());
+        let mut scratch = BatchScratch::for_network(&net);
+        let t = Batch::from_rows(&[&[0.0, 0.0]]);
+        net.backward_batch(&t, &mut scratch);
     }
 
     #[test]

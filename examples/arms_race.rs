@@ -19,7 +19,7 @@
 use ctjam::core::adaptive::{AdaptiveEnv, PredictorKind};
 use ctjam::core::defender::DqnDefender;
 use ctjam::core::env::EnvParams;
-use ctjam::core::runner::{evaluate, run_in, train};
+use ctjam::core::runner::RunBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
@@ -32,9 +32,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("== Act 1: the paper's fight ==");
     println!("training the DQN against the sweeping EmuBee jammer...");
     let mut defense = DqnDefender::paper_default(&params, &mut rng);
-    train(&params, &mut defense, 12_000, &mut rng);
+    RunBuilder::new(&params).train(&mut defense, 12_000, &mut rng);
     defense.set_training(false);
-    let act1 = evaluate(&params, &mut defense, eval_slots, &mut rng);
+    let act1 = RunBuilder::new(&params).evaluate(&mut defense, eval_slots, &mut rng);
     println!(
         "vs the sweep jammer: ST = {:.1}%  (the paper's ~78% regime)\n",
         100.0 * act1.metrics.success_rate()
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("== Act 2: the jammer learns ==");
     let mut env = AdaptiveEnv::new(params.clone(), PredictorKind::Rnn, &mut rng);
-    let act2 = run_in(&mut env, &mut defense, eval_slots, &mut rng);
+    let act2 = RunBuilder::new(&params).run_in(&mut env, &mut defense, eval_slots, &mut rng);
     println!(
         "vs an RNN traffic predictor: ST = {:.1}%, jammer hit rate = {:.1}% (chance is 25%)",
         100.0 * act2.metrics.success_rate(),
@@ -54,13 +54,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut hardened = defense.clone();
     hardened.set_temperature(Some(8.0));
     let mut env = AdaptiveEnv::new(params.clone(), PredictorKind::Rnn, &mut rng);
-    let act3 = run_in(&mut env, &mut hardened, eval_slots, &mut rng);
+    let act3 = RunBuilder::new(&params).run_in(&mut env, &mut hardened, eval_slots, &mut rng);
     println!(
         "softmax (t = 8) vs the same predictor: ST = {:.1}%, jammer hit rate = {:.1}%",
         100.0 * act3.metrics.success_rate(),
         100.0 * env.jammer().hit_rate()
     );
-    let sweep_check = evaluate(&params, &mut hardened, eval_slots, &mut rng);
+    let sweep_check = RunBuilder::new(&params).evaluate(&mut hardened, eval_slots, &mut rng);
     println!(
         "and it still handles the original sweep jammer: ST = {:.1}%",
         100.0 * sweep_check.metrics.success_rate()

@@ -10,7 +10,7 @@
 
 use ctjam::core::defender::{Defender, DqnDefender, MdpOracle, NoDefense, PassiveFh, RandomFh};
 use ctjam::core::env::EnvParams;
-use ctjam::core::runner::{evaluate, train};
+use ctjam::core::runner::RunBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("training the DQN defense (12 000 slots)...");
     let mut defense = DqnDefender::paper_default(&params, &mut rng);
-    train(&params, &mut defense, 12_000, &mut rng);
+    RunBuilder::new(&params).train(&mut defense, 12_000, &mut rng);
     defense.set_training(false);
 
     let eval_slots = 20_000;
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let report = |name: &str, defender: &mut dyn Defender, rng: &mut StdRng| {
-        let rep = evaluate(&params, defender, eval_slots, rng);
+        let rep = RunBuilder::new(&params).evaluate(defender, eval_slots, rng);
         let m = rep.metrics;
         println!(
             "{:<14} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}%",

@@ -11,7 +11,7 @@
 
 use ctjam::core::defender::{DqnDefender, NoDefense, PassiveFh};
 use ctjam::core::field::{FieldConfig, FieldExperiment};
-use ctjam::core::runner::train;
+use ctjam::core::runner::RunBuilder;
 use ctjam::net::negotiation::mean_negotiation_s;
 use ctjam::net::timing::TimingModel;
 use rand::rngs::StdRng;
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("\n== Phase 3: deploy the trained DQN defense on the hub ==");
     let mut defense = DqnDefender::paper_default(&base.env, &mut rng);
-    train(&base.env, &mut defense, 12_000, &mut rng);
+    RunBuilder::new(&base.env).train(&mut defense, 12_000, &mut rng);
     defense.set_training(false);
     println!(
         "trained network: {} parameters, {:.1} KB deployed (paper: 10 664 / 42.7 KB)",

@@ -15,19 +15,22 @@
 //! | [`channel`] | `ctjam-channel` | path loss, noise, SINR, BER/PER, link budgets |
 //! | [`net`] | `ctjam-net` | frames, CSMA-CA, star topology, FH negotiation, timing |
 //! | [`mdp`] | `ctjam-mdp` | the anti-jamming MDP, value/policy iteration, analysis |
-//! | [`nn`] | `ctjam-nn` | matrices, backprop, Adam, serialization |
-//! | [`dqn`] | `ctjam-dqn` | replay, target network, ε-greedy agent |
-//! | [`core`] | `ctjam-core` | jammer, environments, defenders, metrics, field sim |
+//! | [`nn`] | `ctjam-nn` | matrices, batched minibatch kernels, backprop, Adam, serialization |
+//! | [`dqn`] | `ctjam-dqn` | replay, target network, ε-greedy agent, batched training |
+//! | [`core`] | `ctjam-core` | jammer, environments, defenders, metrics, `RunBuilder`, field sim |
 //!
 //! # Quickstart
 //!
-//! Train the DQN defense against the sweeping EmuBee jammer and compare
-//! it with the passive baseline:
+//! Every training, evaluation, and sweep goes through one fluent entry
+//! point, [`core::runner::RunBuilder`]: configure *how* to run (sink,
+//! threads, environment flavour), then say *what* to run. Train the DQN
+//! defense against the sweeping EmuBee jammer and compare it with the
+//! passive baseline:
 //!
 //! ```
 //! use ctjam::core::defender::{DqnDefender, PassiveFh};
 //! use ctjam::core::env::EnvParams;
-//! use ctjam::core::runner::{evaluate, train};
+//! use ctjam::core::runner::RunBuilder;
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
@@ -35,13 +38,31 @@
 //! let params = EnvParams::default();
 //!
 //! let mut defense = DqnDefender::small_for_tests(&params, &mut rng);
-//! train(&params, &mut defense, 6_000, &mut rng);
+//! RunBuilder::new(&params).train(&mut defense, 6_000, &mut rng);
 //! defense.set_training(false);
 //!
-//! let rl = evaluate(&params, &mut defense, 4_000, &mut rng);
+//! let rl = RunBuilder::new(&params).evaluate(&mut defense, 4_000, &mut rng);
 //! let mut passive = PassiveFh::new(&params, &mut rng);
-//! let psv = evaluate(&params, &mut passive, 4_000, &mut rng);
+//! let psv = RunBuilder::new(&params).evaluate(&mut passive, 4_000, &mut rng);
 //! assert!(rl.metrics.success_rate() > psv.metrics.success_rate());
+//! ```
+//!
+//! To record telemetry, attach a sink; to sweep a parameter grid in
+//! parallel, end with [`sweep`](core::runner::RunBuilder::sweep):
+//!
+//! ```no_run
+//! use ctjam::core::env::EnvParams;
+//! use ctjam::core::runner::{RunBuilder, SweepBudget};
+//!
+//! let points: Vec<EnvParams> = [50.0, 100.0, 200.0]
+//!     .iter()
+//!     .map(|&l_j| EnvParams { l_j, ..EnvParams::default() })
+//!     .collect();
+//! let metrics = RunBuilder::new(&points[0])
+//!     .kernel(true) // the paper's Matlab-simulation setting
+//!     .budget(SweepBudget { train_slots: 12_000, eval_slots: 20_000 })
+//!     .seed(0xC7A1)
+//!     .sweep(&points, |_, _| {});
 //! ```
 
 #![forbid(unsafe_code)]

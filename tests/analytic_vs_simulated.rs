@@ -5,7 +5,7 @@
 use ctjam::core::defender::{Defender, MdpOracle};
 use ctjam::core::env::EnvParams;
 use ctjam::core::kernel::{mdp_params_of, KernelEnv};
-use ctjam::core::runner::run_in;
+use ctjam::core::runner::RunBuilder;
 use ctjam::mdp::antijam::AntijamMdp;
 use ctjam::mdp::solve::value_iteration::value_iteration;
 use ctjam::mdp::stationary::analyze_policy;
@@ -25,7 +25,7 @@ fn kernel_simulation_matches_stationary_prediction() {
     let mut env = KernelEnv::new(params.clone(), &mut rng);
     let mut oracle = MdpOracle::new(&params, &mut rng);
     let slots = 60_000;
-    let report = run_in(&mut env, &mut oracle, slots, &mut rng);
+    let report = RunBuilder::new(&params).run_in(&mut env, &mut oracle, slots, &mut rng);
 
     let st = report.metrics.success_rate();
     let ah = report.metrics.fh_adoption_rate();
@@ -78,7 +78,7 @@ fn always_hop_matches_analytic_nine_elevenths() {
     let mut rng = StdRng::seed_from_u64(11);
     let mut env = KernelEnv::new(params.clone(), &mut rng);
     let mut defender = AlwaysHop { num_channels: 16 };
-    let report = run_in(&mut env, &mut defender, 60_000, &mut rng);
+    let report = RunBuilder::new(&params).run_in(&mut env, &mut defender, 60_000, &mut rng);
     // Hand calculation (and `stationary` unit test): ST = 9/11 ≈ 0.818.
     // A uniformly random channel stays put 1/16 of the time, so the
     // realized rate sits slightly below the pure always-hop bound.

@@ -8,10 +8,40 @@
 //! land on identical [`Metrics`].
 
 use ctjam_core::env::EnvParams;
+use ctjam_core::env::EnvParams as Params;
 use ctjam_core::runner::{
-    capture_sweep, point_seed, replay, replay_kernel, sweep_kernel_with_threads,
-    sweep_with_threads, SweepBudget,
+    capture_sweep, point_seed, replay, replay_kernel, RunBuilder, SweepBudget,
 };
+
+/// [`RunBuilder`]-driven kernel sweep with an explicit thread count.
+fn sweep_kernel_with_threads(
+    points: &[Params],
+    budget: SweepBudget,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<ctjam_core::metrics::Metrics> {
+    RunBuilder::new(&points[0])
+        .kernel(true)
+        .budget(budget)
+        .seed(base_seed)
+        .threads(threads)
+        .sweep(points, |_, _| {})
+}
+
+/// [`RunBuilder`]-driven concrete-environment sweep with an explicit
+/// thread count.
+fn sweep_with_threads(
+    points: &[Params],
+    budget: SweepBudget,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<ctjam_core::metrics::Metrics> {
+    RunBuilder::new(&points[0])
+        .budget(budget)
+        .seed(base_seed)
+        .threads(threads)
+        .sweep(points, |_, _| {})
+}
 
 /// Small but non-trivial sweep: three points that differ in the loss
 /// landscape so any cross-point state leakage would show up as a
@@ -46,9 +76,8 @@ fn available_threads() -> usize {
 fn kernel_sweep_is_thread_count_invariant() {
     let points = test_points();
     let budget = test_budget();
-    let serial = sweep_kernel_with_threads(&points, budget, 0xD5EA_D5EA, 1, |_, _| {});
-    let parallel =
-        sweep_kernel_with_threads(&points, budget, 0xD5EA_D5EA, available_threads(), |_, _| {});
+    let serial = sweep_kernel_with_threads(&points, budget, 0xD5EA_D5EA, 1);
+    let parallel = sweep_kernel_with_threads(&points, budget, 0xD5EA_D5EA, available_threads());
     assert_eq!(
         serial, parallel,
         "kernel sweep metrics changed with the worker-thread count"
@@ -62,8 +91,8 @@ fn concrete_sweep_is_thread_count_invariant() {
         train_slots: 150,
         eval_slots: 200,
     };
-    let serial = sweep_with_threads(&points, budget, 7, 1, |_, _| {});
-    let parallel = sweep_with_threads(&points, budget, 7, available_threads(), |_, _| {});
+    let serial = sweep_with_threads(&points, budget, 7, 1);
+    let parallel = sweep_with_threads(&points, budget, 7, available_threads());
     assert_eq!(
         serial, parallel,
         "concrete-env sweep metrics changed with the worker-thread count"
@@ -76,8 +105,7 @@ fn captured_kernel_sweep_replays_bit_exactly() {
     let budget = test_budget();
     let base_seed = 0xC7A1;
 
-    let metrics =
-        sweep_kernel_with_threads(&points, budget, base_seed, available_threads(), |_, _| {});
+    let metrics = sweep_kernel_with_threads(&points, budget, base_seed, available_threads());
     let trace = capture_sweep("determinism_test", &points, budget, base_seed);
     assert_eq!(trace.episodes.len(), points.len());
 
@@ -100,7 +128,7 @@ fn captured_concrete_sweep_replays_bit_exactly() {
     };
     let base_seed = 42;
 
-    let metrics = sweep_with_threads(&points, budget, base_seed, available_threads(), |_, _| {});
+    let metrics = sweep_with_threads(&points, budget, base_seed, available_threads());
     let trace = capture_sweep("determinism_test_concrete", &points, budget, base_seed);
 
     for (record, (params, original)) in trace.episodes.iter().zip(points.iter().zip(&metrics)) {
@@ -135,4 +163,43 @@ fn capture_is_a_pure_function_of_its_inputs() {
         .to_json()
         .to_string_pretty();
     assert_eq!(a, b, "capture_sweep must be deterministic");
+}
+
+/// The batched minibatch kernels must reproduce, bit for bit, the
+/// metrics the per-sample training loop produced before they existed.
+/// The golden strings below were captured on the pre-batching tree
+/// (per-sample `train_step`, `ReplayBuffer::sample`) with these exact
+/// seeds; any accumulation-order drift in the batched path shows up
+/// here as a counter mismatch long before it corrupts a paper figure.
+#[test]
+fn batched_training_reproduces_pre_batching_golden_metrics() {
+    use ctjam_core::defender::DqnDefender;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let params = EnvParams::default();
+
+    let mut rng = StdRng::seed_from_u64(0xBA7C4ED);
+    let mut defender = DqnDefender::small_for_tests(&params, &mut rng);
+    let report = RunBuilder::new(&params).train(&mut defender, 6_000, &mut rng);
+    assert_eq!(
+        format!("{:?}", report.metrics),
+        "Metrics { slots: 6000, successes: 3714, fh_adopted: 4840, \
+         fh_successes: 3337, pc_adopted: 4645, pc_successes: 2918, \
+         jammed: 2286, jammed_survived: 0, power_level_sum: 18822 }",
+        "small_for_tests training drifted from the pre-batching baseline"
+    );
+    assert_eq!(report.total_reward, -525_422.0);
+
+    let mut rng = StdRng::seed_from_u64(0x0D15EA5E);
+    let mut defender = DqnDefender::paper_default(&params, &mut rng);
+    let report = RunBuilder::new(&params).train(&mut defender, 2_000, &mut rng);
+    assert_eq!(
+        format!("{:?}", report.metrics),
+        "Metrics { slots: 2000, successes: 1352, fh_adopted: 1747, \
+         fh_successes: 1249, pc_adopted: 1746, pc_successes: 1180, \
+         jammed: 648, jammed_survived: 0, power_level_sum: 8318 }",
+        "paper_default training drifted from the pre-batching baseline"
+    );
+    assert_eq!(report.total_reward, -172_468.0);
 }

@@ -3,7 +3,7 @@
 use ctjam::core::defender::{DqnDefender, NoDefense, PassiveFh};
 use ctjam::core::env::EnvParams;
 use ctjam::core::field::{FieldConfig, FieldExperiment};
-use ctjam::core::runner::{evaluate, train};
+use ctjam::core::runner::RunBuilder;
 use ctjam::nn::serialize::{deployed_kb, from_bytes, to_bytes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,12 +13,12 @@ fn trained_dqn_beats_passive_baseline() {
     let mut rng = StdRng::seed_from_u64(1);
     let params = EnvParams::default();
     let mut defense = DqnDefender::small_for_tests(&params, &mut rng);
-    train(&params, &mut defense, 6_000, &mut rng);
+    RunBuilder::new(&params).train(&mut defense, 6_000, &mut rng);
     defense.set_training(false);
-    let rl = evaluate(&params, &mut defense, 4_000, &mut rng);
+    let rl = RunBuilder::new(&params).evaluate(&mut defense, 4_000, &mut rng);
 
     let mut passive = PassiveFh::new(&params, &mut rng);
-    let psv = evaluate(&params, &mut passive, 4_000, &mut rng);
+    let psv = RunBuilder::new(&params).evaluate(&mut passive, 4_000, &mut rng);
 
     assert!(
         rl.metrics.success_rate() > psv.metrics.success_rate() + 0.05,
@@ -35,7 +35,7 @@ fn trained_network_survives_deployment_roundtrip() {
     let mut rng = StdRng::seed_from_u64(2);
     let params = EnvParams::default();
     let mut defense = DqnDefender::small_for_tests(&params, &mut rng);
-    train(&params, &mut defense, 3_000, &mut rng);
+    RunBuilder::new(&params).train(&mut defense, 3_000, &mut rng);
     defense.set_training(false);
 
     let blob = to_bytes(defense.agent().network());
@@ -83,7 +83,7 @@ fn field_experiment_defense_recovers_goodput() {
 
     // Small trained DQN deployed into the field.
     let mut defense = DqnDefender::small_for_tests(&config.env, &mut rng);
-    train(&config.env, &mut defense, 6_000, &mut rng);
+    RunBuilder::new(&config.env).train(&mut defense, 6_000, &mut rng);
     defense.set_training(false);
     let mut defended = FieldExperiment::new(config.clone(), defense, &mut rng);
     let report = defended.run(40, &mut rng);

@@ -113,9 +113,22 @@ pub struct Bencher {
     iters: u64,
 }
 
+/// Whether `--test` was passed (cargo bench `-- --test` smoke mode):
+/// run every benchmark body exactly once to prove it still works,
+/// without paying for warm-up or measurement.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 impl Bencher {
     /// Times `f`, storing the mean wall-clock nanoseconds per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke_mode() {
+            black_box(f());
+            self.mean_ns = None;
+            self.iters = 1;
+            return;
+        }
         // Warm-up doubles as calibration for the batch size.
         let start = Instant::now();
         let mut warm_iters = 0u64;
@@ -147,6 +160,7 @@ fn run_named<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
             human(ns),
             bencher.iters
         ),
+        None if bencher.iters == 1 => println!("{name:<48} ok (smoke)"),
         None => println!("{name:<48} (no measurement: Bencher::iter never called)"),
     }
 }
