@@ -13,13 +13,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q (tier-1 gate) =="
 cargo test -q
 
+# Chaos smoke: the quick fault-injection matrix (seeds x fault mixes,
+# zero-rate bit-exactness, checkpoint resume). Also part of tier-1
+# above; the labelled stage keeps its runtime visible and gives the
+# extended sweep a documented home:
+#   CTJAM_CHAOS_SLOTS=2000 cargo test --test chaos -- --ignored
+echo "== cargo test -q --test chaos (chaos smoke) =="
+cargo test -q --test chaos
+
 echo "== cargo doc --no-deps (rustdoc warnings are errors) =="
 # Scoped to the suite's own crates: the vendored shims (rand, proptest,
 # criterion, bytes) predate today's rustdoc lints and are not ours to
 # re-document.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p ctjam -p ctjam-phy -p ctjam-channel -p ctjam-net -p ctjam-mdp \
-  -p ctjam-nn -p ctjam-dqn -p ctjam-core -p ctjam-bench
+  -p ctjam-nn -p ctjam-dqn -p ctjam-core -p ctjam-bench \
+  -p ctjam-telemetry -p ctjam-fault
 
 # Criterion smoke mode: each bench target runs one iteration per
 # benchmark, catching bit-rot in bench code without paying for a full

@@ -95,11 +95,17 @@ fn main() {
         "ST ~0 below L_J=15, ~78% above L_J=50; ST rises with sweep cycle, falls with L_H, hits 100% once lb(L_p)>=11; AH/AP/SH/SP trends per Figs. 7-8",
     );
     let budget = SweepBudget::from_env();
-    let manifest = start_manifest(
+    let mut manifest = start_manifest(
         "fig06_07_08_sweeps",
         0xC7A1,
         &format!("budget={budget:?}, base={:?}", EnvParams::default()),
     );
+    // Fault-plan provenance: figure data is only citable from a
+    // fault-free run, and the chaos harness replays any plan from
+    // exactly this (rates, seed) pair.
+    manifest
+        .push_extra("fault_rates", ctjam_fault::FaultRates::zero().describe())
+        .push_extra("fault_seed", "none");
     println!(
         "budget: {} training slots, {} evaluation slots per point",
         budget.train_slots, budget.eval_slots

@@ -27,11 +27,16 @@ fn main() {
     // Train the defense once on the slot-level game, then deploy frozen
     // (the paper trains offline and loads the network onto the hub).
     let base = FieldConfig::default();
-    let manifest = start_manifest(
+    let mut manifest = start_manifest(
         "fig10_goodput_utilization",
         10,
         &format!("slots={slots}, train_slots={train_slots}, {base:?}"),
     );
+    // Fault-plan provenance (chaos-harness replay recipe; see
+    // tests/chaos.rs): this figure runs fault-free.
+    manifest
+        .push_extra("fault_rates", ctjam_fault::FaultRates::zero().describe())
+        .push_extra("fault_seed", "none");
     let mut defender = DqnDefender::paper_default(&base.env, &mut rng);
     RunBuilder::new(&base.env).train(&mut defender, train_slots, &mut rng);
     defender.set_training(false);

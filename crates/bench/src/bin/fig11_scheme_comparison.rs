@@ -53,11 +53,16 @@ fn main() {
     let train_slots = env_usize("CTJAM_TRAIN_SLOTS", 12_000);
     let mut rng = StdRng::seed_from_u64(11);
     let base = FieldConfig::default();
-    let manifest = start_manifest(
+    let mut manifest = start_manifest(
         "fig11_scheme_comparison",
         11,
         &format!("slots={slots}, reps={reps}, train_slots={train_slots}, {base:?}"),
     );
+    // Fault-plan provenance (chaos-harness replay recipe; see
+    // tests/chaos.rs): this figure runs fault-free.
+    manifest
+        .push_extra("fault_rates", ctjam_fault::FaultRates::zero().describe())
+        .push_extra("fault_seed", "none");
 
     // Offline training of the RL defense (the paper trains offline and
     // loads the network onto the hub).

@@ -11,11 +11,14 @@
 
 use crate::env::{Decision, EnvParams, Outcome, SlotResult};
 use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::checkpoint::{self, CheckpointError};
 use ctjam_dqn::config::DqnConfig;
 use ctjam_dqn::encode::{ObservationEncoder, SlotOutcome, SlotRecord};
+use ctjam_fault::FaultPoint;
 use ctjam_mdp::antijam::{Action as MdpAction, AntijamMdp, State as MdpState};
 use ctjam_mdp::solve::value_iteration::value_iteration;
 use rand::{Rng, RngCore};
+use std::path::Path;
 
 /// Telemetry snapshot of a defender's learner state, taken after
 /// `feedback`. Learning-free strategies report all-`None`.
@@ -31,6 +34,9 @@ pub struct AgentProbe {
     pub replay_len: Option<usize>,
     /// Replay buffer capacity.
     pub replay_capacity: Option<usize>,
+    /// Gradient steps skipped by the non-finite-gradient guard (only
+    /// ever advances on the fault-injected training path).
+    pub skipped_train_steps: Option<usize>,
 }
 
 /// A per-slot decision maker.
@@ -46,6 +52,22 @@ pub trait Defender {
 
     /// Receives the resolved slot (for learning and state tracking).
     fn feedback(&mut self, result: &SlotResult, rng: &mut dyn RngCore);
+
+    /// [`Defender::feedback`] with a fault-injection plan threaded
+    /// through (chaos testing — `tests/chaos.rs`). The default ignores
+    /// the plan; learning defenders override it to route the plan into
+    /// their training path's fault sites. Implementations must behave
+    /// exactly like `feedback` — same RNG draws included — whenever the
+    /// plan is disabled ([`FaultPoint::is_enabled`] is `false`).
+    fn feedback_with_fault(
+        &mut self,
+        result: &SlotResult,
+        rng: &mut dyn RngCore,
+        fault: &mut dyn FaultPoint,
+    ) {
+        let _ = fault;
+        self.feedback(result, rng);
+    }
 
     /// Telemetry probe of the learner, read by the runner after each
     /// `feedback` when a sink is attached.
@@ -192,6 +214,127 @@ impl DqnDefender {
         self.temperature = temperature;
     }
 
+    /// Serializes the complete defender — agent training state,
+    /// observation window, pending transition, channel bookkeeping and
+    /// policy mode — into the sealed checkpoint container and writes it
+    /// atomically to `path` (tempfile + rename; see
+    /// [`ctjam_dqn::checkpoint`]).
+    ///
+    /// A run resumed from the resulting file continues bit-exactly: the
+    /// checkpoint captures everything except the RNG, which the caller
+    /// owns (the determinism contract — `tests/determinism.rs`).
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut payload = Vec::new();
+        checkpoint::encode_agent(&self.agent, &mut payload);
+        let records: Vec<&SlotRecord> = self.encoder.records().collect();
+        payload.extend_from_slice(&(records.len() as u64).to_le_bytes());
+        for rec in records {
+            let outcome: u64 = match rec.outcome {
+                SlotOutcome::Success => 0,
+                SlotOutcome::SuccessUnderJamming => 1,
+                SlotOutcome::Failure => 2,
+            };
+            payload.extend_from_slice(&outcome.to_le_bytes());
+            payload.extend_from_slice(&(rec.channel as u64).to_le_bytes());
+            payload.extend_from_slice(&(rec.power_level as u64).to_le_bytes());
+        }
+        payload.push(self.training as u8);
+        match &self.pending {
+            None => payload.push(0),
+            Some((state, action)) => {
+                payload.push(1);
+                checkpoint::put_f64_vec(&mut payload, state);
+                payload.extend_from_slice(&(*action as u64).to_le_bytes());
+            }
+        }
+        payload.extend_from_slice(&(self.current_channel as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.pending_delta as u64).to_le_bytes());
+        match self.temperature {
+            None => payload.push(0),
+            Some(t) => {
+                payload.push(1);
+                payload.extend_from_slice(&t.to_bits().to_le_bytes());
+            }
+        }
+        checkpoint::write_checkpoint(path, &payload)
+    }
+
+    /// Restores a defender from a [`DqnDefender::save_checkpoint`] file.
+    ///
+    /// Every failure mode is a typed [`CheckpointError`] — truncation,
+    /// bit corruption (checksum), version or shape mismatch — never a
+    /// panic.
+    pub fn load_checkpoint(path: &Path) -> Result<Self, CheckpointError> {
+        let payload = checkpoint::read_checkpoint(path)?;
+        let mut cursor = &payload[..];
+        let agent = checkpoint::decode_agent(&mut cursor)?;
+        let config = agent.config().clone();
+        let mut encoder = ObservationEncoder::new(
+            config.history_len,
+            config.num_channels,
+            config.num_power_levels,
+        );
+        let record_count = checkpoint::take_usize(&mut cursor)?;
+        if record_count > config.history_len {
+            return Err(CheckpointError::Malformed);
+        }
+        for _ in 0..record_count {
+            let outcome = match checkpoint::take_u64(&mut cursor)? {
+                0 => SlotOutcome::Success,
+                1 => SlotOutcome::SuccessUnderJamming,
+                2 => SlotOutcome::Failure,
+                _ => return Err(CheckpointError::Malformed),
+            };
+            let channel = checkpoint::take_usize(&mut cursor)?;
+            let power_level = checkpoint::take_usize(&mut cursor)?;
+            if channel >= config.num_channels || power_level >= config.num_power_levels {
+                return Err(CheckpointError::Malformed);
+            }
+            encoder.push(SlotRecord {
+                outcome,
+                channel,
+                power_level,
+            });
+        }
+        let training = checkpoint::take_bool(&mut cursor)?;
+        let pending = if checkpoint::take_bool(&mut cursor)? {
+            let state = checkpoint::take_f64_vec(&mut cursor)?;
+            let action = checkpoint::take_usize(&mut cursor)?;
+            if state.len() != config.input_size() || action >= config.num_actions() {
+                return Err(CheckpointError::Malformed);
+            }
+            Some((state, action))
+        } else {
+            None
+        };
+        let current_channel = checkpoint::take_usize(&mut cursor)?;
+        let pending_delta = checkpoint::take_usize(&mut cursor)?;
+        if current_channel >= config.num_channels || pending_delta >= config.num_channels {
+            return Err(CheckpointError::Malformed);
+        }
+        let temperature = if checkpoint::take_bool(&mut cursor)? {
+            let t = checkpoint::take_f64(&mut cursor)?;
+            if !(t.is_finite() && t > 0.0) {
+                return Err(CheckpointError::Malformed);
+            }
+            Some(t)
+        } else {
+            None
+        };
+        if !cursor.is_empty() {
+            return Err(CheckpointError::Malformed);
+        }
+        Ok(DqnDefender {
+            agent,
+            encoder,
+            training,
+            pending,
+            current_channel,
+            pending_delta,
+            temperature,
+        })
+    }
+
     fn outcome_to_record(&self, result: &SlotResult) -> SlotRecord {
         let outcome = match result.outcome {
             Outcome::Clean => SlotOutcome::Success,
@@ -245,6 +388,23 @@ impl Defender for DqnDefender {
         }
     }
 
+    fn feedback_with_fault(
+        &mut self,
+        result: &SlotResult,
+        rng: &mut dyn RngCore,
+        fault: &mut dyn FaultPoint,
+    ) {
+        self.encoder.push(self.outcome_to_record(result));
+        self.current_channel = result.decision.channel;
+        if let Some((state, action)) = self.pending.take() {
+            if self.training {
+                let next_state = self.encoder.encode();
+                self.agent
+                    .observe_with_fault(state, action, result.reward, next_state, rng, fault);
+            }
+        }
+    }
+
     fn probe(&self) -> AgentProbe {
         AgentProbe {
             epsilon: Some(self.agent.epsilon()),
@@ -252,6 +412,7 @@ impl Defender for DqnDefender {
             train_steps: Some(self.agent.train_steps()),
             replay_len: Some(self.agent.replay_len()),
             replay_capacity: Some(self.agent.replay_capacity()),
+            skipped_train_steps: Some(self.agent.skipped_train_steps()),
         }
     }
 }
@@ -690,6 +851,54 @@ mod tests {
             steps_before,
             "frozen agent must not learn"
         );
+    }
+
+    #[test]
+    fn dqn_checkpoint_roundtrip_resumes_bit_exactly() {
+        let params = EnvParams::default();
+        let mut r = rng(21);
+        let mut original = DqnDefender::small_for_tests(&params, &mut r);
+        let _ = run_slots(&mut original, 300, 77); // accumulate real state
+        let path = std::env::temp_dir().join("ctjam_defender_roundtrip.ckpt");
+        original.save_checkpoint(&path).unwrap();
+        let mut restored = DqnDefender::load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.is_training(), original.is_training());
+        assert_eq!(restored.current_channel(), original.current_channel());
+        assert_eq!(
+            restored.agent().train_steps(),
+            original.agent().train_steps()
+        );
+        // Continued under identical seeds, both defenders must walk the
+        // exact same trajectory.
+        let m1 = run_slots(&mut original, 200, 88);
+        let m2 = run_slots(&mut restored, 200, 88);
+        assert_eq!(m1, m2, "resumed defender diverged from the original");
+    }
+
+    #[test]
+    fn corrupted_defender_checkpoint_is_a_typed_error() {
+        use ctjam_dqn::checkpoint::CheckpointError;
+        let params = EnvParams::default();
+        let mut r = rng(22);
+        let mut d = DqnDefender::small_for_tests(&params, &mut r);
+        let _ = run_slots(&mut d, 50, 99);
+        let path = std::env::temp_dir().join("ctjam_defender_corrupt.ckpt");
+        d.save_checkpoint(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Bit corruption in the middle of the payload → checksum catches.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            DqnDefender::load_checkpoint(&path),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+        // Truncation → typed error, never a panic.
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(DqnDefender::load_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::defender::{Defender, DqnDefender};
 use crate::env::{CompetitionEnv, EnvParams, Environment};
 use crate::kernel::KernelEnv;
 use crate::metrics::Metrics;
-use ctjam_telemetry::{EpisodeRecord, EventSink, NullSink, ReplayTrace, TrainEvent};
+use ctjam_fault::{FaultPoint, FaultSite, NullFaultPlan};
+use ctjam_telemetry::{EpisodeRecord, EventSink, NullSink, ReplayTrace, RunHealth, TrainEvent};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -25,6 +26,9 @@ pub struct EpisodeReport {
     pub metrics: Metrics,
     /// Sum of Eq. (5) rewards.
     pub total_reward: f64,
+    /// Fault/recovery accounting for the run (all-zero on a fault-free
+    /// run — see [`RunHealth::is_clean`]).
+    pub health: RunHealth,
 }
 
 impl EpisodeReport {
@@ -66,23 +70,25 @@ impl EpisodeReport {
 /// assert_eq!(report.metrics.slots(), 1_000);
 /// ```
 #[derive(Debug)]
-pub struct RunBuilder<'a, S: EventSink = NullSink> {
+pub struct RunBuilder<'a, S: EventSink = NullSink, F: FaultPoint = NullFaultPlan> {
     params: &'a EnvParams,
     sink: Option<&'a mut S>,
+    fault: Option<&'a mut F>,
     threads: Option<usize>,
     kernel: bool,
     budget: SweepBudget,
     base_seed: u64,
 }
 
-impl<'a> RunBuilder<'a, NullSink> {
-    /// Starts a builder over `params` with no telemetry, the concrete
-    /// environment, default sweep budget/seed, and automatic sweep
-    /// threading.
+impl<'a> RunBuilder<'a, NullSink, NullFaultPlan> {
+    /// Starts a builder over `params` with no telemetry, no fault
+    /// injection, the concrete environment, default sweep budget/seed,
+    /// and automatic sweep threading.
     pub fn new(params: &'a EnvParams) -> Self {
         RunBuilder {
             params,
             sink: None,
+            fault: None,
             threads: None,
             kernel: false,
             budget: SweepBudget::default(),
@@ -91,15 +97,34 @@ impl<'a> RunBuilder<'a, NullSink> {
     }
 }
 
-impl<'a, S: EventSink> RunBuilder<'a, S> {
+impl<'a, S: EventSink, F: FaultPoint> RunBuilder<'a, S, F> {
     /// Attaches a telemetry sink: the run emits one
     /// [`ctjam_telemetry::SlotEvent`] per slot and, for learning
     /// defenders, one [`TrainEvent`] per slot in which a gradient step
     /// ran. Sweeps run their points in parallel and ignore the sink.
-    pub fn sink<S2: EventSink>(self, sink: &'a mut S2) -> RunBuilder<'a, S2> {
+    pub fn sink<S2: EventSink>(self, sink: &'a mut S2) -> RunBuilder<'a, S2, F> {
         RunBuilder {
             params: self.params,
             sink: Some(sink),
+            fault: self.fault,
+            threads: self.threads,
+            kernel: self.kernel,
+            budget: self.budget,
+            base_seed: self.base_seed,
+        }
+    }
+
+    /// Attaches a fault-injection plan (chaos testing,
+    /// `tests/chaos.rs`): the run draws the plan's schedule at every
+    /// fault site wired into the slot loop and the DQN training path,
+    /// and the report's [`EpisodeReport::health`] accounts for what
+    /// fired. Runs without a plan (or with a zero-rate plan) are
+    /// bit-exact with the plain path; sweeps ignore the plan.
+    pub fn fault_plan<F2: FaultPoint>(self, fault: &'a mut F2) -> RunBuilder<'a, S, F2> {
+        RunBuilder {
+            params: self.params,
+            sink: self.sink,
+            fault: Some(fault),
             threads: self.threads,
             kernel: self.kernel,
             budget: self.budget,
@@ -156,9 +181,11 @@ impl<'a, S: EventSink> RunBuilder<'a, S> {
         D: Defender + ?Sized,
         R: Rng,
     {
-        match self.sink {
-            Some(sink) => run_loop(env, defender, slots, rng, sink),
-            None => run_loop(env, defender, slots, rng, &mut NullSink),
+        match (self.sink, self.fault) {
+            (Some(sink), Some(fault)) => run_loop(env, defender, slots, rng, sink, fault),
+            (Some(sink), None) => run_loop(env, defender, slots, rng, sink, &mut NullFaultPlan),
+            (None, Some(fault)) => run_loop(env, defender, slots, rng, &mut NullSink, fault),
+            (None, None) => run_loop(env, defender, slots, rng, &mut NullSink, &mut NullFaultPlan),
         }
     }
 
@@ -211,10 +238,13 @@ impl<'a, S: EventSink> RunBuilder<'a, S> {
     /// are not consulted — every point carries its own. `f` is invoked
     /// with each finished point's index and report (from a worker
     /// thread).
-    pub fn sweep<F>(self, points: &[EnvParams], f: F) -> Vec<Metrics>
+    pub fn sweep<G>(self, points: &[EnvParams], f: G) -> Vec<Metrics>
     where
-        F: Fn(usize, &EpisodeReport) + Sync,
+        G: Fn(usize, &EpisodeReport) + Sync,
     {
+        if points.is_empty() {
+            return Vec::new();
+        }
         let threads = self
             .threads
             .unwrap_or_else(|| default_sweep_threads(points.len()));
@@ -245,7 +275,7 @@ pub fn run_in<E: Environment + ?Sized, D: Defender + ?Sized, R: Rng>(
     slots: usize,
     rng: &mut R,
 ) -> EpisodeReport {
-    run_loop(env, defender, slots, rng, &mut NullSink)
+    run_loop(env, defender, slots, rng, &mut NullSink, &mut NullFaultPlan)
 }
 
 /// [`run_in`] with a telemetry sink attached.
@@ -266,38 +296,78 @@ where
     R: Rng,
     S: EventSink,
 {
-    run_loop(env, defender, slots, rng, sink)
+    run_loop(env, defender, slots, rng, sink, &mut NullFaultPlan)
 }
 
 /// The slot loop every runner entry point funnels into: emits one
 /// [`ctjam_telemetry::SlotEvent`] per slot and, for learning defenders,
 /// one [`TrainEvent`] per slot in which a gradient step ran.
 ///
-/// Monomorphised over [`NullSink`] this is exactly the uninstrumented
-/// loop (every sink hook is an empty default body).
-fn run_loop<E, D, R, S>(
+/// Monomorphised over [`NullSink`] and [`NullFaultPlan`] this is exactly
+/// the uninstrumented loop (every sink hook is an empty default body,
+/// every fault branch is behind a constant-`false` `is_enabled`).
+///
+/// With an enabled fault plan the loop draws two sites per slot:
+///
+/// * [`FaultSite::DeadlineOverrun`] — the defender's decision misses the
+///   slot deadline; the radio repeats the *previous* slot's decision.
+///   `decide` still runs (the defender burned its compute; its RNG
+///   stream advances exactly as on the plain path) but its output is
+///   discarded for that slot.
+/// * [`FaultSite::SinkWrite`] — a telemetry write fails. The sink is
+///   demoted for the rest of the run (the degradation the chaos harness
+///   asserts is graceful: the run itself must finish unharmed), and the
+///   demotion is accounted in [`RunHealth`].
+fn run_loop<E, D, R, S, F>(
     env: &mut E,
     defender: &mut D,
     slots: usize,
     rng: &mut R,
     sink: &mut S,
+    fault: &mut F,
 ) -> EpisodeReport
 where
     E: Environment + ?Sized,
     D: Defender + ?Sized,
     R: Rng,
     S: EventSink,
+    F: FaultPoint,
 {
     let mut metrics = Metrics::new();
     let mut total_reward = 0.0;
+    let mut health = RunHealth::clean();
+    let fired_at_entry = fault.total_fired();
+    let replay_corrupt_at_entry = fault.fired(FaultSite::ReplayCorruption);
+    let skipped_at_entry = defender.probe().skipped_train_steps.unwrap_or(0);
     let mut seen_train_steps = defender.probe().train_steps.unwrap_or(0);
+    let mut prev_decision: Option<crate::env::Decision> = None;
     for slot in 0..slots {
-        let decision = defender.decide(rng);
+        let mut decision = defender.decide(rng);
+        if fault.is_enabled() && fault.should_fire(FaultSite::DeadlineOverrun) {
+            health.deadline_overruns += 1;
+            // The fresh decision missed the deadline: the radio repeats
+            // the previous slot's configuration (first slot: nothing to
+            // repeat, the fresh decision stands).
+            if let Some(prev) = prev_decision {
+                decision = prev;
+            }
+        }
+        prev_decision = Some(decision);
         let result = env.step(decision, rng);
-        defender.feedback(&result, rng);
+        defender.feedback_with_fault(&result, rng, fault);
         metrics.record(&result);
         total_reward += result.reward;
-        sink.record_slot(&result.telemetry_event(slot as u64));
+        if !health.sink_demoted {
+            if fault.is_enabled() && fault.should_fire(FaultSite::SinkWrite) {
+                // A failed telemetry write demotes the sink to a null
+                // sink for the rest of the run: telemetry is best-effort,
+                // the run itself must not die with it.
+                health.sink_write_failures += 1;
+                health.sink_demoted = true;
+            } else {
+                sink.record_slot(&result.telemetry_event(slot as u64));
+            }
+        }
         let probe = defender.probe();
         if let Some(epsilon) = probe.epsilon {
             // Attribute a loss to this slot only if feedback actually
@@ -307,18 +377,26 @@ where
                 .then_some(probe.last_loss)
                 .flatten();
             seen_train_steps = train_steps;
-            sink.record_train(&TrainEvent {
-                step: slot as u64,
-                loss,
-                epsilon,
-                replay_len: probe.replay_len.unwrap_or(0),
-                replay_capacity: probe.replay_capacity.unwrap_or(0),
-            });
+            if !health.sink_demoted {
+                sink.record_train(&TrainEvent {
+                    step: slot as u64,
+                    loss,
+                    epsilon,
+                    replay_len: probe.replay_len.unwrap_or(0),
+                    replay_capacity: probe.replay_capacity.unwrap_or(0),
+                });
+            }
         }
     }
+    health.skipped_train_steps =
+        (defender.probe().skipped_train_steps.unwrap_or(0) - skipped_at_entry) as u64;
+    health.corrupted_replay_entries =
+        fault.fired(FaultSite::ReplayCorruption) - replay_corrupt_at_entry;
+    health.faults_fired = fault.total_fired() - fired_at_entry;
     EpisodeReport {
         metrics,
         total_reward,
+        health,
     }
 }
 
@@ -424,7 +502,14 @@ pub fn train_until<R: Rng>(
     };
     while curve.slots_used < max_slots {
         let this_window = window.min(max_slots - curve.slots_used);
-        let report = run_loop(&mut env, defender, this_window, rng, &mut NullSink);
+        let report = run_loop(
+            &mut env,
+            defender,
+            this_window,
+            rng,
+            &mut NullSink,
+            &mut NullFaultPlan,
+        );
         curve.slots_used += this_window;
         let mean = report.mean_reward();
         curve.window_rewards.push(mean);
@@ -836,5 +921,96 @@ mod tests {
         // (Does not set the variables; just exercises the fallback path.)
         let b = SweepBudget::from_env();
         assert!(b.train_slots > 0 && b.eval_slots > 0);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_bit_exact_with_the_plain_run() {
+        use ctjam_fault::{FaultPlan, FaultRates};
+        let params = EnvParams::default();
+
+        let mut r1 = rng(9);
+        let mut d1 = crate::defender::DqnDefender::small_for_tests(&params, &mut r1);
+        let plain = RunBuilder::new(&params).run(&mut d1, 800, &mut r1);
+
+        let mut r2 = rng(9);
+        let mut d2 = crate::defender::DqnDefender::small_for_tests(&params, &mut r2);
+        let mut plan = FaultPlan::new(123, FaultRates::zero());
+        let faulted = RunBuilder::new(&params)
+            .fault_plan(&mut plan)
+            .run(&mut d2, 800, &mut r2);
+
+        assert_eq!(plain, faulted);
+        assert!(faulted.health.is_clean());
+        // The main RNG streams stayed aligned past the run.
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn deadline_overruns_repeat_the_previous_decision() {
+        use ctjam_fault::{FaultPlan, FaultRates, FaultSite};
+        let params = EnvParams::default();
+        let mut r = rng(10);
+        let mut defender = RandomFh::new(&params, &mut r);
+        let mut plan = FaultPlan::new(7, FaultRates::zero().with(FaultSite::DeadlineOverrun, 1.0));
+        let report = RunBuilder::new(&params)
+            .fault_plan(&mut plan)
+            .run(&mut defender, 300, &mut r);
+        assert_eq!(report.metrics.slots(), 300, "run must survive overruns");
+        assert_eq!(report.health.deadline_overruns, 300);
+        assert_eq!(report.health.faults_fired, 300);
+        assert!(!report.health.is_clean());
+    }
+
+    #[test]
+    fn failed_sink_write_demotes_to_null_for_the_rest_of_the_run() {
+        use ctjam_fault::{FaultPlan, FaultRates, FaultSite};
+        use ctjam_telemetry::MemorySink;
+        let params = EnvParams::default();
+        let mut r = rng(11);
+        let mut defender = PassiveFh::new(&params, &mut r);
+        let mut sink = MemorySink::new();
+        let mut plan = FaultPlan::new(5, FaultRates::zero().with(FaultSite::SinkWrite, 1.0));
+        let report = RunBuilder::new(&params)
+            .sink(&mut sink)
+            .fault_plan(&mut plan)
+            .run(&mut defender, 100, &mut r);
+        assert_eq!(report.metrics.slots(), 100, "run must survive the sink");
+        assert!(report.health.sink_demoted);
+        assert_eq!(
+            report.health.sink_write_failures, 1,
+            "demotion is permanent — exactly one failed write"
+        );
+        assert!(sink.slots.is_empty(), "no event reached the failed sink");
+    }
+
+    #[test]
+    fn sweep_with_empty_points_returns_empty() {
+        let out = RunBuilder::new(&EnvParams::default())
+            .threads(0)
+            .sweep(&[], |_, _| {});
+        assert!(out.is_empty());
+        #[allow(deprecated)]
+        let shim = sweep(&[], SweepBudget::default(), 0, |_, _| {});
+        assert!(shim.is_empty());
+    }
+
+    #[test]
+    fn sweep_with_zero_threads_matches_sequential() {
+        let points = vec![EnvParams::default(); 2];
+        let budget = SweepBudget {
+            train_slots: 150,
+            eval_slots: 150,
+        };
+        let zero = RunBuilder::new(&points[0])
+            .budget(budget)
+            .seed(3)
+            .threads(0)
+            .sweep(&points, |_, _| {});
+        let one = RunBuilder::new(&points[0])
+            .budget(budget)
+            .seed(3)
+            .threads(1)
+            .sweep(&points, |_, _| {});
+        assert_eq!(zero, one);
     }
 }

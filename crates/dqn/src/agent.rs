@@ -3,6 +3,7 @@
 
 use crate::config::DqnConfig;
 use crate::replay::{Experience, ReplayBuffer};
+use ctjam_fault::{FaultPoint, FaultSite, NullFaultPlan};
 use ctjam_nn::batch::Batch;
 use ctjam_nn::mlp::{BatchScratch, Mlp, MlpBuilder};
 use ctjam_nn::optimizer::Adam;
@@ -27,6 +28,7 @@ pub struct DqnAgent {
     scratch: TrainScratch,
     steps: usize,
     train_steps: usize,
+    skipped_train_steps: usize,
     last_loss: Option<f64>,
 }
 
@@ -95,6 +97,48 @@ impl DqnAgent {
             scratch,
             steps: 0,
             train_steps: 0,
+            skipped_train_steps: 0,
+        }
+    }
+
+    /// Rebuilds an agent from checkpointed parts, re-deriving the
+    /// training scratch space. The counterpart of reading every field
+    /// back through the public accessors; used by the `checkpoint`
+    /// module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the networks' shapes
+    /// do not match it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        config: DqnConfig,
+        online: Mlp,
+        target: Mlp,
+        optimizer: Adam,
+        replay: ReplayBuffer,
+        steps: usize,
+        train_steps: usize,
+        skipped_train_steps: usize,
+        last_loss: Option<f64>,
+    ) -> Self {
+        config.validate();
+        assert_eq!(online.input_size(), config.input_size(), "online input");
+        assert_eq!(online.output_size(), config.num_actions(), "online output");
+        assert_eq!(target.input_size(), config.input_size(), "target input");
+        assert_eq!(target.output_size(), config.num_actions(), "target output");
+        let scratch = TrainScratch::for_networks(&online);
+        DqnAgent {
+            config,
+            online,
+            target,
+            optimizer,
+            replay,
+            scratch,
+            steps,
+            train_steps,
+            skipped_train_steps,
+            last_loss,
         }
     }
 
@@ -137,6 +181,17 @@ impl DqnAgent {
     /// Gradient updates performed so far.
     pub fn train_steps(&self) -> usize {
         self.train_steps
+    }
+
+    /// Optimizer steps skipped by the non-finite-gradient guard (only
+    /// possible on the fault-injected training path).
+    pub fn skipped_train_steps(&self) -> usize {
+        self.skipped_train_steps
+    }
+
+    /// The optimizer state (checkpointing).
+    pub fn optimizer(&self) -> &Adam {
+        &self.optimizer
     }
 
     /// Current exploration rate.
@@ -234,6 +289,22 @@ impl DqnAgent {
         next_state: Vec<f64>,
         rng: &mut R,
     ) -> Option<f64> {
+        self.observe_with_fault(state, action, reward, next_state, rng, &mut NullFaultPlan)
+    }
+
+    /// [`DqnAgent::observe`] with a fault-injection plan threaded into
+    /// the training step (see [`DqnAgent::train_step_with_fault`]).
+    /// With a [`NullFaultPlan`] this monomorphizes to exactly
+    /// [`DqnAgent::observe`].
+    pub fn observe_with_fault<R: Rng + ?Sized, F: FaultPoint + ?Sized>(
+        &mut self,
+        state: Vec<f64>,
+        action: usize,
+        reward: f64,
+        next_state: Vec<f64>,
+        rng: &mut R,
+        fault: &mut F,
+    ) -> Option<f64> {
         self.replay.push(Experience {
             state,
             action,
@@ -246,7 +317,7 @@ impl DqnAgent {
         if self.replay.len() >= self.config.warmup
             && self.steps.is_multiple_of(self.config.train_interval)
         {
-            loss = Some(self.train_step(rng));
+            loss = Some(self.train_step_with_fault(rng, fault));
         }
         if self.steps.is_multiple_of(self.config.target_sync_interval) {
             self.sync_target();
@@ -267,6 +338,44 @@ impl DqnAgent {
     /// for action selection. Bit-exact with the per-sample formulation
     /// (regression-tested below).
     pub fn train_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.train_step_with_fault(rng, &mut NullFaultPlan)
+    }
+
+    /// [`DqnAgent::train_step`] with fault injection and its recovery
+    /// guard.
+    ///
+    /// An enabled plan may fire:
+    ///
+    /// * [`FaultSite::ReplayCorruption`] — one stored transition has
+    ///   every scalar overwritten with a poisoned (NaN/Inf) value before
+    ///   sampling;
+    /// * [`FaultSite::GradientPoison`] — one gradient component is
+    ///   replaced with NaN/Inf after backprop.
+    ///
+    /// Recovery: on the fault-injected path the gradient is checked and
+    /// a non-finite gradient **skips the optimizer step** (weights and
+    /// Adam moments untouched, [`DqnAgent::skipped_train_steps`]
+    /// incremented) instead of silently destroying the network. The
+    /// returned loss may still be non-finite — it is a measurement, not
+    /// an update.
+    ///
+    /// All fault work is gated on [`FaultPoint::is_enabled`], so with a
+    /// [`NullFaultPlan`] this monomorphizes to exactly
+    /// [`DqnAgent::train_step`] (no gradient scan, no extra branch in
+    /// the hot loop).
+    pub fn train_step_with_fault<R: Rng + ?Sized, F: FaultPoint + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        fault: &mut F,
+    ) -> f64 {
+        if fault.is_enabled()
+            && !self.replay.is_empty()
+            && fault.should_fire(FaultSite::ReplayCorruption)
+        {
+            let index = fault.pick_index(FaultSite::ReplayCorruption, self.replay.len());
+            let value = fault.poison(FaultSite::ReplayCorruption);
+            self.replay.corrupt_at(index, value);
+        }
         let Self {
             config,
             online,
@@ -275,6 +384,7 @@ impl DqnAgent {
             replay,
             scratch,
             train_steps,
+            skipped_train_steps,
             last_loss,
             ..
         } = self;
@@ -321,8 +431,22 @@ impl DqnAgent {
         *train_steps += 1;
         let (loss, _) = online.backward_batch(&scratch.targets, &mut scratch.online);
         online.flatten_params_into(&mut scratch.params);
-        optimizer.step(&mut scratch.params, scratch.online.gradient());
-        online.set_params(&scratch.params);
+        if fault.is_enabled() {
+            let mut grads = scratch.online.gradient().to_vec();
+            if fault.should_fire(FaultSite::GradientPoison) {
+                let index = fault.pick_index(FaultSite::GradientPoison, grads.len());
+                grads[index] = fault.poison(FaultSite::GradientPoison);
+            }
+            if grads.iter().all(|g| g.is_finite()) {
+                optimizer.step(&mut scratch.params, &grads);
+                online.set_params(&scratch.params);
+            } else {
+                *skipped_train_steps += 1;
+            }
+        } else {
+            optimizer.step(&mut scratch.params, scratch.online.gradient());
+            online.set_params(&scratch.params);
+        }
         *last_loss = Some(loss);
         loss
     }
@@ -665,6 +789,116 @@ mod tests {
     #[test]
     fn double_dqn_batched_target_selection_is_unchanged() {
         assert_batched_train_step_matches_reference(true);
+    }
+
+    #[test]
+    fn zero_rate_faulted_training_is_bit_exact_with_plain() {
+        use ctjam_fault::{FaultPlan, FaultRates};
+
+        let config = small_config();
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = rng_a.clone();
+        let mut plain = DqnAgent::new(config.clone(), &mut rng_a);
+        let mut faulted = DqnAgent::new(config.clone(), &mut rng_b);
+        let mut plan = FaultPlan::new(77, FaultRates::zero());
+        for i in 0..200 {
+            let mut state = vec![0.0; config.input_size()];
+            state[i % config.input_size()] = (i as f64).sin();
+            let next = state.clone();
+            let a = plain.observe(state.clone(), i % 4, -1.0, next.clone(), &mut rng_a);
+            let b = faulted.observe_with_fault(state, i % 4, -1.0, next, &mut rng_b, &mut plan);
+            assert_eq!(a, b, "loss diverged at step {i}");
+        }
+        assert_eq!(
+            plain.network().flatten_params(),
+            faulted.network().flatten_params()
+        );
+        assert_eq!(faulted.skipped_train_steps(), 0);
+        assert_eq!(plan.total_fired(), 0);
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn poisoned_gradient_skips_the_optimizer_step() {
+        use ctjam_fault::{FaultPlan, FaultRates};
+
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let obs = vec![0.3; config.input_size()];
+        for i in 0..config.warmup {
+            agent.observe(obs.clone(), i % 4, -1.0, obs.clone(), &mut rng);
+        }
+        let before = agent.network().flatten_params();
+        let step_before = agent.optimizer().step_count();
+        let mut plan = FaultPlan::new(1, FaultRates::zero().with(FaultSite::GradientPoison, 1.0));
+        agent.train_step_with_fault(&mut rng, &mut plan);
+        // Weights and Adam state must be exactly what they were.
+        assert_eq!(agent.network().flatten_params(), before);
+        assert_eq!(agent.optimizer().step_count(), step_before);
+        assert_eq!(agent.skipped_train_steps(), 1);
+        assert_eq!(plan.fired(FaultSite::GradientPoison), 1);
+    }
+
+    #[test]
+    fn corrupted_replay_never_destroys_the_network() {
+        use ctjam_fault::{FaultPlan, FaultRates};
+
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let mut plan = FaultPlan::new(2, FaultRates::zero().with(FaultSite::ReplayCorruption, 0.5));
+        let obs = vec![0.1; config.input_size()];
+        for i in 0..300 {
+            agent.observe_with_fault(obs.clone(), i % 4, -2.0, obs.clone(), &mut rng, &mut plan);
+        }
+        assert!(plan.fired(FaultSite::ReplayCorruption) > 0);
+        // NaN-tainted minibatches skipped their updates...
+        assert!(agent.skipped_train_steps() > 0);
+        // ...so the surviving weights stay finite.
+        assert!(agent
+            .network()
+            .flatten_params()
+            .iter()
+            .all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn from_parts_reproduces_training_bit_exactly() {
+        let config = small_config();
+        let mut rng = StdRng::seed_from_u64(35);
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        let obs = vec![0.2; config.input_size()];
+        for i in 0..100 {
+            agent.observe(obs.clone(), i % 4, -1.0, obs.clone(), &mut rng);
+        }
+        let mut resumed = DqnAgent::from_parts(
+            agent.config().clone(),
+            agent.network().clone(),
+            agent.target_network().clone(),
+            agent.optimizer().clone(),
+            ReplayBuffer::restore(
+                agent.replay().capacity(),
+                agent.replay().items().to_vec(),
+                agent.replay().write_index(),
+            ),
+            agent.steps(),
+            agent.train_steps(),
+            agent.skipped_train_steps(),
+            agent.last_loss(),
+        );
+        let mut rng2 = rng.clone();
+        for i in 0..50 {
+            let a = agent.observe(obs.clone(), i % 4, -1.0, obs.clone(), &mut rng);
+            let b = resumed.observe(obs.clone(), i % 4, -1.0, obs.clone(), &mut rng2);
+            assert_eq!(a, b, "loss diverged at resumed step {i}");
+        }
+        assert_eq!(
+            agent.network().flatten_params(),
+            resumed.network().flatten_params()
+        );
+        assert_eq!(agent.steps(), resumed.steps());
+        assert_eq!(agent.train_steps(), resumed.train_steps());
     }
 
     #[test]

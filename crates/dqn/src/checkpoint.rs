@@ -1,0 +1,582 @@
+//! Checkpoint/resume for DQN training.
+//!
+//! A checkpoint file is:
+//!
+//! ```text
+//! magic "CTJC" · version u32 LE · payload · FNV-1a-64 checksum (u64 LE)
+//! ```
+//!
+//! where the checksum covers everything before it. Writes go through a
+//! tempfile + atomic rename, so a crash mid-write leaves either the old
+//! checkpoint or none — never a torn file. Reads verify magic, version,
+//! and checksum before any field is parsed, so truncation or bit-rot
+//! surfaces as a typed [`CheckpointError`], not a panic or a silently
+//! wrong agent.
+//!
+//! The agent payload ([`encode_agent`]/[`decode_agent`]) captures every
+//! piece of training state — config, both networks (f64-exact), Adam
+//! moments, the replay buffer with its write cursor, and the step
+//! counters — so a resumed run continues **bit-exactly** where the saved
+//! run left off (asserted by `tests/determinism.rs`).
+
+use crate::agent::DqnAgent;
+use crate::config::DqnConfig;
+use crate::replay::{Experience, ReplayBuffer};
+use bytes::BufMut;
+use ctjam_nn::optimizer::Adam;
+use ctjam_nn::serialize::{from_bytes_exact, to_bytes_exact, SerializeError};
+use ctjam_telemetry::manifest::fnv1a_64;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Magic tag of the checkpoint container.
+const MAGIC: &[u8; 4] = b"CTJC";
+
+/// Current container version.
+const VERSION: u32 = 1;
+
+/// Errors from reading or writing a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem error (message carries the OS detail).
+    Io(String),
+    /// Missing or wrong magic tag — not a checkpoint file.
+    BadMagic,
+    /// The container version is newer than this build understands.
+    BadVersion(u32),
+    /// The file ended prematurely.
+    Truncated,
+    /// The checksum does not match the contents (bit-rot, torn write,
+    /// or deliberate corruption).
+    ChecksumMismatch,
+    /// The payload parsed but declares impossible state (bad shapes,
+    /// out-of-range cursors, invalid configuration).
+    Malformed,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a ctjam checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint ended prematurely"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::Malformed => write!(f, "checkpoint declares invalid state"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Wraps a payload in the container format (magic, version, checksum).
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_slice(payload);
+    let checksum = fnv1a_64(&out);
+    out.put_u64_le(checksum);
+    out
+}
+
+/// Verifies a container and returns its payload slice.
+///
+/// # Errors
+///
+/// Returns the corresponding [`CheckpointError`] on any violation.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < 16 {
+        return Err(CheckpointError::Truncated);
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(&bytes[bytes.len() - 8..]);
+    if fnv1a_64(body) != u64::from_le_bytes(stored) {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    let mut version = [0u8; 4];
+    version.copy_from_slice(&bytes[4..8]);
+    let version = u32::from_le_bytes(version);
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    Ok(&body[8..])
+}
+
+/// Writes a sealed payload to `path` atomically: the bytes go to
+/// `<path>.tmp` first and are renamed into place, so a crash mid-write
+/// never leaves a torn checkpoint.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failure.
+pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
+    let sealed = seal(payload);
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &sealed).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Reads and verifies a checkpoint file, returning its payload.
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] on I/O failure or corruption.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let bytes = fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    unseal(&bytes).map(<[u8]>::to_vec)
+}
+
+// ---- safe little-endian readers (Truncated instead of panic) ----
+// Public so downstream checkpoint composers (the defender checkpoint in
+// `ctjam-core`) can append their own fields with the same discipline.
+
+/// Reads a little-endian `u64`, or [`CheckpointError::Truncated`].
+pub fn take_u64(cursor: &mut &[u8]) -> Result<u64, CheckpointError> {
+    if cursor.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&cursor[..8]);
+    *cursor = &cursor[8..];
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// Reads a `u64` and converts it to `usize`, or a typed error.
+pub fn take_usize(cursor: &mut &[u8]) -> Result<usize, CheckpointError> {
+    usize::try_from(take_u64(cursor)?).map_err(|_| CheckpointError::Malformed)
+}
+
+/// Reads a little-endian `f64` (bit-exact), or
+/// [`CheckpointError::Truncated`].
+pub fn take_f64(cursor: &mut &[u8]) -> Result<f64, CheckpointError> {
+    Ok(f64::from_bits(take_u64(cursor)?))
+}
+
+/// Reads a `0`/`1` byte as a bool, or a typed error.
+pub fn take_bool(cursor: &mut &[u8]) -> Result<bool, CheckpointError> {
+    if cursor.is_empty() {
+        return Err(CheckpointError::Truncated);
+    }
+    let b = cursor[0];
+    *cursor = &cursor[1..];
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CheckpointError::Malformed),
+    }
+}
+
+/// Reads a length-prefixed `f64` vector, or a typed error.
+pub fn take_f64_vec(cursor: &mut &[u8]) -> Result<Vec<f64>, CheckpointError> {
+    let len = take_usize(cursor)?;
+    // Bound the allocation by what the buffer can actually hold.
+    if cursor.len() < len.checked_mul(8).ok_or(CheckpointError::Malformed)? {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(take_f64(cursor)?);
+    }
+    Ok(out)
+}
+
+fn take_blob<'a>(cursor: &mut &'a [u8]) -> Result<&'a [u8], CheckpointError> {
+    let len = take_usize(cursor)?;
+    if cursor.len() < len {
+        return Err(CheckpointError::Truncated);
+    }
+    let (blob, rest) = cursor.split_at(len);
+    *cursor = rest;
+    Ok(blob)
+}
+
+/// Appends a length-prefixed `f64` vector (bit-exact).
+pub fn put_f64_vec(buf: &mut Vec<u8>, values: &[f64]) {
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        buf.put_u64_le(v.to_bits());
+    }
+}
+
+fn nn_error(e: SerializeError) -> CheckpointError {
+    match e {
+        SerializeError::Truncated => CheckpointError::Truncated,
+        SerializeError::BadMagic | SerializeError::BadShape => CheckpointError::Malformed,
+    }
+}
+
+/// Serializes an agent's complete training state into `buf`.
+pub fn encode_agent(agent: &DqnAgent, buf: &mut Vec<u8>) {
+    let c = agent.config();
+    buf.put_u64_le(c.history_len as u64);
+    buf.put_u64_le(c.num_channels as u64);
+    buf.put_u64_le(c.num_power_levels as u64);
+    buf.put_u64_le(c.hidden.0 as u64);
+    buf.put_u64_le(c.hidden.1 as u64);
+    buf.put_u64_le(c.gamma.to_bits());
+    buf.put_u64_le(c.learning_rate.to_bits());
+    buf.put_u64_le(c.replay_capacity as u64);
+    buf.put_u64_le(c.batch_size as u64);
+    buf.put_u64_le(c.target_sync_interval as u64);
+    buf.put_u64_le(c.epsilon_start.to_bits());
+    buf.put_u64_le(c.epsilon_end.to_bits());
+    buf.put_u64_le(c.epsilon_decay_steps as u64);
+    buf.put_u64_le(c.train_interval as u64);
+    buf.put_u64_le(c.warmup as u64);
+    buf.put_slice(&[u8::from(c.double_dqn)]);
+
+    let online = to_bytes_exact(agent.network());
+    buf.put_u64_le(online.len() as u64);
+    buf.put_slice(&online);
+    let target = to_bytes_exact(agent.target_network());
+    buf.put_u64_le(target.len() as u64);
+    buf.put_slice(&target);
+
+    let opt = agent.optimizer();
+    buf.put_u64_le(opt.learning_rate().to_bits());
+    buf.put_u64_le(opt.step_count());
+    put_f64_vec(buf, opt.first_moment());
+    put_f64_vec(buf, opt.second_moment());
+
+    let replay = agent.replay();
+    buf.put_u64_le(replay.capacity() as u64);
+    buf.put_u64_le(replay.write_index() as u64);
+    buf.put_u64_le(replay.items().len() as u64);
+    for e in replay.items() {
+        put_f64_vec(buf, &e.state);
+        buf.put_u64_le(e.action as u64);
+        buf.put_u64_le(e.reward.to_bits());
+        put_f64_vec(buf, &e.next_state);
+    }
+
+    buf.put_u64_le(agent.steps() as u64);
+    buf.put_u64_le(agent.train_steps() as u64);
+    buf.put_u64_le(agent.skipped_train_steps() as u64);
+    match agent.last_loss() {
+        Some(loss) => {
+            buf.put_slice(&[1]);
+            buf.put_u64_le(loss.to_bits());
+        }
+        None => buf.put_slice(&[0]),
+    }
+}
+
+/// Deserializes an agent from [`encode_agent`] output, advancing the
+/// cursor past it.
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] on truncation or invalid state.
+pub fn decode_agent(cursor: &mut &[u8]) -> Result<DqnAgent, CheckpointError> {
+    let config = DqnConfig {
+        history_len: take_usize(cursor)?,
+        num_channels: take_usize(cursor)?,
+        num_power_levels: take_usize(cursor)?,
+        hidden: (take_usize(cursor)?, take_usize(cursor)?),
+        gamma: take_f64(cursor)?,
+        learning_rate: take_f64(cursor)?,
+        replay_capacity: take_usize(cursor)?,
+        batch_size: take_usize(cursor)?,
+        target_sync_interval: take_usize(cursor)?,
+        epsilon_start: take_f64(cursor)?,
+        epsilon_end: take_f64(cursor)?,
+        epsilon_decay_steps: take_usize(cursor)?,
+        train_interval: take_usize(cursor)?,
+        warmup: take_usize(cursor)?,
+        double_dqn: take_bool(cursor)?,
+    };
+    // `DqnConfig::validate` (inside `from_parts`) panics on bad configs;
+    // a checkpoint must fail cleanly instead.
+    if config.history_len == 0
+        || config.num_channels == 0
+        || config.num_power_levels == 0
+        || config.hidden.0 == 0
+        || config.hidden.1 == 0
+        || !(0.0..1.0).contains(&config.gamma)
+        || config.learning_rate.is_nan()
+        || config.learning_rate <= 0.0
+        || config.batch_size == 0
+        || config.replay_capacity < config.batch_size
+        || !(0.0..=1.0).contains(&config.epsilon_start)
+        || !(0.0..=1.0).contains(&config.epsilon_end)
+        || config.train_interval == 0
+    {
+        return Err(CheckpointError::Malformed);
+    }
+
+    let online = from_bytes_exact(take_blob(cursor)?).map_err(nn_error)?;
+    let target = from_bytes_exact(take_blob(cursor)?).map_err(nn_error)?;
+    if online.input_size() != config.input_size()
+        || online.output_size() != config.num_actions()
+        || target.input_size() != config.input_size()
+        || target.output_size() != config.num_actions()
+    {
+        return Err(CheckpointError::Malformed);
+    }
+
+    let opt_lr = take_f64(cursor)?;
+    let opt_step = take_u64(cursor)?;
+    let m = take_f64_vec(cursor)?;
+    let v = take_f64_vec(cursor)?;
+    if m.len() != v.len()
+        || (!m.is_empty() && m.len() != online.param_count())
+        || opt_lr.is_nan()
+        || opt_lr <= 0.0
+    {
+        return Err(CheckpointError::Malformed);
+    }
+    let optimizer = Adam::restore(opt_lr, opt_step, m, v);
+
+    let capacity = take_usize(cursor)?;
+    let write = take_usize(cursor)?;
+    let num_items = take_usize(cursor)?;
+    if capacity != config.replay_capacity || num_items > capacity || write >= capacity {
+        return Err(CheckpointError::Malformed);
+    }
+    let mut items = Vec::with_capacity(num_items.min(4096));
+    for _ in 0..num_items {
+        let state = take_f64_vec(cursor)?;
+        let action = take_usize(cursor)?;
+        let reward = take_f64(cursor)?;
+        let next_state = take_f64_vec(cursor)?;
+        if state.len() != config.input_size()
+            || next_state.len() != config.input_size()
+            || action >= config.num_actions()
+        {
+            return Err(CheckpointError::Malformed);
+        }
+        items.push(Experience {
+            state,
+            action,
+            reward,
+            next_state,
+        });
+    }
+    let replay = ReplayBuffer::restore(capacity, items, write);
+
+    let steps = take_usize(cursor)?;
+    let train_steps = take_usize(cursor)?;
+    let skipped_train_steps = take_usize(cursor)?;
+    let last_loss = if take_bool(cursor)? {
+        Some(take_f64(cursor)?)
+    } else {
+        None
+    };
+
+    Ok(DqnAgent::from_parts(
+        config,
+        online,
+        target,
+        optimizer,
+        replay,
+        steps,
+        train_steps,
+        skipped_train_steps,
+        last_loss,
+    ))
+}
+
+/// Saves an agent to `path` (sealed container, atomic write).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failure.
+pub fn save_agent(agent: &DqnAgent, path: &Path) -> Result<(), CheckpointError> {
+    let mut payload = Vec::new();
+    encode_agent(agent, &mut payload);
+    write_checkpoint(path, &payload)
+}
+
+/// Loads an agent saved by [`save_agent`].
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] on I/O failure or corruption.
+pub fn load_agent(path: &Path) -> Result<DqnAgent, CheckpointError> {
+    let payload = read_checkpoint(path)?;
+    let mut cursor = payload.as_slice();
+    let agent = decode_agent(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(CheckpointError::Malformed);
+    }
+    Ok(agent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_agent(seed: u64, steps: usize) -> (DqnAgent, StdRng) {
+        let config = DqnConfig {
+            history_len: 2,
+            num_channels: 4,
+            num_power_levels: 2,
+            hidden: (12, 12),
+            replay_capacity: 500,
+            batch_size: 8,
+            warmup: 16,
+            target_sync_interval: 20,
+            ..DqnConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        for i in 0..steps {
+            let mut state = vec![0.0; config.input_size()];
+            state[i % config.input_size()] = (i as f64).sin();
+            let next = state.clone();
+            agent.observe(state, i % config.num_actions(), -1.0, next, &mut rng);
+        }
+        (agent, rng)
+    }
+
+    #[test]
+    fn agent_roundtrips_through_bytes() {
+        let (agent, _) = trained_agent(1, 120);
+        let mut payload = Vec::new();
+        encode_agent(&agent, &mut payload);
+        let mut cursor = payload.as_slice();
+        let back = decode_agent(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back.config(), agent.config());
+        assert_eq!(
+            back.network().flatten_params(),
+            agent.network().flatten_params()
+        );
+        assert_eq!(
+            back.target_network().flatten_params(),
+            agent.target_network().flatten_params()
+        );
+        assert_eq!(
+            back.optimizer().step_count(),
+            agent.optimizer().step_count()
+        );
+        assert_eq!(
+            back.optimizer().first_moment(),
+            agent.optimizer().first_moment()
+        );
+        assert_eq!(back.replay().items(), agent.replay().items());
+        assert_eq!(back.replay().write_index(), agent.replay().write_index());
+        assert_eq!(back.steps(), agent.steps());
+        assert_eq!(back.train_steps(), agent.train_steps());
+        assert_eq!(back.last_loss(), agent.last_loss());
+    }
+
+    #[test]
+    fn file_roundtrip_and_atomic_write() {
+        let (agent, _) = trained_agent(2, 60);
+        let dir = std::env::temp_dir().join("ctjam_ckpt_roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.ckpt");
+        save_agent(&agent, &path).unwrap();
+        // No tempfile left behind.
+        assert!(!path.with_extension("tmp").exists());
+        let back = load_agent(&path).unwrap();
+        assert_eq!(
+            back.network().flatten_params(),
+            agent.network().flatten_params()
+        );
+        // Overwrite in place works (rename clobbers).
+        save_agent(&back, &path).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let (agent, _) = trained_agent(3, 60);
+        let mut payload = Vec::new();
+        encode_agent(&agent, &mut payload);
+        let sealed = seal(&payload);
+        for cut in [0, 3, 10, sealed.len() / 2, sealed.len() - 1] {
+            let err = unseal(&sealed[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::BadMagic
+                        | CheckpointError::Truncated
+                        | CheckpointError::ChecksumMismatch
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let (agent, _) = trained_agent(4, 40);
+        let mut payload = Vec::new();
+        encode_agent(&agent, &mut payload);
+        let sealed = seal(&payload);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let mut bad = sealed.clone();
+            let i = rng.gen_range(0..bad.len());
+            let bit = rng.gen_range(0..8u32);
+            bad[i] ^= 1 << bit;
+            assert!(
+                unseal(&bad).is_err(),
+                "flip at byte {i} bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = Vec::new();
+        bytes.put_slice(MAGIC);
+        bytes.put_u32_le(99);
+        bytes.put_slice(b"payload");
+        let checksum = fnv1a_64(&bytes);
+        bytes.put_u64_le(checksum);
+        assert_eq!(unseal(&bytes).unwrap_err(), CheckpointError::BadVersion(99));
+    }
+
+    #[test]
+    fn garbage_payload_with_valid_seal_is_malformed_or_truncated() {
+        // A sealed container whose payload is noise must fail *cleanly*.
+        let mut rng = StdRng::seed_from_u64(10);
+        for len in [0usize, 1, 16, 200, 1000] {
+            let junk: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let sealed = seal(&junk);
+            let payload = unseal(&sealed).unwrap();
+            let mut cursor = payload;
+            match decode_agent(&mut cursor) {
+                Err(CheckpointError::Truncated | CheckpointError::Malformed) => {}
+                other => panic!("garbage len {len} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_agent(Path::new("/nonexistent/agent.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn resumed_agent_trains_bit_exactly() {
+        let (mut agent, mut rng) = trained_agent(5, 100);
+        let mut payload = Vec::new();
+        encode_agent(&agent, &mut payload);
+        let mut cursor = payload.as_slice();
+        let mut resumed = decode_agent(&mut cursor).unwrap();
+        let mut rng2 = rng.clone();
+        let obs = vec![0.4; agent.config().input_size()];
+        for i in 0..60 {
+            let a = agent.observe(obs.clone(), i % 8, -2.0, obs.clone(), &mut rng);
+            let b = resumed.observe(obs.clone(), i % 8, -2.0, obs.clone(), &mut rng2);
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            agent.network().flatten_params(),
+            resumed.network().flatten_params()
+        );
+    }
+}

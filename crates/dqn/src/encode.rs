@@ -106,6 +106,27 @@ impl ObservationEncoder {
         self.window.len()
     }
 
+    /// The configured history length `I`.
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// The configured channel count `C`.
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// The configured power-level count `PL`.
+    pub fn num_power_levels(&self) -> usize {
+        self.num_power_levels
+    }
+
+    /// The window contents, oldest first (checkpointing: replaying these
+    /// through [`ObservationEncoder::push`] rebuilds the window).
+    pub fn records(&self) -> impl Iterator<Item = &SlotRecord> {
+        self.window.iter()
+    }
+
     /// Whether the window holds no records yet.
     pub fn is_empty(&self) -> bool {
         self.window.is_empty()

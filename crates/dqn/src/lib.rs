@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod checkpoint;
 pub mod config;
 pub mod encode;
 pub mod replay;

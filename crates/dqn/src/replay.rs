@@ -69,6 +69,48 @@ impl ReplayBuffer {
         self.items.is_empty()
     }
 
+    /// The stored experiences in internal (ring) order — checkpointing
+    /// and diagnostics; sampling does not depend on this order.
+    pub fn items(&self) -> &[Experience] {
+        &self.items
+    }
+
+    /// The ring-buffer write cursor (next overwrite position).
+    pub fn write_index(&self) -> usize {
+        self.write
+    }
+
+    /// Rebuilds a buffer from checkpointed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, `items.len() > capacity`, or the write
+    /// cursor is out of range.
+    pub fn restore(capacity: usize, items: Vec<Experience>, write: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!(items.len() <= capacity, "more items than capacity");
+        assert!(write < capacity, "write cursor out of range");
+        ReplayBuffer {
+            capacity,
+            items,
+            write,
+        }
+    }
+
+    /// Overwrites every scalar of the transition at `index` with
+    /// `value` — fault injection's replay-corruption hook
+    /// (`FaultSite::ReplayCorruption`). Returns `false` when the index
+    /// is out of range.
+    pub fn corrupt_at(&mut self, index: usize, value: f64) -> bool {
+        let Some(e) = self.items.get_mut(index) else {
+            return false;
+        };
+        e.state.fill(value);
+        e.next_state.fill(value);
+        e.reward = value;
+        true
+    }
+
     /// Inserts an experience, overwriting the oldest once full.
     pub fn push(&mut self, experience: Experience) {
         if self.items.len() < self.capacity {
@@ -212,6 +254,41 @@ mod tests {
         }
         // Both RNGs advanced identically.
         assert_eq!(rng_a.gen_range(0..u32::MAX), rng_b.gen_range(0..u32::MAX));
+    }
+
+    #[test]
+    fn restore_reproduces_the_buffer() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(exp(i as f64));
+        }
+        let copy = ReplayBuffer::restore(buf.capacity(), buf.items().to_vec(), buf.write_index());
+        assert_eq!(copy.items(), buf.items());
+        assert_eq!(copy.write_index(), buf.write_index());
+        // Sampling draws identically from original and restored buffers.
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = rng_a.clone();
+        let a: Vec<f64> = buf.sample(8, &mut rng_a).iter().map(|e| e.reward).collect();
+        let b: Vec<f64> = copy
+            .sample(8, &mut rng_b)
+            .iter()
+            .map(|e| e.reward)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_at_poisons_one_transition() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..4 {
+            buf.push(exp(i as f64));
+        }
+        assert!(buf.corrupt_at(2, f64::NAN));
+        assert!(buf.items()[2].reward.is_nan());
+        assert!(buf.items()[2].state.iter().all(|v| v.is_nan()));
+        // Neighbours untouched.
+        assert_eq!(buf.items()[1].reward, 1.0);
+        assert!(!buf.corrupt_at(99, 0.0));
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Seeded, deterministic fault injection for the CTJam suite.
+//!
+//! The paper's whole premise is operating under adversarial degradation —
+//! EmuBee corrupts ZigBee frames so receivers burn decode time on invalid
+//! packets (§II) — yet a simulator is only trustworthy under misbehaviour
+//! if the misbehaviour itself is reproducible. This crate provides:
+//!
+//! * [`FaultPoint`] — the injection trait. Every hook has a no-op default
+//!   body and [`NullFaultPlan`] implements none of them, so a run
+//!   monomorphised over `NullFaultPlan` compiles to exactly the
+//!   fault-free loop (the same zero-cost pattern as
+//!   `ctjam_telemetry::NullSink`).
+//! * [`FaultPlan`] — a seeded schedule of fault events keyed by
+//!   [`FaultSite`]. The plan carries its **own** RNG stream, derived only
+//!   from its seed, so attaching a plan never perturbs the run's main RNG:
+//!   a plan whose rates are all zero is bit-exact with no plan at all
+//!   (asserted by `tests/chaos.rs`), and any chaos failure replays from
+//!   the `(run seed, fault seed, rates)` triple recorded in the run
+//!   manifest.
+//! * [`recovery`] — the policies the faults demand: bounded
+//!   [`RetryPolicy`] with exponential backoff + jitter, and per-exchange
+//!   [`Deadline`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use ctjam_fault::{FaultPlan, FaultPoint, FaultRates, FaultSite};
+//!
+//! let rates = FaultRates::zero().with(FaultSite::FrameCorruption, 1.0);
+//! let mut plan = FaultPlan::new(7, rates);
+//! let mut psdu = vec![0xAA; 16];
+//! assert!(plan.corrupt_bytes(FaultSite::FrameCorruption, &mut psdu));
+//! assert_eq!(plan.fired(FaultSite::FrameCorruption), 1);
+//! assert_ne!(psdu, vec![0xAA; 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod recovery;
+
+pub use plan::{FaultPlan, FaultPoint, FaultRates, FaultSite, NullFaultPlan, NUM_FAULT_SITES};
+pub use recovery::{Deadline, RetryOutcome, RetryPolicy};

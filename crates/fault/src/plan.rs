@@ -1,0 +1,456 @@
+//! Fault sites, the injection trait, and the seeded fault plan.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everywhere the suite can inject a fault.
+///
+/// Sites are stable identifiers: a fault plan is replayable only if the
+/// meaning of each site never changes, so variants are append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum FaultSite {
+    /// Bit-flips in a serialized MAC frame beyond what the channel model
+    /// produces (`ctjam-net`, star data path).
+    FrameCorruption = 0,
+    /// A control/negotiation exchange is lost outright.
+    ControlDrop = 1,
+    /// A control/negotiation exchange is duplicated (the peripheral
+    /// answers twice, costing a second poll).
+    ControlDuplicate = 2,
+    /// A control/negotiation exchange is delayed by a backoff-scale
+    /// stall before completing.
+    ControlDelay = 3,
+    /// The hub stalls at the start of a slot (GC pause, flash write,
+    /// watchdog reset — dead air either way).
+    HubStall = 4,
+    /// A telemetry sink write fails (`ctjam-core::runner` demotes the
+    /// sink to a null sink instead of aborting).
+    SinkWrite = 5,
+    /// The per-slot decision missed its deadline; the runner falls back
+    /// to repeating the previous slot's decision.
+    DeadlineOverrun = 6,
+    /// A NaN/Inf is injected into the DQN gradient (`ctjam-dqn` skips
+    /// the poisoned optimizer step).
+    GradientPoison = 7,
+    /// A stored replay-buffer transition is overwritten with a poisoned
+    /// value.
+    ReplayCorruption = 8,
+}
+
+/// Number of distinct [`FaultSite`]s.
+pub const NUM_FAULT_SITES: usize = 9;
+
+impl FaultSite {
+    /// Every site, in `repr` order.
+    pub const ALL: [FaultSite; NUM_FAULT_SITES] = [
+        FaultSite::FrameCorruption,
+        FaultSite::ControlDrop,
+        FaultSite::ControlDuplicate,
+        FaultSite::ControlDelay,
+        FaultSite::HubStall,
+        FaultSite::SinkWrite,
+        FaultSite::DeadlineOverrun,
+        FaultSite::GradientPoison,
+        FaultSite::ReplayCorruption,
+    ];
+
+    /// Stable snake_case name (manifest keys, counter labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::FrameCorruption => "frame_corruption",
+            FaultSite::ControlDrop => "control_drop",
+            FaultSite::ControlDuplicate => "control_duplicate",
+            FaultSite::ControlDelay => "control_delay",
+            FaultSite::HubStall => "hub_stall",
+            FaultSite::SinkWrite => "sink_write",
+            FaultSite::DeadlineOverrun => "deadline_overrun",
+            FaultSite::GradientPoison => "gradient_poison",
+            FaultSite::ReplayCorruption => "replay_corruption",
+        }
+    }
+}
+
+/// Receiver for fault-injection queries at instrumented call sites.
+///
+/// Every method has a "nothing happens" default body, and
+/// [`NullFaultPlan`] implements none of them, so a hot loop
+/// monomorphised over `NullFaultPlan` compiles down to the fault-free
+/// code — the same zero-cost contract as `ctjam_telemetry::EventSink`.
+///
+/// Call sites gate any work that exists only to *feed* the plan (e.g.
+/// serializing a frame so its bytes can be corrupted) behind
+/// [`FaultPoint::is_enabled`].
+pub trait FaultPoint {
+    /// Whether any fault can ever fire. `false` lets call sites skip
+    /// fault-only work entirely.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Rolls the site's dice once; `true` means the fault fires now.
+    fn should_fire(&mut self, site: FaultSite) -> bool {
+        let _ = site;
+        false
+    }
+
+    /// Rolls the site's dice and, on a hit, flips one random bit of
+    /// `bytes`. Returns whether a corruption happened.
+    fn corrupt_bytes(&mut self, site: FaultSite, bytes: &mut [u8]) -> bool {
+        let _ = (site, bytes);
+        false
+    }
+
+    /// A poisoned scalar for the site (NaN/Inf). Does **not** roll the
+    /// dice — gate with [`FaultPoint::should_fire`].
+    fn poison(&mut self, site: FaultSite) -> f64 {
+        let _ = site;
+        0.0
+    }
+
+    /// A uniformly random index in `0..len` from the plan's own stream
+    /// (e.g. which replay slot to corrupt). Does not roll the dice.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `len == 0`.
+    fn pick_index(&mut self, site: FaultSite, len: usize) -> usize {
+        let _ = (site, len);
+        0
+    }
+
+    /// How many times the site has fired so far.
+    fn fired(&self, site: FaultSite) -> u64 {
+        let _ = site;
+        0
+    }
+
+    /// Total faults fired across all sites.
+    fn total_fired(&self) -> u64 {
+        0
+    }
+}
+
+/// The zero-cost plan: injects nothing, compiles away.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullFaultPlan;
+
+impl FaultPoint for NullFaultPlan {}
+
+// Allow passing `&mut plan` where a plan is consumed by value-generic code.
+impl<F: FaultPoint + ?Sized> FaultPoint for &mut F {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+    fn should_fire(&mut self, site: FaultSite) -> bool {
+        (**self).should_fire(site)
+    }
+    fn corrupt_bytes(&mut self, site: FaultSite, bytes: &mut [u8]) -> bool {
+        (**self).corrupt_bytes(site, bytes)
+    }
+    fn poison(&mut self, site: FaultSite) -> f64 {
+        (**self).poison(site)
+    }
+    fn pick_index(&mut self, site: FaultSite, len: usize) -> usize {
+        (**self).pick_index(site, len)
+    }
+    fn fired(&self, site: FaultSite) -> u64 {
+        (**self).fired(site)
+    }
+    fn total_fired(&self) -> u64 {
+        (**self).total_fired()
+    }
+}
+
+/// Per-site fire probabilities of a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates([f64; NUM_FAULT_SITES]);
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::zero()
+    }
+}
+
+impl FaultRates {
+    /// All sites at probability zero (a plan that never fires — and is
+    /// bit-exact with running no plan at all).
+    pub fn zero() -> Self {
+        FaultRates([0.0; NUM_FAULT_SITES])
+    }
+
+    /// Every site at the same probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn uniform(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fault rate {p} not in [0, 1]");
+        FaultRates([p; NUM_FAULT_SITES])
+    }
+
+    /// Returns a copy with one site's probability replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    #[must_use]
+    pub fn with(mut self, site: FaultSite, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fault rate {p} not in [0, 1]");
+        self.0[site as usize] = p;
+        self
+    }
+
+    /// The probability configured for a site.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        self.0[site as usize]
+    }
+
+    /// Whether every site is at probability zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&p| p == 0.0)
+    }
+
+    /// Stable one-line description for run manifests
+    /// (`site=rate` pairs for the non-zero sites, or `"none"`).
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = FaultSite::ALL
+            .iter()
+            .filter(|&&s| self.rate(s) > 0.0)
+            .map(|&s| format!("{}={}", s.name(), self.rate(s)))
+            .collect();
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of fault events.
+///
+/// The plan owns a private `StdRng` derived only from its seed, so its
+/// dice rolls never consume the run's main RNG stream: enabling a plan
+/// changes the run **only** through the faults that actually fire. In
+/// particular a plan with [`FaultRates::zero`] is bit-exact with the
+/// fault-free path, which is what makes every chaos failure a one-line
+/// repro: re-create the plan from the `(seed, rates)` pair in the run
+/// manifest and re-run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    rng: StdRng,
+    fired: [u64; NUM_FAULT_SITES],
+    flip: bool,
+}
+
+impl FaultPlan {
+    /// Creates a plan from its replay triple: seed and per-site rates.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        FaultPlan {
+            seed,
+            rates,
+            // Decorrelate from run seeds, which conventionally feed
+            // StdRng::seed_from_u64 directly.
+            rng: StdRng::seed_from_u64(seed ^ 0xFA17_FA17_FA17_FA17),
+            fired: [0; NUM_FAULT_SITES],
+            flip: false,
+        }
+    }
+
+    /// The seed the plan was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured per-site rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Per-site fired counters in [`FaultSite::ALL`] order.
+    pub fn fired_counts(&self) -> [u64; NUM_FAULT_SITES] {
+        self.fired
+    }
+}
+
+impl FaultPoint for FaultPlan {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn should_fire(&mut self, site: FaultSite) -> bool {
+        let p = self.rates.rate(site);
+        // Zero-rate sites must not consume the plan's stream either, so
+        // two plans differing only in disabled sites stay comparable.
+        if p <= 0.0 {
+            return false;
+        }
+        if self.rng.gen_bool(p) {
+            self.fired[site as usize] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn corrupt_bytes(&mut self, site: FaultSite, bytes: &mut [u8]) -> bool {
+        if bytes.is_empty() || !self.should_fire(site) {
+            return false;
+        }
+        let byte = self.rng.gen_range(0..bytes.len());
+        let bit = self.rng.gen_range(0..8u32);
+        bytes[byte] ^= 1 << bit;
+        true
+    }
+
+    fn poison(&mut self, site: FaultSite) -> f64 {
+        let _ = site;
+        // Alternate NaN and Inf so both non-finite classes get exercised.
+        self.flip = !self.flip;
+        if self.flip {
+            f64::NAN
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn pick_index(&mut self, site: FaultSite, len: usize) -> usize {
+        let _ = site;
+        assert!(len > 0, "cannot pick an index from an empty range");
+        self.rng.gen_range(0..len)
+    }
+
+    fn fired(&self, site: FaultSite) -> u64 {
+        self.fired[site as usize]
+    }
+
+    fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_plan_is_inert() {
+        let mut null = NullFaultPlan;
+        assert!(!null.is_enabled());
+        let mut bytes = vec![1, 2, 3];
+        for site in FaultSite::ALL {
+            assert!(!null.should_fire(site));
+            assert!(!null.corrupt_bytes(site, &mut bytes));
+            assert_eq!(null.fired(site), 0);
+        }
+        assert_eq!(bytes, vec![1, 2, 3]);
+        assert_eq!(null.total_fired(), 0);
+    }
+
+    #[test]
+    fn plan_is_deterministic_from_its_seed() {
+        let rates = FaultRates::uniform(0.5);
+        let mut a = FaultPlan::new(42, rates);
+        let mut b = FaultPlan::new(42, rates);
+        for _ in 0..200 {
+            assert_eq!(
+                a.should_fire(FaultSite::ControlDrop),
+                b.should_fire(FaultSite::ControlDrop)
+            );
+        }
+        assert_eq!(a.fired_counts(), b.fired_counts());
+    }
+
+    #[test]
+    fn zero_rate_sites_never_fire_and_never_draw() {
+        let rates = FaultRates::zero().with(FaultSite::HubStall, 1.0);
+        let mut a = FaultPlan::new(9, rates);
+        let mut b = FaultPlan::new(9, rates);
+        // Interleave zero-rate queries into one plan only; streams must
+        // stay aligned because zero-rate sites are draw-free.
+        for _ in 0..100 {
+            assert!(!a.should_fire(FaultSite::ControlDrop));
+            assert!(a.should_fire(FaultSite::HubStall));
+            assert!(b.should_fire(FaultSite::HubStall));
+        }
+        assert_eq!(a.fired(FaultSite::HubStall), b.fired(FaultSite::HubStall));
+        assert_eq!(a.fired(FaultSite::ControlDrop), 0);
+    }
+
+    #[test]
+    fn fire_rate_tracks_configured_probability() {
+        let mut plan = FaultPlan::new(7, FaultRates::uniform(0.3));
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| plan.should_fire(FaultSite::FrameCorruption))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+        assert_eq!(plan.fired(FaultSite::FrameCorruption), hits as u64);
+        assert_eq!(plan.total_fired(), hits as u64);
+    }
+
+    #[test]
+    fn corrupt_bytes_flips_exactly_one_bit() {
+        let mut plan = FaultPlan::new(1, FaultRates::zero().with(FaultSite::FrameCorruption, 1.0));
+        let original = vec![0x55u8; 32];
+        for _ in 0..50 {
+            let mut bytes = original.clone();
+            assert!(plan.corrupt_bytes(FaultSite::FrameCorruption, &mut bytes));
+            let flipped: u32 = bytes
+                .iter()
+                .zip(&original)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1);
+        }
+        // Empty buffers are left alone without rolling the dice.
+        assert!(!plan.corrupt_bytes(FaultSite::FrameCorruption, &mut []));
+    }
+
+    #[test]
+    fn poison_alternates_nan_and_inf() {
+        let mut plan = FaultPlan::new(3, FaultRates::uniform(1.0));
+        let a = plan.poison(FaultSite::GradientPoison);
+        let b = plan.poison(FaultSite::GradientPoison);
+        assert!(a.is_nan());
+        assert!(b.is_infinite());
+    }
+
+    #[test]
+    fn pick_index_is_in_range() {
+        let mut plan = FaultPlan::new(5, FaultRates::uniform(1.0));
+        for len in 1..20 {
+            for _ in 0..20 {
+                assert!(plan.pick_index(FaultSite::ReplayCorruption, len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_builder_and_description() {
+        let rates = FaultRates::zero()
+            .with(FaultSite::ControlDrop, 0.25)
+            .with(FaultSite::GradientPoison, 0.1);
+        assert_eq!(rates.rate(FaultSite::ControlDrop), 0.25);
+        assert_eq!(rates.rate(FaultSite::HubStall), 0.0);
+        assert!(!rates.is_zero());
+        assert_eq!(rates.describe(), "control_drop=0.25,gradient_poison=0.1");
+        assert_eq!(FaultRates::zero().describe(), "none");
+        assert!(FaultRates::zero().is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rate_rejected() {
+        let _ = FaultRates::zero().with(FaultSite::ControlDrop, 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pick_index_from_empty_range_panics() {
+        FaultPlan::new(0, FaultRates::uniform(1.0)).pick_index(FaultSite::ReplayCorruption, 0);
+    }
+}

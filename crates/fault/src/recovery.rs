@@ -1,0 +1,288 @@
+//! Recovery policies: bounded retry with backoff + jitter, and
+//! per-exchange deadlines.
+//!
+//! Everything here works in **simulated seconds** (the suite's time
+//! base), not wall-clock time: a retry "waits" by charging backoff
+//! seconds to the slot's overhead budget, and a [`Deadline`] expires
+//! when the charged time exceeds its budget.
+
+use rand::Rng;
+
+/// Bounded retry with exponential backoff and multiplicative jitter.
+///
+/// The jitter draw comes from whatever RNG the caller passes in — for
+/// fault-free runs that is never invoked, so attaching a policy to a
+/// code path costs nothing until an exchange actually fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff charged after the first failed attempt, in seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff after each further failure.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff, in seconds.
+    pub max_backoff_s: f64,
+    /// Uniform jitter as a fraction of the backoff: the charged wait is
+    /// `backoff * (1 ± jitter_frac)`.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_s: 0.05,
+            backoff_factor: 2.0,
+            max_backoff_s: 1.0,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+/// Result of driving an exchange through a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryOutcome<T> {
+    /// The exchange succeeded.
+    Succeeded {
+        /// The successful attempt's value.
+        value: T,
+        /// How many attempts were made, including the successful one.
+        attempts: u32,
+        /// Total backoff seconds charged before the success.
+        backoff_s: f64,
+    },
+    /// Every attempt failed; the caller should fall back (e.g. to the
+    /// control-channel rendezvous).
+    Exhausted {
+        /// How many attempts were made (`max_attempts`).
+        attempts: u32,
+        /// Total backoff seconds charged across all retries.
+        backoff_s: f64,
+    },
+}
+
+impl<T> RetryOutcome<T> {
+    /// Whether the exchange ultimately succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, RetryOutcome::Succeeded { .. })
+    }
+
+    /// Total backoff seconds charged, success or not.
+    pub fn backoff_s(&self) -> f64 {
+        match self {
+            RetryOutcome::Succeeded { backoff_s, .. } => *backoff_s,
+            RetryOutcome::Exhausted { backoff_s, .. } => *backoff_s,
+        }
+    }
+
+    /// How many attempts were made.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RetryOutcome::Succeeded { attempts, .. } => *attempts,
+            RetryOutcome::Exhausted { attempts, .. } => *attempts,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff charged after failed attempt number
+    /// `attempt` (1-based). Capped at `max_backoff_s` before jitter.
+    pub fn backoff_s<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> f64 {
+        let exp = attempt.saturating_sub(1);
+        let raw = self.base_backoff_s * self.backoff_factor.powi(exp as i32);
+        let capped = raw.min(self.max_backoff_s);
+        if self.jitter_frac > 0.0 {
+            capped * (1.0 + rng.gen_range(-self.jitter_frac..=self.jitter_frac))
+        } else {
+            capped
+        }
+    }
+
+    /// Drives `attempt` until it returns `Some` or attempts run out,
+    /// charging jittered backoff between failures.
+    ///
+    /// The closure receives the 1-based attempt number.
+    pub fn run<T, R, F>(&self, rng: &mut R, mut attempt: F) -> RetryOutcome<T>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(u32) -> Option<T>,
+    {
+        let max = self.max_attempts.max(1);
+        let mut backoff_s = 0.0;
+        for n in 1..=max {
+            if let Some(value) = attempt(n) {
+                return RetryOutcome::Succeeded {
+                    value,
+                    attempts: n,
+                    backoff_s,
+                };
+            }
+            if n < max {
+                backoff_s += self.backoff_s(n, rng);
+            }
+        }
+        RetryOutcome::Exhausted {
+            attempts: max,
+            backoff_s,
+        }
+    }
+}
+
+/// A simulated-time budget for one exchange.
+///
+/// Charge elapsed seconds with [`Deadline::charge`]; once the total
+/// exceeds the budget the deadline reports expired and the caller
+/// abandons the exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deadline {
+    budget_s: f64,
+    elapsed_s: f64,
+}
+
+impl Deadline {
+    /// A deadline allowing `budget_s` simulated seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_s` is negative or non-finite.
+    pub fn new(budget_s: f64) -> Self {
+        assert!(
+            budget_s.is_finite() && budget_s >= 0.0,
+            "deadline budget {budget_s} must be finite and non-negative"
+        );
+        Deadline {
+            budget_s,
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// Charges `seconds` of simulated time against the budget and
+    /// returns whether the deadline is still alive afterwards.
+    pub fn charge(&mut self, seconds: f64) -> bool {
+        self.elapsed_s += seconds.max(0.0);
+        !self.expired()
+    }
+
+    /// Whether the charged time has exceeded the budget.
+    pub fn expired(&self) -> bool {
+        self.elapsed_s > self.budget_s
+    }
+
+    /// Simulated seconds left (zero once expired).
+    pub fn remaining_s(&self) -> f64 {
+        (self.budget_s - self.elapsed_s).max(0.0)
+    }
+
+    /// Simulated seconds charged so far.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn retry_succeeds_first_try_without_backoff() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = RetryPolicy::default().run(&mut rng, |_| Some(7u32));
+        assert_eq!(
+            out,
+            RetryOutcome::Succeeded {
+                value: 7,
+                attempts: 1,
+                backoff_s: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn retry_charges_backoff_between_failures() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = RetryPolicy::default().run(&mut rng, |n| if n >= 3 { Some(()) } else { None });
+        assert!(out.is_success());
+        assert_eq!(out.attempts(), 3);
+        // Two backoffs: ~0.05 and ~0.10, each within ±10% jitter.
+        let b = out.backoff_s();
+        assert!((0.135..=0.165).contains(&b), "backoff {b}");
+    }
+
+    #[test]
+    fn retry_exhausts_after_max_attempts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out: RetryOutcome<()> = RetryPolicy::default().run(&mut rng, |_| None);
+        assert!(!out.is_success());
+        assert_eq!(out.attempts(), 3);
+        assert!(out.backoff_s() > 0.0);
+    }
+
+    #[test]
+    fn retry_with_zero_max_attempts_still_tries_once() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let out: RetryOutcome<()> = policy.run(&mut rng, |_| {
+            calls += 1;
+            None
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.attempts(), 1);
+        assert_eq!(out.backoff_s(), 0.0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((policy.backoff_s(1, &mut rng) - 0.05).abs() < 1e-12);
+        assert!((policy.backoff_s(2, &mut rng) - 0.10).abs() < 1e-12);
+        assert!((policy.backoff_s(3, &mut rng) - 0.20).abs() < 1e-12);
+        // Far past the cap.
+        assert!((policy.backoff_s(20, &mut rng) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_stays_within_fraction() {
+        let policy = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let b = policy.backoff_s(1, &mut rng);
+            assert!((0.045..=0.055).contains(&b), "backoff {b}");
+        }
+    }
+
+    #[test]
+    fn deadline_expires_after_budget() {
+        let mut d = Deadline::new(1.0);
+        assert!(d.charge(0.6));
+        assert!(!d.expired());
+        assert!((d.remaining_s() - 0.4).abs() < 1e-12);
+        assert!(!d.charge(0.6));
+        assert!(d.expired());
+        assert_eq!(d.remaining_s(), 0.0);
+        assert!((d.elapsed_s() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_ignores_negative_charges() {
+        let mut d = Deadline::new(0.5);
+        assert!(d.charge(-3.0));
+        assert_eq!(d.elapsed_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_deadline_budget_rejected() {
+        let _ = Deadline::new(-1.0);
+    }
+}

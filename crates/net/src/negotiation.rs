@@ -8,6 +8,7 @@
 //! channel, which costs seconds — the outliers visible in Fig. 9(b).
 
 use crate::timing::TimingModel;
+use ctjam_fault::{FaultPoint, FaultSite, RetryPolicy};
 use rand::Rng;
 
 /// Breakdown of one negotiation round.
@@ -61,6 +62,114 @@ pub fn negotiate<R: Rng + ?Sized>(
         recovery_s: recovery,
         stragglers,
     }
+}
+
+/// A [`NegotiationReport`] augmented with fault-injection accounting.
+///
+/// Produced by [`negotiate_with_faults`]; with no faults firing the
+/// embedded `report` is bit-exact with [`negotiate`] on the same RNG
+/// state and every counter is zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyNegotiationReport {
+    /// The timing breakdown (fault costs are folded into `recovery_s`
+    /// and `total_s`).
+    pub report: NegotiationReport,
+    /// Announcements lost to [`FaultSite::ControlDrop`].
+    pub drops: u64,
+    /// Announcements answered twice ([`FaultSite::ControlDuplicate`]).
+    pub duplicates: u64,
+    /// Announcements stalled by [`FaultSite::ControlDelay`].
+    pub delays: u64,
+    /// Re-poll attempts spent recovering dropped announcements.
+    pub retries: u64,
+    /// Nodes whose retry budget ran out and fell back to a
+    /// control-channel recovery.
+    pub exhausted: Vec<usize>,
+    /// Seconds charged purely to fault handling (backoffs, re-polls,
+    /// duplicate answers, delay stalls, fallback recoveries).
+    pub fault_time_s: f64,
+}
+
+/// [`negotiate`], with deterministic fault injection and bounded-retry
+/// recovery.
+///
+/// Per node, after the regular poll the plan may fire:
+///
+/// * [`FaultSite::ControlDrop`] — the announcement is lost. The hub
+///   re-polls under `retry` (each attempt charges a jittered backoff
+///   plus one more poll); if every attempt is dropped too, the node is
+///   recovered over the control channel like a straggler.
+/// * [`FaultSite::ControlDuplicate`] — the node answers twice, costing
+///   one extra poll's worth of airtime.
+/// * [`FaultSite::ControlDelay`] — the exchange stalls for one
+///   base-backoff interval before completing.
+///
+/// All fault-only RNG draws happen inside fired branches, so when no
+/// fault fires (a [`ctjam_fault::NullFaultPlan`] or an all-zero-rate
+/// plan) this consumes exactly the same `rng` stream as [`negotiate`].
+pub fn negotiate_with_faults<R: Rng + ?Sized, F: FaultPoint>(
+    timing: &TimingModel,
+    num_nodes: usize,
+    retry: &RetryPolicy,
+    rng: &mut R,
+    fault: &mut F,
+) -> FaultyNegotiationReport {
+    let mut polling = 0.0;
+    let mut recovery = 0.0;
+    let mut stragglers = Vec::new();
+    let mut faulty = FaultyNegotiationReport {
+        report: NegotiationReport {
+            total_s: 0.0,
+            polling_s: 0.0,
+            recovery_s: 0.0,
+            stragglers: Vec::new(),
+        },
+        drops: 0,
+        duplicates: 0,
+        delays: 0,
+        retries: 0,
+        exhausted: Vec::new(),
+        fault_time_s: 0.0,
+    };
+    for node in 0..num_nodes {
+        polling += timing.poll_one_node(rng);
+        if fault.should_fire(FaultSite::ControlDrop) {
+            faulty.drops += 1;
+            let mut recovered = false;
+            for attempt in 1..=retry.max_attempts.max(1) {
+                faulty.retries += 1;
+                faulty.fault_time_s += retry.backoff_s(attempt, rng);
+                faulty.fault_time_s += timing.poll_one_node(rng);
+                if !fault.should_fire(FaultSite::ControlDrop) {
+                    recovered = true;
+                    break;
+                }
+            }
+            if !recovered {
+                faulty.fault_time_s += timing.straggler_recovery(rng);
+                faulty.exhausted.push(node);
+            }
+        }
+        if fault.should_fire(FaultSite::ControlDuplicate) {
+            faulty.duplicates += 1;
+            faulty.fault_time_s += timing.poll_one_node(rng);
+        }
+        if fault.should_fire(FaultSite::ControlDelay) {
+            faulty.delays += 1;
+            faulty.fault_time_s += retry.backoff_s(1, rng);
+        }
+        if timing.is_straggler(rng) {
+            recovery += timing.straggler_recovery(rng);
+            stragglers.push(node);
+        }
+    }
+    faulty.report = NegotiationReport {
+        total_s: polling + recovery + faulty.fault_time_s,
+        polling_s: polling,
+        recovery_s: recovery + faulty.fault_time_s,
+        stragglers,
+    };
+    faulty
 }
 
 /// Mean negotiation duration over `trials` rounds — one Fig. 9(b) point.
@@ -154,6 +263,76 @@ mod tests {
             worst > 1.0,
             "no multi-second outlier in 500 rounds ({worst})"
         );
+    }
+
+    #[test]
+    fn zero_rate_faulted_negotiation_matches_plain_path() {
+        use ctjam_fault::{FaultPlan, FaultRates, NullFaultPlan};
+
+        let t = TimingModel::default();
+        let retry = RetryPolicy::default();
+        for seed in 0..5u64 {
+            let mut plain_rng = StdRng::seed_from_u64(seed);
+            let plain = negotiate(&t, 8, &mut plain_rng);
+
+            let mut null_rng = StdRng::seed_from_u64(seed);
+            let mut null = NullFaultPlan;
+            let with_null = negotiate_with_faults(&t, 8, &retry, &mut null_rng, &mut null);
+
+            let mut zero_rng = StdRng::seed_from_u64(seed);
+            let mut zero = FaultPlan::new(seed, FaultRates::zero());
+            let with_zero = negotiate_with_faults(&t, 8, &retry, &mut zero_rng, &mut zero);
+
+            assert_eq!(with_null.report, plain);
+            assert_eq!(with_zero.report, plain);
+            assert_eq!(with_null.fault_time_s, 0.0);
+            assert_eq!(zero.total_fired(), 0);
+            // The main streams stayed aligned past the call too.
+            let follow: u64 = plain_rng.gen();
+            assert_eq!(null_rng.gen::<u64>(), follow);
+            assert_eq!(zero_rng.gen::<u64>(), follow);
+        }
+    }
+
+    #[test]
+    fn dropped_announcements_are_retried_and_charged() {
+        use ctjam_fault::{FaultPlan, FaultPoint, FaultRates, FaultSite};
+
+        let t = TimingModel::noiseless();
+        let retry = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        // 50% drops: some polls need retries, and with 3 bounded
+        // attempts a few nodes should exhaust and fall back.
+        let mut plan = FaultPlan::new(11, FaultRates::zero().with(FaultSite::ControlDrop, 0.5));
+        let out = negotiate_with_faults(&t, 200, &retry, &mut rng, &mut plan);
+        assert!(out.drops > 50, "drops = {}", out.drops);
+        assert!(out.retries >= out.drops);
+        assert!(!out.exhausted.is_empty(), "no node exhausted its retries");
+        assert!(out.fault_time_s > 0.0);
+        assert!(out.report.total_s > 200.0 * 0.0131);
+        // Every initial drop fired the site once; retry-round drops add more.
+        assert!(plan.fired(FaultSite::ControlDrop) >= out.drops);
+    }
+
+    #[test]
+    fn duplicates_and_delays_only_add_time() {
+        use ctjam_fault::{FaultPlan, FaultRates, FaultSite};
+
+        let t = TimingModel::noiseless();
+        let retry = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let rates = FaultRates::zero()
+            .with(FaultSite::ControlDuplicate, 1.0)
+            .with(FaultSite::ControlDelay, 1.0);
+        let mut plan = FaultPlan::new(2, rates);
+        let out = negotiate_with_faults(&t, 10, &retry, &mut rng, &mut plan);
+        assert_eq!(out.duplicates, 10);
+        assert_eq!(out.delays, 10);
+        assert_eq!(out.drops, 0);
+        assert!(out.exhausted.is_empty());
+        // 10 regular polls + 10 duplicate polls + 10 base backoffs.
+        assert!(out.fault_time_s > 10.0 * 0.0131);
+        assert!((out.report.polling_s - 10.0 * 0.0131).abs() < 1e-9);
     }
 
     #[test]

@@ -16,9 +16,10 @@
 use crate::frame::{MacFrame, NodeId};
 use crate::hub::Hub;
 use crate::mac::{csma_ca, CsmaConfig};
-use crate::negotiation::negotiate;
+use crate::negotiation::{negotiate, negotiate_with_faults, FaultyNegotiationReport};
 use crate::node::Peripheral;
 use crate::timing::TimingModel;
+use ctjam_fault::{FaultPoint, FaultSite, RetryPolicy};
 use rand::Rng;
 
 /// Outcome of one time slot.
@@ -45,6 +46,27 @@ impl SlotOutcome {
             1.0 - self.overhead_s / slot_s
         }
     }
+}
+
+/// A [`SlotOutcome`] augmented with fault-injection accounting.
+///
+/// Produced by [`StarNetwork::run_slot_with_faults`]; with no faults
+/// firing the embedded `outcome` is bit-exact with
+/// [`StarNetwork::run_slot`] on the same RNG state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultySlotOutcome {
+    /// The packet/timing outcome (fault costs are folded into
+    /// `overhead_s`).
+    pub outcome: SlotOutcome,
+    /// Data frames corrupted in flight by [`FaultSite::FrameCorruption`]
+    /// and rejected by the hub's FCS check.
+    pub corrupted_frames: u64,
+    /// Whether the hub stalled at the start of the slot.
+    pub hub_stalled: bool,
+    /// Dead air charged to the hub stall, seconds.
+    pub stall_s: f64,
+    /// The faulted negotiation round's accounting.
+    pub negotiation: FaultyNegotiationReport,
 }
 
 /// The hub + peripherals assembly.
@@ -200,6 +222,132 @@ impl StarNetwork {
         outcome.data_time_s = elapsed.min(budget);
         outcome
     }
+
+    /// [`StarNetwork::run_slot`], with deterministic fault injection and
+    /// recovery.
+    ///
+    /// On top of the regular slot the plan may fire:
+    ///
+    /// * [`FaultSite::HubStall`] — the hub stalls at the start of the
+    ///   slot (recovery-scale dead air charged as overhead),
+    /// * negotiation faults — see
+    ///   [`crate::negotiation::negotiate_with_faults`],
+    /// * [`FaultSite::FrameCorruption`] — a data frame's serialized PSDU
+    ///   gets a bit flipped in flight; the hub's FCS check rejects it,
+    ///   so the transmission is attempted but never delivered.
+    ///
+    /// All fault-only work is gated on [`FaultPoint::is_enabled`] or
+    /// happens inside fired branches, so with a
+    /// [`ctjam_fault::NullFaultPlan`] or an all-zero-rate plan this is
+    /// bit-exact with [`StarNetwork::run_slot`] on the same RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual_per` is outside `[0, 1]`.
+    pub fn run_slot_with_faults<R: Rng + ?Sized, F: FaultPoint>(
+        &mut self,
+        slot_s: f64,
+        link_up: bool,
+        residual_per: f64,
+        retry: &RetryPolicy,
+        rng: &mut R,
+        fault: &mut F,
+    ) -> FaultySlotOutcome {
+        assert!(
+            (0.0..=1.0).contains(&residual_per),
+            "residual_per must be a probability, got {residual_per}"
+        );
+        // Phase 0: the hub itself may stall (GC pause, flash write).
+        let mut stall_s = 0.0;
+        let hub_stalled = fault.should_fire(FaultSite::HubStall);
+        if hub_stalled {
+            stall_s = self.timing.straggler_recovery(rng);
+        }
+
+        // Phase 1+2: decision inference + polling negotiation.
+        let mut overhead = stall_s + self.timing.dqn_inference(rng);
+        let negotiation =
+            negotiate_with_faults(&self.timing, self.peripherals.len(), retry, rng, fault);
+        overhead += negotiation.report.total_s;
+
+        let mut faulty = FaultySlotOutcome {
+            outcome: SlotOutcome {
+                delivered: 0,
+                attempted: 0,
+                payload_bytes: 0,
+                overhead_s: overhead,
+                data_time_s: 0.0,
+            },
+            corrupted_frames: 0,
+            hub_stalled,
+            stall_s,
+            negotiation,
+        };
+
+        let budget = slot_s - overhead;
+        if budget <= 0.0 || self.peripherals.is_empty() {
+            return faulty;
+        }
+
+        // Phase 3: round-robin data exchange until the slot closes.
+        let num_peripherals = self.peripherals.len();
+        let mut elapsed = 0.0;
+        let mut turn = 0usize;
+        loop {
+            let index = turn % num_peripherals;
+            turn += 1;
+
+            let busy = self.cca_busy_prob;
+            let cca_draws: Vec<bool> = (0..=self.csma.max_backoffs)
+                .map(|_| rng.gen_bool(busy))
+                .collect();
+            let access = csma_ca(&self.csma, rng, |attempt| cca_draws[attempt as usize]);
+            elapsed += access.elapsed_s;
+            if elapsed >= budget {
+                break;
+            }
+            if !access.granted {
+                continue;
+            }
+
+            let frame = self.peripherals[index].next_data_frame(self.payload_len);
+            let cycle = self.timing.packet_cycle(frame.airtime_s(), rng);
+            if elapsed + cycle > budget {
+                break;
+            }
+            elapsed += cycle;
+            faulty.outcome.attempted += 1;
+
+            // In-flight corruption beyond the channel model: flip one
+            // bit of the serialized PSDU and let the FCS decide. Gated
+            // on is_enabled() so the fault-free path never serializes.
+            let mut corrupted = false;
+            if fault.is_enabled() {
+                if let Ok(mut psdu) = frame.to_psdu() {
+                    if fault.corrupt_bytes(FaultSite::FrameCorruption, &mut psdu)
+                        && MacFrame::from_psdu(&psdu).is_err()
+                    {
+                        corrupted = true;
+                        faulty.corrupted_frames += 1;
+                    }
+                }
+            }
+
+            let delivered = link_up && !rng.gen_bool(residual_per);
+            if delivered && !corrupted {
+                if let Some(ack) = self.hub.handle_data(&frame) {
+                    let granted = self.peripherals[index].handle_ack(&ack);
+                    debug_assert!(granted);
+                    faulty.outcome.delivered += 1;
+                    if let MacFrame::Data { payload, .. } = &frame {
+                        faulty.outcome.payload_bytes += payload.len() as u64;
+                    }
+                }
+            }
+        }
+        faulty.outcome.data_time_s = elapsed.min(budget);
+        faulty
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +451,72 @@ mod tests {
             assert_eq!(p.power_level(), 5);
         }
         assert_eq!(net.hub().channel(), 22);
+    }
+
+    #[test]
+    fn zero_rate_faulted_slot_matches_plain_path() {
+        use ctjam_fault::{FaultPlan, FaultPoint, FaultRates, NullFaultPlan};
+
+        let retry = RetryPolicy::default();
+        for seed in 0..3u64 {
+            let mut plain_net = StarNetwork::new(4);
+            let mut plain_rng = rng(seed);
+            let plain = plain_net.run_slot(2.0, true, 0.1, &mut plain_rng);
+
+            let mut null_net = StarNetwork::new(4);
+            let mut null_rng = rng(seed);
+            let mut null = NullFaultPlan;
+            let with_null =
+                null_net.run_slot_with_faults(2.0, true, 0.1, &retry, &mut null_rng, &mut null);
+
+            let mut zero_net = StarNetwork::new(4);
+            let mut zero_rng = rng(seed);
+            let mut zero = FaultPlan::new(seed, FaultRates::zero());
+            let with_zero =
+                zero_net.run_slot_with_faults(2.0, true, 0.1, &retry, &mut zero_rng, &mut zero);
+
+            assert_eq!(with_null.outcome, plain);
+            assert_eq!(with_zero.outcome, plain);
+            assert_eq!(with_null.corrupted_frames, 0);
+            assert_eq!(zero.total_fired(), 0);
+            let follow: u64 = plain_rng.gen();
+            assert_eq!(null_rng.gen::<u64>(), follow);
+            assert_eq!(zero_rng.gen::<u64>(), follow);
+        }
+    }
+
+    #[test]
+    fn frame_corruption_suppresses_delivery() {
+        use ctjam_fault::{FaultPlan, FaultRates, FaultSite};
+
+        let retry = RetryPolicy::default();
+        let mut net = StarNetwork::new(3);
+        let mut r = rng(21);
+        let mut plan = FaultPlan::new(5, FaultRates::zero().with(FaultSite::FrameCorruption, 1.0));
+        let o = net.run_slot_with_faults(2.0, true, 0.0, &retry, &mut r, &mut plan);
+        // Every frame is corrupted; CRC-16 catches all single-bit flips.
+        assert!(o.outcome.attempted > 0);
+        assert_eq!(o.outcome.delivered, 0);
+        assert_eq!(o.corrupted_frames, o.outcome.attempted);
+    }
+
+    #[test]
+    fn hub_stall_eats_slot_budget() {
+        use ctjam_fault::{FaultPlan, FaultRates, FaultSite};
+
+        let retry = RetryPolicy::default();
+        let mut clean_net = StarNetwork::new(3);
+        let mut r1 = rng(22);
+        let clean = clean_net.run_slot(1.5, true, 0.0, &mut r1);
+
+        let mut net = StarNetwork::new(3);
+        let mut r2 = rng(22);
+        let mut plan = FaultPlan::new(6, FaultRates::zero().with(FaultSite::HubStall, 1.0));
+        let o = net.run_slot_with_faults(1.5, true, 0.0, &retry, &mut r2, &mut plan);
+        assert!(o.hub_stalled);
+        assert!(o.stall_s > 1.0, "stall_s = {}", o.stall_s);
+        assert!(o.outcome.overhead_s > clean.overhead_s);
+        assert!(o.outcome.delivered < clean.delivered);
     }
 
     #[test]

@@ -45,6 +45,46 @@ proptest! {
     }
 
     #[test]
+    fn mutated_frame_decode_never_panics_or_lies(
+        src in 1u8..=200,
+        seq in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+        num_flips in 1usize..=3,
+        flip_seed in any::<u64>(),
+    ) {
+        // Encode → random bit-flip(s) → decode must never panic, and must
+        // either fail (FCS/shape rejects the mutation) or return the exact
+        // original frame (the flips cancelled — impossible for distinct
+        // positions, but decode is the oracle, not our assumption). What
+        // is *never* allowed is silently accepting different bytes.
+        // CRC-16/CCITT detects all ≤3-bit errors at these lengths, so
+        // distinct-position flips must be rejected.
+        let frame = MacFrame::Data { src: NodeId(src), seq, payload };
+        let psdu = frame.to_psdu().unwrap();
+
+        let mut flip_rng = StdRng::seed_from_u64(flip_seed);
+        let total_bits = psdu.len() * 8;
+        let mut positions = Vec::with_capacity(num_flips);
+        while positions.len() < num_flips {
+            let bit = flip_rng.gen_range(0..total_bits);
+            if !positions.contains(&bit) {
+                positions.push(bit);
+            }
+        }
+        let mut mutated = psdu.clone();
+        for bit in &positions {
+            mutated[bit / 8] ^= 1 << (bit % 8);
+        }
+
+        match MacFrame::from_psdu(&mutated) {
+            Err(_) => {} // rejected: the only acceptable fate for a mutation
+            Ok(decoded) => prop_assert_eq!(&decoded, &frame),
+        }
+        // Un-mutated control: still decodes to the original.
+        prop_assert_eq!(MacFrame::from_psdu(&psdu).unwrap(), frame);
+    }
+
+    #[test]
     fn csma_never_exceeds_backoff_budget(seed in any::<u64>(), p_busy in 0.0f64..1.0) {
         let cfg = CsmaConfig::default();
         let mut rng = StdRng::seed_from_u64(seed);

@@ -72,6 +72,41 @@ impl Adam {
     pub fn learning_rate(&self) -> f64 {
         self.learning_rate
     }
+
+    /// Bias-correction step counter (number of updates applied).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// First-moment buffer (empty until the first update).
+    pub fn first_moment(&self) -> &[f64] {
+        &self.m
+    }
+
+    /// Second-moment buffer (empty until the first update).
+    pub fn second_moment(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Rebuilds an Adam instance from checkpointed state, with standard
+    /// `β₁/β₂/ε`. The moment buffers must be equal-length (both may be
+    /// empty for an optimizer that never stepped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` and `v` differ in length.
+    pub fn restore(learning_rate: f64, step: u64, m: Vec<f64>, v: Vec<f64>) -> Self {
+        assert_eq!(m.len(), v.len(), "moment buffers must be equal length");
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step,
+            m,
+            v,
+        }
+    }
 }
 
 /// A stateful optimizer that applies a gradient step to a flat parameter
@@ -179,6 +214,33 @@ mod tests {
         }
         assert!((x[0] - 1.0).abs() < 1e-2, "x0 = {}", x[0]);
         assert!((x[1] - 1.0).abs() < 1e-2, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn restored_adam_steps_bit_exactly() {
+        let mut original = Adam::with_learning_rate(0.05);
+        let mut x = [0.2f64, -0.7, 1.3];
+        for i in 0..10 {
+            let g = [0.1 * i as f64, -0.3, 0.5 * (i as f64 - 4.0)];
+            original.step(&mut x, &g);
+        }
+        let mut restored = Adam::restore(
+            original.learning_rate(),
+            original.step_count(),
+            original.first_moment().to_vec(),
+            original.second_moment().to_vec(),
+        );
+        let mut x2 = x;
+        let g = [0.25, -0.5, 0.75];
+        original.step(&mut x, &g);
+        restored.step(&mut x2, &g);
+        assert_eq!(x, x2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_moment_buffers_rejected() {
+        let _ = Adam::restore(0.1, 1, vec![0.0], vec![0.0, 0.0]);
     }
 
     #[test]

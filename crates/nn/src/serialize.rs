@@ -13,6 +13,9 @@ use std::fmt;
 /// Magic tag of the weight file format.
 const MAGIC: &[u8; 4] = b"CTJN";
 
+/// Magic tag of the f64-exact checkpoint weight format.
+const MAGIC_EXACT: &[u8; 4] = b"CTJ8";
+
 /// Errors from deserializing a weight blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SerializeError {
@@ -101,6 +104,74 @@ pub fn from_bytes(mut bytes: &[u8]) -> Result<Mlp, SerializeError> {
     Ok(net)
 }
 
+/// Serializes a network losslessly: magic `CTJ8`, layer count, layer
+/// widths (u32 LE), then all parameters as f64 LE.
+///
+/// The deployable format ([`to_bytes`]) rounds through f32 — fine for
+/// the MCU, fatal for checkpoint/resume, where training must continue
+/// bit-exactly from the saved weights. This is the checkpoint side.
+pub fn to_bytes_exact(net: &Mlp) -> Bytes {
+    let shape = net.shape();
+    let params = net.flatten_params();
+    let mut buf = BytesMut::with_capacity(4 + 4 + shape.len() * 4 + params.len() * 8);
+    buf.put_slice(MAGIC_EXACT);
+    buf.put_u32_le(shape.len() as u32);
+    for s in &shape {
+        buf.put_u32_le(*s as u32);
+    }
+    for p in params {
+        buf.put_f64_le(p);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a network from [`to_bytes_exact`] output, reproducing
+/// the original parameters bit-for-bit.
+///
+/// # Errors
+///
+/// Returns a [`SerializeError`] on format violations.
+pub fn from_bytes_exact(mut bytes: &[u8]) -> Result<Mlp, SerializeError> {
+    if bytes.len() < 8 || &bytes[..4] != MAGIC_EXACT {
+        return Err(SerializeError::BadMagic);
+    }
+    bytes.advance(4);
+    let num_sizes = bytes.get_u32_le() as usize;
+    if num_sizes < 2 {
+        return Err(SerializeError::BadShape);
+    }
+    if bytes.remaining() < num_sizes * 4 {
+        return Err(SerializeError::Truncated);
+    }
+    let mut shape = Vec::with_capacity(num_sizes);
+    for _ in 0..num_sizes {
+        let s = bytes.get_u32_le() as usize;
+        if s == 0 {
+            return Err(SerializeError::BadShape);
+        }
+        shape.push(s);
+    }
+
+    let mut builder = MlpBuilder::new(shape[0]);
+    for &h in &shape[1..num_sizes - 1] {
+        builder = builder.hidden(h);
+    }
+    // Weight values are about to be overwritten; the RNG seed is moot.
+    let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+    let mut net = builder.output(shape[num_sizes - 1]).build(&mut rng);
+
+    let count = net.param_count();
+    if bytes.remaining() < count * 8 {
+        return Err(SerializeError::Truncated);
+    }
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        params.push(bytes.get_f64_le());
+    }
+    net.set_params(&params);
+    Ok(net)
+}
+
 /// Deployed memory footprint in bytes: 4 bytes per parameter, the f32
 /// format the paper's 42.7 KB figure implies.
 pub fn deployed_bytes(net: &Mlp) -> usize {
@@ -169,6 +240,42 @@ mod tests {
             (32.0..52.0).contains(&deployed_kb(&net)),
             "{} KB far from the paper's 42.7 KB",
             deployed_kb(&net)
+        );
+    }
+
+    #[test]
+    fn exact_roundtrip_is_bit_identical() {
+        let net = paper_scale_net();
+        let back = from_bytes_exact(&to_bytes_exact(&net)).unwrap();
+        assert_eq!(back.shape(), net.shape());
+        let a = net.flatten_params();
+        let b = back.flatten_params();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_and_deployable_magics_do_not_cross_parse() {
+        let net = paper_scale_net();
+        assert_eq!(
+            from_bytes(&to_bytes_exact(&net)).unwrap_err(),
+            SerializeError::BadMagic
+        );
+        assert_eq!(
+            from_bytes_exact(&to_bytes(&net)).unwrap_err(),
+            SerializeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncated_exact_blob_rejected() {
+        let blob = to_bytes_exact(&paper_scale_net());
+        let cut = &blob[..blob.len() - 3];
+        assert_eq!(
+            from_bytes_exact(cut).unwrap_err(),
+            SerializeError::Truncated
         );
     }
 

@@ -1,0 +1,95 @@
+//! Run-health accounting: what went wrong, and what the run did about it.
+//!
+//! When fault injection (or a genuinely misbehaving environment) bites a
+//! run, the runner degrades gracefully instead of aborting — a failed
+//! sink is demoted to a null sink, a missed decision deadline replays
+//! the previous slot's decision, a poisoned gradient skips its optimizer
+//! step. [`RunHealth`] counts those events so a "successful" run that
+//! limped through can be told apart from one that ran clean.
+
+/// Counters of degradation events absorbed during one episode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Sink writes that failed; after the first the sink is demoted to
+    /// a null sink for the rest of the run.
+    pub sink_write_failures: u64,
+    /// Whether the sink finished the run demoted.
+    pub sink_demoted: bool,
+    /// Slots whose decision missed its deadline and fell back to the
+    /// previous slot's decision.
+    pub deadline_overruns: u64,
+    /// Optimizer steps skipped because the gradient went non-finite.
+    pub skipped_train_steps: u64,
+    /// Replay-buffer transitions detected (or injected) as corrupted.
+    pub corrupted_replay_entries: u64,
+    /// Total faults fired by the run's fault plan, all sites combined.
+    pub faults_fired: u64,
+}
+
+impl RunHealth {
+    /// A clean bill of health: all counters zero.
+    pub fn clean() -> Self {
+        RunHealth::default()
+    }
+
+    /// Whether nothing degraded during the run.
+    pub fn is_clean(&self) -> bool {
+        *self == RunHealth::default()
+    }
+
+    /// Folds another health record into this one (e.g. training phase +
+    /// evaluation phase of the same run).
+    pub fn absorb(&mut self, other: &RunHealth) {
+        self.sink_write_failures += other.sink_write_failures;
+        self.sink_demoted |= other.sink_demoted;
+        self.deadline_overruns += other.deadline_overruns;
+        self.skipped_train_steps += other.skipped_train_steps;
+        self.corrupted_replay_entries += other.corrupted_replay_entries;
+        self.faults_fired += other.faults_fired;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        assert!(RunHealth::clean().is_clean());
+        assert!(RunHealth::default().is_clean());
+    }
+
+    #[test]
+    fn any_counter_dirties_the_record() {
+        let mut h = RunHealth::clean();
+        h.deadline_overruns = 1;
+        assert!(!h.is_clean());
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_ors_flags() {
+        let mut a = RunHealth {
+            sink_write_failures: 1,
+            sink_demoted: true,
+            deadline_overruns: 2,
+            skipped_train_steps: 0,
+            corrupted_replay_entries: 3,
+            faults_fired: 6,
+        };
+        let b = RunHealth {
+            sink_write_failures: 0,
+            sink_demoted: false,
+            deadline_overruns: 5,
+            skipped_train_steps: 7,
+            corrupted_replay_entries: 0,
+            faults_fired: 12,
+        };
+        a.absorb(&b);
+        assert_eq!(a.sink_write_failures, 1);
+        assert!(a.sink_demoted);
+        assert_eq!(a.deadline_overruns, 7);
+        assert_eq!(a.skipped_train_steps, 7);
+        assert_eq!(a.corrupted_replay_entries, 3);
+        assert_eq!(a.faults_fired, 18);
+    }
+}

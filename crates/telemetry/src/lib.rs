@@ -25,6 +25,7 @@
 
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod manifest;
 pub mod replay;
@@ -32,6 +33,7 @@ pub mod sink;
 pub mod stats;
 
 pub use event::{SlotEvent, SlotOutcome, TrainEvent};
+pub use health::RunHealth;
 pub use json::JsonValue;
 pub use manifest::RunManifest;
 pub use replay::{EpisodeRecord, ReplayTrace};

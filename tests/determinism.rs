@@ -203,3 +203,52 @@ fn batched_training_reproduces_pre_batching_golden_metrics() {
     );
     assert_eq!(report.total_reward, -172_468.0);
 }
+
+/// Save → load → resume must be invisible to the determinism contract:
+/// a training run interrupted by a checkpoint round-trip walks the exact
+/// same trajectory as one that never stopped. The checkpoint captures
+/// the full defender (weights, optimizer moments, replay ring,
+/// observation window, pending transition); the RNG stays with the
+/// caller, exactly like the rest of the runner API.
+#[test]
+fn checkpoint_resume_is_bit_exact_with_uninterrupted_training() {
+    use ctjam_core::defender::DqnDefender;
+    use ctjam_core::env::CompetitionEnv;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let params = EnvParams::default();
+    let (head_slots, tail_slots) = (900, 700);
+
+    // Uninterrupted: one defender, one env, two windows.
+    let mut rng = StdRng::seed_from_u64(0x5AFE_C0DE);
+    let mut defender = DqnDefender::small_for_tests(&params, &mut rng);
+    let mut env = CompetitionEnv::new(params.clone(), &mut rng);
+    let head = RunBuilder::new(&params).run_in(&mut env, &mut defender, head_slots, &mut rng);
+    let tail = RunBuilder::new(&params).run_in(&mut env, &mut defender, tail_slots, &mut rng);
+
+    // Interrupted at the window boundary by a full checkpoint
+    // round-trip through disk.
+    let mut rng2 = StdRng::seed_from_u64(0x5AFE_C0DE);
+    let mut d2 = DqnDefender::small_for_tests(&params, &mut rng2);
+    let mut env2 = CompetitionEnv::new(params.clone(), &mut rng2);
+    let head2 = RunBuilder::new(&params).run_in(&mut env2, &mut d2, head_slots, &mut rng2);
+    assert_eq!(head, head2, "identical seeds must agree before the save");
+
+    let path = std::env::temp_dir().join("ctjam_determinism_resume.ckpt");
+    d2.save_checkpoint(&path).expect("checkpoint save");
+    drop(d2);
+    let mut resumed = DqnDefender::load_checkpoint(&path).expect("checkpoint load");
+    std::fs::remove_file(&path).ok();
+
+    let tail2 = RunBuilder::new(&params).run_in(&mut env2, &mut resumed, tail_slots, &mut rng2);
+    assert_eq!(
+        tail, tail2,
+        "checkpoint round-trip changed the training trajectory"
+    );
+    assert_eq!(
+        format!("{:?}", resumed.agent().network().flatten_params()),
+        format!("{:?}", defender.agent().network().flatten_params()),
+        "resumed weights diverged bit-wise from the uninterrupted run"
+    );
+}

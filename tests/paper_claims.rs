@@ -7,7 +7,10 @@ use ctjam::core::defender::{MdpOracle, NoDefense, PassiveFh, RandomFh};
 use ctjam::core::env::EnvParams;
 use ctjam::core::jammer::JammerMode;
 use ctjam::core::runner::{evaluate, train_and_evaluate_kernel};
-use ctjam::mdp::analysis::{solve_threshold, thresholds_vs_lj};
+use ctjam::mdp::analysis::{
+    check_threshold_structure, solve_threshold, thresholds_vs_lh, thresholds_vs_lj,
+    thresholds_vs_sweep_cycle,
+};
 use ctjam::mdp::antijam::AntijamParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +73,68 @@ fn baseline_ordering_matches_paper() {
     // the same neighbourhoods.
     assert!((0.25..0.50).contains(&st_psv), "passive ST {st_psv}");
     assert!((0.35..0.60).contains(&st_rnd), "random ST {st_rnd}");
+}
+
+/// Theorem III.4 over a parameter grid: the optimal policy has the
+/// threshold structure ("once hopping is preferred at some safe state
+/// `n`, it stays preferred for every larger `n`") on *every*
+/// `(L_J, L_H, ⌈K/m⌉)` combination of the grid, not just the paper's
+/// default point, and the threshold always lands inside `1..=⌈K/m⌉`.
+#[test]
+fn threshold_structure_holds_across_the_parameter_grid() {
+    for &l_j in &[60.0, 100.0, 300.0] {
+        for &l_h in &[20.0, 50.0, 80.0] {
+            for &sweep_cycle in &[3usize, 4, 6] {
+                let params = AntijamParams {
+                    l_j,
+                    l_h,
+                    sweep_cycle,
+                    ..AntijamParams::default()
+                };
+                let (mdp, q, threshold) = solve_threshold(params);
+                assert!(
+                    check_threshold_structure(&mdp, &q),
+                    "Thm III.4 violated at L_J={l_j}, L_H={l_h}, cycle={sweep_cycle}"
+                );
+                assert!(
+                    (1..=sweep_cycle).contains(&threshold),
+                    "threshold {threshold} outside 1..={sweep_cycle} \
+                     at L_J={l_j}, L_H={l_h}"
+                );
+            }
+        }
+    }
+}
+
+/// Theorem III.5's three movement directions: the hop threshold is
+/// non-increasing in `L_J` (worse jamming → hop sooner), non-decreasing
+/// in `L_H` (pricier hops → hop later), and non-decreasing in the sweep
+/// cycle `⌈K/m⌉` (a slower jammer → a fresh channel stays safe longer).
+#[test]
+fn threshold_moves_in_the_directions_of_theorem_iii5() {
+    let base = AntijamParams::default();
+
+    let vs_lj = thresholds_vs_lj(&base, &[20.0, 60.0, 100.0, 400.0, 1000.0]);
+    assert!(
+        vs_lj.windows(2).all(|w| w[0] >= w[1]),
+        "threshold must not rise with L_J: {vs_lj:?}"
+    );
+
+    let vs_lh = thresholds_vs_lh(&base, &[5.0, 20.0, 50.0, 120.0]);
+    assert!(
+        vs_lh.windows(2).all(|w| w[0] <= w[1]),
+        "threshold must not fall with L_H: {vs_lh:?}"
+    );
+    assert!(
+        vs_lh[0] < vs_lh[3],
+        "threshold must actually move with L_H: {vs_lh:?}"
+    );
+
+    let vs_cycle = thresholds_vs_sweep_cycle(&base, &[2, 4, 8]);
+    assert!(
+        vs_cycle.windows(2).all(|w| w[0] <= w[1]),
+        "threshold must not fall with the sweep cycle: {vs_cycle:?}"
+    );
 }
 
 /// Theorem III.5: the hop threshold falls as L_J rises.

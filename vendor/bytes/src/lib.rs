@@ -108,6 +108,27 @@ pub trait Buf {
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
 }
 
 impl Buf for &[u8] {
@@ -136,6 +157,16 @@ pub trait BufMut {
 
     /// Appends a little-endian `f32`.
     fn put_f32_le(&mut self, value: f32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, value: f64) {
         self.put_slice(&value.to_le_bytes());
     }
 }
@@ -169,6 +200,18 @@ mod tests {
         cursor.advance(4);
         assert_eq!(cursor.get_u32_le(), 7);
         assert_eq!(cursor.get_f32_le(), 1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn wide_accessors_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0xDEAD_BEEF_CAFE_F00D);
+        buf.put_f64_le(-2.5);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u64_le(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(cursor.get_f64_le(), -2.5);
         assert_eq!(cursor.remaining(), 0);
     }
 
