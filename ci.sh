@@ -36,6 +36,32 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 echo "== cargo bench -- --test (bench smoke) =="
 cargo bench -p ctjam-bench --benches -- --test
 
+# Perf-manifest smoke: the perf_report binary must run (quick mode) and
+# emit well-formed BENCH_slotloop.json / BENCH_dqn.json at the repo
+# root, each carrying provenance (git describe, seed, config hash,
+# target-cpu features) and at least one measurement. The full-size run
+# (plain `cargo run --release -p ctjam-bench --bin perf_report`) is what
+# EXPERIMENTS.md's "Performance trajectory" numbers come from.
+echo "== perf_report quick run (BENCH_*.json smoke) =="
+CTJAM_BENCH_QUICK=1 cargo run --release -q -p ctjam-bench --bin perf_report
+for f in BENCH_slotloop.json BENCH_dqn.json; do
+  test -s "$f" || { echo "FAIL: $f missing or empty"; exit 1; }
+  python3 - "$f" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as fh:
+    m = json.load(fh)
+for key in ("schema", "name", "seed", "git", "config_hash",
+            "target_cpu_features", "created_unix_s"):
+    assert key in m, f"{path}: missing provenance key {key!r}"
+assert m["schema"] == "ctjam-bench/v1", f"{path}: unexpected schema {m['schema']!r}"
+measurements = [k for k in m if k.endswith(("_ns", "_us", "_s", "_ns_per_slot",
+                                            "_ns_per_point", "_x"))]
+assert measurements, f"{path}: no measurement keys"
+print(f"  {path}: ok ({len(measurements)} measurements)")
+PYEOF
+done
+
 # Archive any run manifests produced by figure binaries so CI artifacts
 # keep the provenance (seed, config hash, git describe) of every table.
 if compgen -G "results/*.manifest.json" > /dev/null; then

@@ -6,7 +6,7 @@
 //! agree within noise.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ctjam_core::defender::{Defender, RandomFh};
+use ctjam_core::defender::{Defender, DqnDefender, RandomFh};
 use ctjam_core::env::{CompetitionEnv, EnvParams, Environment};
 use ctjam_core::kernel::KernelEnv;
 use ctjam_core::runner::RunBuilder;
@@ -63,6 +63,25 @@ fn bench_env(c: &mut Criterion) {
         b.iter(|| {
             let mut sink = MemorySink::new();
             std::hint::black_box(RunBuilder::new(&params).sink(&mut sink).run_in(
+                &mut env,
+                &mut defender,
+                100,
+                &mut rng,
+            ))
+        });
+    });
+
+    // The DQN evaluation loop: decide() runs the network through the
+    // reusable inference scratch, so steady state performs no per-slot
+    // allocation (the allocation audit this guards landed with the
+    // PerCache tentpole).
+    c.bench_function("run_100_slots_dqn_eval", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut env = CompetitionEnv::new(params.clone(), &mut rng);
+        let mut defender = DqnDefender::paper_default(&params, &mut rng);
+        defender.set_training(false);
+        b.iter(|| {
+            std::hint::black_box(RunBuilder::new(&params).run_in(
                 &mut env,
                 &mut defender,
                 100,

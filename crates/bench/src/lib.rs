@@ -63,9 +63,10 @@ pub fn banner(figure: &str, claim: &str) {
 }
 
 /// Writes a CSV file into `$CTJAM_CSV_DIR` (if set), returning whether a
-/// file was written. Each row is joined with commas; the header goes
-/// first. Figure binaries call this so their printed tables are also
-/// available to plotting scripts.
+/// file was written. Fields are escaped per RFC 4180 (via
+/// [`ctjam_telemetry::export::csv_field`]), the header goes first.
+/// Figure binaries call this so their printed tables are also available
+/// to plotting scripts.
 ///
 /// # Panics
 ///
@@ -75,13 +76,19 @@ pub fn maybe_write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> boo
     let Ok(dir) = std::env::var("CTJAM_CSV_DIR") else {
         return false;
     };
+    let escape = |cells: &mut dyn Iterator<Item = &str>| -> String {
+        cells
+            .map(|c| ctjam_telemetry::export::csv_field(c).into_owned())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     let dir = std::path::Path::new(&dir);
     std::fs::create_dir_all(dir).expect("create CTJAM_CSV_DIR");
     let mut out = String::new();
-    out.push_str(&header.join(","));
+    out.push_str(&escape(&mut header.iter().copied()));
     out.push('\n');
     for row in rows {
-        out.push_str(&row.join(","));
+        out.push_str(&escape(&mut row.iter().map(String::as_str)));
         out.push('\n');
     }
     let path = dir.join(format!("{name}.csv"));

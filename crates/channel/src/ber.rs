@@ -20,8 +20,9 @@ const CHOOSE_16: [f64; 17] = [
 
 /// BER of the 802.15.4 O-QPSK/DSSS PHY at a given linear SINR.
 ///
-/// Clamped to `[0, 0.5]`; a SINR of 0 (or negative, which can't happen for
-/// a linear ratio but guards against misuse) returns 0.5.
+/// Clamped to `[0, 0.5]`; a SINR of 0, negative (which can't happen for a
+/// linear ratio but guards against misuse), or NaN returns the chance
+/// floor of 0.5 instead of letting NaN ride through the exp-sum.
 ///
 /// ```
 /// use ctjam_channel::ber::oqpsk_dsss_ber;
@@ -34,7 +35,7 @@ const CHOOSE_16: [f64; 17] = [
 /// ```
 #[allow(clippy::needless_range_loop)] // k appears in the closed-form exponent
 pub fn oqpsk_dsss_ber(sinr_linear: f64) -> f64 {
-    if sinr_linear <= 0.0 {
+    if sinr_linear.is_nan() || sinr_linear <= 0.0 {
         return 0.5;
     }
     let mut sum = 0.0;
@@ -75,6 +76,14 @@ mod tests {
         assert_eq!(oqpsk_dsss_ber(0.0), 0.5);
         assert!(oqpsk_dsss_ber(db_to_linear(-30.0)) > 0.4);
         assert!(oqpsk_dsss_ber(db_to_linear(10.0)) < 1e-20);
+    }
+
+    #[test]
+    fn non_finite_sinr_hits_the_chance_floor() {
+        assert_eq!(oqpsk_dsss_ber(f64::NAN), 0.5);
+        assert_eq!(oqpsk_dsss_ber(f64::NEG_INFINITY), 0.5);
+        // +∞ SINR is a perfect link: the exp-sum underflows to 0.
+        assert_eq!(oqpsk_dsss_ber(f64::INFINITY), 0.0);
     }
 
     #[test]

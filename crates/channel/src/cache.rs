@@ -1,0 +1,224 @@
+//! Memoized SINR→BER→PER→goodput evaluation for hot loops.
+//!
+//! [`oqpsk_dsss_ber`](crate::ber::oqpsk_dsss_ber) spends 15 `exp()`
+//! calls per evaluation and [`packet_error_rate`](crate::per::packet_error_rate)
+//! one `powf`, yet sweeps and slot loops revisit a small discrete set of
+//! operating points — a fixed payload size and the handful of SINR values
+//! produced by the (channel, power, jammer-state) grid. [`PerCache`]
+//! memoizes the full chain on the **exact bit pattern** of the linear
+//! SINR plus the payload length, so a hit returns the same `f64`s, bit
+//! for bit, that the uncached path would compute. There is no lossy
+//! quantization: a point either repeats exactly (grid-driven workloads
+//! do) and hits, or it misses and is computed the normal way.
+//!
+//! The cache is bounded: once [`PerCache::capacity`] distinct points
+//! have been seen, further misses are computed but not inserted, so a
+//! continuous-valued workload (e.g. per-draw fading) degrades to the
+//! uncached cost instead of growing without limit.
+//!
+//! Callers whose operating set is derived from a configuration struct
+//! (`EnvParams`, a `JammingScenario`, …) should call
+//! [`PerCache::revalidate`] with a fingerprint of that configuration
+//! whenever it may have changed; a fingerprint change clears the cache.
+//! This is hygiene, not correctness — the exact-bits key already makes a
+//! stale hit impossible — but it keeps entries from a previous
+//! configuration from occupying the bounded capacity.
+
+use crate::per::{goodput_bps, per_from_sinr};
+use std::collections::HashMap;
+
+/// Default bound on distinct cached operating points.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A bounded memo table for the SINR→BER→PER→goodput chain.
+///
+/// ```
+/// use ctjam_channel::cache::PerCache;
+/// use ctjam_channel::per::{goodput_bps, per_from_sinr};
+///
+/// let mut cache = PerCache::new();
+/// let (per, goodput) = cache.per_and_goodput(1.7, 100);
+/// assert_eq!(per.to_bits(), per_from_sinr(1.7, 100).to_bits());
+/// assert_eq!(goodput.to_bits(), goodput_bps(per, 100).to_bits());
+/// // The second lookup is a hit.
+/// cache.per_and_goodput(1.7, 100);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerCache {
+    entries: HashMap<(u64, usize), (f64, f64)>,
+    capacity: usize,
+    fingerprint: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PerCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl PerCache {
+    /// An empty cache with the default capacity bound.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` distinct operating points.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        PerCache {
+            entries: HashMap::with_capacity(capacity.min(DEFAULT_CAPACITY)),
+            capacity,
+            fingerprint: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// PER and goodput at a linear SINR, memoized on the exact bits.
+    ///
+    /// Bit-exact with calling [`per_from_sinr`] followed by
+    /// [`goodput_bps`] (asserted by the property tests in
+    /// `tests/properties.rs`).
+    pub fn per_and_goodput(&mut self, sinr_linear: f64, payload_bytes: usize) -> (f64, f64) {
+        let key = (sinr_linear.to_bits(), payload_bytes);
+        if let Some(&cached) = self.entries.get(&key) {
+            self.hits += 1;
+            return cached;
+        }
+        self.misses += 1;
+        let per = per_from_sinr(sinr_linear, payload_bytes);
+        let value = (per, goodput_bps(per, payload_bytes));
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, value);
+        }
+        value
+    }
+
+    /// PER at a linear SINR, memoized on the exact bits.
+    pub fn per(&mut self, sinr_linear: f64, payload_bytes: usize) -> f64 {
+        self.per_and_goodput(sinr_linear, payload_bytes).0
+    }
+
+    /// Clears the cache if `fingerprint` differs from the one last seen
+    /// (initially 0), then remembers it. Call with a hash of the
+    /// configuration that generates the operating points — e.g. an
+    /// FNV-1a of the `EnvParams` debug string — whenever it may change.
+    pub fn revalidate(&mut self, fingerprint: u64) {
+        if self.fingerprint != fingerprint {
+            self.clear();
+            self.fingerprint = fingerprint;
+        }
+    }
+
+    /// Drops every entry and resets the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of lookups served from the table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that fell through to the full computation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct operating points currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The bound on distinct cached operating points.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_identical_bits() {
+        let mut cache = PerCache::new();
+        let first = cache.per_and_goodput(0.9, 100);
+        let second = cache.per_and_goodput(0.9, 100);
+        assert_eq!(first.0.to_bits(), second.0.to_bits());
+        assert_eq!(first.1.to_bits(), second.1.to_bits());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn payload_is_part_of_the_key() {
+        let mut cache = PerCache::new();
+        let short = cache.per(1.1, 20);
+        let long = cache.per(1.1, 120);
+        assert!(long > short);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn negative_zero_and_positive_zero_are_distinct_keys() {
+        // to_bits distinguishes ±0.0; both map to the 0.5 BER floor, so
+        // the values agree even though the keys differ.
+        let mut cache = PerCache::new();
+        let pos = cache.per(0.0, 50);
+        let neg = cache.per(-0.0, 50);
+        assert_eq!(pos.to_bits(), neg.to_bits());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_growth_but_not_correctness() {
+        let mut cache = PerCache::with_capacity(4);
+        for i in 0..32 {
+            let sinr = 0.5 + f64::from(i) * 0.01;
+            let direct = per_from_sinr(sinr, 100);
+            assert_eq!(cache.per(sinr, 100).to_bits(), direct.to_bits());
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.misses(), 32);
+    }
+
+    #[test]
+    fn nan_sinr_is_cacheable_and_finite() {
+        // The satellite NaN fix maps NaN SINR to the BER chance floor;
+        // the cache must agree with the direct path on that too.
+        let mut cache = PerCache::new();
+        let direct = per_from_sinr(f64::NAN, 100);
+        assert_eq!(cache.per(f64::NAN, 100).to_bits(), direct.to_bits());
+        assert_eq!(cache.per(f64::NAN, 100).to_bits(), direct.to_bits());
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn revalidate_clears_on_config_change_only() {
+        let mut cache = PerCache::new();
+        cache.revalidate(7);
+        cache.per(1.0, 100);
+        cache.revalidate(7);
+        assert_eq!(cache.len(), 1);
+        cache.revalidate(8);
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 0);
+    }
+}

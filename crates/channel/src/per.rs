@@ -7,13 +7,21 @@ use crate::ber::oqpsk_dsss_ber;
 ///
 /// `PER = 1 − (1 − BER)^(8·bytes)`.
 ///
+/// A non-finite BER (NaN from a degenerate SINR, or ±∞) means the link
+/// is unusable, not "unknown": it maps to PER = 1 rather than letting
+/// NaN propagate into goodput and reward sums.
+///
 /// ```
 /// use ctjam_channel::per::packet_error_rate;
 ///
 /// assert_eq!(packet_error_rate(0.0, 100), 0.0);
 /// assert!(packet_error_rate(1e-3, 100) > packet_error_rate(1e-3, 10));
+/// assert_eq!(packet_error_rate(f64::NAN, 100), 1.0);
 /// ```
 pub fn packet_error_rate(ber: f64, payload_bytes: usize) -> f64 {
+    if !ber.is_finite() {
+        return 1.0;
+    }
     let bits = 8.0 * (payload_bytes + crate::per::PHY_OVERHEAD_BYTES) as f64;
     1.0 - (1.0 - ber.clamp(0.0, 1.0)).powf(bits)
 }
@@ -28,7 +36,13 @@ pub fn per_from_sinr(sinr_linear: f64, payload_bytes: usize) -> f64 {
 
 /// Effective goodput in bits/second over a 250 kb/s ZigBee link:
 /// `(1 − PER) · payload_fraction · bitrate`.
+///
+/// A non-finite PER is treated as total loss (goodput 0), matching the
+/// non-finite-BER policy of [`packet_error_rate`].
 pub fn goodput_bps(per: f64, payload_bytes: usize) -> f64 {
+    if !per.is_finite() {
+        return 0.0;
+    }
     let payload_fraction = payload_bytes as f64 / (payload_bytes + PHY_OVERHEAD_BYTES) as f64;
     (1.0 - per.clamp(0.0, 1.0)) * payload_fraction * ctjam_phy::zigbee::BIT_RATE
 }
@@ -61,6 +75,33 @@ mod tests {
     #[test]
     fn goodput_zero_when_always_lost() {
         assert_eq!(goodput_bps(1.0, 100), 0.0);
+    }
+
+    #[test]
+    fn non_finite_ber_means_certain_loss() {
+        // Regression: `ber.clamp(0.0, 1.0)` returns NaN for NaN, which
+        // used to ride through the powf and poison PER, goodput, and
+        // every metric summed downstream.
+        assert_eq!(packet_error_rate(f64::NAN, 100), 1.0);
+        assert_eq!(packet_error_rate(f64::INFINITY, 100), 1.0);
+        assert_eq!(packet_error_rate(f64::NEG_INFINITY, 100), 1.0);
+    }
+
+    #[test]
+    fn non_finite_sinr_yields_finite_per() {
+        // NaN SINR now hits the BER chance floor (0.5), so PER is
+        // finite and effectively 1 for any realistic packet length.
+        let p = per_from_sinr(f64::NAN, 100);
+        assert!(p.is_finite());
+        assert!(p > 0.999_999);
+        assert_eq!(per_from_sinr(f64::INFINITY, 100), 0.0);
+    }
+
+    #[test]
+    fn non_finite_per_means_zero_goodput() {
+        assert_eq!(goodput_bps(f64::NAN, 100), 0.0);
+        assert_eq!(goodput_bps(f64::INFINITY, 100), 0.0);
+        assert_eq!(goodput_bps(f64::NEG_INFINITY, 100), 0.0);
     }
 
     #[test]

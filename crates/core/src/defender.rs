@@ -102,6 +102,10 @@ pub struct DqnDefender {
     /// Boltzmann temperature for deployment-time action sampling
     /// (`None` = the paper's ε-greedy policy).
     temperature: Option<f64>,
+    /// Reusable observation buffer for the evaluation-mode hot path
+    /// (training mode hands owned vectors to the replay buffer, so the
+    /// scratch only cycles when no transition needs to be kept).
+    obs_scratch: Vec<f64>,
 }
 
 impl DqnDefender {
@@ -136,6 +140,7 @@ impl DqnDefender {
             current_channel,
             pending_delta: 0,
             temperature: None,
+            obs_scratch: Vec::new(),
         }
     }
 
@@ -332,6 +337,7 @@ impl DqnDefender {
             current_channel,
             pending_delta,
             temperature,
+            obs_scratch: Vec::new(),
         })
     }
 
@@ -356,17 +362,28 @@ impl Defender for DqnDefender {
     }
 
     fn decide(&mut self, rng: &mut dyn RngCore) -> Decision {
-        let observation = self.encoder.encode();
+        let mut observation = std::mem::take(&mut self.obs_scratch);
+        self.encoder.encode_into(&mut observation);
         // §III.C: the deployed policy is ε-greedy — the best action with
         // probability 1 − ε, any other uniformly — also during
         // evaluation (ε sits at its floor once training has decayed it).
         // With a temperature set, deployment uses Boltzmann sampling
-        // instead (anti-predictor hardening).
+        // instead (anti-predictor hardening). The `_scratch` variants
+        // are bit-exact with the plain ones, including RNG draw order.
         let action = match (self.training, self.temperature) {
-            (false, Some(t)) => self.agent.act_softmax(&observation, t, rng),
-            _ => self.agent.act(&observation, rng),
+            (false, Some(t)) => self.agent.act_softmax_scratch(&observation, t, rng),
+            _ => self.agent.act_scratch(&observation, rng),
         };
-        self.pending = Some((observation, action));
+        if self.training {
+            // The transition must outlive this slot (the replay buffer
+            // takes ownership in `feedback`), so hand the vector over.
+            self.pending = Some((observation, action));
+        } else {
+            // Evaluation: nothing consumes the observation, so recycle
+            // the buffer — the eval loop stays allocation-free.
+            self.pending = None;
+            self.obs_scratch = observation;
+        }
         let (delta, power_level) = self.agent.config().decode_action(action);
         self.pending_delta = delta;
         let channel = (self.current_channel + delta) % self.agent.config().num_channels;

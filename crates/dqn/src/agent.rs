@@ -32,10 +32,11 @@ pub struct DqnAgent {
     last_loss: Option<f64>,
 }
 
-/// Reusable minibatch buffers for [`DqnAgent::train_step`]: the packed
-/// sample, the two network scratch spaces, and the Q-target batch. Kept
-/// inside the agent so steady-state training performs no per-step
-/// allocation.
+/// Reusable buffers for [`DqnAgent::train_step`] and the scratch-based
+/// inference path: the packed minibatch, the network scratch spaces, the
+/// Q-target batch, and the single-row observation workspace. Kept inside
+/// the agent so steady-state training *and* evaluation perform no
+/// per-step allocation.
 #[derive(Debug, Clone)]
 struct TrainScratch {
     states: Batch,
@@ -51,6 +52,14 @@ struct TrainScratch {
     /// Double DQN: per-sample action selected by the online network.
     selected: Vec<usize>,
     params: Vec<f64>,
+    /// Single-row observation batch for scratch-based inference.
+    obs: Batch,
+    /// Forward-only workspace for scratch-based inference (kept separate
+    /// from `online`/`aux` so an inference between `train_step` calls
+    /// cannot clobber a training trace).
+    infer: BatchScratch,
+    /// Reusable weight buffer for [`DqnAgent::act_softmax_scratch`].
+    softmax_weights: Vec<f64>,
 }
 
 impl TrainScratch {
@@ -65,6 +74,9 @@ impl TrainScratch {
             targets: Batch::with_cols(online.output_size()),
             selected: Vec::new(),
             params: Vec::new(),
+            obs: Batch::with_cols(online.input_size()),
+            infer: BatchScratch::for_network(online),
+            softmax_weights: Vec::new(),
         }
     }
 }
@@ -220,6 +232,23 @@ impl DqnAgent {
         self.online.forward(observation)
     }
 
+    /// Q-values through the agent's reusable inference scratch.
+    ///
+    /// Bit-exact with [`DqnAgent::q_values`] ([`Mlp::forward_batch`] is
+    /// bit-exact with per-row [`Mlp::forward`]) but allocation-free in
+    /// steady state — the observation row and every layer activation
+    /// live in buffers reused across calls.
+    pub fn q_values_scratch(&mut self, observation: &[f64]) -> &[f64] {
+        let Self {
+            online, scratch, ..
+        } = self;
+        scratch.obs.set_shape(1, observation.len());
+        scratch.obs.row_mut(0).copy_from_slice(observation);
+        online
+            .forward_batch(&scratch.obs, &mut scratch.infer)
+            .row(0)
+    }
+
     /// Greedy action (no exploration).
     pub fn act_greedy(&self, observation: &[f64]) -> usize {
         argmax(&self.q_values(observation))
@@ -236,6 +265,28 @@ impl DqnAgent {
             return best;
         }
         // Uniform over the other n−1 actions.
+        let mut pick = rng.gen_range(0..n - 1);
+        if pick >= best {
+            pick += 1;
+        }
+        pick
+    }
+
+    /// Greedy action through the reusable inference scratch (bit-exact
+    /// with [`DqnAgent::act_greedy`], allocation-free in steady state).
+    pub fn act_greedy_scratch(&mut self, observation: &[f64]) -> usize {
+        argmax(self.q_values_scratch(observation))
+    }
+
+    /// [`DqnAgent::act`] through the reusable inference scratch: same
+    /// ε-greedy policy, same RNG draw order, no per-call allocation.
+    pub fn act_scratch<R: Rng + ?Sized>(&mut self, observation: &[f64], rng: &mut R) -> usize {
+        let best = self.act_greedy_scratch(observation);
+        let epsilon = self.epsilon();
+        let n = self.config.num_actions();
+        if n == 1 || !rng.gen_bool(epsilon.clamp(0.0, 1.0)) {
+            return best;
+        }
         let mut pick = rng.gen_range(0..n - 1);
         if pick >= best {
             pick += 1;
@@ -265,6 +316,43 @@ impl DqnAgent {
         let q = self.q_values(observation);
         let max = q.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let weights: Vec<f64> = q.iter().map(|v| ((v - max) / temperature).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut u = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                return i;
+            }
+            u -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// [`DqnAgent::act_softmax`] through the reusable inference scratch:
+    /// same Boltzmann policy, same RNG draw order, no per-call
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature` is not strictly positive.
+    pub fn act_softmax_scratch<R: Rng + ?Sized>(
+        &mut self,
+        observation: &[f64],
+        temperature: f64,
+        rng: &mut R,
+    ) -> usize {
+        assert!(temperature > 0.0, "softmax temperature must be positive");
+        let Self {
+            online, scratch, ..
+        } = self;
+        scratch.obs.set_shape(1, observation.len());
+        scratch.obs.row_mut(0).copy_from_slice(observation);
+        let q = online
+            .forward_batch(&scratch.obs, &mut scratch.infer)
+            .row(0);
+        let max = q.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights = &mut scratch.softmax_weights;
+        weights.clear();
+        weights.extend(q.iter().map(|v| ((v - max) / temperature).exp()));
         let total: f64 = weights.iter().sum();
         let mut u = rng.gen_range(0.0..total);
         for (i, w) in weights.iter().enumerate() {
@@ -510,6 +598,42 @@ mod tests {
         for _ in 0..100 {
             assert!(agent.act(&obs, &mut rng) < agent.config().num_actions());
         }
+    }
+
+    #[test]
+    fn scratch_inference_is_bit_exact_with_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut agent = DqnAgent::new(small_config(), &mut rng);
+        let input = agent.config().input_size();
+        for i in 0..50 {
+            let obs: Vec<f64> = (0..input).map(|j| ((i * 31 + j) as f64).sin()).collect();
+            let plain = agent.q_values(&obs);
+            let scratch = agent.q_values_scratch(&obs).to_vec();
+            assert_eq!(plain, scratch, "q_values diverged at obs {i}");
+            assert_eq!(agent.act_greedy(&obs), agent.act_greedy_scratch(&obs));
+            // Same RNG stream → identical ε-greedy and softmax draws.
+            let mut rng_a = StdRng::seed_from_u64(1_000 + i as u64);
+            let mut rng_b = rng_a.clone();
+            assert_eq!(agent.act(&obs, &mut rng_a), {
+                let a = agent.act_scratch(&obs, &mut rng_b);
+                assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "rng diverged");
+                a
+            });
+            let mut rng_c = StdRng::seed_from_u64(2_000 + i as u64);
+            let mut rng_d = rng_c.clone();
+            assert_eq!(
+                agent.act_softmax(&obs, 0.7, &mut rng_c),
+                agent.act_softmax_scratch(&obs, 0.7, &mut rng_d)
+            );
+        }
+        // Interleaving inference with training must not disturb either:
+        // the inference workspace is separate from the training trace.
+        for i in 0..100 {
+            let obs = vec![0.1 * (i % 7) as f64; input];
+            agent.observe(obs.clone(), i % 4, -1.0, obs, &mut rng);
+        }
+        let obs = vec![0.3; input];
+        assert_eq!(agent.q_values(&obs), agent.q_values_scratch(&obs).to_vec());
     }
 
     #[test]

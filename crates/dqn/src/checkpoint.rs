@@ -7,7 +7,8 @@
 //! ```
 //!
 //! where the checksum covers everything before it. Writes go through a
-//! tempfile + atomic rename, so a crash mid-write leaves either the old
+//! uniquely named sibling tempfile (fsynced) + atomic rename (parent
+//! directory fsynced), so a crash mid-write leaves either the old
 //! checkpoint or none — never a torn file. Reads verify magic, version,
 //! and checksum before any field is parsed, so truncation or bit-rot
 //! surfaces as a typed [`CheckpointError`], not a panic or a silently
@@ -108,18 +109,59 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
     Ok(&body[8..])
 }
 
-/// Writes a sealed payload to `path` atomically: the bytes go to
-/// `<path>.tmp` first and are renamed into place, so a crash mid-write
-/// never leaves a torn checkpoint.
+/// Writes a sealed payload to `path` atomically and durably.
+///
+/// The bytes go to a uniquely named sibling tempfile
+/// (`.<name>.<pid>.<n>.tmp`, so `agent.v2.ckpt` is never mangled into
+/// `agent.v2.tmp` and no unrelated sibling `*.tmp` can be clobbered),
+/// are fsynced, renamed into place, and the parent directory is fsynced
+/// so the rename itself survives a crash. A failure mid-write leaves
+/// either the old checkpoint or none — never a torn file.
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError::Io`] on filesystem failure.
 pub fn write_checkpoint(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let io_err = |e: std::io::Error| CheckpointError::Io(e.to_string());
+
     let sealed = seal(payload);
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, &sealed).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+    let name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Io("checkpoint path has no file name".into()))?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let tmp = parent.join(format!(
+        ".{}.{}.{}.tmp",
+        name.to_string_lossy(),
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+
+    let result = (|| {
+        let mut file = fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(&sealed).map_err(io_err)?;
+        // Contents must be on disk before the rename publishes them.
+        file.sync_all().map_err(io_err)?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(io_err)?;
+        // The rename is a directory mutation; fsync the directory so the
+        // new name survives a crash. Best effort on platforms where
+        // opening a directory is not supported.
+        if let Ok(dir) = fs::File::open(&parent) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads and verifies a checkpoint file, returning its payload.
@@ -476,8 +518,9 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("agent.ckpt");
         save_agent(&agent, &path).unwrap();
-        // No tempfile left behind.
-        assert!(!path.with_extension("tmp").exists());
+        // No tempfile left behind (neither the old `agent.tmp` scheme
+        // nor the unique hidden siblings).
+        assert!(only_checkpoints_in(&dir));
         let back = load_agent(&path).unwrap();
         assert_eq!(
             back.network().flatten_params(),
@@ -485,6 +528,72 @@ mod tests {
         );
         // Overwrite in place works (rename clobbers).
         save_agent(&back, &path).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// True when `dir` holds only `*.ckpt` files — no stray tempfiles.
+    fn only_checkpoints_in(dir: &std::path::Path) -> bool {
+        fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .all(|n| n.ends_with(".ckpt"))
+    }
+
+    #[test]
+    fn multi_dot_names_do_not_collide_with_siblings() {
+        // Regression: `path.with_extension("tmp")` turned `agent.v2.ckpt`
+        // into `agent.v2.tmp`, so two differently named checkpoints
+        // (`agent.v2.ckpt`, `agent.v2.json`, an unrelated `agent.v2.tmp`)
+        // could race or clobber each other through the shared temp name.
+        let (agent, _) = trained_agent(7, 60);
+        let dir = std::env::temp_dir().join("ctjam_ckpt_multidot");
+        fs::create_dir_all(&dir).unwrap();
+
+        // A pre-existing sibling that the old scheme would have destroyed.
+        let bystander = dir.join("agent.v2.tmp");
+        fs::write(&bystander, b"do not clobber").unwrap();
+
+        let path = dir.join("agent.v2.ckpt");
+        save_agent(&agent, &path).unwrap();
+
+        assert_eq!(fs::read(&bystander).unwrap(), b"do not clobber");
+        let back = load_agent(&path).unwrap();
+        assert_eq!(
+            back.network().flatten_params(),
+            agent.network().flatten_params()
+        );
+        // Only the checkpoint and the untouched bystander remain.
+        let mut names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["agent.v2.ckpt", "agent.v2.tmp"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_directory_do_not_collide() {
+        // The unique temp names carry a process-wide counter, so two
+        // threads checkpointing different files in the same directory
+        // never share a tempfile.
+        let dir = std::env::temp_dir().join("ctjam_ckpt_concurrent");
+        fs::create_dir_all(&dir).unwrap();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let path = dir.join(format!("agent.{i}.ckpt"));
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        write_checkpoint(&path, &[i as u8; 64]).unwrap();
+                    }
+                });
+            }
+        });
+        for i in 0..4 {
+            let payload = read_checkpoint(&dir.join(format!("agent.{i}.ckpt"))).unwrap();
+            assert_eq!(payload, vec![i as u8; 64]);
+        }
+        assert!(only_checkpoints_in(&dir));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -141,7 +141,17 @@ impl ObservationEncoder {
     /// each slot contributing `(outcome, channel/(C−1), power/(PL−1))`.
     /// Missing history is zero-padded at the front.
     pub fn encode(&self) -> Vec<f64> {
-        let mut out = vec![0.0; 3 * self.history_len];
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`ObservationEncoder::encode`] into a caller-owned buffer
+    /// (cleared and refilled), so hot loops reuse one allocation across
+    /// slots. Produces exactly the same vector as `encode`.
+    pub fn encode_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(3 * self.history_len, 0.0);
         let offset = self.history_len - self.window.len();
         for (i, rec) in self.window.iter().enumerate() {
             let base = 3 * (offset + i);
@@ -149,7 +159,6 @@ impl ObservationEncoder {
             out[base + 1] = normalize(rec.channel, self.num_channels);
             out[base + 2] = normalize(rec.power_level, self.num_power_levels);
         }
-        out
     }
 }
 
@@ -235,5 +244,16 @@ mod tests {
     #[should_panic]
     fn out_of_range_channel_panics() {
         ObservationEncoder::new(2, 4, 4).push(rec(SlotOutcome::Success, 4, 0));
+    }
+
+    #[test]
+    fn encode_into_reuses_a_dirty_buffer_correctly() {
+        let mut enc = ObservationEncoder::new(3, 8, 4);
+        let mut buf = vec![9.9; 17]; // wrong size, stale contents
+        for i in 0..6 {
+            enc.push(rec(SlotOutcome::Success, i % 8, i % 4));
+            enc.encode_into(&mut buf);
+            assert_eq!(buf, enc.encode(), "divergence after push {i}");
+        }
     }
 }

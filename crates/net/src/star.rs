@@ -79,6 +79,12 @@ pub struct StarNetwork {
     payload_len: usize,
     /// Probability a CCA finds the channel busy from neighbor traffic.
     cca_busy_prob: f64,
+    /// Reusable buffer for the per-turn CCA pre-draws, so the data loop
+    /// allocates nothing in steady state.
+    cca_scratch: Vec<bool>,
+    /// Reusable buffer for the peripheral id list used by
+    /// [`StarNetwork::apply_decision`].
+    ids_scratch: Vec<NodeId>,
 }
 
 impl StarNetwork {
@@ -100,6 +106,8 @@ impl StarNetwork {
             csma: CsmaConfig::default(),
             payload_len,
             cca_busy_prob: 0.05,
+            cca_scratch: Vec::new(),
+            ids_scratch: Vec::new(),
         }
     }
 
@@ -126,8 +134,10 @@ impl StarNetwork {
         power_level: u8,
         rng: &mut R,
     ) -> f64 {
-        let ids: Vec<NodeId> = self.peripherals.iter().map(Peripheral::id).collect();
-        let announcements = self.hub.announce(channel, power_level, &ids);
+        self.ids_scratch.clear();
+        self.ids_scratch
+            .extend(self.peripherals.iter().map(Peripheral::id));
+        let announcements = self.hub.announce(channel, power_level, &self.ids_scratch);
         for announcement in &announcements {
             for peripheral in &mut self.peripherals {
                 if peripheral.handle_negotiation(announcement).is_some() {
@@ -185,11 +195,14 @@ impl StarNetwork {
             turn += 1;
 
             let busy = self.cca_busy_prob;
-            // Pre-draw the (at most max_backoffs+1) CCA outcomes so the
-            // closure does not capture `rng` alongside its other uses.
-            let cca_draws: Vec<bool> = (0..=self.csma.max_backoffs)
-                .map(|_| rng.gen_bool(busy))
-                .collect();
+            // Pre-draw the (at most max_backoffs+1) CCA outcomes into the
+            // reusable scratch so the closure does not capture `rng`
+            // alongside its other uses (draw order is unchanged).
+            self.cca_scratch.clear();
+            for _ in 0..=self.csma.max_backoffs {
+                self.cca_scratch.push(rng.gen_bool(busy));
+            }
+            let cca_draws = &self.cca_scratch;
             let access = csma_ca(&self.csma, rng, |attempt| cca_draws[attempt as usize]);
             elapsed += access.elapsed_s;
             if elapsed >= budget {
@@ -298,9 +311,11 @@ impl StarNetwork {
             turn += 1;
 
             let busy = self.cca_busy_prob;
-            let cca_draws: Vec<bool> = (0..=self.csma.max_backoffs)
-                .map(|_| rng.gen_bool(busy))
-                .collect();
+            self.cca_scratch.clear();
+            for _ in 0..=self.csma.max_backoffs {
+                self.cca_scratch.push(rng.gen_bool(busy));
+            }
+            let cca_draws = &self.cca_scratch;
             let access = csma_ca(&self.csma, rng, |attempt| cca_draws[attempt as usize]);
             elapsed += access.elapsed_s;
             if elapsed >= budget {
