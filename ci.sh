@@ -7,8 +7,10 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy --workspace -- -D warnings =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy --workspace -- -D warnings -D deprecated =="
+# -D deprecated keeps workspace code off the 0.2.0 runner shims (the
+# shims themselves carry #[allow(deprecated)] on their own bodies).
+cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 echo "== cargo test -q (tier-1 gate) =="
 cargo test -q
@@ -28,7 +30,7 @@ echo "== cargo doc --no-deps (rustdoc warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p ctjam -p ctjam-phy -p ctjam-channel -p ctjam-net -p ctjam-mdp \
   -p ctjam-nn -p ctjam-dqn -p ctjam-core -p ctjam-bench \
-  -p ctjam-telemetry -p ctjam-fault
+  -p ctjam-telemetry -p ctjam-fault -p ctjam-serve
 
 # Criterion smoke mode: each bench target runs one iteration per
 # benchmark, catching bit-rot in bench code without paying for a full
@@ -44,7 +46,21 @@ cargo bench -p ctjam-bench --benches -- --test
 # EXPERIMENTS.md's "Performance trajectory" numbers come from.
 echo "== perf_report quick run (BENCH_*.json smoke) =="
 CTJAM_BENCH_QUICK=1 cargo run --release -q -p ctjam-bench --bin perf_report
-for f in BENCH_slotloop.json BENCH_dqn.json; do
+
+# Serve smoke: spawn the standalone policy_server binary on an
+# ephemeral loopback port and drive it with the serve_bench load
+# harness in quick mode. This exercises the whole serving stack end to
+# end — wire protocol, micro-batcher, reply path, drain — and asserts
+# every served action bit-exact against the in-process agent. The
+# full-size run (plain `cargo run --release -p ctjam-bench --bin
+# serve_bench`) is what EXPERIMENTS.md's "Policy serving" numbers come
+# from.
+echo "== serve_bench quick run vs standalone policy_server (serve smoke) =="
+cargo build --release -q -p ctjam-serve --bin policy_server
+CTJAM_BENCH_QUICK=1 CTJAM_SERVE_BIN=target/release/policy_server \
+  cargo run --release -q -p ctjam-bench --bin serve_bench
+
+for f in BENCH_slotloop.json BENCH_dqn.json BENCH_serve.json; do
   test -s "$f" || { echo "FAIL: $f missing or empty"; exit 1; }
   python3 - "$f" <<'PYEOF'
 import json, sys

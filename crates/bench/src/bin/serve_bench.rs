@@ -1,0 +1,430 @@
+//! Deterministic load generator for the `ctjam-serve` policy server.
+//!
+//! Drives a policy server over loopback with N pipelined client
+//! threads (each keeps a window of requests in flight on one
+//! connection) and seeded observation streams, twice: once with
+//! micro-batching enabled (`max_batch` from the server defaults) and
+//! once degraded to `max_batch = 1`. Observation streams and their
+//! greedy-action oracles are precomputed before the timed window so
+//! client-side work stays off the critical path. Every served action
+//! is asserted
+//! **bit-exact** against in-process `DqnAgent::act_greedy` on the same
+//! observation, and the run is summarized into `BENCH_serve.json`
+//! (throughput, p50/p95/p99 latency, mean batch occupancy, batching
+//! speedup) in the `ctjam-bench/v1` manifest schema — the same file
+//! `ci.sh` validates in quick mode and EXPERIMENTS.md records from a
+//! full run.
+//!
+//! Server placement:
+//!
+//! * default — in-process [`PolicyServer`], metrics read directly;
+//! * `CTJAM_SERVE_BIN=<path>` — spawn that `policy_server` binary on an
+//!   ephemeral loopback port instead (the `ci.sh` serve-smoke stage
+//!   does this so the standalone binary is exercised end to end); the
+//!   checkpoint handed to the child is the one saved from the agent
+//!   used for the bit-exactness oracle, and the mean batch occupancy
+//!   is parsed from the child's shutdown report.
+//!
+//! Knobs: `CTJAM_BENCH_QUICK` (small counts), `CTJAM_SERVE_CLIENTS`
+//! (default 8), `CTJAM_SERVE_REQUESTS` (per client),
+//! `CTJAM_SERVE_MAX_BATCH`, `CTJAM_SERVE_MAX_WAIT_US`,
+//! `CTJAM_SERVE_WINDOW` (per-client pipeline depth, default 32).
+
+use ctjam_bench::env_usize;
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::checkpoint;
+use ctjam_dqn::config::DqnConfig;
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_serve::protocol::Message;
+use ctjam_serve::server::{PolicyServer, ServerConfig};
+use ctjam_telemetry::{JsonValue, RunManifest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Base seed for the policy weights and every observation stream.
+const SEED: u64 = 2026;
+
+/// Schema tag checked by the `ci.sh` smoke stage.
+const SCHEMA: &str = "ctjam-bench/v1";
+
+/// One benchmarked server mode.
+struct ModeResult {
+    throughput_req_per_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_batch_occupancy: f64,
+    requests: usize,
+}
+
+/// Where the server under test lives.
+enum Server {
+    InProcess(PolicyServer),
+    Child { child: Child, addr: SocketAddr },
+}
+
+impl Server {
+    fn start(policy: GreedyPolicy, ckpt: &Path, max_batch: usize, max_wait_us: u64) -> Server {
+        match std::env::var("CTJAM_SERVE_BIN") {
+            Ok(bin) => {
+                let mut child = Command::new(bin)
+                    .arg(ckpt)
+                    .arg("127.0.0.1:0")
+                    .env("CTJAM_SERVE_MAX_BATCH", max_batch.to_string())
+                    .env("CTJAM_SERVE_MAX_WAIT_US", max_wait_us.to_string())
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()
+                    .expect("spawn CTJAM_SERVE_BIN");
+                let stdout = child.stdout.as_mut().expect("child stdout");
+                let mut line = String::new();
+                BufReader::new(stdout)
+                    .read_line(&mut line)
+                    .expect("readiness line");
+                let addr = line
+                    .trim()
+                    .strip_prefix("LISTENING ")
+                    .unwrap_or_else(|| panic!("unexpected readiness line: {line}"))
+                    .parse()
+                    .expect("parsable address");
+                Server::Child { child, addr }
+            }
+            Err(_) => {
+                let config = ServerConfig {
+                    max_batch,
+                    max_wait: Duration::from_micros(max_wait_us),
+                    ..ServerConfig::default()
+                };
+                let server =
+                    PolicyServer::bind("127.0.0.1:0", policy, config).expect("bind loopback");
+                Server::InProcess(server)
+            }
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        match self {
+            Server::InProcess(server) => server.local_addr(),
+            Server::Child { addr, .. } => *addr,
+        }
+    }
+
+    /// Shuts the server down and returns its mean batch occupancy.
+    fn finish(self) -> f64 {
+        match self {
+            Server::InProcess(server) => {
+                let occupancy = server.mean_batch_occupancy();
+                server.shutdown();
+                occupancy
+            }
+            Server::Child { mut child, .. } => {
+                drop(child.stdin.take()); // EOF → graceful shutdown
+                let stdout = child.stdout.take().expect("child stdout");
+                let mut occupancy = f64::NAN;
+                for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                    if let Some(v) = line.strip_prefix("MEAN_BATCH_OCCUPANCY ") {
+                        occupancy = v.trim().parse().unwrap_or(f64::NAN);
+                    }
+                }
+                let status = child.wait().expect("reap child");
+                assert!(status.success(), "policy_server exited with {status:?}");
+                occupancy
+            }
+        }
+    }
+}
+
+/// One client's seeded observation stream plus the oracle's answers,
+/// generated *before* the timed run so the single-row `act_greedy`
+/// oracle never competes with the server for CPU inside the
+/// measurement window.
+type Stream = Vec<(Vec<f64>, usize)>;
+
+/// Precomputes `clients` seeded streams of `requests` observations and
+/// their bit-exact `DqnAgent::act_greedy` answers.
+fn precompute_streams(agent: &DqnAgent, clients: usize, requests: usize) -> Vec<Stream> {
+    let input_size = agent.config().input_size();
+    (0..clients)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(SEED + 1000 + t as u64);
+            (0..requests)
+                .map(|_| {
+                    let mut observation = vec![0.0; input_size];
+                    for v in &mut observation {
+                        *v = rng.gen_range(-1.0..1.0);
+                    }
+                    let expected = agent.act_greedy(&observation);
+                    (observation, expected)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Connects with retries (the child-process server needs a beat).
+fn connect_retry(addr: SocketAddr, attempts: usize, delay: Duration) -> TcpStream {
+    let mut last = None;
+    for _ in 0..attempts {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => last = Some(e),
+        }
+        thread::sleep(delay);
+    }
+    panic!("connect {addr}: {last:?}");
+}
+
+/// One pipelined client: keeps up to `window` requests in flight on a
+/// single connection, matching replies to requests by id and asserting
+/// every action bit-exact against the precomputed oracle. Returns the
+/// send→reply latency of every request in microseconds.
+fn drive_client(addr: SocketAddr, stream: &Stream, window: usize) -> Vec<f64> {
+    let tcp = connect_retry(addr, 50, Duration::from_millis(20));
+    tcp.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(tcp.try_clone().expect("clone stream"));
+    let mut writer = tcp;
+
+    // Request ids are stream indices, so a flat send-time table is the
+    // whole in-flight bookkeeping.
+    let epoch = Instant::now();
+    let mut sent_at = vec![epoch; stream.len()];
+    let mut latencies_us = vec![0.0; stream.len()];
+    let mut inflight = 0usize;
+    let mut sendbuf: Vec<u8> = Vec::new();
+    let mut next = 0usize;
+    let mut done = 0usize;
+    while done < stream.len() {
+        // Refill the window in one burst: encode every free slot, then
+        // a single write syscall for the lot.
+        if inflight < window && next < stream.len() {
+            sendbuf.clear();
+            while inflight < window && next < stream.len() {
+                Message::Observe {
+                    id: next as u64,
+                    observation: stream[next].0.clone(),
+                }
+                .encode_into(&mut sendbuf);
+                sent_at[next] = Instant::now();
+                inflight += 1;
+                next += 1;
+            }
+            writer.write_all(&sendbuf).expect("send burst");
+            writer.flush().expect("flush burst");
+        }
+        // Drain replies: block for one, then keep going while complete
+        // frames are already sitting in the read buffer.
+        loop {
+            let msg = Message::read_from(&mut reader)
+                .expect("read reply")
+                .expect("server closed mid-run");
+            match msg {
+                Message::Action { id, action } => {
+                    let id = id as usize;
+                    assert!(id < next && latencies_us[id] == 0.0, "reply to unknown id");
+                    latencies_us[id] = sent_at[id].elapsed().as_secs_f64() * 1e6;
+                    // The acceptance bar: every served action bit-exact
+                    // against the in-process agent.
+                    assert_eq!(
+                        action as usize, stream[id].1,
+                        "served action diverged from act_greedy"
+                    );
+                    inflight -= 1;
+                    done += 1;
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+            if inflight == 0 || Message::decode(reader.buffer()).is_err() {
+                break;
+            }
+        }
+    }
+    latencies_us
+}
+
+/// Runs `clients` pipelined threads over their precomputed streams
+/// against one server mode; panics on any non-bit-exact answer.
+fn run_mode(
+    label: &str,
+    agent: &Arc<DqnAgent>,
+    streams: &Arc<Vec<Stream>>,
+    ckpt: &Path,
+    max_batch: usize,
+    max_wait_us: u64,
+    window: usize,
+) -> ModeResult {
+    let server = Server::start(
+        GreedyPolicy::from_agent(agent),
+        ckpt,
+        max_batch,
+        max_wait_us,
+    );
+    let addr = server.addr();
+    let clients = streams.len();
+
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for t in 0..clients {
+        let streams = Arc::clone(streams);
+        workers.push(thread::spawn(move || {
+            drive_client(addr, &streams[t], window)
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("client thread panicked"));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let occupancy = server.finish();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |q: f64| latencies[((q * latencies.len() as f64).ceil() as usize).max(1) - 1];
+    let result = ModeResult {
+        throughput_req_per_s: latencies.len() as f64 / wall,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_batch_occupancy: occupancy,
+        requests: latencies.len(),
+    };
+    println!(
+        "{label:>10}: {:>9.0} req/s | p50 {:>7.1} us | p95 {:>7.1} us | p99 {:>7.1} us | occupancy {:.2}",
+        result.throughput_req_per_s, result.p50_us, result.p95_us, result.p99_us,
+        result.mean_batch_occupancy,
+    );
+    result
+}
+
+fn main() {
+    let quick = std::env::var("CTJAM_BENCH_QUICK").is_ok();
+    let out_dir = std::env::var("CTJAM_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let out_dir = PathBuf::from(out_dir);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let clients = env_usize("CTJAM_SERVE_CLIENTS", 8);
+    let requests = env_usize("CTJAM_SERVE_REQUESTS", if quick { 250 } else { 4_000 });
+    let max_batch = env_usize("CTJAM_SERVE_MAX_BATCH", 32);
+    let max_wait_us = env_usize("CTJAM_SERVE_MAX_WAIT_US", 200) as u64;
+    let window = env_usize("CTJAM_SERVE_WINDOW", 32);
+
+    // Paper-shaped observation/action space, but wider hidden layers:
+    // the serving bottleneck worth measuring is the forward pass, not
+    // the loopback syscalls, and at (192, 192) it clearly is.
+    let config = DqnConfig {
+        hidden: (192, 192),
+        ..DqnConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let agent = Arc::new(DqnAgent::new(config.clone(), &mut rng));
+    let ckpt = std::env::temp_dir().join(format!("ctjam_serve_bench_{}.ckpt", std::process::id()));
+    checkpoint::save_agent(&agent, &ckpt).expect("save benchmark checkpoint");
+
+    println!(
+        "serve_bench: {clients} clients x {requests} requests (window {window}), net {:?}, \
+         max_batch {max_batch} (deadline {max_wait_us} us){}",
+        config.hidden,
+        if quick { " [quick]" } else { "" },
+    );
+    let streams = Arc::new(precompute_streams(&agent, clients, requests));
+
+    let batched = run_mode(
+        "batched",
+        &agent,
+        &streams,
+        &ckpt,
+        max_batch,
+        max_wait_us,
+        window,
+    );
+    let unbatched = run_mode(
+        "max_batch=1",
+        &agent,
+        &streams,
+        &ckpt,
+        1,
+        max_wait_us,
+        window,
+    );
+    std::fs::remove_file(&ckpt).ok();
+
+    let speedup = batched.throughput_req_per_s / unbatched.throughput_req_per_s;
+    println!("batching speedup: {speedup:.2}x");
+
+    let mut manifest = RunManifest::new("BENCH_serve", SEED, &format!("{config:?}"));
+    manifest.push_extra("schema", SCHEMA);
+    manifest.push_extra("target_arch", std::env::consts::ARCH);
+    manifest.push_extra("target_cpu_features", target_cpu_features());
+    manifest.push_extra("threads_available", threads as f64);
+    manifest.push_extra("quick_mode", JsonValue::from(quick));
+    manifest.push_extra(
+        "server_mode",
+        if std::env::var("CTJAM_SERVE_BIN").is_ok() {
+            "external_binary"
+        } else {
+            "in_process"
+        },
+    );
+    manifest.push_extra("client_threads", clients as f64);
+    manifest.push_extra("requests_per_client", requests as f64);
+    manifest.push_extra("pipeline_window", window as f64);
+    manifest.push_extra("max_batch", max_batch as f64);
+    manifest.push_extra("max_wait_us", max_wait_us as f64);
+    manifest.push_extra(
+        "served_requests",
+        (batched.requests + unbatched.requests) as f64,
+    );
+    manifest.push_extra("batched_throughput_req_per_s", batched.throughput_req_per_s);
+    manifest.push_extra("batched_latency_p50_us", batched.p50_us);
+    manifest.push_extra("batched_latency_p95_us", batched.p95_us);
+    manifest.push_extra("batched_latency_p99_us", batched.p99_us);
+    manifest.push_extra("mean_batch_occupancy_x", batched.mean_batch_occupancy);
+    manifest.push_extra(
+        "unbatched_throughput_req_per_s",
+        unbatched.throughput_req_per_s,
+    );
+    manifest.push_extra("unbatched_latency_p50_us", unbatched.p50_us);
+    manifest.push_extra("unbatched_latency_p95_us", unbatched.p95_us);
+    manifest.push_extra("unbatched_latency_p99_us", unbatched.p99_us);
+    manifest.push_extra("batching_speedup_x", speedup);
+
+    std::fs::create_dir_all(&out_dir).expect("create CTJAM_BENCH_DIR");
+    let path = out_dir.join(format!("{}.json", manifest.name));
+    std::fs::write(&path, manifest.to_json().to_string_pretty()).expect("write BENCH manifest");
+    println!("(wrote {})", path.display());
+    let _ = std::io::stdout().flush();
+}
+
+/// Compile-time SIMD features (same provenance note as `perf_report`).
+fn target_cpu_features() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    if cfg!(target_feature = "sse4.2") {
+        feats.push("sse4.2");
+    }
+    if cfg!(target_feature = "avx") {
+        feats.push("avx");
+    }
+    if cfg!(target_feature = "avx2") {
+        feats.push("avx2");
+    }
+    if cfg!(target_feature = "fma") {
+        feats.push("fma");
+    }
+    if cfg!(target_feature = "avx512f") {
+        feats.push("avx512f");
+    }
+    if cfg!(target_feature = "neon") {
+        feats.push("neon");
+    }
+    if feats.is_empty() {
+        "baseline".to_string()
+    } else {
+        feats.join("+")
+    }
+}

@@ -551,7 +551,10 @@ impl DqnAgent {
 /// else exists, in which case index 0 is returned. A NaN sneaking out of
 /// a diverged network thus yields an arbitrary-but-valid action instead
 /// of a panic mid-deployment.
-fn argmax(values: &[f64]) -> usize {
+///
+/// Shared with [`crate::policy`] so a detached [`crate::policy::GreedyPolicy`]
+/// resolves ties and NaNs exactly like the agent it was snapshotted from.
+pub(crate) fn argmax(values: &[f64]) -> usize {
     let mut best = 0;
     let mut best_value = f64::NEG_INFINITY;
     for (i, &v) in values.iter().enumerate() {

@@ -35,4 +35,5 @@ pub mod agent;
 pub mod checkpoint;
 pub mod config;
 pub mod encode;
+pub mod policy;
 pub mod replay;

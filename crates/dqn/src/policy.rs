@@ -1,0 +1,234 @@
+//! Detached greedy-policy snapshots for serving.
+//!
+//! A [`GreedyPolicy`] is the deployable part of a [`DqnAgent`]: the
+//! online network plus the configuration that gives its outputs meaning.
+//! It carries none of the training state (replay buffer, optimizer,
+//! target network, ε schedule), so it is cheap to clone, trivially
+//! `Send + Sync`-shareable behind an `Arc`, and — crucially for an
+//! inference server — swappable atomically without touching a live
+//! training run.
+//!
+//! Both inference paths are **bit-exact** with [`DqnAgent::act_greedy`]
+//! on the agent the snapshot was taken from: the per-sample path calls
+//! the same [`Mlp::forward`], and the batched path goes through
+//! [`Mlp::forward_batch`] (bit-exact with per-row `forward` by the
+//! `ctjam-nn` kernel contract) followed by the same NaN-total argmax.
+//! Regression-tested below and re-asserted end-to-end by the
+//! `ctjam-serve` load harness.
+
+use crate::agent::{argmax, DqnAgent};
+use crate::checkpoint::{self, CheckpointError};
+use crate::config::DqnConfig;
+use ctjam_nn::batch::Batch;
+use ctjam_nn::mlp::{BatchScratch, Mlp};
+use std::path::Path;
+
+/// An immutable greedy-inference snapshot of a trained DQN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyPolicy {
+    config: DqnConfig,
+    net: Mlp,
+}
+
+impl GreedyPolicy {
+    /// Snapshots the agent's online network and configuration.
+    pub fn from_agent(agent: &DqnAgent) -> Self {
+        GreedyPolicy {
+            config: agent.config().clone(),
+            net: agent.network().clone(),
+        }
+    }
+
+    /// Loads a snapshot from a sealed agent checkpoint
+    /// ([`crate::checkpoint::save_agent`] format): the file's magic,
+    /// version, and FNV-1a checksum are verified and the full agent
+    /// decoded before the policy is extracted, so corruption or shape
+    /// lies surface as a typed [`CheckpointError`], never a panic or a
+    /// silently wrong policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`CheckpointError`] on I/O failure,
+    /// corruption, or malformed state.
+    pub fn load_checkpoint(path: &Path) -> Result<Self, CheckpointError> {
+        let agent = checkpoint::load_agent(path)?;
+        Ok(GreedyPolicy::from_agent(&agent))
+    }
+
+    /// The snapshot's configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// The snapshot's network.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Observation width the policy expects (`3 × I`).
+    pub fn input_size(&self) -> usize {
+        self.config.input_size()
+    }
+
+    /// Number of actions the policy chooses among (`C × PL`).
+    pub fn num_actions(&self) -> usize {
+        self.config.num_actions()
+    }
+
+    /// A forward-pass scratch space sized for this policy's network.
+    /// Reuse it across [`GreedyPolicy::act_greedy_batch`] calls so
+    /// steady-state serving performs no per-batch allocation.
+    pub fn scratch(&self) -> BatchScratch {
+        BatchScratch::for_network(&self.net)
+    }
+
+    /// Greedy action at one observation — bit-exact with
+    /// [`DqnAgent::act_greedy`] on the snapshotted agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation width differs from
+    /// [`GreedyPolicy::input_size`].
+    pub fn act_greedy(&self, observation: &[f64]) -> usize {
+        argmax(&self.net.forward(observation))
+    }
+
+    /// Greedy actions for a whole observation batch, through one
+    /// [`Mlp::forward_batch`] call. Appends one action per row to
+    /// `actions` (cleared first). Bit-exact with per-row
+    /// [`GreedyPolicy::act_greedy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.cols()` differs from
+    /// [`GreedyPolicy::input_size`].
+    pub fn act_greedy_batch(
+        &self,
+        batch: &Batch,
+        scratch: &mut BatchScratch,
+        actions: &mut Vec<usize>,
+    ) {
+        actions.clear();
+        if batch.is_empty() {
+            return;
+        }
+        let q = self.net.forward_batch(batch, scratch);
+        for s in 0..q.rows() {
+            actions.push(argmax(q.row(s)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_agent(seed: u64) -> DqnAgent {
+        let config = DqnConfig {
+            history_len: 3,
+            num_channels: 4,
+            num_power_levels: 2,
+            hidden: (16, 12),
+            replay_capacity: 256,
+            batch_size: 8,
+            warmup: 16,
+            ..DqnConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        for i in 0..80 {
+            let mut state = vec![0.0; config.input_size()];
+            state[i % config.input_size()] = (i as f64).sin();
+            let next = state.clone();
+            agent.observe(state, i % config.num_actions(), -1.0, next, &mut rng);
+        }
+        agent
+    }
+
+    fn observations(config: &DqnConfig, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..config.input_size())
+                    .map(|j| ((i * 37 + j * 11) as f64).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_matches_agent_per_sample_and_batched() {
+        let agent = small_agent(7);
+        let policy = GreedyPolicy::from_agent(&agent);
+        let obs = observations(agent.config(), 33);
+        let mut batch = Batch::with_cols(policy.input_size());
+        for o in &obs {
+            batch.push_row(o);
+        }
+        let mut scratch = policy.scratch();
+        let mut actions = Vec::new();
+        policy.act_greedy_batch(&batch, &mut scratch, &mut actions);
+        assert_eq!(actions.len(), obs.len());
+        for (i, o) in obs.iter().enumerate() {
+            let expected = agent.act_greedy(o);
+            assert_eq!(policy.act_greedy(o), expected, "per-sample row {i}");
+            assert_eq!(actions[i], expected, "batched row {i}");
+        }
+    }
+
+    #[test]
+    fn batched_path_handles_empty_and_reused_scratch() {
+        let agent = small_agent(8);
+        let policy = GreedyPolicy::from_agent(&agent);
+        let mut scratch = policy.scratch();
+        let mut actions = vec![99; 4];
+        policy.act_greedy_batch(
+            &Batch::with_cols(policy.input_size()),
+            &mut scratch,
+            &mut actions,
+        );
+        assert!(actions.is_empty(), "empty batch must clear the output");
+        // Varying batch sizes through the same scratch stay bit-exact.
+        let obs = observations(agent.config(), 9);
+        for take in [1, 5, 9, 2] {
+            let mut batch = Batch::with_cols(policy.input_size());
+            for o in obs.iter().take(take) {
+                batch.push_row(o);
+            }
+            policy.act_greedy_batch(&batch, &mut scratch, &mut actions);
+            for (i, o) in obs.iter().take(take).enumerate() {
+                assert_eq!(actions[i], agent.act_greedy(o), "take {take} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_the_policy() {
+        let agent = small_agent(9);
+        let path = std::env::temp_dir().join("ctjam_policy_snapshot.ckpt");
+        checkpoint::save_agent(&agent, &path).unwrap();
+        let policy = GreedyPolicy::load_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(policy.config(), agent.config());
+        for o in observations(agent.config(), 10) {
+            assert_eq!(policy.act_greedy(&o), agent.act_greedy(&o));
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let agent = small_agent(10);
+        let path = std::env::temp_dir().join("ctjam_policy_corrupt.ckpt");
+        checkpoint::save_agent(&agent, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            GreedyPolicy::load_checkpoint(&path),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

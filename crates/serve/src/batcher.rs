@@ -1,0 +1,298 @@
+//! The micro-batching request queue.
+//!
+//! Connection threads [`BatchQueue::push`] one [`PendingRequest`] per
+//! observe request; a single batch-worker thread pulls coalesced batches
+//! with [`BatchQueue::next_batch`], which flushes on a **size-or-deadline
+//! trigger**: as soon as `max_batch` requests are queued, or `max_wait`
+//! after the *oldest* queued request arrived, whichever comes first. The
+//! queue is bounded — a push against a full queue fails immediately with
+//! [`PushError::Busy`] so backpressure reaches the client as a typed
+//! `ServerBusy` response instead of unbounded buffering.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One in-flight observe request: the decoded observation and the
+/// reply handle the batch worker answers through. The queue is generic
+/// over the handle so the server can thread its connection writer
+/// through without the queue knowing anything about sockets.
+pub(crate) struct PendingRequest<R> {
+    /// Decoded observation features.
+    pub observation: Vec<f64>,
+    /// When the request entered the queue (latency accounting and the
+    /// deadline trigger).
+    pub enqueued: Instant,
+    /// Where the batch worker delivers the chosen action.
+    pub reply: R,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity — surface `ServerBusy` to the client.
+    Busy,
+    /// The queue is draining for shutdown — surface `ShuttingDown`.
+    Closed,
+}
+
+struct Inner<R> {
+    pending: VecDeque<PendingRequest<R>>,
+    closed: bool,
+}
+
+/// Bounded multi-producer, single-consumer batching queue.
+pub(crate) struct BatchQueue<R> {
+    inner: Mutex<Inner<R>>,
+    wakeup: Condvar,
+    capacity: usize,
+}
+
+impl<R> BatchQueue<R> {
+    /// A queue refusing pushes beyond `capacity` pending requests.
+    pub fn new(capacity: usize) -> Self {
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            wakeup: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues one request, waking the batch worker.
+    pub fn push(&self, request: PendingRequest<R>) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.pending.len() >= self.capacity {
+            return Err(PushError::Busy);
+        }
+        inner.pending.push_back(request);
+        drop(inner);
+        self.wakeup.notify_one();
+        Ok(())
+    }
+
+    /// Marks the queue closed: further pushes fail with
+    /// [`PushError::Closed`], and once the worker has drained what is
+    /// already queued, [`BatchQueue::next_batch`] returns `false`.
+    pub fn close(&self) {
+        self.inner.lock().expect("batch queue poisoned").closed = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Current number of queued requests.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("batch queue poisoned")
+            .pending
+            .len()
+    }
+
+    /// Blocks until a batch is ready, then moves up to `max_batch`
+    /// requests into `out` (cleared first). A batch becomes ready when
+    /// `max_batch` requests are queued, or `max_wait` has elapsed since
+    /// the oldest queued request arrived, or the queue is closed (the
+    /// drain path flushes immediately). Returns `false` — with `out`
+    /// empty — only when the queue is closed *and* fully drained.
+    pub fn next_batch(
+        &self,
+        max_batch: usize,
+        max_wait: Duration,
+        out: &mut Vec<PendingRequest<R>>,
+    ) -> bool {
+        let max_batch = max_batch.max(1);
+        out.clear();
+        let mut inner = self.inner.lock().expect("batch queue poisoned");
+        loop {
+            if inner.pending.is_empty() {
+                if inner.closed {
+                    return false;
+                }
+                inner = self.wakeup.wait(inner).expect("batch queue poisoned");
+                continue;
+            }
+            // The deadline anchors to the *oldest* request so a burst
+            // that queued while the worker was busy flushes at once.
+            let deadline = inner.pending.front().expect("nonempty").enqueued + max_wait;
+            while inner.pending.len() < max_batch && !inner.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .wakeup
+                    .wait_timeout(inner, deadline - now)
+                    .expect("batch queue poisoned");
+                inner = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+                if inner.pending.is_empty() {
+                    break; // woken by close() after a racing drain
+                }
+            }
+            if inner.pending.is_empty() {
+                continue;
+            }
+            let take = inner.pending.len().min(max_batch);
+            out.extend(inner.pending.drain(..take));
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn request(
+        tag: f64,
+    ) -> (
+        PendingRequest<std::sync::mpsc::Sender<u32>>,
+        std::sync::mpsc::Receiver<u32>,
+    ) {
+        let (tx, rx) = channel();
+        (
+            PendingRequest {
+                observation: vec![tag],
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn flushes_immediately_at_max_batch() {
+        let q = BatchQueue::new(8);
+        for i in 0..3 {
+            q.push(request(i as f64).0).unwrap();
+        }
+        let mut out = Vec::new();
+        // max_wait far in the future: only the size trigger can flush
+        // this fast, and it must hand over exactly max_batch in order.
+        let start = Instant::now();
+        assert!(q.next_batch(3, Duration::from_secs(60), &mut out));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        let tags: Vec<f64> = out.iter().map(|p| p.observation[0]).collect();
+        assert_eq!(tags, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn flushes_a_partial_batch_at_the_deadline() {
+        let q = BatchQueue::new(8);
+        q.push(request(7.0).0).unwrap();
+        let mut out = Vec::new();
+        let start = Instant::now();
+        assert!(q.next_batch(64, Duration::from_millis(20), &mut out));
+        assert_eq!(out.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline flush took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn oversized_backlog_drains_in_max_batch_chunks() {
+        let q = BatchQueue::new(16);
+        for i in 0..10 {
+            q.push(request(i as f64).0).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.next_batch(4, Duration::from_millis(1), &mut out));
+        assert_eq!(out.len(), 4);
+        assert!(q.next_batch(4, Duration::from_millis(1), &mut out));
+        assert_eq!(out.len(), 4);
+        assert!(q.next_batch(4, Duration::from_millis(1), &mut out));
+        assert_eq!(out.len(), 2);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let q = BatchQueue::new(2);
+        q.push(request(0.0).0).unwrap();
+        q.push(request(1.0).0).unwrap();
+        assert_eq!(q.push(request(2.0).0).unwrap_err(), PushError::Busy);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BatchQueue::new(8);
+        q.push(request(0.0).0).unwrap();
+        q.push(request(1.0).0).unwrap();
+        q.close();
+        assert_eq!(q.push(request(2.0).0).unwrap_err(), PushError::Closed);
+        let mut out = Vec::new();
+        // Closed: the pending requests flush without waiting out the
+        // deadline, then the queue reports drained.
+        assert!(q.next_batch(64, Duration::from_secs(60), &mut out));
+        assert_eq!(out.len(), 2);
+        assert!(!q.next_batch(64, Duration::from_secs(60), &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_an_idle_worker() {
+        let q = Arc::new(BatchQueue::<std::sync::mpsc::Sender<u32>>::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                q.next_batch(4, Duration::from_secs(60), &mut out)
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert!(!worker.join().expect("worker panicked"));
+    }
+
+    #[test]
+    fn producer_and_consumer_hand_off_under_contention() {
+        let q = Arc::new(BatchQueue::<std::sync::mpsc::Sender<u32>>::new(64));
+        let total = 200;
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut seen = 0usize;
+                while q.next_batch(7, Duration::from_micros(200), &mut out) {
+                    for p in &out {
+                        let _ = p.reply.send(p.observation[0] as u32);
+                    }
+                    seen += out.len();
+                }
+                seen
+            })
+        };
+        let mut receivers = Vec::new();
+        for i in 0..total {
+            loop {
+                let (req, rx) = request(i as f64);
+                match q.push(req) {
+                    Ok(()) => {
+                        receivers.push((i, rx));
+                        break;
+                    }
+                    Err(PushError::Busy) => thread::sleep(Duration::from_micros(100)),
+                    Err(PushError::Closed) => panic!("queue closed early"),
+                }
+            }
+        }
+        for (i, rx) in receivers {
+            assert_eq!(rx.recv().expect("reply"), i as u32);
+        }
+        q.close();
+        assert_eq!(consumer.join().expect("consumer panicked"), total);
+    }
+}

@@ -1,0 +1,91 @@
+//! Standalone policy-inference server.
+//!
+//! ```text
+//! policy_server <checkpoint.ckpt> [bind-addr]
+//! ```
+//!
+//! Loads a sealed `ctjam_dqn::checkpoint` agent checkpoint, serves its
+//! greedy policy on `bind-addr` (default `127.0.0.1:0` — an ephemeral
+//! loopback port), prints `LISTENING <addr>` once ready, and runs until
+//! stdin reaches EOF or a `quit` line arrives, then drains gracefully
+//! and prints the final metrics. Orchestrators (the `serve_bench` load
+//! harness, the chaos tests, `ci.sh`) parse the `LISTENING` line for
+//! the resolved port and close stdin to stop the server.
+//!
+//! Environment knobs:
+//!
+//! * `CTJAM_SERVE_MAX_BATCH` — micro-batch flush size (default 16)
+//! * `CTJAM_SERVE_MAX_WAIT_US` — micro-batch flush deadline (default 200)
+//! * `CTJAM_SERVE_QUEUE_CAP` — bounded queue capacity (default 1024)
+//! * `CTJAM_SERVE_WATCH` — if set, hot-reload the checkpoint path on
+//!   modification
+
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_serve::server::{PolicyServer, ServerConfig};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(checkpoint) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: policy_server <checkpoint.ckpt> [bind-addr]");
+        return ExitCode::from(2);
+    };
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    let policy = match GreedyPolicy::load_checkpoint(&checkpoint) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("policy_server: cannot load {}: {e}", checkpoint.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        max_batch: env_u64("CTJAM_SERVE_MAX_BATCH", 16) as usize,
+        max_wait: Duration::from_micros(env_u64("CTJAM_SERVE_MAX_WAIT_US", 200)),
+        queue_capacity: env_u64("CTJAM_SERVE_QUEUE_CAP", 1024) as usize,
+        ..ServerConfig::default()
+    };
+    let mut server = match PolicyServer::bind(addr.as_str(), policy, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("policy_server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if std::env::var("CTJAM_SERVE_WATCH").is_ok() {
+        server.watch_checkpoint(checkpoint.clone());
+    }
+
+    let mut stdout = std::io::stdout().lock();
+    // The machine-readable readiness line orchestrators wait for.
+    let _ = writeln!(stdout, "LISTENING {}", server.local_addr());
+    let _ = stdout.flush();
+
+    // Serve until the orchestrator closes stdin (or sends "quit").
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let occupancy = server.mean_batch_occupancy();
+    let metrics = server.shutdown();
+    let _ = writeln!(stdout, "MEAN_BATCH_OCCUPANCY {occupancy}");
+    let _ = writeln!(stdout, "METRICS {}", metrics.to_string_compact());
+    let _ = writeln!(stdout, "SHUTDOWN_OK");
+    let _ = stdout.flush();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,151 @@
+//! A small blocking client for the policy server.
+//!
+//! One [`PolicyClient`] wraps one TCP connection and issues one request
+//! at a time: it assigns monotonically increasing request ids, checks
+//! the echo on every reply, and surfaces server-side rejections
+//! ([`crate::protocol::ErrorCode`]) as typed [`ClientError`]s. For
+//! concurrency, open one client per thread — the load harness in
+//! `crates/bench` and the chaos tests both do exactly that.
+
+use crate::protocol::{ErrorCode, Message, RecvError, WireError};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connection lost, reset, timeout).
+    Io(io::Error),
+    /// The server sent bytes violating the protocol.
+    Wire(WireError),
+    /// The server refused the request with a typed code.
+    Rejected(ErrorCode),
+    /// The server closed the connection before replying.
+    Closed,
+    /// The server answered with the wrong message kind or request id.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected(code) => write!(f, "request rejected: {code}"),
+            ClientError::Closed => write!(f, "connection closed before the reply"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// One blocking connection to a [`crate::server::PolicyServer`].
+#[derive(Debug)]
+pub struct PolicyClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl PolicyClient {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<PolicyClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PolicyClient { stream, next_id: 0 })
+    }
+
+    /// Connects with retries — the reconnect path after a server
+    /// restart: up to `attempts` tries spaced `delay` apart.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once every attempt is exhausted.
+    pub fn connect_retry(
+        addr: SocketAddr,
+        attempts: usize,
+        delay: Duration,
+    ) -> io::Result<PolicyClient> {
+        let mut last = io::Error::new(io::ErrorKind::TimedOut, "no connect attempts made");
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+            }
+            match PolicyClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Requests the greedy action for `observation`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] carries the server's typed refusal
+    /// (busy, bad observation width, shutting down); the other
+    /// variants are transport or protocol failures.
+    pub fn act(&mut self, observation: &[f64]) -> Result<u32, ClientError> {
+        let id = self.fresh_id();
+        let request = Message::Observe {
+            id,
+            observation: observation.to_vec(),
+        };
+        match self.round_trip(&request, id)? {
+            Message::Action { action, .. } => Ok(action),
+            _ => Err(ClientError::Unexpected("wanted an action")),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Same failure surface as [`PolicyClient::act`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        match self.round_trip(&Message::Ping { id }, id)? {
+            Message::Pong { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted a pong")),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    fn round_trip(&mut self, request: &Message, id: u64) -> Result<Message, ClientError> {
+        request
+            .write_to(&mut self.stream)
+            .map_err(ClientError::Io)?;
+        let reply = Message::read_from(&mut self.stream)?.ok_or(ClientError::Closed)?;
+        if reply.id() != id {
+            return Err(ClientError::Unexpected("request id mismatch"));
+        }
+        if let Message::Error { code, .. } = reply {
+            return Err(ClientError::Rejected(code));
+        }
+        if reply.is_request() {
+            return Err(ClientError::Unexpected("server sent a request kind"));
+        }
+        Ok(reply)
+    }
+}

@@ -1,0 +1,578 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic            b"CTJS"
+//! 4       1     protocol version (currently 1)
+//! 5       1     message kind     (see the `KIND_*` constants)
+//! 6       8     request id       u64 little-endian, echoed in replies
+//! 14      4     payload length   u32 little-endian, ≤ MAX_PAYLOAD
+//! 18      n     payload          kind-specific, little-endian
+//! ```
+//!
+//! Payloads: an *observe* request carries `8·k` bytes of `f64` features;
+//! an *action* response carries one `u32`; an *error* response carries
+//! one `u16` [`ErrorCode`]; *ping*/*pong* are empty.
+//!
+//! Decoding is total: any byte sequence — hostile, truncated, or
+//! corrupted — produces a typed [`WireError`], never a panic, and an
+//! oversized length prefix is rejected from the 18-byte header alone,
+//! before any payload allocation or read (property-tested in
+//! `tests/properties.rs`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every CTJam-serve frame.
+pub const MAGIC: [u8; 4] = *b"CTJS";
+
+/// Wire-protocol version this crate speaks.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Fixed frame-header size in bytes (magic + version + kind + id + length).
+pub const HEADER_LEN: usize = 18;
+
+/// Upper bound on a frame payload. A header announcing more is rejected
+/// with [`WireError::FrameTooLarge`] *before* any allocation, so a
+/// hostile length prefix cannot be used as an allocation bomb.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+const KIND_OBSERVE: u8 = 0x01;
+const KIND_PING: u8 = 0x02;
+const KIND_ACTION: u8 = 0x81;
+const KIND_PONG: u8 = 0x82;
+const KIND_ERROR: u8 = 0x8E;
+
+/// Typed decode failure. Every way a byte stream can be wrong maps to
+/// exactly one variant; none of them panic or allocate proportionally
+/// to attacker-controlled lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown message kind.
+    BadKind(u8),
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    FrameTooLarge(u32),
+    /// The input ended before the frame did.
+    Truncated,
+    /// The payload length or contents do not fit the message kind.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "payload length {n} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadPayload(why) => write!(f, "bad payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Application-level rejection codes carried by [`Message::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The server's request queue is full — back off and retry.
+    ServerBusy,
+    /// The observation width does not match the served policy.
+    BadObservation,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::ServerBusy => 1,
+            ErrorCode::BadObservation => 2,
+            ErrorCode::ShuttingDown => 3,
+        }
+    }
+
+    /// Parse the wire representation.
+    pub fn from_u16(code: u16) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::ServerBusy),
+            2 => Some(ErrorCode::BadObservation),
+            3 => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::ServerBusy => write!(f, "server busy"),
+            ErrorCode::BadObservation => write!(f, "bad observation"),
+            ErrorCode::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// One decoded protocol message (request or response).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: choose a greedy action for this observation.
+    Observe {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// Observation features (`3 × I` values for the paper policy).
+        observation: Vec<f64>,
+    },
+    /// Client → server: liveness probe.
+    Ping {
+        /// Request id, echoed in the reply.
+        id: u64,
+    },
+    /// Server → client: the greedy action for request `id`.
+    Action {
+        /// Echoed request id.
+        id: u64,
+        /// Flat action index in `0..C×PL`.
+        action: u32,
+    },
+    /// Server → client: reply to [`Message::Ping`].
+    Pong {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Server → client: typed rejection of request `id`.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Why the request was rejected.
+        code: ErrorCode,
+    },
+}
+
+impl Message {
+    /// The request id carried by any message variant.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Message::Observe { id, .. }
+            | Message::Ping { id }
+            | Message::Action { id, .. }
+            | Message::Pong { id }
+            | Message::Error { id, .. } => id,
+        }
+    }
+
+    /// Whether this variant is a client→server request.
+    pub fn is_request(&self) -> bool {
+        matches!(self, Message::Observe { .. } | Message::Ping { .. })
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Observe { .. } => KIND_OBSERVE,
+            Message::Ping { .. } => KIND_PING,
+            Message::Action { .. } => KIND_ACTION,
+            Message::Pong { .. } => KIND_PONG,
+            Message::Error { .. } => KIND_ERROR,
+        }
+    }
+
+    /// Appends the framed encoding to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let payload_len: u32 = match self {
+            Message::Observe { observation, .. } => (observation.len() * 8) as u32,
+            Message::Ping { .. } | Message::Pong { .. } => 0,
+            Message::Action { .. } => 4,
+            Message::Error { .. } => 2,
+        };
+        buf.reserve(HEADER_LEN + payload_len as usize);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(PROTO_VERSION);
+        buf.push(self.kind());
+        buf.extend_from_slice(&self.id().to_le_bytes());
+        buf.extend_from_slice(&payload_len.to_le_bytes());
+        match self {
+            Message::Observe { observation, .. } => {
+                for v in observation {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Message::Ping { .. } | Message::Pong { .. } => {}
+            Message::Action { action, .. } => buf.extend_from_slice(&action.to_le_bytes()),
+            Message::Error { code, .. } => buf.extend_from_slice(&code.to_u16().to_le_bytes()),
+        }
+    }
+
+    /// The framed encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning the
+    /// message and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`WireError`] on any malformed, truncated, or
+    /// oversized input. Never panics, and never allocates before the
+    /// length prefix has been validated against [`MAX_PAYLOAD`].
+    pub fn decode(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+        let header = decode_header(bytes)?;
+        let total = HEADER_LEN + header.payload_len as usize;
+        if bytes.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let payload = &bytes[HEADER_LEN..total];
+        let msg = decode_payload(&header, payload)?;
+        Ok((msg, total))
+    }
+
+    /// Writes the framed encoding to `w` (buffered into one `write_all`
+    /// so a frame is never interleaved with another writer's bytes on a
+    /// shared stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.encode())?;
+        w.flush()
+    }
+
+    /// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF
+    /// *before* the first byte of a frame; an EOF mid-frame is
+    /// [`WireError::Truncated`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Io`] for transport failures (including read
+    /// timeouts, surfaced as `WouldBlock`/`TimedOut`),
+    /// [`RecvError::Wire`] for protocol violations.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Option<Message>, RecvError> {
+        let mut header = [0u8; HEADER_LEN];
+        let mut filled = 0;
+        while filled < HEADER_LEN {
+            match r.read(&mut header[filled..]) {
+                Ok(0) => {
+                    return if filled == 0 {
+                        Ok(None)
+                    } else {
+                        Err(RecvError::Wire(WireError::Truncated))
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // A read timeout mid-header would otherwise lose the
+                // bytes already consumed; in practice the server only
+                // sees timeouts while `filled == 0` (idle between
+                // frames), and a client under a hostile peer drops the
+                // connection on any Io error anyway.
+                Err(e) => return Err(RecvError::Io(e)),
+            }
+        }
+        let parsed = decode_header(&header).map_err(RecvError::Wire)?;
+        let mut payload = vec![0u8; parsed.payload_len as usize];
+        r.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                RecvError::Wire(WireError::Truncated)
+            } else {
+                RecvError::Io(e)
+            }
+        })?;
+        decode_payload(&parsed, &payload)
+            .map(Some)
+            .map_err(RecvError::Wire)
+    }
+}
+
+/// Transport-or-protocol failure while reading a frame from a stream.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The underlying transport failed (including read timeouts).
+    Io(io::Error),
+    /// The peer sent bytes that violate the protocol.
+    Wire(WireError),
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Io(e) => write!(f, "transport error: {e}"),
+            RecvError::Wire(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct Header {
+    kind: u8,
+    id: u64,
+    payload_len: u32,
+}
+
+/// Validates the fixed 18-byte header prefix of `bytes`. The length
+/// prefix is checked against [`MAX_PAYLOAD`] here, so callers reject
+/// oversized frames before touching (or allocating for) any payload.
+fn decode_header(bytes: &[u8]) -> Result<Header, WireError> {
+    if bytes.len() >= 4 && bytes[..4] != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&bytes[..4]);
+        return Err(WireError::BadMagic(m));
+    }
+    if bytes.len() < HEADER_LEN {
+        // Too short to even hold a header; if the available prefix
+        // already disagrees with the magic, say so.
+        if !MAGIC.starts_with(&bytes[..bytes.len().min(4)]) {
+            let mut m = [0u8; 4];
+            m[..bytes.len().min(4)].copy_from_slice(&bytes[..bytes.len().min(4)]);
+            return Err(WireError::BadMagic(m));
+        }
+        return Err(WireError::Truncated);
+    }
+    let version = bytes[4];
+    if version != PROTO_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = bytes[5];
+    if !matches!(
+        kind,
+        KIND_OBSERVE | KIND_PING | KIND_ACTION | KIND_PONG | KIND_ERROR
+    ) {
+        return Err(WireError::BadKind(kind));
+    }
+    let id = u64::from_le_bytes(bytes[6..14].try_into().expect("8 header bytes"));
+    let payload_len = u32::from_le_bytes(bytes[14..18].try_into().expect("4 header bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::FrameTooLarge(payload_len));
+    }
+    Ok(Header {
+        kind,
+        id,
+        payload_len,
+    })
+}
+
+fn decode_payload(header: &Header, payload: &[u8]) -> Result<Message, WireError> {
+    let id = header.id;
+    match header.kind {
+        KIND_OBSERVE => {
+            if !payload.len().is_multiple_of(8) {
+                return Err(WireError::BadPayload(
+                    "observation bytes not a multiple of 8",
+                ));
+            }
+            let observation = payload
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            Ok(Message::Observe { id, observation })
+        }
+        KIND_PING => {
+            if !payload.is_empty() {
+                return Err(WireError::BadPayload("ping carries no payload"));
+            }
+            Ok(Message::Ping { id })
+        }
+        KIND_ACTION => {
+            let bytes: [u8; 4] = payload
+                .try_into()
+                .map_err(|_| WireError::BadPayload("action payload must be 4 bytes"))?;
+            Ok(Message::Action {
+                id,
+                action: u32::from_le_bytes(bytes),
+            })
+        }
+        KIND_PONG => {
+            if !payload.is_empty() {
+                return Err(WireError::BadPayload("pong carries no payload"));
+            }
+            Ok(Message::Pong { id })
+        }
+        KIND_ERROR => {
+            let bytes: [u8; 2] = payload
+                .try_into()
+                .map_err(|_| WireError::BadPayload("error payload must be 2 bytes"))?;
+            let code = ErrorCode::from_u16(u16::from_le_bytes(bytes))
+                .ok_or(WireError::BadPayload("unknown error code"))?;
+            Ok(Message::Error { id, code })
+        }
+        _ => unreachable!("decode_header validated the kind"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Observe {
+                id: 7,
+                observation: vec![0.0, -1.5, f64::NAN, 1e300],
+            },
+            Message::Observe {
+                id: u64::MAX,
+                observation: vec![],
+            },
+            Message::Ping { id: 0 },
+            Message::Action {
+                id: 42,
+                action: 159,
+            },
+            Message::Pong { id: 9 },
+            Message::Error {
+                id: 3,
+                code: ErrorCode::ServerBusy,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            let (back, used) = Message::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            // NaN payloads compare unequal under PartialEq; compare the
+            // re-encoding instead, which is bit-exact by construction.
+            assert_eq!(back.encode(), bytes, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_round_trip_and_clean_eof() {
+        let mut wire = Vec::new();
+        for msg in samples() {
+            msg.write_to(&mut wire).unwrap();
+        }
+        let mut cursor = io::Cursor::new(wire);
+        for msg in samples() {
+            let got = Message::read_from(&mut cursor).unwrap().unwrap();
+            assert_eq!(got.encode(), msg.encode());
+        }
+        assert!(Message::read_from(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn golden_frame_layout() {
+        let bytes = Message::Action {
+            id: 0x0102030405060708,
+            action: 0xA1B2,
+        }
+        .encode();
+        assert_eq!(&bytes[..4], b"CTJS");
+        assert_eq!(bytes[4], PROTO_VERSION);
+        assert_eq!(bytes[5], KIND_ACTION);
+        assert_eq!(&bytes[6..14], &0x0102030405060708u64.to_le_bytes());
+        assert_eq!(&bytes[14..18], &4u32.to_le_bytes());
+        assert_eq!(&bytes[18..], &0xA1B2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn typed_errors_for_each_header_violation() {
+        let good = Message::Ping { id: 1 }.encode();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(Message::decode(&bad), Err(WireError::BadMagic(_))));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(Message::decode(&bad), Err(WireError::BadVersion(99)));
+
+        let mut bad = good.clone();
+        bad[5] = 0x7F;
+        assert_eq!(Message::decode(&bad), Err(WireError::BadKind(0x7F)));
+
+        for cut in 0..good.len() {
+            assert_eq!(
+                Message::decode(&good[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_payload() {
+        let mut bytes = Message::Ping { id: 1 }.encode();
+        bytes[14..18].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        // Only the header is present — rejection must come from the
+        // length check, not from running out of payload bytes.
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::FrameTooLarge(MAX_PAYLOAD + 1))
+        );
+        let mut cursor = io::Cursor::new(bytes);
+        assert!(matches!(
+            Message::read_from(&mut cursor),
+            Err(RecvError::Wire(WireError::FrameTooLarge(_)))
+        ));
+    }
+
+    #[test]
+    fn payload_shape_violations_are_typed() {
+        let mut bytes = Message::Observe {
+            id: 1,
+            observation: vec![1.0],
+        }
+        .encode();
+        bytes[14..18].copy_from_slice(&7u32.to_le_bytes());
+        bytes.truncate(HEADER_LEN + 7);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadPayload(_))
+        ));
+
+        let mut bytes = Message::Error {
+            id: 1,
+            code: ErrorCode::ShuttingDown,
+        }
+        .encode();
+        bytes[18..20].copy_from_slice(&999u16.to_le_bytes());
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(WireError::BadPayload("unknown error code"))
+        );
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::ServerBusy,
+            ErrorCode::BadObservation,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.to_u16()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncated_not_io() {
+        let bytes = Message::Observe {
+            id: 5,
+            observation: vec![2.5, -2.5],
+        }
+        .encode();
+        for cut in 1..bytes.len() {
+            let mut cursor = io::Cursor::new(&bytes[..cut]);
+            match Message::read_from(&mut cursor) {
+                Err(RecvError::Wire(_)) => {}
+                other => panic!("cut {cut}: expected wire error, got {other:?}"),
+            }
+        }
+    }
+}

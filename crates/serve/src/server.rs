@@ -1,0 +1,544 @@
+//! The multi-threaded policy-inference server.
+//!
+//! Thread layout:
+//!
+//! * an **accept** thread takes connections off a non-blocking
+//!   `TcpListener` and spawns one **connection** thread each;
+//! * connection threads decode framed requests
+//!   ([`crate::protocol::Message`]) out of a growing byte buffer — one
+//!   `read` syscall can drain many pipelined frames — and enqueue
+//!   observations into the bounded internal batch queue;
+//!   immediate replies (`Pong`, `ServerBusy`, `BadObservation`) go out
+//!   through the connection's shared write half;
+//! * one **batch worker** pulls size-or-deadline coalesced batches,
+//!   runs a single `Mlp::forward_batch`, and writes every `Action`
+//!   reply straight to its connection — no per-request channel hop —
+//!   cloning the policy `Arc` **once per flush**, so every response in
+//!   a batch is computed by exactly one policy version even while a
+//!   hot-reload swaps the pointer (no torn reads);
+//! * an optional **watcher** thread polls a checkpoint path and applies
+//!   validated swaps via the same [`PolicyServer::reload_from`] path.
+//!
+//! Connections may pipeline: any number of `Observe` frames can be in
+//! flight at once, and replies carry the request id they answer.
+//! `Observe` replies preserve per-connection request order (the queue
+//! is FIFO and the single worker writes each flush in order), while
+//! `Pong` and error replies are written immediately and may overtake
+//! queued `Action`s.
+//!
+//! Shutdown is graceful by construction: the queue is closed (new work
+//! is refused with `ShuttingDown`), the worker drains every queued
+//! request, connection threads notice the flag at their next read
+//! timeout, and `shutdown` joins them all before returning the final
+//! metrics snapshot.
+
+use crate::batcher::{BatchQueue, PendingRequest, PushError};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{ErrorCode, Message, WireError};
+use ctjam_dqn::checkpoint::CheckpointError;
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_nn::batch::Batch;
+use ctjam_telemetry::JsonValue;
+use std::fmt;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant, SystemTime};
+
+/// The batch worker's reply handle: the request id and the connection's
+/// shared write half.
+struct Reply {
+    id: u64,
+    writer: ReplyWriter,
+}
+
+/// Write half of one connection, shared between its reader thread
+/// (immediate `Pong`/error replies) and the batch worker (`Action`
+/// replies). A mutex serializes whole frames; reads never take it.
+#[derive(Clone)]
+struct ReplyWriter {
+    stream: Arc<TcpStream>,
+    guard: Arc<Mutex<()>>,
+}
+
+impl ReplyWriter {
+    fn new(stream: Arc<TcpStream>) -> ReplyWriter {
+        ReplyWriter {
+            stream,
+            guard: Arc::new(Mutex::new(())),
+        }
+    }
+
+    /// Writes one frame; errors just mean the peer is gone.
+    fn send(&self, msg: &Message) -> io::Result<()> {
+        let _guard = self.guard.lock().expect("writer lock poisoned");
+        msg.write_to(&mut (&*self.stream))
+    }
+
+    /// Writes pre-encoded frames in one syscall (the batch worker
+    /// coalesces every reply a flush owes one connection).
+    fn send_bytes(&self, frames: &[u8]) -> io::Result<()> {
+        use io::Write;
+        let _guard = self.guard.lock().expect("writer lock poisoned");
+        (&*self.stream).write_all(frames)
+    }
+
+    fn same_connection(&self, other: &ReplyWriter) -> bool {
+        Arc::ptr_eq(&self.stream, &other.stream)
+    }
+}
+
+/// Tunables for one [`PolicyServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Flush a batch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush at most this long after the oldest queued request arrived.
+    pub max_wait: Duration,
+    /// Bound on queued requests; pushes beyond it get `ServerBusy`.
+    pub queue_capacity: usize,
+    /// Read timeout on connections (shutdown-notice latency) and the
+    /// checkpoint watcher's poll interval.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Why a checkpoint hot-reload was refused. In every case the old
+/// policy keeps serving untouched.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The file failed `ctjam_dqn::checkpoint` verification (I/O,
+    /// magic, version, checksum, or malformed state).
+    Checkpoint(CheckpointError),
+    /// The new policy disagrees with the serving one on
+    /// `(input_size, num_actions)` — clients would break mid-stream.
+    ShapeMismatch {
+        /// The serving policy's `(input_size, num_actions)`.
+        expected: (usize, usize),
+        /// The rejected checkpoint's `(input_size, num_actions)`.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            ReloadError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: serving (input={}, actions={}), checkpoint (input={}, actions={})",
+                expected.0, expected.1, found.0, found.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+struct Shared {
+    policy: RwLock<Arc<GreedyPolicy>>,
+    queue: BatchQueue<Reply>,
+    shutdown: AtomicBool,
+    metrics: Mutex<ServeMetrics>,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn current_policy(&self) -> Arc<GreedyPolicy> {
+        Arc::clone(&self.policy.read().expect("policy lock poisoned"))
+    }
+
+    fn metrics(&self) -> std::sync::MutexGuard<'_, ServeMetrics> {
+        self.metrics.lock().expect("metrics lock poisoned")
+    }
+
+    /// Validate-then-swap. The new policy is fully loaded and verified
+    /// before the write lock is taken, so the swap itself is a pointer
+    /// store and readers only ever see a complete policy.
+    fn reload_from(&self, path: &Path) -> Result<(), ReloadError> {
+        let loaded = GreedyPolicy::load_checkpoint(path).map_err(|e| {
+            self.metrics().reloads_rejected.incr();
+            ReloadError::Checkpoint(e)
+        })?;
+        let current = self.current_policy();
+        let expected = (current.input_size(), current.num_actions());
+        let found = (loaded.input_size(), loaded.num_actions());
+        if expected != found {
+            self.metrics().reloads_rejected.incr();
+            return Err(ReloadError::ShapeMismatch { expected, found });
+        }
+        *self.policy.write().expect("policy lock poisoned") = Arc::new(loaded);
+        self.metrics().reloads_ok.incr();
+        Ok(())
+    }
+}
+
+/// A running policy-inference server. Dropping it shuts it down; call
+/// [`PolicyServer::shutdown`] to also receive the final metrics.
+pub struct PolicyServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl PolicyServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        policy: GreedyPolicy,
+        config: ServerConfig,
+    ) -> io::Result<PolicyServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            policy: RwLock::new(Arc::new(policy)),
+            queue: BatchQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            metrics: Mutex::new(ServeMetrics::new()),
+            config,
+        });
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            thread::spawn(move || accept_loop(&listener, &shared, &connections))
+        };
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || batch_worker(&shared))
+        };
+        Ok(PolicyServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            worker: Some(worker),
+            watcher: None,
+            connections,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Validates the checkpoint at `path` and atomically swaps it in.
+    /// Connections are never dropped: in-flight batches finish on the
+    /// policy they started with, later batches use the new one.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError`] when the file is corrupt, unreadable, or shaped
+    /// differently from the serving policy; the old policy keeps
+    /// serving.
+    pub fn reload_from(&self, path: &Path) -> Result<(), ReloadError> {
+        self.shared.reload_from(path)
+    }
+
+    /// Spawns the watcher thread: every `poll_interval` it stats
+    /// `path`, and on a modification-time change runs the same
+    /// validate-then-swap as [`PolicyServer::reload_from`]. Rejected
+    /// files are counted in the metrics and the old policy keeps
+    /// serving. Checkpoint writes are atomic (tempfile + rename), so a
+    /// new modification time always names a complete file.
+    pub fn watch_checkpoint(&mut self, path: PathBuf) {
+        let shared = Arc::clone(&self.shared);
+        self.watcher = Some(thread::spawn(move || {
+            let mut last_seen = file_mtime(&path);
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                thread::sleep(shared.config.poll_interval);
+                let mtime = file_mtime(&path);
+                if mtime.is_some() && mtime != last_seen {
+                    last_seen = mtime;
+                    let _ = shared.reload_from(&path);
+                }
+            }
+        }));
+    }
+
+    /// Snapshot of the server's metrics as JSON.
+    pub fn metrics_json(&self) -> JsonValue {
+        self.shared.metrics().to_json()
+    }
+
+    /// Mean requests per flushed batch so far (NaN before any flush).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        self.shared.metrics().mean_batch_occupancy()
+    }
+
+    /// Drains and stops the server: refuses new work, answers every
+    /// queued request, joins all threads, and returns the final metrics
+    /// snapshot.
+    pub fn shutdown(mut self) -> JsonValue {
+        self.stop();
+        self.shared.metrics().to_json()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PolicyServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn file_mtime(path: &Path) -> Option<SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics().connections.incr();
+                let shared = Arc::clone(shared);
+                let handle = thread::spawn(move || connection_loop(stream, &shared));
+                connections
+                    .lock()
+                    .expect("connection list poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            // Transient accept failures (e.g. a peer resetting mid
+            // handshake) must not kill the listener.
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let stream = Arc::new(stream);
+    let writer = ReplyWriter::new(Arc::clone(&stream));
+    // Frames are decoded out of this buffer, so a read timeout can
+    // never lose the prefix of a half-arrived frame, and one syscall
+    // drains as many pipelined frames as the kernel has buffered.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut consumed = 0usize;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match Message::decode(&buf[consumed..]) {
+            Ok((msg, used)) => {
+                consumed += used;
+                if !dispatch(shared, &writer, msg) {
+                    return;
+                }
+                continue;
+            }
+            Err(WireError::Truncated) => {
+                // Incomplete frame: keep the bytes, read more below.
+                buf.drain(..consumed);
+                consumed = 0;
+            }
+            Err(_) => {
+                // Hostile or corrupt bytes: count it and drop the
+                // connection — resynchronizing an arbitrary stream is
+                // not worth the attack surface.
+                shared.metrics().wire_errors.incr();
+                return;
+            }
+        }
+        match (&*stream).read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() {
+                    shared.metrics().wire_errors.incr(); // EOF mid-frame
+                }
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one decoded frame; `false` closes the connection.
+fn dispatch(shared: &Arc<Shared>, writer: &ReplyWriter, msg: Message) -> bool {
+    match msg {
+        Message::Ping { id } => {
+            shared.metrics().pings.incr();
+            writer.send(&Message::Pong { id }).is_ok()
+        }
+        Message::Observe { id, observation } => {
+            shared.metrics().requests.incr();
+            handle_observe(shared, writer, id, observation)
+        }
+        // A response kind arriving at the server is a protocol
+        // violation by the peer.
+        Message::Action { .. } | Message::Pong { .. } | Message::Error { .. } => {
+            shared.metrics().wire_errors.incr();
+            false
+        }
+    }
+}
+
+/// Enqueues one observation; the batch worker writes the `Action`
+/// reply. Rejections are written here, and `ShuttingDown` also closes
+/// the connection.
+fn handle_observe(
+    shared: &Arc<Shared>,
+    writer: &ReplyWriter,
+    id: u64,
+    observation: Vec<f64>,
+) -> bool {
+    let expected = shared.current_policy().input_size();
+    if observation.len() != expected {
+        shared.metrics().bad_observations.incr();
+        return writer
+            .send(&Message::Error {
+                id,
+                code: ErrorCode::BadObservation,
+            })
+            .is_ok();
+    }
+    let pending = PendingRequest {
+        observation,
+        enqueued: Instant::now(),
+        reply: Reply {
+            id,
+            writer: writer.clone(),
+        },
+    };
+    match shared.queue.push(pending) {
+        Ok(()) => true,
+        Err(PushError::Busy) => {
+            shared.metrics().busy_rejections.incr();
+            writer
+                .send(&Message::Error {
+                    id,
+                    code: ErrorCode::ServerBusy,
+                })
+                .is_ok()
+        }
+        Err(PushError::Closed) => {
+            let _ = writer.send(&Message::Error {
+                id,
+                code: ErrorCode::ShuttingDown,
+            });
+            false
+        }
+    }
+}
+
+fn batch_worker(shared: &Arc<Shared>) {
+    let mut pending: Vec<PendingRequest<Reply>> = Vec::new();
+    let mut batch = Batch::default();
+    let mut actions: Vec<usize> = Vec::new();
+    let mut replies: Vec<(ReplyWriter, Vec<u8>)> = Vec::new();
+    let mut cached = shared.current_policy();
+    let mut scratch = cached.scratch();
+    loop {
+        let alive = shared.queue.next_batch(
+            shared.config.max_batch,
+            shared.config.max_wait,
+            &mut pending,
+        );
+        if !pending.is_empty() {
+            // One policy per flush: every request in this batch is
+            // answered by the same policy version, reload or not.
+            let policy = shared.current_policy();
+            if !Arc::ptr_eq(&policy, &cached) {
+                scratch = policy.scratch();
+                cached = Arc::clone(&policy);
+            }
+            batch.reset(policy.input_size());
+            for p in &pending {
+                batch.push_row(&p.observation);
+            }
+            policy.act_greedy_batch(&batch, &mut scratch, &mut actions);
+            let now = Instant::now();
+            {
+                let mut m = shared.metrics();
+                m.batches.incr();
+                m.batch_size.record(pending.len() as f64);
+                m.queue_depth.record(shared.queue.depth() as f64);
+                m.responses.add(pending.len() as u64);
+                for p in &pending {
+                    m.latency_us
+                        .record(now.duration_since(p.enqueued).as_secs_f64() * 1e6);
+                }
+            }
+            // Coalesce this flush's replies: one buffered write per
+            // connection instead of one syscall per request, preserving
+            // per-connection order. A write failure just means that
+            // connection died mid-flight; nothing to do.
+            replies.clear();
+            for (p, &action) in pending.iter().zip(&actions) {
+                let msg = Message::Action {
+                    id: p.reply.id,
+                    action: action as u32,
+                };
+                match replies
+                    .iter_mut()
+                    .find(|(w, _)| w.same_connection(&p.reply.writer))
+                {
+                    Some((_, frames)) => msg.encode_into(frames),
+                    None => {
+                        let mut frames = Vec::new();
+                        msg.encode_into(&mut frames);
+                        replies.push((p.reply.writer.clone(), frames));
+                    }
+                }
+            }
+            for (writer, frames) in &replies {
+                let _ = writer.send_bytes(frames);
+            }
+        }
+        if !alive {
+            return;
+        }
+    }
+}

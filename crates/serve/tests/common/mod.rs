@@ -1,0 +1,58 @@
+//! Shared fixtures for the serve integration tests: seeded small
+//! agents, deterministic observation streams, and unique temp paths.
+
+#![allow(dead_code)] // each test binary uses a different subset
+
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::config::DqnConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A config small enough that a forward pass is microseconds.
+pub fn small_config() -> DqnConfig {
+    DqnConfig {
+        history_len: 3,
+        num_channels: 4,
+        num_power_levels: 2,
+        hidden: (16, 12),
+        replay_capacity: 256,
+        batch_size: 8,
+        warmup: 16,
+        ..DqnConfig::default()
+    }
+}
+
+/// A seeded agent with a few training transitions applied, so its
+/// weights (and greedy actions) vary with the seed.
+pub fn trained_agent(config: &DqnConfig, seed: u64) -> DqnAgent {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent = DqnAgent::new(config.clone(), &mut rng);
+    for i in 0..64 {
+        let mut state = vec![0.0; config.input_size()];
+        state[i % config.input_size()] = ((i as f64) + seed as f64).sin();
+        let next = state.clone();
+        agent.observe(state, i % config.num_actions(), -1.0, next, &mut rng);
+    }
+    agent
+}
+
+/// A deterministic observation stream: `n` vectors of the config's
+/// input width, varying with `salt`.
+pub fn observations(config: &DqnConfig, n: usize, salt: u64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..config.input_size())
+                .map(|j| ((i as u64 * 37 + j as u64 * 11 + salt * 101) as f64).sin())
+                .collect()
+        })
+        .collect()
+}
+
+/// A temp path unique to this process and call site.
+pub fn temp_file(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ctjam_serve_{tag}_{}_{n}.ckpt", std::process::id()))
+}

@@ -1,0 +1,240 @@
+//! End-to-end server tests over real loopback sockets: bit-exactness
+//! against the in-process agent, typed rejections, hostile-byte
+//! resilience, and graceful shutdown accounting.
+
+mod common;
+
+use common::{observations, small_config, trained_agent};
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_serve::client::{ClientError, PolicyClient};
+use ctjam_serve::protocol::{ErrorCode, Message, MAX_PAYLOAD};
+use ctjam_serve::server::{PolicyServer, ServerConfig};
+use ctjam_telemetry::JsonValue;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn served_actions_are_bit_exact_across_concurrent_clients() {
+    let config = small_config();
+    let agent = Arc::new(trained_agent(&config, 41));
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut workers = Vec::new();
+    for t in 0..4u64 {
+        let agent = Arc::clone(&agent);
+        let config = config.clone();
+        workers.push(thread::spawn(move || {
+            let mut client = PolicyClient::connect(addr).expect("connect");
+            client.ping().expect("ping");
+            for obs in observations(&config, 50, t) {
+                let served = client.act(&obs).expect("act");
+                assert_eq!(served as usize, agent.act_greedy(&obs));
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+    let metrics = server.shutdown();
+    let counters = metrics.get("counters").expect("counters");
+    assert_eq!(counters.get("requests"), Some(&JsonValue::Num(200.0)));
+    assert_eq!(counters.get("responses"), Some(&JsonValue::Num(200.0)));
+    assert_eq!(counters.get("pings"), Some(&JsonValue::Num(4.0)));
+}
+
+#[test]
+fn wrong_observation_width_is_a_typed_rejection_and_connection_survives() {
+    let config = small_config();
+    let agent = trained_agent(&config, 42);
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = PolicyClient::connect(server.local_addr()).expect("connect");
+
+    let narrow = vec![0.0; config.input_size() - 1];
+    match client.act(&narrow) {
+        Err(ClientError::Rejected(ErrorCode::BadObservation)) => {}
+        other => panic!("expected BadObservation, got {other:?}"),
+    }
+    // The rejection is per-request: the same connection keeps working.
+    let good = vec![0.0; config.input_size()];
+    assert_eq!(
+        client.act(&good).expect("act") as usize,
+        agent.act_greedy(&good)
+    );
+}
+
+#[test]
+fn full_queue_surfaces_server_busy() {
+    let config = small_config();
+    let agent = trained_agent(&config, 43);
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig {
+            queue_capacity: 0, // every push is refused: deterministic busy
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = PolicyClient::connect(server.local_addr()).expect("connect");
+    match client.act(&vec![0.0; config.input_size()]) {
+        Err(ClientError::Rejected(ErrorCode::ServerBusy)) => {}
+        other => panic!("expected ServerBusy, got {other:?}"),
+    }
+    let metrics = server.shutdown();
+    let counters = metrics.get("counters").expect("counters");
+    assert_eq!(counters.get("busy_rejections"), Some(&JsonValue::Num(1.0)));
+}
+
+#[test]
+fn hostile_bytes_drop_the_connection_but_not_the_server() {
+    let config = small_config();
+    let agent = trained_agent(&config, 44);
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Garbage magic, then an oversized length prefix on a valid header:
+    // both must be swallowed as typed wire errors server-side.
+    for hostile in [
+        b"XXXXXXXXXXXXXXXXXXXXXXXX".to_vec(),
+        {
+            let mut bytes = Message::Ping { id: 1 }.encode();
+            bytes[14..18].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+            bytes
+        },
+        // A response kind arriving at the server.
+        Message::Action { id: 9, action: 3 }.encode(),
+    ] {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        raw.write_all(&hostile).expect("write hostile bytes");
+        // Give the server a moment to read and drop us.
+        thread::sleep(Duration::from_millis(100));
+    }
+
+    // A well-behaved client is still served, bit-exactly.
+    let mut client = PolicyClient::connect(addr).expect("connect after attack");
+    let obs = vec![0.5; config.input_size()];
+    assert_eq!(
+        client.act(&obs).expect("act") as usize,
+        agent.act_greedy(&obs)
+    );
+    let metrics = server.shutdown();
+    let counters = metrics.get("counters").expect("counters");
+    match counters.get("wire_errors") {
+        Some(&JsonValue::Num(n)) => assert!(n >= 3.0, "wire_errors = {n}"),
+        other => panic!("missing wire_errors counter: {other:?}"),
+    }
+}
+
+#[test]
+fn batching_coalesces_concurrent_requests() {
+    let config = small_config();
+    let agent = Arc::new(trained_agent(&config, 45));
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig {
+            max_batch: 8,
+            // A long deadline forces the size trigger to do the work
+            // once all 8 clients have a request in flight.
+            max_wait: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut workers = Vec::new();
+    for t in 0..8u64 {
+        let agent = Arc::clone(&agent);
+        let config = config.clone();
+        workers.push(thread::spawn(move || {
+            let mut client = PolicyClient::connect(addr).expect("connect");
+            for obs in observations(&config, 40, 100 + t) {
+                assert_eq!(
+                    client.act(&obs).expect("act") as usize,
+                    agent.act_greedy(&obs)
+                );
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+    // 8 synchronous clients against a 5 ms deadline: flushes must carry
+    // more than one request on average.
+    let occupancy = server.mean_batch_occupancy();
+    assert!(occupancy > 1.5, "mean batch occupancy {occupancy}");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_whats_in_flight() {
+    let config = small_config();
+    let agent = Arc::new(trained_agent(&config, 46));
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig {
+            // A long deadline keeps requests queued long enough for the
+            // shutdown to race them.
+            max_batch: 64,
+            max_wait: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut workers = Vec::new();
+    for t in 0..4u64 {
+        let agent = Arc::clone(&agent);
+        let config = config.clone();
+        workers.push(thread::spawn(move || {
+            let mut client = PolicyClient::connect(addr).expect("connect");
+            for obs in observations(&config, 20, 200 + t) {
+                match client.act(&obs) {
+                    // Every answered request must still be bit-exact.
+                    Ok(served) => assert_eq!(served as usize, agent.act_greedy(&obs)),
+                    // Racing the shutdown: typed refusal or a closed
+                    // socket are both acceptable — panics are not.
+                    Err(ClientError::Rejected(ErrorCode::ShuttingDown))
+                    | Err(ClientError::Closed)
+                    | Err(ClientError::Io(_)) => return,
+                    Err(other) => panic!("unexpected failure: {other}"),
+                }
+            }
+        }));
+    }
+    thread::sleep(Duration::from_millis(30));
+    let metrics = server.shutdown();
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+    // Drain guarantee: every action handed to the batcher was answered.
+    let counters = metrics.get("counters").expect("counters");
+    let responses = match counters.get("responses") {
+        Some(&JsonValue::Num(n)) => n,
+        other => panic!("missing responses counter: {other:?}"),
+    };
+    let latency = metrics.get("latency_us").expect("latency_us");
+    assert_eq!(latency.get("count"), Some(&JsonValue::Num(responses)));
+}

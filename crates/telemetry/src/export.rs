@@ -106,7 +106,13 @@ pub fn summary_json(sink: &MemorySink) -> JsonValue {
     obj
 }
 
-fn histogram_json(h: &crate::stats::Histogram) -> JsonValue {
+/// One histogram as a JSON object: exact moments (`count`/`mean`/`min`/
+/// `max`), the binned shape (`bins`/`underflow`/`overflow`), and
+/// reconstructed `p50`/`p95`/`p99` percentile summaries (see
+/// [`crate::stats::Histogram::percentile`] for accuracy bounds). Shared
+/// by the run summary above and by downstream latency exports such as
+/// the `ctjam-serve` metrics snapshot.
+pub fn histogram_json(h: &crate::stats::Histogram) -> JsonValue {
     let mut obj = JsonValue::object();
     obj.set("count", h.count())
         .set("mean", h.mean())
@@ -117,7 +123,10 @@ fn histogram_json(h: &crate::stats::Histogram) -> JsonValue {
             JsonValue::Arr(h.edges().map(|(_, c)| JsonValue::Num(c as f64)).collect()),
         )
         .set("underflow", h.underflow())
-        .set("overflow", h.overflow());
+        .set("overflow", h.overflow())
+        .set("p50", h.p50())
+        .set("p95", h.p95())
+        .set("p99", h.p99());
     obj
 }
 
@@ -247,6 +256,27 @@ mod tests {
         assert_eq!(counters.get("hopped"), Some(&JsonValue::Num(1.0)));
         let scalars = summary.get("scalars").unwrap();
         assert_eq!(scalars.get("goodput_kbps"), Some(&JsonValue::Num(42.0)));
+    }
+
+    #[test]
+    fn histogram_json_carries_percentile_summaries() {
+        let mut h = crate::stats::Histogram::new("h", 0.0, 100.0, 100);
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let obj = histogram_json(&h);
+        for (key, exact) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
+            match obj.get(key) {
+                Some(JsonValue::Num(v)) => {
+                    assert!((v - exact).abs() <= 1.0, "{key}: got {v}, want ~{exact}")
+                }
+                other => panic!("{key} missing or non-numeric: {other:?}"),
+            }
+        }
+        // Empty histogram percentiles are NaN → serialized as null, so
+        // the export stays strictly valid JSON.
+        let empty = histogram_json(&crate::stats::Histogram::new("e", 0.0, 1.0, 2));
+        assert!(empty.to_string_compact().contains("\"p50\":null"));
     }
 
     #[test]

@@ -140,6 +140,61 @@ impl Histogram {
     pub fn overflow(&self) -> u64 {
         self.overflow
     }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) reconstructed from the
+    /// binned shape: the value is linearly interpolated inside the bin
+    /// holding the `⌈q·n⌉`-th binned observation. Ranks falling into the
+    /// underflow region resolve to the exact recorded minimum, ranks in
+    /// the overflow region to the exact maximum, and every answer is
+    /// clamped to `[min, max]` so a quantile can never lie outside the
+    /// observed data. NaN observations are excluded (they are counted
+    /// but not binned). Returns NaN when nothing was binned.
+    ///
+    /// The error is bounded by one bin width — size the histogram range
+    /// for the precision the consumer needs (regression-tested against
+    /// known distributions below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let binned: u64 = self.underflow + self.overflow + self.bins.iter().sum::<u64>();
+        if binned == 0 {
+            return f64::NAN;
+        }
+        // 1-based rank of the target observation in ascending order.
+        let rank = ((q * binned as f64).ceil() as u64).clamp(1, binned);
+        if rank <= self.underflow {
+            return self.min;
+        }
+        let mut cumulative = self.underflow;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if rank <= cumulative + c {
+                let frac = (rank - cumulative) as f64 / c as f64;
+                let v = self.lo + width * (i as f64 + frac);
+                return v.clamp(self.min, self.max);
+            }
+            cumulative += c;
+        }
+        self.max
+    }
+
+    /// Median ([`Histogram::percentile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +249,71 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_nan() {
         assert!(Histogram::new("h", 0.0, 1.0, 2).mean().is_nan());
+    }
+
+    #[test]
+    fn percentiles_of_a_known_uniform_distribution() {
+        // 1..=1000 uniformly into a tightly binned histogram: every
+        // quantile must land within one bin width (1.0) of the exact
+        // order statistic.
+        let mut h = Histogram::new("h", 0.0, 1000.0, 1000);
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0), (1.0, 1000.0)] {
+            let got = h.percentile(q);
+            assert!(
+                (got - exact).abs() <= 1.0,
+                "q={q}: got {got}, want ~{exact}"
+            );
+        }
+        assert_eq!(h.percentile(0.0), h.percentile(1.0 / 1000.0));
+        assert!((h.p50() - 500.0).abs() <= 1.0);
+        assert!((h.p95() - 950.0).abs() <= 1.0);
+        assert!((h.p99() - 990.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn percentiles_of_a_skewed_distribution() {
+        // 90% of mass at ~1 ms, 10% tail at ~9 ms: p50 must sit in the
+        // body, p95/p99 in the tail — the shape the serve latency
+        // histograms exist to expose.
+        let mut h = Histogram::new("h", 0.0, 10.0, 100);
+        for _ in 0..900 {
+            h.record(1.05);
+        }
+        for _ in 0..100 {
+            h.record(9.05);
+        }
+        assert!((h.p50() - 1.05).abs() <= 0.1, "p50 {}", h.p50());
+        assert!((h.p95() - 9.05).abs() <= 0.1, "p95 {}", h.p95());
+        assert!((h.p99() - 9.05).abs() <= 0.1, "p99 {}", h.p99());
+    }
+
+    #[test]
+    fn percentile_edges_and_degenerates() {
+        // Empty → NaN.
+        assert!(Histogram::new("h", 0.0, 1.0, 4).percentile(0.5).is_nan());
+        // NaN-only → nothing binned → NaN.
+        let mut h = Histogram::new("h", 0.0, 1.0, 4);
+        h.record(f64::NAN);
+        assert!(h.percentile(0.5).is_nan());
+        // Underflow/overflow ranks resolve to the exact extremes.
+        let mut h = Histogram::new("h", 0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(0.5);
+        h.record(42.0);
+        assert_eq!(h.percentile(0.0), -5.0);
+        assert_eq!(h.percentile(1.0), 42.0);
+        // A single point mass answers that point (within clamping).
+        let mut h = Histogram::new("h", 0.0, 10.0, 10);
+        h.record(3.0);
+        assert_eq!(h.percentile(0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_rejects_out_of_range_q() {
+        Histogram::new("h", 0.0, 1.0, 2).percentile(1.5);
     }
 }

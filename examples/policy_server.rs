@@ -1,0 +1,125 @@
+//! Serve a trained anti-jamming policy over TCP, then hot-reload it.
+//!
+//! Trains the DQN defense briefly, saves its agent as a checkpoint, and
+//! serves it with the micro-batching [`PolicyServer`]. Concurrent
+//! [`PolicyClient`]s query it — every served action is bit-exact with
+//! the in-process `DqnAgent::act_greedy` on the same observation. The
+//! defense then trains further and atomically rewrites the checkpoint,
+//! and the server's watcher hot-swaps the new policy in without
+//! dropping a single connection.
+//!
+//! ```text
+//! cargo run --release --example policy_server
+//! ```
+
+use ctjam::core::defender::DqnDefender;
+use ctjam::core::env::EnvParams;
+use ctjam::core::runner::RunBuilder;
+use ctjam::dqn::checkpoint;
+use ctjam::dqn::policy::GreedyPolicy;
+use ctjam::serve::client::PolicyClient;
+use ctjam::serve::server::{PolicyServer, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let params = EnvParams::default();
+
+    println!("training the DQN defense (6 000 slots)...");
+    let mut defense = DqnDefender::small_for_tests(&params, &mut rng);
+    RunBuilder::new(&params).train(&mut defense, 6_000, &mut rng);
+    defense.set_training(false);
+
+    // Atomic write (tempfile + rename), so the watcher below never
+    // observes a half-written file.
+    let ckpt = std::env::temp_dir().join(format!(
+        "ctjam_policy_server_example_{}.ckpt",
+        std::process::id()
+    ));
+    checkpoint::save_agent(defense.agent(), &ckpt)?;
+
+    let mut server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(defense.agent()),
+        ServerConfig::default(),
+    )?;
+    server.watch_checkpoint(ckpt.clone());
+    let addr = server.local_addr();
+    println!("serving on {addr}, watching {}", ckpt.display());
+
+    let input = defense.agent().config().input_size();
+    let probes: Vec<Vec<f64>> = (0..32)
+        .map(|_| (0..input).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+
+    // Several concurrent clients keep the batcher busy enough to
+    // coalesce requests into multi-row forward passes.
+    let oracle: Vec<usize> = probes
+        .iter()
+        .map(|o| defense.agent().act_greedy(o))
+        .collect();
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let probes = probes.clone();
+            let oracle = oracle.clone();
+            thread::spawn(move || {
+                let mut client = PolicyClient::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                for (obs, &want) in probes.iter().zip(&oracle) {
+                    let action = client.act(obs).expect("act");
+                    assert_eq!(action as usize, want, "served action diverged");
+                }
+                probes.len()
+            })
+        })
+        .collect();
+    let served: usize = workers.into_iter().map(|w| w.join().expect("client")).sum();
+    println!(
+        "{served} actions served across 4 connections, all bit-exact \
+         (mean batch occupancy {:.2})",
+        server.mean_batch_occupancy()
+    );
+
+    println!("training 4 000 more slots and hot-swapping the checkpoint...");
+    defense.set_training(true);
+    RunBuilder::new(&params).train(&mut defense, 4_000, &mut rng);
+    defense.set_training(false);
+    checkpoint::save_agent(defense.agent(), &ckpt)?;
+    let changed = probes
+        .iter()
+        .zip(&oracle)
+        .filter(|(o, &was)| defense.agent().act_greedy(o) != was)
+        .count();
+
+    // The same connection keeps working while the watcher (default
+    // 25 ms poll) validates and swaps the new policy in.
+    let mut client = PolicyClient::connect(addr)?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let swapped = probes
+            .iter()
+            .all(|obs| client.act(obs).expect("act") as usize == defense.agent().act_greedy(obs));
+        if swapped {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watcher never swapped the new checkpoint in"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+    println!(
+        "hot reload live: retrained policy serving ({changed}/{} probe actions changed)",
+        probes.len()
+    );
+
+    let metrics = server.shutdown();
+    let counters = metrics.get("counters").expect("metrics counters");
+    println!("final server counters:\n{}", counters.to_string_pretty());
+    std::fs::remove_file(&ckpt).ok();
+    Ok(())
+}

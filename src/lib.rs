@@ -18,6 +18,7 @@
 //! | [`nn`] | `ctjam-nn` | matrices, batched minibatch kernels, backprop, Adam, serialization |
 //! | [`dqn`] | `ctjam-dqn` | replay, target network, ε-greedy agent, batched training |
 //! | [`core`] | `ctjam-core` | jammer, environments, defenders, metrics, `RunBuilder`, field sim |
+//! | [`serve`] | `ctjam-serve` | micro-batching TCP policy-inference server, hot-reloadable checkpoints |
 //!
 //! # Quickstart
 //!
@@ -75,3 +76,4 @@ pub use ctjam_mdp as mdp;
 pub use ctjam_net as net;
 pub use ctjam_nn as nn;
 pub use ctjam_phy as phy;
+pub use ctjam_serve as serve;
