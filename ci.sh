@@ -30,7 +30,7 @@ echo "== cargo doc --no-deps (rustdoc warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p ctjam -p ctjam-phy -p ctjam-channel -p ctjam-net -p ctjam-mdp \
   -p ctjam-nn -p ctjam-dqn -p ctjam-core -p ctjam-bench \
-  -p ctjam-telemetry -p ctjam-fault -p ctjam-serve
+  -p ctjam-telemetry -p ctjam-fault -p ctjam-fleet -p ctjam-serve
 
 # Criterion smoke mode: each bench target runs one iteration per
 # benchmark, catching bit-rot in bench code without paying for a full
@@ -60,7 +60,17 @@ cargo build --release -q -p ctjam-serve --bin policy_server
 CTJAM_BENCH_QUICK=1 CTJAM_SERVE_BIN=target/release/policy_server \
   cargo run --release -q -p ctjam-bench --bin serve_bench
 
-for f in BENCH_slotloop.json BENCH_dqn.json BENCH_serve.json; do
+# Fleet smoke: run the sharded campaign engine's throughput recorder in
+# quick mode. The binary itself asserts bit-exact goodput vectors and
+# merged telemetry across every thread count it measures, so this stage
+# doubles as a determinism check under real scheduling, and it must emit
+# a well-formed BENCH_fleet.json. The full-size run (plain `cargo run
+# --release -p ctjam-bench --bin fleet_bench`) is what EXPERIMENTS.md's
+# "Fleet campaign engine" numbers come from.
+echo "== fleet_bench quick run (fleet smoke) =="
+CTJAM_BENCH_QUICK=1 cargo run --release -q -p ctjam-bench --bin fleet_bench
+
+for f in BENCH_slotloop.json BENCH_dqn.json BENCH_serve.json BENCH_fleet.json; do
   test -s "$f" || { echo "FAIL: $f missing or empty"; exit 1; }
   python3 - "$f" <<'PYEOF'
 import json, sys

@@ -1,0 +1,190 @@
+//! Fleet-engine throughput recorder: runs one shared-greedy campaign at
+//! several thread counts, asserts the results are bit-exact across all
+//! of them, and writes the `BENCH_fleet.json` manifest (schema
+//! ctjam-bench/v1) with episodes/sec per thread count at the repo root
+//! (or `$CTJAM_BENCH_DIR`).
+//!
+//! The campaign is the fleet's headline shape: a grid of `EnvParams` ×
+//! replicate seeds evaluated by one frozen DQN policy shared read-only
+//! across every shard. Quick mode (`CTJAM_BENCH_QUICK=1`, the CI smoke
+//! stage) shrinks the grid to seconds; the full run sizes it for stable
+//! episodes/sec numbers. Knobs: `CTJAM_FLEET_EPISODES` (grid size),
+//! `CTJAM_FLEET_SLOTS` (slots per episode), `CTJAM_FLEET_THREADS`
+//! (max thread count measured).
+//!
+//! `threads_available` is recorded honestly: on a single-core container
+//! the multi-thread timings measure oversubscription, and the manifest
+//! says so in `fleet_scaling_note` instead of presenting the ratio as a
+//! scaling result. The bit-exactness assertions hold regardless — that
+//! is the engine's contract, not a function of core count.
+
+use ctjam_bench::env_usize;
+use ctjam_core::env::EnvParams;
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::config::DqnConfig;
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_fleet::{CampaignPolicy, CampaignSpec, Fleet};
+use ctjam_telemetry::{JsonValue, RunManifest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Base seed for every RNG in this binary (recorded in the manifest).
+const SEED: u64 = 2026;
+
+/// Schema tag checked by the `ci.sh` fleet-smoke stage.
+const SCHEMA: &str = "ctjam-bench/v1";
+
+/// Compile-time SIMD features — evidence that `target-cpu=native` took
+/// effect for this build (mirrors `perf_report`).
+fn target_cpu_features() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    if cfg!(target_feature = "sse4.2") {
+        feats.push("sse4.2");
+    }
+    if cfg!(target_feature = "avx") {
+        feats.push("avx");
+    }
+    if cfg!(target_feature = "avx2") {
+        feats.push("avx2");
+    }
+    if cfg!(target_feature = "fma") {
+        feats.push("fma");
+    }
+    if cfg!(target_feature = "avx512f") {
+        feats.push("avx512f");
+    }
+    if cfg!(target_feature = "neon") {
+        feats.push("neon");
+    }
+    if feats.is_empty() {
+        "baseline".to_string()
+    } else {
+        feats.join("+")
+    }
+}
+
+fn add_provenance(manifest: &mut RunManifest, threads: usize) {
+    manifest.push_extra("schema", SCHEMA);
+    manifest.push_extra("target_arch", std::env::consts::ARCH);
+    manifest.push_extra("target_cpu_features", target_cpu_features());
+    manifest.push_extra("threads_available", threads as f64);
+    manifest.push_extra(
+        "quick_mode",
+        JsonValue::from(std::env::var("CTJAM_BENCH_QUICK").is_ok()),
+    );
+}
+
+fn main() {
+    let quick = std::env::var("CTJAM_BENCH_QUICK").is_ok();
+    let out_dir = std::env::var("CTJAM_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let out_dir = std::path::Path::new(&out_dir);
+    let threads_available = ctjam_core::pool::available_threads();
+
+    let episodes = env_usize("CTJAM_FLEET_EPISODES", if quick { 60 } else { 10_000 });
+    let slots = env_usize("CTJAM_FLEET_SLOTS", if quick { 60 } else { 100 });
+    let max_threads = env_usize("CTJAM_FLEET_THREADS", 4).max(2);
+
+    // The shared policy: one frozen paper-shape DQN read by every shard.
+    let params = EnvParams::default();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let config = DqnConfig {
+        num_channels: params.num_channels(),
+        num_power_levels: params.num_powers(),
+        ..DqnConfig::default()
+    };
+    let policy = Arc::new(GreedyPolicy::from_agent(&DqnAgent::new(config, &mut rng)));
+
+    // Grid: a few jamming-cost points × enough replicate seeds to reach
+    // the requested episode count.
+    let points: Vec<EnvParams> = [50.0, 100.0, 200.0, 400.0]
+        .iter()
+        .map(|&l_j| EnvParams {
+            l_j,
+            ..EnvParams::default()
+        })
+        .collect();
+    let replicates = episodes.div_ceil(points.len()).max(1);
+    let seeds: Vec<u64> = (0..replicates as u64).collect();
+    let spec = CampaignSpec {
+        name: "fleet_bench".into(),
+        points,
+        seeds,
+        policy: CampaignPolicy::SharedGreedy(policy),
+        slots,
+        kernel: false,
+        base_seed: SEED,
+        faults: None,
+    };
+    let total_episodes = spec.episodes();
+
+    let mut manifest = RunManifest::new("BENCH_fleet", SEED, &format!("{spec:?}"));
+    add_provenance(&mut manifest, threads_available);
+    manifest.push_extra("episodes", total_episodes as f64);
+    manifest.push_extra("slots_per_episode", slots as f64);
+
+    let mut thread_counts = vec![1usize, 2];
+    let mut t = 4;
+    while t <= max_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+
+    let mut reference: Option<(Vec<u64>, String)> = None;
+    let mut wall_1 = None;
+    for &threads in &thread_counts {
+        let start = Instant::now();
+        let result = Fleet::new().threads(threads).run(&spec);
+        let wall = start.elapsed().as_secs_f64();
+        let eps = total_episodes as f64 / wall;
+        assert_eq!(result.outcomes.len(), total_episodes);
+
+        // The determinism contract, asserted where the numbers are made:
+        // goodput bits and merged-telemetry JSON identical at every
+        // thread count.
+        let goodput_bits: Vec<u64> = result
+            .goodput_vector()
+            .iter()
+            .map(|g| g.to_bits())
+            .collect();
+        let telemetry = result.telemetry.to_json().to_string_compact();
+        match &reference {
+            None => reference = Some((goodput_bits, telemetry)),
+            Some((bits, json)) => {
+                assert_eq!(
+                    bits, &goodput_bits,
+                    "goodput vector changed between thread counts"
+                );
+                assert_eq!(json, &telemetry, "telemetry changed between thread counts");
+            }
+        }
+
+        println!(
+            "fleet {total_episodes} eps × {slots} slots, {threads} thread(s): \
+             {wall:8.3} s  ({eps:10.1} eps/s, {} shards)",
+            result.shards
+        );
+        manifest.push_extra(&format!("fleet_t{threads}_wall_s"), wall);
+        manifest.push_extra(&format!("fleet_t{threads}_episodes_per_s"), eps);
+        match wall_1 {
+            None => wall_1 = Some(wall),
+            Some(w1) => {
+                manifest.push_extra(&format!("fleet_t{threads}_speedup_x"), w1 / wall);
+            }
+        }
+    }
+
+    if threads_available < 2 {
+        println!("note: 1 hardware thread visible — multi-thread timings measure oversubscription");
+        manifest.push_extra(
+            "fleet_scaling_note",
+            "1 hardware thread visible; multi-thread timings measure oversubscription, \
+             not scaling (bit-exactness assertions still hold)",
+        );
+    }
+
+    let path = out_dir.join(format!("{}.json", manifest.name));
+    std::fs::write(&path, manifest.to_json().to_string_pretty()).expect("write BENCH manifest");
+    println!("(wrote {})", path.display());
+}

@@ -19,7 +19,10 @@
 //!   [`ctjam_channel::cache::PerCache`] (bit-exactness is asserted
 //!   here too, cheaply, on top of the property tests);
 //! * sweep scaling — wall seconds for `RunBuilder::sweep` at 1 thread
-//!   vs all available;
+//!   vs all available (skipped, with an annotation, when only one
+//!   hardware thread is visible — a parallel/serial ratio would then
+//!   measure oversubscription, not scaling; episodes/sec vs thread
+//!   count lives in `BENCH_fleet.json` from the `fleet_bench` bin);
 //! * DQN kernels — `train_step` at batch 32 vs the per-sample
 //!   reference, and single-observation inference plain vs scratch.
 
@@ -312,14 +315,26 @@ fn main() {
         start.elapsed().as_secs_f64()
     };
     let one = time_sweep(1);
-    let many = time_sweep(threads);
     println!("sweep {sweep_points} pts, 1 thread        : {one:10.3} s");
-    println!("sweep {sweep_points} pts, {threads} thread(s)    : {many:10.3} s");
-    println!("sweep scaling                 : {:10.2}x", one / many);
     slotloop.push_extra("sweep_points", sweep_points as f64);
     slotloop.push_extra("sweep_1_thread_s", one);
-    slotloop.push_extra("sweep_all_threads_s", many);
-    slotloop.push_extra("sweep_scaling_x", one / many);
+    if threads >= 2 {
+        let many = time_sweep(threads);
+        println!("sweep {sweep_points} pts, {threads} thread(s)    : {many:10.3} s");
+        println!("sweep scaling                 : {:10.2}x", one / many);
+        slotloop.push_extra("sweep_all_threads_s", many);
+        slotloop.push_extra("sweep_scaling_x", one / many);
+    } else {
+        // With one visible hardware thread a parallel/serial ratio would
+        // measure oversubscription noise, not scaling — don't publish a
+        // ~1.0x "result" that looks like a measurement.
+        println!("sweep scaling                 : skipped (1 hardware thread visible)");
+        slotloop.push_extra(
+            "sweep_scaling_note",
+            "skipped: 1 hardware thread visible; a parallel/serial ratio would \
+             measure oversubscription, not scaling (see BENCH_fleet.json)",
+        );
+    }
 
     write_manifest(&slotloop, out_dir);
 

@@ -21,6 +21,9 @@
 //! * [`runner`] — training and evaluation loops (the 20 000-slot runs of
 //!   §IV.A) and parameter-sweep helpers, behind the fluent
 //!   [`runner::RunBuilder`] entry point.
+//! * [`pool`] — the work-stealing shard pool (atomic injector over
+//!   scoped `std::thread`s) that `runner` sweeps and the `ctjam-fleet`
+//!   campaign engine schedule onto.
 //! * [`field`] — the field-experiment simulator: the slot competition
 //!   driving the star network with the paper's timing model
 //!   (Figs. 9–11).
@@ -54,4 +57,5 @@ pub mod field;
 pub mod jammer;
 pub mod kernel;
 pub mod metrics;
+pub mod pool;
 pub mod runner;

@@ -62,6 +62,39 @@ impl Metrics {
         self.slots
     }
 
+    /// The raw accumulator fields in declaration order — the
+    /// checkpoint-serialization form (see [`Metrics::from_array`]).
+    pub fn to_array(&self) -> [u64; 9] {
+        [
+            self.slots,
+            self.successes,
+            self.fh_adopted,
+            self.fh_successes,
+            self.pc_adopted,
+            self.pc_successes,
+            self.jammed,
+            self.jammed_survived,
+            self.power_level_sum,
+        ]
+    }
+
+    /// Rebuilds an accumulator from [`Metrics::to_array`]'s form.
+    pub fn from_array(fields: [u64; 9]) -> Self {
+        let [slots, successes, fh_adopted, fh_successes, pc_adopted, pc_successes, jammed, jammed_survived, power_level_sum] =
+            fields;
+        Metrics {
+            slots,
+            successes,
+            fh_adopted,
+            fh_successes,
+            pc_adopted,
+            pc_successes,
+            jammed,
+            jammed_survived,
+            power_level_sum,
+        }
+    }
+
     /// `ST`: success rate of transmission.
     pub fn success_rate(&self) -> f64 {
         ratio(self.successes, self.slots)

@@ -1,0 +1,184 @@
+//! Work-stealing shard pool over `std::thread`.
+//!
+//! The suite has no external thread-pool dependency, so this module
+//! hand-rolls the smallest scheduler that still load-balances: a shared
+//! atomic injector. Every worker claims the next item index with a
+//! single `fetch_add`, so a slow item (a long episode, a page fault)
+//! never strands work behind it the way fixed contiguous chunks do.
+//!
+//! **Determinism contract.** Which worker runs which item — the "steal
+//! order" — is scheduler-dependent and varies run to run. Results stay
+//! bit-exact anyway because the API forces them to be pure functions of
+//! `(index, item)`:
+//!
+//! * [`parallel_map`] keys every result by its item index, so the output
+//!   vector is identical no matter which worker produced each entry.
+//! * [`parallel_fold`] hands back the per-worker accumulators; callers
+//!   combine them with an associative, commutative merge (see
+//!   `ctjam-telemetry`'s `ShardSink`), which makes the combined result
+//!   independent of both thread count and steal order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads visible to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Applies `f(index, &item)` to every item across `threads` workers and
+/// returns the results in item order.
+///
+/// Work is distributed dynamically through a shared atomic injector, so
+/// uneven item costs balance automatically. `f` must be a pure function
+/// of `(index, item)` for the output to be thread-count-invariant —
+/// which it then is, bit for bit, because results are placed by index.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut produced: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    for (i, value) in produced.drain(..).flatten() {
+        out[i] = Some(value);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Runs `step(&mut acc, index, &item)` for every item across `threads`
+/// workers, each worker folding into its own accumulator created by
+/// `init`, and returns the per-worker accumulators (one per worker that
+/// ran; a sequential run returns exactly one).
+///
+/// This is the fleet engine's substrate: each shard aggregates locally
+/// in O(1) memory and the caller reduces the returned accumulators with
+/// an associative, commutative merge, so the combined result is
+/// independent of thread count and steal order.
+pub fn parallel_fold<T, A, I, F>(items: &[T], threads: usize, init: &I, step: &F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize, &T) + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut acc = init();
+        for (i, item) in items.iter().enumerate() {
+            step(&mut acc, i, item);
+        }
+        return vec![acc];
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut acc = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        step(&mut acc, i, &items[i]);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, threads, &|_, &v| v * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_the_true_index() {
+        let items = vec!["a"; 100];
+        let got = parallel_map(&items, 4, &|i, _| i);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, &|_, &v| v).is_empty());
+        assert_eq!(parallel_map(&[7u32], 8, &|_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn fold_accumulators_cover_every_item_exactly_once() {
+        let items: Vec<u64> = (1..=1000).collect();
+        for threads in [1, 2, 5, 16] {
+            let accs = parallel_fold(&items, threads, &Vec::new, &|acc: &mut Vec<u64>, _, &v| {
+                acc.push(v)
+            });
+            assert!(accs.len() <= threads.max(1));
+            let mut all: Vec<u64> = accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_sequential_returns_one_accumulator() {
+        let accs = parallel_fold(&[1u64, 2, 3], 1, &|| 0u64, &|acc, _, &v| *acc += v);
+        assert_eq!(accs, vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_does_not_oversubscribe() {
+        let accs = parallel_fold(&[1u64, 2], 16, &|| 0u64, &|acc, _, &v| *acc += v);
+        assert!(accs.len() <= 2);
+        assert_eq!(accs.iter().sum::<u64>(), 3);
+    }
+}

@@ -251,7 +251,7 @@ impl<'a, S: EventSink, F: FaultPoint> RunBuilder<'a, S, F> {
         let kernel = self.kernel;
         let budget = self.budget;
         let base_seed = self.base_seed;
-        parallel_map(points, threads, &|index: usize, params: &EnvParams| {
+        crate::pool::parallel_map(points, threads, &|index: usize, params: &EnvParams| {
             let mut rng = StdRng::seed_from_u64(point_seed(base_seed, index));
             let (_, report) = if kernel {
                 train_and_evaluate_kernel(params, budget.train_slots, budget.eval_slots, &mut rng)
@@ -616,10 +616,7 @@ pub fn point_seed(base_seed: u64, index: usize) -> u64 {
 }
 
 fn default_sweep_threads(points: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(points.max(1))
+    crate::pool::available_threads().min(points.max(1))
 }
 
 /// Shim helper: a builder anchored on the first point (the builder's own
@@ -778,39 +775,6 @@ pub fn replay_kernel(params: &EnvParams, record: &EpisodeRecord) -> EpisodeRepor
     let (_, report) =
         train_and_evaluate_kernel(params, record.train_slots, record.eval_slots, &mut rng);
     report
-}
-
-/// Minimal parallel map over chunks using std scoped threads.
-fn parallel_map<T, U, F>(items: &[T], threads: usize, f: &F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &T) -> U + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<U>> = Vec::new();
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        let mut rest = &mut out[..];
-        let mut offset = 0usize;
-        for piece in items.chunks(chunk) {
-            let (head, tail) = rest.split_at_mut(piece.len());
-            rest = tail;
-            let base = offset;
-            offset += piece.len();
-            scope.spawn(move || {
-                for (i, (slot, item)) in head.iter_mut().zip(piece).enumerate() {
-                    *slot = Some(f(base + i, item));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("all slots filled"))
-        .collect()
 }
 
 #[cfg(test)]

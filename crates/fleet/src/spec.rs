@@ -1,0 +1,256 @@
+//! Campaign descriptions: the grid, the policy, the seeds, the faults.
+
+use ctjam_core::env::EnvParams;
+use ctjam_core::runner::SweepBudget;
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_fault::FaultRates;
+use ctjam_telemetry::manifest::fnv1a_64;
+use std::fmt;
+use std::sync::Arc;
+
+/// One SplitMix64 mixing step (the same finalizer the vendored `rand`
+/// uses for `seed_from_u64` expansion). Chaining it over the campaign's
+/// structural coordinates gives every episode a well-separated seed from
+/// a single base value.
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fault injection carried by a campaign: every episode gets its own
+/// [`ctjam_fault::FaultPlan`] seeded from `seed` and the episode index,
+/// so the chaos schedule is independent of shard assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignFaults {
+    /// Base seed of the per-episode fault-plan streams.
+    pub seed: u64,
+    /// Per-site firing rates shared by every episode.
+    pub rates: FaultRates,
+}
+
+/// The defender evaluated (or trained) in every episode of a campaign.
+#[derive(Clone)]
+pub enum CampaignPolicy {
+    /// One frozen greedy DQN policy shared read-only across all shards —
+    /// the fleet's headline mode: evaluate a trained network over the
+    /// whole grid without cloning weights.
+    SharedGreedy(Arc<GreedyPolicy>),
+    /// The random frequency-hopping baseline (Fig. 11a).
+    RandomFh,
+    /// The passive frequency-hopping baseline (hop only after a jam).
+    PassiveFh,
+    /// The no-defense floor.
+    NoDefense,
+    /// Train a fresh paper-default DQN per episode, then evaluate it;
+    /// metrics and reward come from the evaluation window, health and
+    /// telemetry cover both phases.
+    TrainDqn(SweepBudget),
+}
+
+impl fmt::Debug for CampaignPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Summarize the shared network instead of dumping weights.
+            CampaignPolicy::SharedGreedy(p) => f
+                .debug_struct("SharedGreedy")
+                .field("input_size", &p.input_size())
+                .field("num_actions", &p.num_actions())
+                .finish(),
+            CampaignPolicy::RandomFh => write!(f, "RandomFh"),
+            CampaignPolicy::PassiveFh => write!(f, "PassiveFh"),
+            CampaignPolicy::NoDefense => write!(f, "NoDefense"),
+            CampaignPolicy::TrainDqn(budget) => f.debug_tuple("TrainDqn").field(budget).finish(),
+        }
+    }
+}
+
+/// A full campaign: the `EnvParams` × seed grid, the policy, the episode
+/// length, the environment flavour, and optional fault injection.
+///
+/// Episode `e` runs point `e / seeds.len()` with replicate seed
+/// `seeds[e % seeds.len()]`; its RNG stream derives from
+/// [`CampaignSpec::episode_seed`]. Results are a pure function of the
+/// spec — [`crate::Fleet::run`] with any thread count returns identical
+/// bits.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (manifests, logs).
+    pub name: String,
+    /// Environment grid (one entry per sweep point).
+    pub points: Vec<EnvParams>,
+    /// Replicate seeds; every point runs once per entry.
+    pub seeds: Vec<u64>,
+    /// The defender policy every episode runs.
+    pub policy: CampaignPolicy,
+    /// Slots per episode (ignored by [`CampaignPolicy::TrainDqn`], which
+    /// carries its own budget).
+    pub slots: usize,
+    /// `true` for the MDP-kernel environment, `false` for the concrete
+    /// slot-level simulator.
+    pub kernel: bool,
+    /// Base seed all episode streams derive from.
+    pub base_seed: u64,
+    /// Optional per-episode fault injection.
+    pub faults: Option<CampaignFaults>,
+}
+
+impl CampaignSpec {
+    /// Total episodes in the grid (`points × seeds`).
+    pub fn episodes(&self) -> usize {
+        self.points.len() * self.seeds.len()
+    }
+
+    /// The environment parameters episode `e` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range (or the seed grid is empty).
+    pub fn episode_point(&self, e: usize) -> &EnvParams {
+        &self.points[e / self.seeds.len()]
+    }
+
+    /// The RNG-stream seed of episode `e`: chained SplitMix64 over
+    /// `(base_seed, point index, replicate seed)`. Deriving rather than
+    /// sharing streams is what makes results independent of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range (or the seed grid is empty).
+    pub fn episode_seed(&self, e: usize) -> u64 {
+        let point_idx = e / self.seeds.len();
+        let replicate = self.seeds[e % self.seeds.len()];
+        let a = splitmix64(self.base_seed);
+        let b = splitmix64(a ^ point_idx as u64);
+        splitmix64(b ^ replicate)
+    }
+
+    /// The fault-plan seed of episode `e` (decorrelated from the
+    /// episode's main RNG stream by a distinct tag).
+    pub fn plan_seed(&self, faults: &CampaignFaults, e: usize) -> u64 {
+        splitmix64(splitmix64(faults.seed ^ 0xFA17_F1EE_7000_0000) ^ e as u64)
+    }
+
+    /// FNV-1a fingerprint of everything that determines the campaign's
+    /// results — grid, seeds, policy (including shared-network weights),
+    /// slots, flavour, faults. [`crate::Fleet::resume`] refuses progress
+    /// checkpoints whose fingerprint disagrees, so a resumed campaign can
+    /// never silently mix episodes from two different specs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(self.name.as_bytes());
+        for point in &self.points {
+            buf.extend_from_slice(format!("{point:?}").as_bytes());
+        }
+        for &seed in &self.seeds {
+            buf.extend_from_slice(&seed.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.slots as u64).to_le_bytes());
+        buf.push(self.kernel as u8);
+        buf.extend_from_slice(&self.base_seed.to_le_bytes());
+        match &self.faults {
+            Some(f) => {
+                buf.push(1);
+                buf.extend_from_slice(&f.seed.to_le_bytes());
+                buf.extend_from_slice(f.rates.describe().as_bytes());
+            }
+            None => buf.push(0),
+        }
+        match &self.policy {
+            CampaignPolicy::SharedGreedy(policy) => {
+                buf.push(0);
+                buf.extend_from_slice(format!("{:?}", policy.config()).as_bytes());
+                for w in policy.network().flatten_params() {
+                    buf.extend_from_slice(&w.to_bits().to_le_bytes());
+                }
+            }
+            CampaignPolicy::RandomFh => buf.push(1),
+            CampaignPolicy::PassiveFh => buf.push(2),
+            CampaignPolicy::NoDefense => buf.push(3),
+            CampaignPolicy::TrainDqn(budget) => {
+                buf.push(4);
+                buf.extend_from_slice(&(budget.train_slots as u64).to_le_bytes());
+                buf.extend_from_slice(&(budget.eval_slots as u64).to_le_bytes());
+            }
+        }
+        fnv1a_64(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(base_seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            points: vec![EnvParams::default(); 3],
+            seeds: vec![1, 2],
+            policy: CampaignPolicy::RandomFh,
+            slots: 10,
+            kernel: false,
+            base_seed,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn episode_seeds_are_distinct_and_stable() {
+        let s = spec(42);
+        let seeds: Vec<u64> = (0..s.episodes()).map(|e| s.episode_seed(e)).collect();
+        let unique: std::collections::HashSet<&u64> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "episode seed collision");
+        assert_eq!(
+            seeds,
+            (0..s.episodes())
+                .map(|e| s.episode_seed(e))
+                .collect::<Vec<_>>()
+        );
+        // A different base seed moves every stream.
+        let other = spec(43);
+        assert!((0..s.episodes()).all(|e| s.episode_seed(e) != other.episode_seed(e)));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_result_relevant_field() {
+        let base = spec(42);
+        let fp = base.fingerprint();
+        assert_eq!(fp, spec(42).fingerprint(), "fingerprint must be stable");
+        let mut changed = spec(42);
+        changed.slots = 11;
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = spec(42);
+        changed.kernel = true;
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = spec(42);
+        changed.seeds.push(3);
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = spec(42);
+        changed.policy = CampaignPolicy::NoDefense;
+        assert_ne!(fp, changed.fingerprint());
+        let mut changed = spec(42);
+        changed.faults = Some(CampaignFaults {
+            seed: 7,
+            rates: FaultRates::zero(),
+        });
+        assert_ne!(fp, changed.fingerprint());
+        assert_ne!(fp, spec(43).fingerprint());
+    }
+
+    #[test]
+    fn debug_of_shared_policy_does_not_dump_weights() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let agent =
+            ctjam_dqn::agent::DqnAgent::new(ctjam_dqn::config::DqnConfig::default(), &mut rng);
+        let policy = CampaignPolicy::SharedGreedy(Arc::new(GreedyPolicy::from_agent(&agent)));
+        let printed = format!("{policy:?}");
+        assert!(printed.contains("SharedGreedy"));
+        assert!(
+            printed.len() < 200,
+            "Debug must summarize, not dump: {printed}"
+        );
+    }
+}

@@ -12,6 +12,10 @@
 //!   exploration rate, replay occupancy.
 //! * [`MemorySink`] — an in-memory recorder with [`Counter`]s and
 //!   [`Histogram`]s plus JSON-lines and CSV exporters.
+//! * [`ShardSink`] — an O(1)-memory aggregate-only sink whose `merge` is
+//!   associative and commutative (exact summation via [`ExactSum`]), so
+//!   sharded campaign engines can fold per-worker telemetry in any order
+//!   and land on the sequential result bit-for-bit.
 //! * [`RunManifest`] — a JSON provenance record (seed, parameter `Debug`
 //!   string, FNV-1a config hash, `git describe`, wall time) written next to
 //!   every figure binary's results so a run can be traced back to the exact
@@ -37,5 +41,5 @@ pub use health::RunHealth;
 pub use json::JsonValue;
 pub use manifest::RunManifest;
 pub use replay::{EpisodeRecord, ReplayTrace};
-pub use sink::{EventSink, MemorySink, NullSink};
-pub use stats::{Counter, Histogram};
+pub use sink::{EventSink, MemorySink, NullSink, ShardSink};
+pub use stats::{Counter, ExactSum, Histogram};

@@ -1,6 +1,6 @@
-//! The instrumentation trait and its two stock implementations.
+//! The instrumentation trait and its stock implementations.
 
-use crate::event::{SlotEvent, TrainEvent};
+use crate::event::{SlotEvent, SlotOutcome, TrainEvent};
 use crate::stats::{Counter, Histogram};
 
 /// Receiver for telemetry emitted by instrumented code.
@@ -124,6 +124,165 @@ impl EventSink for MemorySink {
     }
 }
 
+/// O(1)-memory aggregating sink for sharded campaign engines.
+///
+/// Unlike [`MemorySink`], nothing per-event is retained — only counters
+/// and histograms — so one `ShardSink` per worker shard costs constant
+/// memory no matter how many episodes the shard processes. Two
+/// invariants make it fleet-safe:
+///
+/// * **Fixed counter layout.** `MemorySink` orders counters by first
+///   bump, which varies with episode assignment; `ShardSink` uses fixed
+///   fields so [`ShardSink::to_json`] is byte-stable across any shard
+///   partition.
+/// * **Mergeable.** [`ShardSink::merge`] is associative and commutative
+///   (histogram sums ride on [`crate::ExactSum`]), so folding shard
+///   locals in any order reproduces the sequential single-sink result
+///   bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSink {
+    /// Slot events observed.
+    pub slots: u64,
+    /// Training events observed.
+    pub train_steps: u64,
+    /// Outcome counts in declaration order
+    /// (`delivered`, `survived_jam`, `jammed`, `hopped`).
+    pub outcomes: [u64; 4],
+    /// Slots in which the defender hopped.
+    pub hops: u64,
+    /// Slots in which the defender raised power.
+    pub power_controls: u64,
+    /// Distribution of per-slot rewards (same shape as [`MemorySink`]).
+    pub reward_hist: Histogram,
+    /// Distribution of training losses (same shape as [`MemorySink`]).
+    pub loss_hist: Histogram,
+}
+
+impl Default for ShardSink {
+    fn default() -> Self {
+        ShardSink::new()
+    }
+}
+
+impl ShardSink {
+    /// An empty sink with the same histogram shapes as [`MemorySink`],
+    /// so fleet and non-fleet telemetry stay directly comparable.
+    pub fn new() -> Self {
+        ShardSink {
+            slots: 0,
+            train_steps: 0,
+            outcomes: [0; 4],
+            hops: 0,
+            power_controls: 0,
+            reward_hist: Histogram::new("reward", -10.0, 2.0, 24),
+            loss_hist: Histogram::new("loss", 0.0, 5.0, 20),
+        }
+    }
+
+    fn outcome_index(outcome: SlotOutcome) -> usize {
+        match outcome {
+            SlotOutcome::Delivered => 0,
+            SlotOutcome::SurvivedJam => 1,
+            SlotOutcome::Jammed => 2,
+            SlotOutcome::Hopped => 3,
+        }
+    }
+
+    /// Count for one outcome.
+    pub fn outcome_count(&self, outcome: SlotOutcome) -> u64 {
+        self.outcomes[Self::outcome_index(outcome)]
+    }
+
+    /// Folds another shard's aggregates into this one (associative,
+    /// commutative).
+    pub fn merge(&mut self, other: &ShardSink) {
+        self.slots += other.slots;
+        self.train_steps += other.train_steps;
+        for (mine, theirs) in self.outcomes.iter_mut().zip(&other.outcomes) {
+            *mine += theirs;
+        }
+        self.hops += other.hops;
+        self.power_controls += other.power_controls;
+        self.reward_hist.merge(&other.reward_hist);
+        self.loss_hist.merge(&other.loss_hist);
+    }
+
+    /// The aggregate as a JSON object with a fixed key order, mirroring
+    /// [`crate::export::summary_json`]'s layout (minus per-event data).
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let mut counters = JsonValue::object();
+        counters
+            .set("delivered", self.outcomes[0])
+            .set("survived_jam", self.outcomes[1])
+            .set("jammed", self.outcomes[2])
+            .set("hopped", self.outcomes[3])
+            .set("hop", self.hops)
+            .set("power_control", self.power_controls);
+        let mut obj = JsonValue::object();
+        obj.set("slots", self.slots)
+            .set("train_steps", self.train_steps)
+            .set("counters", counters)
+            .set("reward", crate::export::histogram_json(&self.reward_hist))
+            .set("loss", crate::export::histogram_json(&self.loss_hist));
+        obj
+    }
+
+    /// Serializes the full aggregate state (checkpoint payload fragment).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        for n in [self.slots, self.train_steps] {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        for n in self.outcomes {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        for n in [self.hops, self.power_controls] {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        self.reward_hist.encode_state(buf);
+        self.loss_hist.encode_state(buf);
+    }
+
+    /// Decodes a sink written by [`ShardSink::encode`], advancing
+    /// `cursor` past the consumed bytes. Returns `None` on malformed
+    /// input.
+    pub fn decode(cursor: &mut &[u8]) -> Option<ShardSink> {
+        let take = crate::stats::take_u64;
+        let mut sink = ShardSink::new();
+        sink.slots = take(cursor)?;
+        sink.train_steps = take(cursor)?;
+        for slot in sink.outcomes.iter_mut() {
+            *slot = take(cursor)?;
+        }
+        sink.hops = take(cursor)?;
+        sink.power_controls = take(cursor)?;
+        sink.reward_hist = Histogram::decode_state("reward", cursor)?;
+        sink.loss_hist = Histogram::decode_state("loss", cursor)?;
+        Some(sink)
+    }
+}
+
+impl EventSink for ShardSink {
+    fn record_slot(&mut self, event: &SlotEvent) {
+        self.slots += 1;
+        self.outcomes[Self::outcome_index(event.outcome)] += 1;
+        if event.hopped {
+            self.hops += 1;
+        }
+        if event.power_control {
+            self.power_controls += 1;
+        }
+        self.reward_hist.record(event.reward);
+    }
+
+    fn record_train(&mut self, event: &TrainEvent) {
+        self.train_steps += 1;
+        if let Some(loss) = event.loss {
+            self.loss_hist.record(loss);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +346,82 @@ mod tests {
         let mut mem = MemorySink::new();
         run(&mut mem);
         assert_eq!(mem.scalars, vec![("x", 1.0)]);
+    }
+
+    #[test]
+    fn shard_sink_aggregates_like_memory_sink() {
+        let events = [
+            slot(0, SlotOutcome::Delivered, false, 1.0),
+            slot(1, SlotOutcome::Jammed, false, -4.0),
+            slot(2, SlotOutcome::Hopped, true, -1.0),
+            slot(3, SlotOutcome::SurvivedJam, false, 0.5),
+        ];
+        let mut shard = ShardSink::new();
+        let mut mem = MemorySink::new();
+        for e in &events {
+            shard.record_slot(e);
+            mem.record_slot(e);
+        }
+        assert_eq!(shard.slots, 4);
+        for outcome in [
+            SlotOutcome::Delivered,
+            SlotOutcome::SurvivedJam,
+            SlotOutcome::Jammed,
+            SlotOutcome::Hopped,
+        ] {
+            assert_eq!(shard.outcome_count(outcome), mem.counter(outcome.label()));
+        }
+        assert_eq!(shard.hops, mem.counter("hop"));
+        assert_eq!(shard.reward_hist, mem.reward_hist);
+    }
+
+    #[test]
+    fn shard_sink_merge_matches_sequential_and_roundtrips() {
+        let events: Vec<SlotEvent> = (0..40)
+            .map(|i| {
+                let outcome = match i % 4 {
+                    0 => SlotOutcome::Delivered,
+                    1 => SlotOutcome::SurvivedJam,
+                    2 => SlotOutcome::Jammed,
+                    _ => SlotOutcome::Hopped,
+                };
+                slot(i, outcome, i % 3 == 0, -(i as f64) * 0.17)
+            })
+            .collect();
+        let mut sequential = ShardSink::new();
+        let mut a = ShardSink::new();
+        let mut b = ShardSink::new();
+        for (i, e) in events.iter().enumerate() {
+            sequential.record_slot(e);
+            if i % 2 == 0 {
+                a.record_slot(e);
+            } else {
+                b.record_slot(e);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, sequential);
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            sequential.to_json().to_string_compact()
+        );
+
+        let mut buf = Vec::new();
+        sequential.encode(&mut buf);
+        let mut cursor = buf.as_slice();
+        let back = ShardSink::decode(&mut cursor).expect("decode");
+        assert!(cursor.is_empty(), "decode must consume the whole blob");
+        assert_eq!(back, sequential);
+    }
+
+    #[test]
+    fn shard_sink_decode_rejects_truncated_input() {
+        let mut sink = ShardSink::new();
+        sink.record_slot(&slot(0, SlotOutcome::Delivered, false, 1.0));
+        let mut buf = Vec::new();
+        sink.encode(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut cursor = buf.as_slice();
+        assert!(ShardSink::decode(&mut cursor).is_none());
     }
 }

@@ -1,4 +1,12 @@
 //! Minimal counters and fixed-bin histograms for slot-loop telemetry.
+//!
+//! Everything here is **mergeable**: [`Counter::merge`],
+//! [`Histogram::merge`], and the [`ExactSum`] accumulator underneath are
+//! associative and commutative, so shard-local aggregates folded together
+//! in any split and order reproduce the sequential single-sink result
+//! bit-for-bit (property-tested in `tests/merge_properties.rs`). That is
+//! the contract the fleet campaign engine's O(shards) telemetry
+//! reduction rests on.
 
 /// A named monotonic counter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +32,197 @@ impl Counter {
     pub fn add(&mut self, n: u64) {
         self.value += n;
     }
+
+    /// Folds another counter of the same name into this one
+    /// (associative, commutative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the names differ — merging unrelated counters is a bug.
+    pub fn merge(&mut self, other: &Counter) {
+        assert_eq!(
+            self.name, other.name,
+            "cannot merge counters with different names"
+        );
+        self.value += other.value;
+    }
+}
+
+/// An exact, order- and partition-invariant `f64` sum.
+///
+/// Floating-point addition is not associative, so a naive `sum += x`
+/// depends on accumulation order — poison for a sharded engine whose
+/// steal order varies run to run. `ExactSum` keeps the running sum as a
+/// list of non-overlapping partials (Shewchuk's `msum` expansion, the
+/// algorithm behind Python's `math.fsum`) and rounds only once, in
+/// [`ExactSum::value`], to the nearest `f64` of the *exact* real sum.
+/// Because the represented real number is exact, both `add` and `merge`
+/// are associative and commutative: any insertion order, any shard
+/// partition, same `value()` bits.
+///
+/// Non-finite inputs are tracked out-of-band as counts so they cannot
+/// poison the expansion: `value()` is NaN if any NaN was added (or both
+/// infinity signs were), and ±∞ if only one infinity sign was. Should
+/// the exact sum itself leave the finite `f64` range (|sum| > `f64::MAX`
+/// — unreachable for this suite's bounded rewards), the accumulator
+/// saturates stickily to an infinity of the overflowing sign.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSum {
+    /// Non-overlapping partials in increasing magnitude order.
+    partials: Vec<f64>,
+    nan: u64,
+    pos_inf: u64,
+    neg_inf: u64,
+}
+
+impl ExactSum {
+    /// An empty sum (`value() == 0.0`).
+    pub fn new() -> Self {
+        ExactSum::default()
+    }
+
+    /// Adds one value.
+    pub fn add(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if value.is_infinite() {
+            if value > 0.0 {
+                self.pos_inf += 1;
+            } else {
+                self.neg_inf += 1;
+            }
+            return;
+        }
+        let mut x = value;
+        let mut kept = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                core::mem::swap(&mut x, &mut y);
+            }
+            let hi = x + y;
+            if hi.is_infinite() {
+                // Exact-sum overflow: saturate stickily instead of
+                // letting a NaN residue poison the expansion.
+                if hi > 0.0 {
+                    self.pos_inf += 1;
+                } else {
+                    self.neg_inf += 1;
+                }
+                self.partials.truncate(kept);
+                return;
+            }
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[kept] = lo;
+                kept += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(kept);
+        self.partials.push(x);
+    }
+
+    /// Folds another accumulator into this one (associative,
+    /// commutative — the merged sum represents exactly the union of both
+    /// inputs' observations).
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.nan += other.nan;
+        self.pos_inf += other.pos_inf;
+        self.neg_inf += other.neg_inf;
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The exact sum, correctly rounded to the nearest `f64` (round half
+    /// to even) — the same result `math.fsum` would give for the full
+    /// multiset of added values, in any order.
+    pub fn value(&self) -> f64 {
+        if self.nan > 0 || (self.pos_inf > 0 && self.neg_inf > 0) {
+            return f64::NAN;
+        }
+        if self.pos_inf > 0 {
+            return f64::INFINITY;
+        }
+        if self.neg_inf > 0 {
+            return f64::NEG_INFINITY;
+        }
+        let p = &self.partials;
+        let mut n = p.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut hi = p[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = p[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        // Round-half-to-even correction: if the discarded residue is
+        // exactly half an ulp, the next-lower partial decides the
+        // direction (CPython's fsum tail).
+        if n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+
+    pub(crate) fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.partials.len() as u64).to_le_bytes());
+        for p in &self.partials {
+            buf.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        for n in [self.nan, self.pos_inf, self.neg_inf] {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+    }
+
+    pub(crate) fn decode_state(cursor: &mut &[u8]) -> Option<ExactSum> {
+        let len = take_u64(cursor)? as usize;
+        let mut sum = ExactSum::new();
+        for _ in 0..len {
+            let p = f64::from_bits(take_u64(cursor)?);
+            if !p.is_finite() {
+                return None;
+            }
+            // Re-adding renormalizes: the partial multiset represents the
+            // same exact real number, so `value()` is unchanged.
+            sum.add(p);
+        }
+        sum.nan = take_u64(cursor)?;
+        sum.pos_inf = take_u64(cursor)?;
+        sum.neg_inf = take_u64(cursor)?;
+        Some(sum)
+    }
+}
+
+impl PartialEq for ExactSum {
+    /// Two sums are equal when their correctly-rounded values share the
+    /// same bit pattern (the partials layout itself is not canonical).
+    fn eq(&self, other: &Self) -> bool {
+        self.value().to_bits() == other.value().to_bits()
+    }
+}
+
+pub(crate) fn take_u64(cursor: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = cursor.split_first_chunk::<8>()?;
+    *cursor = rest;
+    Some(u64::from_le_bytes(*head))
 }
 
 /// A fixed-width linear histogram over `[lo, hi)` with under/overflow bins,
@@ -38,7 +237,7 @@ pub struct Histogram {
     underflow: u64,
     overflow: u64,
     count: u64,
-    sum: f64,
+    sum: ExactSum,
     min: f64,
     max: f64,
 }
@@ -66,7 +265,7 @@ impl Histogram {
             underflow: 0,
             overflow: 0,
             count: 0,
-            sum: 0.0,
+            sum: ExactSum::new(),
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -75,7 +274,7 @@ impl Histogram {
     /// Record one observation. NaN values are counted but not binned.
     pub fn record(&mut self, value: f64) {
         self.count += 1;
-        self.sum += value;
+        self.sum.add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         if value.is_nan() {
@@ -97,13 +296,92 @@ impl Histogram {
         self.count
     }
 
-    /// Mean of observations (NaN if empty).
+    /// Mean of observations (NaN if empty). Backed by [`ExactSum`], so
+    /// the mean of a merged histogram is bit-identical to the mean of
+    /// the sequential one regardless of shard partition or order.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             f64::NAN
         } else {
-            self.sum / self.count as f64
+            self.sum.value() / self.count as f64
         }
+    }
+
+    /// Lower edge of the binned range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the binned range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Folds another histogram of the same shape into this one
+    /// (associative, commutative — merging shard-local histograms in any
+    /// split and order reproduces the sequential result bit-for-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the names, ranges, or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.name, other.name,
+            "cannot merge histograms with different names"
+        );
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.hi.to_bits() == other.hi.to_bits()
+                && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different shapes"
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum.merge(&other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub(crate) fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.lo.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.hi.to_bits().to_le_bytes());
+        buf.extend_from_slice(&(self.bins.len() as u64).to_le_bytes());
+        for &b in &self.bins {
+            buf.extend_from_slice(&b.to_le_bytes());
+        }
+        for n in [self.underflow, self.overflow, self.count] {
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        self.sum.encode_state(buf);
+        buf.extend_from_slice(&self.min.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.max.to_bits().to_le_bytes());
+    }
+
+    /// Decodes a histogram previously written by `encode_state`; the
+    /// caller supplies the static name (names are compile-time constants
+    /// and are not serialized).
+    pub(crate) fn decode_state(name: &'static str, cursor: &mut &[u8]) -> Option<Histogram> {
+        let lo = f64::from_bits(take_u64(cursor)?);
+        let hi = f64::from_bits(take_u64(cursor)?);
+        let bins = take_u64(cursor)? as usize;
+        if lo.is_nan() || hi.is_nan() || lo >= hi || bins == 0 || bins > 1 << 20 {
+            return None;
+        }
+        let mut h = Histogram::new(name, lo, hi, bins);
+        for b in h.bins.iter_mut() {
+            *b = take_u64(cursor)?;
+        }
+        h.underflow = take_u64(cursor)?;
+        h.overflow = take_u64(cursor)?;
+        h.count = take_u64(cursor)?;
+        h.sum = ExactSum::decode_state(cursor)?;
+        h.min = f64::from_bits(take_u64(cursor)?);
+        h.max = f64::from_bits(take_u64(cursor)?);
+        Some(h)
     }
 
     /// Minimum observation (+inf if empty).
@@ -315,5 +593,154 @@ mod tests {
     #[should_panic]
     fn percentile_rejects_out_of_range_q() {
         Histogram::new("h", 0.0, 1.0, 2).percentile(1.5);
+    }
+
+    #[test]
+    fn exact_sum_is_exact_where_naive_addition_is_not() {
+        // The classic fsum demonstration: naive left-to-right addition
+        // loses the 1.0 entirely; the exact sum keeps it.
+        let mut s = ExactSum::new();
+        for v in [1e100, 1.0, -1e100] {
+            s.add(v);
+        }
+        assert_eq!(s.value(), 1.0);
+        // And the canonical 0.1 accumulation drift.
+        let mut s = ExactSum::new();
+        for _ in 0..10 {
+            s.add(0.1);
+        }
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn exact_sum_is_order_invariant() {
+        let values = [1e16, 3.17421, -1e16, 1e-9, 2.5, -7.25, 1e300, -1e300];
+        let mut forward = ExactSum::new();
+        let mut backward = ExactSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        for &v in values.iter().rev() {
+            backward.add(v);
+        }
+        assert_eq!(forward.value().to_bits(), backward.value().to_bits());
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn exact_sum_merge_matches_sequential() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| (i as f64 - 100.0) * 1.000_3_f64.powi(i))
+            .collect();
+        let mut sequential = ExactSum::new();
+        for &v in &values {
+            sequential.add(v);
+        }
+        let mut left = ExactSum::new();
+        let mut right = ExactSum::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                left.add(v);
+            } else {
+                right.add(v);
+            }
+        }
+        right.merge(&left);
+        assert_eq!(sequential.value().to_bits(), right.value().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_tracks_specials_out_of_band() {
+        let mut s = ExactSum::new();
+        s.add(1.0);
+        s.add(f64::INFINITY);
+        assert_eq!(s.value(), f64::INFINITY);
+        s.add(f64::NEG_INFINITY);
+        assert!(s.value().is_nan(), "both infinity signs must yield NaN");
+        let mut s = ExactSum::new();
+        s.add(f64::NAN);
+        s.add(2.0);
+        assert!(s.value().is_nan());
+    }
+
+    #[test]
+    fn exact_sum_state_roundtrips() {
+        let mut s = ExactSum::new();
+        for v in [1e100, 1.0, 0.1, -3.5e-12, f64::NAN] {
+            s.add(v);
+        }
+        let mut buf = Vec::new();
+        s.encode_state(&mut buf);
+        let mut cursor = buf.as_slice();
+        let back = ExactSum::decode_state(&mut cursor).expect("decode");
+        assert!(cursor.is_empty(), "decode must consume the whole blob");
+        assert_eq!(back.nan, 1);
+        assert_eq!(back.value().to_bits(), s.value().to_bits());
+    }
+
+    #[test]
+    fn counter_merge_adds_and_checks_names() {
+        let mut a = Counter::new("x");
+        a.add(3);
+        let mut b = Counter::new("x");
+        b.add(4);
+        a.merge(&b);
+        assert_eq!(a.value, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn counter_merge_rejects_mismatched_names() {
+        Counter::new("x").merge(&Counter::new("y"));
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential_recording() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| (i % 13) as f64 - 2.0 + 0.1 * i as f64)
+            .collect();
+        let mut sequential = Histogram::new("h", 0.0, 10.0, 16);
+        let mut left = Histogram::new("h", 0.0, 10.0, 16);
+        let mut right = Histogram::new("h", 0.0, 10.0, 16);
+        for (i, &v) in values.iter().enumerate() {
+            sequential.record(v);
+            if i < 130 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, sequential);
+        assert_eq!(left.mean().to_bits(), sequential.mean().to_bits());
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new("h", 0.0, 10.0, 16);
+        a.merge(&Histogram::new("h", 0.0, 10.0, 8));
+    }
+
+    #[test]
+    fn histogram_state_roundtrips() {
+        let mut h = Histogram::new("h", -2.0, 5.0, 12);
+        for v in [-3.0, -1.5, 0.25, 4.9, 5.0, f64::NAN] {
+            h.record(v);
+        }
+        let mut buf = Vec::new();
+        h.encode_state(&mut buf);
+        let mut cursor = buf.as_slice();
+        let back = Histogram::decode_state("h", &mut cursor).expect("decode");
+        assert!(cursor.is_empty());
+        assert_eq!(back, h);
+        assert_eq!(back.bins(), h.bins());
+        assert_eq!(back.count(), h.count());
+    }
+
+    #[test]
+    fn histogram_decode_rejects_garbage() {
+        let mut cursor: &[u8] = &[1, 2, 3];
+        assert!(Histogram::decode_state("h", &mut cursor).is_none());
     }
 }

@@ -1,0 +1,245 @@
+//! Property tests for the mergeable-telemetry contract.
+//!
+//! The fleet campaign engine folds shard-local [`ShardSink`]s together in
+//! whatever order workers finish, so every aggregate it relies on must be
+//! associative and commutative *bit-for-bit*: any partition of the event
+//! stream, merged in any order, must reproduce the sequential single-sink
+//! result exactly. These tests state that contract directly over random
+//! event streams, random partitions, and random merge orders, comparing
+//! exported JSON byte-for-byte (not approximately).
+
+use ctjam_telemetry::export::histogram_json;
+use ctjam_telemetry::{
+    Counter, EventSink, ExactSum, Histogram, ShardSink, SlotEvent, SlotOutcome, TrainEvent,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically maps raw u64s to f64 values with wildly mixed
+/// magnitudes (the regime where naive summation order matters most),
+/// plus occasional NaN / ±inf so the out-of-band counters are exercised.
+fn decode_value(raw: u64) -> f64 {
+    match raw % 97 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3..=10 => (raw as f64 - (u64::MAX / 2) as f64) * 1e300,
+        11..=20 => (raw % 1000) as f64 * 1e-300,
+        21..=30 => f64::from_bits(raw).clamp(-1e308, 1e308),
+        _ => (raw as f64 / u64::MAX as f64 - 0.5) * 1e6,
+    }
+}
+
+/// Fisher–Yates shuffle driven by a seeded StdRng, so the "random order"
+/// in each property is itself reproducible from the proptest case.
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Splits `items` into `parts` chunks round-robin — the worst case for a
+/// naive accumulator, since neighbouring values land in different shards.
+fn round_robin<T: Clone>(items: &[T], parts: usize) -> Vec<Vec<T>> {
+    let parts = parts.max(1);
+    let mut chunks: Vec<Vec<T>> = vec![Vec::new(); parts];
+    for (i, item) in items.iter().enumerate() {
+        chunks[i % parts].push(item.clone());
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ExactSum is insertion-order-invariant: any permutation of the same
+    /// values rounds to the same f64, bit for bit.
+    #[test]
+    fn exact_sum_is_order_invariant(
+        raws in prop::collection::vec(any::<u64>(), 1..50),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let values: Vec<f64> = raws.iter().map(|&r| decode_value(r)).collect();
+        let mut forward = ExactSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        let mut permuted = ExactSum::new();
+        for v in shuffled(&values, shuffle_seed) {
+            permuted.add(v);
+        }
+        prop_assert_eq!(forward.value().to_bits(), permuted.value().to_bits());
+        prop_assert_eq!(&forward, &permuted);
+    }
+
+    /// ExactSum is partition-invariant: splitting the stream across any
+    /// number of shards and merging the shard sums in a shuffled order
+    /// reproduces the sequential sum bit for bit.
+    #[test]
+    fn exact_sum_is_partition_invariant(
+        raws in prop::collection::vec(any::<u64>(), 1..50),
+        parts in 1usize..8,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let values: Vec<f64> = raws.iter().map(|&r| decode_value(r)).collect();
+        let mut sequential = ExactSum::new();
+        for &v in &values {
+            sequential.add(v);
+        }
+        let shards: Vec<ExactSum> = round_robin(&values, parts)
+            .iter()
+            .map(|chunk| {
+                let mut s = ExactSum::new();
+                for &v in chunk {
+                    s.add(v);
+                }
+                s
+            })
+            .collect();
+        let mut merged = ExactSum::new();
+        for shard in shuffled(&shards, shuffle_seed) {
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(sequential.value().to_bits(), merged.value().to_bits());
+        prop_assert_eq!(&sequential, &merged);
+    }
+
+    /// Counter merge is partition- and order-invariant.
+    #[test]
+    fn counter_merge_is_partition_invariant(
+        increments in prop::collection::vec(any::<u32>(), 1..50),
+        parts in 1usize..8,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let mut sequential = Counter::new("prop");
+        for &n in &increments {
+            sequential.add(n as u64);
+        }
+        let shards: Vec<Counter> = round_robin(&increments, parts)
+            .iter()
+            .map(|chunk| {
+                let mut c = Counter::new("prop");
+                for &n in chunk {
+                    c.add(n as u64);
+                }
+                c
+            })
+            .collect();
+        let mut merged = Counter::new("prop");
+        for shard in shuffled(&shards, shuffle_seed) {
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(sequential.value, merged.value);
+    }
+
+    /// Histogram merge reproduces the sequential histogram bit for bit on
+    /// its exported JSON (count, mean, min, max, every bin, percentiles),
+    /// for any round-robin partition merged in any order.
+    #[test]
+    fn histogram_merge_is_partition_invariant(
+        raws in prop::collection::vec(any::<u64>(), 1..50),
+        parts in 1usize..8,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let values: Vec<f64> = raws.iter().map(|&r| decode_value(r)).collect();
+        let mut sequential = Histogram::new("prop", -10.0, 10.0, 16);
+        for &v in &values {
+            sequential.record(v);
+        }
+        let shards: Vec<Histogram> = round_robin(&values, parts)
+            .iter()
+            .map(|chunk| {
+                let mut h = Histogram::new("prop", -10.0, 10.0, 16);
+                for &v in chunk {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut merged = Histogram::new("prop", -10.0, 10.0, 16);
+        for shard in shuffled(&shards, shuffle_seed) {
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(
+            histogram_json(&sequential).to_string_compact(),
+            histogram_json(&merged).to_string_compact()
+        );
+    }
+
+    /// The full ShardSink: a random slot/train event stream partitioned
+    /// round-robin across shards and merged in a shuffled order exports
+    /// exactly the same JSON as one sink that saw every event in order.
+    #[test]
+    fn shard_sink_merge_matches_sequential_json(
+        raws in prop::collection::vec(any::<u64>(), 1..80),
+        parts in 1usize..8,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let events: Vec<(SlotEvent, Option<TrainEvent>)> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let outcome = match r % 4 {
+                    0 => SlotOutcome::Delivered,
+                    1 => SlotOutcome::SurvivedJam,
+                    2 => SlotOutcome::Jammed,
+                    _ => SlotOutcome::Hopped,
+                };
+                let slot = SlotEvent {
+                    slot: i as u64,
+                    channel: (r % 16) as u16,
+                    power_level: (r % 10) as u16,
+                    hopped: r % 4 == 3,
+                    power_control: r % 5 == 0,
+                    outcome,
+                    jammer_on_channel: r % 3 == 0,
+                    reward: decode_value(r).clamp(-1e9, 1e9),
+                };
+                let train = (r % 2 == 0).then(|| TrainEvent {
+                    step: i as u64,
+                    loss: (r % 3 == 0).then(|| (r % 500) as f64 / 100.0),
+                    epsilon: 0.1,
+                    replay_len: (r % 100) as usize,
+                    replay_capacity: 100,
+                });
+                (slot, train)
+            })
+            .collect();
+
+        let mut sequential = ShardSink::new();
+        for (slot, train) in &events {
+            sequential.record_slot(slot);
+            if let Some(t) = train {
+                sequential.record_train(t);
+            }
+        }
+
+        let shards: Vec<ShardSink> = round_robin(&events, parts)
+            .iter()
+            .map(|chunk| {
+                let mut sink = ShardSink::new();
+                for (slot, train) in chunk {
+                    sink.record_slot(slot);
+                    if let Some(t) = train {
+                        sink.record_train(t);
+                    }
+                }
+                sink
+            })
+            .collect();
+        let mut merged = ShardSink::new();
+        for shard in shuffled(&shards, shuffle_seed) {
+            merged.merge(&shard);
+        }
+
+        prop_assert_eq!(
+            sequential.to_json().to_string_compact(),
+            merged.to_json().to_string_compact()
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`nn`] | `ctjam-nn` | matrices, batched minibatch kernels, backprop, Adam, serialization |
 //! | [`dqn`] | `ctjam-dqn` | replay, target network, ε-greedy agent, batched training |
 //! | [`core`] | `ctjam-core` | jammer, environments, defenders, metrics, `RunBuilder`, field sim |
+//! | [`fleet`] | `ctjam-fleet` | sharded campaign engine: `EnvParams` × seed × policy grids, bit-exact at any thread count |
 //! | [`serve`] | `ctjam-serve` | micro-batching TCP policy-inference server, hot-reloadable checkpoints |
 //!
 //! # Quickstart
@@ -72,6 +73,7 @@
 pub use ctjam_channel as channel;
 pub use ctjam_core as core;
 pub use ctjam_dqn as dqn;
+pub use ctjam_fleet as fleet;
 pub use ctjam_mdp as mdp;
 pub use ctjam_net as net;
 pub use ctjam_nn as nn;

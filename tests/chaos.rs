@@ -221,6 +221,216 @@ fn killed_and_resumed_dqn_run_reproduces_uninterrupted_metrics() {
     );
 }
 
+/// Contract 1 at fleet scale: a faulted campaign spread across an
+/// oversubscribed shard pool may degrade episodes, never kill the pool.
+/// Covers a frozen-policy campaign under the light drizzle, the
+/// every-slot deadline-overrun mix, and a (small) training campaign
+/// under the drizzle — the three fault regimes with distinct recovery
+/// paths.
+#[test]
+fn faulted_fleet_campaigns_never_panic_across_the_pool() {
+    use ctjam_core::runner::SweepBudget;
+    use ctjam_fault::FaultSite;
+    use ctjam_fleet::{CampaignFaults, CampaignPolicy, CampaignSpec, Fleet};
+
+    let points: Vec<EnvParams> = [50.0, 200.0]
+        .iter()
+        .map(|&l_j| EnvParams {
+            l_j,
+            ..EnvParams::default()
+        })
+        .collect();
+    let mixes = [
+        ("uniform_0.2", FaultRates::uniform(0.2)),
+        (
+            "only_deadline_overrun_1.0",
+            FaultRates::zero().with(FaultSite::DeadlineOverrun, 1.0),
+        ),
+    ];
+
+    for (label, rates) in mixes {
+        let spec = CampaignSpec {
+            name: format!("chaos_fleet_{label}"),
+            points: points.clone(),
+            seeds: vec![1, 2, 3],
+            policy: CampaignPolicy::RandomFh,
+            slots: 200,
+            kernel: false,
+            base_seed: 0xC4A0_5000,
+            faults: Some(CampaignFaults {
+                seed: 0xFA17,
+                rates,
+            }),
+        };
+        let result = Fleet::new().threads(4).run(&spec);
+        assert_eq!(result.outcomes.len(), spec.episodes());
+        assert_eq!(
+            result.metrics.slots(),
+            (spec.episodes() * spec.slots) as u64,
+            "campaign under {label} lost slots"
+        );
+        assert!(
+            result.health.faults_fired > 0,
+            "{label} must fire somewhere across the campaign"
+        );
+        for o in &result.outcomes {
+            assert!(
+                o.total_reward.is_finite(),
+                "non-finite reward in episode {} under {label}",
+                o.episode
+            );
+        }
+    }
+
+    // Training campaign: every episode trains its own DQN under the
+    // drizzle, then evaluates — recovery must keep every episode alive.
+    let spec = CampaignSpec {
+        name: "chaos_fleet_train".into(),
+        points: vec![points[0].clone()],
+        seeds: vec![1, 2],
+        policy: CampaignPolicy::TrainDqn(SweepBudget {
+            train_slots: 200,
+            eval_slots: 150,
+        }),
+        slots: 150,
+        kernel: false,
+        base_seed: 0xC4A0_5001,
+        faults: Some(CampaignFaults {
+            seed: 0xFA18,
+            rates: FaultRates::uniform(0.2),
+        }),
+    };
+    let result = Fleet::new().threads(4).run(&spec);
+    assert_eq!(result.outcomes.len(), 2);
+    assert_eq!(result.metrics.slots(), 2 * 150);
+    assert!(result.health.faults_fired > 0);
+}
+
+/// Contract 2 at fleet scale, twice over: a campaign carrying a
+/// zero-rate fault plan is bit-exact with the same campaign carrying no
+/// plan at all, and the 8-worker fleet path is bit-exact with a plain
+/// sequential loop over `RunBuilder` — the fleet machinery (shard pool,
+/// per-shard sinks, telemetry merge) adds exactly nothing to the
+/// numbers.
+#[test]
+fn zero_rate_fleet_campaign_is_bit_exact_with_the_non_fleet_path() {
+    use ctjam_fleet::{CampaignFaults, CampaignPolicy, CampaignSpec, Fleet};
+    use ctjam_telemetry::ShardSink;
+
+    let points: Vec<EnvParams> = [50.0, 200.0]
+        .iter()
+        .map(|&l_j| EnvParams {
+            l_j,
+            ..EnvParams::default()
+        })
+        .collect();
+    let spec = CampaignSpec {
+        name: "chaos_zero_rate".into(),
+        points,
+        seeds: vec![7, 8, 9],
+        policy: CampaignPolicy::RandomFh,
+        slots: 250,
+        kernel: false,
+        base_seed: 0x2E80_4A7E,
+        faults: Some(CampaignFaults {
+            seed: 0xFA19,
+            rates: FaultRates::zero(),
+        }),
+    };
+    let mut plain_spec = spec.clone();
+    plain_spec.faults = None;
+
+    let faulted = Fleet::new().threads(8).run(&spec);
+    let plain = Fleet::new().threads(8).run(&plain_spec);
+    assert_eq!(
+        faulted.outcomes, plain.outcomes,
+        "a zero-rate campaign fault plan changed episode outcomes"
+    );
+    assert_eq!(
+        faulted.telemetry.to_json().to_string_compact(),
+        plain.telemetry.to_json().to_string_compact(),
+        "a zero-rate campaign fault plan changed merged telemetry"
+    );
+    assert!(faulted.health.is_clean());
+
+    // The hand-rolled non-fleet reference: one sequential loop over the
+    // grid, same per-episode seed derivation, one shared sink.
+    let mut reference_sink = ShardSink::new();
+    for e in 0..plain_spec.episodes() {
+        let point = plain_spec.episode_point(e);
+        let mut r = rng(plain_spec.episode_seed(e));
+        let mut defender = RandomFh::new(point, &mut r);
+        let report = RunBuilder::new(point)
+            .kernel(plain_spec.kernel)
+            .sink(&mut reference_sink)
+            .evaluate(&mut defender, plain_spec.slots, &mut r);
+        let outcome = &plain.outcomes[e];
+        assert_eq!(
+            outcome.metrics, report.metrics,
+            "fleet episode {e} diverged from the sequential reference"
+        );
+        assert_eq!(outcome.total_reward, report.total_reward);
+        assert_eq!(outcome.health, report.health);
+    }
+    assert_eq!(
+        plain.telemetry.to_json().to_string_compact(),
+        reference_sink.to_json().to_string_compact(),
+        "fleet-merged telemetry diverged from the sequential single-sink reference"
+    );
+}
+
+/// The fleet's kill/resume contract end to end through disk: a campaign
+/// killed mid-run, checkpointed from its shard progress, reloaded, and
+/// resumed on a *different* worker count reproduces the uninterrupted
+/// campaign bit-exactly — outcomes, merged metrics, and telemetry JSON.
+#[test]
+fn killed_fleet_campaign_resumes_bit_exactly_from_checkpointed_progress() {
+    use ctjam_fleet::{CampaignFaults, CampaignPolicy, CampaignProgress, CampaignSpec, Fleet};
+
+    let points: Vec<EnvParams> = [50.0, 100.0]
+        .iter()
+        .map(|&l_j| EnvParams {
+            l_j,
+            ..EnvParams::default()
+        })
+        .collect();
+    let spec = CampaignSpec {
+        name: "chaos_kill_resume".into(),
+        points,
+        seeds: vec![4, 5, 6],
+        policy: CampaignPolicy::RandomFh,
+        slots: 200,
+        kernel: false,
+        base_seed: 0x0DD0_5EED,
+        faults: Some(CampaignFaults {
+            seed: 0xFA20,
+            rates: FaultRates::uniform(0.1),
+        }),
+    };
+
+    let full = Fleet::new().threads(2).run(&spec);
+
+    // Kill after 4 of 6 episodes, checkpoint through disk, resume wider.
+    let progress = Fleet::new().threads(2).run_partial(&spec, 4);
+    let path = std::env::temp_dir().join("ctjam_chaos_fleet_resume.ckpt");
+    progress.save(&path).expect("progress save");
+    let reloaded = CampaignProgress::load(&path).expect("progress load");
+    std::fs::remove_file(&path).ok();
+    let resumed = Fleet::new().threads(8).resume(&spec, &reloaded);
+
+    assert_eq!(
+        resumed.outcomes, full.outcomes,
+        "resumed campaign outcomes diverged from the uninterrupted run"
+    );
+    assert_eq!(resumed.metrics, full.metrics);
+    assert_eq!(resumed.health, full.health);
+    assert_eq!(
+        resumed.telemetry.to_json().to_string_compact(),
+        full.telemetry.to_json().to_string_compact(),
+        "resumed merged telemetry diverged from the uninterrupted run"
+    );
+}
+
 /// Extended sweep: a much wider seed × mix grid at a configurable depth.
 /// Opt in with `cargo test --test chaos -- --ignored`; scale with
 /// `CTJAM_CHAOS_SLOTS` (default 2000 slots per run).

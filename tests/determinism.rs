@@ -204,6 +204,86 @@ fn batched_training_reproduces_pre_batching_golden_metrics() {
     assert_eq!(report.total_reward, -172_468.0);
 }
 
+/// The fleet campaign engine's headline contract: a [`CampaignSpec`] is a
+/// pure function of its contents, independent of how many worker threads
+/// execute it or which shard steals which episode. Every episode derives
+/// its RNG stream from `(base_seed, point index, replicate seed)` via
+/// chained SplitMix64, results are keyed by episode index, and telemetry
+/// reduction uses the mergeable `ShardSink` — so 1, 2, and 8 workers must
+/// produce identical per-episode goodput vectors, identical outcome
+/// records, and byte-identical merged-telemetry JSON, for every base
+/// seed. On this container the 2- and 8-worker runs are oversubscribed
+/// (1 hardware thread), which is exactly the hostile-scheduling regime
+/// the contract must survive.
+#[test]
+fn fleet_campaign_is_thread_count_invariant() {
+    use ctjam_core::defender::DqnDefender;
+    use ctjam_dqn::policy::GreedyPolicy;
+    use ctjam_fleet::{CampaignPolicy, CampaignSpec, Fleet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let points: Vec<EnvParams> = [50.0, 200.0]
+        .iter()
+        .map(|&l_j| EnvParams {
+            l_j,
+            ..EnvParams::default()
+        })
+        .collect();
+
+    for base_seed in [0xF1EE_7001_u64, 0xF1EE_7002, 0xF1EE_7003] {
+        let mut rng = StdRng::seed_from_u64(base_seed);
+        let defender = DqnDefender::small_for_tests(&points[0], &mut rng);
+        let policy = Arc::new(GreedyPolicy::from_agent(defender.agent()));
+        let spec = CampaignSpec {
+            name: format!("determinism_{base_seed:#x}"),
+            points: points.clone(),
+            seeds: vec![1, 2, 3],
+            policy: CampaignPolicy::SharedGreedy(policy),
+            slots: 300,
+            kernel: false,
+            base_seed,
+            faults: None,
+        };
+
+        let reference = Fleet::new().threads(1).run(&spec);
+        let ref_goodput: Vec<u64> = reference
+            .goodput_vector()
+            .iter()
+            .map(|g| g.to_bits())
+            .collect();
+        let ref_telemetry = reference.telemetry.to_json().to_string_compact();
+        assert_eq!(reference.outcomes.len(), spec.episodes());
+
+        for threads in [2usize, 8] {
+            let run = Fleet::new().threads(threads).run(&spec);
+            let goodput: Vec<u64> = run.goodput_vector().iter().map(|g| g.to_bits()).collect();
+            assert_eq!(
+                ref_goodput, goodput,
+                "per-episode goodput changed between 1 and {threads} workers \
+                 (base_seed {base_seed:#x})"
+            );
+            assert_eq!(
+                reference.outcomes, run.outcomes,
+                "episode outcomes changed between 1 and {threads} workers \
+                 (base_seed {base_seed:#x})"
+            );
+            assert_eq!(
+                reference.metrics, run.metrics,
+                "merged campaign metrics changed between 1 and {threads} workers \
+                 (base_seed {base_seed:#x})"
+            );
+            assert_eq!(
+                ref_telemetry,
+                run.telemetry.to_json().to_string_compact(),
+                "merged telemetry JSON changed between 1 and {threads} workers \
+                 (base_seed {base_seed:#x})"
+            );
+        }
+    }
+}
+
 /// Save → load → resume must be invisible to the determinism contract:
 /// a training run interrupted by a checkpoint round-trip walks the exact
 /// same trajectory as one that never stopped. The checkpoint captures
