@@ -8,8 +8,8 @@ echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy --workspace -- -D warnings -D deprecated =="
-# -D deprecated keeps workspace code off the 0.2.0 runner shims (the
-# shims themselves carry #[allow(deprecated)] on their own bodies).
+# -D deprecated keeps workspace code off the 0.3.0 EnvParams jammer
+# shims (`with_jammer` / `jammer()`), scheduled for removal in 0.4.0.
 cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 echo "== cargo test -q (tier-1 gate) =="
@@ -69,6 +69,38 @@ CTJAM_BENCH_QUICK=1 CTJAM_SERVE_BIN=target/release/policy_server \
 # "Fleet campaign engine" numbers come from.
 echo "== fleet_bench quick run (fleet smoke) =="
 CTJAM_BENCH_QUICK=1 cargo run --release -q -p ctjam-bench --bin fleet_bench
+
+# League smoke: run the self-play league + adversary cross-table in
+# quick mode. The binary asserts the cross-table's goodput vector is
+# bit-exact across 1/2/8 fleet workers before recording any row; this
+# stage additionally checks the emitted manifest is well-formed
+# (schema, >=5 adversaries x >=3 defenders, rectangular rows, the
+# worker pin recorded). The full-size run (plain `cargo run --release
+# -p ctjam-bench --bin league`) is what EXPERIMENTS.md's league
+# cross-table numbers come from.
+echo "== league quick run (league smoke) =="
+CTJAM_BENCH_QUICK=1 cargo run --release -q -p ctjam-bench --bin league
+python3 - results/league_crosstable.json <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as fh:
+    m = json.load(fh)
+for key in ("schema", "name", "seed", "git", "config_hash",
+            "created_unix_s", "defenders", "adversaries", "rows",
+            "workers_checked", "bit_exact_workers", "self_play"):
+    assert key in m, f"{path}: missing key {key!r}"
+assert m["schema"] == "ctjam-league/v1", f"{path}: unexpected schema {m['schema']!r}"
+assert len(m["adversaries"]) >= 5, f"{path}: cross-table needs >=5 adversaries"
+assert len(m["defenders"]) >= 3, f"{path}: cross-table needs >=3 defenders"
+assert len(m["rows"]) == len(m["defenders"]), f"{path}: one row per defender"
+for row in m["rows"]:
+    assert row["defender"] in m["defenders"], f"{path}: unknown defender {row['defender']!r}"
+    assert len(row["goodput"]) == len(m["adversaries"]), f"{path}: ragged row"
+    assert all(0.0 <= g <= 1.0 for g in row["goodput"]), f"{path}: goodput out of [0,1]"
+assert m["workers_checked"] == [1, 2, 8], f"{path}: worker pin not 1/2/8"
+assert m["bit_exact_workers"] is True, f"{path}: worker bit-exactness not recorded"
+print(f"  {path}: ok ({len(m['defenders'])} defenders x {len(m['adversaries'])} adversaries)")
+PYEOF
 
 for f in BENCH_slotloop.json BENCH_dqn.json BENCH_serve.json BENCH_fleet.json; do
   test -s "$f" || { echo "FAIL: $f missing or empty"; exit 1; }

@@ -67,7 +67,7 @@ fn main() {
     ]);
     for mode in [JammerMode::MaxPower, JammerMode::RandomPower] {
         let mut params = EnvParams::default();
-        params.jammer.mode = mode;
+        params.adversary.mode = mode;
 
         let hybrid_config = DqnConfig {
             num_channels: params.num_channels(),
@@ -102,7 +102,7 @@ fn main() {
     println!("\n### 2. Observation history length I (3 x I inputs)\n");
     table_header(&["I", "input neurons", "ST (random-power jammer)"]);
     let mut params = EnvParams::default();
-    params.jammer.mode = JammerMode::RandomPower;
+    params.adversary.mode = JammerMode::RandomPower;
     for history in [1usize, 2, 4, 8, 16] {
         let config = DqnConfig {
             history_len: history,

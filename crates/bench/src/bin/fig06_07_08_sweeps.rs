@@ -27,7 +27,7 @@ fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBud
             .iter()
             .cloned()
             .map(|mut p| {
-                p.jammer.mode = mode;
+                p.adversary.mode = mode;
                 p
             })
             .collect();
@@ -135,7 +135,7 @@ fn main() {
             .iter()
             .map(|&cycle| {
                 let mut p = EnvParams::default();
-                p.jammer = p.jammer.with_sweep_cycle(cycle);
+                p.adversary = p.adversary.with_sweep_cycle(cycle);
                 p
             })
             .collect(),

@@ -21,8 +21,11 @@
 //! adversary, while randomized hopping bounds the jammer at chance level
 //! — see the `adaptive_jammer` bench.
 
+use crate::adversary::{
+    pick_power, Adversary, AdversaryConfig, AdversaryProbe, ChannelBlock, JamAction, SlotSense,
+};
 use crate::env::{Decision, EnvParams, Environment, Outcome, SlotResult};
-use crate::jammer::{JamAction, JammerMode};
+use crate::jammer::JammerMode;
 use ctjam_nn::optimizer::Adam;
 use ctjam_nn::rnn::Rnn;
 use rand::Rng;
@@ -164,24 +167,42 @@ pub struct AdaptiveJammer {
     history_cap: usize,
     hits: u64,
     shots: u64,
+    /// Whether the jammer reads the hub's plaintext FH/PC announcements
+    /// (no prediction needed).
+    eavesdropping: bool,
 }
 
 impl AdaptiveJammer {
     /// Creates an adaptive jammer over the same channel plan as the
-    /// sweep jammer in `params`.
+    /// adversary front end in `params`.
     pub fn new<R: Rng + ?Sized>(params: &EnvParams, kind: PredictorKind, rng: &mut R) -> Self {
-        let blocks = params.jammer.sweep_cycle();
+        Self::from_config(&params.adversary, kind, rng)
+    }
+
+    /// Creates an adaptive jammer on `config`'s front end.
+    pub fn from_config<R: Rng + ?Sized>(
+        config: &AdversaryConfig,
+        kind: PredictorKind,
+        rng: &mut R,
+    ) -> Self {
+        let blocks = config.sweep_cycle();
         AdaptiveJammer {
             blocks,
-            jam_width: params.jammer.jam_width,
-            powers: params.jammer.powers.clone(),
-            mode: params.jammer.mode,
+            jam_width: config.jam_width,
+            powers: config.powers.clone(),
+            mode: config.mode,
             predictor: Predictor::new(kind, blocks, rng),
             history: VecDeque::with_capacity(64),
             history_cap: 32,
             hits: 0,
             shots: 0,
+            eavesdropping: false,
         }
+    }
+
+    /// Grants (or revokes) plaintext-announcement eavesdropping.
+    pub fn set_eavesdropping(&mut self, on: bool) {
+        self.eavesdropping = on;
     }
 
     /// Fraction of slots where the predicted block contained the victim.
@@ -209,7 +230,7 @@ impl AdaptiveJammer {
             JammerMode::RandomPower => self.powers[rng.gen_range(0..self.powers.len())],
         };
         JamAction {
-            block_start: block * self.jam_width,
+            block: ChannelBlock::of_block_index(block, self.jam_width),
             power,
             locked: true,
         }
@@ -218,15 +239,66 @@ impl AdaptiveJammer {
     /// Senses the victim's actual block this slot (wideband energy
     /// detection) and updates the predictor.
     pub fn sense(&mut self, victim_channel: usize, aimed: &JamAction) {
-        let block = victim_channel / self.jam_width;
+        self.sense_with_decoy(victim_channel, None, aimed);
+    }
+
+    /// [`AdaptiveJammer::sense`] in the presence of a decoy: the hit
+    /// counter still scores against the real victim, but the predictor
+    /// learns from what the wideband detector heard loudest — the
+    /// decoy — so bait pollutes the learned traffic pattern.
+    fn sense_with_decoy(&mut self, victim_channel: usize, decoy: Option<usize>, aimed: &JamAction) {
+        let victim_block = victim_channel / self.jam_width;
+        let sensed_block = decoy.unwrap_or(victim_channel) / self.jam_width;
         self.shots += 1;
-        if aimed.block_start / self.jam_width == block {
+        if aimed.block.index() == victim_block {
             self.hits += 1;
         }
-        self.predictor.observe(&self.history, block, self.blocks);
-        self.history.push_back(block);
+        self.predictor
+            .observe(&self.history, sensed_block, self.blocks);
+        self.history.push_back(sensed_block);
         if self.history.len() > self.history_cap {
             self.history.pop_front();
+        }
+    }
+}
+
+impl Adversary for AdaptiveJammer {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    fn jam(&mut self, sense: &SlotSense, rng: &mut dyn rand::RngCore) -> JamAction {
+        if self.eavesdropping {
+            // The hub's plaintext announcement told the jammer exactly
+            // where the victim will be; decoys cannot fool a
+            // frame-decoding adversary.
+            let block = sense.victim_channel / self.jam_width;
+            let action = JamAction {
+                block: ChannelBlock::of_block_index(block, self.jam_width),
+                power: pick_power(&self.powers, self.mode, rng),
+                locked: true,
+            };
+            // Keep the bookkeeping consistent (hit counters).
+            self.shots += 1;
+            self.hits += 1;
+            action
+        } else {
+            let aimed = self.aim(rng);
+            self.sense_with_decoy(sense.victim_channel, sense.decoy, &aimed);
+            aimed
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+
+    fn probe(&self) -> AdversaryProbe {
+        AdversaryProbe {
+            shots: self.shots,
+            hits: self.hits,
+            idle_slots: 0,
+            energy: None,
         }
     }
 }
@@ -237,8 +309,6 @@ pub struct AdaptiveEnv {
     params: EnvParams,
     jammer: AdaptiveJammer,
     current_channel: usize,
-    /// Whether the jammer can read the hub's FH/PC announcements.
-    eavesdropping: bool,
 }
 
 impl AdaptiveEnv {
@@ -250,7 +320,6 @@ impl AdaptiveEnv {
             params,
             jammer,
             current_channel,
-            eavesdropping: false,
         }
     }
 
@@ -270,13 +339,82 @@ impl AdaptiveEnv {
         rng: &mut R,
     ) -> Self {
         let mut env = AdaptiveEnv::new(params, kind, rng);
-        env.eavesdropping = !announcements_encrypted;
+        env.jammer.set_eavesdropping(!announcements_encrypted);
         env
     }
 
     /// The jammer (e.g. to read its hit rate after a run).
     pub fn jammer(&self) -> &AdaptiveJammer {
         &self.jammer
+    }
+
+    /// Advances one slot with the defender's decision plus an optional
+    /// decoy transmission (the decoy pollutes the predictor's sensed
+    /// history and costs `l_decoy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision or decoy indexes out of range.
+    pub fn step_with_decoy(
+        &mut self,
+        decision: Decision,
+        decoy: Option<usize>,
+        rng: &mut dyn rand::RngCore,
+    ) -> SlotResult {
+        assert!(
+            decision.channel < self.params.num_channels(),
+            "channel {} out of range",
+            decision.channel
+        );
+        assert!(
+            decision.power_level < self.params.num_powers(),
+            "power level {} out of range",
+            decision.power_level
+        );
+        if let Some(decoy) = decoy {
+            assert!(
+                decoy < self.params.num_channels(),
+                "decoy channel {decoy} out of range"
+            );
+        }
+        let hopped = decision.channel != self.current_channel;
+        self.current_channel = decision.channel;
+        let tx_power = self.params.tx_powers[decision.power_level];
+
+        let sense = SlotSense {
+            victim_channel: decision.channel,
+            victim_power: tx_power,
+            decoy,
+        };
+        let action = Adversary::jam(&mut self.jammer, &sense, rng);
+        let outcome = if action.covers(decision.channel) {
+            if tx_power >= action.power {
+                Outcome::JammedSurvived
+            } else {
+                Outcome::Jammed
+            }
+        } else {
+            Outcome::Clean
+        };
+
+        let mut reward = -tx_power;
+        if outcome == Outcome::Jammed {
+            reward -= self.params.l_j;
+        }
+        if hopped {
+            reward -= self.params.l_h;
+        }
+        if decoy.is_some() {
+            reward -= self.params.l_decoy;
+        }
+        SlotResult {
+            decision,
+            outcome,
+            hopped,
+            power_control: decision.power_level > self.params.min_power_level(),
+            reward,
+            jam_action: action,
+        }
     }
 }
 
@@ -290,76 +428,16 @@ impl Environment for AdaptiveEnv {
     }
 
     fn step(&mut self, decision: Decision, rng: &mut dyn rand::RngCore) -> SlotResult {
-        assert!(
-            decision.channel < self.params.num_channels(),
-            "channel {} out of range",
-            decision.channel
-        );
-        assert!(
-            decision.power_level < self.params.num_powers(),
-            "power level {} out of range",
-            decision.power_level
-        );
-        let hopped = decision.channel != self.current_channel;
-        self.current_channel = decision.channel;
-        let tx_power = self.params.tx_powers[decision.power_level];
+        AdaptiveEnv::step_with_decoy(self, decision, None, rng)
+    }
 
-        let action = if self.eavesdropping {
-            // The hub's plaintext announcement told the jammer exactly
-            // where the victim will be.
-            let block = decision.channel / self.jammer.jam_width;
-            let aimed = JamAction {
-                block_start: block * self.jammer.jam_width,
-                power: match self.jammer.mode {
-                    JammerMode::MaxPower => self
-                        .jammer
-                        .powers
-                        .iter()
-                        .cloned()
-                        .fold(f64::NEG_INFINITY, f64::max),
-                    JammerMode::RandomPower => {
-                        self.jammer.powers[rng.gen_range(0..self.jammer.powers.len())]
-                    }
-                },
-                locked: true,
-            };
-            // Keep the bookkeeping consistent (hit counters, history).
-            self.jammer.shots += 1;
-            self.jammer.hits += 1;
-            aimed
-        } else {
-            self.jammer.aim(rng)
-        };
-        let covered = (action.block_start..action.block_start + self.jammer.jam_width)
-            .contains(&decision.channel);
-        let outcome = if covered {
-            if tx_power >= action.power {
-                Outcome::JammedSurvived
-            } else {
-                Outcome::Jammed
-            }
-        } else {
-            Outcome::Clean
-        };
-        if !self.eavesdropping {
-            self.jammer.sense(decision.channel, &action);
-        }
-
-        let mut reward = -tx_power;
-        if outcome == Outcome::Jammed {
-            reward -= self.params.l_j;
-        }
-        if hopped {
-            reward -= self.params.l_h;
-        }
-        SlotResult {
-            decision,
-            outcome,
-            hopped,
-            power_control: decision.power_level > self.params.min_power_level(),
-            reward,
-            jam_action: action,
-        }
+    fn step_with_decoy(
+        &mut self,
+        decision: Decision,
+        decoy: Option<usize>,
+        rng: &mut dyn rand::RngCore,
+    ) -> SlotResult {
+        AdaptiveEnv::step_with_decoy(self, decision, decoy, rng)
     }
 }
 

@@ -1,0 +1,1125 @@
+//! First-class adversaries: the trait every jammer implements plus the
+//! configuration type that makes "which attacker" a data value.
+//!
+//! The paper evaluates its defense against a single sweep jammer
+//! (§II.C); related work adds reactive/dynamic jammers that sense before
+//! jamming, deception defenses that bait them, and energy-budgeted
+//! attackers. This module turns the attacker into a plug-in:
+//!
+//! * [`Adversary`] — one `jam(sense, rng)` call per slot, cloneable for
+//!   sharded campaigns, introspectable via [`AdversaryProbe`].
+//! * [`AdversaryConfig`] / [`AdversaryKind`] — a plain-data description
+//!   (builders: [`AdversaryConfig::sweep`], [`AdversaryConfig::reactive`],
+//!   …) that environments and fleet campaign specs carry and
+//!   [`AdversaryConfig::build`] turns into a boxed adversary.
+//! * The zoo: [`NullAdversary`], [`SweepAdversary`] (the paper's jammer),
+//!   [`ReactiveJammer`], [`PursuitJammer`], [`EnergyBudgetJammer`], and
+//!   the learning [`DqnJammer`].
+//!
+//! # Determinism contract
+//!
+//! An adversary owns no RNG: every random draw comes from the `rng`
+//! handed to `jam` (and to [`AdversaryConfig::build`] at construction),
+//! so a `(config, seed)` pair fully determines its behaviour. Cloning an
+//! adversary ([`Adversary::clone_box`]) snapshots its state; replaying
+//! the clone against a cloned RNG reproduces the original bit for bit —
+//! this is what lets the fleet engine shard episodes freely.
+
+use crate::adaptive::AdaptiveJammer;
+use crate::adaptive::PredictorKind;
+use crate::jammer::{JammerConfig, JammerMode, SweepJammer};
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::config::DqnConfig;
+use ctjam_dqn::encode::{ObservationEncoder, SlotOutcome, SlotRecord};
+use rand::{Rng, RngCore};
+use std::collections::VecDeque;
+
+/// A typed block of consecutive channels (start + width), replacing the
+/// old raw `block_start: usize` so adversaries with different front-end
+/// widths cannot silently alias blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelBlock {
+    /// First channel of the block.
+    pub start: usize,
+    /// Number of consecutive channels covered (`0` = no emission).
+    pub width: usize,
+}
+
+impl ChannelBlock {
+    /// The empty block: covers nothing (an idle jammer).
+    pub const EMPTY: ChannelBlock = ChannelBlock { start: 0, width: 0 };
+
+    /// The `index`-th block of a grid of `width`-channel blocks.
+    pub fn of_block_index(index: usize, width: usize) -> Self {
+        ChannelBlock {
+            start: index * width,
+            width,
+        }
+    }
+
+    /// Whether `channel` falls inside this block.
+    pub fn contains(&self, channel: usize) -> bool {
+        self.width > 0 && (self.start..self.start + self.width).contains(&channel)
+    }
+
+    /// Whether the block covers no channels at all.
+    pub fn is_empty(&self) -> bool {
+        self.width == 0
+    }
+
+    /// The block index on its own width grid (0 for the empty block).
+    pub fn index(&self) -> usize {
+        self.start.checked_div(self.width).unwrap_or(0)
+    }
+}
+
+/// What an adversary did this slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JamAction {
+    /// The attacked channel block ([`ChannelBlock::EMPTY`] when idle).
+    pub block: ChannelBlock,
+    /// Jamming power (an `L^J` value; `0.0` when idle).
+    pub power: f64,
+    /// Whether the adversary believes it is locked onto the victim.
+    pub locked: bool,
+}
+
+impl JamAction {
+    /// An idle slot: no emission, no power spent.
+    pub fn idle() -> Self {
+        JamAction {
+            block: ChannelBlock::EMPTY,
+            power: 0.0,
+            locked: false,
+        }
+    }
+
+    /// Whether this slot emitted nothing.
+    pub fn is_idle(&self) -> bool {
+        self.block.is_empty()
+    }
+
+    /// Whether the attack covers the given channel.
+    pub fn covers(&self, channel: usize) -> bool {
+        self.block.contains(channel)
+    }
+}
+
+/// What an adversary can sense about one slot before acting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotSense {
+    /// The channel the victim transmits on this slot.
+    pub victim_channel: usize,
+    /// The victim's transmit power (sensing-threshold input).
+    pub victim_power: f64,
+    /// A decoy/bait transmission the defender emits this slot, if any.
+    /// Decoys are loud by construction: a sensing adversary hears the
+    /// decoy instead of the real transmission.
+    pub decoy: Option<usize>,
+}
+
+impl SlotSense {
+    /// The channel a sensing adversary perceives as "the victim": the
+    /// decoy when one is present, the real transmission otherwise.
+    pub fn sensed_channel(&self) -> usize {
+        self.decoy.unwrap_or(self.victim_channel)
+    }
+}
+
+/// Introspection counters an adversary may expose (all optional).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdversaryProbe {
+    /// Jamming emissions so far.
+    pub shots: u64,
+    /// Emissions that covered the victim's real channel.
+    pub hits: u64,
+    /// Slots spent idle (sensing, charging, or out of budget).
+    pub idle_slots: u64,
+    /// Remaining energy, for budgeted adversaries.
+    pub energy: Option<f64>,
+}
+
+impl AdversaryProbe {
+    /// Fraction of emissions that covered the victim (0 when untested).
+    pub fn hit_rate(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.shots as f64
+        }
+    }
+}
+
+/// One attacker. Implementations are deterministic given the RNG stream:
+/// see the module docs for the full contract.
+pub trait Adversary: std::fmt::Debug + Send {
+    /// Short stable identifier ("sweep", "reactive", …) for tables/logs.
+    fn name(&self) -> &str;
+
+    /// Observes one slot and answers with this slot's attack. This is
+    /// the only place an adversary draws randomness or mutates state.
+    fn jam(&mut self, sense: &SlotSense, rng: &mut dyn RngCore) -> JamAction;
+
+    /// Snapshots the adversary for another shard/episode. Replaying the
+    /// clone with a cloned RNG reproduces the original bit-exactly.
+    fn clone_box(&self) -> Box<dyn Adversary>;
+
+    /// Introspection counters (defaults to all-zero for adversaries
+    /// that track nothing).
+    fn probe(&self) -> AdversaryProbe {
+        AdversaryProbe::default()
+    }
+
+    /// Freezes/unfreezes learning adversaries (self-play league epochs).
+    /// No-op for non-learning adversaries.
+    fn set_learning(&mut self, _on: bool) {}
+}
+
+impl Clone for Box<dyn Adversary> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The adversary family, nested under [`AdversaryConfig`]'s shared
+/// front-end parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversaryKind {
+    /// No jammer at all (the clean-channel baseline).
+    None,
+    /// The paper's sweeping jammer (§II.C): random block order per
+    /// cycle, locks onto discovered victims.
+    Sweep,
+    /// Sense-then-jam: hears any transmission at or above a power
+    /// threshold and jams its block `latency` slots later.
+    Reactive {
+        /// Minimum victim power that registers on the sensor.
+        sense_threshold: f64,
+        /// Slots between hearing a transmission and jamming its block
+        /// (0 = same slot).
+        latency: usize,
+    },
+    /// Always jams the block of the last slot's observed transmission.
+    Pursuit,
+    /// Wraps another adversary in a joule budget: emissions cost their
+    /// power, idle slots recharge. A non-positive capacity builds a
+    /// [`NullAdversary`] outright (no RNG draws), so a zero-budget
+    /// jammer is bit-equivalent to no jammer.
+    EnergyBudget {
+        /// Maximum stored energy (joules); the jammer starts full.
+        capacity: f64,
+        /// Energy recovered per idle slot.
+        recharge: f64,
+        /// The wrapped attacker's kind.
+        inner: Box<AdversaryKind>,
+    },
+    /// The DeepJam-class adaptive jammer: predicts the next victim
+    /// block from sensed history (see [`crate::adaptive`]).
+    Adaptive {
+        /// The channel predictor model.
+        predictor: PredictorKind,
+        /// `true` if the jammer reads plaintext FH announcements.
+        eavesdrop: bool,
+    },
+    /// A learning attacker: a DQN over channel blocks sharing
+    /// `ctjam-dqn`, trained online against whatever defender it faces.
+    LearningDqn,
+}
+
+/// Plain-data description of an adversary: the shared jamming front end
+/// (channel grid, block width, power levels, power mode — the old
+/// [`JammerConfig`] fields) plus the [`AdversaryKind`] behaviour on top.
+///
+/// Environments ([`crate::env::EnvParams::adversary`]) and fleet
+/// campaign specs carry this by value; its `Debug` form feeds campaign
+/// fingerprints, and [`AdversaryConfig::build`] instantiates it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryConfig {
+    /// Total selectable channels `K` (16 on the 2.4 GHz band).
+    pub num_channels: usize,
+    /// Channels covered per emission `m` (4 for EmuBee).
+    pub jam_width: usize,
+    /// Selectable jamming power levels (`L^J` values).
+    pub powers: Vec<f64>,
+    /// Power-selection mode.
+    pub mode: JammerMode,
+    /// Which attacker behaviour runs on this front end.
+    pub kind: AdversaryKind,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        JammerConfig::default().into()
+    }
+}
+
+impl From<JammerConfig> for AdversaryConfig {
+    /// The old front-end config, as the sweep jammer it used to imply.
+    fn from(front_end: JammerConfig) -> Self {
+        AdversaryConfig {
+            num_channels: front_end.num_channels,
+            jam_width: front_end.jam_width,
+            powers: front_end.powers,
+            mode: front_end.mode,
+            kind: AdversaryKind::Sweep,
+        }
+    }
+}
+
+impl AdversaryConfig {
+    fn with_kind(kind: AdversaryKind) -> Self {
+        AdversaryConfig {
+            kind,
+            ..AdversaryConfig::default()
+        }
+    }
+
+    /// The paper's sweep jammer on the default front end.
+    pub fn sweep() -> Self {
+        Self::with_kind(AdversaryKind::Sweep)
+    }
+
+    /// No jammer (clean-channel baseline).
+    pub fn none() -> Self {
+        Self::with_kind(AdversaryKind::None)
+    }
+
+    /// A reactive sense-then-jam attacker with the given sensing
+    /// threshold and a 1-slot reaction latency (see
+    /// [`AdversaryConfig::latency`]).
+    pub fn reactive(sense_threshold: f64) -> Self {
+        Self::with_kind(AdversaryKind::Reactive {
+            sense_threshold,
+            latency: 1,
+        })
+    }
+
+    /// A pursuit attacker (jams the last observed channel's block).
+    pub fn pursuit() -> Self {
+        Self::with_kind(AdversaryKind::Pursuit)
+    }
+
+    /// The DeepJam-class adaptive jammer with the given predictor.
+    pub fn adaptive(predictor: PredictorKind) -> Self {
+        Self::with_kind(AdversaryKind::Adaptive {
+            predictor,
+            eavesdrop: false,
+        })
+    }
+
+    /// The learning attacker-DQN.
+    pub fn dqn() -> Self {
+        Self::with_kind(AdversaryKind::LearningDqn)
+    }
+
+    /// Switches the front end to max-power mode.
+    #[must_use]
+    pub fn max_power(mut self) -> Self {
+        self.mode = JammerMode::MaxPower;
+        self
+    }
+
+    /// Switches the front end to random-power (hidden) mode.
+    #[must_use]
+    pub fn random_power(mut self) -> Self {
+        self.mode = JammerMode::RandomPower;
+        self
+    }
+
+    /// Sets the reaction latency of a reactive adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is not [`AdversaryKind::Reactive`].
+    #[must_use]
+    pub fn latency(mut self, latency: usize) -> Self {
+        match &mut self.kind {
+            AdversaryKind::Reactive { latency: l, .. } => *l = latency,
+            other => panic!("latency() only applies to Reactive, not {other:?}"),
+        }
+        self
+    }
+
+    /// Wraps the current kind in a joule budget (see
+    /// [`AdversaryKind::EnergyBudget`]).
+    #[must_use]
+    pub fn energy_budget(mut self, capacity: f64, recharge: f64) -> Self {
+        let inner = std::mem::replace(&mut self.kind, AdversaryKind::None);
+        self.kind = AdversaryKind::EnergyBudget {
+            capacity,
+            recharge,
+            inner: Box::new(inner),
+        };
+        self
+    }
+
+    /// Turns on announcement eavesdropping for an adaptive adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is not [`AdversaryKind::Adaptive`].
+    #[must_use]
+    pub fn eavesdrop(mut self) -> Self {
+        match &mut self.kind {
+            AdversaryKind::Adaptive { eavesdrop, .. } => *eavesdrop = true,
+            other => panic!("eavesdrop() only applies to Adaptive, not {other:?}"),
+        }
+        self
+    }
+
+    /// Number of channel blocks = the sweep cycle `⌈K/m⌉`.
+    pub fn sweep_cycle(&self) -> usize {
+        self.num_channels.div_ceil(self.jam_width)
+    }
+
+    /// Rescales the block count to obtain a target sweep cycle while
+    /// keeping `m` fixed (the Fig. 6(b)/7(c,d)/8(c,d) sweep).
+    #[must_use]
+    pub fn with_sweep_cycle(mut self, cycle: usize) -> Self {
+        self.num_channels = cycle * self.jam_width;
+        self
+    }
+
+    /// The shared front-end parameters as the legacy [`JammerConfig`].
+    pub fn front_end(&self) -> JammerConfig {
+        JammerConfig {
+            num_channels: self.num_channels,
+            jam_width: self.jam_width,
+            powers: self.powers.clone(),
+            mode: self.mode,
+        }
+    }
+
+    /// The strongest configured jamming power.
+    pub fn max_jam_power(&self) -> f64 {
+        self.powers
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Short stable label for tables and manifests, e.g.
+    /// `"reactive(t8,l1)"` or `"energy(40/2,sweep)"`.
+    pub fn label(&self) -> String {
+        fn kind_label(kind: &AdversaryKind) -> String {
+            match kind {
+                AdversaryKind::None => "none".into(),
+                AdversaryKind::Sweep => "sweep".into(),
+                AdversaryKind::Reactive {
+                    sense_threshold,
+                    latency,
+                } => format!("reactive(t{sense_threshold},l{latency})"),
+                AdversaryKind::Pursuit => "pursuit".into(),
+                AdversaryKind::EnergyBudget {
+                    capacity,
+                    recharge,
+                    inner,
+                } => format!("energy({capacity}/{recharge},{})", kind_label(inner)),
+                AdversaryKind::Adaptive {
+                    predictor,
+                    eavesdrop,
+                } => {
+                    let tap = if *eavesdrop { "+eaves" } else { "" };
+                    format!("adaptive-{predictor:?}{tap}").to_lowercase()
+                }
+                AdversaryKind::LearningDqn => "dqn".into(),
+            }
+        }
+        let suffix = match self.mode {
+            JammerMode::MaxPower => "",
+            JammerMode::RandomPower => "-rnd",
+        };
+        format!("{}{}", kind_label(&self.kind), suffix)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate dimensions or non-finite budgets —
+    /// configuration bugs, not runtime conditions.
+    pub fn validate(&self) {
+        assert!(self.num_channels > 0, "need at least one channel");
+        assert!(self.jam_width > 0, "jam width must be positive");
+        assert!(
+            self.jam_width <= self.num_channels,
+            "jam width exceeds the channel count"
+        );
+        assert!(!self.powers.is_empty(), "need at least one power level");
+        fn check(kind: &AdversaryKind) {
+            match kind {
+                AdversaryKind::Reactive {
+                    sense_threshold, ..
+                } => assert!(sense_threshold.is_finite(), "sensing threshold not finite"),
+                AdversaryKind::EnergyBudget {
+                    capacity,
+                    recharge,
+                    inner,
+                } => {
+                    assert!(capacity.is_finite(), "energy capacity not finite");
+                    assert!(
+                        recharge.is_finite() && *recharge >= 0.0,
+                        "recharge must be finite and non-negative"
+                    );
+                    check(inner);
+                }
+                _ => {}
+            }
+        }
+        check(&self.kind);
+    }
+
+    /// Instantiates the described adversary, drawing any construction
+    /// randomness (sweep-cycle shuffle, DQN weight init) from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`AdversaryConfig::validate`].
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Box<dyn Adversary> {
+        self.validate();
+        self.build_kind(&self.kind, rng)
+    }
+
+    fn build_kind<R: Rng + ?Sized>(&self, kind: &AdversaryKind, rng: &mut R) -> Box<dyn Adversary> {
+        match kind {
+            AdversaryKind::None => Box::new(NullAdversary),
+            AdversaryKind::Sweep => {
+                Box::new(SweepAdversary::new(SweepJammer::new(self.front_end(), rng)))
+            }
+            AdversaryKind::Reactive {
+                sense_threshold,
+                latency,
+            } => Box::new(ReactiveJammer::new(self, *sense_threshold, *latency)),
+            AdversaryKind::Pursuit => Box::new(PursuitJammer::new(self)),
+            AdversaryKind::EnergyBudget {
+                capacity,
+                recharge,
+                inner,
+            } => {
+                if *capacity <= 0.0 {
+                    // An attacker that can never afford a shot must be
+                    // indistinguishable from no attacker at all — build
+                    // the null adversary so even the RNG stream matches.
+                    Box::new(NullAdversary)
+                } else {
+                    let inner = self.build_kind(inner, rng);
+                    Box::new(EnergyBudgetJammer::new(inner, *capacity, *recharge))
+                }
+            }
+            AdversaryKind::Adaptive {
+                predictor,
+                eavesdrop,
+            } => {
+                let mut jammer = AdaptiveJammer::from_config(self, *predictor, rng);
+                jammer.set_eavesdropping(*eavesdrop);
+                Box::new(jammer)
+            }
+            AdversaryKind::LearningDqn => Box::new(DqnJammer::new(self, rng)),
+        }
+    }
+}
+
+/// Picks an emission power for the shared front end: max of the levels
+/// in [`JammerMode::MaxPower`], one uniform draw in
+/// [`JammerMode::RandomPower`].
+pub(crate) fn pick_power(powers: &[f64], mode: JammerMode, rng: &mut dyn RngCore) -> f64 {
+    match mode {
+        JammerMode::MaxPower => powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        JammerMode::RandomPower => powers[rng.gen_range(0..powers.len())],
+    }
+}
+
+/// The absent adversary: every slot is idle and draws no randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NullAdversary;
+
+impl Adversary for NullAdversary {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn jam(&mut self, _sense: &SlotSense, _rng: &mut dyn RngCore) -> JamAction {
+        JamAction::idle()
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(*self)
+    }
+}
+
+/// The paper's sweep jammer behind the [`Adversary`] trait. Decoys work
+/// on it exactly like real transmissions: any active channel in the
+/// attacked block acquires (or retains) the lock.
+#[derive(Debug, Clone)]
+pub struct SweepAdversary {
+    jammer: SweepJammer,
+}
+
+impl SweepAdversary {
+    /// Wraps an already-constructed sweep jammer.
+    pub fn new(jammer: SweepJammer) -> Self {
+        SweepAdversary { jammer }
+    }
+
+    /// The wrapped jammer.
+    pub fn jammer(&self) -> &SweepJammer {
+        &self.jammer
+    }
+}
+
+impl Adversary for SweepAdversary {
+    fn name(&self) -> &str {
+        "sweep"
+    }
+
+    fn jam(&mut self, sense: &SlotSense, rng: &mut dyn RngCore) -> JamAction {
+        match sense.decoy {
+            Some(decoy) => self
+                .jammer
+                .step_sensing(&[sense.victim_channel, decoy], rng),
+            None => self.jammer.step_sensing(&[sense.victim_channel], rng),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+/// Sense-then-jam (arXiv 2510.02265 family): hears transmissions at or
+/// above `sense_threshold`, and jams the heard block `latency` slots
+/// later. Decoys are always heard — that is the bait a deception
+/// defender exploits.
+#[derive(Debug, Clone)]
+pub struct ReactiveJammer {
+    jam_width: usize,
+    powers: Vec<f64>,
+    mode: JammerMode,
+    sense_threshold: f64,
+    /// Channels heard in the last `latency` slots, oldest first.
+    pending: VecDeque<Option<usize>>,
+    shots: u64,
+    hits: u64,
+    idle: u64,
+}
+
+impl ReactiveJammer {
+    /// Builds a reactive jammer on `config`'s front end.
+    pub fn new(config: &AdversaryConfig, sense_threshold: f64, latency: usize) -> Self {
+        ReactiveJammer {
+            jam_width: config.jam_width,
+            powers: config.powers.clone(),
+            mode: config.mode,
+            sense_threshold,
+            pending: std::iter::repeat_n(None, latency).collect(),
+            shots: 0,
+            hits: 0,
+            idle: 0,
+        }
+    }
+}
+
+impl Adversary for ReactiveJammer {
+    fn name(&self) -> &str {
+        "reactive"
+    }
+
+    fn jam(&mut self, sense: &SlotSense, rng: &mut dyn RngCore) -> JamAction {
+        let heard = sense
+            .decoy
+            .or((sense.victim_power >= self.sense_threshold).then_some(sense.victim_channel));
+        self.pending.push_back(heard);
+        match self.pending.pop_front().flatten() {
+            Some(channel) => {
+                let action = JamAction {
+                    block: ChannelBlock::of_block_index(channel / self.jam_width, self.jam_width),
+                    power: pick_power(&self.powers, self.mode, rng),
+                    locked: true,
+                };
+                self.shots += 1;
+                if action.covers(sense.victim_channel) {
+                    self.hits += 1;
+                }
+                action
+            }
+            None => {
+                self.idle += 1;
+                JamAction::idle()
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+
+    fn probe(&self) -> AdversaryProbe {
+        AdversaryProbe {
+            shots: self.shots,
+            hits: self.hits,
+            idle_slots: self.idle,
+            energy: None,
+        }
+    }
+}
+
+/// Jams the block of the previous slot's sensed transmission (a
+/// latency-1 follower with no sensing threshold).
+#[derive(Debug, Clone)]
+pub struct PursuitJammer {
+    jam_width: usize,
+    powers: Vec<f64>,
+    mode: JammerMode,
+    last: Option<usize>,
+    shots: u64,
+    hits: u64,
+    idle: u64,
+}
+
+impl PursuitJammer {
+    /// Builds a pursuit jammer on `config`'s front end.
+    pub fn new(config: &AdversaryConfig) -> Self {
+        PursuitJammer {
+            jam_width: config.jam_width,
+            powers: config.powers.clone(),
+            mode: config.mode,
+            last: None,
+            shots: 0,
+            hits: 0,
+            idle: 0,
+        }
+    }
+}
+
+impl Adversary for PursuitJammer {
+    fn name(&self) -> &str {
+        "pursuit"
+    }
+
+    fn jam(&mut self, sense: &SlotSense, rng: &mut dyn RngCore) -> JamAction {
+        let target = self.last;
+        self.last = Some(sense.sensed_channel());
+        match target {
+            Some(channel) => {
+                let action = JamAction {
+                    block: ChannelBlock::of_block_index(channel / self.jam_width, self.jam_width),
+                    power: pick_power(&self.powers, self.mode, rng),
+                    locked: true,
+                };
+                self.shots += 1;
+                if action.covers(sense.victim_channel) {
+                    self.hits += 1;
+                }
+                action
+            }
+            None => {
+                self.idle += 1;
+                JamAction::idle()
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+
+    fn probe(&self) -> AdversaryProbe {
+        AdversaryProbe {
+            shots: self.shots,
+            hits: self.hits,
+            idle_slots: self.idle,
+            energy: None,
+        }
+    }
+}
+
+/// Joule-budget decorator (arXiv 1912.11170's drain target): the inner
+/// adversary's emissions cost their power; when the battery cannot
+/// afford a shot the slot is forced idle, and idle slots recharge. The
+/// battery starts full.
+#[derive(Debug, Clone)]
+pub struct EnergyBudgetJammer {
+    inner: Box<dyn Adversary>,
+    capacity: f64,
+    charge: f64,
+    recharge: f64,
+    denied: u64,
+    idle: u64,
+}
+
+impl EnergyBudgetJammer {
+    /// Wraps `inner` in a budget of `capacity` joules, recovering
+    /// `recharge` joules per idle slot.
+    pub fn new(inner: Box<dyn Adversary>, capacity: f64, recharge: f64) -> Self {
+        EnergyBudgetJammer {
+            inner,
+            capacity,
+            charge: capacity,
+            recharge,
+            denied: 0,
+            idle: 0,
+        }
+    }
+
+    /// Emissions denied because the battery could not afford them.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Remaining stored energy.
+    pub fn charge(&self) -> f64 {
+        self.charge
+    }
+}
+
+impl Adversary for EnergyBudgetJammer {
+    fn name(&self) -> &str {
+        "energy"
+    }
+
+    fn jam(&mut self, sense: &SlotSense, rng: &mut dyn RngCore) -> JamAction {
+        let action = self.inner.jam(sense, rng);
+        if action.is_idle() {
+            self.charge = (self.charge + self.recharge).min(self.capacity);
+            self.idle += 1;
+            action
+        } else if self.charge >= action.power {
+            self.charge -= action.power;
+            action
+        } else {
+            self.denied += 1;
+            self.idle += 1;
+            self.charge = (self.charge + self.recharge).min(self.capacity);
+            JamAction::idle()
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+
+    fn probe(&self) -> AdversaryProbe {
+        let inner = self.inner.probe();
+        AdversaryProbe {
+            idle_slots: inner.idle_slots.max(self.idle),
+            energy: Some(self.charge),
+            ..inner
+        }
+    }
+
+    fn set_learning(&mut self, on: bool) {
+        self.inner.set_learning(on);
+    }
+}
+
+/// The learning attacker: a DQN over channel blocks (one action per
+/// block, single power level) trained online from its own hit/miss
+/// feedback. Decoys poison its training signal — a baited "hit" looks
+/// like a success to the attacker.
+#[derive(Debug, Clone)]
+pub struct DqnJammer {
+    agent: DqnAgent,
+    encoder: ObservationEncoder,
+    jam_width: usize,
+    power: f64,
+    training: bool,
+    shots: u64,
+    hits: u64,
+}
+
+impl DqnJammer {
+    /// Builds a learning attacker on `config`'s front end, initializing
+    /// its network weights from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front end has fewer than two blocks (nothing to
+    /// learn).
+    pub fn new<R: Rng + ?Sized>(config: &AdversaryConfig, rng: &mut R) -> Self {
+        let blocks = config.sweep_cycle();
+        assert!(blocks > 1, "learning jammer needs at least two blocks");
+        let dqn = DqnConfig {
+            history_len: 6,
+            num_channels: blocks,
+            num_power_levels: 1,
+            hidden: (32, 28),
+            gamma: 0.9,
+            learning_rate: 2e-3,
+            replay_capacity: 20_000,
+            batch_size: 16,
+            target_sync_interval: 100,
+            epsilon_start: 1.0,
+            epsilon_end: 0.05,
+            epsilon_decay_steps: 1_500,
+            train_interval: 2,
+            warmup: 64,
+            double_dqn: false,
+        };
+        DqnJammer {
+            agent: DqnAgent::new(dqn, rng),
+            encoder: ObservationEncoder::new(6, blocks, 1),
+            jam_width: config.jam_width,
+            power: config.max_jam_power(),
+            training: true,
+            shots: 0,
+            hits: 0,
+        }
+    }
+
+    /// The underlying agent (weights, replay, training counters).
+    pub fn agent(&self) -> &DqnAgent {
+        &self.agent
+    }
+
+    /// Whether the attacker is currently learning.
+    pub fn is_learning(&self) -> bool {
+        self.training
+    }
+}
+
+impl Adversary for DqnJammer {
+    fn name(&self) -> &str {
+        "dqn"
+    }
+
+    fn jam(&mut self, sense: &SlotSense, rng: &mut dyn RngCore) -> JamAction {
+        let obs = self.encoder.encode();
+        let action = self.agent.act_scratch(&obs, rng);
+        let sensed_block = sense.sensed_channel() / self.jam_width;
+        // The attacker can only verify against what it senses — a decoy
+        // "hit" is perceived (and rewarded) as success.
+        let perceived_hit = action == sensed_block;
+        self.shots += 1;
+        if action == sense.victim_channel / self.jam_width {
+            self.hits += 1;
+        }
+        self.encoder.push(SlotRecord {
+            outcome: if perceived_hit {
+                SlotOutcome::Success
+            } else {
+                SlotOutcome::Failure
+            },
+            channel: sensed_block,
+            power_level: 0,
+        });
+        if self.training {
+            let reward = if perceived_hit { 1.0 } else { -0.1 };
+            let next = self.encoder.encode();
+            self.agent.observe(obs, action, reward, next, rng);
+        }
+        JamAction {
+            block: ChannelBlock::of_block_index(action, self.jam_width),
+            power: self.power,
+            locked: perceived_hit,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+
+    fn probe(&self) -> AdversaryProbe {
+        AdversaryProbe {
+            shots: self.shots,
+            hits: self.hits,
+            idle_slots: 0,
+            energy: None,
+        }
+    }
+
+    fn set_learning(&mut self, on: bool) {
+        self.training = on;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn sense(channel: usize) -> SlotSense {
+        SlotSense {
+            victim_channel: channel,
+            victim_power: 10.0,
+            decoy: None,
+        }
+    }
+
+    #[test]
+    fn channel_block_typing() {
+        let b = ChannelBlock::of_block_index(2, 4);
+        assert_eq!(b.start, 8);
+        assert_eq!(b.index(), 2);
+        assert!(b.contains(11));
+        assert!(!b.contains(12));
+        assert!(ChannelBlock::EMPTY.is_empty());
+        assert!(!ChannelBlock::EMPTY.contains(0));
+        assert!(JamAction::idle().is_idle());
+    }
+
+    #[test]
+    fn sweep_adversary_matches_raw_jammer() {
+        let cfg = AdversaryConfig::sweep();
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        let mut adv = cfg.build(&mut r1);
+        let mut raw = SweepJammer::new(cfg.front_end(), &mut r2);
+        for slot in 0..64 {
+            let channel = (slot * 5) % cfg.num_channels;
+            let a = adv.jam(&sense(channel), &mut r1);
+            let b = raw.step(channel, &mut r2);
+            assert_eq!(a, b, "diverged at slot {slot}");
+        }
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn reactive_waits_its_latency_then_jams_the_heard_block() {
+        let cfg = AdversaryConfig::reactive(5.0).latency(2);
+        let mut r = rng(1);
+        let mut adv = cfg.build(&mut r);
+        // Slots 0..2: nothing heard long enough ago.
+        assert!(adv.jam(&sense(9), &mut r).is_idle());
+        assert!(adv.jam(&sense(1), &mut r).is_idle());
+        // Slot 2 reacts to slot 0 (channel 9 → block 2).
+        let a = adv.jam(&sense(2), &mut r);
+        assert_eq!(a.block, ChannelBlock::of_block_index(2, 4));
+        // Slot 3 reacts to slot 1 (channel 1 → block 0).
+        let a = adv.jam(&sense(3), &mut r);
+        assert_eq!(a.block, ChannelBlock::of_block_index(0, 4));
+    }
+
+    #[test]
+    fn reactive_ignores_whispers_but_always_hears_decoys() {
+        let cfg = AdversaryConfig::reactive(50.0).latency(0);
+        let mut r = rng(2);
+        let mut adv = cfg.build(&mut r);
+        // Victim power below threshold: never heard.
+        assert!(adv.jam(&sense(3), &mut r).is_idle());
+        assert!(adv.jam(&sense(3), &mut r).is_idle());
+        // A decoy is loud by construction and pulls the jammer to it.
+        let baited = SlotSense {
+            victim_channel: 3,
+            victim_power: 10.0,
+            decoy: Some(13),
+        };
+        let a = adv.jam(&baited, &mut r);
+        assert_eq!(a.block, ChannelBlock::of_block_index(3, 4));
+        assert!(!a.covers(3), "the bait pulled fire away from the victim");
+    }
+
+    #[test]
+    fn pursuit_follows_one_slot_behind() {
+        let cfg = AdversaryConfig::pursuit();
+        let mut r = rng(3);
+        let mut adv = cfg.build(&mut r);
+        assert!(adv.jam(&sense(6), &mut r).is_idle(), "nothing observed yet");
+        let a = adv.jam(&sense(14), &mut r);
+        assert_eq!(a.block, ChannelBlock::of_block_index(1, 4));
+        let a = adv.jam(&sense(0), &mut r);
+        assert_eq!(a.block, ChannelBlock::of_block_index(3, 4));
+    }
+
+    #[test]
+    fn energy_budget_denies_when_drained_and_recharges_when_idle() {
+        // Pursuit emits at power 20 every slot after the first; a
+        // 45-joule battery affords two shots, then runs dry.
+        let cfg = AdversaryConfig::pursuit().energy_budget(45.0, 1.0);
+        let mut r = rng(4);
+        let mut adv = cfg.build(&mut r);
+        assert!(adv.jam(&sense(0), &mut r).is_idle());
+        assert!(!adv.jam(&sense(0), &mut r).is_idle());
+        assert!(!adv.jam(&sense(0), &mut r).is_idle());
+        let denied = adv.jam(&sense(0), &mut r);
+        assert!(denied.is_idle(), "third shot must be denied");
+        let energy = adv.probe().energy.expect("budgeted probe");
+        assert!(energy > 5.0, "idle slots must recharge");
+    }
+
+    #[test]
+    fn zero_budget_builds_the_null_adversary() {
+        let cfg = AdversaryConfig::sweep().energy_budget(0.0, 5.0);
+        let mut r1 = rng(5);
+        let mut adv = cfg.build(&mut r1);
+        assert_eq!(adv.name(), "none");
+        for slot in 0..16 {
+            assert!(adv.jam(&sense(slot), &mut r1).is_idle());
+        }
+        // And it consumed no randomness at all.
+        assert_eq!(r1.gen::<u64>(), rng(5).gen::<u64>());
+    }
+
+    #[test]
+    fn dqn_jammer_trains_and_freezes() {
+        let cfg = AdversaryConfig::dqn();
+        let mut r = rng(6);
+        let mut adv = cfg.build(&mut r);
+        for slot in 0..200 {
+            let a = adv.jam(&sense(slot % 16), &mut r);
+            assert!(!a.is_idle());
+            assert_eq!(a.power, 20.0);
+        }
+        let probe = adv.probe();
+        assert_eq!(probe.shots, 200);
+        adv.set_learning(false);
+        for slot in 0..10 {
+            adv.jam(&sense(slot), &mut r);
+        }
+    }
+
+    #[test]
+    fn clone_and_replay_is_bit_exact() {
+        for cfg in [
+            AdversaryConfig::sweep(),
+            AdversaryConfig::reactive(8.0),
+            AdversaryConfig::pursuit(),
+            AdversaryConfig::sweep().energy_budget(60.0, 2.0),
+            AdversaryConfig::adaptive(PredictorKind::Markov),
+            AdversaryConfig::dqn(),
+        ] {
+            let mut r = rng(11);
+            let mut adv = cfg.build(&mut r);
+            // Burn in some state first.
+            for slot in 0..40 {
+                adv.jam(&sense((slot * 3) % 16), &mut r);
+            }
+            let mut twin = adv.clone_box();
+            let mut r_twin = r.clone();
+            for slot in 0..40 {
+                let s = sense((slot * 7) % 16);
+                assert_eq!(
+                    adv.jam(&s, &mut r),
+                    twin.jam(&s, &mut r_twin),
+                    "{} diverged after cloning",
+                    cfg.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AdversaryConfig::sweep().label(), "sweep");
+        assert_eq!(AdversaryConfig::sweep().random_power().label(), "sweep-rnd");
+        assert_eq!(AdversaryConfig::reactive(8.0).label(), "reactive(t8,l1)");
+        assert_eq!(
+            AdversaryConfig::pursuit().energy_budget(40.0, 2.0).label(),
+            "energy(40/2,pursuit)"
+        );
+        assert_eq!(
+            AdversaryConfig::adaptive(PredictorKind::Markov).label(),
+            "adaptive-markov"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn latency_on_non_reactive_panics() {
+        let _ = AdversaryConfig::sweep().latency(3);
+    }
+}

@@ -41,14 +41,26 @@ pub struct AgentProbe {
 
 /// A per-slot decision maker.
 ///
-/// Implementations are driven by [`crate::runner::run`]: `decide` at the
-/// start of each slot, `feedback` with the resolved result at the end.
+/// Implementations are driven by [`crate::runner::RunBuilder`]: `decide`
+/// at the start of each slot, then optionally `decoy`, then `feedback`
+/// with the resolved result at the end.
 pub trait Defender {
     /// Human-readable scheme name (used in reports).
     fn name(&self) -> &str;
 
     /// Chooses the next slot's channel and power level.
     fn decide(&mut self, rng: &mut dyn RngCore) -> Decision;
+
+    /// Optionally emits a decoy (bait) transmission for this slot: a
+    /// fake-traffic channel broadcast alongside the real one to draw
+    /// sensing jammers away, at the environment's `l_decoy` reward cost.
+    /// Called by the runner right after [`Defender::decide`]. The
+    /// default — no decoy, no RNG draws — keeps decoy-free defenders
+    /// bit-exact with their pre-0.3.0 runs.
+    fn decoy(&mut self, rng: &mut dyn RngCore) -> Option<usize> {
+        let _ = rng;
+        None
+    }
 
     /// Receives the resolved slot (for learning and state tracking).
     fn feedback(&mut self, result: &SlotResult, rng: &mut dyn RngCore);
@@ -567,6 +579,98 @@ impl Defender for RandomFh {
 }
 
 // ---------------------------------------------------------------------------
+// Decoy wrapper
+// ---------------------------------------------------------------------------
+
+/// Wraps any defender with probabilistic decoy (bait) transmissions:
+/// each slot, with probability `rate`, a fake transmission is emitted on
+/// a random channel other than the real one. Sensing jammers (reactive,
+/// pursuit, sweep) chase the louder decoy; the eavesdropping adaptive
+/// jammer is immune. Each decoy costs the environment's `l_decoy` on the
+/// Eq. (5) reward.
+#[derive(Debug, Clone)]
+pub struct WithDecoys<D> {
+    inner: D,
+    rate: f64,
+    num_channels: usize,
+    last_channel: usize,
+    name: String,
+}
+
+impl<D: Defender> WithDecoys<D> {
+    /// Wraps `inner`, emitting a decoy with probability `rate` per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]` or fewer than two channels
+    /// exist (a decoy needs a channel distinct from the real one).
+    pub fn new(inner: D, rate: f64, params: &EnvParams) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate) && rate.is_finite(),
+            "decoy rate must be a probability"
+        );
+        assert!(
+            params.num_channels() >= 2,
+            "decoys need a second channel to bait on"
+        );
+        let name = format!("{} + decoys", inner.name());
+        WithDecoys {
+            inner,
+            rate,
+            num_channels: params.num_channels(),
+            last_channel: 0,
+            name,
+        }
+    }
+
+    /// The wrapped defender.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Defender> Defender for WithDecoys<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, rng: &mut dyn RngCore) -> Decision {
+        let decision = self.inner.decide(rng);
+        self.last_channel = decision.channel;
+        decision
+    }
+
+    fn decoy(&mut self, rng: &mut dyn RngCore) -> Option<usize> {
+        if !rng.gen_bool(self.rate) {
+            return None;
+        }
+        // Bait on any channel except the one actually in use.
+        let mut channel = rng.gen_range(0..self.num_channels - 1);
+        if channel >= self.last_channel {
+            channel += 1;
+        }
+        Some(channel)
+    }
+
+    fn feedback(&mut self, result: &SlotResult, rng: &mut dyn RngCore) {
+        self.inner.feedback(result, rng);
+    }
+
+    fn feedback_with_fault(
+        &mut self,
+        result: &SlotResult,
+        rng: &mut dyn RngCore,
+        fault: &mut dyn FaultPoint,
+    ) {
+        self.inner.feedback_with_fault(result, rng, fault);
+    }
+
+    fn probe(&self) -> AgentProbe {
+        self.inner.probe()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // No defense
 // ---------------------------------------------------------------------------
 
@@ -648,7 +752,7 @@ impl MdpOracle {
             policy: solution.policy,
             state: MdpState::Safe(1),
             num_channels: params.num_channels(),
-            block_width: params.jammer.jam_width,
+            block_width: params.adversary.jam_width,
             channel: rng.gen_range(0..params.num_channels()),
             mdp,
             last_was_hop: false,

@@ -9,8 +9,9 @@
 //!   (`L^T ≥ L^J`, §IV.A.1): data still flows, at an observable penalty.
 //! * **`J`** — jammed and lost: the slot's traffic is gone.
 
-use crate::jammer::{JamAction, JammerConfig, JammerMode, SweepJammer};
-use rand::Rng;
+use crate::adversary::{Adversary, AdversaryConfig, AdversaryProbe, JamAction, SlotSense};
+use crate::jammer::{JammerConfig, JammerMode};
+use rand::{Rng, RngCore};
 
 /// Slot outcome (the observable projection of the MDP state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,14 +34,17 @@ impl Outcome {
 /// Environment parameters (paper §IV.A.1 defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnvParams {
-    /// Jammer configuration (channels, width, powers, mode).
-    pub jammer: JammerConfig,
+    /// The adversary faced (front end + behaviour kind).
+    pub adversary: AdversaryConfig,
     /// Tx power levels; each value is also its loss `L_{p_i}`.
     pub tx_powers: Vec<f64>,
     /// Loss of a frequency hop `L_H`.
     pub l_h: f64,
     /// Loss of a successful jam `L_J`.
     pub l_j: f64,
+    /// Loss of emitting a decoy/bait transmission (the fake-transmission
+    /// cost a deception defender pays to trigger reactive jammers).
+    pub l_decoy: f64,
     /// Residual packet loss while in `TJ` (the duel is won but the
     /// interference still costs some packets in the field experiment).
     pub tj_residual_per: f64,
@@ -49,10 +53,11 @@ pub struct EnvParams {
 impl Default for EnvParams {
     fn default() -> Self {
         EnvParams {
-            jammer: JammerConfig::default(),
+            adversary: AdversaryConfig::default(),
             tx_powers: (6..=15).map(f64::from).collect(),
             l_h: 50.0,
             l_j: 100.0,
+            l_decoy: 5.0,
             tj_residual_per: 0.1,
         }
     }
@@ -61,7 +66,7 @@ impl Default for EnvParams {
 impl EnvParams {
     /// Number of selectable channels.
     pub fn num_channels(&self) -> usize {
-        self.jammer.num_channels
+        self.adversary.num_channels
     }
 
     /// Number of Tx power levels.
@@ -76,7 +81,25 @@ impl EnvParams {
 
     /// Jammer mode shortcut.
     pub fn jammer_mode(&self) -> JammerMode {
-        self.jammer.mode
+        self.adversary.mode
+    }
+
+    /// Replaces the adversary's shared front end with a legacy
+    /// [`JammerConfig`], keeping the sweep behaviour it used to imply.
+    #[deprecated(
+        since = "0.3.0",
+        note = "set the `adversary` field with an `AdversaryConfig` instead"
+    )]
+    #[must_use]
+    pub fn with_jammer(mut self, jammer: JammerConfig) -> Self {
+        self.adversary = AdversaryConfig::from(jammer);
+        self
+    }
+
+    /// The adversary's front-end parameters as a legacy [`JammerConfig`].
+    #[deprecated(since = "0.3.0", note = "read the `adversary` field instead")]
+    pub fn jammer(&self) -> JammerConfig {
+        self.adversary.front_end()
     }
 
     /// Shifts the Tx power range to `[lower, lower + count − 1]`
@@ -159,34 +182,64 @@ pub trait Environment {
 
     /// Advances one slot with the defender's decision.
     fn step(&mut self, decision: Decision, rng: &mut dyn rand::RngCore) -> SlotResult;
+
+    /// Advances one slot with the defender's decision plus an optional
+    /// decoy/bait transmission on another channel. The default ignores
+    /// the decoy (abstract environments have no sensing adversary to
+    /// bait); concrete environments charge `l_decoy` and expose the
+    /// decoy to the adversary's sensing.
+    fn step_with_decoy(
+        &mut self,
+        decision: Decision,
+        _decoy: Option<usize>,
+        rng: &mut dyn rand::RngCore,
+    ) -> SlotResult {
+        self.step(decision, rng)
+    }
 }
 
 /// The competition environment.
 #[derive(Debug, Clone)]
 pub struct CompetitionEnv {
     params: EnvParams,
-    jammer: SweepJammer,
+    adversary: Box<dyn Adversary>,
     current_channel: usize,
 }
 
 impl CompetitionEnv {
     /// Creates an environment with the defender starting on a random
-    /// channel.
+    /// channel, building the adversary described by
+    /// `params.adversary`.
     ///
     /// # Panics
     ///
-    /// Panics if `tx_powers` is empty or the jammer configuration is
+    /// Panics if `tx_powers` is empty or the adversary configuration is
     /// degenerate.
     pub fn new<R: Rng + ?Sized>(params: EnvParams, rng: &mut R) -> Self {
+        let adversary = params.adversary.build(rng);
+        Self::with_adversary(params, adversary, rng)
+    }
+
+    /// Creates an environment around an already-built adversary (e.g. a
+    /// league-trained attacker carried across episodes). Draws only the
+    /// defender's starting channel from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_powers` is empty.
+    pub fn with_adversary<R: Rng + ?Sized>(
+        params: EnvParams,
+        adversary: Box<dyn Adversary>,
+        rng: &mut R,
+    ) -> Self {
         assert!(
             !params.tx_powers.is_empty(),
             "need at least one Tx power level"
         );
-        let jammer = SweepJammer::new(params.jammer.clone(), rng);
-        let current_channel = rng.gen_range(0..params.jammer.num_channels);
+        let current_channel = rng.gen_range(0..params.adversary.num_channels);
         CompetitionEnv {
             params,
-            jammer,
+            adversary,
             current_channel,
         }
     }
@@ -201,12 +254,44 @@ impl CompetitionEnv {
         self.current_channel
     }
 
+    /// The adversary's introspection counters.
+    pub fn adversary_probe(&self) -> AdversaryProbe {
+        self.adversary.probe()
+    }
+
+    /// The adversary's stable name ("sweep", "reactive", …).
+    pub fn adversary_name(&self) -> &str {
+        self.adversary.name()
+    }
+
+    /// Consumes the environment and hands back its adversary (with all
+    /// learned state), for threading one attacker through many episodes.
+    pub fn into_adversary(self) -> Box<dyn Adversary> {
+        self.adversary
+    }
+
     /// Advances one slot with the defender's decision.
     ///
     /// # Panics
     ///
     /// Panics if the decision indexes out of range.
-    pub fn step<R: Rng + ?Sized>(&mut self, decision: Decision, rng: &mut R) -> SlotResult {
+    pub fn step(&mut self, decision: Decision, rng: &mut dyn RngCore) -> SlotResult {
+        self.step_with_decoy(decision, None, rng)
+    }
+
+    /// [`CompetitionEnv::step`] with an optional decoy transmission:
+    /// the adversary senses the decoy as if it were the victim, and the
+    /// defender pays `l_decoy` for the fake transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision or decoy indexes out of range.
+    pub fn step_with_decoy(
+        &mut self,
+        decision: Decision,
+        decoy: Option<usize>,
+        rng: &mut dyn RngCore,
+    ) -> SlotResult {
         assert!(
             decision.channel < self.params.num_channels(),
             "channel {} out of range",
@@ -217,14 +302,25 @@ impl CompetitionEnv {
             "power level {} out of range",
             decision.power_level
         );
+        if let Some(decoy) = decoy {
+            assert!(
+                decoy < self.params.num_channels(),
+                "decoy channel {decoy} out of range"
+            );
+        }
 
         let hopped = decision.channel != self.current_channel;
         self.current_channel = decision.channel;
         let power_control = decision.power_level > self.params.min_power_level();
         let tx_power = self.params.tx_powers[decision.power_level];
 
-        let jam_action = self.jammer.step(decision.channel, rng);
-        let outcome = if self.jammer.covers(&jam_action, decision.channel) {
+        let sense = SlotSense {
+            victim_channel: decision.channel,
+            victim_power: tx_power,
+            decoy,
+        };
+        let jam_action = self.adversary.jam(&sense, rng);
+        let outcome = if jam_action.covers(decision.channel) {
             // The duel (paper §IV.A.1): success iff L^T ≥ L^J.
             if tx_power >= jam_action.power {
                 Outcome::JammedSurvived
@@ -235,13 +331,16 @@ impl CompetitionEnv {
             Outcome::Clean
         };
 
-        // Eq. (5): −L_p, −L_J on J, −L_H on hop.
+        // Eq. (5): −L_p, −L_J on J, −L_H on hop; −L_decoy on bait.
         let mut reward = -tx_power;
         if outcome == Outcome::Jammed {
             reward -= self.params.l_j;
         }
         if hopped {
             reward -= self.params.l_h;
+        }
+        if decoy.is_some() {
+            reward -= self.params.l_decoy;
         }
 
         SlotResult {
@@ -266,6 +365,15 @@ impl Environment for CompetitionEnv {
 
     fn step(&mut self, decision: Decision, rng: &mut dyn rand::RngCore) -> SlotResult {
         CompetitionEnv::step(self, decision, rng)
+    }
+
+    fn step_with_decoy(
+        &mut self,
+        decision: Decision,
+        decoy: Option<usize>,
+        rng: &mut dyn rand::RngCore,
+    ) -> SlotResult {
+        CompetitionEnv::step_with_decoy(self, decision, decoy, rng)
     }
 }
 
@@ -397,6 +505,43 @@ mod tests {
         }
         let rate = f64::from(successes) / f64::from(slots);
         assert!(rate > 0.5, "random hopping success rate {rate}");
+    }
+
+    #[test]
+    fn decoy_draws_fire_and_costs_l_decoy() {
+        // A zero-latency reactive jammer always fires at the loudest
+        // thing it hears — the decoy — so the real slot stays clean and
+        // the reward only pays the Tx power plus the decoy cost.
+        let params = EnvParams {
+            adversary: AdversaryConfig::reactive(0.0).latency(0),
+            ..EnvParams::default()
+        };
+        let mut r = rng(8);
+        let mut env = CompetitionEnv::new(params, &mut r);
+        let channel = env.current_channel();
+        let decoy = (channel + 8) % 16;
+        let result = env.step_with_decoy(fixed_decision(channel), Some(decoy), &mut r);
+        assert_eq!(result.outcome, Outcome::Clean, "fire drawn to the decoy");
+        assert_eq!(result.reward, -(6.0 + 5.0));
+        // Without a decoy the same jammer hits the victim next slot.
+        let result = env.step(fixed_decision(channel), &mut r);
+        assert_eq!(result.outcome, Outcome::Jammed);
+    }
+
+    #[test]
+    fn no_adversary_means_every_slot_is_clean() {
+        let params = EnvParams {
+            adversary: AdversaryConfig::none(),
+            ..EnvParams::default()
+        };
+        let mut r = rng(9);
+        let mut env = CompetitionEnv::new(params, &mut r);
+        let channel = env.current_channel();
+        for _ in 0..32 {
+            let result = env.step(fixed_decision(channel), &mut r);
+            assert_eq!(result.outcome, Outcome::Clean);
+            assert!(result.jam_action.is_idle());
+        }
     }
 
     #[test]

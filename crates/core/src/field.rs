@@ -91,7 +91,7 @@ impl<D: Defender> FieldExperiment<D> {
     pub fn new<R: Rng + ?Sized>(config: FieldConfig, defender: D, rng: &mut R) -> Self {
         assert!(config.tx_slot_s > 0.0, "tx slot must be positive");
         assert!(config.jx_slot_s > 0.0, "jx slot must be positive");
-        let jammer = SweepJammer::new(config.env.jammer.clone(), rng);
+        let jammer = SweepJammer::new(config.env.adversary.front_end(), rng);
         let network =
             StarNetwork::with_config(config.num_peripherals, config.timing, config.payload_len);
         FieldExperiment {
@@ -204,11 +204,7 @@ impl<D: Defender> FieldExperiment<D> {
             hopped,
             power_control: decision.power_level > self.config.env.min_power_level(),
             reward,
-            jam_action: self.standing.unwrap_or(JamAction {
-                block_start: 0,
-                power: 0.0,
-                locked: false,
-            }),
+            jam_action: self.standing.unwrap_or(JamAction::idle()),
         };
         self.defender.feedback(&result, rng);
         (result, jam_frac, tj_frac)

@@ -10,6 +10,8 @@
 
 use rand::Rng;
 
+pub use crate::adversary::{ChannelBlock, JamAction};
+
 /// Jammer power-selection mode (paper §II.C.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum JammerMode {
@@ -71,17 +73,6 @@ pub struct SweepJammer {
     locked: Option<usize>,
 }
 
-/// What the jammer did this slot.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct JamAction {
-    /// First channel of the attacked block.
-    pub block_start: usize,
-    /// Jamming power (an `L^J` value).
-    pub power: f64,
-    /// Whether the jammer was in locked (tracking) mode.
-    pub locked: bool,
-}
-
 impl SweepJammer {
     /// Creates a jammer and shuffles its first sweep cycle.
     ///
@@ -139,26 +130,38 @@ impl SweepJammer {
     /// EmuBee only where the victim is, and monitors at slot start
     /// whether the victim is still there).
     pub fn step<R: Rng + ?Sized>(&mut self, victim_channel: usize, rng: &mut R) -> JamAction {
-        let victim_block = self.block_of(victim_channel);
+        self.step_sensing(&[victim_channel], rng)
+    }
+
+    /// [`SweepJammer::step`] generalized to several simultaneously
+    /// active channels (e.g. the real victim plus a defender decoy):
+    /// the jammer senses per *block*, so it retains its lock while any
+    /// active channel stays in the locked block and locks onto any
+    /// block it sweeps that shows activity. With a single-element slice
+    /// this is exactly `step` — same decisions, same RNG draws.
+    pub fn step_sensing<R: Rng + ?Sized>(&mut self, active: &[usize], rng: &mut R) -> JamAction {
+        let width = self.config.jam_width;
+        let is_active = |block: usize| active.iter().any(|&c| c / width == block);
 
         let block = match self.locked {
-            Some(block) if block == victim_block => block, // keep tracking
+            Some(block) if is_active(block) => block, // keep tracking
             Some(_) => {
-                // Victim left: resume sweeping for the next opportunity.
+                // All activity left: resume sweeping for the next opportunity.
                 self.locked = None;
                 self.next_sweep_block(rng)
             }
             None => self.next_sweep_block(rng),
         };
 
-        if block == victim_block {
+        let found = is_active(block);
+        if found {
             self.locked = Some(block);
         }
 
         JamAction {
-            block_start: block * self.config.jam_width,
+            block: ChannelBlock::of_block_index(block, self.config.jam_width),
             power: self.pick_power(rng),
-            locked: self.locked == Some(block) && block == victim_block,
+            locked: self.locked == Some(block) && found,
         }
     }
 
@@ -187,7 +190,7 @@ impl SweepJammer {
 
     /// Whether a block attack covers the given channel.
     pub fn covers(&self, action: &JamAction, channel: usize) -> bool {
-        (action.block_start..action.block_start + self.config.jam_width).contains(&channel)
+        action.covers(channel)
     }
 }
 

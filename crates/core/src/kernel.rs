@@ -7,8 +7,9 @@
 //! [`crate::env::CompetitionEnv`] plays the concrete 16-channel game used
 //! by the field experiment (Figs. 9–11).
 
+use crate::adversary::{ChannelBlock, JamAction};
 use crate::env::{Decision, EnvParams, Environment, Outcome, SlotResult};
-use crate::jammer::{JamAction, JammerMode};
+use crate::jammer::JammerMode;
 use ctjam_mdp::antijam::{Action as MdpAction, AntijamMdp, AntijamParams, State as MdpState};
 use ctjam_mdp::solve::q_learning::sample_transition;
 use rand::Rng;
@@ -16,12 +17,12 @@ use rand::Rng;
 /// Converts environment parameters into the paper's MDP parameters.
 pub fn mdp_params_of(params: &EnvParams) -> AntijamParams {
     AntijamParams {
-        sweep_cycle: params.jammer.sweep_cycle(),
+        sweep_cycle: params.adversary.sweep_cycle(),
         tx_powers: params.tx_powers.clone(),
-        jx_powers: params.jammer.powers.clone(),
+        jx_powers: params.adversary.powers.clone(),
         l_h: params.l_h,
         l_j: params.l_j,
-        jammer_mode: match params.jammer.mode {
+        jammer_mode: match params.adversary.mode {
             JammerMode::MaxPower => ctjam_mdp::antijam::JammerMode::MaxPower,
             JammerMode::RandomPower => ctjam_mdp::antijam::JammerMode::RandomPower,
         },
@@ -116,7 +117,7 @@ impl Environment for KernelEnv {
             power_control: decision.power_level > self.params.min_power_level(),
             reward,
             jam_action: JamAction {
-                block_start: 0,
+                block: ChannelBlock::EMPTY,
                 power: 0.0,
                 locked: outcome != Outcome::Clean,
             },

@@ -1,6 +1,12 @@
 //! The CTJam anti-jamming system — the paper's primary contribution,
 //! assembled from the suite's substrates.
 //!
+//! * [`adversary`] — the first-class attacker API: the [`adversary::Adversary`]
+//!   trait (one `jam(sense, rng)` per slot), the plain-data
+//!   [`adversary::AdversaryConfig`] carried by environments and fleet
+//!   campaign specs, and the zoo (sweep, reactive, pursuit,
+//!   energy-budgeted, adaptive, learning DQN attacker) plus the
+//!   decoy/bait defender hook.
 //! * [`jammer`] — the cross-technology sweep jammer: scans `m` consecutive
 //!   ZigBee channels per slot in a random-permutation cycle, locks onto a
 //!   found victim, and picks its power per mode (max / random).
@@ -51,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod adversary;
 pub mod defender;
 pub mod env;
 pub mod field;

@@ -181,7 +181,7 @@ mod tests {
             power_control: pc,
             reward: 0.0,
             jam_action: JamAction {
-                block_start: 0,
+                block: crate::adversary::ChannelBlock::of_block_index(0, 4),
                 power: 20.0,
                 locked: false,
             },

@@ -2,13 +2,13 @@
 //! time slots to get the average value"), plus parameter-sweep helpers.
 //!
 //! The one entry point is [`RunBuilder`]: a fluent description of *how*
-//! to run (telemetry sink, thread count, environment flavour, sweep
-//! budget and seed) terminated by *what* to run ([`RunBuilder::run`],
-//! [`RunBuilder::train`], [`RunBuilder::sweep`], …). The pre-builder
-//! free functions (`run`, `train_with`, `sweep_kernel_with_threads`, …)
-//! remain as deprecated shims over the same engine; see `CHANGELOG.md`
-//! for the removal schedule.
+//! to run (telemetry sink, thread count, environment flavour, adversary,
+//! sweep budget and seed) terminated by *what* to run
+//! ([`RunBuilder::run`], [`RunBuilder::train`], [`RunBuilder::sweep`],
+//! …). The 0.2.0 pre-builder free-function shims were removed in 0.3.0;
+//! see `CHANGELOG.md`.
 
+use crate::adversary::AdversaryConfig;
 use crate::defender::{Defender, DqnDefender};
 use crate::env::{CompetitionEnv, EnvParams, Environment};
 use crate::kernel::KernelEnv;
@@ -51,8 +51,8 @@ impl EpisodeReport {
 /// Every terminal takes the RNG explicitly — the repo-wide determinism
 /// contract (`tests/determinism.rs`) requires the caller to own the
 /// seeded stream. A builder-driven run draws from the RNG in exactly the
-/// same order as the deprecated free functions it replaces, so seeded
-/// results are unchanged.
+/// same order as the 0.2.0 free functions it replaced, so seeded results
+/// are unchanged across the 0.3.0 API cleanup.
 ///
 /// # Example
 ///
@@ -76,6 +76,7 @@ pub struct RunBuilder<'a, S: EventSink = NullSink, F: FaultPoint = NullFaultPlan
     fault: Option<&'a mut F>,
     threads: Option<usize>,
     kernel: bool,
+    adversary: Option<AdversaryConfig>,
     budget: SweepBudget,
     base_seed: u64,
 }
@@ -91,6 +92,7 @@ impl<'a> RunBuilder<'a, NullSink, NullFaultPlan> {
             fault: None,
             threads: None,
             kernel: false,
+            adversary: None,
             budget: SweepBudget::default(),
             base_seed: 0,
         }
@@ -109,6 +111,7 @@ impl<'a, S: EventSink, F: FaultPoint> RunBuilder<'a, S, F> {
             fault: self.fault,
             threads: self.threads,
             kernel: self.kernel,
+            adversary: self.adversary,
             budget: self.budget,
             base_seed: self.base_seed,
         }
@@ -127,6 +130,7 @@ impl<'a, S: EventSink, F: FaultPoint> RunBuilder<'a, S, F> {
             fault: Some(fault),
             threads: self.threads,
             kernel: self.kernel,
+            adversary: self.adversary,
             budget: self.budget,
             base_seed: self.base_seed,
         }
@@ -148,6 +152,19 @@ impl<'a, S: EventSink, F: FaultPoint> RunBuilder<'a, S, F> {
     #[must_use]
     pub fn kernel(mut self, kernel: bool) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Overrides the adversary the fresh environment is built against
+    /// ([`RunBuilder::run`]/[`train`](RunBuilder::train)/
+    /// [`evaluate`](RunBuilder::evaluate)), leaving every other
+    /// parameter of `params` in force. Without this the builder uses
+    /// `params.adversary` as-is. Existing environments
+    /// ([`RunBuilder::run_in`]) and sweeps (each point carries its own
+    /// params) are unaffected.
+    #[must_use]
+    pub fn adversary(mut self, adversary: AdversaryConfig) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -196,11 +213,18 @@ impl<'a, S: EventSink, F: FaultPoint> RunBuilder<'a, S, F> {
         D: Defender + ?Sized,
         R: Rng,
     {
+        let params = match &self.adversary {
+            Some(adversary) => EnvParams {
+                adversary: adversary.clone(),
+                ..self.params.clone()
+            },
+            None => self.params.clone(),
+        };
         if self.kernel {
-            let mut env = KernelEnv::new(self.params.clone(), rng);
+            let mut env = KernelEnv::new(params, rng);
             self.run_in(&mut env, defender, slots, rng)
         } else {
-            let mut env = CompetitionEnv::new(self.params.clone(), rng);
+            let mut env = CompetitionEnv::new(params, rng);
             self.run_in(&mut env, defender, slots, rng)
         }
     }
@@ -264,41 +288,6 @@ impl<'a, S: EventSink, F: FaultPoint> RunBuilder<'a, S, F> {
     }
 }
 
-/// Drives `defender` against an existing environment for `slots` slots.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).run_in(env, defender, slots, rng)"
-)]
-pub fn run_in<E: Environment + ?Sized, D: Defender + ?Sized, R: Rng>(
-    env: &mut E,
-    defender: &mut D,
-    slots: usize,
-    rng: &mut R,
-) -> EpisodeReport {
-    run_loop(env, defender, slots, rng, &mut NullSink, &mut NullFaultPlan)
-}
-
-/// [`run_in`] with a telemetry sink attached.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).sink(sink).run_in(env, defender, slots, rng)"
-)]
-pub fn run_in_with<E, D, R, S>(
-    env: &mut E,
-    defender: &mut D,
-    slots: usize,
-    rng: &mut R,
-    sink: &mut S,
-) -> EpisodeReport
-where
-    E: Environment + ?Sized,
-    D: Defender + ?Sized,
-    R: Rng,
-    S: EventSink,
-{
-    run_loop(env, defender, slots, rng, sink, &mut NullFaultPlan)
-}
-
 /// The slot loop every runner entry point funnels into: emits one
 /// [`ctjam_telemetry::SlotEvent`] per slot and, for learning defenders,
 /// one [`TrainEvent`] per slot in which a gradient step ran.
@@ -353,7 +342,11 @@ where
             }
         }
         prev_decision = Some(decision);
-        let result = env.step(decision, rng);
+        // Decoy draws happen after the decision, before the environment
+        // resolves the slot; the default (no decoy) draws nothing, so
+        // decoy-free runs are bit-exact with pre-0.3.0 ones.
+        let decoy = defender.decoy(rng);
+        let result = env.step_with_decoy(decision, decoy, rng);
         defender.feedback_with_fault(&result, rng, fault);
         metrics.record(&result);
         total_reward += result.reward;
@@ -398,67 +391,6 @@ where
         total_reward,
         health,
     }
-}
-
-/// Runs `defender` against a fresh concrete [`CompetitionEnv`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).run(defender, slots, rng)"
-)]
-pub fn run<D: Defender + ?Sized, R: Rng>(
-    params: &EnvParams,
-    defender: &mut D,
-    slots: usize,
-    rng: &mut R,
-) -> EpisodeReport {
-    RunBuilder::new(params).run(defender, slots, rng)
-}
-
-/// [`run`] with a telemetry sink attached.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).sink(sink).run(defender, slots, rng)"
-)]
-pub fn run_with<D: Defender + ?Sized, R: Rng, S: EventSink>(
-    params: &EnvParams,
-    defender: &mut D,
-    slots: usize,
-    rng: &mut R,
-    sink: &mut S,
-) -> EpisodeReport {
-    RunBuilder::new(params).sink(sink).run(defender, slots, rng)
-}
-
-/// Trains a DQN defender for `slots` slots (learning enabled).
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).train(defender, slots, rng)"
-)]
-pub fn train<R: Rng>(
-    params: &EnvParams,
-    defender: &mut DqnDefender,
-    slots: usize,
-    rng: &mut R,
-) -> EpisodeReport {
-    RunBuilder::new(params).train(defender, slots, rng)
-}
-
-/// [`train`] with a telemetry sink attached (loss curve, ε decay and
-/// replay occupancy arrive as [`TrainEvent`]s).
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).sink(sink).train(defender, slots, rng)"
-)]
-pub fn train_with<R: Rng, S: EventSink>(
-    params: &EnvParams,
-    defender: &mut DqnDefender,
-    slots: usize,
-    rng: &mut R,
-    sink: &mut S,
-) -> EpisodeReport {
-    RunBuilder::new(params)
-        .sink(sink)
-        .train(defender, slots, rng)
 }
 
 /// Outcome of [`train_until`]: how training progressed and why it ended.
@@ -619,115 +551,9 @@ fn default_sweep_threads(points: usize) -> usize {
     crate::pool::available_threads().min(points.max(1))
 }
 
-/// Shim helper: a builder anchored on the first point (the builder's own
-/// params are never consulted by [`RunBuilder::sweep`]). `None` when the
-/// sweep is empty — in which case the result is empty too.
-fn sweep_builder(points: &[EnvParams]) -> Option<RunBuilder<'_, NullSink>> {
-    points.first().map(RunBuilder::new)
-}
-
-/// Runs one sweep point (train + evaluate a fresh DQN) for each
-/// parameterization, in parallel across available threads.
-///
-/// Points are seeded deterministically from `base_seed` and the point
-/// index ([`point_seed`]), so results are reproducible regardless of
-/// scheduling.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).budget(budget).seed(base_seed).sweep(points, f)"
-)]
-pub fn sweep<F>(points: &[EnvParams], budget: SweepBudget, base_seed: u64, f: F) -> Vec<Metrics>
-where
-    F: Fn(usize, &EpisodeReport) + Sync,
-{
-    match sweep_builder(points) {
-        Some(b) => b.budget(budget).seed(base_seed).sweep(points, f),
-        None => Vec::new(),
-    }
-}
-
-/// [`sweep`] with an explicit worker-thread count. Results must not
-/// depend on `threads` — the cross-thread determinism integration test
-/// (`tests/determinism.rs`) asserts 1-thread and N-thread sweeps agree
-/// bit-exactly.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).budget(budget).seed(base_seed).threads(threads).sweep(points, f)"
-)]
-pub fn sweep_with_threads<F>(
-    points: &[EnvParams],
-    budget: SweepBudget,
-    base_seed: u64,
-    threads: usize,
-    f: F,
-) -> Vec<Metrics>
-where
-    F: Fn(usize, &EpisodeReport) + Sync,
-{
-    match sweep_builder(points) {
-        Some(b) => b
-            .budget(budget)
-            .seed(base_seed)
-            .threads(threads)
-            .sweep(points, f),
-        None => Vec::new(),
-    }
-}
-
-/// Like [`sweep`] but each point trains and evaluates on the MDP-kernel
-/// environment — the paper's simulation setting for Figs. 6–8.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).kernel(true).budget(budget).seed(base_seed).sweep(points, f)"
-)]
-pub fn sweep_kernel<F>(
-    points: &[EnvParams],
-    budget: SweepBudget,
-    base_seed: u64,
-    f: F,
-) -> Vec<Metrics>
-where
-    F: Fn(usize, &EpisodeReport) + Sync,
-{
-    match sweep_builder(points) {
-        Some(b) => b
-            .kernel(true)
-            .budget(budget)
-            .seed(base_seed)
-            .sweep(points, f),
-        None => Vec::new(),
-    }
-}
-
-/// [`sweep_kernel`] with an explicit worker-thread count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RunBuilder::new(params).kernel(true).budget(budget).seed(base_seed).threads(threads).sweep(points, f)"
-)]
-pub fn sweep_kernel_with_threads<F>(
-    points: &[EnvParams],
-    budget: SweepBudget,
-    base_seed: u64,
-    threads: usize,
-    f: F,
-) -> Vec<Metrics>
-where
-    F: Fn(usize, &EpisodeReport) + Sync,
-{
-    match sweep_builder(points) {
-        Some(b) => b
-            .kernel(true)
-            .budget(budget)
-            .seed(base_seed)
-            .threads(threads)
-            .sweep(points, f),
-        None => Vec::new(),
-    }
-}
-
 /// Builds the replay trace of a sweep without running it: one
 /// [`EpisodeRecord`] per point, carrying the exact seed and slot budget
-/// that [`sweep`]/[`sweep_kernel`] would use. Because sweep seeding is a
+/// that [`RunBuilder::sweep`] would use. Because sweep seeding is a
 /// pure function of `(base_seed, index)`, capture costs nothing and can
 /// be written next to the results before the sweep even starts.
 pub fn capture_sweep(
@@ -767,7 +593,7 @@ pub fn replay(params: &EnvParams, record: &EpisodeRecord) -> EpisodeReport {
     report
 }
 
-/// [`replay`] for MDP-kernel sweeps ([`sweep_kernel`]).
+/// [`replay`] for MDP-kernel sweeps ([`RunBuilder::kernel`]).
 pub fn replay_kernel(params: &EnvParams, record: &EpisodeRecord) -> EpisodeReport {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -953,9 +779,50 @@ mod tests {
             .threads(0)
             .sweep(&[], |_, _| {});
         assert!(out.is_empty());
-        #[allow(deprecated)]
-        let shim = sweep(&[], SweepBudget::default(), 0, |_, _| {});
-        assert!(shim.is_empty());
+    }
+
+    #[test]
+    fn adversary_override_swaps_the_opponent_only() {
+        use crate::adversary::AdversaryConfig;
+        // The unprotected floor survives every slot once the builder
+        // swaps the default sweep jammer out for no adversary at all.
+        let params = EnvParams::default();
+        let mut r = rng(12);
+        let mut defender = NoDefense::new(&params, &mut r);
+        let report = RunBuilder::new(&params)
+            .adversary(AdversaryConfig::none())
+            .run(&mut defender, 400, &mut r);
+        assert_eq!(report.metrics.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn decoys_bait_a_reactive_jammer_off_the_victim() {
+        use crate::adversary::AdversaryConfig;
+        use crate::defender::WithDecoys;
+        let params = EnvParams {
+            adversary: AdversaryConfig::reactive(0.0),
+            ..EnvParams::default()
+        };
+
+        let mut r = rng(13);
+        let mut plain = NoDefense::new(&params, &mut r);
+        let st_plain = RunBuilder::new(&params)
+            .run(&mut plain, 400, &mut r)
+            .metrics
+            .success_rate();
+
+        let mut r = rng(13);
+        let inner = NoDefense::new(&params, &mut r);
+        let mut baited = WithDecoys::new(inner, 1.0, &params);
+        let report = RunBuilder::new(&params).run(&mut baited, 400, &mut r);
+        let st_baited = report.metrics.success_rate();
+
+        assert!(
+            st_baited > st_plain + 0.3,
+            "decoys must draw the reactive jammer away: {st_baited} vs {st_plain}"
+        );
+        // Every slot paid the fake-transmission cost on top of tx power.
+        assert!(report.total_reward <= -(400.0 * params.l_decoy));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Property-based tests over the competition environments and metrics.
 
+use ctjam_core::adaptive::PredictorKind;
+use ctjam_core::adversary::{AdversaryConfig, SlotSense};
 use ctjam_core::defender::{Defender, NoDefense, PassiveFh, RandomFh};
 use ctjam_core::env::{CompetitionEnv, Decision, EnvParams, Environment, Outcome};
 use ctjam_core::jammer::{JammerConfig, JammerMode, SweepJammer};
@@ -20,8 +22,8 @@ fn arb_params() -> impl Strategy<Value = EnvParams> {
     )
         .prop_map(|(cycle_m1, m, tx_lo, l_h, l_j, random)| {
             let mut p = EnvParams::default();
-            p.jammer = p.jammer.with_sweep_cycle(cycle_m1 + 1);
-            p.jammer.mode = if random {
+            p.adversary = p.adversary.with_sweep_cycle(cycle_m1 + 1);
+            p.adversary.mode = if random {
                 JammerMode::RandomPower
             } else {
                 JammerMode::MaxPower
@@ -31,6 +33,31 @@ fn arb_params() -> impl Strategy<Value = EnvParams> {
             p.l_j = l_j;
             p
         })
+}
+
+/// Every member of the adversary zoo, including stacked and learning
+/// configurations.
+fn arb_adversary() -> impl Strategy<Value = AdversaryConfig> {
+    (
+        0usize..9,
+        0.0f64..15.0,
+        0usize..3,
+        0.5f64..60.0,
+        0.0f64..4.0,
+    )
+        .prop_map(
+            |(kind, threshold, latency, capacity, recharge)| match kind {
+                0 => AdversaryConfig::none(),
+                1 => AdversaryConfig::sweep(),
+                2 => AdversaryConfig::sweep().random_power(),
+                3 => AdversaryConfig::reactive(threshold).latency(latency),
+                4 => AdversaryConfig::pursuit(),
+                5 => AdversaryConfig::pursuit().energy_budget(capacity, recharge),
+                6 => AdversaryConfig::adaptive(PredictorKind::Markov),
+                7 => AdversaryConfig::adaptive(PredictorKind::LastBlock).eavesdrop(),
+                _ => AdversaryConfig::dqn(),
+            },
+        )
 }
 
 proptest! {
@@ -116,10 +143,46 @@ proptest! {
         for _ in 0..100 {
             let victim = rng.gen_range(0..channels);
             let action = jammer.step(victim, &mut rng);
-            prop_assert_eq!(action.block_start % width, 0);
-            prop_assert!(action.block_start + width <= channels);
+            prop_assert_eq!(action.block.start % width, 0);
+            prop_assert!(action.block.start + width <= channels);
             prop_assert!(action.power >= 11.0 && action.power <= 20.0);
         }
+    }
+
+    #[test]
+    fn every_zoo_adversary_is_bit_exact_under_clone_and_replay(
+        config in arb_adversary(),
+        seed in any::<u64>(),
+    ) {
+        // clone_box mid-run must capture the complete adversary state
+        // (locks, latency queues, charge, predictor history, network
+        // weights and replay): the clone driven by a cloned RNG and the
+        // identical sense sequence must emit identical actions forever.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sense_rng = StdRng::seed_from_u64(seed ^ 0x5E5E_5E5E);
+        let channels = config.num_channels;
+        let mut draw_sense = move || SlotSense {
+            victim_channel: sense_rng.gen_range(0..channels),
+            victim_power: sense_rng.gen_range(1.0..12.0),
+            decoy: sense_rng
+                .gen_bool(0.3)
+                .then(|| sense_rng.gen_range(0..channels)),
+        };
+
+        let mut original = config.build(&mut rng);
+        for _ in 0..40 {
+            original.jam(&draw_sense(), &mut rng);
+        }
+
+        let mut replica = original.clone_box();
+        let mut replica_rng = rng.clone();
+        for slot in 0..40 {
+            let sense = draw_sense();
+            let a = original.jam(&sense, &mut rng);
+            let b = replica.jam(&sense, &mut replica_rng);
+            prop_assert_eq!(a, b, "{} diverged at slot {} after clone", original.name(), slot);
+        }
+        prop_assert_eq!(original.probe(), replica.probe());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::progress::CampaignProgress;
 use crate::shared::SharedPolicyDefender;
 use crate::spec::{CampaignPolicy, CampaignSpec};
-use ctjam_core::defender::{Defender, DqnDefender, NoDefense, PassiveFh, RandomFh};
+use ctjam_core::defender::{Defender, DqnDefender, NoDefense, PassiveFh, RandomFh, WithDecoys};
 use ctjam_core::metrics::Metrics;
 use ctjam_core::pool;
 use ctjam_core::runner::{EpisodeReport, RunBuilder};
@@ -232,6 +232,10 @@ fn run_policy<S: EventSink, F: FaultPoint>(
             let mut defender = NoDefense::new(point, rng);
             evaluate(spec, point, &mut defender, spec.slots, rng, sink, fault)
         }
+        CampaignPolicy::DecoyRandomFh(rate) => {
+            let mut defender = WithDecoys::new(RandomFh::new(point, rng), *rate, point);
+            evaluate(spec, point, &mut defender, spec.slots, rng, sink, fault)
+        }
         CampaignPolicy::TrainDqn(budget) => {
             let mut defender = DqnDefender::paper_default(point, rng);
             let train = RunBuilder::new(point)
@@ -343,6 +347,18 @@ mod tests {
         let mut other = baseline_spec(CampaignPolicy::RandomFh);
         other.base_seed ^= 1;
         Fleet::new().resume(&other, &progress);
+    }
+
+    #[test]
+    fn decoy_policy_runs_and_is_thread_invariant() {
+        let mut spec = baseline_spec(CampaignPolicy::DecoyRandomFh(0.5));
+        for p in &mut spec.points {
+            p.adversary = ctjam_core::adversary::AdversaryConfig::reactive(0.0);
+        }
+        let one = Fleet::new().threads(1).run(&spec);
+        let eight = Fleet::new().threads(8).run(&spec);
+        assert_eq!(one.goodput_vector(), eight.goodput_vector());
+        assert_eq!(one.metrics.slots(), 6 * 120);
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub enum CampaignPolicy {
     PassiveFh,
     /// The no-defense floor.
     NoDefense,
+    /// The random-FH baseline wrapped in decoy (bait) transmissions:
+    /// each slot, with the carried probability, a fake transmission on
+    /// another channel draws sensing jammers off the victim (at the
+    /// environment's `l_decoy` cost per decoy).
+    DecoyRandomFh(f64),
     /// Train a fresh paper-default DQN per episode, then evaluate it;
     /// metrics and reward come from the evaluation window, health and
     /// telemetry cover both phases.
@@ -61,6 +66,9 @@ impl fmt::Debug for CampaignPolicy {
             CampaignPolicy::RandomFh => write!(f, "RandomFh"),
             CampaignPolicy::PassiveFh => write!(f, "PassiveFh"),
             CampaignPolicy::NoDefense => write!(f, "NoDefense"),
+            CampaignPolicy::DecoyRandomFh(rate) => {
+                f.debug_tuple("DecoyRandomFh").field(rate).finish()
+            }
             CampaignPolicy::TrainDqn(budget) => f.debug_tuple("TrainDqn").field(budget).finish(),
         }
     }
@@ -168,6 +176,10 @@ impl CampaignSpec {
             CampaignPolicy::RandomFh => buf.push(1),
             CampaignPolicy::PassiveFh => buf.push(2),
             CampaignPolicy::NoDefense => buf.push(3),
+            CampaignPolicy::DecoyRandomFh(rate) => {
+                buf.push(5);
+                buf.extend_from_slice(&rate.to_bits().to_le_bytes());
+            }
             CampaignPolicy::TrainDqn(budget) => {
                 buf.push(4);
                 buf.extend_from_slice(&(budget.train_slots as u64).to_le_bytes());
@@ -229,6 +241,15 @@ mod tests {
         let mut changed = spec(42);
         changed.policy = CampaignPolicy::NoDefense;
         assert_ne!(fp, changed.fingerprint());
+        let mut half = spec(42);
+        half.policy = CampaignPolicy::DecoyRandomFh(0.5);
+        let mut quarter = spec(42);
+        quarter.policy = CampaignPolicy::DecoyRandomFh(0.25);
+        assert_ne!(fp, half.fingerprint());
+        assert_ne!(half.fingerprint(), quarter.fingerprint());
+        let mut jammed = spec(42);
+        jammed.points[0].adversary = ctjam_core::adversary::AdversaryConfig::reactive(8.0);
+        assert_ne!(fp, jammed.fingerprint(), "adversary must move the print");
         let mut changed = spec(42);
         changed.faults = Some(CampaignFaults {
             seed: 7,

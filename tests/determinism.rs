@@ -284,6 +284,103 @@ fn fleet_campaign_is_thread_count_invariant() {
     }
 }
 
+/// A zero-budget energy jammer must be indistinguishable from no
+/// adversary at all — not just outcome-equal but RNG-stream-equal: the
+/// zero-capacity config builds the null adversary outright, constructing
+/// no inner jammer and drawing nothing, so the two runs walk identical
+/// trajectories and leave the caller's RNG in the identical state.
+#[test]
+fn zero_budget_energy_jammer_is_the_no_jammer() {
+    use ctjam_core::adversary::AdversaryConfig;
+    use ctjam_core::defender::RandomFh;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let none = EnvParams {
+        adversary: AdversaryConfig::none(),
+        ..EnvParams::default()
+    };
+    let drained = EnvParams {
+        adversary: AdversaryConfig::reactive(4.0).energy_budget(0.0, 3.0),
+        ..EnvParams::default()
+    };
+
+    let mut r1 = StdRng::seed_from_u64(0x0E06_B067);
+    let mut d1 = RandomFh::new(&none, &mut r1);
+    let a = RunBuilder::new(&none).run(&mut d1, 1_500, &mut r1);
+
+    let mut r2 = StdRng::seed_from_u64(0x0E06_B067);
+    let mut d2 = RandomFh::new(&drained, &mut r2);
+    let b = RunBuilder::new(&drained).run(&mut d2, 1_500, &mut r2);
+
+    assert_eq!(a, b, "a drained energy jammer must act like no jammer");
+    assert_eq!(a.metrics.jam_rate(), 0.0);
+    assert_eq!(
+        r1.gen::<u64>(),
+        r2.gen::<u64>(),
+        "the RNG streams must stay aligned past the run"
+    );
+}
+
+/// The adversary zoo rides through the fleet engine unchanged: a
+/// campaign whose grid spans every zoo member (including the decoy-baiting
+/// defender wrapper, whose extra RNG draws must stay inside its own
+/// episode streams) produces bit-identical goodput at 1, 2 and 8 workers.
+#[test]
+fn adversary_zoo_campaign_is_thread_count_invariant() {
+    use ctjam_core::adaptive::PredictorKind;
+    use ctjam_core::adversary::AdversaryConfig;
+    use ctjam_fleet::{CampaignPolicy, CampaignSpec, Fleet};
+
+    let zoo = [
+        AdversaryConfig::none(),
+        AdversaryConfig::sweep(),
+        AdversaryConfig::reactive(4.0),
+        AdversaryConfig::pursuit(),
+        AdversaryConfig::reactive(4.0).energy_budget(30.0, 2.0),
+        AdversaryConfig::adaptive(PredictorKind::Markov),
+        AdversaryConfig::dqn(),
+    ];
+    let points: Vec<EnvParams> = zoo
+        .iter()
+        .map(|adversary| EnvParams {
+            adversary: adversary.clone(),
+            ..EnvParams::default()
+        })
+        .collect();
+    let spec = CampaignSpec {
+        name: "zoo_determinism".into(),
+        points,
+        seeds: vec![5, 6],
+        policy: CampaignPolicy::DecoyRandomFh(0.5),
+        slots: 200,
+        kernel: false,
+        base_seed: 0x05A1_AD00,
+        faults: None,
+    };
+
+    let reference = Fleet::new().threads(1).run(&spec);
+    let ref_goodput: Vec<u64> = reference
+        .goodput_vector()
+        .iter()
+        .map(|g| g.to_bits())
+        .collect();
+    assert_eq!(reference.outcomes.len(), spec.episodes());
+
+    for threads in [2usize, 8] {
+        let run = Fleet::new().threads(threads).run(&spec);
+        let goodput: Vec<u64> = run.goodput_vector().iter().map(|g| g.to_bits()).collect();
+        assert_eq!(
+            ref_goodput, goodput,
+            "zoo goodput changed between 1 and {threads} workers"
+        );
+        assert_eq!(
+            reference.outcomes, run.outcomes,
+            "zoo outcomes changed between 1 and {threads} workers"
+        );
+    }
+}
+
 /// Save → load → resume must be invisible to the determinism contract:
 /// a training run interrupted by a checkpoint round-trip walks the exact
 /// same trajectory as one that never stopped. The checkpoint captures

@@ -179,9 +179,9 @@ fn oracle_plays_threshold_policy_and_beats_passive() {
 fn jammer_modes_differ_as_described() {
     let mut rng = StdRng::seed_from_u64(5);
     let mut max_params = EnvParams::default();
-    max_params.jammer.mode = JammerMode::MaxPower;
+    max_params.adversary.mode = JammerMode::MaxPower;
     let mut rnd_params = EnvParams::default();
-    rnd_params.jammer.mode = JammerMode::RandomPower;
+    rnd_params.adversary.mode = JammerMode::RandomPower;
 
     // A mid-power static defender survives some duels only in random mode.
     let mut static_mid = NoDefense::new(&max_params, &mut rng);
