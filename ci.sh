@@ -23,6 +23,28 @@ cargo test -q
 echo "== cargo test -q --test chaos (chaos smoke) =="
 cargo test -q --test chaos
 
+# Kernel-soundness stage: the AVX2+FMA microkernels in ctjam-nn are the
+# only unsafe code in the workspace, gated by the differential harness
+# (tests/simd_differential.rs) and the forced-scalar fallback test. Run
+# that suite under Miri when the toolchain has it; otherwise fall back
+# to re-running it in release with debug/overflow assertions enabled —
+# not a UB detector, but the configuration most likely to surface
+# out-of-bounds arithmetic in the unsafe tile loops without Miri.
+# (Note: under Miri `is_x86_feature_detected!` reports no AVX2, so the
+# differential tests gate themselves off and Miri primarily checks the
+# harness + scalar oracle; the fallback run covers the SIMD tiles on
+# real hardware.)
+echo "== nn kernel suite: Miri (or debug-assertions fallback) =="
+if cargo miri --version >/dev/null 2>&1; then
+  cargo miri test -p ctjam-nn --test simd_differential --test force_scalar
+elif cargo +nightly miri --version >/dev/null 2>&1; then
+  cargo +nightly miri test -p ctjam-nn --test simd_differential --test force_scalar
+else
+  echo "  (cargo-miri not installed; release + debug-assertions fallback)"
+  RUSTFLAGS="-C target-cpu=native -C debug-assertions=on -C overflow-checks=on" \
+    cargo test --release -q -p ctjam-nn --test simd_differential --test force_scalar
+fi
+
 echo "== cargo doc --no-deps (rustdoc warnings are errors) =="
 # Scoped to the suite's own crates: the vendored shims (rand, proptest,
 # criterion, bytes) predate today's rustdoc lints and are not ours to
@@ -116,8 +138,38 @@ assert m["schema"] == "ctjam-bench/v1", f"{path}: unexpected schema {m['schema']
 measurements = [k for k in m if k.endswith(("_ns", "_us", "_s", "_ns_per_slot",
                                             "_ns_per_point", "_x"))]
 assert measurements, f"{path}: no measurement keys"
+if path == "BENCH_dqn.json":
+    # Kernel-backend fields from this repo's SIMD/int8 serving work:
+    # either real SIMD timings or an honest skip note, never silence.
+    assert "forward_batch32_scalar_ns" in m, f"{path}: missing scalar forward timing"
+    has_simd = "train_step_batch32_simd_us" in m and "simd_train_speedup_x" in m
+    assert has_simd or "simd_note" in m, \
+        f"{path}: needs SIMD timings or an explicit simd_note"
+    for key in ("forward_batch32_int8_ns", "int8_greedy_agreement"):
+        assert key in m, f"{path}: missing int8 field {key!r}"
+    assert 0.0 <= m["int8_greedy_agreement"] <= 1.0, f"{path}: agreement out of [0,1]"
+if path == "BENCH_serve.json":
+    for key in ("int8_active", "int8_throughput_req_per_s", "int8_wire_agreement"):
+        assert key in m, f"{path}: missing int8 field {key!r}"
+    assert m["int8_wire_agreement"] >= 0.995, \
+        f"{path}: int8 wire agreement {m['int8_wire_agreement']} below the gate"
 print(f"  {path}: ok ({len(measurements)} measurements)")
 PYEOF
+done
+
+# A committed BENCH manifest must come from a clean tree: its `git`
+# field is the only link between the numbers and the code that produced
+# them, and `<sha>-dirty` severs it. (perf_report warns and records
+# `dirty_tree: true` at generation time; this is the backstop that
+# keeps such manifests from landing.) Only committed copies are
+# checked — the working tree is legitimately dirty mid-development.
+echo "== committed BENCH manifests carry a clean git describe =="
+for f in $(git ls-files 'BENCH_*.json'); do
+  if git show "HEAD:$f" 2>/dev/null | grep -q '"git": *"[^"]*-dirty"'; then
+    echo "FAIL: committed $f was generated from a dirty tree (git field ends in -dirty);"
+    echo "      regenerate it from a clean checkout and amend the commit"
+    exit 1
+  fi
 done
 
 # Archive any run manifests produced by figure binaries so CI artifacts

@@ -1,0 +1,310 @@
+//! Int8-quantized greedy policies for serving, with a behavioral
+//! accuracy gate.
+//!
+//! A [`QuantizedPolicy`] is the int8 twin of
+//! [`GreedyPolicy`]: the snapshotted
+//! network pushed through [`ctjam_nn::quant`]'s post-training symmetric
+//! quantization, plus the same configuration and the same NaN-total
+//! argmax. It exists for serving only — training and evaluation stay on
+//! the f64 network.
+//!
+//! Because quantization is lossy, the contract is **behavioral**:
+//! [`QuantizedPolicy::quantize_gated`] only hands back a policy whose
+//! greedy actions agree with the f64 policy on at least
+//! `min_agreement` of a held-out observation set (ctjam-serve uses
+//! 99.5%); otherwise it returns [`QuantGateError`] carrying the
+//! measured agreement so the caller can fall back to f64 and count the
+//! rejection. [`synthetic_observations`] generates calibration and
+//! hold-out sets spanning the full `[-1, 1]` observation range plus the
+//! corner vectors, for call sites (checkpoint loading in a server) that
+//! have no recorded traffic to calibrate on.
+
+use crate::agent::argmax;
+use crate::config::DqnConfig;
+use crate::policy::GreedyPolicy;
+use ctjam_nn::batch::Batch;
+use ctjam_nn::quant::{QuantScratch, QuantizedMlp};
+use std::fmt;
+
+/// An int8-quantized greedy-inference snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPolicy {
+    config: DqnConfig,
+    net: QuantizedMlp,
+}
+
+/// The quantized policy failed its greedy-action-agreement gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantGateError {
+    /// Agreement measured on the hold-out set, in `[0, 1]`.
+    pub agreement: f64,
+    /// The agreement the gate required.
+    pub required: f64,
+}
+
+impl fmt::Display for QuantGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "int8 greedy-action agreement {:.4} below required {:.4}",
+            self.agreement, self.required
+        )
+    }
+}
+
+impl std::error::Error for QuantGateError {}
+
+impl QuantizedPolicy {
+    /// Quantizes `policy` against `calibration` observations with no
+    /// accuracy gate. Prefer [`QuantizedPolicy::quantize_gated`] for
+    /// anything that serves traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty or its width differs from the
+    /// policy input.
+    pub fn quantize(policy: &GreedyPolicy, calibration: &Batch) -> Self {
+        QuantizedPolicy {
+            config: policy.config().clone(),
+            net: QuantizedMlp::quantize(policy.network(), calibration),
+        }
+    }
+
+    /// Quantizes `policy` and admits the result only if its greedy
+    /// actions agree with the f64 policy on at least `min_agreement`
+    /// of the `holdout` observations. Returns the admitted policy with
+    /// its measured agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantGateError`] (with the measured agreement) when
+    /// the gate fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either observation set is empty or mis-sized.
+    pub fn quantize_gated(
+        policy: &GreedyPolicy,
+        calibration: &Batch,
+        holdout: &Batch,
+        min_agreement: f64,
+    ) -> Result<(Self, f64), QuantGateError> {
+        let quantized = Self::quantize(policy, calibration);
+        let agreement = greedy_agreement(policy, &quantized, holdout);
+        if agreement >= min_agreement {
+            Ok((quantized, agreement))
+        } else {
+            Err(QuantGateError {
+                agreement,
+                required: min_agreement,
+            })
+        }
+    }
+
+    /// The snapshot's configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// Observation width the policy expects (`3 × I`).
+    pub fn input_size(&self) -> usize {
+        self.config.input_size()
+    }
+
+    /// Number of actions the policy chooses among (`C × PL`).
+    pub fn num_actions(&self) -> usize {
+        self.config.num_actions()
+    }
+
+    /// Bytes the quantized parameters occupy (the IoT memory-footprint
+    /// number; compare with `8 ×` the f64 parameter count).
+    pub fn param_bytes(&self) -> usize {
+        self.net.param_bytes()
+    }
+
+    /// Greedy action at one observation through the int8 forward pass.
+    /// Never panics on non-finite or huge observation *values* (they
+    /// saturate/flush during quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation width differs from
+    /// [`QuantizedPolicy::input_size`].
+    pub fn act_greedy(&self, observation: &[f64], scratch: &mut QuantScratch) -> usize {
+        let mut q = Vec::with_capacity(self.num_actions());
+        self.net.forward_into(observation, scratch, &mut q);
+        argmax(&q)
+    }
+
+    /// Greedy actions for a whole observation batch. Appends one action
+    /// per row to `actions` (cleared first); mirrors
+    /// [`GreedyPolicy::act_greedy_batch`]'s shape contract, including
+    /// the empty-batch early return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.cols()` differs from
+    /// [`QuantizedPolicy::input_size`].
+    pub fn act_greedy_batch(
+        &self,
+        batch: &Batch,
+        scratch: &mut QuantScratch,
+        actions: &mut Vec<usize>,
+    ) {
+        actions.clear();
+        if batch.is_empty() {
+            return;
+        }
+        let mut q = Vec::with_capacity(self.num_actions());
+        for s in 0..batch.rows() {
+            self.net.forward_into(batch.row(s), scratch, &mut q);
+            actions.push(argmax(&q));
+        }
+    }
+}
+
+/// Fraction of `observations` rows on which the quantized policy picks
+/// the same greedy action as the f64 policy.
+///
+/// # Panics
+///
+/// Panics if `observations` is empty or mis-sized for either policy.
+pub fn greedy_agreement(
+    policy: &GreedyPolicy,
+    quantized: &QuantizedPolicy,
+    observations: &Batch,
+) -> f64 {
+    assert!(observations.rows() > 0, "empty agreement set");
+    let mut f64_scratch = policy.scratch();
+    let mut f64_actions = Vec::new();
+    policy.act_greedy_batch(observations, &mut f64_scratch, &mut f64_actions);
+    let mut q_scratch = QuantScratch::default();
+    let mut q_actions = Vec::new();
+    quantized.act_greedy_batch(observations, &mut q_scratch, &mut q_actions);
+    let agree = f64_actions
+        .iter()
+        .zip(&q_actions)
+        .filter(|(a, b)| a == b)
+        .count();
+    agree as f64 / observations.rows() as f64
+}
+
+/// A deterministic synthetic observation set: `n` uniform rows over
+/// `[-1, 1]` (covering both the encoder's `[0, 1]` range and the wider
+/// spans bench clients generate) plus the all-zero and all-`±1` corner
+/// vectors. Distinct seeds give disjoint calibration/hold-out sets.
+pub fn synthetic_observations(input_size: usize, seed: u64, n: usize) -> Batch {
+    assert!(input_size > 0, "observation width must be positive");
+    let mut batch = Batch::with_cols(input_size);
+    // SplitMix64: tiny, deterministic, and independent of the rand shim.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    let mut row = vec![0.0; input_size];
+    for _ in 0..n {
+        row.iter_mut().for_each(|v| *v = next());
+        batch.push_row(&row);
+    }
+    for corner in [0.0, 1.0, -1.0] {
+        row.iter_mut().for_each(|v| *v = corner);
+        batch.push_row(&row);
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::DqnAgent;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_policy(seed: u64) -> GreedyPolicy {
+        let config = DqnConfig {
+            history_len: 3,
+            num_channels: 4,
+            num_power_levels: 2,
+            hidden: (16, 12),
+            replay_capacity: 256,
+            batch_size: 8,
+            warmup: 16,
+            ..DqnConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agent = DqnAgent::new(config.clone(), &mut rng);
+        for i in 0..80 {
+            let mut state = vec![0.0; config.input_size()];
+            state[i % config.input_size()] = (i as f64).sin();
+            let next = state.clone();
+            agent.observe(state, i % config.num_actions(), -1.0, next, &mut rng);
+        }
+        GreedyPolicy::from_agent(&agent)
+    }
+
+    #[test]
+    fn gated_quantization_reports_agreement() {
+        let policy = small_policy(21);
+        let calib = synthetic_observations(policy.input_size(), 1, 128);
+        let holdout = synthetic_observations(policy.input_size(), 2, 128);
+        let (q, agreement) =
+            QuantizedPolicy::quantize_gated(&policy, &calib, &holdout, 0.5).expect("gate");
+        assert!((0.5..=1.0).contains(&agreement));
+        assert_eq!(q.num_actions(), policy.num_actions());
+        assert!(q.param_bytes() < 8 * policy.network().param_count());
+    }
+
+    #[test]
+    fn impossible_gate_fails_with_measured_agreement() {
+        let policy = small_policy(22);
+        let calib = synthetic_observations(policy.input_size(), 3, 64);
+        let holdout = synthetic_observations(policy.input_size(), 4, 64);
+        // A gate above 1.0 can never pass; the error carries the
+        // actually measured agreement.
+        let err = QuantizedPolicy::quantize_gated(&policy, &calib, &holdout, 1.01)
+            .expect_err("gate must fail");
+        assert!(err.agreement <= 1.0);
+        assert_eq!(err.required, 1.01);
+        let msg = err.to_string();
+        assert!(msg.contains("agreement"), "unhelpful error: {msg}");
+    }
+
+    #[test]
+    fn synthetic_observations_are_deterministic_and_disjoint() {
+        let a = synthetic_observations(6, 7, 32);
+        let b = synthetic_observations(6, 7, 32);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = synthetic_observations(6, 8, 32);
+        assert_ne!(a.as_slice(), c.as_slice());
+        assert_eq!(a.rows(), 35, "n rows plus three corner vectors");
+        assert!(a.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn batched_quantized_actions_match_per_sample() {
+        let policy = small_policy(23);
+        let calib = synthetic_observations(policy.input_size(), 5, 128);
+        let q = QuantizedPolicy::quantize(&policy, &calib);
+        let obs = synthetic_observations(policy.input_size(), 6, 17);
+        let mut scratch = QuantScratch::default();
+        let mut actions = Vec::new();
+        q.act_greedy_batch(&obs, &mut scratch, &mut actions);
+        assert_eq!(actions.len(), obs.rows());
+        for (s, &batched) in actions.iter().enumerate() {
+            assert_eq!(batched, q.act_greedy(obs.row(s), &mut scratch));
+        }
+        // Empty batch clears the output, like the f64 path.
+        actions.push(42);
+        q.act_greedy_batch(
+            &Batch::with_cols(q.input_size()),
+            &mut scratch,
+            &mut actions,
+        );
+        assert!(actions.is_empty());
+    }
+}

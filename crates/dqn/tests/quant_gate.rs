@@ -1,0 +1,134 @@
+//! The committed int8 accuracy gate: a trained agent, quantized, must
+//! agree with its f64 greedy policy on ≥ 99.5% of held-out
+//! observations, and the quantized batch path must survive adversarial
+//! (subnormal / huge / non-finite) observations without panicking.
+
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::config::DqnConfig;
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_dqn::quant::{greedy_agreement, synthetic_observations, QuantizedPolicy};
+use ctjam_nn::batch::Batch;
+use ctjam_nn::quant::QuantScratch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Trains a small agent on strictly graded per-action rewards, so its
+/// Q-surface has *decisive* action margins everywhere. That is the
+/// regime the gate is designed for: with margins well above the int8
+/// noise floor, any agreement loss measures quantization error, not
+/// tie-breaking luck between equally good actions. (A policy with
+/// near-tied Q-values would flip argmax under any lossy encoding — no
+/// quantization scheme can, or should, promise agreement there.)
+fn trained_policy(seed: u64) -> GreedyPolicy {
+    let config = DqnConfig {
+        history_len: 3,
+        num_channels: 4,
+        num_power_levels: 2,
+        hidden: (16, 12),
+        replay_capacity: 512,
+        batch_size: 16,
+        warmup: 32,
+        ..DqnConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent = DqnAgent::new(config.clone(), &mut rng);
+    for i in 0..800 {
+        let state: Vec<f64> = (0..config.input_size())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let next: Vec<f64> = (0..config.input_size())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let action = i % config.num_actions();
+        // Strictly decreasing in the action index: a unique best action
+        // with a 0.4 reward gap between neighbours.
+        let reward = 1.0 - 0.4 * action as f64;
+        agent.observe(state, action, reward, next, &mut rng);
+    }
+    GreedyPolicy::from_agent(&agent)
+}
+
+#[test]
+fn quantized_agent_clears_the_99_5_percent_agreement_gate() {
+    let policy = trained_policy(40);
+    let calib = synthetic_observations(policy.input_size(), 0xCA11B, 256);
+    let holdout = synthetic_observations(policy.input_size(), 0x401D0, 512);
+    let (quantized, agreement) = QuantizedPolicy::quantize_gated(&policy, &calib, &holdout, 0.995)
+        .expect("int8 policy must clear the 99.5% gate");
+    assert!(
+        agreement >= 0.995,
+        "gate passed but reported agreement {agreement} < 0.995"
+    );
+    // The reported number is reproducible from the public pieces.
+    assert_eq!(agreement, greedy_agreement(&policy, &quantized, &holdout));
+}
+
+#[test]
+fn quantized_actions_are_in_range_and_mostly_equal_to_f64() {
+    let policy = trained_policy(41);
+    let calib = synthetic_observations(policy.input_size(), 11, 256);
+    let quantized = QuantizedPolicy::quantize(&policy, &calib);
+    let obs = synthetic_observations(policy.input_size(), 12, 200);
+    let mut scratch = QuantScratch::default();
+    let mut actions = Vec::new();
+    quantized.act_greedy_batch(&obs, &mut scratch, &mut actions);
+    assert_eq!(actions.len(), obs.rows());
+    assert!(actions.iter().all(|&a| a < quantized.num_actions()));
+    let agreement = greedy_agreement(&policy, &quantized, &obs);
+    assert!(agreement >= 0.99, "agreement collapsed: {agreement}");
+}
+
+#[test]
+fn adversarial_observations_never_panic_the_quantized_path() {
+    let policy = trained_policy(42);
+    let calib = synthetic_observations(policy.input_size(), 13, 256);
+    let quantized = QuantizedPolicy::quantize(&policy, &calib);
+    let width = quantized.input_size();
+
+    let mut batch = Batch::with_cols(width);
+    // Hand-picked poison rows: subnormals, huge magnitudes, and every
+    // non-finite value, in several mixtures.
+    let specials = [
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        5e-324,
+        -5e-324,
+        1e308,
+        -1e308,
+        f64::MAX,
+        f64::MIN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        -0.0,
+    ];
+    for (i, &v) in specials.iter().enumerate() {
+        let mut row = vec![0.5; width];
+        row[i % width] = v;
+        batch.push_row(&row);
+    }
+    batch.push_row(&vec![f64::NAN; width]);
+    batch.push_row(&vec![f64::INFINITY; width]);
+    batch.push_row(&vec![1e308; width]);
+    batch.push_row(&vec![5e-324; width]);
+    // Plus random mixtures of specials and ordinary values.
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..64 {
+        let row: Vec<f64> = (0..width)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < 0.3 {
+                    specials[rng.gen_range(0..specials.len())]
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                }
+            })
+            .collect();
+        batch.push_row(&row);
+    }
+
+    let mut scratch = QuantScratch::default();
+    let mut actions = Vec::new();
+    quantized.act_greedy_batch(&batch, &mut scratch, &mut actions);
+    assert_eq!(actions.len(), batch.rows());
+    assert!(actions.iter().all(|&a| a < quantized.num_actions()));
+}

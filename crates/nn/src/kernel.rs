@@ -1,0 +1,150 @@
+//! Kernel-backend dispatch: scalar oracle vs explicit SIMD microkernels.
+//!
+//! Every GEMM in this crate ([`crate::matrix::gemm_nn_into`],
+//! [`crate::matrix::gemm_nt_into`], [`crate::matrix::gemm_tn_scaled_into`]
+//! and everything built on them — `Batch::matmul_*`, `Mlp::forward_batch`
+//! / `backward_batch`) routes through one process-wide backend switch:
+//!
+//! * [`Backend::Scalar`] (the **default**) — the register-tiled scalar
+//!   kernels. These are the repo's bit-exactness oracle: every output
+//!   element folds its sum in ascending-`k` order with separate
+//!   multiply and add roundings, so all golden values, determinism
+//!   tests, and replay traces stay bit-for-bit reproducible.
+//! * [`Backend::Simd`] — explicit AVX2+FMA `std::arch` microkernels
+//!   ([`crate::simd`]), **opt-in** per run / serve config. FMA contracts
+//!   each multiply-add into one rounding, so results are *not*
+//!   bit-exact with the scalar path; they are ULP-bounded instead (see
+//!   the [`crate::simd`] module docs for the documented bound, enforced
+//!   by the differential harness in `tests/simd_differential.rs`).
+//!
+//! Requesting [`Backend::Simd`] is a *request*: it only takes effect
+//! when the CPU actually reports `avx2`+`fma` at runtime
+//! (`is_x86_feature_detected!`) **and** the `CTJAM_FORCE_SCALAR`
+//! environment escape hatch is not set. [`simd_active`] tells you what
+//! will really run; on a non-AVX2 machine (or under
+//! `CTJAM_FORCE_SCALAR=1`) a Simd request silently degrades to the
+//! scalar oracle, keeping CI on such machines honest and bit-exact.
+//!
+//! The switch is a process-global atomic because the kernels sit under
+//! layers (`Batch`, `Mlp`, `GreedyPolicy`) that are freely cloned and
+//! serialized — threading a per-object flag through them would put a
+//! kernel-selection bit inside `PartialEq`/checkpoint comparisons.
+//! Training and evaluation default to scalar; flip the switch only for
+//! throughput-oriented paths (serving, perf benches) where the
+//! documented ULP tolerance is acceptable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which kernel family the GEMM entry points dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Register-tiled scalar kernels — bit-exact, the oracle. Default.
+    Scalar,
+    /// AVX2+FMA microkernels — ULP-bounded vs the oracle, opt-in.
+    Simd,
+}
+
+/// Requested backend; `0 = Scalar`, `1 = Simd`.
+static REQUESTED: AtomicU8 = AtomicU8::new(0);
+
+/// Requests a kernel backend for every subsequent GEMM in this process.
+///
+/// The request is sticky and process-global (see the module docs for
+/// why); it is honored only when [`simd_supported`] is true and
+/// [`force_scalar`] is false — otherwise the scalar oracle keeps
+/// running regardless.
+pub fn set_backend(backend: Backend) {
+    REQUESTED.store(
+        match backend {
+            Backend::Scalar => 0,
+            Backend::Simd => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The backend most recently requested via [`set_backend`] (default
+/// [`Backend::Scalar`]). This is the *request*; [`active_backend`] is
+/// what actually runs.
+pub fn requested_backend() -> Backend {
+    if REQUESTED.load(Ordering::Relaxed) == 1 {
+        Backend::Simd
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// Whether this CPU supports the SIMD kernels (runtime-detected
+/// `avx2 && fma` on x86-64; always false elsewhere). Cached after the
+/// first call.
+pub fn simd_supported() -> bool {
+    static SUPPORTED: OnceLock<bool> = OnceLock::new();
+    *SUPPORTED.get_or_init(detect_simd)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_simd() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_simd() -> bool {
+    false
+}
+
+/// Whether the `CTJAM_FORCE_SCALAR` escape hatch pins the scalar
+/// oracle regardless of requests ("", unset, and `0` mean off; any
+/// other value means on). Read once per process and cached, so set it
+/// before the first kernel dispatch.
+pub fn force_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("CTJAM_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Whether the next GEMM will actually run the SIMD microkernels:
+/// requested AND supported AND not force-disabled.
+#[inline]
+pub fn simd_active() -> bool {
+    REQUESTED.load(Ordering::Relaxed) == 1 && simd_supported() && !force_scalar()
+}
+
+/// The backend the next GEMM will actually run.
+pub fn active_backend() -> Backend {
+    if simd_active() {
+        Backend::Simd
+    } else {
+        Backend::Scalar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test (not several) because the switch is process-global and
+    /// unit tests share a process: a second test flipping it in
+    /// parallel would race this one.
+    #[test]
+    fn requests_round_trip_and_gate_on_support() {
+        let before = requested_backend();
+        set_backend(Backend::Simd);
+        assert_eq!(requested_backend(), Backend::Simd);
+        if !simd_supported() || force_scalar() {
+            assert!(!simd_active());
+            assert_eq!(active_backend(), Backend::Scalar);
+        } else {
+            assert!(simd_active());
+            assert_eq!(active_backend(), Backend::Simd);
+        }
+        set_backend(Backend::Scalar);
+        assert_eq!(requested_backend(), Backend::Scalar);
+        assert_eq!(active_backend(), Backend::Scalar);
+        assert!(!simd_active());
+        set_backend(before);
+    }
+}

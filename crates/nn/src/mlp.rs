@@ -80,6 +80,21 @@ impl DenseLayer {
         self.weights.len() + self.biases.len()
     }
 
+    /// The weight matrix (`output_size × input_size`, row-major).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector (`output_size` entries).
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let mut z = self.weights.mul_vec(x);
         for (zi, b) in z.iter_mut().zip(&self.biases) {

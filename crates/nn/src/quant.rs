@@ -1,0 +1,345 @@
+//! Post-training int8 quantization of an [`Mlp`] — the serving-only
+//! inference path.
+//!
+//! Motivated by the resource-constrained-IoT DRL line of work
+//! (PAPERS.md): the anti-jamming policies this repo trains are meant to
+//! run on tiny devices, where an int8 forward pass costs a quarter of
+//! the f64 model's memory traffic. The scheme is standard *symmetric
+//! static* quantization:
+//!
+//! * **Weights**: per-output-row scale `w_scale[o] = max|W[o][·]| / 127`,
+//!   rounded to the nearest `i8` (symmetric, so no zero-point).
+//! * **Activations**: one scale per layer input,
+//!   `in_scale = max|a| / 127`, where the max is taken over a
+//!   calibration set propagated through the **f64** network (non-finite
+//!   values are ignored; an all-zero calibration falls back to scale
+//!   `1/127`).
+//! * **Accumulation**: `i8 × i8 → i32` (exact — no rounding inside the
+//!   dot product), dequantized once per output as
+//!   `acc · (w_scale[o] · in_scale) + bias[o]`; bias and activation stay
+//!   in f64.
+//!
+//! Because the inner loop is integer math, a quantized forward pass is
+//! exactly reproducible — bit-identical across machines and backends —
+//! but it is *lossy* vs the f64 model. The accuracy contract is
+//! therefore **behavioral**, not numeric: serving only enables this
+//! path when greedy-action agreement vs f64 on held-out observations
+//! clears a gate (≥ 99.5% in ctjam-serve; see `ctjam_dqn::quant` and
+//! the gate test in `crates/dqn/tests/quant_gate.rs`).
+//!
+//! Adversarial inputs are safe by construction: quantizing an input
+//! value saturates huge magnitudes to ±127, flushes subnormals to 0,
+//! and maps NaN to 0 (Rust's saturating float→int cast) — the forward
+//! pass never panics on any f64 input.
+
+use crate::activation::Activation;
+use crate::batch::Batch;
+use crate::mlp::Mlp;
+
+/// Upper bound on quantized layer width: `127·127·cols` must fit an
+/// `i32` accumulator with slack (`i32::MAX / 127² ≈ 133 000`).
+const MAX_QUANT_DIM: usize = 100_000;
+
+/// One int8-quantized dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantLayer {
+    rows: usize,
+    cols: usize,
+    /// Row-major `rows × cols` int8 weights.
+    weights_q: Vec<i8>,
+    /// Per-output-row symmetric weight scale (dequant multiplier).
+    w_scale: Vec<f64>,
+    /// f64 biases, added after dequantization.
+    bias: Vec<f64>,
+    /// Symmetric scale of this layer's *input* activations.
+    in_scale: f64,
+    activation: Activation,
+}
+
+/// An int8-quantized [`Mlp`] for inference only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantLayer>,
+}
+
+/// Reusable buffers for [`QuantizedMlp::forward_into`]: the quantized
+/// input row and the f64 ping-pong activation buffers.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    q_in: Vec<i8>,
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+/// Quantizes one f64 value against a symmetric scale. Saturates to
+/// ±127, flushes NaN to 0 (saturating cast semantics).
+#[inline]
+fn quantize_value(v: f64, inv_scale: f64) -> i8 {
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Symmetric scale for a set of values: `max|v| / 127` over the finite
+/// entries, falling back to `1/127` when everything is zero or
+/// non-finite (so dequantization never divides by zero).
+fn symmetric_scale<'a>(values: impl Iterator<Item = &'a f64>) -> f64 {
+    let max_abs = values
+        .map(|v| v.abs())
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0 / 127.0
+    }
+}
+
+impl QuantizedMlp {
+    /// Post-training quantization of `net`, calibrating activation
+    /// scales by propagating `calibration` through the f64 network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty, its width differs from the
+    /// network input, or a layer exceeds the int8 accumulator bound.
+    pub fn quantize(net: &Mlp, calibration: &Batch) -> Self {
+        assert!(calibration.rows() > 0, "empty calibration set");
+        assert_eq!(
+            calibration.cols(),
+            net.input_size(),
+            "calibration width mismatch"
+        );
+        // Propagate the calibration set through the f64 network once,
+        // recording each layer's input max-abs for its in_scale.
+        let mut acts: Vec<f64> = calibration.as_slice().to_vec();
+        let rows = calibration.rows();
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for layer in net.layers() {
+            let (out_size, in_size) = (layer.output_size(), layer.input_size());
+            assert!(
+                in_size <= MAX_QUANT_DIM,
+                "layer too wide for the i32 accumulator ({in_size} > {MAX_QUANT_DIM})"
+            );
+            let in_scale = symmetric_scale(acts.iter());
+            let w = layer.weights().as_slice();
+            let mut weights_q = Vec::with_capacity(w.len());
+            let mut w_scale = Vec::with_capacity(out_size);
+            for wr in w.chunks_exact(in_size) {
+                let scale = symmetric_scale(wr.iter());
+                let inv = 1.0 / scale;
+                weights_q.extend(wr.iter().map(|&v| quantize_value(v, inv)));
+                w_scale.push(scale);
+            }
+            layers.push(QuantLayer {
+                rows: out_size,
+                cols: in_size,
+                weights_q,
+                w_scale,
+                bias: layer.biases().to_vec(),
+                in_scale,
+                activation: layer.activation(),
+            });
+            // f64 forward to the next layer's input for its calibration.
+            let mut next = vec![0.0; rows * out_size];
+            for (xr, or) in acts
+                .chunks_exact(in_size)
+                .zip(next.chunks_exact_mut(out_size))
+            {
+                for (o, (wr, &b)) in or
+                    .iter_mut()
+                    .zip(w.chunks_exact(in_size).zip(layer.biases()))
+                {
+                    let mut acc = 0.0;
+                    for (&wv, &xv) in wr.iter().zip(xr) {
+                        acc += wv * xv;
+                    }
+                    *o = layer.activation().apply(acc + b);
+                }
+            }
+            acts = next;
+        }
+        QuantizedMlp { layers }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().expect("at least one layer").cols
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("at least one layer").rows
+    }
+
+    /// Bytes the quantized parameters occupy (i8 weights + f64 scales
+    /// and biases) — the memory-footprint number the IoT motivation
+    /// cares about; compare with `8 × Mlp::param_count()`.
+    pub fn param_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights_q.len() + 8 * (l.w_scale.len() + l.bias.len() + 1))
+            .sum()
+    }
+
+    /// Inference over one observation, writing the Q-row into `out`.
+    /// Never panics on non-finite or huge inputs (they saturate/flush
+    /// during quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward_into(&self, x: &[f64], scratch: &mut QuantScratch, out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.input_size(), "input width mismatch");
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(x);
+        for layer in &self.layers {
+            let inv = 1.0 / layer.in_scale;
+            scratch.q_in.clear();
+            scratch
+                .q_in
+                .extend(scratch.cur.iter().map(|&v| quantize_value(v, inv)));
+            scratch.next.clear();
+            scratch.next.reserve(layer.rows);
+            for (wr, (&scale, &b)) in layer
+                .weights_q
+                .chunks_exact(layer.cols)
+                .zip(layer.w_scale.iter().zip(&layer.bias))
+            {
+                let mut acc: i32 = 0;
+                for (&wq, &xq) in wr.iter().zip(&scratch.q_in) {
+                    acc += i32::from(wq) * i32::from(xq);
+                }
+                let deq = acc as f64 * (scale * layer.in_scale) + b;
+                scratch.next.push(layer.activation.apply(deq));
+            }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        }
+        out.clear();
+        out.extend_from_slice(&scratch.cur);
+    }
+
+    /// Inference over every row of `batch`, appending each Q-row to
+    /// `out` (cleared first) — row `s` occupies
+    /// `out[s·output_size .. (s+1)·output_size]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.cols()` differs from the input width.
+    pub fn forward_batch_into(
+        &self,
+        batch: &Batch,
+        scratch: &mut QuantScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(batch.cols(), self.input_size(), "input width mismatch");
+        out.clear();
+        let mut row_out = Vec::with_capacity(self.output_size());
+        for s in 0..batch.rows() {
+            self.forward_into(batch.row(s), scratch, &mut row_out);
+            out.extend_from_slice(&row_out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(11);
+        MlpBuilder::new(4).hidden(8).output(3).build(&mut rng)
+    }
+
+    fn calib() -> Batch {
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|s| (0..4).map(|k| ((s * 4 + k) as f64 * 0.37).sin()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| &r[..]).collect();
+        Batch::from_rows(&refs)
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f64_closely() {
+        let net = small_net();
+        let q = QuantizedMlp::quantize(&net, &calib());
+        let mut scratch = QuantScratch::default();
+        let mut out = Vec::new();
+        let x = [0.3, -0.7, 0.9, -0.1];
+        q.forward_into(&x, &mut scratch, &mut out);
+        let want = net.forward(&x);
+        assert_eq!(out.len(), want.len());
+        let span = want.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+        for (got, w) in out.iter().zip(&want) {
+            // ~1% of the output span: two int8 roundings through two layers.
+            assert!((got - w).abs() <= 0.05 * span, "{got} vs {w}");
+        }
+    }
+
+    #[test]
+    fn batch_forward_is_per_row_forward() {
+        let net = small_net();
+        let q = QuantizedMlp::quantize(&net, &calib());
+        let mut scratch = QuantScratch::default();
+        let batch = calib();
+        let mut all = Vec::new();
+        q.forward_batch_into(&batch, &mut scratch, &mut all);
+        let mut one = Vec::new();
+        for s in 0..batch.rows() {
+            q.forward_into(batch.row(s), &mut scratch, &mut one);
+            assert_eq!(
+                &all[s * q.output_size()..(s + 1) * q.output_size()],
+                &one[..]
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_inputs_never_panic() {
+        let net = small_net();
+        let q = QuantizedMlp::quantize(&net, &calib());
+        let mut scratch = QuantScratch::default();
+        let mut out = Vec::new();
+        for x in [
+            [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0],
+            [1e308, -1e308, 5e-324, -5e-324],
+            [f64::MIN_POSITIVE, -f64::MIN_POSITIVE, 0.0, -0.0],
+        ] {
+            q.forward_into(&x, &mut scratch, &mut out);
+            assert!(
+                out.iter().all(|v| v.is_finite()),
+                "non-finite output for {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_and_nan_map_into_i8_range() {
+        assert_eq!(quantize_value(1e300, 127.0), 127);
+        assert_eq!(quantize_value(-1e300, 127.0), -127);
+        assert_eq!(quantize_value(f64::NAN, 127.0), 0);
+        assert_eq!(quantize_value(5e-324, 127.0), 0);
+    }
+
+    #[test]
+    fn param_bytes_beat_f64() {
+        let net = small_net();
+        let q = QuantizedMlp::quantize(&net, &calib());
+        assert!(q.param_bytes() < 8 * net.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty calibration")]
+    fn empty_calibration_panics() {
+        let net = small_net();
+        QuantizedMlp::quantize(&net, &Batch::with_cols(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration width mismatch")]
+    fn wrong_calibration_width_panics() {
+        let net = small_net();
+        QuantizedMlp::quantize(&net, &Batch::from_rows(&[&[1.0, 2.0]]));
+    }
+}

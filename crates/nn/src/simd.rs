@@ -1,0 +1,447 @@
+//! Explicit AVX2+FMA `std::arch` microkernels for the three GEMM
+//! shapes, behind the runtime switch in [`crate::kernel`].
+//!
+//! The kernels mirror the scalar register-tiled loops in
+//! [`crate::matrix`] exactly — same shapes, same ascending-`k`
+//! left-fold per output element, tiling only interleaves *independent*
+//! elements — but contract every multiply-add into one fused
+//! `vfmadd231pd`, which skips the intermediate product rounding the
+//! scalar oracle performs. The result is therefore **not bit-exact**
+//! with the scalar path; it is ULP-bounded:
+//!
+//! ## The documented tolerance
+//!
+//! For an output element accumulating `k` products, both the scalar
+//! fold and the FMA fold carry rounding error at most `k·ε·M` where
+//! `M = Σ_k |a·b|` is the accumulated magnitude, so
+//!
+//! ```text
+//! |simd − scalar| ≤ (2k + 4) · ulp(M),   M = Σ_k |a[s][k]·b[k][c]|
+//! ```
+//!
+//! (the `+4` absorbs the final bias add and the denormal floor). The
+//! differential harness in `tests/simd_differential.rs` enforces this
+//! bound property-test-style over random shapes and values, including
+//! non-lane-multiple ("ragged edge") dimensions, empty dimensions, and
+//! NaN/±Inf propagation. Where bit-exactness is required — training,
+//! golden values, replay — use the scalar oracle (the default backend).
+//!
+//! AVX-512 is deliberately left out for now: on this workload the
+//! doubled register width did not pay for the downclock/complexity in
+//! early experiments, and the AVX2 path already saturates the FMA
+//! ports at these layer sizes. The dispatch seam in [`crate::kernel`]
+//! is where a `zmm` tier would slot in.
+//!
+//! Safety: this module is the crate's only `unsafe` code. Every entry
+//! point asserts exact slice lengths before the `unsafe` call, the
+//! `#[target_feature]` functions are only reachable through wrappers
+//! that have verified `avx2+fma` via [`crate::kernel::simd_supported`],
+//! and all pointer arithmetic stays inside the asserted bounds (the
+//! differential suite doubles as a sanitizer harness — `ci.sh` runs it
+//! under Miri when available, else under a debug-assertions build).
+#![allow(unsafe_code)]
+
+use crate::kernel;
+
+/// SIMD twin of [`crate::matrix::gemm_nn_scalar_into`]:
+/// `out[s][c] = Σ_r a[s][r]·b[r][c]` with fused multiply-adds.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shape arguments or the
+/// CPU lacks `avx2+fma` (callers gate on
+/// [`crate::kernel::simd_supported`]).
+pub fn gemm_nn_simd_into(
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f64],
+    b_cols: usize,
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), a_rows * a_cols, "a shape mismatch");
+    assert_eq!(b.len(), a_cols * b_cols, "b shape mismatch");
+    assert_eq!(out.len(), a_rows * b_cols, "out shape mismatch");
+    assert!(kernel::simd_supported(), "SIMD kernels need avx2+fma");
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        x86::gemm_nn(a, a_rows, a_cols, b, b_cols, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("simd_supported() is false off x86-64")
+}
+
+/// SIMD twin of [`crate::matrix::gemm_nt_scalar_into`]: transpose-pack
+/// `b`, then the NN microkernel, then the bias add.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shape arguments or the
+/// CPU lacks `avx2+fma`.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS-style gemm signature
+pub fn gemm_nt_simd_into(
+    a: &[f64],
+    a_rows: usize,
+    b: &[f64],
+    b_rows: usize,
+    k: usize,
+    bias: Option<&[f64]>,
+    pack: &mut Vec<f64>,
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), a_rows * k, "a shape mismatch");
+    assert_eq!(b.len(), b_rows * k, "b shape mismatch");
+    assert_eq!(out.len(), a_rows * b_rows, "out shape mismatch");
+    pack.clear();
+    pack.resize(k * b_rows, 0.0);
+    if k > 0 {
+        for (o, br) in b.chunks_exact(k).enumerate() {
+            for (kk, &w) in br.iter().enumerate() {
+                pack[kk * b_rows + o] = w;
+            }
+        }
+    }
+    gemm_nn_simd_into(a, a_rows, k, pack, b_rows, out);
+    if let (Some(bs), true) = (bias, b_rows > 0) {
+        assert_eq!(bs.len(), b_rows, "bias width mismatch");
+        for or in out.chunks_exact_mut(b_rows) {
+            for (o, &bv) in or.iter_mut().zip(bs) {
+                *o += bv;
+            }
+        }
+    }
+}
+
+/// SIMD twin of [`crate::matrix::gemm_tn_scaled_scalar_into`]:
+/// `out[j][i] = Σ_s (a[s][j]·scale)·b[s][i]` with fused multiply-adds
+/// (the batched weight-gradient pass).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the shape arguments or the
+/// CPU lacks `avx2+fma`.
+pub fn gemm_tn_scaled_simd_into(
+    a: &[f64],
+    rows: usize,
+    m: usize,
+    scale: f64,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), rows * m, "a shape mismatch");
+    assert_eq!(b.len(), rows * n, "b shape mismatch");
+    assert_eq!(out.len(), m * n, "out shape mismatch");
+    assert!(kernel::simd_supported(), "SIMD kernels need avx2+fma");
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        x86::gemm_tn_scaled(a, rows, m, scale, b, n, out)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("simd_supported() is false off x86-64")
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// `out[s][c] = Σ_r a[s][r]·b[r][c]`, 4-row × 8-column register
+    /// tile (8 `ymm` accumulators live across the whole `r` loop), with
+    /// 4-wide and scalar `mul_add` remainder paths. Caller asserted all
+    /// slice lengths; every pointer below stays inside them.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2`+`fma` and `a.len() == a_rows*a_cols`,
+    /// `b.len() == a_cols*b_cols`, `out.len() == a_rows*b_cols`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_nn(
+        a: &[f64],
+        a_rows: usize,
+        a_cols: usize,
+        b: &[f64],
+        b_cols: usize,
+        out: &mut [f64],
+    ) {
+        let k = a_cols;
+        let n = b_cols;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut s = 0;
+        while s + 4 <= a_rows {
+            let a0 = ap.add(s * k);
+            let a1 = ap.add((s + 1) * k);
+            let a2 = ap.add((s + 2) * k);
+            let a3 = ap.add((s + 3) * k);
+            let o0 = op.add(s * n);
+            let o1 = op.add((s + 1) * n);
+            let o2 = op.add((s + 2) * n);
+            let o3 = op.add((s + 3) * n);
+            let mut c = 0;
+            while c + 8 <= n {
+                let mut acc00 = _mm256_setzero_pd();
+                let mut acc01 = _mm256_setzero_pd();
+                let mut acc10 = _mm256_setzero_pd();
+                let mut acc11 = _mm256_setzero_pd();
+                let mut acc20 = _mm256_setzero_pd();
+                let mut acc21 = _mm256_setzero_pd();
+                let mut acc30 = _mm256_setzero_pd();
+                let mut acc31 = _mm256_setzero_pd();
+                for r in 0..k {
+                    let b0 = _mm256_loadu_pd(bp.add(r * n + c));
+                    let b1 = _mm256_loadu_pd(bp.add(r * n + c + 4));
+                    let av = _mm256_set1_pd(*a0.add(r));
+                    acc00 = _mm256_fmadd_pd(av, b0, acc00);
+                    acc01 = _mm256_fmadd_pd(av, b1, acc01);
+                    let av = _mm256_set1_pd(*a1.add(r));
+                    acc10 = _mm256_fmadd_pd(av, b0, acc10);
+                    acc11 = _mm256_fmadd_pd(av, b1, acc11);
+                    let av = _mm256_set1_pd(*a2.add(r));
+                    acc20 = _mm256_fmadd_pd(av, b0, acc20);
+                    acc21 = _mm256_fmadd_pd(av, b1, acc21);
+                    let av = _mm256_set1_pd(*a3.add(r));
+                    acc30 = _mm256_fmadd_pd(av, b0, acc30);
+                    acc31 = _mm256_fmadd_pd(av, b1, acc31);
+                }
+                _mm256_storeu_pd(o0.add(c), acc00);
+                _mm256_storeu_pd(o0.add(c + 4), acc01);
+                _mm256_storeu_pd(o1.add(c), acc10);
+                _mm256_storeu_pd(o1.add(c + 4), acc11);
+                _mm256_storeu_pd(o2.add(c), acc20);
+                _mm256_storeu_pd(o2.add(c + 4), acc21);
+                _mm256_storeu_pd(o3.add(c), acc30);
+                _mm256_storeu_pd(o3.add(c + 4), acc31);
+                c += 8;
+            }
+            while c + 4 <= n {
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                let mut acc2 = _mm256_setzero_pd();
+                let mut acc3 = _mm256_setzero_pd();
+                for r in 0..k {
+                    let bv = _mm256_loadu_pd(bp.add(r * n + c));
+                    acc0 = _mm256_fmadd_pd(_mm256_set1_pd(*a0.add(r)), bv, acc0);
+                    acc1 = _mm256_fmadd_pd(_mm256_set1_pd(*a1.add(r)), bv, acc1);
+                    acc2 = _mm256_fmadd_pd(_mm256_set1_pd(*a2.add(r)), bv, acc2);
+                    acc3 = _mm256_fmadd_pd(_mm256_set1_pd(*a3.add(r)), bv, acc3);
+                }
+                _mm256_storeu_pd(o0.add(c), acc0);
+                _mm256_storeu_pd(o1.add(c), acc1);
+                _mm256_storeu_pd(o2.add(c), acc2);
+                _mm256_storeu_pd(o3.add(c), acc3);
+                c += 4;
+            }
+            while c < n {
+                let mut acc = [0.0f64; 4];
+                for r in 0..k {
+                    let w = *bp.add(r * n + c);
+                    acc[0] = w.mul_add(*a0.add(r), acc[0]);
+                    acc[1] = w.mul_add(*a1.add(r), acc[1]);
+                    acc[2] = w.mul_add(*a2.add(r), acc[2]);
+                    acc[3] = w.mul_add(*a3.add(r), acc[3]);
+                }
+                *o0.add(c) = acc[0];
+                *o1.add(c) = acc[1];
+                *o2.add(c) = acc[2];
+                *o3.add(c) = acc[3];
+                c += 1;
+            }
+            s += 4;
+        }
+        while s < a_rows {
+            let ar = ap.add(s * k);
+            let or = op.add(s * n);
+            let mut c = 0;
+            while c + 8 <= n {
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                for r in 0..k {
+                    let av = _mm256_set1_pd(*ar.add(r));
+                    acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bp.add(r * n + c)), acc0);
+                    acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bp.add(r * n + c + 4)), acc1);
+                }
+                _mm256_storeu_pd(or.add(c), acc0);
+                _mm256_storeu_pd(or.add(c + 4), acc1);
+                c += 8;
+            }
+            while c + 4 <= n {
+                let mut acc = _mm256_setzero_pd();
+                for r in 0..k {
+                    let av = _mm256_set1_pd(*ar.add(r));
+                    acc = _mm256_fmadd_pd(av, _mm256_loadu_pd(bp.add(r * n + c)), acc);
+                }
+                _mm256_storeu_pd(or.add(c), acc);
+                c += 4;
+            }
+            while c < n {
+                let mut acc = 0.0f64;
+                for r in 0..k {
+                    acc = (*bp.add(r * n + c)).mul_add(*ar.add(r), acc);
+                }
+                *or.add(c) = acc;
+                c += 1;
+            }
+            s += 1;
+        }
+    }
+
+    /// `out[j][i] = Σ_s (a[s][j]·scale)·b[s][i]`, 4-j × 8-i register
+    /// tile. The per-sample scalar `a[s][j]·scale` is rounded once and
+    /// broadcast — the same product the scalar kernel forms — so only
+    /// the multiply-add contraction differs.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2`+`fma` and `a.len() == rows*m`,
+    /// `b.len() == rows*n`, `out.len() == m*n`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_tn_scaled(
+        a: &[f64],
+        rows: usize,
+        m: usize,
+        scale: f64,
+        b: &[f64],
+        n: usize,
+        out: &mut [f64],
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0;
+        while j + 4 <= m {
+            let o0 = op.add(j * n);
+            let o1 = op.add((j + 1) * n);
+            let o2 = op.add((j + 2) * n);
+            let o3 = op.add((j + 3) * n);
+            let mut i = 0;
+            while i + 8 <= n {
+                let mut acc00 = _mm256_setzero_pd();
+                let mut acc01 = _mm256_setzero_pd();
+                let mut acc10 = _mm256_setzero_pd();
+                let mut acc11 = _mm256_setzero_pd();
+                let mut acc20 = _mm256_setzero_pd();
+                let mut acc21 = _mm256_setzero_pd();
+                let mut acc30 = _mm256_setzero_pd();
+                let mut acc31 = _mm256_setzero_pd();
+                for s in 0..rows {
+                    let arow = ap.add(s * m + j);
+                    let b0 = _mm256_loadu_pd(bp.add(s * n + i));
+                    let b1 = _mm256_loadu_pd(bp.add(s * n + i + 4));
+                    let av = _mm256_set1_pd(*arow * scale);
+                    acc00 = _mm256_fmadd_pd(av, b0, acc00);
+                    acc01 = _mm256_fmadd_pd(av, b1, acc01);
+                    let av = _mm256_set1_pd(*arow.add(1) * scale);
+                    acc10 = _mm256_fmadd_pd(av, b0, acc10);
+                    acc11 = _mm256_fmadd_pd(av, b1, acc11);
+                    let av = _mm256_set1_pd(*arow.add(2) * scale);
+                    acc20 = _mm256_fmadd_pd(av, b0, acc20);
+                    acc21 = _mm256_fmadd_pd(av, b1, acc21);
+                    let av = _mm256_set1_pd(*arow.add(3) * scale);
+                    acc30 = _mm256_fmadd_pd(av, b0, acc30);
+                    acc31 = _mm256_fmadd_pd(av, b1, acc31);
+                }
+                _mm256_storeu_pd(o0.add(i), acc00);
+                _mm256_storeu_pd(o0.add(i + 4), acc01);
+                _mm256_storeu_pd(o1.add(i), acc10);
+                _mm256_storeu_pd(o1.add(i + 4), acc11);
+                _mm256_storeu_pd(o2.add(i), acc20);
+                _mm256_storeu_pd(o2.add(i + 4), acc21);
+                _mm256_storeu_pd(o3.add(i), acc30);
+                _mm256_storeu_pd(o3.add(i + 4), acc31);
+                i += 8;
+            }
+            while i + 4 <= n {
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                let mut acc2 = _mm256_setzero_pd();
+                let mut acc3 = _mm256_setzero_pd();
+                for s in 0..rows {
+                    let arow = ap.add(s * m + j);
+                    let bv = _mm256_loadu_pd(bp.add(s * n + i));
+                    acc0 = _mm256_fmadd_pd(_mm256_set1_pd(*arow * scale), bv, acc0);
+                    acc1 = _mm256_fmadd_pd(_mm256_set1_pd(*arow.add(1) * scale), bv, acc1);
+                    acc2 = _mm256_fmadd_pd(_mm256_set1_pd(*arow.add(2) * scale), bv, acc2);
+                    acc3 = _mm256_fmadd_pd(_mm256_set1_pd(*arow.add(3) * scale), bv, acc3);
+                }
+                _mm256_storeu_pd(o0.add(i), acc0);
+                _mm256_storeu_pd(o1.add(i), acc1);
+                _mm256_storeu_pd(o2.add(i), acc2);
+                _mm256_storeu_pd(o3.add(i), acc3);
+                i += 4;
+            }
+            while i < n {
+                let mut acc = [0.0f64; 4];
+                for s in 0..rows {
+                    let w = *bp.add(s * n + i);
+                    let arow = ap.add(s * m + j);
+                    acc[0] = (*arow * scale).mul_add(w, acc[0]);
+                    acc[1] = (*arow.add(1) * scale).mul_add(w, acc[1]);
+                    acc[2] = (*arow.add(2) * scale).mul_add(w, acc[2]);
+                    acc[3] = (*arow.add(3) * scale).mul_add(w, acc[3]);
+                }
+                *o0.add(i) = acc[0];
+                *o1.add(i) = acc[1];
+                *o2.add(i) = acc[2];
+                *o3.add(i) = acc[3];
+                i += 1;
+            }
+            j += 4;
+        }
+        while j < m {
+            let or = op.add(j * n);
+            let mut i = 0;
+            while i + 4 <= n {
+                let mut acc = _mm256_setzero_pd();
+                for s in 0..rows {
+                    let av = _mm256_set1_pd(*ap.add(s * m + j) * scale);
+                    acc = _mm256_fmadd_pd(av, _mm256_loadu_pd(bp.add(s * n + i)), acc);
+                }
+                _mm256_storeu_pd(or.add(i), acc);
+                i += 4;
+            }
+            while i < n {
+                let mut acc = 0.0f64;
+                for s in 0..rows {
+                    acc = (*ap.add(s * m + j) * scale).mul_add(*bp.add(s * n + i), acc);
+                }
+                *or.add(i) = acc;
+                i += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{gemm_nn_scalar_into, gemm_tn_scaled_scalar_into};
+
+    /// Spot check on one fixed shape (the proptest harness in
+    /// `tests/simd_differential.rs` is the real gate).
+    #[test]
+    fn simd_kernels_track_the_scalar_oracle() {
+        if !kernel::simd_supported() {
+            return;
+        }
+        let (s, k, n) = (7, 13, 21);
+        let a: Vec<f64> = (0..s * k).map(|i| ((i * 37) as f64 * 0.11).sin()).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i * 19) as f64 * 0.07).cos()).collect();
+        let mut scalar = vec![0.0; s * n];
+        let mut simd = vec![0.0; s * n];
+        gemm_nn_scalar_into(&a, s, k, &b, n, &mut scalar);
+        gemm_nn_simd_into(&a, s, k, &b, n, &mut simd);
+        for (x, y) in scalar.iter().zip(&simd) {
+            assert!((x - y).abs() <= 1e-12 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+
+        let mut scalar = vec![0.0; k * n];
+        let mut simd = vec![0.0; k * n];
+        gemm_tn_scaled_scalar_into(&a[..s * k], s, k, 0.25, &b[..s * n], n, &mut scalar);
+        gemm_tn_scaled_simd_into(&a[..s * k], s, k, 0.25, &b[..s * n], n, &mut simd);
+        for (x, y) in scalar.iter().zip(&simd) {
+            assert!((x - y).abs() <= 1e-12 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `CTJAM_FORCE_SCALAR=1` escape-hatch test: with the hatch set, a
+//! `Backend::Simd` request must still run the scalar oracle bit-exactly
+//! — this is what keeps CI honest on machines where feature detection
+//! is disabled or absent.
+//!
+//! This test owns its own integration-test binary (hence its own
+//! process): the hatch is read once per process and cached, and the
+//! backend switch is process-global, so it cannot share a binary with
+//! tests that exercise the SIMD path.
+
+use ctjam_nn::batch::Batch;
+use ctjam_nn::kernel::{self, Backend};
+use ctjam_nn::matrix::{gemm_nn_into, gemm_nn_scalar_into, Matrix};
+use ctjam_nn::mlp::{BatchScratch, MlpBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn force_scalar_pins_the_oracle_bit_exactly() {
+    // Set the hatch before any kernel code could have cached it — this
+    // is the first and only test in this binary.
+    std::env::set_var("CTJAM_FORCE_SCALAR", "1");
+    assert!(kernel::force_scalar(), "escape hatch not picked up");
+
+    // A SIMD request must be visibly recorded yet have no effect.
+    kernel::set_backend(Backend::Simd);
+    assert_eq!(kernel::requested_backend(), Backend::Simd);
+    assert_eq!(kernel::active_backend(), Backend::Scalar);
+    assert!(!kernel::simd_active());
+
+    // Raw kernel dispatch: bit-exact with the scalar oracle.
+    let mut rng = StdRng::seed_from_u64(99);
+    let (s, k, n) = (6, 13, 21);
+    let a: Vec<f64> = (0..s * k).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let mut dispatched = vec![0.0; s * n];
+    let mut oracle = vec![0.0; s * n];
+    gemm_nn_into(&a, s, k, &b, n, &mut dispatched);
+    gemm_nn_scalar_into(&a, s, k, &b, n, &mut oracle);
+    assert_eq!(dispatched, oracle, "dispatch diverged from the oracle");
+
+    // And the full batched network path stays bit-exact with the
+    // per-sample path, exactly as the scalar contract promises.
+    let net = MlpBuilder::new(7).hidden(9).output(4).build(&mut rng);
+    let rows: Vec<Vec<f64>> = (0..5)
+        .map(|_| (0..7).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| &r[..]).collect();
+    let x = Batch::from_rows(&refs);
+    let mut scratch = BatchScratch::for_network(&net);
+    let out = net.forward_batch(&x, &mut scratch);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(out.row(i), &net.forward(row)[..], "row {i} diverged");
+    }
+
+    // Matrix-level entry points route through the same dispatch.
+    let ma = Matrix::from_fn(5, 11, |r, c| ((r * 13 + c * 7) as f64 * 0.3).sin());
+    let mb = Matrix::from_fn(11, 19, |r, c| ((r * 5 + c * 3) as f64 * 0.7).cos());
+    kernel::set_backend(Backend::Scalar);
+    let want = ma.matmul(&mb);
+    kernel::set_backend(Backend::Simd); // still forced off by the hatch
+    let got = ma.matmul(&mb);
+    assert_eq!(got, want);
+    kernel::set_backend(Backend::Scalar);
+}

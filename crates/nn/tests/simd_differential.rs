@@ -1,0 +1,304 @@
+//! Differential harness: the AVX2+FMA microkernels vs the scalar
+//! oracle, over random shapes and values.
+//!
+//! Every test drives the *explicit* kernel pair
+//! (`gemm_*_scalar_into` vs `gemm_*_simd_into`) rather than flipping
+//! the process-global backend switch — integration tests share a
+//! process and run concurrently, so mutating `kernel::set_backend`
+//! here would race every other test. (The dispatch seam itself is
+//! covered by `tests/force_scalar.rs`, which owns its own binary.)
+//!
+//! The tolerance is the one documented in `ctjam_nn::simd`:
+//!
+//! ```text
+//! |simd − scalar| ≤ (2k + 4) · ulp(M),   M = Σ_k |a·b| (+ |bias|)
+//! ```
+//!
+//! where `k` is the reduction length of the element and `M` its
+//! accumulated magnitude. Shapes deliberately cover empty dimensions
+//! (0-row / 0-col / 0-reduction) and every ragged edge of the 4×8
+//! register tile; value tests cover NaN and ±Inf propagation.
+
+use ctjam_nn::kernel::simd_supported;
+use ctjam_nn::matrix::{gemm_nn_scalar_into, gemm_nt_scalar_into, gemm_tn_scaled_scalar_into};
+use ctjam_nn::simd::{gemm_nn_simd_into, gemm_nt_simd_into, gemm_tn_scaled_simd_into};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Unit in the last place of `|x|` (distance to the next representable
+/// f64 away from zero). `ulp(0)` is the smallest subnormal.
+fn ulp(x: f64) -> f64 {
+    let a = x.abs();
+    if !a.is_finite() {
+        return f64::INFINITY;
+    }
+    f64::from_bits(a.to_bits() + 1) - a
+}
+
+/// Asserts one output element obeys the documented contract: identical
+/// NaN-ness, identical infinities, and the `(2k + 4)·ulp(M)` bound on
+/// finite values.
+fn assert_element(got: f64, want: f64, magnitude: f64, k: usize, ctx: &str) {
+    if want.is_nan() || got.is_nan() {
+        assert!(
+            want.is_nan() && got.is_nan(),
+            "{ctx}: NaN divergence (scalar {want}, simd {got})"
+        );
+        return;
+    }
+    if want.is_infinite() || got.is_infinite() {
+        assert!(
+            got == want,
+            "{ctx}: infinity divergence (scalar {want}, simd {got})"
+        );
+        return;
+    }
+    let tol = (2 * k + 4) as f64 * ulp(magnitude);
+    assert!(
+        (got - want).abs() <= tol,
+        "{ctx}: |{got} - {want}| = {} > tol {tol} (magnitude {magnitude}, k {k})",
+        (got - want).abs()
+    );
+}
+
+/// Compares scalar and SIMD `gemm_nn` on the given operands.
+fn check_nn(a: &[f64], a_rows: usize, a_cols: usize, b: &[f64], b_cols: usize) {
+    let mut scalar = vec![0.0; a_rows * b_cols];
+    let mut simd = vec![0.0; a_rows * b_cols];
+    gemm_nn_scalar_into(a, a_rows, a_cols, b, b_cols, &mut scalar);
+    gemm_nn_simd_into(a, a_rows, a_cols, b, b_cols, &mut simd);
+    for s in 0..a_rows {
+        for c in 0..b_cols {
+            let m: f64 = (0..a_cols)
+                .map(|r| (a[s * a_cols + r] * b[r * b_cols + c]).abs())
+                .sum();
+            assert_element(
+                simd[s * b_cols + c],
+                scalar[s * b_cols + c],
+                m,
+                a_cols,
+                &format!("nn[{s}][{c}] ({a_rows}x{a_cols}x{b_cols})"),
+            );
+        }
+    }
+}
+
+/// Compares scalar and SIMD `gemm_nt` (optional bias) on the operands.
+fn check_nt(a: &[f64], a_rows: usize, b: &[f64], b_rows: usize, k: usize, bias: Option<&[f64]>) {
+    let mut scalar = vec![0.0; a_rows * b_rows];
+    let mut simd = vec![0.0; a_rows * b_rows];
+    let mut pack = Vec::new();
+    gemm_nt_scalar_into(a, a_rows, b, b_rows, k, bias, &mut pack, &mut scalar);
+    gemm_nt_simd_into(a, a_rows, b, b_rows, k, bias, &mut pack, &mut simd);
+    for s in 0..a_rows {
+        for o in 0..b_rows {
+            let mut m: f64 = (0..k).map(|r| (a[s * k + r] * b[o * k + r]).abs()).sum();
+            if let Some(bs) = bias {
+                m += bs[o].abs();
+            }
+            assert_element(
+                simd[s * b_rows + o],
+                scalar[s * b_rows + o],
+                m,
+                k,
+                &format!(
+                    "nt[{s}][{o}] ({a_rows}x{k}x{b_rows}, bias {})",
+                    bias.is_some()
+                ),
+            );
+        }
+    }
+}
+
+/// Compares scalar and SIMD `gemm_tn_scaled` on the operands.
+fn check_tn(a: &[f64], rows: usize, m: usize, scale: f64, b: &[f64], n: usize) {
+    let mut scalar = vec![0.0; m * n];
+    let mut simd = vec![0.0; m * n];
+    gemm_tn_scaled_scalar_into(a, rows, m, scale, b, n, &mut scalar);
+    gemm_tn_scaled_simd_into(a, rows, m, scale, b, n, &mut simd);
+    for j in 0..m {
+        for i in 0..n {
+            let mag: f64 = (0..rows)
+                .map(|s| (a[s * m + j] * scale * b[s * n + i]).abs())
+                .sum();
+            assert_element(
+                simd[j * n + i],
+                scalar[j * n + i],
+                mag,
+                rows,
+                &format!("tn[{j}][{i}] ({rows}x{m}x{n}, scale {scale})"),
+            );
+        }
+    }
+}
+
+fn random_values(rng: &mut StdRng, n: usize, span: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-span..span)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `gemm_nn`: random shapes straddling every tile edge (the SIMD
+    /// kernel tiles 4 rows × 8 columns), including empty dimensions.
+    #[test]
+    fn nn_matches_scalar_within_ulp_bound(
+        seed in any::<u64>(),
+        a_rows in 0usize..10,
+        a_cols in 0usize..18,
+        b_cols in 0usize..35,
+        span in 1.0f64..1e3,
+    ) {
+        if !simd_supported() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_values(&mut rng, a_rows * a_cols, span);
+        let b = random_values(&mut rng, a_cols * b_cols, span);
+        check_nn(&a, a_rows, a_cols, &b, b_cols);
+    }
+
+    /// `gemm_nt` (forward layer shape), with and without bias.
+    #[test]
+    fn nt_matches_scalar_within_ulp_bound(
+        seed in any::<u64>(),
+        a_rows in 0usize..10,
+        k in 0usize..18,
+        b_rows in 0usize..35,
+        with_bias in prop::bool::ANY,
+        span in 1.0f64..1e3,
+    ) {
+        if !simd_supported() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_values(&mut rng, a_rows * k, span);
+        let b = random_values(&mut rng, b_rows * k, span);
+        let bias = random_values(&mut rng, b_rows, span);
+        let bias = if with_bias { Some(&bias[..]) } else { None };
+        check_nt(&a, a_rows, &b, b_rows, k, bias);
+    }
+
+    /// `gemm_tn_scaled` (weight-gradient shape) with a random scale,
+    /// including `scale = 0` and tiny scales.
+    #[test]
+    fn tn_scaled_matches_scalar_within_ulp_bound(
+        seed in any::<u64>(),
+        rows in 0usize..18,
+        m in 0usize..10,
+        n in 0usize..35,
+        scale in -2.0f64..2.0,
+        span in 1.0f64..1e3,
+    ) {
+        if !simd_supported() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_values(&mut rng, rows * m, span);
+        let b = random_values(&mut rng, rows * n, span);
+        check_tn(&a, rows, m, scale, &b, n);
+    }
+
+    /// NaN propagation: planting NaN in either operand poisons exactly
+    /// the same output elements in both kernels (same fold order, and
+    /// FMA propagates NaN like mul+add does).
+    #[test]
+    fn nan_propagation_is_identical(
+        seed in any::<u64>(),
+        a_rows in 1usize..8,
+        k in 1usize..14,
+        b_cols in 1usize..20,
+        in_a in prop::bool::ANY,
+    ) {
+        if !simd_supported() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = random_values(&mut rng, a_rows * k, 10.0);
+        let mut b = random_values(&mut rng, k * b_cols, 10.0);
+        if in_a {
+            let i = rng.gen_range(0..a.len());
+            a[i] = f64::NAN;
+        } else {
+            let i = rng.gen_range(0..b.len());
+            b[i] = f64::NAN;
+        }
+        check_nn(&a, a_rows, k, &b, b_cols);
+        // The nt shape reads the same buffer as b_cols×k.
+        check_nt(&a, a_rows, &b, b_cols, k, None);
+    }
+
+    /// ±Inf propagation with otherwise moderate values: the sums either
+    /// saturate to the same signed infinity or cancel to NaN in both
+    /// kernels. (Huge-but-finite values whose *intermediates* overflow
+    /// are excluded — there FMA's skipped rounding can legitimately
+    /// keep a product finite where mul+add overflows; the documented
+    /// contract only covers exact infinities.)
+    #[test]
+    fn infinity_propagation_is_identical(
+        seed in any::<u64>(),
+        a_rows in 1usize..8,
+        k in 1usize..14,
+        b_cols in 1usize..20,
+        negative in prop::bool::ANY,
+        second_inf in prop::bool::ANY,
+    ) {
+        if !simd_supported() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = random_values(&mut rng, a_rows * k, 10.0);
+        let b = random_values(&mut rng, k * b_cols, 10.0);
+        let inf = if negative { f64::NEG_INFINITY } else { f64::INFINITY };
+        let i = rng.gen_range(0..a.len());
+        a[i] = inf;
+        if second_inf {
+            // A second infinity of the opposite sign in the same row
+            // forces inf − inf = NaN through the accumulation.
+            let j = rng.gen_range(0..a.len());
+            a[j] = -inf;
+        }
+        check_nn(&a, a_rows, k, &b, b_cols);
+        // The tn shape reduces over rows: pair `a` (a_rows×k) with a
+        // fresh a_rows×b_cols right operand.
+        let b2 = random_values(&mut rng, a_rows * b_cols, 10.0);
+        check_tn(&a, a_rows, k, 0.5, &b2, b_cols);
+    }
+}
+
+/// The degenerate shapes, exhaustively: any of the three dimensions
+/// empty must produce an (empty or zeroed) output without touching
+/// memory out of bounds in either kernel.
+#[test]
+fn empty_and_unit_dimensions_agree() {
+    if !simd_supported() {
+        return;
+    }
+    let vals: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+    for &rows in &[0usize, 1, 3, 4, 5] {
+        for &k in &[0usize, 1, 2] {
+            for &cols in &[0usize, 1, 7, 8, 9] {
+                check_nn(&vals[..rows * k], rows, k, &vals[..k * cols], cols);
+                check_nt(&vals[..rows * k], rows, &vals[..cols * k], cols, k, None);
+                check_tn(&vals[..rows * k], rows, k, 1.25, &vals[..rows * cols], cols);
+            }
+        }
+    }
+}
+
+/// When the reduction length is zero the SIMD kernel must still zero
+/// the output (the scalar oracle's `fill(0.0)` behavior), even over a
+/// dirty buffer.
+#[test]
+fn zero_reduction_zeroes_dirty_output() {
+    if !simd_supported() {
+        return;
+    }
+    let mut out = vec![f64::NAN; 5 * 9];
+    gemm_nn_simd_into(&[], 5, 0, &[], 9, &mut out);
+    assert!(
+        out.iter().all(|&v| v == 0.0),
+        "k = 0 must write exact zeros"
+    );
+}

@@ -11,9 +11,11 @@
 //!   immediate replies (`Pong`, `ServerBusy`, `BadObservation`) go out
 //!   through the connection's shared write half;
 //! * one **batch worker** pulls size-or-deadline coalesced batches,
-//!   runs a single `Mlp::forward_batch`, and writes every `Action`
-//!   reply straight to its connection — no per-request channel hop —
-//!   cloning the policy `Arc` **once per flush**, so every response in
+//!   runs a single `Mlp::forward_batch` — or the int8-quantized
+//!   forward when [`ServerConfig::quantize_int8`] is on and the policy
+//!   cleared its agreement gate — and writes every `Action` reply
+//!   straight to its connection — no per-request channel hop — cloning
+//!   the serving-model `Arc` **once per flush**, so every response in
 //!   a batch is computed by exactly one policy version even while a
 //!   hot-reload swaps the pointer (no torn reads);
 //! * an optional **watcher** thread polls a checkpoint path and applies
@@ -37,7 +39,9 @@ use crate::metrics::ServeMetrics;
 use crate::protocol::{ErrorCode, Message, WireError};
 use ctjam_dqn::checkpoint::CheckpointError;
 use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_dqn::quant::{synthetic_observations, QuantizedPolicy};
 use ctjam_nn::batch::Batch;
+use ctjam_nn::quant::QuantScratch;
 use ctjam_telemetry::JsonValue;
 use std::fmt;
 use std::io::{self, Read};
@@ -103,6 +107,14 @@ pub struct ServerConfig {
     /// Read timeout on connections (shutdown-notice latency) and the
     /// checkpoint watcher's poll interval.
     pub poll_interval: Duration,
+    /// Serve through the int8-quantized forward path when the policy
+    /// clears the greedy-action-agreement gate ([`INT8_MIN_AGREEMENT`]
+    /// on [`INT8_HOLDOUT_SIZE`] held-out synthetic observations). A
+    /// policy that fails the gate is served in f64 and the rejection is
+    /// counted in `quant_gate_failures`; the gate re-runs on every
+    /// hot-reload. Off by default — training and evaluation never see
+    /// the quantized path.
+    pub quantize_int8: bool,
 }
 
 impl Default for ServerConfig {
@@ -112,9 +124,20 @@ impl Default for ServerConfig {
             max_wait: Duration::from_micros(200),
             queue_capacity: 1024,
             poll_interval: Duration::from_millis(25),
+            quantize_int8: false,
         }
     }
 }
+
+/// Greedy-action agreement an int8 policy must reach on the held-out
+/// set before the server will use it (§ behavioral gate).
+pub const INT8_MIN_AGREEMENT: f64 = 0.995;
+/// Rows in the synthetic calibration set (plus corner vectors).
+pub const INT8_CALIBRATION_SIZE: usize = 256;
+/// Rows in the synthetic hold-out set the gate is measured on.
+pub const INT8_HOLDOUT_SIZE: usize = 256;
+const INT8_CALIBRATION_SEED: u64 = 0x5ca1ab1e;
+const INT8_HOLDOUT_SEED: u64 = 0x0ddba11;
 
 /// Why a checkpoint hot-reload was refused. In every case the old
 /// policy keeps serving untouched.
@@ -148,8 +171,52 @@ impl fmt::Display for ReloadError {
 
 impl std::error::Error for ReloadError {}
 
+/// What the batch worker serves with: the f64 policy (always present —
+/// it validates reloads and is the fallback) plus, when
+/// `quantize_int8` is on **and** the agreement gate passed, its int8
+/// twin. One `Arc<ServingModel>` swap per reload keeps the pair
+/// consistent: a flush can never mix an old f64 policy with a new
+/// quantization or vice versa.
+struct ServingModel {
+    policy: GreedyPolicy,
+    quant: Option<QuantizedPolicy>,
+}
+
+/// Quantizes `policy` behind the agreement gate (when asked to) and
+/// records the admission or rejection. Quantization happens here — at
+/// checkpoint load — never on the serving path.
+fn admit_model(
+    policy: GreedyPolicy,
+    quantize: bool,
+    metrics: &Mutex<ServeMetrics>,
+) -> ServingModel {
+    let quant = if quantize {
+        let calibration = synthetic_observations(
+            policy.input_size(),
+            INT8_CALIBRATION_SEED,
+            INT8_CALIBRATION_SIZE,
+        );
+        let holdout =
+            synthetic_observations(policy.input_size(), INT8_HOLDOUT_SEED, INT8_HOLDOUT_SIZE);
+        let mut m = metrics.lock().expect("metrics lock poisoned");
+        match QuantizedPolicy::quantize_gated(&policy, &calibration, &holdout, INT8_MIN_AGREEMENT) {
+            Ok((q, _agreement)) => {
+                m.quant_admissions.incr();
+                Some(q)
+            }
+            Err(_) => {
+                m.quant_gate_failures.incr();
+                None
+            }
+        }
+    } else {
+        None
+    };
+    ServingModel { policy, quant }
+}
+
 struct Shared {
-    policy: RwLock<Arc<GreedyPolicy>>,
+    model: RwLock<Arc<ServingModel>>,
     queue: BatchQueue<Reply>,
     shutdown: AtomicBool,
     metrics: Mutex<ServeMetrics>,
@@ -157,30 +224,32 @@ struct Shared {
 }
 
 impl Shared {
-    fn current_policy(&self) -> Arc<GreedyPolicy> {
-        Arc::clone(&self.policy.read().expect("policy lock poisoned"))
+    fn current_model(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.model.read().expect("model lock poisoned"))
     }
 
     fn metrics(&self) -> std::sync::MutexGuard<'_, ServeMetrics> {
         self.metrics.lock().expect("metrics lock poisoned")
     }
 
-    /// Validate-then-swap. The new policy is fully loaded and verified
-    /// before the write lock is taken, so the swap itself is a pointer
-    /// store and readers only ever see a complete policy.
+    /// Validate-then-swap. The new policy is fully loaded, verified,
+    /// and (when configured) re-quantized before the write lock is
+    /// taken, so the swap itself is a pointer store and readers only
+    /// ever see a complete model.
     fn reload_from(&self, path: &Path) -> Result<(), ReloadError> {
         let loaded = GreedyPolicy::load_checkpoint(path).map_err(|e| {
             self.metrics().reloads_rejected.incr();
             ReloadError::Checkpoint(e)
         })?;
-        let current = self.current_policy();
-        let expected = (current.input_size(), current.num_actions());
+        let current = self.current_model();
+        let expected = (current.policy.input_size(), current.policy.num_actions());
         let found = (loaded.input_size(), loaded.num_actions());
         if expected != found {
             self.metrics().reloads_rejected.incr();
             return Err(ReloadError::ShapeMismatch { expected, found });
         }
-        *self.policy.write().expect("policy lock poisoned") = Arc::new(loaded);
+        let model = admit_model(loaded, self.config.quantize_int8, &self.metrics);
+        *self.model.write().expect("model lock poisoned") = Arc::new(model);
         self.metrics().reloads_ok.incr();
         Ok(())
     }
@@ -212,11 +281,13 @@ impl PolicyServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics = Mutex::new(ServeMetrics::new());
+        let model = admit_model(policy, config.quantize_int8, &metrics);
         let shared = Arc::new(Shared {
-            policy: RwLock::new(Arc::new(policy)),
+            model: RwLock::new(Arc::new(model)),
             queue: BatchQueue::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
-            metrics: Mutex::new(ServeMetrics::new()),
+            metrics,
             config,
         });
         let connections = Arc::new(Mutex::new(Vec::new()));
@@ -276,6 +347,14 @@ impl PolicyServer {
                 }
             }
         }));
+    }
+
+    /// Whether the server is currently answering through the int8
+    /// path — i.e. `quantize_int8` was requested **and** the serving
+    /// policy cleared the agreement gate. `false` means f64 (either
+    /// int8 was never requested, or the gate rejected this policy).
+    pub fn int8_active(&self) -> bool {
+        self.shared.current_model().quant.is_some()
     }
 
     /// Snapshot of the server's metrics as JSON.
@@ -434,7 +513,7 @@ fn handle_observe(
     id: u64,
     observation: Vec<f64>,
 ) -> bool {
-    let expected = shared.current_policy().input_size();
+    let expected = shared.current_model().policy.input_size();
     if observation.len() != expected {
         shared.metrics().bad_observations.incr();
         return writer
@@ -478,8 +557,9 @@ fn batch_worker(shared: &Arc<Shared>) {
     let mut batch = Batch::default();
     let mut actions: Vec<usize> = Vec::new();
     let mut replies: Vec<(ReplyWriter, Vec<u8>)> = Vec::new();
-    let mut cached = shared.current_policy();
-    let mut scratch = cached.scratch();
+    let mut cached = shared.current_model();
+    let mut scratch = cached.policy.scratch();
+    let mut quant_scratch = QuantScratch::default();
     loop {
         let alive = shared.queue.next_batch(
             shared.config.max_batch,
@@ -487,22 +567,37 @@ fn batch_worker(shared: &Arc<Shared>) {
             &mut pending,
         );
         if !pending.is_empty() {
-            // One policy per flush: every request in this batch is
-            // answered by the same policy version, reload or not.
-            let policy = shared.current_policy();
-            if !Arc::ptr_eq(&policy, &cached) {
-                scratch = policy.scratch();
-                cached = Arc::clone(&policy);
+            // One model per flush: every request in this batch is
+            // answered by the same policy version (and the same
+            // quantization of it), reload or not.
+            let model = shared.current_model();
+            if !Arc::ptr_eq(&model, &cached) {
+                scratch = model.policy.scratch();
+                cached = Arc::clone(&model);
             }
-            batch.reset(policy.input_size());
+            batch.reset(model.policy.input_size());
             for p in &pending {
                 batch.push_row(&p.observation);
             }
-            policy.act_greedy_batch(&batch, &mut scratch, &mut actions);
+            let int8 = match &model.quant {
+                Some(quant) => {
+                    quant.act_greedy_batch(&batch, &mut quant_scratch, &mut actions);
+                    true
+                }
+                None => {
+                    model
+                        .policy
+                        .act_greedy_batch(&batch, &mut scratch, &mut actions);
+                    false
+                }
+            };
             let now = Instant::now();
             {
                 let mut m = shared.metrics();
                 m.batches.incr();
+                if int8 {
+                    m.int8_batches.incr();
+                }
                 m.batch_size.record(pending.len() as f64);
                 m.queue_depth.record(shared.queue.depth() as f64);
                 m.responses.add(pending.len() as u64);

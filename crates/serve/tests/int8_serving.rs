@@ -1,0 +1,192 @@
+//! The int8 serving mode end-to-end: a gated quantized policy answers
+//! real loopback traffic with ≥ 99.5% greedy-action agreement against
+//! the f64 oracle, the metrics report the admission and the int8
+//! batches, hot-reloads re-run the gate, and the default configuration
+//! never touches the quantized path.
+
+mod common;
+
+use common::{observations, small_config, temp_file, trained_agent};
+use ctjam_dqn::agent::DqnAgent;
+use ctjam_dqn::checkpoint;
+use ctjam_dqn::config::DqnConfig;
+use ctjam_dqn::policy::GreedyPolicy;
+use ctjam_serve::client::PolicyClient;
+use ctjam_serve::server::{PolicyServer, ServerConfig, INT8_MIN_AGREEMENT};
+use ctjam_telemetry::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An agent trained on strictly graded per-action rewards, so its
+/// greedy policy has decisive Q-margins everywhere — the regime the
+/// int8 agreement gate is designed for (see `ctjam-dqn`'s
+/// `quant_gate` test for the rationale).
+fn decisive_agent(seed: u64) -> DqnAgent {
+    let config = small_config();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent = DqnAgent::new(config.clone(), &mut rng);
+    for i in 0..800 {
+        let state: Vec<f64> = (0..config.input_size())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let next: Vec<f64> = (0..config.input_size())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let action = i % config.num_actions();
+        let reward = 1.0 - 0.4 * action as f64;
+        agent.observe(state, action, reward, next, &mut rng);
+    }
+    agent
+}
+
+fn counter(metrics: &JsonValue, name: &str) -> f64 {
+    match metrics.get("counters").and_then(|c| c.get(name)) {
+        Some(&JsonValue::Num(n)) => n,
+        other => panic!("missing counter {name}: {other:?}"),
+    }
+}
+
+#[test]
+fn int8_mode_serves_with_wire_level_agreement_above_the_gate() {
+    let config = small_config();
+    let agent = decisive_agent(60);
+    let policy = GreedyPolicy::from_agent(&agent);
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        policy,
+        ServerConfig {
+            quantize_int8: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    assert!(
+        server.int8_active(),
+        "a decisively trained policy must clear the agreement gate"
+    );
+
+    let mut client = PolicyClient::connect(server.local_addr()).expect("connect");
+    let obs_set = observations(&config, 400, 7);
+    let mut agree = 0usize;
+    for obs in &obs_set {
+        let served = client.act(obs).expect("act") as usize;
+        assert!(served < config.num_actions(), "action out of range");
+        if served == agent.act_greedy(obs) {
+            agree += 1;
+        }
+    }
+    let agreement = agree as f64 / obs_set.len() as f64;
+    assert!(
+        agreement >= INT8_MIN_AGREEMENT,
+        "wire-level agreement {agreement} below the {INT8_MIN_AGREEMENT} gate"
+    );
+
+    let metrics = server.shutdown();
+    assert_eq!(counter(&metrics, "quant_admissions"), 1.0);
+    assert_eq!(counter(&metrics, "quant_gate_failures"), 0.0);
+    let batches = counter(&metrics, "batches");
+    assert!(batches >= 1.0);
+    // Every flush went through the int8 path, none through f64.
+    assert_eq!(counter(&metrics, "int8_batches"), batches);
+}
+
+#[test]
+fn hot_reload_requantizes_behind_the_gate() {
+    let first = decisive_agent(61);
+    let second = decisive_agent(62);
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&first),
+        ServerConfig {
+            quantize_int8: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    assert!(server.int8_active());
+
+    let path = temp_file("int8_reload");
+    checkpoint::save_agent(&second, &path).expect("save");
+    server.reload_from(&path).expect("reload");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        server.int8_active(),
+        "reloaded policy must re-clear the gate"
+    );
+
+    // The reloaded quantization serves the *new* policy's actions.
+    let config = small_config();
+    let mut client = PolicyClient::connect(server.local_addr()).expect("connect");
+    let obs_set = observations(&config, 200, 8);
+    let mut agree = 0usize;
+    for obs in &obs_set {
+        if client.act(obs).expect("act") as usize == second.act_greedy(obs) {
+            agree += 1;
+        }
+    }
+    let agreement = agree as f64 / obs_set.len() as f64;
+    assert!(
+        agreement >= INT8_MIN_AGREEMENT,
+        "post-reload agreement {agreement}"
+    );
+
+    let metrics = server.shutdown();
+    assert_eq!(counter(&metrics, "quant_admissions"), 2.0);
+    assert_eq!(counter(&metrics, "reloads_ok"), 1.0);
+}
+
+#[test]
+fn default_config_never_touches_the_quantized_path() {
+    let config = small_config();
+    let agent = trained_agent(&config, 63);
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    assert!(!server.int8_active(), "int8 must be opt-in");
+
+    // f64 serving stays bit-exact against the in-process agent.
+    let mut client = PolicyClient::connect(server.local_addr()).expect("connect");
+    for obs in observations(&config, 50, 9) {
+        assert_eq!(
+            client.act(&obs).expect("act") as usize,
+            agent.act_greedy(&obs)
+        );
+    }
+    let metrics = server.shutdown();
+    assert_eq!(counter(&metrics, "quant_admissions"), 0.0);
+    assert_eq!(counter(&metrics, "quant_gate_failures"), 0.0);
+    assert_eq!(counter(&metrics, "int8_batches"), 0.0);
+}
+
+#[test]
+fn shape_guard_rejects_reload_before_requantization() {
+    // A shape-mismatched reload must be refused without consuming a
+    // quantization admission (the gate only runs on accepted policies).
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&decisive_agent(64)),
+        ServerConfig {
+            quantize_int8: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let wide = DqnConfig {
+        num_channels: small_config().num_channels * 2,
+        ..small_config()
+    };
+    let wide_agent = trained_agent(&wide, 65);
+    let path = temp_file("int8_shape_guard");
+    checkpoint::save_agent(&wide_agent, &path).expect("save");
+    assert!(server.reload_from(&path).is_err());
+    std::fs::remove_file(&path).ok();
+
+    assert!(server.int8_active(), "original admission survives");
+    let metrics = server.shutdown();
+    assert_eq!(counter(&metrics, "quant_admissions"), 1.0);
+    assert_eq!(counter(&metrics, "reloads_rejected"), 1.0);
+}
