@@ -71,9 +71,13 @@ CTJAM_BENCH_QUICK=1 cargo run --release -q -p ctjam-bench --bin perf_report
 
 # Serve smoke: spawn the standalone policy_server binary on an
 # ephemeral loopback port and drive it with the serve_bench load
-# harness in quick mode. This exercises the whole serving stack end to
-# end — wire protocol, micro-batcher, reply path, drain — and asserts
-# every served action bit-exact against the in-process agent. The
+# harness in quick mode. The harness respawns the binary per mode —
+# single-worker, 2- and 4-worker sharding, multi-tenant (v1 clients on
+# the default tenant concurrent with v2 tenant-addressed clients), and
+# the queue-delay SLO — so this exercises the whole serving stack end
+# to end: wire protocol both versions, sharded micro-batchers, tenant
+# registry, admission control, reply path, drain. Every served f64
+# action is asserted bit-exact against the in-process agent. The
 # full-size run (plain `cargo run --release -p ctjam-bench --bin
 # serve_bench`) is what EXPERIMENTS.md's "Policy serving" numbers come
 # from.
@@ -153,6 +157,19 @@ if path == "BENCH_serve.json":
         assert key in m, f"{path}: missing int8 field {key!r}"
     assert m["int8_wire_agreement"] >= 0.995, \
         f"{path}: int8 wire agreement {m['int8_wire_agreement']} below the gate"
+    # Sharded / multi-tenant / SLO measurements (PR 9). A 1-thread
+    # container must say so explicitly rather than let a flat worker
+    # sweep read as a sharding defect.
+    for key in ("workers_2_throughput_req_per_s", "workers_4_throughput_req_per_s",
+                "workers_2_latency_p99_us", "workers_4_latency_p99_us",
+                "multi_tenant_throughput_req_per_s", "multi_tenant_latency_p99_us",
+                "slo_max_queue_delay_us", "slo_throughput_req_per_s",
+                "slo_shed_count", "slo_shed_rate"):
+        assert key in m, f"{path}: missing serving field {key!r}"
+    assert 0.0 <= m["slo_shed_rate"] <= 1.0, f"{path}: shed rate out of [0,1]"
+    if m["threads_available"] == 1:
+        assert "worker_scaling_note" in m, \
+            f"{path}: 1-thread runs must carry worker_scaling_note"
 print(f"  {path}: ok ({len(measurements)} measurements)")
 PYEOF
 done

@@ -2,20 +2,33 @@
 //!
 //! Drives a policy server over loopback with N pipelined client
 //! threads (each keeps a window of requests in flight on one
-//! connection) and seeded observation streams, three times: once with
-//! micro-batching enabled (`max_batch` from the server defaults), once
-//! degraded to `max_batch = 1`, and once through the int8-quantized
-//! serving path. Observation streams and their greedy-action oracles
-//! are precomputed before the timed window so client-side work stays
-//! off the critical path. In the two f64 modes every served action is
-//! asserted **bit-exact** against in-process `DqnAgent::act_greedy`;
-//! the int8 mode instead *counts* disagreements (quantization is
-//! lossy by design) and asserts the aggregate wire-level agreement
-//! stays at or above the server's own 99.5% admission gate. The run is
-//! summarized into `BENCH_serve.json` (throughput, p50/p95/p99
-//! latency, mean batch occupancy, batching speedup, int8 agreement)
-//! in the `ctjam-bench/v1` manifest schema — the same file `ci.sh`
-//! validates in quick mode and EXPERIMENTS.md records from a full run.
+//! connection) and seeded observation streams, across seven modes:
+//!
+//! * `batched` — micro-batching at the default `max_batch`, one worker;
+//! * `max_batch=1` — batching degraded off (the speedup baseline);
+//! * `int8` — the quantized serving path behind its agreement gate;
+//! * `workers=2` / `workers=4` — the sharded multi-worker serve path
+//!   (connections hash across per-worker batch queues);
+//! * `multi-tenant` — two tenants behind one server, half the clients
+//!   speaking v1 frames to the default tenant and half v2 frames to
+//!   tenant 7, each checked against its *own* tenant's oracle;
+//! * `slo` — a bounded queue-delay admission budget
+//!   (`max_queue_delay`), where overload answers are typed
+//!   `Overloaded` sheds instead of latency outliers.
+//!
+//! Observation streams and their greedy-action oracles are precomputed
+//! before the timed window so client-side work stays off the critical
+//! path. In every f64 mode each served action is asserted **bit-exact**
+//! against in-process `DqnAgent::act_greedy` — including at worker
+//! counts 2 and 4, the wire-level sharding-equivalence check — while
+//! the int8 mode *counts* disagreements (quantization is lossy by
+//! design) and asserts the aggregate wire-level agreement stays at or
+//! above the server's own 99.5% admission gate. The run is summarized
+//! into `BENCH_serve.json` (throughput, p50/p95/p99 latency, mean
+//! batch occupancy, batching speedup, worker sweep, multi-tenant and
+//! SLO shed measurements, int8 agreement) in the `ctjam-bench/v1`
+//! manifest schema — the same file `ci.sh` validates in quick mode and
+//! EXPERIMENTS.md records from a full run.
 //!
 //! Server placement:
 //!
@@ -23,21 +36,24 @@
 //! * `CTJAM_SERVE_BIN=<path>` — spawn that `policy_server` binary on an
 //!   ephemeral loopback port instead (the `ci.sh` serve-smoke stage
 //!   does this so the standalone binary is exercised end to end); the
-//!   checkpoint handed to the child is the one saved from the agent
-//!   used for the bit-exactness oracle, and the mean batch occupancy
-//!   is parsed from the child's shutdown report.
+//!   checkpoints handed to the child are the ones saved from the agents
+//!   used for the bit-exactness oracles, worker count and tenants ride
+//!   the `CTJAM_SERVE_WORKERS` / `CTJAM_SERVE_TENANTS` env knobs, and
+//!   the mean batch occupancy is parsed from the child's shutdown
+//!   report.
 //!
 //! Knobs: `CTJAM_BENCH_QUICK` (small counts), `CTJAM_SERVE_CLIENTS`
 //! (default 8), `CTJAM_SERVE_REQUESTS` (per client),
 //! `CTJAM_SERVE_MAX_BATCH`, `CTJAM_SERVE_MAX_WAIT_US`,
-//! `CTJAM_SERVE_WINDOW` (per-client pipeline depth, default 32).
+//! `CTJAM_SERVE_WINDOW` (per-client pipeline depth, default 32),
+//! `CTJAM_SERVE_SLO_US` (the slo mode's queue-delay budget).
 
 use ctjam_bench::env_usize;
 use ctjam_dqn::agent::DqnAgent;
 use ctjam_dqn::checkpoint;
 use ctjam_dqn::config::DqnConfig;
 use ctjam_dqn::policy::GreedyPolicy;
-use ctjam_serve::protocol::Message;
+use ctjam_serve::protocol::{ErrorCode, Message, DEFAULT_TENANT};
 use ctjam_serve::server::{PolicyServer, ServerConfig};
 use ctjam_telemetry::{JsonValue, RunManifest};
 use rand::rngs::StdRng;
@@ -65,6 +81,7 @@ struct ModeResult {
     mean_batch_occupancy: f64,
     requests: usize,
     mismatches: usize,
+    sheds: usize,
 }
 
 /// Where the server under test lives.
@@ -78,21 +95,29 @@ enum Server {
 }
 
 impl Server {
-    fn start(
-        policy: GreedyPolicy,
-        ckpt: &Path,
-        max_batch: usize,
-        max_wait_us: u64,
-        int8: bool,
-    ) -> Server {
+    fn start(policy: GreedyPolicy, ckpt: &Path, spec: &ModeSpec) -> Server {
         match std::env::var("CTJAM_SERVE_BIN") {
             Ok(bin) => {
-                let mut child = Command::new(bin)
-                    .arg(ckpt)
+                let mut cmd = Command::new(bin);
+                cmd.arg(ckpt)
                     .arg("127.0.0.1:0")
-                    .env("CTJAM_SERVE_MAX_BATCH", max_batch.to_string())
-                    .env("CTJAM_SERVE_MAX_WAIT_US", max_wait_us.to_string())
-                    .env("CTJAM_SERVE_INT8", if int8 { "1" } else { "0" })
+                    .env("CTJAM_SERVE_MAX_BATCH", spec.max_batch.to_string())
+                    .env("CTJAM_SERVE_MAX_WAIT_US", spec.max_wait_us.to_string())
+                    .env("CTJAM_SERVE_INT8", if spec.int8 { "1" } else { "0" })
+                    .env("CTJAM_SERVE_WORKERS", spec.workers.to_string());
+                if let Some(us) = spec.max_queue_delay_us {
+                    cmd.env("CTJAM_SERVE_MAX_QUEUE_DELAY_US", us.to_string());
+                }
+                if !spec.tenants.is_empty() {
+                    let joined = spec
+                        .tenants
+                        .iter()
+                        .map(|(id, path)| format!("{id}={}", path.display()))
+                        .collect::<Vec<_>>()
+                        .join(";");
+                    cmd.env("CTJAM_SERVE_TENANTS", joined);
+                }
+                let mut child = cmd
                     .stdin(Stdio::piped())
                     .stdout(Stdio::piped())
                     .stderr(Stdio::inherit())
@@ -100,17 +125,19 @@ impl Server {
                     .expect("spawn CTJAM_SERVE_BIN");
                 let stdout = child.stdout.as_mut().expect("child stdout");
                 let mut reader = BufReader::new(stdout);
-                // Before LISTENING the child may report the int8 gate's
+                // Before LISTENING the child reports its worker count
+                // (`WORKERS <n>`) and may report the int8 gate's
                 // verdict (`INT8 active|fallback`).
                 let mut int8_active = false;
                 let addr = loop {
                     let mut line = String::new();
                     reader.read_line(&mut line).expect("readiness line");
-                    if let Some(verdict) = line.trim().strip_prefix("INT8 ") {
+                    let line = line.trim();
+                    if let Some(verdict) = line.strip_prefix("INT8 ") {
                         int8_active = verdict == "active";
-                    } else if let Some(addr) = line.trim().strip_prefix("LISTENING ") {
+                    } else if let Some(addr) = line.strip_prefix("LISTENING ") {
                         break addr.parse().expect("parsable address");
-                    } else {
+                    } else if line.strip_prefix("WORKERS ").is_none() {
                         panic!("unexpected readiness line: {line}");
                     }
                 };
@@ -122,13 +149,19 @@ impl Server {
             }
             Err(_) => {
                 let config = ServerConfig {
-                    max_batch,
-                    max_wait: Duration::from_micros(max_wait_us),
-                    quantize_int8: int8,
+                    max_batch: spec.max_batch,
+                    max_wait: Duration::from_micros(spec.max_wait_us),
+                    quantize_int8: spec.int8,
+                    workers: spec.workers,
+                    max_queue_delay: spec.max_queue_delay_us.map(Duration::from_micros),
                     ..ServerConfig::default()
                 };
                 let server =
                     PolicyServer::bind("127.0.0.1:0", policy, config).expect("bind loopback");
+                for (id, path) in &spec.tenants {
+                    let policy = GreedyPolicy::load_checkpoint(path).expect("load tenant policy");
+                    server.add_tenant(*id, policy).expect("register tenant");
+                }
                 Server::InProcess(server)
             }
         }
@@ -182,12 +215,14 @@ impl Server {
 type Stream = Vec<(Vec<f64>, usize)>;
 
 /// Precomputes `clients` seeded streams of `requests` observations and
-/// their bit-exact `DqnAgent::act_greedy` answers.
-fn precompute_streams(agent: &DqnAgent, clients: usize, requests: usize) -> Vec<Stream> {
+/// their bit-exact `DqnAgent::act_greedy` answers. `salt` keeps the
+/// streams of different oracles (the multi-tenant mode's second agent)
+/// distinct.
+fn precompute_streams(agent: &DqnAgent, clients: usize, requests: usize, salt: u64) -> Vec<Stream> {
     let input_size = agent.config().input_size();
     (0..clients)
         .map(|t| {
-            let mut rng = StdRng::seed_from_u64(SEED + 1000 + t as u64);
+            let mut rng = StdRng::seed_from_u64(SEED + salt + t as u64);
             (0..requests)
                 .map(|_| {
                     let mut observation = vec![0.0; input_size];
@@ -216,32 +251,39 @@ fn connect_retry(addr: SocketAddr, attempts: usize, delay: Duration) -> TcpStrea
 }
 
 /// One pipelined client: keeps up to `window` requests in flight on a
-/// single connection, matching replies to requests by id. With `exact`
-/// set every action is asserted bit-exact against the precomputed
-/// oracle; otherwise disagreements are counted (the int8 mode's
-/// aggregate-agreement contract). Returns the send→reply latency of
-/// every request in microseconds plus the mismatch count.
+/// single connection, matching replies to requests by id. Requests are
+/// addressed to `tenant` (the default tenant rides the v1 encoding,
+/// others the v2 tenant-prefixed one). With `exact` set every action is
+/// asserted bit-exact against the precomputed oracle; otherwise
+/// disagreements are counted (the int8 mode's aggregate-agreement
+/// contract). A typed `Overloaded` error — the SLO mode's admission
+/// shed — retires its request without a latency sample. Returns the
+/// send→reply latencies of the *answered* requests in microseconds,
+/// the mismatch count, and the shed count.
 fn drive_client(
     addr: SocketAddr,
+    tenant: u32,
     stream: &Stream,
     window: usize,
     exact: bool,
-) -> (Vec<f64>, usize) {
+) -> (Vec<f64>, usize, usize) {
     let tcp = connect_retry(addr, 50, Duration::from_millis(20));
     tcp.set_nodelay(true).expect("nodelay");
     let mut reader = BufReader::new(tcp.try_clone().expect("clone stream"));
     let mut writer = tcp;
 
-    // Request ids are stream indices, so a flat send-time table is the
-    // whole in-flight bookkeeping.
+    // Request ids are stream indices, so flat send-time/replied tables
+    // are the whole in-flight bookkeeping.
     let epoch = Instant::now();
     let mut sent_at = vec![epoch; stream.len()];
-    let mut latencies_us = vec![0.0; stream.len()];
+    let mut replied = vec![false; stream.len()];
+    let mut latencies_us = Vec::with_capacity(stream.len());
     let mut inflight = 0usize;
     let mut sendbuf: Vec<u8> = Vec::new();
     let mut next = 0usize;
     let mut done = 0usize;
     let mut mismatches = 0usize;
+    let mut sheds = 0usize;
     while done < stream.len() {
         // Refill the window in one burst: encode every free slot, then
         // a single write syscall for the lot.
@@ -250,6 +292,7 @@ fn drive_client(
             while inflight < window && next < stream.len() {
                 Message::Observe {
                     id: next as u64,
+                    tenant,
                     observation: stream[next].0.clone(),
                 }
                 .encode_into(&mut sendbuf);
@@ -269,8 +312,9 @@ fn drive_client(
             match msg {
                 Message::Action { id, action } => {
                     let id = id as usize;
-                    assert!(id < next && latencies_us[id] == 0.0, "reply to unknown id");
-                    latencies_us[id] = sent_at[id].elapsed().as_secs_f64() * 1e6;
+                    assert!(id < next && !replied[id], "reply to unknown id");
+                    replied[id] = true;
+                    latencies_us.push(sent_at[id].elapsed().as_secs_f64() * 1e6);
                     // The f64 acceptance bar: every served action
                     // bit-exact against the in-process agent. The int8
                     // mode counts divergences instead and holds them to
@@ -282,6 +326,17 @@ fn drive_client(
                     inflight -= 1;
                     done += 1;
                 }
+                Message::Error {
+                    id,
+                    code: ErrorCode::Overloaded,
+                } => {
+                    let id = id as usize;
+                    assert!(id < next && !replied[id], "shed for unknown id");
+                    replied[id] = true;
+                    sheds += 1;
+                    inflight -= 1;
+                    done += 1;
+                }
                 other => panic!("unexpected reply: {other:?}"),
             }
             if inflight == 0 || Message::decode(reader.buffer()).is_err() {
@@ -289,7 +344,7 @@ fn drive_client(
             }
         }
     }
-    (latencies_us, mismatches)
+    (latencies_us, mismatches, sheds)
 }
 
 /// One server configuration to load-test.
@@ -298,50 +353,71 @@ struct ModeSpec {
     max_batch: usize,
     max_wait_us: u64,
     int8: bool,
+    workers: usize,
+    max_queue_delay_us: Option<u64>,
+    /// Extra tenants `(id, checkpoint)` registered beyond the default.
+    tenants: Vec<(u32, PathBuf)>,
 }
 
-/// Runs `clients` pipelined threads over their precomputed streams
-/// against one server mode; panics on any non-bit-exact answer unless
-/// the mode is int8 (where divergences are counted, not fatal).
+impl ModeSpec {
+    fn new(label: &'static str, max_batch: usize, max_wait_us: u64) -> ModeSpec {
+        ModeSpec {
+            label,
+            max_batch,
+            max_wait_us,
+            int8: false,
+            workers: 1,
+            max_queue_delay_us: None,
+            tenants: Vec::new(),
+        }
+    }
+}
+
+/// Runs pipelined client threads over `assignments` — one `(tenant,
+/// stream)` per client — against one server mode; panics on any
+/// non-bit-exact answer unless the mode is int8 (where divergences are
+/// counted, not fatal). Modes without an SLO budget must shed nothing.
 /// Returns the mode's results plus whether the server's int8 path was
 /// actually active.
 fn run_mode(
     spec: &ModeSpec,
-    agent: &Arc<DqnAgent>,
-    streams: &Arc<Vec<Stream>>,
+    policy: GreedyPolicy,
+    assignments: &Arc<Vec<(u32, Stream)>>,
     ckpt: &Path,
     window: usize,
 ) -> (ModeResult, bool) {
-    let server = Server::start(
-        GreedyPolicy::from_agent(agent),
-        ckpt,
-        spec.max_batch,
-        spec.max_wait_us,
-        spec.int8,
-    );
+    let server = Server::start(policy, ckpt, spec);
     let label = spec.label;
     let addr = server.addr();
     let int8_active = server.int8_active();
-    let clients = streams.len();
+    let clients = assignments.len();
     let exact = !spec.int8;
 
     let start = Instant::now();
     let mut workers = Vec::new();
     for t in 0..clients {
-        let streams = Arc::clone(streams);
+        let assignments = Arc::clone(assignments);
         workers.push(thread::spawn(move || {
-            drive_client(addr, &streams[t], window, exact)
+            let (tenant, stream) = &assignments[t];
+            drive_client(addr, *tenant, stream, window, exact)
         }));
     }
     let mut latencies: Vec<f64> = Vec::new();
     let mut mismatches = 0usize;
+    let mut sheds = 0usize;
     for w in workers {
-        let (lat, miss) = w.join().expect("client thread panicked");
+        let (lat, miss, shed) = w.join().expect("client thread panicked");
         latencies.extend(lat);
         mismatches += miss;
+        sheds += shed;
     }
     let wall = start.elapsed().as_secs_f64();
     let occupancy = server.finish();
+    assert!(
+        spec.max_queue_delay_us.is_some() || sheds == 0,
+        "{label}: {sheds} sheds without an SLO budget"
+    );
+    assert!(!latencies.is_empty(), "{label}: every request was shed");
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let pct = |q: f64| latencies[((q * latencies.len() as f64).ceil() as usize).max(1) - 1];
@@ -353,13 +429,38 @@ fn run_mode(
         mean_batch_occupancy: occupancy,
         requests: latencies.len(),
         mismatches,
+        sheds,
     };
     println!(
-        "{label:>10}: {:>9.0} req/s | p50 {:>7.1} us | p95 {:>7.1} us | p99 {:>7.1} us | occupancy {:.2}",
+        "{label:>12}: {:>9.0} req/s | p50 {:>7.1} us | p95 {:>7.1} us | p99 {:>7.1} us | occupancy {:.2}{}",
         result.throughput_req_per_s, result.p50_us, result.p95_us, result.p99_us,
         result.mean_batch_occupancy,
+        if spec.max_queue_delay_us.is_some() {
+            format!(" | sheds {}", result.sheds)
+        } else {
+            String::new()
+        },
     );
     (result, int8_active)
+}
+
+/// Trains a briefly-biased agent from `seed` (see `main` for why the
+/// bias matters to the int8 mode).
+fn trained_agent(config: &DqnConfig, seed: u64) -> DqnAgent {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agent = DqnAgent::new(config.clone(), &mut rng);
+    for i in 0..1_600 {
+        let state: Vec<f64> = (0..config.input_size())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let next: Vec<f64> = (0..config.input_size())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let action = i % config.num_actions();
+        let reward = if action == 0 { 1.0 } else { -1.0 };
+        agent.observe(state, action, reward, next, &mut rng);
+    }
+    agent
 }
 
 fn main() {
@@ -373,6 +474,7 @@ fn main() {
     let max_batch = env_usize("CTJAM_SERVE_MAX_BATCH", 32);
     let max_wait_us = env_usize("CTJAM_SERVE_MAX_WAIT_US", 200) as u64;
     let window = env_usize("CTJAM_SERVE_WINDOW", 32);
+    let slo_us = env_usize("CTJAM_SERVE_SLO_US", 1_000) as u64;
 
     // Paper-shaped observation/action space, but wider hidden layers:
     // the serving bottleneck worth measuring is the forward pass, not
@@ -381,8 +483,6 @@ fn main() {
         hidden: (192, 192),
         ..DqnConfig::default()
     };
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let mut agent = DqnAgent::new(config.clone(), &mut rng);
     // Brief training toward one dominant action gives the policy
     // decisive Q-margins everywhere, so the int8 mode's agreement gate
     // admits the quantization and the third mode genuinely measures
@@ -392,66 +492,120 @@ fn main() {
     // weight-value independent, and the f64 modes are oracle-checked
     // against this same post-training agent, so neither throughput
     // comparability nor bit-exactness is affected.
-    for i in 0..1_600 {
-        let state: Vec<f64> = (0..config.input_size())
-            .map(|_| rng.gen_range(-1.0..1.0))
-            .collect();
-        let next: Vec<f64> = (0..config.input_size())
-            .map(|_| rng.gen_range(-1.0..1.0))
-            .collect();
-        let action = i % config.num_actions();
-        let reward = if action == 0 { 1.0 } else { -1.0 };
-        agent.observe(state, action, reward, next, &mut rng);
-    }
-    let agent = Arc::new(agent);
-    let ckpt = std::env::temp_dir().join(format!("ctjam_serve_bench_{}.ckpt", std::process::id()));
+    let agent = Arc::new(trained_agent(&config, SEED));
+    // The multi-tenant mode's second policy: same shape, independently
+    // seeded weights, so a cross-tenant answer mixup cannot slip past
+    // the per-tenant oracles.
+    let agent_b = Arc::new(trained_agent(&config, SEED + 7));
+    let pid = std::process::id();
+    let ckpt = std::env::temp_dir().join(format!("ctjam_serve_bench_{pid}.ckpt"));
+    let ckpt_b = std::env::temp_dir().join(format!("ctjam_serve_bench_{pid}_b.ckpt"));
     checkpoint::save_agent(&agent, &ckpt).expect("save benchmark checkpoint");
+    checkpoint::save_agent(&agent_b, &ckpt_b).expect("save tenant checkpoint");
+    let policy = || GreedyPolicy::from_agent(&agent);
 
     println!(
         "serve_bench: {clients} clients x {requests} requests (window {window}), net {:?}, \
-         max_batch {max_batch} (deadline {max_wait_us} us){}",
+         max_batch {max_batch} (deadline {max_wait_us} us), {threads} hw thread(s){}",
         config.hidden,
         if quick { " [quick]" } else { "" },
     );
-    let streams = Arc::new(precompute_streams(&agent, clients, requests));
+    let streams = precompute_streams(&agent, clients, requests, 1000);
+    let streams_b = precompute_streams(&agent_b, clients, requests, 2000);
+    // Default-tenant assignment (every single-tenant mode) and the
+    // split one (alternating clients on tenant 7, so the v1 and v2
+    // encodings are exercised concurrently).
+    let default_assign: Arc<Vec<(u32, Stream)>> = Arc::new(
+        streams
+            .iter()
+            .map(|s| (DEFAULT_TENANT, s.clone()))
+            .collect(),
+    );
+    let split_assign: Arc<Vec<(u32, Stream)>> = Arc::new(
+        streams
+            .iter()
+            .zip(&streams_b)
+            .enumerate()
+            .map(|(t, (a, b))| {
+                if t % 2 == 0 {
+                    (DEFAULT_TENANT, a.clone())
+                } else {
+                    (7u32, b.clone())
+                }
+            })
+            .collect(),
+    );
 
     let (batched, _) = run_mode(
-        &ModeSpec {
-            label: "batched",
-            max_batch,
-            max_wait_us,
-            int8: false,
-        },
-        &agent,
-        &streams,
+        &ModeSpec::new("batched", max_batch, max_wait_us),
+        policy(),
+        &default_assign,
         &ckpt,
         window,
     );
     let (unbatched, _) = run_mode(
-        &ModeSpec {
-            label: "max_batch=1",
-            max_batch: 1,
-            max_wait_us,
-            int8: false,
-        },
-        &agent,
-        &streams,
+        &ModeSpec::new("max_batch=1", 1, max_wait_us),
+        policy(),
+        &default_assign,
         &ckpt,
         window,
     );
     let (int8, int8_active) = run_mode(
         &ModeSpec {
-            label: "int8",
-            max_batch,
-            max_wait_us,
             int8: true,
+            ..ModeSpec::new("int8", max_batch, max_wait_us)
         },
-        &agent,
-        &streams,
+        policy(),
+        &default_assign,
+        &ckpt,
+        window,
+    );
+    // The worker sweep: identical load at 2 and 4 shards. Every answer
+    // stays oracle-checked, so this doubles as the sharding-equivalence
+    // proof at the wire level.
+    let (workers2, _) = run_mode(
+        &ModeSpec {
+            workers: 2,
+            ..ModeSpec::new("workers=2", max_batch, max_wait_us)
+        },
+        policy(),
+        &default_assign,
+        &ckpt,
+        window,
+    );
+    let (workers4, _) = run_mode(
+        &ModeSpec {
+            workers: 4,
+            ..ModeSpec::new("workers=4", max_batch, max_wait_us)
+        },
+        policy(),
+        &default_assign,
+        &ckpt,
+        window,
+    );
+    let (multi, _) = run_mode(
+        &ModeSpec {
+            workers: 2,
+            tenants: vec![(7, ckpt_b.clone())],
+            ..ModeSpec::new("multi-tenant", max_batch, max_wait_us)
+        },
+        policy(),
+        &split_assign,
+        &ckpt,
+        window,
+    );
+    let (slo, _) = run_mode(
+        &ModeSpec {
+            max_queue_delay_us: Some(slo_us),
+            ..ModeSpec::new("slo", max_batch, max_wait_us)
+        },
+        policy(),
+        &default_assign,
         &ckpt,
         window,
     );
     std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&ckpt_b).ok();
 
     let speedup = batched.throughput_req_per_s / unbatched.throughput_req_per_s;
     println!("batching speedup: {speedup:.2}x");
@@ -477,6 +631,12 @@ fn main() {
         int8_agreement >= 0.995,
         "int8 wire agreement {int8_agreement} below the 99.5% gate"
     );
+    let slo_offered = slo.requests + slo.sheds;
+    let slo_shed_rate = slo.sheds as f64 / slo_offered as f64;
+    println!(
+        "slo mode ({slo_us} us budget): {} / {slo_offered} shed ({:.4})",
+        slo.sheds, slo_shed_rate,
+    );
 
     let mut manifest = RunManifest::new("BENCH_serve", SEED, &format!("{config:?}"));
     manifest.push_extra("schema", SCHEMA);
@@ -499,7 +659,13 @@ fn main() {
     manifest.push_extra("max_wait_us", max_wait_us as f64);
     manifest.push_extra(
         "served_requests",
-        (batched.requests + unbatched.requests) as f64,
+        (batched.requests
+            + unbatched.requests
+            + int8.requests
+            + workers2.requests
+            + workers4.requests
+            + multi.requests
+            + slo.requests) as f64,
     );
     manifest.push_extra("batched_throughput_req_per_s", batched.throughput_req_per_s);
     manifest.push_extra("batched_latency_p50_us", batched.p50_us);
@@ -524,6 +690,36 @@ fn main() {
         "int8_throughput_vs_batched_x",
         int8.throughput_req_per_s / batched.throughput_req_per_s,
     );
+    manifest.push_extra(
+        "workers_2_throughput_req_per_s",
+        workers2.throughput_req_per_s,
+    );
+    manifest.push_extra("workers_2_latency_p99_us", workers2.p99_us);
+    manifest.push_extra(
+        "workers_4_throughput_req_per_s",
+        workers4.throughput_req_per_s,
+    );
+    manifest.push_extra("workers_4_latency_p99_us", workers4.p99_us);
+    if threads == 1 {
+        // One hardware thread: the sweep can only measure sharding
+        // overhead, never scaling — say so, rather than letting flat
+        // numbers read as a sharding defect.
+        manifest.push_extra(
+            "worker_scaling_note",
+            "single hardware thread: worker sweep measures sharding overhead, not parallel speedup",
+        );
+    }
+    manifest.push_extra(
+        "multi_tenant_throughput_req_per_s",
+        multi.throughput_req_per_s,
+    );
+    manifest.push_extra("multi_tenant_latency_p99_us", multi.p99_us);
+    manifest.push_extra("multi_tenant_count", 2.0);
+    manifest.push_extra("slo_max_queue_delay_us", slo_us as f64);
+    manifest.push_extra("slo_throughput_req_per_s", slo.throughput_req_per_s);
+    manifest.push_extra("slo_latency_p99_us", slo.p99_us);
+    manifest.push_extra("slo_shed_count", slo.sheds as f64);
+    manifest.push_extra("slo_shed_rate", slo_shed_rate);
 
     std::fs::create_dir_all(&out_dir).expect("create CTJAM_BENCH_DIR");
     let path = out_dir.join(format!("{}.json", manifest.name));

@@ -258,6 +258,66 @@ mod tests {
     }
 
     #[test]
+    fn wakeups_before_the_deadline_do_not_flush_early() {
+        // Every push notifies the condvar, so a worker waiting out the
+        // deadline is woken repeatedly with the size trigger still
+        // unmet — exactly the shape of a spurious wakeup. It must go
+        // back to waiting and flush once, at the deadline, with
+        // everything that arrived.
+        let q = Arc::new(BatchQueue::<std::sync::mpsc::Sender<u32>>::new(8));
+        let max_wait = Duration::from_millis(150);
+        q.push(request(0.0).0).unwrap();
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                let start = Instant::now();
+                assert!(q.next_batch(8, max_wait, &mut out));
+                (start.elapsed(), out.len())
+            })
+        };
+        for i in 1..3 {
+            thread::sleep(Duration::from_millis(30));
+            q.push(request(i as f64).0).unwrap();
+        }
+        let (elapsed, got) = worker.join().expect("worker panicked");
+        assert_eq!(got, 3, "early flush: woke with the size trigger unmet");
+        assert!(
+            elapsed >= Duration::from_millis(100),
+            "flushed {elapsed:?} after the wait began, before the deadline"
+        );
+    }
+
+    #[test]
+    fn close_racing_a_deadline_wait_flushes_immediately() {
+        // A worker parked in the deadline wait (one request queued,
+        // deadline far off) must hand that request over as soon as
+        // close() lands — the drain path cannot wait out max_wait.
+        let q = Arc::new(BatchQueue::<std::sync::mpsc::Sender<u32>>::new(8));
+        q.push(request(9.0).0).unwrap();
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                let alive = q.next_batch(8, Duration::from_secs(60), &mut out);
+                (alive, out.len())
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        q.close();
+        let (alive, got) = worker.join().expect("worker panicked");
+        assert!(alive, "the queued request must flush before the end");
+        assert_eq!(got, 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "close() left the worker waiting out the deadline"
+        );
+        let mut out = Vec::new();
+        assert!(!q.next_batch(8, Duration::from_secs(60), &mut out));
+    }
+
+    #[test]
     fn producer_and_consumer_hand_off_under_contention() {
         let q = Arc::new(BatchQueue::<std::sync::mpsc::Sender<u32>>::new(64));
         let total = 200;

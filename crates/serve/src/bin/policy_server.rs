@@ -16,13 +16,24 @@
 //!
 //! * `CTJAM_SERVE_MAX_BATCH` — micro-batch flush size (default 16)
 //! * `CTJAM_SERVE_MAX_WAIT_US` — micro-batch flush deadline (default 200)
-//! * `CTJAM_SERVE_QUEUE_CAP` — bounded queue capacity (default 1024)
-//! * `CTJAM_SERVE_WATCH` — if set, hot-reload the checkpoint path on
-//!   modification
+//! * `CTJAM_SERVE_QUEUE_CAP` — bounded queue capacity per worker shard
+//!   (default 1024)
+//! * `CTJAM_SERVE_WORKERS` — batch workers / shards (default 0 =
+//!   `available_parallelism`); a `WORKERS <n>` line before `LISTENING`
+//!   reports the resolved count
+//! * `CTJAM_SERVE_MAX_QUEUE_DELAY_US` — queue-delay SLO: shed requests
+//!   with `Overloaded` when a shard's estimated queue delay exceeds
+//!   this many microseconds (unset = no shedding)
+//! * `CTJAM_SERVE_TENANTS` — extra tenants as
+//!   `id=path.ckpt;id=path.ckpt` (the positional checkpoint is always
+//!   tenant 0, which v1 clients address implicitly)
+//! * `CTJAM_SERVE_WATCH` — if set, hot-reload every tenant's
+//!   checkpoint path on modification
 //! * `CTJAM_SERVE_INT8` — if set to anything but `0`, serve through
 //!   the int8-quantized forward path when the policy clears its
 //!   greedy-action-agreement gate (falls back to f64 otherwise; an
-//!   `INT8 active|fallback` line before `LISTENING` reports which)
+//!   `INT8 active|fallback` line before `LISTENING` reports the
+//!   default tenant's verdict)
 
 use ctjam_dqn::policy::GreedyPolicy;
 use ctjam_serve::server::{PolicyServer, ServerConfig};
@@ -36,6 +47,23 @@ fn env_u64(key: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses `CTJAM_SERVE_TENANTS`: `id=path;id=path`, empty entries
+/// ignored.
+fn parse_tenants(spec: &str) -> Result<Vec<(u32, PathBuf)>, String> {
+    let mut tenants = Vec::new();
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let (id, path) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("bad tenant entry {entry:?}: want id=path"))?;
+        let id: u32 = id
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad tenant id {id:?}"))?;
+        tenants.push((id, PathBuf::from(path.trim())));
+    }
+    Ok(tenants)
 }
 
 fn main() -> ExitCode {
@@ -54,12 +82,25 @@ fn main() -> ExitCode {
         }
     };
     let int8_requested = std::env::var("CTJAM_SERVE_INT8").is_ok_and(|v| v != "0");
+    let max_queue_delay = std::env::var("CTJAM_SERVE_MAX_QUEUE_DELAY_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_micros);
     let config = ServerConfig {
         max_batch: env_u64("CTJAM_SERVE_MAX_BATCH", 16) as usize,
         max_wait: Duration::from_micros(env_u64("CTJAM_SERVE_MAX_WAIT_US", 200)),
         queue_capacity: env_u64("CTJAM_SERVE_QUEUE_CAP", 1024) as usize,
         quantize_int8: int8_requested,
+        workers: env_u64("CTJAM_SERVE_WORKERS", 0) as usize,
+        max_queue_delay,
         ..ServerConfig::default()
+    };
+    let tenants = match parse_tenants(&std::env::var("CTJAM_SERVE_TENANTS").unwrap_or_default()) {
+        Ok(tenants) => tenants,
+        Err(e) => {
+            eprintln!("policy_server: CTJAM_SERVE_TENANTS: {e}");
+            return ExitCode::from(2);
+        }
     };
     let mut server = match PolicyServer::bind(addr.as_str(), policy, config) {
         Ok(server) => server,
@@ -68,11 +109,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    for (id, path) in &tenants {
+        let tenant_policy = match GreedyPolicy::load_checkpoint(path) {
+            Ok(policy) => policy,
+            Err(e) => {
+                eprintln!(
+                    "policy_server: cannot load tenant {id} from {}: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = server.add_tenant(*id, tenant_policy) {
+            eprintln!("policy_server: cannot register tenant {id}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if std::env::var("CTJAM_SERVE_WATCH").is_ok() {
         server.watch_checkpoint(checkpoint.clone());
+        for (id, path) in &tenants {
+            let _ = server.watch_tenant_checkpoint(*id, path.clone());
+        }
     }
 
     let mut stdout = std::io::stdout().lock();
+    let _ = writeln!(stdout, "WORKERS {}", server.worker_count());
     if int8_requested {
         // Report the gate's verdict before the readiness line so
         // orchestrators that read up to LISTENING still see it.

@@ -7,7 +7,7 @@
 //! concurrency, open one client per thread — the load harness in
 //! `crates/bench` and the chaos tests both do exactly that.
 
-use crate::protocol::{ErrorCode, Message, RecvError, WireError};
+use crate::protocol::{ErrorCode, Message, RecvError, WireError, DEFAULT_TENANT};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -52,22 +52,55 @@ impl From<RecvError> for ClientError {
 }
 
 /// One blocking connection to a [`crate::server::PolicyServer`].
+///
+/// Requests carry the client's tenant id
+/// ([`crate::protocol::DEFAULT_TENANT`] unless changed via
+/// [`PolicyClient::connect_tenant`] or [`PolicyClient::set_tenant`]).
+/// A default-tenant client emits byte-identical v1 frames, so it can
+/// talk to any server version.
 #[derive(Debug)]
 pub struct PolicyClient {
     stream: TcpStream,
     next_id: u64,
+    tenant: u32,
 }
 
 impl PolicyClient {
-    /// Connects to the server.
+    /// Connects to the server, addressing the default tenant.
     ///
     /// # Errors
     ///
     /// Propagates the connect failure.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<PolicyClient> {
+        PolicyClient::connect_tenant(addr, DEFAULT_TENANT)
+    }
+
+    /// Connects to the server, addressing tenant `tenant` (the tenant
+    /// id travels in every `Observe` frame; there is no handshake).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_tenant<A: ToSocketAddrs>(addr: A, tenant: u32) -> io::Result<PolicyClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(PolicyClient { stream, next_id: 0 })
+        Ok(PolicyClient {
+            stream,
+            next_id: 0,
+            tenant,
+        })
+    }
+
+    /// The tenant id this client stamps on `Observe` requests.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Switches the tenant for subsequent requests. Takes effect on
+    /// the next [`PolicyClient::act`] call — the connection is shared
+    /// state on the server only per request, never per session.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
     }
 
     /// Connects with retries — the reconnect path after a server
@@ -99,12 +132,14 @@ impl PolicyClient {
     /// # Errors
     ///
     /// [`ClientError::Rejected`] carries the server's typed refusal
-    /// (busy, bad observation width, shutting down); the other
-    /// variants are transport or protocol failures.
+    /// (busy, overloaded, unknown tenant, bad observation width,
+    /// shutting down); the other variants are transport or protocol
+    /// failures.
     pub fn act(&mut self, observation: &[f64]) -> Result<u32, ClientError> {
         let id = self.fresh_id();
         let request = Message::Observe {
             id,
+            tenant: self.tenant,
             observation: observation.to_vec(),
         };
         match self.round_trip(&request, id)? {

@@ -9,16 +9,22 @@
 //! * [`protocol`] — the versioned, length-prefixed binary wire format
 //!   (magic + version + request id + payload), total decoding with
 //!   typed [`protocol::WireError`]s and an allocation-bomb-proof
-//!   length cap;
+//!   length cap; v2 adds a tenant id to `Observe` while every
+//!   default-tenant frame stays byte-identical to v1;
 //! * `batcher` (internal) — the bounded size-or-deadline micro-batch
 //!   queue with explicit `ServerBusy` backpressure;
 //! * [`server`] — [`server::PolicyServer`]: accept/connection threads,
-//!   one batch worker flushing into `Mlp::forward_batch`, checkpoint
-//!   hot-reload (validate-then-swap, never dropping connections), and
-//!   graceful drain-on-shutdown;
-//! * [`client`] — a small blocking [`client::PolicyClient`];
-//! * [`metrics`] — counters and latency/batch-size/queue-depth
-//!   histograms (with p50/p95/p99) via `ctjam-telemetry`.
+//!   N sharded batch workers (connections pinned by
+//!   `conn_id % workers`) flushing into `Mlp::forward_batch` grouped
+//!   by tenant, multi-model tenancy with per-tenant checkpoint
+//!   hot-reload (validate-then-swap, never dropping connections),
+//!   queue-delay SLO admission control, and graceful
+//!   drain-on-shutdown;
+//! * [`client`] — a small blocking [`client::PolicyClient`] (tenant
+//!   aware; default-tenant clients speak pure v1);
+//! * [`metrics`] — global and per-tenant counters plus
+//!   latency/batch-size/queue-depth histograms (with p50/p95/p99) via
+//!   `ctjam-telemetry`.
 //!
 //! Served actions are **bit-exact** with `DqnAgent::act_greedy` on the
 //! agent the checkpoint was saved from: the batched forward kernel is

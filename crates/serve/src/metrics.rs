@@ -1,10 +1,15 @@
 //! Server observability built on `ctjam-telemetry`.
 //!
 //! One [`ServeMetrics`] lives behind a mutex in the server's shared
-//! state; connection threads and the batch worker update it, and
+//! state; connection threads and the batch workers update it, and
 //! [`ServeMetrics::to_json`] snapshots everything — counters plus the
 //! batch-size / queue-depth / latency histograms with their
-//! p50/p95/p99 summaries — into one `JsonValue` for export.
+//! p50/p95/p99 summaries — into one `JsonValue` for export. In
+//! addition every tenant carries its own [`TenantMetrics`] (requests,
+//! responses, load-shed and reload accounting, a latency histogram);
+//! the server's snapshot nests them under a `"tenants"` object keyed
+//! by tenant id. Global counters aggregate across tenants, so a
+//! single-tenant deployment reads exactly like it did pre-tenancy.
 
 use ctjam_telemetry::export::histogram_json;
 use ctjam_telemetry::stats::{Counter, Histogram};
@@ -23,6 +28,10 @@ pub struct ServeMetrics {
     pub pings: Counter,
     /// Observe requests refused with `ServerBusy`.
     pub busy_rejections: Counter,
+    /// Observe requests shed by the queue-delay SLO (`Overloaded`).
+    pub slo_rejections: Counter,
+    /// Observe requests addressed to a tenant id with no model.
+    pub unknown_tenant: Counter,
     /// Observe requests refused for a wrong observation width.
     pub bad_observations: Counter,
     /// Connections dropped for protocol violations.
@@ -65,6 +74,8 @@ impl ServeMetrics {
             responses: Counter::new("responses"),
             pings: Counter::new("pings"),
             busy_rejections: Counter::new("busy_rejections"),
+            slo_rejections: Counter::new("slo_rejections"),
+            unknown_tenant: Counter::new("unknown_tenant"),
             bad_observations: Counter::new("bad_observations"),
             wire_errors: Counter::new("wire_errors"),
             reloads_ok: Counter::new("reloads_ok"),
@@ -94,6 +105,8 @@ impl ServeMetrics {
             &self.responses,
             &self.pings,
             &self.busy_rejections,
+            &self.slo_rejections,
+            &self.unknown_tenant,
             &self.bad_observations,
             &self.wire_errors,
             &self.reloads_ok,
@@ -115,9 +128,93 @@ impl ServeMetrics {
     }
 }
 
+/// Per-tenant observability: one of these lives inside every tenant
+/// entry, updated by connection threads (admission) and batch workers
+/// (service). The server snapshot nests [`TenantMetrics::to_json`]
+/// under `"tenants" → "<id>"`.
+#[derive(Debug, Clone)]
+pub struct TenantMetrics {
+    /// Observe requests addressed to this tenant.
+    pub requests: Counter,
+    /// Greedy actions served for this tenant.
+    pub responses: Counter,
+    /// Requests shed by the queue-delay SLO.
+    pub slo_rejections: Counter,
+    /// Requests refused for a wrong observation width.
+    pub bad_observations: Counter,
+    /// Checkpoint hot-reloads applied to this tenant.
+    pub reloads_ok: Counter,
+    /// Checkpoint hot-reloads rejected for this tenant.
+    pub reloads_rejected: Counter,
+    /// int8 quantizations admitted by the gate for this tenant.
+    pub quant_admissions: Counter,
+    /// int8 quantizations rejected by the gate (served f64 instead).
+    pub quant_gate_failures: Counter,
+    /// Enqueue→reply latency per request, microseconds.
+    pub latency_us: Histogram,
+}
+
+impl Default for TenantMetrics {
+    fn default() -> Self {
+        TenantMetrics::new()
+    }
+}
+
+impl TenantMetrics {
+    /// Zeroed per-tenant metrics (latency range as [`ServeMetrics`]).
+    pub fn new() -> Self {
+        TenantMetrics {
+            requests: Counter::new("requests"),
+            responses: Counter::new("responses"),
+            slo_rejections: Counter::new("slo_rejections"),
+            bad_observations: Counter::new("bad_observations"),
+            reloads_ok: Counter::new("reloads_ok"),
+            reloads_rejected: Counter::new("reloads_rejected"),
+            quant_admissions: Counter::new("quant_admissions"),
+            quant_gate_failures: Counter::new("quant_gate_failures"),
+            latency_us: Histogram::new("latency_us", 0.0, 50_000.0, 1000),
+        }
+    }
+
+    /// The tenant's counters and latency histogram as one JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut counters = JsonValue::object();
+        for c in [
+            &self.requests,
+            &self.responses,
+            &self.slo_rejections,
+            &self.bad_observations,
+            &self.reloads_ok,
+            &self.reloads_rejected,
+            &self.quant_admissions,
+            &self.quant_gate_failures,
+        ] {
+            counters.set(c.name, c.value);
+        }
+        let mut obj = JsonValue::object();
+        obj.set("counters", counters)
+            .set("latency_us", histogram_json(&self.latency_us));
+        obj
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tenant_snapshot_carries_counters_and_latency() {
+        let mut t = TenantMetrics::new();
+        t.requests.add(5);
+        t.responses.add(4);
+        t.slo_rejections.incr();
+        t.latency_us.record(120.0);
+        let json = t.to_json();
+        let counters = json.get("counters").expect("counters");
+        assert_eq!(counters.get("requests"), Some(&JsonValue::Num(5.0)));
+        assert_eq!(counters.get("slo_rejections"), Some(&JsonValue::Num(1.0)));
+        assert!(json.get("latency_us").and_then(|l| l.get("p99")).is_some());
+    }
 
     #[test]
     fn snapshot_carries_counters_and_percentiles() {

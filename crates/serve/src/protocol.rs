@@ -5,16 +5,26 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic            b"CTJS"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (1 or 2)
 //! 5       1     message kind     (see the `KIND_*` constants)
 //! 6       8     request id       u64 little-endian, echoed in replies
 //! 14      4     payload length   u32 little-endian, ≤ MAX_PAYLOAD
 //! 18      n     payload          kind-specific, little-endian
 //! ```
 //!
-//! Payloads: an *observe* request carries `8·k` bytes of `f64` features;
-//! an *action* response carries one `u32`; an *error* response carries
-//! one `u16` [`ErrorCode`]; *ping*/*pong* are empty.
+//! Payloads: a version-1 *observe* request carries `8·k` bytes of `f64`
+//! features; a version-2 *observe* prefixes them with a `u32` tenant
+//! (model) id, addressing one of the server's tenants. An *action*
+//! response carries one `u32`; an *error* response carries one `u16`
+//! [`ErrorCode`]; *ping*/*pong* are empty.
+//!
+//! **Version negotiation is per-frame and implicit.** Decoders accept
+//! both versions; encoders emit the lowest version that can carry the
+//! message — version 1 for everything except an `Observe` addressed to
+//! a non-default tenant, which needs the v2 tenant prefix. A v1 frame
+//! therefore means "the default tenant" ([`DEFAULT_TENANT`]), pre-v2
+//! clients keep working byte-identically, and every reply the server
+//! writes is readable by a v1 client.
 //!
 //! Decoding is total: any byte sequence — hostile, truncated, or
 //! corrupted — produces a typed [`WireError`], never a panic, and an
@@ -28,8 +38,17 @@ use std::io::{self, Read, Write};
 /// Frame magic: the first four bytes of every CTJam-serve frame.
 pub const MAGIC: [u8; 4] = *b"CTJS";
 
-/// Wire-protocol version this crate speaks.
-pub const PROTO_VERSION: u8 = 1;
+/// Newest wire-protocol version this crate speaks (adds the tenant id
+/// to `Observe`; frames of [`PROTO_V1`] are still accepted and decode
+/// onto [`DEFAULT_TENANT`]).
+pub const PROTO_VERSION: u8 = 2;
+
+/// The original, tenant-unaware protocol version.
+pub const PROTO_V1: u8 = 1;
+
+/// The tenant a v1 `Observe` frame (no tenant id on the wire) is
+/// routed to, and the one [`crate::server::PolicyServer::bind`] serves.
+pub const DEFAULT_TENANT: u32 = 0;
 
 /// Fixed frame-header size in bytes (magic + version + kind + id + length).
 pub const HEADER_LEN: usize = 18;
@@ -90,6 +109,11 @@ pub enum ErrorCode {
     BadObservation,
     /// The server is draining for shutdown.
     ShuttingDown,
+    /// The v2 tenant id names no registered model.
+    UnknownTenant,
+    /// Admission control shed the request: the estimated queue delay
+    /// exceeds the server's `max_queue_delay` SLO — back off and retry.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -99,6 +123,8 @@ impl ErrorCode {
             ErrorCode::ServerBusy => 1,
             ErrorCode::BadObservation => 2,
             ErrorCode::ShuttingDown => 3,
+            ErrorCode::UnknownTenant => 4,
+            ErrorCode::Overloaded => 5,
         }
     }
 
@@ -108,6 +134,8 @@ impl ErrorCode {
             1 => Some(ErrorCode::ServerBusy),
             2 => Some(ErrorCode::BadObservation),
             3 => Some(ErrorCode::ShuttingDown),
+            4 => Some(ErrorCode::UnknownTenant),
+            5 => Some(ErrorCode::Overloaded),
             _ => None,
         }
     }
@@ -119,6 +147,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ServerBusy => write!(f, "server busy"),
             ErrorCode::BadObservation => write!(f, "bad observation"),
             ErrorCode::ShuttingDown => write!(f, "server shutting down"),
+            ErrorCode::UnknownTenant => write!(f, "unknown tenant"),
+            ErrorCode::Overloaded => write!(f, "queue-delay SLO exceeded"),
         }
     }
 }
@@ -130,6 +160,10 @@ pub enum Message {
     Observe {
         /// Request id, echoed in the reply.
         id: u64,
+        /// Tenant (model) id the observation is addressed to.
+        /// [`DEFAULT_TENANT`] encodes as a v1 frame (no id on the
+        /// wire); anything else needs a v2 frame.
+        tenant: u32,
         /// Observation features (`3 × I` values for the paper policy).
         observation: Vec<f64>,
     },
@@ -186,22 +220,44 @@ impl Message {
         }
     }
 
-    /// Appends the framed encoding to `buf`.
+    /// Appends the framed encoding to `buf`, at the lowest protocol
+    /// version that can carry the message: version 2 only for an
+    /// `Observe` addressed to a non-default tenant (the tenant id needs
+    /// the v2 payload prefix), version 1 for everything else — so
+    /// default-tenant traffic and every server reply stay byte-readable
+    /// by v1 peers.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
-        let payload_len: u32 = match self {
-            Message::Observe { observation, .. } => (observation.len() * 8) as u32,
-            Message::Ping { .. } | Message::Pong { .. } => 0,
-            Message::Action { .. } => 4,
-            Message::Error { .. } => 2,
+        let (version, payload_len): (u8, u32) = match self {
+            Message::Observe {
+                tenant,
+                observation,
+                ..
+            } => {
+                if *tenant == DEFAULT_TENANT {
+                    (PROTO_V1, (observation.len() * 8) as u32)
+                } else {
+                    (PROTO_VERSION, (4 + observation.len() * 8) as u32)
+                }
+            }
+            Message::Ping { .. } | Message::Pong { .. } => (PROTO_V1, 0),
+            Message::Action { .. } => (PROTO_V1, 4),
+            Message::Error { .. } => (PROTO_V1, 2),
         };
         buf.reserve(HEADER_LEN + payload_len as usize);
         buf.extend_from_slice(&MAGIC);
-        buf.push(PROTO_VERSION);
+        buf.push(version);
         buf.push(self.kind());
         buf.extend_from_slice(&self.id().to_le_bytes());
         buf.extend_from_slice(&payload_len.to_le_bytes());
         match self {
-            Message::Observe { observation, .. } => {
+            Message::Observe {
+                tenant,
+                observation,
+                ..
+            } => {
+                if version == PROTO_VERSION {
+                    buf.extend_from_slice(&tenant.to_le_bytes());
+                }
                 for v in observation {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
@@ -317,6 +373,7 @@ impl fmt::Display for RecvError {
 impl std::error::Error for RecvError {}
 
 struct Header {
+    version: u8,
     kind: u8,
     id: u64,
     payload_len: u32,
@@ -342,7 +399,7 @@ fn decode_header(bytes: &[u8]) -> Result<Header, WireError> {
         return Err(WireError::Truncated);
     }
     let version = bytes[4];
-    if version != PROTO_VERSION {
+    if version != PROTO_V1 && version != PROTO_VERSION {
         return Err(WireError::BadVersion(version));
     }
     let kind = bytes[5];
@@ -358,6 +415,7 @@ fn decode_header(bytes: &[u8]) -> Result<Header, WireError> {
         return Err(WireError::FrameTooLarge(payload_len));
     }
     Ok(Header {
+        version,
         kind,
         id,
         payload_len,
@@ -368,16 +426,30 @@ fn decode_payload(header: &Header, payload: &[u8]) -> Result<Message, WireError>
     let id = header.id;
     match header.kind {
         KIND_OBSERVE => {
-            if !payload.len().is_multiple_of(8) {
+            // v2 prefixes the features with a u32 tenant id; a v1 frame
+            // is implicitly addressed to the default tenant.
+            let (tenant, features) = if header.version == PROTO_VERSION {
+                let Some((tenant_bytes, rest)) = payload.split_first_chunk::<4>() else {
+                    return Err(WireError::BadPayload("v2 observe shorter than a tenant id"));
+                };
+                (u32::from_le_bytes(*tenant_bytes), rest)
+            } else {
+                (DEFAULT_TENANT, payload)
+            };
+            if !features.len().is_multiple_of(8) {
                 return Err(WireError::BadPayload(
                     "observation bytes not a multiple of 8",
                 ));
             }
-            let observation = payload
+            let observation = features
                 .chunks_exact(8)
                 .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
                 .collect();
-            Ok(Message::Observe { id, observation })
+            Ok(Message::Observe {
+                id,
+                tenant,
+                observation,
+            })
         }
         KIND_PING => {
             if !payload.is_empty() {
@@ -420,10 +492,22 @@ mod tests {
         vec![
             Message::Observe {
                 id: 7,
+                tenant: DEFAULT_TENANT,
                 observation: vec![0.0, -1.5, f64::NAN, 1e300],
             },
             Message::Observe {
                 id: u64::MAX,
+                tenant: DEFAULT_TENANT,
+                observation: vec![],
+            },
+            Message::Observe {
+                id: 11,
+                tenant: 0xCAFE,
+                observation: vec![2.0, -0.25],
+            },
+            Message::Observe {
+                id: 12,
+                tenant: u32::MAX,
                 observation: vec![],
             },
             Message::Ping { id: 0 },
@@ -467,17 +551,61 @@ mod tests {
 
     #[test]
     fn golden_frame_layout() {
+        // Replies stay v1 frames — a pre-v2 client can read them.
         let bytes = Message::Action {
             id: 0x0102030405060708,
             action: 0xA1B2,
         }
         .encode();
         assert_eq!(&bytes[..4], b"CTJS");
-        assert_eq!(bytes[4], PROTO_VERSION);
+        assert_eq!(bytes[4], PROTO_V1);
         assert_eq!(bytes[5], KIND_ACTION);
         assert_eq!(&bytes[6..14], &0x0102030405060708u64.to_le_bytes());
         assert_eq!(&bytes[14..18], &4u32.to_le_bytes());
         assert_eq!(&bytes[18..], &0xA1B2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn golden_v1_vs_v2_observe_layout() {
+        // Default tenant: byte-identical to the pre-tenancy v1 frame.
+        let v1 = Message::Observe {
+            id: 3,
+            tenant: DEFAULT_TENANT,
+            observation: vec![1.5],
+        }
+        .encode();
+        assert_eq!(v1[4], PROTO_V1);
+        assert_eq!(&v1[14..18], &8u32.to_le_bytes());
+        assert_eq!(&v1[18..], &1.5f64.to_le_bytes());
+
+        // Non-default tenant: v2 frame, payload = tenant id + features.
+        let v2 = Message::Observe {
+            id: 3,
+            tenant: 0xDEADBEEF,
+            observation: vec![1.5],
+        }
+        .encode();
+        assert_eq!(v2[4], PROTO_VERSION);
+        assert_eq!(&v2[14..18], &12u32.to_le_bytes());
+        assert_eq!(&v2[18..22], &0xDEADBEEFu32.to_le_bytes());
+        assert_eq!(&v2[22..], &1.5f64.to_le_bytes());
+    }
+
+    #[test]
+    fn v2_observe_shorter_than_a_tenant_id_is_typed() {
+        let mut bytes = Message::Observe {
+            id: 1,
+            tenant: 9,
+            observation: vec![],
+        }
+        .encode();
+        // Shrink the v2 payload below the 4-byte tenant prefix.
+        bytes[14..18].copy_from_slice(&2u32.to_le_bytes());
+        bytes.truncate(HEADER_LEN + 2);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadPayload(_))
+        ));
     }
 
     #[test]
@@ -526,6 +654,7 @@ mod tests {
     fn payload_shape_violations_are_typed() {
         let mut bytes = Message::Observe {
             id: 1,
+            tenant: DEFAULT_TENANT,
             observation: vec![1.0],
         }
         .encode();
@@ -564,6 +693,7 @@ mod tests {
     fn mid_frame_eof_is_truncated_not_io() {
         let bytes = Message::Observe {
             id: 5,
+            tenant: 17,
             observation: vec![2.5, -2.5],
         }
         .encode();

@@ -1,67 +1,101 @@
-//! The multi-threaded policy-inference server.
+//! The sharded, multi-tenant policy-inference server.
 //!
 //! Thread layout:
 //!
 //! * an **accept** thread takes connections off a non-blocking
-//!   `TcpListener` and spawns one **connection** thread each;
+//!   `TcpListener` and spawns one **connection** thread each; at accept
+//!   time the connection is assigned a unique id and pinned to one
+//!   worker shard (`conn_id % workers`), thread-per-core style — a
+//!   connection's requests always flow through the same
+//!   [`crate::batcher::BatchQueue`], which is what preserves
+//!   per-connection reply order with many workers;
 //! * connection threads decode framed requests
 //!   ([`crate::protocol::Message`]) out of a growing byte buffer — one
-//!   `read` syscall can drain many pipelined frames — and enqueue
-//!   observations into the bounded internal batch queue;
-//!   immediate replies (`Pong`, `ServerBusy`, `BadObservation`) go out
-//!   through the connection's shared write half;
-//! * one **batch worker** pulls size-or-deadline coalesced batches,
-//!   runs a single `Mlp::forward_batch` — or the int8-quantized
-//!   forward when [`ServerConfig::quantize_int8`] is on and the policy
-//!   cleared its agreement gate — and writes every `Action` reply
-//!   straight to its connection — no per-request channel hop — cloning
-//!   the serving-model `Arc` **once per flush**, so every response in
-//!   a batch is computed by exactly one policy version even while a
-//!   hot-reload swaps the pointer (no torn reads);
-//! * an optional **watcher** thread polls a checkpoint path and applies
-//!   validated swaps via the same [`PolicyServer::reload_from`] path.
+//!   `read` syscall can drain many pipelined frames — resolve the
+//!   frame's tenant id against the tenant registry (cached per
+//!   connection: the width check never touches the model `RwLock` on
+//!   the request path, since [`ReloadError::ShapeMismatch`] guarantees
+//!   a tenant's input size is immutable), run admission control, and
+//!   enqueue observations into their shard's bounded queue; immediate
+//!   replies (`Pong`, errors) go out through the connection's shared
+//!   write half;
+//! * one **batch worker per shard** pulls size-or-deadline coalesced
+//!   batches, groups each flush's rows by tenant, and runs one
+//!   `Mlp::forward_batch` per tenant group — or the int8-quantized
+//!   forward when [`ServerConfig::quantize_int8`] is on and that
+//!   tenant's policy cleared its agreement gate — cloning each tenant's
+//!   serving-model `Arc` **once per group**, so every response in a
+//!   group is computed by exactly one policy version even while a
+//!   hot-reload swaps the pointer (no torn reads). Replies are
+//!   coalesced into one buffered write per connection, keyed by the
+//!   accept-time connection id (an `O(1)` map lookup, with reply
+//!   buffers reused across flushes);
+//! * optional **watcher** threads (one per watched tenant) poll a
+//!   checkpoint path and apply validated swaps via the same
+//!   [`PolicyServer::reload_tenant_from`] path. The watcher keys on the
+//!   file's `(mtime, len)` signature and commits it only after a
+//!   **successful** reload, so a transiently failing read is retried
+//!   on the next poll instead of being dropped until the next publish,
+//!   and a same-tick republish that changes the length is still caught.
+//!   (A republish with identical mtime *and* length is invisible to
+//!   polling; the atomic tempfile+rename publish protocol makes that
+//!   window one filesystem-timestamp granule.)
+//!
+//! Admission control is two-layered: the bounded queue refuses pushes
+//! beyond `queue_capacity` with `ServerBusy` (hard backstop), and when
+//! [`ServerConfig::max_queue_delay`] is set, a request whose estimated
+//! queue delay — shard depth × an EWMA of per-request service cost —
+//! exceeds the bound is shed with `Overloaded` before it is enqueued.
+//! Shedding early keeps the latency of admitted requests bounded
+//! instead of letting the whole queue slow down together.
 //!
 //! Connections may pipeline: any number of `Observe` frames can be in
 //! flight at once, and replies carry the request id they answer.
-//! `Observe` replies preserve per-connection request order (the queue
-//! is FIFO and the single worker writes each flush in order), while
-//! `Pong` and error replies are written immediately and may overtake
-//! queued `Action`s.
+//! `Observe` replies preserve per-connection request order (the shard
+//! queue is FIFO, a connection never changes shards, and its worker
+//! writes each flush in order), while `Pong` and error replies are
+//! written immediately and may overtake queued `Action`s.
 //!
-//! Shutdown is graceful by construction: the queue is closed (new work
-//! is refused with `ShuttingDown`), the worker drains every queued
-//! request, connection threads notice the flag at their next read
+//! Shutdown is graceful by construction: every shard queue is closed
+//! (new work is refused with `ShuttingDown`), each worker drains its
+//! queue, connection threads notice the flag at their next read
 //! timeout, and `shutdown` joins them all before returning the final
-//! metrics snapshot.
+//! metrics snapshot. No in-flight request is dropped, for any tenant.
 
 use crate::batcher::{BatchQueue, PendingRequest, PushError};
-use crate::metrics::ServeMetrics;
-use crate::protocol::{ErrorCode, Message, WireError};
+use crate::metrics::{ServeMetrics, TenantMetrics};
+use crate::protocol::{ErrorCode, Message, WireError, DEFAULT_TENANT};
 use ctjam_dqn::checkpoint::CheckpointError;
 use ctjam_dqn::policy::GreedyPolicy;
 use ctjam_dqn::quant::{synthetic_observations, QuantizedPolicy};
 use ctjam_nn::batch::Batch;
+use ctjam_nn::mlp::BatchScratch;
 use ctjam_nn::quant::QuantScratch;
 use ctjam_telemetry::JsonValue;
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant, SystemTime};
 
-/// The batch worker's reply handle: the request id and the connection's
-/// shared write half.
+/// The batch worker's reply handle: the request id, the connection it
+/// came from, the tenant that owns the observation, and the
+/// connection's shared write half.
 struct Reply {
     id: u64,
+    conn: u64,
+    tenant: Arc<Tenant>,
     writer: ReplyWriter,
 }
 
 /// Write half of one connection, shared between its reader thread
-/// (immediate `Pong`/error replies) and the batch worker (`Action`
-/// replies). A mutex serializes whole frames; reads never take it.
+/// (immediate `Pong`/error replies) and its shard's batch worker
+/// (`Action` replies). A mutex serializes whole frames; reads never
+/// take it.
 #[derive(Clone)]
 struct ReplyWriter {
     stream: Arc<TcpStream>,
@@ -89,10 +123,6 @@ impl ReplyWriter {
         let _guard = self.guard.lock().expect("writer lock poisoned");
         (&*self.stream).write_all(frames)
     }
-
-    fn same_connection(&self, other: &ReplyWriter) -> bool {
-        Arc::ptr_eq(&self.stream, &other.stream)
-    }
 }
 
 /// Tunables for one [`PolicyServer`].
@@ -102,19 +132,33 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Flush at most this long after the oldest queued request arrived.
     pub max_wait: Duration,
-    /// Bound on queued requests; pushes beyond it get `ServerBusy`.
+    /// Bound on queued requests **per worker shard**; pushes beyond it
+    /// get `ServerBusy`.
     pub queue_capacity: usize,
     /// Read timeout on connections (shutdown-notice latency) and the
-    /// checkpoint watcher's poll interval.
+    /// checkpoint watchers' poll interval.
     pub poll_interval: Duration,
-    /// Serve through the int8-quantized forward path when the policy
-    /// clears the greedy-action-agreement gate ([`INT8_MIN_AGREEMENT`]
-    /// on [`INT8_HOLDOUT_SIZE`] held-out synthetic observations). A
-    /// policy that fails the gate is served in f64 and the rejection is
-    /// counted in `quant_gate_failures`; the gate re-runs on every
-    /// hot-reload. Off by default — training and evaluation never see
-    /// the quantized path.
+    /// Serve through the int8-quantized forward path when a tenant's
+    /// policy clears the greedy-action-agreement gate
+    /// ([`INT8_MIN_AGREEMENT`] on [`INT8_HOLDOUT_SIZE`] held-out
+    /// synthetic observations). A policy that fails the gate is served
+    /// in f64 and the rejection is counted in `quant_gate_failures`;
+    /// the gate re-runs on every hot-reload, independently per tenant.
+    /// Off by default — training and evaluation never see the
+    /// quantized path.
     pub quantize_int8: bool,
+    /// Batch workers (= shards). `0` resolves to
+    /// `std::thread::available_parallelism()` at bind time. Worker
+    /// count never changes which action an observation gets — only how
+    /// requests are queued — so any value is behaviorally identical.
+    pub workers: usize,
+    /// Queue-delay SLO: shed a request with `Overloaded` when its
+    /// shard's estimated queue delay (depth × EWMA service cost per
+    /// request) already exceeds this bound. `None` (the default)
+    /// disables shedding; the bounded queue's `ServerBusy` backstop
+    /// always applies. No request is shed before a shard's first flush
+    /// establishes a cost estimate.
+    pub max_queue_delay: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +169,8 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             poll_interval: Duration::from_millis(25),
             quantize_int8: false,
+            workers: 0,
+            max_queue_delay: None,
         }
     }
 }
@@ -139,8 +185,17 @@ pub const INT8_HOLDOUT_SIZE: usize = 256;
 const INT8_CALIBRATION_SEED: u64 = 0x5ca1ab1e;
 const INT8_HOLDOUT_SEED: u64 = 0x0ddba11;
 
-/// Why a checkpoint hot-reload was refused. In every case the old
-/// policy keeps serving untouched.
+/// Reply-buffer cache bound per worker: above this many cached
+/// connections, entries idle for [`REPLY_CACHE_KEEP`] flushes are
+/// evicted (an evicted live connection is simply re-cached on its next
+/// reply).
+const REPLY_CACHE_LIMIT: usize = 1024;
+/// Flushes a reply buffer survives without being touched once the
+/// cache is over [`REPLY_CACHE_LIMIT`].
+const REPLY_CACHE_KEEP: u64 = 64;
+
+/// Why a checkpoint hot-reload was refused. In every case the tenant's
+/// old policy keeps serving untouched.
 #[derive(Debug)]
 pub enum ReloadError {
     /// The file failed `ctjam_dqn::checkpoint` verification (I/O,
@@ -154,6 +209,8 @@ pub enum ReloadError {
         /// The rejected checkpoint's `(input_size, num_actions)`.
         found: (usize, usize),
     },
+    /// No tenant with the given id is registered.
+    UnknownTenant(u32),
 }
 
 impl fmt::Display for ReloadError {
@@ -165,30 +222,75 @@ impl fmt::Display for ReloadError {
                 "shape mismatch: serving (input={}, actions={}), checkpoint (input={}, actions={})",
                 expected.0, expected.1, found.0, found.1
             ),
+            ReloadError::UnknownTenant(id) => write!(f, "no tenant with id {id}"),
         }
     }
 }
 
 impl std::error::Error for ReloadError {}
 
-/// What the batch worker serves with: the f64 policy (always present —
-/// it validates reloads and is the fallback) plus, when
-/// `quantize_int8` is on **and** the agreement gate passed, its int8
-/// twin. One `Arc<ServingModel>` swap per reload keeps the pair
-/// consistent: a flush can never mix an old f64 policy with a new
-/// quantization or vice versa.
+/// Why a tenant could not be registered.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TenantError {
+    /// A tenant with this id already exists.
+    Duplicate(u32),
+    /// No tenant with this id exists.
+    Unknown(u32),
+}
+
+impl fmt::Display for TenantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenantError::Duplicate(id) => write!(f, "tenant {id} already registered"),
+            TenantError::Unknown(id) => write!(f, "no tenant with id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+/// What the batch workers serve one tenant with: the f64 policy
+/// (always present — it validates reloads and is the fallback) plus,
+/// when `quantize_int8` is on **and** the agreement gate passed, its
+/// int8 twin. One `Arc<ServingModel>` swap per reload keeps the pair
+/// consistent: a tenant group can never mix an old f64 policy with a
+/// new quantization or vice versa.
 struct ServingModel {
     policy: GreedyPolicy,
     quant: Option<QuantizedPolicy>,
 }
 
+/// One registered model: the swap point for hot-reloads plus the
+/// tenant's own metrics. `input_size` is denormalized out of the model
+/// so the per-request width check (and the connection-side cache of
+/// it) never takes the model `RwLock` — [`ReloadError::ShapeMismatch`]
+/// guarantees it can never change.
+struct Tenant {
+    id: u32,
+    input_size: usize,
+    model: RwLock<Arc<ServingModel>>,
+    metrics: Mutex<TenantMetrics>,
+}
+
+impl Tenant {
+    fn current_model(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.model.read().expect("model lock poisoned"))
+    }
+
+    fn metrics(&self) -> MutexGuard<'_, TenantMetrics> {
+        self.metrics.lock().expect("tenant metrics lock poisoned")
+    }
+}
+
 /// Quantizes `policy` behind the agreement gate (when asked to) and
-/// records the admission or rejection. Quantization happens here — at
-/// checkpoint load — never on the serving path.
+/// records the admission or rejection in both the global and the
+/// tenant's metrics. Quantization happens here — at checkpoint load —
+/// never on the serving path.
 fn admit_model(
     policy: GreedyPolicy,
     quantize: bool,
-    metrics: &Mutex<ServeMetrics>,
+    global: &Mutex<ServeMetrics>,
+    tenant: &Mutex<TenantMetrics>,
 ) -> ServingModel {
     let quant = if quantize {
         let calibration = synthetic_observations(
@@ -198,14 +300,17 @@ fn admit_model(
         );
         let holdout =
             synthetic_observations(policy.input_size(), INT8_HOLDOUT_SEED, INT8_HOLDOUT_SIZE);
-        let mut m = metrics.lock().expect("metrics lock poisoned");
+        let mut g = global.lock().expect("metrics lock poisoned");
+        let mut t = tenant.lock().expect("tenant metrics lock poisoned");
         match QuantizedPolicy::quantize_gated(&policy, &calibration, &holdout, INT8_MIN_AGREEMENT) {
             Ok((q, _agreement)) => {
-                m.quant_admissions.incr();
+                g.quant_admissions.incr();
+                t.quant_admissions.incr();
                 Some(q)
             }
             Err(_) => {
-                m.quant_gate_failures.incr();
+                g.quant_gate_failures.incr();
+                t.quant_gate_failures.incr();
                 None
             }
         }
@@ -215,42 +320,84 @@ fn admit_model(
     ServingModel { policy, quant }
 }
 
-struct Shared {
-    model: RwLock<Arc<ServingModel>>,
+/// One worker's slice of the server: its request queue and the EWMA of
+/// per-request service cost (nanoseconds; `0` until the first flush)
+/// that backs the queue-delay SLO estimate.
+struct WorkerShard {
     queue: BatchQueue<Reply>,
+    ewma_ns_per_req: AtomicU64,
+}
+
+struct Shared {
+    tenants: RwLock<Vec<Arc<Tenant>>>,
+    shards: Vec<WorkerShard>,
     shutdown: AtomicBool,
     metrics: Mutex<ServeMetrics>,
     config: ServerConfig,
+    next_conn: AtomicU64,
 }
 
 impl Shared {
-    fn current_model(&self) -> Arc<ServingModel> {
-        Arc::clone(&self.model.read().expect("model lock poisoned"))
-    }
-
-    fn metrics(&self) -> std::sync::MutexGuard<'_, ServeMetrics> {
+    fn metrics(&self) -> MutexGuard<'_, ServeMetrics> {
         self.metrics.lock().expect("metrics lock poisoned")
     }
 
-    /// Validate-then-swap. The new policy is fully loaded, verified,
-    /// and (when configured) re-quantized before the write lock is
-    /// taken, so the swap itself is a pointer store and readers only
-    /// ever see a complete model.
-    fn reload_from(&self, path: &Path) -> Result<(), ReloadError> {
-        let loaded = GreedyPolicy::load_checkpoint(path).map_err(|e| {
-            self.metrics().reloads_rejected.incr();
-            ReloadError::Checkpoint(e)
-        })?;
-        let current = self.current_model();
+    fn find_tenant(&self, id: u32) -> Option<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .expect("tenant list poisoned")
+            .iter()
+            .find(|t| t.id == id)
+            .map(Arc::clone)
+    }
+
+    fn add_tenant(&self, id: u32, policy: GreedyPolicy) -> Result<Arc<Tenant>, TenantError> {
+        let mut tenants = self.tenants.write().expect("tenant list poisoned");
+        if tenants.iter().any(|t| t.id == id) {
+            return Err(TenantError::Duplicate(id));
+        }
+        let metrics = Mutex::new(TenantMetrics::new());
+        let model = admit_model(policy, self.config.quantize_int8, &self.metrics, &metrics);
+        let tenant = Arc::new(Tenant {
+            id,
+            input_size: model.policy.input_size(),
+            model: RwLock::new(Arc::new(model)),
+            metrics,
+        });
+        tenants.push(Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Validate-then-swap for one tenant. The new policy is fully
+    /// loaded, verified, and (when configured) re-quantized before the
+    /// write lock is taken, so the swap itself is a pointer store and
+    /// readers only ever see a complete model.
+    fn reload_tenant(&self, tenant: &Tenant, path: &Path) -> Result<(), ReloadError> {
+        let loaded = match GreedyPolicy::load_checkpoint(path) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics().reloads_rejected.incr();
+                tenant.metrics().reloads_rejected.incr();
+                return Err(ReloadError::Checkpoint(e));
+            }
+        };
+        let current = tenant.current_model();
         let expected = (current.policy.input_size(), current.policy.num_actions());
         let found = (loaded.input_size(), loaded.num_actions());
         if expected != found {
             self.metrics().reloads_rejected.incr();
+            tenant.metrics().reloads_rejected.incr();
             return Err(ReloadError::ShapeMismatch { expected, found });
         }
-        let model = admit_model(loaded, self.config.quantize_int8, &self.metrics);
-        *self.model.write().expect("model lock poisoned") = Arc::new(model);
+        let model = admit_model(
+            loaded,
+            self.config.quantize_int8,
+            &self.metrics,
+            &tenant.metrics,
+        );
+        *tenant.model.write().expect("model lock poisoned") = Arc::new(model);
         self.metrics().reloads_ok.incr();
+        tenant.metrics().reloads_ok.incr();
         Ok(())
     }
 }
@@ -261,14 +408,16 @@ pub struct PolicyServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    worker: Option<JoinHandle<()>>,
-    watcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    watchers: Vec<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl PolicyServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `policy`.
+    /// serving `policy` as the default tenant
+    /// ([`crate::protocol::DEFAULT_TENANT`]) — exactly what v1 clients
+    /// talk to. Spawns one batch worker per configured shard.
     ///
     /// # Errors
     ///
@@ -281,31 +430,48 @@ impl PolicyServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let metrics = Mutex::new(ServeMetrics::new());
-        let model = admit_model(policy, config.quantize_int8, &metrics);
+        let worker_count = if config.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shards = (0..worker_count)
+            .map(|_| WorkerShard {
+                queue: BatchQueue::new(config.queue_capacity),
+                ewma_ns_per_req: AtomicU64::new(0),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            model: RwLock::new(Arc::new(model)),
-            queue: BatchQueue::new(config.queue_capacity),
+            tenants: RwLock::new(Vec::new()),
+            shards,
             shutdown: AtomicBool::new(false),
-            metrics,
+            metrics: Mutex::new(ServeMetrics::new()),
             config,
+            next_conn: AtomicU64::new(0),
         });
+        shared
+            .add_tenant(DEFAULT_TENANT, policy)
+            .expect("empty registry cannot collide");
         let connections = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let shared = Arc::clone(&shared);
             let connections = Arc::clone(&connections);
             thread::spawn(move || accept_loop(&listener, &shared, &connections))
         };
-        let worker = {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || batch_worker(&shared))
-        };
+        let workers = (0..worker_count)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || batch_worker(&shared, shard))
+            })
+            .collect();
         Ok(PolicyServer {
             shared,
             addr,
             accept: Some(accept),
-            worker: Some(worker),
-            watcher: None,
+            workers,
+            watchers: Vec::new(),
             connections,
         })
     }
@@ -315,9 +481,36 @@ impl PolicyServer {
         self.addr
     }
 
-    /// Validates the checkpoint at `path` and atomically swaps it in.
-    /// Connections are never dropped: in-flight batches finish on the
-    /// policy they started with, later batches use the new one.
+    /// Batch workers actually running (after `workers: 0` resolution).
+    pub fn worker_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Registers `policy` under tenant `id`, visible to v2 clients
+    /// immediately. The tenant's int8 gate (when configured) runs here.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Duplicate`] when the id is taken.
+    pub fn add_tenant(&self, id: u32, policy: GreedyPolicy) -> Result<(), TenantError> {
+        self.shared.add_tenant(id, policy).map(|_| ())
+    }
+
+    /// Tenant ids currently registered, in registration order.
+    pub fn tenant_ids(&self) -> Vec<u32> {
+        self.shared
+            .tenants
+            .read()
+            .expect("tenant list poisoned")
+            .iter()
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Validates the checkpoint at `path` and atomically swaps it into
+    /// the default tenant. Connections are never dropped: in-flight
+    /// batches finish on the policy they started with, later batches
+    /// use the new one.
     ///
     /// # Errors
     ///
@@ -325,59 +518,122 @@ impl PolicyServer {
     /// differently from the serving policy; the old policy keeps
     /// serving.
     pub fn reload_from(&self, path: &Path) -> Result<(), ReloadError> {
-        self.shared.reload_from(path)
+        self.reload_tenant_from(DEFAULT_TENANT, path)
     }
 
-    /// Spawns the watcher thread: every `poll_interval` it stats
-    /// `path`, and on a modification-time change runs the same
-    /// validate-then-swap as [`PolicyServer::reload_from`]. Rejected
+    /// [`PolicyServer::reload_from`] for an arbitrary tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError::UnknownTenant`] when no such tenant exists, else
+    /// as [`PolicyServer::reload_from`].
+    pub fn reload_tenant_from(&self, tenant: u32, path: &Path) -> Result<(), ReloadError> {
+        let t = self
+            .shared
+            .find_tenant(tenant)
+            .ok_or(ReloadError::UnknownTenant(tenant))?;
+        self.shared.reload_tenant(&t, path)
+    }
+
+    /// Spawns a watcher thread for the default tenant: every
+    /// `poll_interval` it stats `path`, and on a `(mtime, len)`
+    /// signature change runs the same validate-then-swap as
+    /// [`PolicyServer::reload_from`]. The signature is committed only
+    /// on a **successful** reload, so rejected files are retried every
+    /// poll until they load (or the publisher replaces them). Rejected
     /// files are counted in the metrics and the old policy keeps
     /// serving. Checkpoint writes are atomic (tempfile + rename), so a
-    /// new modification time always names a complete file.
+    /// new signature always names a complete file.
     pub fn watch_checkpoint(&mut self, path: PathBuf) {
+        self.watch_tenant_checkpoint(DEFAULT_TENANT, path)
+            .expect("default tenant always exists");
+    }
+
+    /// [`PolicyServer::watch_checkpoint`] for an arbitrary tenant; one
+    /// watcher thread per call.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError::Unknown`] when no such tenant exists.
+    pub fn watch_tenant_checkpoint(
+        &mut self,
+        tenant: u32,
+        path: PathBuf,
+    ) -> Result<(), TenantError> {
+        let t = self
+            .shared
+            .find_tenant(tenant)
+            .ok_or(TenantError::Unknown(tenant))?;
         let shared = Arc::clone(&self.shared);
-        self.watcher = Some(thread::spawn(move || {
-            let mut last_seen = file_mtime(&path);
+        self.watchers.push(thread::spawn(move || {
+            let mut last_seen = file_signature(&path);
             while !shared.shutdown.load(Ordering::SeqCst) {
                 thread::sleep(shared.config.poll_interval);
-                let mtime = file_mtime(&path);
-                if mtime.is_some() && mtime != last_seen {
-                    last_seen = mtime;
-                    let _ = shared.reload_from(&path);
+                let sig = file_signature(&path);
+                if sig.is_some() && sig != last_seen && shared.reload_tenant(&t, &path).is_ok() {
+                    // Commit only on success: a failed reload keeps the
+                    // old signature, so the file is retried next poll.
+                    last_seen = sig;
                 }
             }
         }));
+        Ok(())
     }
 
-    /// Whether the server is currently answering through the int8
-    /// path — i.e. `quantize_int8` was requested **and** the serving
-    /// policy cleared the agreement gate. `false` means f64 (either
-    /// int8 was never requested, or the gate rejected this policy).
+    /// Whether the default tenant is currently answering through the
+    /// int8 path — i.e. `quantize_int8` was requested **and** its
+    /// serving policy cleared the agreement gate. `false` means f64
+    /// (either int8 was never requested, or the gate rejected this
+    /// policy).
     pub fn int8_active(&self) -> bool {
-        self.shared.current_model().quant.is_some()
+        self.tenant_int8_active(DEFAULT_TENANT).unwrap_or(false)
     }
 
-    /// Snapshot of the server's metrics as JSON.
+    /// [`PolicyServer::int8_active`] per tenant; `None` when no such
+    /// tenant exists.
+    pub fn tenant_int8_active(&self, tenant: u32) -> Option<bool> {
+        self.shared
+            .find_tenant(tenant)
+            .map(|t| t.current_model().quant.is_some())
+    }
+
+    /// Snapshot of the server's metrics as JSON: the global counters
+    /// and histograms, plus one entry per tenant under `"tenants"`.
     pub fn metrics_json(&self) -> JsonValue {
-        self.shared.metrics().to_json()
+        let mut json = self.shared.metrics().to_json();
+        let mut tenants = JsonValue::object();
+        for t in self
+            .shared
+            .tenants
+            .read()
+            .expect("tenant list poisoned")
+            .iter()
+        {
+            tenants.set(&t.id.to_string(), t.metrics().to_json());
+        }
+        json.set("tenants", tenants);
+        json
     }
 
-    /// Mean requests per flushed batch so far (NaN before any flush).
+    /// Mean requests per flushed batch so far, across all workers (NaN
+    /// before any flush).
     pub fn mean_batch_occupancy(&self) -> f64 {
         self.shared.metrics().mean_batch_occupancy()
     }
 
     /// Drains and stops the server: refuses new work, answers every
-    /// queued request, joins all threads, and returns the final metrics
-    /// snapshot.
+    /// queued request on every shard, joins all threads, and returns
+    /// the final metrics snapshot.
     pub fn shutdown(mut self) -> JsonValue {
         self.stop();
-        self.shared.metrics().to_json()
+        self.metrics_json()
     }
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -386,10 +642,10 @@ impl PolicyServer {
         for h in handles {
             let _ = h.join();
         }
-        if let Some(h) = self.worker.take() {
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        if let Some(h) = self.watcher.take() {
+        for h in self.watchers.drain(..) {
             let _ = h.join();
         }
     }
@@ -401,8 +657,12 @@ impl Drop for PolicyServer {
     }
 }
 
-fn file_mtime(path: &Path) -> Option<SystemTime> {
-    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+/// The watcher's change key: `(mtime, len)`. Length catches a same-tick
+/// republish that coarse filesystem timestamps would swallow, as long
+/// as the two checkpoints differ in size.
+fn file_signature(path: &Path) -> Option<(SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
 }
 
 fn accept_loop(
@@ -414,8 +674,9 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 shared.metrics().connections.incr();
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(shared);
-                let handle = thread::spawn(move || connection_loop(stream, &shared));
+                let handle = thread::spawn(move || connection_loop(stream, conn_id, &shared));
                 connections
                     .lock()
                     .expect("connection list poisoned")
@@ -431,11 +692,42 @@ fn accept_loop(
     }
 }
 
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+/// Per-connection state the reader thread threads through `dispatch`:
+/// the accept-time id (reply-coalescing key), the shard the connection
+/// is pinned to, and the tenants it has resolved so far. The cache
+/// means a steady-state request touches neither the tenant registry
+/// lock nor the tenant's model lock — `Tenant::input_size` is
+/// immutable.
+struct ConnState {
+    conn_id: u64,
+    shard: usize,
+    tenants: Vec<(u32, Arc<Tenant>)>,
+}
+
+impl ConnState {
+    /// Resolves a tenant id, consulting the registry only on first
+    /// sight. Unknown ids are not negatively cached: a tenant added
+    /// after the miss is picked up on the next request.
+    fn resolve(&mut self, shared: &Shared, id: u32) -> Option<Arc<Tenant>> {
+        if let Some((_, t)) = self.tenants.iter().find(|(tid, _)| *tid == id) {
+            return Some(Arc::clone(t));
+        }
+        let t = shared.find_tenant(id)?;
+        self.tenants.push((id, Arc::clone(&t)));
+        Some(t)
+    }
+}
+
+fn connection_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
     let stream = Arc::new(stream);
     let writer = ReplyWriter::new(Arc::clone(&stream));
+    let mut conn = ConnState {
+        conn_id,
+        shard: (conn_id % shared.shards.len() as u64) as usize,
+        tenants: Vec::new(),
+    };
     // Frames are decoded out of this buffer, so a read timeout can
     // never lose the prefix of a half-arrived frame, and one syscall
     // drains as many pipelined frames as the kernel has buffered.
@@ -446,7 +738,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         match Message::decode(&buf[consumed..]) {
             Ok((msg, used)) => {
                 consumed += used;
-                if !dispatch(shared, &writer, msg) {
+                if !dispatch(shared, &mut conn, &writer, msg) {
                     return;
                 }
                 continue;
@@ -485,15 +777,24 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// Handles one decoded frame; `false` closes the connection.
-fn dispatch(shared: &Arc<Shared>, writer: &ReplyWriter, msg: Message) -> bool {
+fn dispatch(
+    shared: &Arc<Shared>,
+    conn: &mut ConnState,
+    writer: &ReplyWriter,
+    msg: Message,
+) -> bool {
     match msg {
         Message::Ping { id } => {
             shared.metrics().pings.incr();
             writer.send(&Message::Pong { id }).is_ok()
         }
-        Message::Observe { id, observation } => {
+        Message::Observe {
+            id,
+            tenant,
+            observation,
+        } => {
             shared.metrics().requests.incr();
-            handle_observe(shared, writer, id, observation)
+            handle_observe(shared, conn, writer, id, tenant, observation)
         }
         // A response kind arriving at the server is a protocol
         // violation by the peer.
@@ -504,18 +805,30 @@ fn dispatch(shared: &Arc<Shared>, writer: &ReplyWriter, msg: Message) -> bool {
     }
 }
 
-/// Enqueues one observation; the batch worker writes the `Action`
-/// reply. Rejections are written here, and `ShuttingDown` also closes
-/// the connection.
+/// Admission control plus enqueue; the shard's batch worker writes the
+/// `Action` reply. Rejections are written here, and `ShuttingDown`
+/// also closes the connection.
 fn handle_observe(
     shared: &Arc<Shared>,
+    conn: &mut ConnState,
     writer: &ReplyWriter,
     id: u64,
+    tenant_id: u32,
     observation: Vec<f64>,
 ) -> bool {
-    let expected = shared.current_model().policy.input_size();
-    if observation.len() != expected {
+    let Some(tenant) = conn.resolve(shared, tenant_id) else {
+        shared.metrics().unknown_tenant.incr();
+        return writer
+            .send(&Message::Error {
+                id,
+                code: ErrorCode::UnknownTenant,
+            })
+            .is_ok();
+    };
+    tenant.metrics().requests.incr();
+    if observation.len() != tenant.input_size {
         shared.metrics().bad_observations.incr();
+        tenant.metrics().bad_observations.incr();
         return writer
             .send(&Message::Error {
                 id,
@@ -523,15 +836,35 @@ fn handle_observe(
             })
             .is_ok();
     }
+    let shard = &shared.shards[conn.shard];
+    if let Some(max_delay) = shared.config.max_queue_delay {
+        let ewma = shard.ewma_ns_per_req.load(Ordering::Relaxed);
+        // ewma == 0 means no flush has priced a request yet; admit.
+        if ewma > 0 {
+            let est_ns = shard.queue.depth() as u128 * u128::from(ewma);
+            if est_ns > max_delay.as_nanos() {
+                shared.metrics().slo_rejections.incr();
+                tenant.metrics().slo_rejections.incr();
+                return writer
+                    .send(&Message::Error {
+                        id,
+                        code: ErrorCode::Overloaded,
+                    })
+                    .is_ok();
+            }
+        }
+    }
     let pending = PendingRequest {
         observation,
         enqueued: Instant::now(),
         reply: Reply {
             id,
+            conn: conn.conn_id,
+            tenant,
             writer: writer.clone(),
         },
     };
-    match shared.queue.push(pending) {
+    match shard.queue.push(pending) {
         Ok(()) => true,
         Err(PushError::Busy) => {
             shared.metrics().busy_rejections.incr();
@@ -552,84 +885,145 @@ fn handle_observe(
     }
 }
 
-fn batch_worker(shared: &Arc<Shared>) {
+/// One connection's coalesced replies for the current flush. Buffers
+/// are reused across flushes (cleared, capacity retained) and the map
+/// is keyed by the accept-time connection id — `O(1)` per request where
+/// the old `Vec` scan was `O(batch)`.
+struct ReplyBuf {
+    writer: ReplyWriter,
+    frames: Vec<u8>,
+    last_flush: u64,
+}
+
+fn batch_worker(shared: &Arc<Shared>, shard_index: usize) {
+    let shard = &shared.shards[shard_index];
     let mut pending: Vec<PendingRequest<Reply>> = Vec::new();
     let mut batch = Batch::default();
-    let mut actions: Vec<usize> = Vec::new();
-    let mut replies: Vec<(ReplyWriter, Vec<u8>)> = Vec::new();
-    let mut cached = shared.current_model();
-    let mut scratch = cached.policy.scratch();
+    let mut group_actions: Vec<usize> = Vec::new();
+    let mut actions: Vec<u32> = Vec::new();
+    let mut groups: Vec<(Arc<Tenant>, Vec<usize>)> = Vec::new();
+    // f64 scratch per tenant, invalidated when the tenant's model Arc
+    // changes (a reload may resize layers).
+    let mut scratches: HashMap<u32, (Arc<ServingModel>, BatchScratch)> = HashMap::new();
     let mut quant_scratch = QuantScratch::default();
+    let mut replies: HashMap<u64, ReplyBuf> = HashMap::new();
+    let mut touched: Vec<u64> = Vec::new();
+    let mut flush_seq: u64 = 0;
     loop {
-        let alive = shared.queue.next_batch(
+        let alive = shard.queue.next_batch(
             shared.config.max_batch,
             shared.config.max_wait,
             &mut pending,
         );
         if !pending.is_empty() {
-            // One model per flush: every request in this batch is
-            // answered by the same policy version (and the same
-            // quantization of it), reload or not.
-            let model = shared.current_model();
-            if !Arc::ptr_eq(&model, &cached) {
-                scratch = model.policy.scratch();
-                cached = Arc::clone(&model);
-            }
-            batch.reset(model.policy.input_size());
-            for p in &pending {
-                batch.push_row(&p.observation);
-            }
-            let int8 = match &model.quant {
-                Some(quant) => {
-                    quant.act_greedy_batch(&batch, &mut quant_scratch, &mut actions);
-                    true
+            let flush_start = Instant::now();
+            // Group this flush's rows by tenant: one forward per tenant
+            // group, each answered by exactly one model version (the
+            // Arc is cloned once per group), reload or not.
+            groups.clear();
+            for (row, p) in pending.iter().enumerate() {
+                match groups
+                    .iter_mut()
+                    .find(|(t, _)| Arc::ptr_eq(t, &p.reply.tenant))
+                {
+                    Some((_, rows)) => rows.push(row),
+                    None => groups.push((Arc::clone(&p.reply.tenant), vec![row])),
                 }
-                None => {
-                    model
-                        .policy
-                        .act_greedy_batch(&batch, &mut scratch, &mut actions);
-                    false
+            }
+            actions.clear();
+            actions.resize(pending.len(), 0);
+            let mut int8_groups = 0u64;
+            for (tenant, rows) in &groups {
+                let model = tenant.current_model();
+                batch.reset(model.policy.input_size());
+                for &row in rows {
+                    batch.push_row(&pending[row].observation);
                 }
-            };
+                match &model.quant {
+                    Some(quant) => {
+                        quant.act_greedy_batch(&batch, &mut quant_scratch, &mut group_actions);
+                        int8_groups += 1;
+                    }
+                    None => {
+                        let entry = scratches.entry(tenant.id).or_insert_with(|| {
+                            let scratch = model.policy.scratch();
+                            (Arc::clone(&model), scratch)
+                        });
+                        if !Arc::ptr_eq(&entry.0, &model) {
+                            *entry = (Arc::clone(&model), model.policy.scratch());
+                        }
+                        model
+                            .policy
+                            .act_greedy_batch(&batch, &mut entry.1, &mut group_actions);
+                    }
+                }
+                for (&row, &action) in rows.iter().zip(&group_actions) {
+                    actions[row] = action as u32;
+                }
+                let now = Instant::now();
+                let mut tm = tenant.metrics();
+                tm.responses.add(rows.len() as u64);
+                for &row in rows {
+                    tm.latency_us
+                        .record(now.duration_since(pending[row].enqueued).as_secs_f64() * 1e6);
+                }
+            }
             let now = Instant::now();
             {
                 let mut m = shared.metrics();
                 m.batches.incr();
-                if int8 {
-                    m.int8_batches.incr();
-                }
+                m.int8_batches.add(int8_groups);
                 m.batch_size.record(pending.len() as f64);
-                m.queue_depth.record(shared.queue.depth() as f64);
+                m.queue_depth.record(shard.queue.depth() as f64);
                 m.responses.add(pending.len() as u64);
                 for p in &pending {
                     m.latency_us
                         .record(now.duration_since(p.enqueued).as_secs_f64() * 1e6);
                 }
             }
-            // Coalesce this flush's replies: one buffered write per
-            // connection instead of one syscall per request, preserving
-            // per-connection order. A write failure just means that
-            // connection died mid-flight; nothing to do.
-            replies.clear();
+            // Price this flush for the SLO estimate: service cost per
+            // request, EWMA-smoothed (α = 1/8). Socket writes are
+            // excluded — a slow peer must not poison admission for the
+            // whole shard.
+            let service_ns = flush_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let cost = (service_ns / pending.len() as u64).max(1);
+            let old = shard.ewma_ns_per_req.load(Ordering::Relaxed);
+            let ewma = if old == 0 { cost } else { (7 * old + cost) / 8 };
+            shard.ewma_ns_per_req.store(ewma, Ordering::Relaxed);
+            // Coalesce this flush's replies in pending (arrival) order:
+            // one buffered write per connection instead of one syscall
+            // per request, preserving per-connection order even when a
+            // connection interleaves tenants. A write failure just
+            // means that connection died mid-flight; nothing to do.
+            flush_seq += 1;
+            touched.clear();
             for (p, &action) in pending.iter().zip(&actions) {
-                let msg = Message::Action {
+                let buf = replies.entry(p.reply.conn).or_insert_with(|| ReplyBuf {
+                    writer: p.reply.writer.clone(),
+                    frames: Vec::new(),
+                    last_flush: 0,
+                });
+                if buf.last_flush != flush_seq {
+                    buf.last_flush = flush_seq;
+                    buf.frames.clear();
+                    touched.push(p.reply.conn);
+                }
+                Message::Action {
                     id: p.reply.id,
-                    action: action as u32,
-                };
-                match replies
-                    .iter_mut()
-                    .find(|(w, _)| w.same_connection(&p.reply.writer))
-                {
-                    Some((_, frames)) => msg.encode_into(frames),
-                    None => {
-                        let mut frames = Vec::new();
-                        msg.encode_into(&mut frames);
-                        replies.push((p.reply.writer.clone(), frames));
-                    }
+                    action,
+                }
+                .encode_into(&mut buf.frames);
+            }
+            for conn in &touched {
+                if let Some(buf) = replies.get(conn) {
+                    let _ = buf.writer.send_bytes(&buf.frames);
                 }
             }
-            for (writer, frames) in &replies {
-                let _ = writer.send_bytes(frames);
+            // Bound the buffer cache: connection ids are never reused,
+            // so entries for closed connections would otherwise pin
+            // their sockets forever.
+            if replies.len() > REPLY_CACHE_LIMIT {
+                replies.retain(|_, b| flush_seq - b.last_flush <= REPLY_CACHE_KEEP);
             }
         }
         if !alive {

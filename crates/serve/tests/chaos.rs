@@ -23,6 +23,24 @@ struct ServerProcess {
     addr: SocketAddr,
 }
 
+/// Reads stdout lines up to and including `LISTENING <addr>`; the
+/// binary may report `WORKERS`/`INT8` diagnostics first.
+fn read_until_listening(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> SocketAddr {
+    loop {
+        let line = lines
+            .next()
+            .expect("readiness line")
+            .expect("readable stdout");
+        if let Some(addr) = line.strip_prefix("LISTENING ") {
+            return addr.parse().expect("parsable address");
+        }
+        assert!(
+            line.starts_with("WORKERS ") || line.starts_with("INT8 "),
+            "unexpected readiness line: {line}"
+        );
+    }
+}
+
 impl ServerProcess {
     /// Spawns the binary on an ephemeral loopback port and waits for
     /// its `LISTENING <addr>` readiness line.
@@ -37,15 +55,7 @@ impl ServerProcess {
             .expect("spawn policy_server");
         let stdout = child.stdout.take().expect("child stdout");
         let mut lines = BufReader::new(stdout).lines();
-        let first = lines
-            .next()
-            .expect("readiness line")
-            .expect("readable stdout");
-        let addr = first
-            .strip_prefix("LISTENING ")
-            .unwrap_or_else(|| panic!("unexpected readiness line: {first}"))
-            .parse()
-            .expect("parsable address");
+        let addr = read_until_listening(&mut lines);
         // Keep draining stdout so the child never blocks on a full pipe.
         thread::spawn(move || for _ in lines {});
         ServerProcess { child, addr }
@@ -177,12 +187,7 @@ fn stdin_eof_shuts_the_binary_down_gracefully() {
         .expect("spawn policy_server");
     let stdout = child.stdout.take().expect("child stdout");
     let mut lines = BufReader::new(stdout).lines();
-    let first = lines.next().expect("readiness").expect("readable");
-    let addr: SocketAddr = first
-        .strip_prefix("LISTENING ")
-        .expect("LISTENING line")
-        .parse()
-        .expect("address");
+    let addr = read_until_listening(&mut lines);
 
     let mut client = PolicyClient::connect(addr).expect("connect");
     let obs = vec![0.25; config.input_size()];
@@ -204,4 +209,102 @@ fn stdin_eof_shuts_the_binary_down_gracefully() {
         "no SHUTDOWN_OK in {rest:?}"
     );
     std::fs::remove_file(&ckpt).ok();
+}
+
+/// Graceful drain through the binary with two workers and two tenants
+/// under live load: every in-flight request is either answered
+/// bit-exactly by its own tenant's policy or refused with a typed
+/// shutdown signal — never dropped silently — and the process exits
+/// cleanly with its final metrics.
+#[test]
+fn multi_tenant_drain_under_load_drops_nothing() {
+    let config = small_config();
+    let agent_a = Arc::new(trained_agent(&config, 62));
+    let agent_b = Arc::new(trained_agent(&config, 63));
+    let ckpt_a = temp_file("drain_a");
+    let ckpt_b = temp_file("drain_b");
+    checkpoint::save_agent(&agent_a, &ckpt_a).expect("save a");
+    checkpoint::save_agent(&agent_b, &ckpt_b).expect("save b");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_policy_server"))
+        .arg(&ckpt_a)
+        .arg("127.0.0.1:0")
+        .env("CTJAM_SERVE_WORKERS", "2")
+        .env("CTJAM_SERVE_TENANTS", format!("7={}", ckpt_b.display()))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn policy_server");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = read_until_listening(&mut lines);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for t in 0..4u64 {
+        let (agent, tenant) = if t % 2 == 0 {
+            (Arc::clone(&agent_a), 0u32)
+        } else {
+            (Arc::clone(&agent_b), 7u32)
+        };
+        let stop = Arc::clone(&stop);
+        let config = config.clone();
+        clients.push(thread::spawn(move || {
+            let mut client = PolicyClient::connect_tenant(addr, tenant).expect("connect");
+            let obs = observations(&config, 16, 600 + t);
+            let mut answered = 0u64;
+            for o in obs.iter().cycle() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match client.act(o) {
+                    Ok(served) => {
+                        assert_eq!(
+                            served as usize,
+                            agent.act_greedy(o),
+                            "tenant {tenant} answer diverged during drain"
+                        );
+                        answered += 1;
+                    }
+                    // The drain races us: typed refusal or a closed
+                    // socket end the run; silent wrong answers and
+                    // panics are the failures this test exists for.
+                    Err(ClientError::Rejected(_))
+                    | Err(ClientError::Closed)
+                    | Err(ClientError::Io(_)) => break,
+                    Err(other) => panic!("unexpected client failure: {other}"),
+                }
+            }
+            answered
+        }));
+    }
+
+    // Load flows, then the orchestrator closes stdin mid-flight.
+    thread::sleep(Duration::from_millis(300));
+    drop(child.stdin.take());
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    let status = child.wait().expect("reap");
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0u64;
+    for c in clients {
+        total += c.join().expect("client thread panicked");
+    }
+    assert!(total > 0, "no requests answered before the drain");
+    assert!(status.success(), "exit status {status:?}");
+    assert!(
+        rest.iter().any(|l| l == "SHUTDOWN_OK"),
+        "no SHUTDOWN_OK in {rest:?}"
+    );
+    // The final snapshot carries both tenants' accounting.
+    let metrics = rest
+        .iter()
+        .find(|l| l.starts_with("METRICS "))
+        .expect("metrics line");
+    assert!(
+        metrics.contains("\"tenants\"") && metrics.contains("\"7\""),
+        "final metrics miss tenant accounting: {metrics}"
+    );
+    std::fs::remove_file(&ckpt_a).ok();
+    std::fs::remove_file(&ckpt_b).ok();
 }

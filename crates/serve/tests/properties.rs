@@ -6,11 +6,14 @@
 use ctjam_serve::protocol::{ErrorCode, Message, WireError, HEADER_LEN, MAX_PAYLOAD};
 use proptest::prelude::*;
 
-/// Builds one of each message kind from fuzzed fields.
+/// Builds one of each message kind from fuzzed fields. `action`
+/// doubles as the fuzzed tenant id, so Observe frames cover both the
+/// v1 (default tenant) and v2 (explicit tenant) encodings.
 fn build_message(kind: u8, id: u64, action: u32, payload: &[f64]) -> Message {
     match kind % 5 {
         0 => Message::Observe {
             id,
+            tenant: action,
             observation: payload.to_vec(),
         },
         1 => Message::Ping { id },
@@ -18,7 +21,7 @@ fn build_message(kind: u8, id: u64, action: u32, payload: &[f64]) -> Message {
         3 => Message::Pong { id },
         _ => Message::Error {
             id,
-            code: ErrorCode::from_u16((action % 3) as u16 + 1).expect("codes 1..=3 exist"),
+            code: ErrorCode::from_u16((action % 5) as u16 + 1).expect("codes 1..=5 exist"),
         },
     }
 }

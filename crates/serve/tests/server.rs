@@ -4,7 +4,8 @@
 
 mod common;
 
-use common::{observations, small_config, trained_agent};
+use common::{observations, small_config, temp_file, trained_agent};
+use ctjam_dqn::checkpoint;
 use ctjam_dqn::policy::GreedyPolicy;
 use ctjam_serve::client::{ClientError, PolicyClient};
 use ctjam_serve::protocol::{ErrorCode, Message, MAX_PAYLOAD};
@@ -49,6 +50,223 @@ fn served_actions_are_bit_exact_across_concurrent_clients() {
     assert_eq!(counters.get("requests"), Some(&JsonValue::Num(200.0)));
     assert_eq!(counters.get("responses"), Some(&JsonValue::Num(200.0)));
     assert_eq!(counters.get("pings"), Some(&JsonValue::Num(4.0)));
+}
+
+/// The sharding contract: worker count changes scheduling, never
+/// behavior. Every served action stays bit-exact against the
+/// in-process agent at 1, 2, and 4 workers.
+#[test]
+fn served_actions_are_bit_exact_at_any_worker_count() {
+    let config = small_config();
+    let agent = Arc::new(trained_agent(&config, 47));
+    for workers in [1usize, 2, 4] {
+        let server = PolicyServer::bind(
+            "127.0.0.1:0",
+            GreedyPolicy::from_agent(&agent),
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        assert_eq!(server.worker_count(), workers);
+        let addr = server.local_addr();
+        let mut clients = Vec::new();
+        for t in 0..4u64 {
+            let agent = Arc::clone(&agent);
+            let config = config.clone();
+            clients.push(thread::spawn(move || {
+                let mut client = PolicyClient::connect(addr).expect("connect");
+                for obs in observations(&config, 30, 300 + t) {
+                    assert_eq!(
+                        client.act(&obs).expect("act") as usize,
+                        agent.act_greedy(&obs),
+                        "divergence at {workers} workers"
+                    );
+                }
+            }));
+        }
+        for c in clients {
+            c.join().expect("client thread panicked");
+        }
+        let metrics = server.shutdown();
+        let counters = metrics.get("counters").expect("counters");
+        assert_eq!(counters.get("responses"), Some(&JsonValue::Num(120.0)));
+        // The default tenant's slice of the same traffic.
+        let tenant = metrics
+            .get("tenants")
+            .and_then(|t| t.get("0"))
+            .expect("default tenant metrics");
+        let tcounters = tenant.get("counters").expect("tenant counters");
+        assert_eq!(tcounters.get("responses"), Some(&JsonValue::Num(120.0)));
+    }
+}
+
+/// Wire-level pipelining across a mid-stream hot-reload: one
+/// connection writes a burst of Observe frames, checkpoints flip
+/// underneath, and the replies must come back in exactly the request
+/// order with every action explained by one of the two policies.
+#[test]
+fn pipelined_replies_stay_ordered_across_a_reload() {
+    let config = small_config();
+    let agent_a = trained_agent(&config, 48);
+    let agent_b = trained_agent(&config, 49);
+    let path_a = temp_file("pipeline_a");
+    let path_b = temp_file("pipeline_b");
+    checkpoint::save_agent(&agent_a, &path_a).expect("save a");
+    checkpoint::save_agent(&agent_b, &path_b).expect("save b");
+
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent_a),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let total = 200usize;
+    let obs = observations(&config, total, 6);
+    let mut burst = Vec::new();
+    for (i, o) in obs.iter().enumerate() {
+        Message::Observe {
+            id: i as u64,
+            tenant: 0,
+            observation: o.clone(),
+        }
+        .encode_into(&mut burst);
+    }
+
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect raw");
+    raw.set_nodelay(true).expect("nodelay");
+    raw.write_all(&burst).expect("write burst");
+
+    // Interleave reads with reloads on this thread: after every few
+    // replies, swap the checkpoint under the still-draining burst.
+    let mut stream_for_read = raw;
+    let mut next_expected = 0u64;
+    while next_expected < total as u64 {
+        let reply = Message::read_from(&mut stream_for_read)
+            .expect("read reply")
+            .expect("connection closed mid-burst");
+        match reply {
+            Message::Action { id, action } => {
+                assert_eq!(id, next_expected, "reply out of order");
+                let o = &obs[id as usize];
+                let from_a = agent_a.act_greedy(o);
+                let from_b = agent_b.act_greedy(o);
+                let served = action as usize;
+                assert!(
+                    served == from_a || served == from_b,
+                    "action {served} from neither policy (a={from_a}, b={from_b})"
+                );
+                next_expected += 1;
+            }
+            other => panic!("unexpected reply kind: {other:?}"),
+        }
+        if next_expected.is_multiple_of(16) {
+            let path = if (next_expected / 16).is_multiple_of(2) {
+                &path_b
+            } else {
+                &path_a
+            };
+            server.reload_from(path).expect("reload mid-burst");
+        }
+    }
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+    server.shutdown();
+}
+
+/// Deterministic queue-delay SLO shed: prime the cost estimate with
+/// one flushed pair, park a third request against a far deadline, and
+/// the fourth must be refused with `Overloaded` — then the drain still
+/// answers the parked request (nothing admitted is ever dropped).
+#[test]
+fn queue_delay_slo_sheds_with_overloaded() {
+    let config = small_config();
+    let agent = trained_agent(&config, 50);
+    let server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(&agent),
+        ServerConfig {
+            workers: 1,
+            max_batch: 2,
+            // Far deadline: a lone queued request stays parked, so the
+            // fourth request deterministically sees depth > 0.
+            max_wait: Duration::from_secs(10),
+            max_queue_delay: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let obs = observations(&config, 4, 7);
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_nodelay(true).expect("nodelay");
+
+    // Requests 0 and 1 fill a batch (ewma still 0 → both admitted),
+    // flush, and prime the cost estimate.
+    let mut prime = Vec::new();
+    for id in 0..2u64 {
+        Message::Observe {
+            id,
+            tenant: 0,
+            observation: obs[id as usize].clone(),
+        }
+        .encode_into(&mut prime);
+    }
+    raw.write_all(&prime).expect("write prime");
+    for id in 0..2u64 {
+        match Message::read_from(&mut raw).expect("read").expect("open") {
+            Message::Action { id: got, action } => {
+                assert_eq!(got, id);
+                assert_eq!(action as usize, agent.act_greedy(&obs[id as usize]));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    // Request 2 parks (depth 0 at admission). Request 3 sees depth 1
+    // with a priced queue and a zero budget: shed.
+    let mut tail = Vec::new();
+    for id in 2..4u64 {
+        Message::Observe {
+            id,
+            tenant: 0,
+            observation: obs[id as usize].clone(),
+        }
+        .encode_into(&mut tail);
+    }
+    raw.write_all(&tail).expect("write tail");
+    match Message::read_from(&mut raw).expect("read").expect("open") {
+        Message::Error { id, code } => {
+            assert_eq!(id, 3, "the parked request must not be the one shed");
+            assert_eq!(code, ErrorCode::Overloaded);
+        }
+        other => panic!("expected Overloaded for id 3, got {other:?}"),
+    }
+
+    // Shutdown drains the parked request before the socket closes.
+    let reader =
+        thread::spawn(
+            move || match Message::read_from(&mut raw).expect("read").expect("open") {
+                Message::Action { id, .. } => assert_eq!(id, 2),
+                other => panic!("expected drained action for id 2, got {other:?}"),
+            },
+        );
+    let metrics = server.shutdown();
+    reader.join().expect("reader panicked");
+    let counters = metrics.get("counters").expect("counters");
+    assert_eq!(counters.get("slo_rejections"), Some(&JsonValue::Num(1.0)));
+    assert_eq!(counters.get("responses"), Some(&JsonValue::Num(3.0)));
+    let tenant = metrics
+        .get("tenants")
+        .and_then(|t| t.get("0"))
+        .expect("default tenant metrics");
+    let tcounters = tenant.get("counters").expect("tenant counters");
+    assert_eq!(tcounters.get("slo_rejections"), Some(&JsonValue::Num(1.0)));
 }
 
 #[test]

@@ -1,0 +1,246 @@
+//! The closed serving loop: train → publish → hot-swap → measure.
+//!
+//! A trainer keeps improving the DQN defense against a *shifting*
+//! adversary mix (sweep → reactive → pursuit → sweep) and atomically
+//! publishes a checkpoint after every round. A multi-tenant
+//! [`PolicyServer`] (two sharded batch workers) serves two tenants:
+//!
+//! * the **online** tenant (default) — watched, hot-swapping each
+//!   published checkpoint in;
+//! * a **frozen** tenant — the untrained seed policy, never reloaded,
+//!   the control group.
+//!
+//! Both tenants are driven through the *wire*: a `ServedDefender`
+//! implements the [`Defender`] trait by encoding its observation
+//! window, asking the server for the greedy action, and decoding the
+//! hop/power pair — the same egocentric action semantics as the
+//! in-process `DqnDefender`. Each client keeps ONE connection open for
+//! the whole run, across every hot swap: the swap dropping a
+//! connection would abort the example. Round by round, the
+//! client-observed goodput of the online tenant pulls away from the
+//! frozen control while the frozen tenant's answers never change —
+//! tenant isolation, observed from the client side.
+//!
+//! ```text
+//! cargo run --release --example online_learning
+//! ```
+
+use ctjam::core::adversary::AdversaryConfig;
+use ctjam::core::defender::{Defender, DqnDefender};
+use ctjam::core::env::{Decision, EnvParams, Outcome, SlotResult};
+use ctjam::core::runner::RunBuilder;
+use ctjam::dqn::checkpoint;
+use ctjam::dqn::config::DqnConfig;
+use ctjam::dqn::encode::{ObservationEncoder, SlotOutcome, SlotRecord};
+use ctjam::dqn::policy::GreedyPolicy;
+use ctjam::serve::client::PolicyClient;
+use ctjam::serve::server::{PolicyServer, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::error::Error;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Tenant id of the frozen control policy (the default tenant, 0, is
+/// the online one).
+const FROZEN_TENANT: u32 = 1;
+
+/// A [`Defender`] whose brain lives on the other side of a TCP socket.
+///
+/// Mirrors the deployed (non-training) `DqnDefender` slot loop: encode
+/// the observation window, pick an action, decode it egocentrically
+/// (output `a` = "hop `a` channels up, at power `a % PL`") — except the
+/// action comes from `PolicyClient::act` instead of a local forward
+/// pass. It draws nothing from the RNG; the served policy is greedy.
+struct ServedDefender {
+    client: PolicyClient,
+    config: DqnConfig,
+    encoder: ObservationEncoder,
+    current_channel: usize,
+    pending_delta: usize,
+    obs: Vec<f64>,
+}
+
+impl ServedDefender {
+    fn connect(addr: SocketAddr, tenant: u32, config: DqnConfig) -> Result<Self, Box<dyn Error>> {
+        let encoder = ObservationEncoder::new(
+            config.history_len,
+            config.num_channels,
+            config.num_power_levels,
+        );
+        Ok(ServedDefender {
+            client: PolicyClient::connect_tenant(addr, tenant)?,
+            config,
+            encoder,
+            current_channel: 0,
+            pending_delta: 0,
+            obs: Vec::new(),
+        })
+    }
+}
+
+impl Defender for ServedDefender {
+    fn name(&self) -> &str {
+        "served DQN (wire)"
+    }
+
+    fn decide(&mut self, _rng: &mut dyn RngCore) -> Decision {
+        self.encoder.encode_into(&mut self.obs);
+        // A swap dropping the connection (or any refusal) surfaces
+        // here; the expect is the example's zero-drop assertion.
+        let action = self.client.act(&self.obs).expect("served action") as usize;
+        let (delta, power_level) = self.config.decode_action(action);
+        self.pending_delta = delta;
+        Decision {
+            channel: (self.current_channel + delta) % self.config.num_channels,
+            power_level,
+        }
+    }
+
+    fn feedback(&mut self, result: &SlotResult, _rng: &mut dyn RngCore) {
+        let outcome = match result.outcome {
+            Outcome::Clean => SlotOutcome::Success,
+            Outcome::JammedSurvived => SlotOutcome::SuccessUnderJamming,
+            Outcome::Jammed => SlotOutcome::Failure,
+        };
+        self.encoder.push(SlotRecord {
+            outcome,
+            channel: self.pending_delta,
+            power_level: result.decision.power_level,
+        });
+        self.current_channel = result.decision.channel;
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let params = EnvParams::default();
+    let mut defense = DqnDefender::small_for_tests(&params, &mut rng);
+    let config = defense.agent().config().clone();
+
+    // Publish the untrained seed policy: the online tenant starts from
+    // it, and the frozen control keeps it forever.
+    let ckpt =
+        std::env::temp_dir().join(format!("ctjam_online_learning_{}.ckpt", std::process::id()));
+    checkpoint::save_agent(defense.agent(), &ckpt)?;
+
+    let mut server = PolicyServer::bind(
+        "127.0.0.1:0",
+        GreedyPolicy::from_agent(defense.agent()),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )?;
+    server.add_tenant(FROZEN_TENANT, GreedyPolicy::from_agent(defense.agent()))?;
+    server.watch_checkpoint(ckpt.clone());
+    let addr = server.local_addr();
+    println!(
+        "serving on {addr} ({} workers, tenants {:?}), watching {}",
+        server.worker_count(),
+        server.tenant_ids(),
+        ckpt.display()
+    );
+
+    // One connection per tenant, held open across every hot swap.
+    let mut online = ServedDefender::connect(addr, 0, config.clone())?;
+    let mut frozen = ServedDefender::connect(addr, FROZEN_TENANT, config.clone())?;
+
+    // Probes for confirming a published checkpoint went live.
+    let probes: Vec<Vec<f64>> = {
+        let mut prng = StdRng::seed_from_u64(7);
+        (0..32)
+            .map(|_| {
+                (0..config.input_size())
+                    .map(|_| (prng.next_u32() as f64 / u32::MAX as f64) * 2.0 - 1.0)
+                    .collect()
+            })
+            .collect()
+    };
+
+    let mix: [(&str, AdversaryConfig); 4] = [
+        ("sweep", AdversaryConfig::sweep()),
+        ("reactive", AdversaryConfig::reactive(8.0)),
+        ("pursuit", AdversaryConfig::pursuit()),
+        ("sweep", AdversaryConfig::sweep()),
+    ];
+    let train_slots = 3_000;
+    let eval_slots = 1_500;
+
+    println!(
+        "\n{:>2}  {:>8}  {:>14}  {:>14}",
+        "rd", "jammer", "online reward", "frozen reward"
+    );
+    let mut first_online = f64::NAN;
+    let mut last_online = f64::NAN;
+    let mut last_frozen = f64::NAN;
+    for (round, (label, adversary)) in mix.iter().enumerate() {
+        // Train against this round's adversary, publish atomically
+        // (tempfile + rename inside `save_agent`), and wait for the
+        // watcher to hot-swap it in — confirmed over the wire.
+        RunBuilder::new(&params).adversary(adversary.clone()).train(
+            &mut defense,
+            train_slots,
+            &mut rng,
+        );
+        checkpoint::save_agent(defense.agent(), &ckpt)?;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let live = probes.iter().all(|o| {
+                online.client.act(o).expect("probe act") as usize == defense.agent().act_greedy(o)
+            });
+            if live {
+                break;
+            }
+            assert!(Instant::now() < deadline, "hot swap never landed");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        // Same eval seed for both tenants: identical environment
+        // randomness, only the served policies differ.
+        let mut eval_rng = StdRng::seed_from_u64(9_000 + round as u64);
+        let report = RunBuilder::new(&params)
+            .adversary(adversary.clone())
+            .evaluate(&mut online, eval_slots, &mut eval_rng);
+        let mut eval_rng = StdRng::seed_from_u64(9_000 + round as u64);
+        let control = RunBuilder::new(&params)
+            .adversary(adversary.clone())
+            .evaluate(&mut frozen, eval_slots, &mut eval_rng);
+        println!(
+            "{:>2}  {:>8}  {:>14.2}  {:>14.2}",
+            round,
+            label,
+            report.mean_reward(),
+            control.mean_reward()
+        );
+        if round == 0 {
+            first_online = report.mean_reward();
+        }
+        last_online = report.mean_reward();
+        last_frozen = control.mean_reward();
+    }
+
+    // The closed loop's point: the hot-swapped tenant improves (higher
+    // mean reward = less loss to jamming/hopping), the frozen control
+    // doesn't — all observed through connections that never reconnected.
+    assert!(
+        last_online > last_frozen,
+        "online tenant ({last_online:.2}) should beat the frozen control ({last_frozen:.2})"
+    );
+    println!(
+        "\nonline tenant improved {first_online:.2} → {last_online:.2} mean reward across swaps; \
+         frozen control ended at {last_frozen:.2}"
+    );
+
+    let metrics = server.shutdown();
+    let tenants = metrics.get("tenants").expect("tenant metrics");
+    for id in [0, FROZEN_TENANT] {
+        let counters = tenants
+            .get(&id.to_string())
+            .and_then(|t| t.get("counters"))
+            .expect("tenant counters");
+        println!("tenant {id} counters:\n{}", counters.to_string_pretty());
+    }
+    std::fs::remove_file(&ckpt).ok();
+    Ok(())
+}
