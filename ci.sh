@@ -52,7 +52,8 @@ echo "== cargo doc --no-deps (rustdoc warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p ctjam -p ctjam-phy -p ctjam-channel -p ctjam-net -p ctjam-mdp \
   -p ctjam-nn -p ctjam-dqn -p ctjam-core -p ctjam-bench \
-  -p ctjam-telemetry -p ctjam-fault -p ctjam-fleet -p ctjam-serve
+  -p ctjam-telemetry -p ctjam-fault -p ctjam-fleet -p ctjam-scenario \
+  -p ctjam-serve
 
 # Criterion smoke mode: each bench target runs one iteration per
 # benchmark, catching bit-rot in bench code without paying for a full
@@ -126,6 +127,64 @@ for row in m["rows"]:
 assert m["workers_checked"] == [1, 2, 8], f"{path}: worker pin not 1/2/8"
 assert m["bit_exact_workers"] is True, f"{path}: worker bit-exactness not recorded"
 print(f"  {path}: ok ({len(m['defenders'])} defenders x {len(m['adversaries'])} adversaries)")
+PYEOF
+
+# Campaign smoke: run the checked-in scenarios/ directory through the
+# campaign engine twice in quick mode — at 2 workers and at 1 worker —
+# and require the two HTML reports to be byte-identical (the report is
+# a pure function of the scenario files; worker count must not move a
+# byte). Then validate the report's well-formedness (balanced tags,
+# non-empty SVG plots) and every per-scenario manifest's provenance
+# keys. The full-size run (plain `cargo run --release -p ctjam-bench
+# --bin campaign`) regenerates the fig02/fig06-08/fig10 numbers from
+# the same files the figure bins read.
+echo "== campaign quick run x2 (campaign smoke, byte-deterministic report) =="
+rm -rf results/campaign_smoke results/campaign_smoke2
+cargo build --release -q -p ctjam-bench --bin campaign
+CTJAM_BENCH_QUICK=1 target/release/campaign --out results/campaign_smoke --threads 2
+CTJAM_BENCH_QUICK=1 target/release/campaign --out results/campaign_smoke2 --threads 1
+cmp results/campaign_smoke/report.html results/campaign_smoke2/report.html \
+  || { echo "FAIL: campaign report.html is not byte-deterministic across worker counts"; exit 1; }
+python3 - results/campaign_smoke <<'PYEOF'
+import glob, json, os, re, sys
+out = sys.argv[1]
+report = os.path.join(out, "report.html")
+with open(report, encoding="utf-8") as fh:
+    html = fh.read()
+assert html.startswith("<!DOCTYPE html>"), f"{report}: missing doctype"
+for tag in ("html", "head", "body", "table", "tr", "th", "td", "svg",
+            "figure", "figcaption", "polyline", "text", "rect", "line",
+            "h1", "h2", "p"):
+    opens = len(re.findall(rf"<{tag}[\s>]", html))
+    closes = html.count(f"</{tag}>")
+    assert opens == closes, f"{report}: unbalanced <{tag}> ({opens} vs {closes})"
+svgs = re.findall(r"<svg.*?</svg>", html, re.S)
+assert len(svgs) >= 4, f"{report}: expected >=4 SVG plots, found {len(svgs)}"
+for svg in svgs:
+    assert re.search(r"<(polyline|rect)[^>]*\S", svg), f"{report}: empty SVG plot"
+assert "<script" not in html.lower(), f"{report}: must be static (no scripts)"
+manifests = sorted(glob.glob(os.path.join(out, "*.manifest.json")))
+assert len(manifests) >= 4, f"{out}: expected >=4 scenario manifests"
+kinds = set()
+for path in manifests:
+    with open(path) as fh:
+        m = json.load(fh)
+    for key in ("name", "seed", "git", "config_hash", "created_unix_s",
+                "scenario_fingerprint", "scenario_path", "scenario_kind",
+                "quick_mode"):
+        assert key in m, f"{path}: missing key {key!r}"
+    assert re.fullmatch(r"[0-9a-f]{16}", m["scenario_fingerprint"]), \
+        f"{path}: malformed fingerprint {m['scenario_fingerprint']!r}"
+    assert m["scenario_kind"] in ("link_sweep", "sweep", "field", "campaign"), \
+        f"{path}: unknown kind {m['scenario_kind']!r}"
+    assert m["quick_mode"] == "true", f"{path}: quick run must record quick_mode"
+    kinds.add(m["scenario_kind"])
+assert kinds == {"link_sweep", "sweep", "field", "campaign"}, \
+    f"{out}: scenario corpus must cover all four kinds, got {sorted(kinds)}"
+ckpts = glob.glob(os.path.join(out, "*.progress.ckpt"))
+assert ckpts, f"{out}: campaign scenario left no progress checkpoint"
+print(f"  {out}: ok ({len(manifests)} manifests, {len(svgs)} SVG plots, "
+      f"{len(ckpts)} checkpoint(s))")
 PYEOF
 
 for f in BENCH_slotloop.json BENCH_dqn.json BENCH_serve.json BENCH_fleet.json; do

@@ -1,16 +1,17 @@
 //! Fig. 2(b): jamming effect of different signals vs distance.
 //!
-//! Sweeps the jammer distance 1–15 m for the three signal families and
-//! prints PER and throughput of the victim ZigBee network. The paper's
-//! ordering — EmuBee > ZigBee > Wi-Fi jamming effect, with PER falling
-//! and throughput rising as distance grows — should reproduce.
+//! Thin wrapper over the checked-in scenario
+//! `scenarios/fig02_jamming_effect.json`: the sweep itself (RNG
+//! discipline included) lives in `ctjam_scenario::run::run_link_sweep`,
+//! so this binary and a `campaign` run of the same file produce
+//! bit-identical numbers. `CTJAM_FADING_DRAWS` still overrides the
+//! Monte-Carlo draw count, as it always did.
 
 use ctjam_bench::{
-    banner, env_usize, finish_manifest, pct, start_manifest, table_header, table_row,
+    banner, env_usize, finish_manifest, load_scenario, pct, start_manifest, table_header, table_row,
 };
-use ctjam_channel::link::{JammerKind, JammingScenario};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ctjam_scenario::run::run_link_sweep;
+use ctjam_scenario::ScenarioKind;
 
 fn main() {
     banner(
@@ -18,19 +19,30 @@ fn main() {
         "PER decreases / throughput increases with jamming distance; effect order EmuBee > ZigBee > WiFi",
     );
 
-    let scenario = JammingScenario::default();
-    let draws = env_usize("CTJAM_FADING_DRAWS", 2_000);
-    let manifest = start_manifest(
-        "fig02_jamming_effect",
-        2,
-        &format!("draws={draws}, {scenario:?}"),
-    );
-    let mut rng = StdRng::seed_from_u64(2);
-    let clean = scenario.evaluate_clean();
+    let scenario_file = load_scenario("fig02_jamming_effect.json");
+    let fingerprint = scenario_file.fingerprint(false);
+    let mut effective = scenario_file.effective(false);
+    let name = effective.name.clone();
+    let ScenarioKind::LinkSweep(ref mut sweep) = effective.kind else {
+        eprintln!("fig02_jamming_effect.json is not a link_sweep scenario");
+        std::process::exit(2);
+    };
+    sweep.draws = env_usize("CTJAM_FADING_DRAWS", sweep.draws);
+    if sweep.jammers != ["emubee", "zigbee", "wifi-ofdm"] {
+        eprintln!("fig02 wrapper expects the three standard jammer families, in order");
+        std::process::exit(2);
+    }
+
+    let scenario = sweep.scenario();
+    let draws = sweep.draws;
+    let mut manifest = start_manifest(&name, sweep.seed, &format!("draws={draws}, {scenario:?}"));
+    manifest.push_extra("scenario_fingerprint", format!("{fingerprint:016x}"));
+
+    let run = run_link_sweep(sweep);
     println!(
         "clean link: PER {} | goodput {:.1} kbps\n",
-        pct(clean.per),
-        clean.goodput_bps / 1000.0
+        pct(run.clean.per),
+        run.clean.goodput_bps / 1000.0
     );
 
     table_header(&[
@@ -42,13 +54,9 @@ fn main() {
         "kbps ZigBee",
         "kbps WiFi",
     ]);
-    let mut rows = Vec::new();
-    for d in 1..=15 {
-        let d = f64::from(d);
-        let emubee = scenario.evaluate_faded(JammerKind::EmuBee, d, draws, &mut rng);
-        let zigbee = scenario.evaluate_faded(JammerKind::ZigBee, d, draws, &mut rng);
-        let wifi = scenario.evaluate_faded(JammerKind::WifiOfdm, d, draws, &mut rng);
-        rows.push((d, emubee, zigbee, wifi));
+    for row in &run.rows {
+        let d = row.distance_m;
+        let (emubee, zigbee, wifi) = (&row.reports[0], &row.reports[1], &row.reports[2]);
         table_row(&[
             format!("{d:.0}"),
             pct(emubee.per),
@@ -61,10 +69,13 @@ fn main() {
     }
 
     // Shape checks the paper's narrative makes.
-    let ordering_holds = rows
-        .iter()
-        .all(|(_, e, z, w)| e.per >= z.per - 0.02 && z.per >= w.per - 0.02);
-    let per_monotone = rows.windows(2).all(|w| w[1].1.per <= w[0].1.per + 0.02);
+    let ordering_holds = run.rows.iter().all(|r| {
+        r.reports[0].per >= r.reports[1].per - 0.02 && r.reports[1].per >= r.reports[2].per - 0.02
+    });
+    let per_monotone = run
+        .rows
+        .windows(2)
+        .all(|w| w[1].reports[0].per <= w[0].reports[0].per + 0.02);
     println!();
     println!("effect ordering EmuBee >= ZigBee >= WiFi at every distance: {ordering_holds}");
     println!("EmuBee PER monotonically decreasing with distance: {per_monotone}");

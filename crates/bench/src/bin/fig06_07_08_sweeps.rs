@@ -1,68 +1,80 @@
 //! Figs. 6, 7, and 8: the simulation sweeps.
 //!
-//! The three figures plot five Table-I metrics (ST, AH, AP, SH, SP) over
-//! the same four parameter sweeps — `L_J`, sweep cycle, `L_H`, and the
-//! lower bound of `L_{p_i}` — under both jammer modes. Each data point
-//! trains a fresh DQN on the MDP-kernel environment (the paper's Matlab
-//! simulation setting) and evaluates it for `CTJAM_EVAL_SLOTS` slots
-//! (paper: 20 000).
+//! Thin wrapper over the checked-in scenario
+//! `scenarios/fig06_07_08_sweeps.json`: the four Table-I sweeps (`L_J`,
+//! sweep cycle, `L_H`, lower bound of `L_{p_i}`), both jammer modes,
+//! one fresh DQN per data point on the MDP-kernel environment. The
+//! sweep engine lives in `ctjam_scenario::run::run_sweep`, so this
+//! binary and a `campaign` run of the same file produce bit-identical
+//! numbers.
 //!
 //! Budget knobs: `CTJAM_TRAIN_SLOTS` (default 12 000), `CTJAM_EVAL_SLOTS`
 //! (default 20 000). The full run is ~70 DQN trainings; expect ~10 min at
 //! defaults on one core.
 
 use ctjam_bench::{
-    banner, finish_manifest, maybe_write_csv, pct, results_dir, start_manifest, table_header,
-    table_row,
+    banner, env_usize, finish_manifest, load_scenario, maybe_write_csv, pct, results_dir,
+    start_manifest, table_header, table_row,
 };
 use ctjam_core::env::EnvParams;
-use ctjam_core::jammer::JammerMode;
-use ctjam_core::runner::capture_sweep;
-use ctjam_core::runner::{RunBuilder, SweepBudget};
+use ctjam_scenario::run::run_sweep;
+use ctjam_scenario::ScenarioKind;
 
-fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBudget) {
-    println!("\n### Sweep: {name} (Fig. 6/7/8 columns)\n");
-    for mode in [JammerMode::MaxPower, JammerMode::RandomPower] {
-        let mode_points: Vec<EnvParams> = points
-            .iter()
-            .cloned()
-            .map(|mut p| {
-                p.adversary.mode = mode;
-                p
-            })
-            .collect();
-        let slug: String = name
-            .chars()
-            .map(|c| {
-                if c.is_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        // Deterministic-replay capture: record every point's seed before
-        // running so any failing point can be re-run bit-exactly with
-        // `ctjam_core::runner::replay_kernel`.
-        let trace = capture_sweep(
-            &format!("fig06_08_{slug}_{mode:?}"),
-            &mode_points,
-            budget,
-            0xC7A1,
-        );
-        match trace.write(&results_dir()) {
-            Ok(path) => println!("(replay trace {})", path.display()),
-            Err(err) => println!("(replay trace not written: {err})"),
+fn main() {
+    banner(
+        "Figs. 6-8 (simulation sweeps)",
+        "ST ~0 below L_J=15, ~78% above L_J=50; ST rises with sweep cycle, falls with L_H, hits 100% once lb(L_p)>=11; AH/AP/SH/SP trends per Figs. 7-8",
+    );
+
+    let scenario_file = load_scenario("fig06_07_08_sweeps.json");
+    let fingerprint = scenario_file.fingerprint(false);
+    let mut effective = scenario_file.effective(false);
+    let name = effective.name.clone();
+    let ScenarioKind::Sweep(ref mut sweep) = effective.kind else {
+        eprintln!("fig06_07_08_sweeps.json is not a sweep scenario");
+        std::process::exit(2);
+    };
+    sweep.train_slots = env_usize("CTJAM_TRAIN_SLOTS", sweep.train_slots);
+    sweep.eval_slots = env_usize("CTJAM_EVAL_SLOTS", sweep.eval_slots);
+
+    let budget = sweep.budget();
+    let mut manifest = start_manifest(
+        &name,
+        sweep.seed,
+        &format!("budget={budget:?}, base={:?}", EnvParams::default()),
+    );
+    // Fault-plan provenance: figure data is only citable from a
+    // fault-free run, and the chaos harness replays any plan from
+    // exactly this (rates, seed) pair.
+    manifest
+        .push_extra("fault_rates", ctjam_fault::FaultRates::zero().describe())
+        .push_extra("fault_seed", "none")
+        .push_extra("scenario_fingerprint", format!("{fingerprint:016x}"));
+    println!(
+        "budget: {} training slots, {} evaluation slots per point",
+        budget.train_slots, budget.eval_slots
+    );
+
+    // Deterministic-replay capture per table (see
+    // `ctjam_core::runner::replay_kernel`) is handled by the runner; the
+    // trace file names keep their historical `fig06_08_` prefix.
+    let tables = run_sweep(sweep, Some(&results_dir()), "fig06_08_");
+
+    let mut last_name = String::new();
+    for table in &tables {
+        if table.name != last_name {
+            println!("\n### Sweep: {} (Fig. 6/7/8 columns)\n", table.name);
+            last_name = table.name.clone();
         }
-        let metrics = RunBuilder::new(&mode_points[0])
-            .kernel(true)
-            .budget(budget)
-            .seed(0xC7A1)
-            .sweep(&mode_points, |_, _| {});
-        println!("jammer mode: {mode:?}");
-        table_header(&[name, "ST", "AH", "AP", "SH", "SP"]);
+        match &table.trace {
+            Some(Ok(path)) => println!("(replay trace {})", path.display()),
+            Some(Err(err)) => println!("(replay trace not written: {err})"),
+            None => {}
+        }
+        println!("jammer mode: {:?}", table.mode);
+        table_header(&[table.name.as_str(), "ST", "AH", "AP", "SH", "SP"]);
         let mut csv_rows = Vec::new();
-        for (x, m) in xs.iter().zip(&metrics) {
+        for (x, m) in table.xs.iter().zip(&table.metrics) {
             table_row(&[
                 x.clone(),
                 pct(m.success_rate()),
@@ -81,92 +93,12 @@ fn run_sweep(name: &str, xs: &[String], points: Vec<EnvParams>, budget: SweepBud
             ]);
         }
         maybe_write_csv(
-            &format!("fig06_08_{slug}_{mode:?}"),
-            &[name, "st", "ah", "ap", "sh", "sp"],
+            &format!("fig06_08_{}_{:?}", table.slug, table.mode),
+            &[table.name.as_str(), "st", "ah", "ap", "sh", "sp"],
             &csv_rows,
         );
         println!();
     }
-}
-
-fn main() {
-    banner(
-        "Figs. 6-8 (simulation sweeps)",
-        "ST ~0 below L_J=15, ~78% above L_J=50; ST rises with sweep cycle, falls with L_H, hits 100% once lb(L_p)>=11; AH/AP/SH/SP trends per Figs. 7-8",
-    );
-    let budget = SweepBudget::from_env();
-    let mut manifest = start_manifest(
-        "fig06_07_08_sweeps",
-        0xC7A1,
-        &format!("budget={budget:?}, base={:?}", EnvParams::default()),
-    );
-    // Fault-plan provenance: figure data is only citable from a
-    // fault-free run, and the chaos harness replays any plan from
-    // exactly this (rates, seed) pair.
-    manifest
-        .push_extra("fault_rates", ctjam_fault::FaultRates::zero().describe())
-        .push_extra("fault_seed", "none");
-    println!(
-        "budget: {} training slots, {} evaluation slots per point",
-        budget.train_slots, budget.eval_slots
-    );
-
-    // Fig 6(a)/7(a,b)/8(a,b): L_J sweep.
-    let lj_values = [10.0, 15.0, 20.0, 35.0, 50.0, 65.0, 80.0, 100.0];
-    run_sweep(
-        "L_J",
-        &lj_values.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
-        lj_values
-            .iter()
-            .map(|&l_j| EnvParams {
-                l_j,
-                ..EnvParams::default()
-            })
-            .collect(),
-        budget,
-    );
-
-    // Fig 6(b)/7(c,d)/8(c,d): sweep-cycle sweep.
-    let cycles = [2usize, 4, 6, 8, 12, 16];
-    run_sweep(
-        "sweep cycle",
-        &cycles.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
-        cycles
-            .iter()
-            .map(|&cycle| {
-                let mut p = EnvParams::default();
-                p.adversary = p.adversary.with_sweep_cycle(cycle);
-                p
-            })
-            .collect(),
-        budget,
-    );
-
-    // Fig 6(c)/7(e,f)/8(e,f): L_H sweep.
-    let lh_values = [0.0, 20.0, 40.0, 60.0, 85.0, 100.0];
-    run_sweep(
-        "L_H",
-        &lh_values.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
-        lh_values
-            .iter()
-            .map(|&l_h| EnvParams {
-                l_h,
-                ..EnvParams::default()
-            })
-            .collect(),
-        budget,
-    );
-
-    // Fig 6(d)/7(g,h)/8(g,h): lower bound of L_{p_i}.
-    let lbs = [6i64, 8, 9, 10, 11, 13, 15];
-    run_sweep(
-        "lb(L_p)",
-        &lbs.iter().map(|v| format!("{v}")).collect::<Vec<_>>(),
-        lbs.iter()
-            .map(|&lb| EnvParams::default().with_tx_lower_bound(lb))
-            .collect(),
-        budget,
-    );
 
     println!("reference paper anchors: ST(L_J=100) ~ 78%; ST(lb>=11) = 100%; AH falls and AP rises with lb(L_p)");
     finish_manifest(&manifest);

@@ -1,7 +1,9 @@
 //! Self-play league driver: alternates attacker-DQN and defender-DQN
 //! training epochs, then scores a defender × adversary goodput
-//! cross-table over the whole zoo with the fleet engine and writes it to
-//! `results/league_crosstable.json` (schema ctjam-league/v1).
+//! cross-table over the whole zoo with the fleet engine and writes
+//! `league_crosstable.json` (schema ctjam-league/v1) plus a
+//! deterministic `league_report.html` into `--out-dir` (default:
+//! `results/`, or `$CTJAM_CSV_DIR`).
 //!
 //! Phase 1 (self-play): a learning [`ctjam_core::adversary::DqnJammer`]
 //! and a learning DQN defender take turns — each epoch freezes one side
@@ -27,9 +29,11 @@ use ctjam_core::env::{CompetitionEnv, EnvParams};
 use ctjam_core::runner::RunBuilder;
 use ctjam_dqn::policy::GreedyPolicy;
 use ctjam_fleet::{CampaignPolicy, CampaignSpec, Fleet};
+use ctjam_scenario::report::Report;
 use ctjam_telemetry::{JsonValue, RunManifest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Base seed for every RNG in this binary (recorded in the manifest).
@@ -70,7 +74,31 @@ fn target_cpu_features() -> String {
     }
 }
 
+/// Parses the one flag this binary takes: `--out-dir DIR` (default:
+/// [`results_dir`]).
+fn parse_out_dir() -> PathBuf {
+    let mut out = results_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out-dir" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out-dir needs a value");
+                    std::process::exit(2)
+                }
+            },
+            _ => {
+                eprintln!("usage: league [--out-dir DIR]");
+                std::process::exit(2)
+            }
+        }
+    }
+    out
+}
+
 fn main() {
+    let out_dir = parse_out_dir();
     let quick = std::env::var("CTJAM_BENCH_QUICK").is_ok();
     let epochs = env_usize("CTJAM_LEAGUE_EPOCHS", if quick { 2 } else { 6 });
     let epoch_slots = env_usize("CTJAM_LEAGUE_SLOTS", if quick { 600 } else { 6_000 });
@@ -107,6 +135,7 @@ fn main() {
     println!("self-play league: {epochs} epoch pair(s) × {epoch_slots} slots");
     table_header(&["epoch", "phase", "defender ST", "attacker hit rate"]);
     let mut epoch_log = Vec::new();
+    let mut report_selfplay: Vec<Vec<String>> = Vec::new();
     for epoch in 0..epochs {
         // Attacker epoch: the defender is frozen, the DQN jammer learns.
         defender.set_training(false);
@@ -115,12 +144,14 @@ fn main() {
         let atk = RunBuilder::new(&params).run_in(&mut env, &mut defender, epoch_slots, &mut rng);
         let atk_hit = env.adversary_probe().hit_rate();
         attacker = env.into_adversary();
-        table_row(&[
+        let atk_cells = vec![
             format!("{epoch}"),
-            "attacker".into(),
+            "attacker".to_string(),
             format!("{:.3}", atk.metrics.success_rate()),
             format!("{atk_hit:.3}"),
-        ]);
+        ];
+        table_row(&atk_cells);
+        report_selfplay.push(atk_cells);
 
         // Defender epoch: the attacker is frozen, the defender learns.
         attacker.set_learning(false);
@@ -129,12 +160,14 @@ fn main() {
         let def = RunBuilder::new(&params).run_in(&mut env, &mut defender, epoch_slots, &mut rng);
         let def_hit = env.adversary_probe().hit_rate();
         attacker = env.into_adversary();
-        table_row(&[
+        let def_cells = vec![
             format!("{epoch}"),
-            "defender".into(),
+            "defender".to_string(),
             format!("{:.3}", def.metrics.success_rate()),
             format!("{def_hit:.3}"),
-        ]);
+        ];
+        table_row(&def_cells);
+        report_selfplay.push(def_cells);
 
         let mut entry = JsonValue::object();
         entry.set("epoch", epoch as f64);
@@ -193,6 +226,7 @@ fn main() {
     table_header(&header.iter().map(String::as_str).collect::<Vec<_>>());
 
     let mut rows = Vec::new();
+    let mut matrix_cells: Vec<Vec<String>> = Vec::new();
     for (name, policy) in defenders {
         let spec = CampaignSpec {
             name: format!("league:{name}"),
@@ -230,6 +264,7 @@ fn main() {
         let mut cells: Vec<String> = vec![name.to_string()];
         cells.extend(per_adversary.iter().map(|g| format!("{g:.3}")));
         table_row(&cells);
+        matrix_cells.push(per_adversary.iter().map(|g| format!("{g:.3}")).collect());
 
         let mut row = JsonValue::object();
         row.set("defender", name);
@@ -242,11 +277,17 @@ fn main() {
 
     manifest.push_extra(
         "defenders",
-        JsonValue::Arr(defender_names.into_iter().map(JsonValue::from).collect()),
+        JsonValue::Arr(
+            defender_names
+                .iter()
+                .cloned()
+                .map(JsonValue::from)
+                .collect(),
+        ),
     );
     manifest.push_extra(
         "adversaries",
-        JsonValue::Arr(labels.into_iter().map(JsonValue::from).collect()),
+        JsonValue::Arr(labels.iter().cloned().map(JsonValue::from).collect()),
     );
     manifest.push_extra("rows", JsonValue::Arr(rows));
     manifest.push_extra(
@@ -255,9 +296,36 @@ fn main() {
     );
     manifest.push_extra("bit_exact_workers", true);
 
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join("league_crosstable.json");
+    std::fs::create_dir_all(&out_dir).expect("create league output dir");
+    let path = out_dir.join("league_crosstable.json");
     std::fs::write(&path, manifest.to_json().to_string_pretty()).expect("write league manifest");
     println!("(wrote {})", path.display());
+
+    // Deterministic HTML companion: the same cross-table and self-play
+    // trajectory, rendered through the scenario report module.
+    let mut report = Report::new("CTJam adversary league");
+    report.kv_table(&[
+        ("schema".into(), SCHEMA.to_string()),
+        ("seed".into(), format!("{SEED}")),
+        ("self-play epochs".into(), format!("{epochs}")),
+        ("slots per epoch".into(), format!("{epoch_slots}")),
+        ("eval slots".into(), format!("{eval_slots}")),
+        ("seeds per cell".into(), format!("{replicates}")),
+        ("workers checked".into(), format!("{WORKERS:?}")),
+    ]);
+    report.section("Self-play trajectory");
+    report.table(
+        &["epoch", "phase", "defender ST", "attacker hit rate"],
+        &report_selfplay,
+    );
+    report.section("Defender x adversary goodput cross-table");
+    report.matrix(
+        "defender \\ adversary",
+        &labels,
+        &defender_names,
+        &matrix_cells,
+    );
+    let report_path = out_dir.join("league_report.html");
+    std::fs::write(&report_path, report.to_html()).expect("write league report");
+    println!("(wrote {})", report_path.display());
 }

@@ -13,6 +13,13 @@
 //! | `fig10_goodput_utilization` | Fig. 10: goodput and slot utilization vs Tx slot duration |
 //! | `fig11_scheme_comparison` | Fig. 11: PSV/Rand/RL/no-jammer goodput and the Jx-slot sensitivity |
 //! | `mdp_threshold_analysis` | Theorems III.4–III.5: threshold structure and its parameter trends |
+//! | `league` | adversary-zoo self-play league and defender × adversary cross-table |
+//! | `campaign` | runs a directory of `scenarios/*.json` files and emits a deterministic HTML report |
+//!
+//! The figure binaries marked in `scenarios/` (`fig02`, `fig06-08`,
+//! `fig10`) are thin wrappers over `ctjam-scenario`: they load their
+//! checked-in scenario file and print the same tables as always, so the
+//! numbers stay bit-identical to the pre-DSL binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -103,6 +110,29 @@ pub fn results_dir() -> std::path::PathBuf {
     std::env::var("CTJAM_CSV_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| std::path::PathBuf::from("results"))
+}
+
+/// Directory checked-in scenario files are loaded from:
+/// `$CTJAM_SCENARIO_DIR` if set, otherwise `scenarios/` under the
+/// current directory.
+pub fn scenario_dir() -> std::path::PathBuf {
+    std::env::var("CTJAM_SCENARIO_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("scenarios"))
+}
+
+/// Loads and parses a scenario file from [`scenario_dir`], exiting with
+/// a readable message on failure (wrapper figure bins depend on their
+/// checked-in scenario the way they used to depend on constants).
+pub fn load_scenario(file: &str) -> ctjam_scenario::Scenario {
+    let path = scenario_dir().join(file);
+    match ctjam_scenario::Scenario::load(&path) {
+        Ok(scenario) => scenario,
+        Err(err) => {
+            eprintln!("cannot load scenario {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Starts the run manifest of a figure binary: base seed, configuration

@@ -432,6 +432,93 @@ impl AdversaryConfig {
         format!("{}{}", kind_label(&self.kind), suffix)
     }
 
+    /// Parses a [`AdversaryConfig::label`] string back into a config
+    /// (all non-label fields at their defaults), so adversary mixes can
+    /// be named in data files. Inverse of `label()` for every config
+    /// whose numeric fields survive `Display` round-tripping:
+    /// `parse_label(&c.label()).unwrap().label() == c.label()`.
+    ///
+    /// Grammar: `none | sweep | pursuit | dqn | reactive(tT,lL) |
+    /// energy(CAP/RECHARGE,INNER) | adaptive-{lastblock|markov|rnn}[+eaves]`,
+    /// with an optional `-rnd` suffix selecting
+    /// [`JammerMode::RandomPower`].
+    pub fn parse_label(label: &str) -> Option<AdversaryConfig> {
+        fn parse_kind(s: &str) -> Option<AdversaryKind> {
+            match s {
+                "none" => return Some(AdversaryKind::None),
+                "sweep" => return Some(AdversaryKind::Sweep),
+                "pursuit" => return Some(AdversaryKind::Pursuit),
+                "dqn" => return Some(AdversaryKind::LearningDqn),
+                _ => {}
+            }
+            if let Some(body) = s
+                .strip_prefix("reactive(t")
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                let (threshold, latency) = body.split_once(",l")?;
+                let sense_threshold: f64 = threshold.parse().ok()?;
+                let latency: usize = latency.parse().ok()?;
+                if !sense_threshold.is_finite() {
+                    return None;
+                }
+                return Some(AdversaryKind::Reactive {
+                    sense_threshold,
+                    latency,
+                });
+            }
+            if let Some(body) = s.strip_prefix("energy(").and_then(|r| r.strip_suffix(')')) {
+                // The budget part never contains a comma, so the first
+                // comma separates it from the (possibly nested) inner
+                // kind.
+                let (budget, inner) = body.split_once(',')?;
+                let (capacity, recharge) = budget.split_once('/')?;
+                let capacity: f64 = capacity.parse().ok()?;
+                let recharge: f64 = recharge.parse().ok()?;
+                if !capacity.is_finite()
+                    || capacity <= 0.0
+                    || !recharge.is_finite()
+                    || recharge < 0.0
+                {
+                    return None;
+                }
+                return Some(AdversaryKind::EnergyBudget {
+                    capacity,
+                    recharge,
+                    inner: Box::new(parse_kind(inner)?),
+                });
+            }
+            if let Some(body) = s.strip_prefix("adaptive-") {
+                let (name, eavesdrop) = match body.strip_suffix("+eaves") {
+                    Some(stripped) => (stripped, true),
+                    None => (body, false),
+                };
+                let predictor = match name {
+                    "lastblock" => PredictorKind::LastBlock,
+                    "markov" => PredictorKind::Markov,
+                    "rnn" => PredictorKind::Rnn,
+                    _ => return None,
+                };
+                return Some(AdversaryKind::Adaptive {
+                    predictor,
+                    eavesdrop,
+                });
+            }
+            None
+        }
+        // No kind label ends in "-rnd" ("adaptive-rnn" ends in "-rnn"),
+        // so suffix stripping is unambiguous.
+        let (body, mode) = match label.strip_suffix("-rnd") {
+            Some(stripped) => (stripped, JammerMode::RandomPower),
+            None => (label, JammerMode::MaxPower),
+        };
+        let kind = parse_kind(body)?;
+        Some(AdversaryConfig {
+            kind,
+            mode,
+            ..AdversaryConfig::default()
+        })
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -940,6 +1027,53 @@ mod tests {
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn parse_label_round_trips_the_zoo() {
+        let zoo = [
+            AdversaryConfig::none(),
+            AdversaryConfig::sweep(),
+            AdversaryConfig::sweep().random_power(),
+            AdversaryConfig::reactive(8.0),
+            AdversaryConfig::reactive(8.0).latency(3).random_power(),
+            AdversaryConfig::pursuit(),
+            AdversaryConfig::pursuit().energy_budget(40.0, 2.0),
+            AdversaryConfig::adaptive(PredictorKind::LastBlock),
+            AdversaryConfig::adaptive(PredictorKind::Markov).eavesdrop(),
+            AdversaryConfig::adaptive(PredictorKind::Rnn).random_power(),
+            AdversaryConfig::dqn(),
+        ];
+        for config in zoo {
+            let label = config.label();
+            let parsed = AdversaryConfig::parse_label(&label)
+                .unwrap_or_else(|| panic!("label {label:?} did not parse"));
+            assert_eq!(parsed.label(), label);
+            assert_eq!(parsed.kind, config.kind, "{label}");
+            assert_eq!(parsed.mode, config.mode, "{label}");
+        }
+    }
+
+    #[test]
+    fn parse_label_rejects_junk() {
+        for junk in [
+            "",
+            "sweeep",
+            "reactive",
+            "reactive(t8)",
+            "reactive(t8,l)",
+            "energy(40/2)",
+            "energy(x/2,sweep)",
+            "energy(40/2,sweeep)",
+            "adaptive-",
+            "adaptive-gru",
+            "-rnd",
+        ] {
+            assert!(
+                AdversaryConfig::parse_label(junk).is_none(),
+                "{junk:?} should not parse"
+            );
+        }
     }
 
     fn sense(channel: usize) -> SlotSense {

@@ -26,11 +26,11 @@ pub struct CampaignProgress {
 }
 
 impl CampaignProgress {
-    /// Serializes the progress into the suite's standard checkpoint
-    /// container (magic + version + checksum, shared with the DQN
-    /// checkpoints) at `path`.
-    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let mut payload = Vec::new();
+    /// Appends the raw payload encoding (no container framing) to
+    /// `payload` — the inverse of [`CampaignProgress::decode_payload`].
+    /// Exposed so higher layers (the scenario campaign runner) can
+    /// embed several progress records in one sealed checkpoint.
+    pub fn encode_payload(&self, payload: &mut Vec<u8>) {
         payload.extend_from_slice(&self.fingerprint.to_le_bytes());
         payload.extend_from_slice(&(self.outcomes.len() as u64).to_le_bytes());
         for o in &self.outcomes {
@@ -51,36 +51,35 @@ impl CampaignProgress {
             }
             payload.push(o.health.sink_demoted as u8);
         }
-        self.telemetry.encode(&mut payload);
-        checkpoint::write_checkpoint(path, &payload)
+        self.telemetry.encode(payload);
     }
 
-    /// Reads progress written by [`CampaignProgress::save`].
-    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let payload = checkpoint::read_checkpoint(path)?;
-        let mut cursor = payload.as_slice();
-        let fingerprint = checkpoint::take_u64(&mut cursor)?;
-        let count = checkpoint::take_u64(&mut cursor)? as usize;
+    /// Decodes one progress record from `cursor`, advancing it past the
+    /// consumed bytes — the inverse of
+    /// [`CampaignProgress::encode_payload`].
+    pub fn decode_payload(cursor: &mut &[u8]) -> Result<Self, CheckpointError> {
+        let fingerprint = checkpoint::take_u64(cursor)?;
+        let count = checkpoint::take_u64(cursor)? as usize;
         if count > 1 << 32 {
             return Err(CheckpointError::Malformed);
         }
         let mut outcomes = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            let episode = checkpoint::take_u64(&mut cursor)?;
-            let seed = checkpoint::take_u64(&mut cursor)?;
+            let episode = checkpoint::take_u64(cursor)?;
+            let seed = checkpoint::take_u64(cursor)?;
             let mut fields = [0u64; 9];
             for field in fields.iter_mut() {
-                *field = checkpoint::take_u64(&mut cursor)?;
+                *field = checkpoint::take_u64(cursor)?;
             }
             let metrics = Metrics::from_array(fields);
-            let total_reward = checkpoint::take_f64(&mut cursor)?;
+            let total_reward = checkpoint::take_f64(cursor)?;
             let mut health = RunHealth::clean();
-            health.sink_write_failures = checkpoint::take_u64(&mut cursor)?;
-            health.deadline_overruns = checkpoint::take_u64(&mut cursor)?;
-            health.skipped_train_steps = checkpoint::take_u64(&mut cursor)?;
-            health.corrupted_replay_entries = checkpoint::take_u64(&mut cursor)?;
-            health.faults_fired = checkpoint::take_u64(&mut cursor)?;
-            health.sink_demoted = checkpoint::take_bool(&mut cursor)?;
+            health.sink_write_failures = checkpoint::take_u64(cursor)?;
+            health.deadline_overruns = checkpoint::take_u64(cursor)?;
+            health.skipped_train_steps = checkpoint::take_u64(cursor)?;
+            health.corrupted_replay_entries = checkpoint::take_u64(cursor)?;
+            health.faults_fired = checkpoint::take_u64(cursor)?;
+            health.sink_demoted = checkpoint::take_bool(cursor)?;
             outcomes.push(EpisodeOutcome {
                 episode,
                 seed,
@@ -89,15 +88,32 @@ impl CampaignProgress {
                 health,
             });
         }
-        let telemetry = ShardSink::decode(&mut cursor).ok_or(CheckpointError::Malformed)?;
-        if !cursor.is_empty() {
-            return Err(CheckpointError::Malformed);
-        }
+        let telemetry = ShardSink::decode(cursor).ok_or(CheckpointError::Malformed)?;
         Ok(CampaignProgress {
             fingerprint,
             outcomes,
             telemetry,
         })
+    }
+
+    /// Serializes the progress into the suite's standard checkpoint
+    /// container (magic + version + checksum, shared with the DQN
+    /// checkpoints) at `path`.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        checkpoint::write_checkpoint(path, &payload)
+    }
+
+    /// Reads progress written by [`CampaignProgress::save`].
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let payload = checkpoint::read_checkpoint(path)?;
+        let mut cursor = payload.as_slice();
+        let progress = CampaignProgress::decode_payload(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(CheckpointError::Malformed);
+        }
+        Ok(progress)
     }
 }
 

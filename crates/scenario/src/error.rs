@@ -1,0 +1,214 @@
+//! Typed scenario-decoding errors.
+//!
+//! Every failure mode of the DSL — from a malformed byte to a knob the
+//! schema does not know — maps onto one [`ScenarioError`] variant, so
+//! callers (the `campaign` bin, the wrapper figure bins, tests) can
+//! match on *what* went wrong. Unknown keys carry a did-you-mean hint
+//! computed by edit distance over the keys the schema does accept.
+
+use crate::json::JsonError;
+use std::fmt;
+
+/// Why a scenario failed to decode, compile, or resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The file is not JSON (offset + lexer message).
+    Json(JsonError),
+    /// The schema tag is missing or names a version this build cannot
+    /// read.
+    UnsupportedSchema {
+        /// The tag found in the file (empty if absent).
+        found: String,
+    },
+    /// An object carries a key the schema does not define.
+    UnknownKey {
+        /// Dotted path of the object (e.g. `"budget"`, `""` for the
+        /// scenario root).
+        path: String,
+        /// The offending key.
+        key: String,
+        /// Closest accepted key by edit distance, if one is close
+        /// enough to plausibly be a typo.
+        hint: Option<String>,
+    },
+    /// A required key is absent.
+    MissingKey {
+        /// Dotted path of the object the key was expected in.
+        path: String,
+        /// The missing key.
+        key: String,
+    },
+    /// A value has the wrong JSON type.
+    TypeMismatch {
+        /// Dotted path of the value.
+        path: String,
+        /// What the schema wanted (e.g. `"number"`, `"array of strings"`).
+        expected: &'static str,
+    },
+    /// A value has the right type but an impossible content
+    /// (negative slot count, unknown adversary label, empty grid…).
+    InvalidValue {
+        /// Dotted path of the value.
+        path: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A `--resume` checkpoint does not belong to this scenario
+    /// (the scenario file changed since the checkpoint was written).
+    FingerprintMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        checkpoint: u64,
+        /// Fingerprint of the scenario as loaded now.
+        scenario: u64,
+    },
+    /// A progress checkpoint exists but cannot be read back.
+    Checkpoint(String),
+    /// A scenario file (or its directory) could not be read.
+    Io(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Json(err) => write!(f, "invalid JSON at {err}"),
+            ScenarioError::UnsupportedSchema { found } if found.is_empty() => {
+                write!(f, "missing \"schema\" tag (expected {:?})", crate::SCHEMA)
+            }
+            ScenarioError::UnsupportedSchema { found } => {
+                write!(
+                    f,
+                    "unsupported schema {found:?} (expected {:?})",
+                    crate::SCHEMA
+                )
+            }
+            ScenarioError::UnknownKey { path, key, hint } => {
+                let at = if path.is_empty() {
+                    "the scenario root"
+                } else {
+                    path
+                };
+                write!(f, "unknown key {key:?} in {at}")?;
+                if let Some(hint) = hint {
+                    write!(f, " (did you mean {hint:?}?)")?;
+                }
+                Ok(())
+            }
+            ScenarioError::MissingKey { path, key } => {
+                let at = if path.is_empty() {
+                    "the scenario root"
+                } else {
+                    path
+                };
+                write!(f, "missing required key {key:?} in {at}")
+            }
+            ScenarioError::TypeMismatch { path, expected } => {
+                write!(f, "{path}: expected {expected}")
+            }
+            ScenarioError::InvalidValue { path, message } => {
+                write!(f, "{path}: {message}")
+            }
+            ScenarioError::FingerprintMismatch {
+                checkpoint,
+                scenario,
+            } => write!(
+                f,
+                "progress checkpoint belongs to scenario fingerprint \
+                 {checkpoint:016x}, but the file on disk now fingerprints to \
+                 {scenario:016x}; the scenario changed since the checkpoint \
+                 was written (delete it or restore the file to resume)"
+            ),
+            ScenarioError::Checkpoint(message) => {
+                write!(f, "progress checkpoint unreadable: {message}")
+            }
+            ScenarioError::Io(message) => write!(f, "cannot read scenario: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<JsonError> for ScenarioError {
+    fn from(err: JsonError) -> Self {
+        ScenarioError::Json(err)
+    }
+}
+
+/// Damerau–Levenshtein edit distance (optimal string alignment:
+/// insert, delete, substitute, or swap adjacent characters — the four
+/// classic typos). Iterative three-row DP; both inputs are short
+/// schema keys.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev2 = vec![0usize; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            let mut best = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                best = best.min(prev2[j - 1] + 1);
+            }
+            curr[j + 1] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate to `key`, if plausibly a typo: distance at most
+/// 1/3 of the key length (minimum 1, so one-letter slips always match),
+/// ties broken by candidate order.
+pub fn did_you_mean(key: &str, candidates: &[&str]) -> Option<String> {
+    let budget = (key.chars().count() / 3).max(1);
+    candidates
+        .iter()
+        .map(|c| (edit_distance(key, c), *c))
+        .filter(|(d, _)| *d <= budget)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("seed", "seed"), 0);
+        assert_eq!(edit_distance("seed", "sed"), 1);
+        assert_eq!(
+            edit_distance("sede", "seed"),
+            1,
+            "adjacent swap is one edit"
+        );
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn did_you_mean_finds_near_misses_only() {
+        let keys = ["seed", "slots", "kernel", "train_slots"];
+        assert_eq!(did_you_mean("sede", &keys), Some("seed".into()));
+        assert_eq!(
+            did_you_mean("train_slot", &keys),
+            Some("train_slots".into())
+        );
+        assert_eq!(did_you_mean("adversaries", &keys), None);
+    }
+
+    #[test]
+    fn display_carries_the_hint() {
+        let err = ScenarioError::UnknownKey {
+            path: "budget".into(),
+            key: "train_slot".into(),
+            hint: Some("train_slots".into()),
+        };
+        let text = err.to_string();
+        assert!(text.contains("did you mean"), "{text}");
+        assert!(text.contains("train_slots"), "{text}");
+    }
+}

@@ -1,0 +1,411 @@
+//! A total JSON parser producing [`ctjam_telemetry::JsonValue`] trees.
+//!
+//! The container has no network access, so — exactly like the telemetry
+//! serializer and the serve wire codec — this is a hand-written
+//! recursive-descent parser with **total decoding**: any byte sequence
+//! either parses or returns a typed [`JsonError`] with the byte offset
+//! of the failure. It never panics, and a depth cap keeps adversarial
+//! nesting (`[[[[…`) from overflowing the stack.
+//!
+//! Deviations from a maximally permissive reader, chosen so that
+//! `parse → emit → parse` is bit-exact against the canonical
+//! [`JsonValue`] serializer:
+//!
+//! * Non-finite numbers (`1e999`) are rejected — the serializer prints
+//!   non-finite floats as `null`, which would not round-trip.
+//! * Duplicate object keys are rejected — insertion-order objects have
+//!   no canonical "last wins" story, and a scenario carrying the same
+//!   knob twice is a bug worth rejecting loudly.
+//! * Trailing content after the top-level value is rejected.
+
+use ctjam_telemetry::JsonValue;
+use std::fmt;
+
+/// Nesting depth beyond which parsing fails instead of recursing.
+/// Scenario files are a few levels deep; 64 is far above any legitimate
+/// document and far below stack exhaustion.
+const MAX_DEPTH: usize = 64;
+
+/// A parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document from `input` (UTF-8 bytes).
+///
+/// Returns the value tree, or the first error encountered. Total: never
+/// panics, for any input.
+pub fn parse(input: &[u8]) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after the top-level value"));
+    }
+    Ok(value)
+}
+
+/// Parses one JSON document from a string slice.
+pub fn parse_str(input: &str) -> Result<JsonValue, JsonError> {
+    parse(input.as_bytes())
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    /// Consumes `word` if the input continues with it.
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.input[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 64 levels"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, JsonValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key_offset = self.pos;
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    offset: key_offset,
+                    message: format!("duplicate key {key:?}"),
+                });
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue; // unicode_escape consumed everything
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input may be invalid
+                    // UTF-8: validate the multi-byte sequence).
+                    let rest = &self.input[self.pos..];
+                    match std::str::from_utf8(&rest[..rest.len().min(4)]) {
+                        Ok(s) => {
+                            // Entire prefix is valid; take its first char.
+                            let c = s.chars().next().ok_or_else(|| self.err("empty char"))?;
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        Err(e) if e.valid_up_to() > 0 => {
+                            let valid = &rest[..e.valid_up_to()];
+                            // Safe: from_utf8 just validated this prefix.
+                            let c = match std::str::from_utf8(valid) {
+                                Ok(s) => s.chars().next(),
+                                Err(_) => None,
+                            };
+                            let c = c.ok_or_else(|| self.err("empty char"))?;
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (cursor already past the `u`),
+    /// plus a low-surrogate pair when the first unit is a high surrogate.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let unit = self.hex4()?;
+        if (0xD800..0xDC00).contains(&unit) {
+            // High surrogate: require `\uXXXX` low surrogate.
+            if self.input[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&low) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let c = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))
+            } else {
+                Err(self.err("lone high surrogate"))
+            }
+        } else if (0xDC00..0xE000).contains(&unit) {
+            Err(self.err("lone low surrogate"))
+        } else {
+            char::from_u32(unit).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value: u32 = 0;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a') as u32 + 10,
+                Some(c @ b'A'..=b'F') => (c - b'A') as u32 + 10,
+                _ => return Err(self.err("expected 4 hex digits after \\u")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The lexed slice is ASCII by construction.
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("non-ASCII number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("unreadable number"))?;
+        if !n.is_finite() {
+            return Err(JsonError {
+                offset: start,
+                message: format!("number {text} overflows f64"),
+            });
+        }
+        Ok(JsonValue::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_str("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_str("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_str(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_str("3.5").unwrap(), JsonValue::Num(3.5));
+        assert_eq!(parse_str("-0.125e1").unwrap(), JsonValue::Num(-1.25));
+        assert_eq!(
+            parse_str("\"a\\nb\"").unwrap(),
+            JsonValue::Str("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v = parse_str(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.to_string_compact(), r#"{"a":[1,2,{"b":null}],"c":"x"}"#);
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        assert_eq!(
+            parse_str(r#""\u0041\u00e9\ud83d\ude00""#).unwrap(),
+            JsonValue::Str("Aé😀".into())
+        );
+        assert!(parse_str(r#""\ud83d""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "truex",
+            "\"abc",
+            "[1] 2",
+            "{\"a\":1,\"a\":2}",
+            "1e999",
+            "-",
+            "\"\\q\"",
+        ] {
+            assert!(parse_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_fails_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        assert!(parse(deep.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse_str("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn canonical_emission_reparses_bit_exactly() {
+        let text =
+            r#"{"name":"x","seed":51105,"values":[1,2.5,-0.125],"flag":true,"nothing":null}"#;
+        let v = parse_str(text).unwrap();
+        let emitted = v.to_string_compact();
+        assert_eq!(parse_str(&emitted).unwrap(), v);
+        assert_eq!(parse_str(&emitted).unwrap().to_string_compact(), emitted);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ctjam-scenario — campaigns as data
+//!
+//! The declarative scenario layer of the workspace: experiments that
+//! used to be hand-coded figure binaries become checked-in JSON files
+//! under `scenarios/`, decoded by a total, strictly-validating parser
+//! and compiled onto the existing engines (`RunBuilder` sweeps, the
+//! field experiment, the `ctjam-fleet` campaign engine). A small
+//! [`report`] module renders byte-deterministic static HTML reports —
+//! tables plus inline SVG plots — from the resulting telemetry, with no
+//! dependencies beyond the workspace.
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`json`] | total JSON parser onto `ctjam_telemetry::JsonValue` |
+//! | [`error`] | typed [`ScenarioError`] + did-you-mean hints |
+//! | [`schema`] | the versioned [`Scenario`] schema: decode, canonical emit, fingerprint |
+//! | [`compile`] | scenario → `EnvParams` grids / `CampaignSpec`s |
+//! | [`run`] | deterministic runners + resumable campaign progress |
+//! | [`report`] | deterministic offline HTML/SVG report builder |
+//!
+//! ## Determinism contract
+//!
+//! A scenario's identity is its [`Scenario::fingerprint`]: FNV-1a over
+//! the canonical (parse → emit) byte form of the *effective* scenario
+//! (quick-mode overrides applied). Everything downstream — episode
+//! seeds, campaign checkpoints, report bytes — is a pure function of
+//! that effective scenario, so the same file produces the same report
+//! byte-for-byte at any worker count, and a `--resume` against an
+//! edited file is rejected instead of silently mixing runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod error;
+pub mod json;
+pub mod report;
+pub mod run;
+pub mod schema;
+
+/// The schema tag this build reads and writes.
+pub const SCHEMA: &str = "ctjam-scenario/v1";
+
+pub use error::ScenarioError;
+pub use report::Report;
+pub use schema::{Campaign, Field, LinkSweep, Scenario, ScenarioKind, Sweep, SweepAxis};

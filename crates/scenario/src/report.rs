@@ -1,0 +1,458 @@
+//! Deterministic offline HTML reports: tables plus inline SVG plots.
+//!
+//! [`Report`] is a write-once builder; [`Report::to_html`] is a pure
+//! function of everything appended to it — no timestamps, no
+//! randomness, fixed-precision coordinate formatting — so the same
+//! inputs always produce the same bytes. That makes report files
+//! diffable and lets CI assert byte-equality between two runs of the
+//! same scenario directory. The output is a single self-contained file:
+//! embedded CSS, inline SVG, no scripts, no external fetches.
+
+use ctjam_telemetry::Histogram;
+use std::fmt::Write as _;
+
+/// Fixed series palette (Matplotlib's tab colors, a stable choice).
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+const CHART_W: f64 = 640.0;
+const CHART_H: f64 = 300.0;
+const MARGIN_L: f64 = 56.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 14.0;
+const MARGIN_B: f64 = 34.0;
+
+/// A deterministic static-HTML report under construction.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    body: String,
+}
+
+/// Escapes text for HTML element content and attribute values.
+pub fn escape_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic short form of a value for table cells and tick labels:
+/// integral values print bare, everything else with four significant
+/// digits; non-finite values print as `nan`/`inf`/`-inf`.
+pub fn fmt_value(value: f64) -> String {
+    if value.is_nan() {
+        return "nan".into();
+    }
+    if value.is_infinite() {
+        return if value > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        };
+    }
+    if value == value.trunc() && value.abs() < 1e15 {
+        return format!("{}", value as i64);
+    }
+    let text = format!("{value:.4}");
+    let trimmed = text.trim_end_matches('0').trim_end_matches('.');
+    trimmed.to_string()
+}
+
+/// SVG coordinate: two decimals, enough for pixel-level placement and
+/// stable across platforms.
+fn coord(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+impl Report {
+    /// Starts a report with the given page title.
+    pub fn new(title: &str) -> Self {
+        Report {
+            title: title.to_string(),
+            body: String::new(),
+        }
+    }
+
+    /// Appends a section heading.
+    pub fn section(&mut self, heading: &str) -> &mut Self {
+        let _ = writeln!(self.body, "<h2>{}</h2>", escape_html(heading));
+        self
+    }
+
+    /// Appends a paragraph of text.
+    pub fn paragraph(&mut self, text: &str) -> &mut Self {
+        let _ = writeln!(self.body, "<p>{}</p>", escape_html(text));
+        self
+    }
+
+    /// Appends a two-column key/value table.
+    pub fn kv_table(&mut self, rows: &[(String, String)]) -> &mut Self {
+        self.body.push_str("<table class=\"kv\">\n");
+        for (key, value) in rows {
+            let _ = writeln!(
+                self.body,
+                "<tr><th>{}</th><td>{}</td></tr>",
+                escape_html(key),
+                escape_html(value)
+            );
+        }
+        self.body.push_str("</table>\n");
+        self
+    }
+
+    /// Appends a table with a header row.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) -> &mut Self {
+        self.body.push_str("<table>\n<tr>");
+        for h in headers {
+            let _ = write!(self.body, "<th>{}</th>", escape_html(h));
+        }
+        self.body.push_str("</tr>\n");
+        for row in rows {
+            self.body.push_str("<tr>");
+            for cell in row {
+                let _ = write!(self.body, "<td>{}</td>", escape_html(cell));
+            }
+            self.body.push_str("</tr>\n");
+        }
+        self.body.push_str("</table>\n");
+        self
+    }
+
+    /// Appends a cross-table (matrix with row labels): `cells[r][c]`
+    /// under column `cols[c]` in row `rows[r]`.
+    pub fn matrix(
+        &mut self,
+        corner: &str,
+        cols: &[String],
+        rows: &[String],
+        cells: &[Vec<String>],
+    ) -> &mut Self {
+        self.body.push_str("<table>\n<tr>");
+        let _ = write!(self.body, "<th>{}</th>", escape_html(corner));
+        for c in cols {
+            let _ = write!(self.body, "<th>{}</th>", escape_html(c));
+        }
+        self.body.push_str("</tr>\n");
+        for (label, row) in rows.iter().zip(cells) {
+            let _ = write!(self.body, "<tr><th>{}</th>", escape_html(label));
+            for cell in row {
+                let _ = write!(self.body, "<td>{}</td>", escape_html(cell));
+            }
+            self.body.push_str("</tr>\n");
+        }
+        self.body.push_str("</table>\n");
+        self
+    }
+
+    /// Appends a line chart: one polyline per `(label, ys)` series over
+    /// the shared categorical x axis. Non-finite points are dropped
+    /// (the polyline breaks); an all-empty chart renders as a note.
+    pub fn line_chart(
+        &mut self,
+        caption: &str,
+        x_labels: &[String],
+        series: &[(String, Vec<f64>)],
+    ) -> &mut Self {
+        let finite: Vec<f64> = series
+            .iter()
+            .flat_map(|(_, ys)| ys.iter().copied())
+            .filter(|y| y.is_finite())
+            .collect();
+        if x_labels.is_empty() || finite.is_empty() {
+            return self.paragraph(&format!("{caption}: no data"));
+        }
+        let (mut y_lo, mut y_hi) = finite
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+                (lo.min(y), hi.max(y))
+            });
+        if y_lo == y_hi {
+            y_lo -= 1.0;
+            y_hi += 1.0;
+        }
+        let plot_w = CHART_W - MARGIN_L - MARGIN_R;
+        let plot_h = CHART_H - MARGIN_T - MARGIN_B;
+        let x_at = |i: usize| {
+            let n = x_labels.len();
+            if n == 1 {
+                MARGIN_L + plot_w / 2.0
+            } else {
+                MARGIN_L + plot_w * i as f64 / (n - 1) as f64
+            }
+        };
+        let y_at = |y: f64| MARGIN_T + plot_h * (1.0 - (y - y_lo) / (y_hi - y_lo));
+
+        self.open_figure(caption);
+        let _ = writeln!(
+            self.body,
+            "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" role=\"img\">"
+        );
+        // Axes and y ticks.
+        self.axis_frame();
+        for tick in 0..=4 {
+            let y = y_lo + (y_hi - y_lo) * f64::from(tick) / 4.0;
+            let py = y_at(y);
+            let _ = writeln!(
+                self.body,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"grid\"></line>",
+                coord(MARGIN_L),
+                coord(py),
+                coord(CHART_W - MARGIN_R),
+                coord(py)
+            );
+            let _ = writeln!(
+                self.body,
+                "<text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"end\">{}</text>",
+                coord(MARGIN_L - 6.0),
+                coord(py + 4.0),
+                escape_html(&fmt_value(y))
+            );
+        }
+        // X tick labels (thinned to at most 10).
+        let step = x_labels.len().div_ceil(10).max(1);
+        for (i, label) in x_labels.iter().enumerate() {
+            if i % step != 0 && i != x_labels.len() - 1 {
+                continue;
+            }
+            let _ = writeln!(
+                self.body,
+                "<text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"middle\">{}</text>",
+                coord(x_at(i)),
+                coord(CHART_H - MARGIN_B + 16.0),
+                escape_html(label)
+            );
+        }
+        // Series.
+        for (s, (label, ys)) in series.iter().enumerate() {
+            let color = PALETTE[s % PALETTE.len()];
+            let mut points = String::new();
+            for (i, &y) in ys.iter().enumerate().take(x_labels.len()) {
+                if !y.is_finite() {
+                    continue;
+                }
+                if !points.is_empty() {
+                    points.push(' ');
+                }
+                let _ = write!(points, "{},{}", coord(x_at(i)), coord(y_at(y)));
+            }
+            let _ = writeln!(
+                self.body,
+                "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.6\" \
+                 points=\"{points}\"></polyline>"
+            );
+            // Legend swatch + label, stacked top-left inside the plot.
+            let ly = MARGIN_T + 14.0 + 16.0 * s as f64;
+            let _ = writeln!(
+                self.body,
+                "<rect x=\"{}\" y=\"{}\" width=\"10\" height=\"3\" fill=\"{color}\"></rect>",
+                coord(MARGIN_L + 8.0),
+                coord(ly - 4.0)
+            );
+            let _ = writeln!(
+                self.body,
+                "<text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>",
+                coord(MARGIN_L + 24.0),
+                coord(ly),
+                escape_html(label)
+            );
+        }
+        self.body.push_str("</svg>\n</figure>\n");
+        self
+    }
+
+    /// Appends a histogram as an SVG bar chart, with the summary stats
+    /// (count, mean, p50/p95/p99, out-of-range counts) underneath.
+    pub fn histogram(&mut self, caption: &str, hist: &Histogram) -> &mut Self {
+        if hist.count() == 0 {
+            return self.paragraph(&format!("{caption}: empty"));
+        }
+        let bins = hist.bins();
+        let peak = bins.iter().copied().max().unwrap_or(0).max(1);
+        let plot_w = CHART_W - MARGIN_L - MARGIN_R;
+        let plot_h = CHART_H - MARGIN_T - MARGIN_B;
+        let bar_w = plot_w / bins.len() as f64;
+
+        self.open_figure(caption);
+        let _ = writeln!(
+            self.body,
+            "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" role=\"img\">"
+        );
+        self.axis_frame();
+        for (i, &count) in bins.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let h = plot_h * count as f64 / peak as f64;
+            let _ = writeln!(
+                self.body,
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" class=\"bar\"></rect>",
+                coord(MARGIN_L + bar_w * i as f64),
+                coord(MARGIN_T + plot_h - h),
+                coord((bar_w - 1.0).max(0.5)),
+                coord(h)
+            );
+        }
+        let mid = (hist.lo() + hist.hi()) / 2.0;
+        for (frac, value) in [(0.0f64, hist.lo()), (0.5, mid), (1.0, hist.hi())] {
+            let _ = writeln!(
+                self.body,
+                "<text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"middle\">{}</text>",
+                coord(MARGIN_L + plot_w * frac),
+                coord(CHART_H - MARGIN_B + 16.0),
+                escape_html(&fmt_value(value))
+            );
+        }
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"end\">{}</text>",
+            coord(MARGIN_L - 6.0),
+            coord(MARGIN_T + 10.0),
+            escape_html(&fmt_value(peak as f64))
+        );
+        self.body.push_str("</svg>\n</figure>\n");
+        self.kv_table(&[
+            ("count".into(), format!("{}", hist.count())),
+            ("mean".into(), fmt_value(hist.mean())),
+            ("p50".into(), fmt_value(hist.p50())),
+            ("p95".into(), fmt_value(hist.p95())),
+            ("p99".into(), fmt_value(hist.p99())),
+            (
+                "under / over range".into(),
+                format!("{} / {}", hist.underflow(), hist.overflow()),
+            ),
+        ])
+    }
+
+    fn open_figure(&mut self, caption: &str) {
+        let _ = writeln!(
+            self.body,
+            "<figure>\n<figcaption>{}</figcaption>",
+            escape_html(caption)
+        );
+    }
+
+    fn axis_frame(&mut self) {
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" class=\"frame\"></rect>",
+            coord(MARGIN_L),
+            coord(MARGIN_T),
+            coord(CHART_W - MARGIN_L - MARGIN_R),
+            coord(CHART_H - MARGIN_T - MARGIN_B)
+        );
+    }
+
+    /// Renders the complete self-contained HTML document.
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n");
+        out.push_str("<meta charset=\"utf-8\">\n");
+        let _ = writeln!(out, "<title>{}</title>", escape_html(&self.title));
+        out.push_str(
+            "<style>\n\
+             body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; \
+             max-width: 56em; color: #1a1a1a; }\n\
+             h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; }\n\
+             table { border-collapse: collapse; margin: 0.8em 0; }\n\
+             th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; \
+             text-align: right; }\n\
+             th { background: #f0f0f0; }\n\
+             table.kv th { text-align: left; }\n\
+             figure { margin: 1em 0; }\n\
+             figcaption { font-weight: 600; margin-bottom: 0.3em; }\n\
+             svg { width: 100%; max-width: 640px; background: #fff; }\n\
+             svg .frame { fill: none; stroke: #444; stroke-width: 1; }\n\
+             svg .grid { stroke: #ddd; stroke-width: 0.5; }\n\
+             svg .tick { font: 10px system-ui, sans-serif; fill: #333; }\n\
+             svg .bar { fill: #1f77b4; }\n\
+             </style>\n</head>\n<body>\n",
+        );
+        let _ = writeln!(out, "<h1>{}</h1>", escape_html(&self.title));
+        out.push_str(&self.body);
+        out.push_str("</body>\n</html>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("unit <report>");
+        r.section("overview")
+            .paragraph("two & two")
+            .kv_table(&[("key".into(), "value \"quoted\"".into())])
+            .table(
+                &["x", "y"],
+                &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+            )
+            .line_chart(
+                "goodput",
+                &["1".into(), "2".into(), "3".into()],
+                &[
+                    ("a".into(), vec![0.1, 0.5, 0.9]),
+                    ("b".into(), vec![0.9, f64::NAN, 0.1]),
+                ],
+            );
+        let mut hist = Histogram::new("unit", 0.0, 10.0, 8);
+        for i in 0..50 {
+            hist.record(f64::from(i % 10));
+        }
+        r.histogram("latency", &hist);
+        r
+    }
+
+    #[test]
+    fn html_is_deterministic_and_escaped() {
+        let a = sample_report().to_html();
+        let b = sample_report().to_html();
+        assert_eq!(a, b);
+        assert!(a.contains("unit &lt;report&gt;"));
+        assert!(a.contains("two &amp; two"));
+        assert!(!a.contains("<report>"));
+    }
+
+    #[test]
+    fn tags_balance() {
+        let html = sample_report().to_html();
+        for tag in [
+            "html", "head", "body", "table", "tr", "svg", "figure", "polyline",
+        ] {
+            let opens = html.matches(&format!("<{tag}")).count();
+            let closes = html.matches(&format!("</{tag}>")).count();
+            assert_eq!(opens, closes, "unbalanced <{tag}>");
+        }
+    }
+
+    #[test]
+    fn charts_survive_degenerate_inputs() {
+        let mut r = Report::new("degenerate");
+        r.line_chart("empty", &[], &[]);
+        r.line_chart("flat", &["a".into()], &[("s".into(), vec![2.0])]);
+        r.line_chart("nan only", &["a".into()], &[("s".into(), vec![f64::NAN])]);
+        r.histogram("empty", &Histogram::new("unit", 0.0, 1.0, 4));
+        let html = r.to_html();
+        assert!(html.contains("empty: no data") || html.contains("no data"));
+        assert!(html.contains("empty: empty"));
+    }
+
+    #[test]
+    fn value_formatting_is_stable() {
+        assert_eq!(fmt_value(10.0), "10");
+        assert_eq!(fmt_value(0.123456), "0.1235");
+        assert_eq!(fmt_value(0.5), "0.5");
+        assert_eq!(fmt_value(f64::NAN), "nan");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-inf");
+    }
+}

@@ -1,0 +1,1159 @@
+//! The versioned scenario schema: typed decoding and canonical emission.
+//!
+//! A scenario file is one JSON object tagged `"schema": "ctjam-scenario/v1"`
+//! with a `"kind"` choosing one of four experiment shapes:
+//!
+//! | kind | runs | migrated figure |
+//! |------|------|-----------------|
+//! | `link_sweep` | PHY link PER/goodput vs jammer distance | `fig02_jamming_effect` |
+//! | `sweep` | DQN train+eval over parameter-axis grids | `fig06_07_08_sweeps` |
+//! | `field` | the hub+peripherals field experiment | `fig10_goodput_utilization` |
+//! | `campaign` | an adversary × seed × policy fleet grid | — (new workload) |
+//!
+//! Decoding is **total and strict**: every failure is a typed
+//! [`ScenarioError`], unknown keys are rejected with a did-you-mean
+//! hint, and missing optional keys take the documented defaults (so the
+//! decoded value is always fully concrete). Emission
+//! ([`Scenario::to_json`]) writes every field in one canonical order;
+//! `parse → emit` is a fixpoint (`emit(parse(emit(parse(f)))) ==
+//! emit(parse(f))` byte-for-byte), which is what makes the FNV-1a
+//! [`Scenario::fingerprint`] a stable identity for resume guards and
+//! run manifests.
+//!
+//! Every scenario may carry a `"quick"` object: numeric knob overrides
+//! applied only when the caller asks for quick mode (the CI smoke
+//! stages). The fingerprint is computed over the *effective* scenario —
+//! quick and full runs of the same file are distinct identities, so a
+//! quick checkpoint can never resume into a full campaign.
+
+use crate::compile::parse_policy;
+use crate::error::{did_you_mean, ScenarioError};
+use crate::json;
+use ctjam_core::adversary::AdversaryConfig;
+use ctjam_fault::FaultSite;
+use ctjam_telemetry::manifest::fnv1a_64;
+use ctjam_telemetry::JsonValue;
+use std::path::Path;
+
+/// Largest integer exactly representable in the JSON number model
+/// (f64): 2⁵³. Seeds and counts beyond this would silently lose bits.
+const MAX_EXACT_INT: u64 = 1 << 53;
+
+/// A fully decoded scenario: name, kind-specific description, and the
+/// (not yet applied) quick-mode overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (manifests, report headings; not necessarily the
+    /// file stem).
+    pub name: String,
+    /// The experiment this scenario describes.
+    pub kind: ScenarioKind,
+    /// Quick-mode knob overrides in file order (key, value); applied by
+    /// [`Scenario::effective`] when quick mode is requested.
+    pub quick: Vec<(String, f64)>,
+}
+
+/// The four experiment shapes of schema v1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// PHY-layer jamming-effect sweep over distance (Fig. 2(b)).
+    LinkSweep(LinkSweep),
+    /// Kernel/concrete DQN sweeps over parameter axes (Figs. 6–8).
+    Sweep(Sweep),
+    /// The field experiment over Tx-slot durations (Fig. 10).
+    Field(Field),
+    /// A fleet campaign grid: adversaries × seeds × policies.
+    Campaign(Campaign),
+}
+
+/// `kind: "link_sweep"` — jamming effect of each jammer family vs
+/// distance, on the channel-crate link model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSweep {
+    /// Base RNG seed of the fading draws.
+    pub seed: u64,
+    /// Monte-Carlo fading draws per (kind, distance) point.
+    pub draws: usize,
+    /// First jammer distance, meters (inclusive).
+    pub distance_start: u32,
+    /// Last jammer distance, meters (inclusive).
+    pub distance_end: u32,
+    /// Jammer families, in evaluation order: `"emubee"`, `"zigbee"`,
+    /// `"wifi-ofdm"`.
+    pub jammers: Vec<String>,
+    /// Victim link distance, meters.
+    pub link_distance_m: f64,
+    /// Victim transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Payload size used for PER, bytes.
+    pub payload_bytes: usize,
+}
+
+/// `kind: "sweep"` — the Figs. 6–8 shape: per sweep axis and jammer
+/// mode, train a fresh DQN per point and evaluate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Base seed of the whole sweep family.
+    pub seed: u64,
+    /// `true` for the MDP-kernel environment (the paper's Matlab
+    /// setting), `false` for the concrete slot simulator.
+    pub kernel: bool,
+    /// Training slots per data point.
+    pub train_slots: usize,
+    /// Evaluation slots per data point.
+    pub eval_slots: usize,
+    /// Jammer power modes to run each sweep under: `"max-power"`,
+    /// `"random-power"`.
+    pub modes: Vec<String>,
+    /// Adversary label of the base point
+    /// ([`AdversaryConfig::parse_label`] grammar).
+    pub adversary: String,
+    /// The sweep axes.
+    pub sweeps: Vec<SweepAxis>,
+}
+
+/// One sweep axis of a [`Sweep`] scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Display name (table/report heading), e.g. `"L_J"`.
+    pub name: String,
+    /// Which parameter the axis moves: `"l_j"`, `"l_h"`, `"l_decoy"`,
+    /// `"tj_residual_per"`, `"sweep_cycle"`, or `"tx_lower_bound"`.
+    pub axis: String,
+    /// Axis values, one environment point each.
+    pub values: Vec<f64>,
+}
+
+/// `kind: "field"` — the Fig. 10 field experiment: train once, then run
+/// the hub+peripherals network at each Tx-slot duration with a
+/// no-jammer reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Field slots per duration point.
+    pub slots: usize,
+    /// Slot-level training budget for the deployed DQN.
+    pub train_slots: usize,
+    /// Tx/Jx slot durations to run, seconds.
+    pub durations: Vec<f64>,
+    /// Peripheral count of the star network.
+    pub num_peripherals: usize,
+    /// Application payload per packet, bytes.
+    pub payload_len: usize,
+}
+
+/// `kind: "campaign"` — a fleet campaign: every adversary × every
+/// replicate seed, once per policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Base seed all episode RNG streams derive from.
+    pub base_seed: u64,
+    /// Slots per episode (frozen-policy rows; `train-dqn` uses the
+    /// budget instead).
+    pub slots: usize,
+    /// Environment flavour (kernel vs concrete), as in [`Sweep`].
+    pub kernel: bool,
+    /// Replicate seeds; every grid point runs once per entry.
+    pub seeds: Vec<u64>,
+    /// Adversary labels forming the grid
+    /// ([`AdversaryConfig::parse_label`] grammar).
+    pub adversaries: Vec<String>,
+    /// Defender policies, one campaign each: `"no-defense"`,
+    /// `"passive-fh"`, `"random-fh"`, `"decoy-random-fh(RATE)"`,
+    /// `"train-dqn"`.
+    pub policies: Vec<String>,
+    /// Base-environment overrides in file order; keys as in
+    /// [`SweepAxis::axis`] minus `sweep_cycle`.
+    pub env: Vec<(String, f64)>,
+    /// Training budget of the `train-dqn` policy.
+    pub train_slots: usize,
+    /// Evaluation budget of the `train-dqn` policy.
+    pub eval_slots: usize,
+    /// Optional per-episode fault injection.
+    pub faults: Option<Faults>,
+}
+
+/// Fault injection carried by a [`Campaign`] scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Faults {
+    /// Base seed of the per-episode fault-plan streams.
+    pub seed: u64,
+    /// Per-site rates in file order: `"uniform"` or a
+    /// [`FaultSite::name`] per key.
+    pub rates: Vec<(String, f64)>,
+}
+
+/// Env-override / sweep-axis keys that address scalar
+/// [`ctjam_core::env::EnvParams`] fields.
+pub(crate) const ENV_KEYS: [&str; 5] =
+    ["l_j", "l_h", "l_decoy", "tj_residual_per", "tx_lower_bound"];
+
+/// All sweep-axis keys.
+const AXIS_KEYS: [&str; 6] = [
+    "l_j",
+    "l_h",
+    "l_decoy",
+    "tj_residual_per",
+    "sweep_cycle",
+    "tx_lower_bound",
+];
+
+/// Jammer-family names accepted by `link_sweep`.
+pub(crate) const JAMMER_NAMES: [&str; 3] = ["emubee", "zigbee", "wifi-ofdm"];
+
+/// Jammer power modes accepted by `sweep`.
+pub(crate) const MODE_NAMES: [&str; 2] = ["max-power", "random-power"];
+
+impl Scenario {
+    /// Parses a scenario from raw file bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Scenario, ScenarioError> {
+        let doc = json::parse(bytes)?;
+        let mut root = Obj::new("", &doc)?;
+        let schema = match root.take("schema") {
+            Some(v) => expect_str("schema", v)?.to_string(),
+            None => String::new(),
+        };
+        if schema != crate::SCHEMA {
+            return Err(ScenarioError::UnsupportedSchema { found: schema });
+        }
+        let name = expect_str("name", root.require("name")?)?.to_string();
+        if name.is_empty() {
+            return Err(invalid("name", "must not be empty"));
+        }
+        let kind_tag = expect_str("kind", root.require("kind")?)?.to_string();
+        let kind = match kind_tag.as_str() {
+            "link_sweep" => ScenarioKind::LinkSweep(LinkSweep::decode(&mut root)?),
+            "sweep" => ScenarioKind::Sweep(Sweep::decode(&mut root)?),
+            "field" => ScenarioKind::Field(Field::decode(&mut root)?),
+            "campaign" => ScenarioKind::Campaign(Campaign::decode(&mut root)?),
+            other => {
+                return Err(invalid(
+                    "kind",
+                    &format!(
+                        "unknown kind {other:?} (expected one of \
+                         \"link_sweep\", \"sweep\", \"field\", \"campaign\")"
+                    ),
+                ))
+            }
+        };
+        let quick = decode_quick(&mut root, kind.quick_keys())?;
+        root.finish(&kind.root_keys())?;
+        Ok(Scenario { name, kind, quick })
+    }
+
+    /// Parses a scenario from a string.
+    pub fn parse_str(text: &str) -> Result<Scenario, ScenarioError> {
+        Scenario::parse(text.as_bytes())
+    }
+
+    /// Reads and parses a scenario file.
+    pub fn load(path: &Path) -> Result<Scenario, ScenarioError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+        Scenario::parse(&bytes)
+    }
+
+    /// The scenario's `"kind"` tag.
+    pub fn kind_tag(&self) -> &'static str {
+        match &self.kind {
+            ScenarioKind::LinkSweep(_) => "link_sweep",
+            ScenarioKind::Sweep(_) => "sweep",
+            ScenarioKind::Field(_) => "field",
+            ScenarioKind::Campaign(_) => "campaign",
+        }
+    }
+
+    /// Canonical JSON form: every field explicit, fixed key order.
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("schema", crate::SCHEMA)
+            .set("name", self.name.as_str());
+        o.set("kind", self.kind_tag());
+        match &self.kind {
+            ScenarioKind::LinkSweep(s) => s.emit(&mut o),
+            ScenarioKind::Sweep(s) => s.emit(&mut o),
+            ScenarioKind::Field(s) => s.emit(&mut o),
+            ScenarioKind::Campaign(s) => s.emit(&mut o),
+        }
+        if !self.quick.is_empty() {
+            let mut q = JsonValue::object();
+            for (k, v) in &self.quick {
+                q.set(k, *v);
+            }
+            o.set("quick", q);
+        }
+        o
+    }
+
+    /// The canonical byte form: pretty-printed canonical JSON. Stable
+    /// across parse/emit cycles; the base of [`Scenario::fingerprint`].
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.to_json().to_string_pretty().into_bytes()
+    }
+
+    /// The scenario with quick-mode overrides applied (when `quick`)
+    /// and the override list cleared — the form that actually runs.
+    pub fn effective(&self, quick: bool) -> Scenario {
+        let mut out = self.clone();
+        if quick {
+            for (key, value) in &self.quick {
+                out.kind.apply_quick(key, *value);
+            }
+        }
+        out.quick = Vec::new();
+        out
+    }
+
+    /// FNV-1a fingerprint over the effective scenario's canonical
+    /// bytes: the identity recorded in run manifests and checked by
+    /// `--resume`.
+    pub fn fingerprint(&self, quick: bool) -> u64 {
+        fnv1a_64(&self.effective(quick).canonical_bytes())
+    }
+}
+
+impl ScenarioKind {
+    /// Keys the root object may carry for this kind.
+    fn root_keys(&self) -> Vec<&'static str> {
+        let mut keys = vec!["schema", "name", "kind", "quick"];
+        keys.extend_from_slice(match self {
+            ScenarioKind::LinkSweep(_) => &["seed", "draws", "distances", "jammers", "link"][..],
+            ScenarioKind::Sweep(_) => {
+                &["seed", "kernel", "budget", "modes", "adversary", "sweeps"][..]
+            }
+            ScenarioKind::Field(_) => &["seed", "slots", "train_slots", "durations", "config"][..],
+            ScenarioKind::Campaign(_) => &[
+                "base_seed",
+                "slots",
+                "kernel",
+                "seeds",
+                "adversaries",
+                "policies",
+                "env",
+                "budget",
+                "faults",
+            ][..],
+        });
+        keys
+    }
+
+    /// Knobs `"quick"` may override for this kind.
+    fn quick_keys(&self) -> &'static [&'static str] {
+        match self {
+            ScenarioKind::LinkSweep(_) => &["draws"],
+            ScenarioKind::Sweep(_) => &["train_slots", "eval_slots"],
+            ScenarioKind::Field(_) => &["slots", "train_slots"],
+            ScenarioKind::Campaign(_) => &["slots", "train_slots", "eval_slots", "seeds_limit"],
+        }
+    }
+
+    /// Applies one validated quick override in place.
+    fn apply_quick(&mut self, key: &str, value: f64) {
+        let v = value as usize;
+        match self {
+            ScenarioKind::LinkSweep(s) => {
+                if key == "draws" {
+                    s.draws = v;
+                }
+            }
+            ScenarioKind::Sweep(s) => match key {
+                "train_slots" => s.train_slots = v,
+                "eval_slots" => s.eval_slots = v,
+                _ => {}
+            },
+            ScenarioKind::Field(s) => match key {
+                "slots" => s.slots = v,
+                "train_slots" => s.train_slots = v,
+                _ => {}
+            },
+            ScenarioKind::Campaign(s) => match key {
+                "slots" => s.slots = v,
+                "train_slots" => s.train_slots = v,
+                "eval_slots" => s.eval_slots = v,
+                "seeds_limit" => s.seeds.truncate(v.max(1)),
+                _ => {}
+            },
+        }
+    }
+}
+
+impl LinkSweep {
+    fn decode(root: &mut Obj<'_>) -> Result<Self, ScenarioError> {
+        let seed = expect_seed("seed", root.require("seed")?)?;
+        let draws = match root.take("draws") {
+            Some(v) => expect_count("draws", v, 1)?,
+            None => 2_000,
+        };
+        let (distance_start, distance_end) = match root.take("distances") {
+            Some(v) => {
+                let mut d = Obj::new("distances", v)?;
+                let start = expect_count("distances.start", d.require("start")?, 1)? as u32;
+                let end = expect_count("distances.end", d.require("end")?, 1)? as u32;
+                d.finish(&["start", "end"])?;
+                if end < start {
+                    return Err(invalid("distances", "end must be >= start"));
+                }
+                (start, end)
+            }
+            None => (1, 15),
+        };
+        let jammers = match root.take("jammers") {
+            Some(v) => {
+                let items = expect_arr("jammers", v)?;
+                if items.is_empty() {
+                    return Err(invalid("jammers", "need at least one jammer family"));
+                }
+                let mut names = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    let path = format!("jammers[{i}]");
+                    let name = expect_str(&path, item)?;
+                    if !JAMMER_NAMES.contains(&name) {
+                        return Err(ScenarioError::InvalidValue {
+                            path,
+                            message: format!(
+                                "unknown jammer family {name:?} (expected one of {JAMMER_NAMES:?})"
+                            ),
+                        });
+                    }
+                    names.push(name.to_string());
+                }
+                names
+            }
+            None => JAMMER_NAMES.iter().map(|s| s.to_string()).collect(),
+        };
+        let (link_distance_m, tx_power_dbm, payload_bytes) = match root.take("link") {
+            Some(v) => {
+                let mut l = Obj::new("link", v)?;
+                let dist = match l.take("distance_m") {
+                    Some(v) => expect_positive("link.distance_m", v)?,
+                    None => 3.0,
+                };
+                let power = match l.take("tx_power_dbm") {
+                    Some(v) => expect_num("link.tx_power_dbm", v)?,
+                    None => 0.0,
+                };
+                let payload = match l.take("payload_bytes") {
+                    Some(v) => expect_count("link.payload_bytes", v, 1)?,
+                    None => 100,
+                };
+                l.finish(&["distance_m", "tx_power_dbm", "payload_bytes"])?;
+                (dist, power, payload)
+            }
+            None => (3.0, 0.0, 100),
+        };
+        Ok(LinkSweep {
+            seed,
+            draws,
+            distance_start,
+            distance_end,
+            jammers,
+            link_distance_m,
+            tx_power_dbm,
+            payload_bytes,
+        })
+    }
+
+    fn emit(&self, o: &mut JsonValue) {
+        o.set("seed", self.seed);
+        o.set("draws", self.draws);
+        let mut d = JsonValue::object();
+        d.set("start", self.distance_start as u64)
+            .set("end", self.distance_end as u64);
+        o.set("distances", d);
+        o.set(
+            "jammers",
+            JsonValue::Arr(self.jammers.iter().map(|j| j.as_str().into()).collect()),
+        );
+        let mut l = JsonValue::object();
+        l.set("distance_m", self.link_distance_m)
+            .set("tx_power_dbm", self.tx_power_dbm)
+            .set("payload_bytes", self.payload_bytes);
+        o.set("link", l);
+    }
+}
+
+impl Sweep {
+    fn decode(root: &mut Obj<'_>) -> Result<Self, ScenarioError> {
+        let seed = expect_seed("seed", root.require("seed")?)?;
+        let kernel = match root.take("kernel") {
+            Some(v) => expect_bool("kernel", v)?,
+            None => true,
+        };
+        let (train_slots, eval_slots) = decode_budget(root, 12_000, 20_000)?;
+        let modes = match root.take("modes") {
+            Some(v) => decode_name_list("modes", v, &MODE_NAMES)?,
+            None => MODE_NAMES.iter().map(|s| s.to_string()).collect(),
+        };
+        let adversary = match root.take("adversary") {
+            Some(v) => expect_adversary_label("adversary", v)?,
+            None => "sweep".to_string(),
+        };
+        let sweeps_value = root.require("sweeps")?;
+        let items = expect_arr("sweeps", sweeps_value)?;
+        if items.is_empty() {
+            return Err(invalid("sweeps", "need at least one sweep axis"));
+        }
+        let mut sweeps = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let path = format!("sweeps[{i}]");
+            let mut s = Obj::new(&path, item)?;
+            let name = expect_str(&format!("{path}.name"), s.require("name")?)?.to_string();
+            let axis = expect_str(&format!("{path}.axis"), s.require("axis")?)?.to_string();
+            if !AXIS_KEYS.contains(&axis.as_str()) {
+                return Err(ScenarioError::InvalidValue {
+                    path: format!("{path}.axis"),
+                    message: format!("unknown axis {axis:?} (expected one of {AXIS_KEYS:?})"),
+                });
+            }
+            let values_path = format!("{path}.values");
+            let raw = expect_arr(&values_path, s.require("values")?)?;
+            if raw.is_empty() {
+                return Err(ScenarioError::InvalidValue {
+                    path: values_path,
+                    message: "need at least one value".into(),
+                });
+            }
+            let mut values = Vec::new();
+            for (j, v) in raw.iter().enumerate() {
+                let vp = format!("{path}.values[{j}]");
+                let n = expect_num(&vp, v)?;
+                match axis.as_str() {
+                    "sweep_cycle" => {
+                        expect_count(&vp, v, 1)?;
+                    }
+                    "tx_lower_bound" => {
+                        expect_integer(&vp, v)?;
+                    }
+                    _ => {}
+                }
+                values.push(n);
+            }
+            s.finish(&["name", "axis", "values"])?;
+            sweeps.push(SweepAxis { name, axis, values });
+        }
+        Ok(Sweep {
+            seed,
+            kernel,
+            train_slots,
+            eval_slots,
+            modes,
+            adversary,
+            sweeps,
+        })
+    }
+
+    fn emit(&self, o: &mut JsonValue) {
+        o.set("seed", self.seed);
+        o.set("kernel", self.kernel);
+        emit_budget(o, self.train_slots, self.eval_slots);
+        o.set(
+            "modes",
+            JsonValue::Arr(self.modes.iter().map(|m| m.as_str().into()).collect()),
+        );
+        o.set("adversary", self.adversary.as_str());
+        let sweeps = self
+            .sweeps
+            .iter()
+            .map(|s| {
+                let mut obj = JsonValue::object();
+                obj.set("name", s.name.as_str())
+                    .set("axis", s.axis.as_str());
+                obj.set(
+                    "values",
+                    JsonValue::Arr(s.values.iter().map(|&v| v.into()).collect()),
+                );
+                obj
+            })
+            .collect();
+        o.set("sweeps", JsonValue::Arr(sweeps));
+    }
+}
+
+impl Field {
+    fn decode(root: &mut Obj<'_>) -> Result<Self, ScenarioError> {
+        let seed = expect_seed("seed", root.require("seed")?)?;
+        let slots = match root.take("slots") {
+            Some(v) => expect_count("slots", v, 1)?,
+            None => 120,
+        };
+        let train_slots = match root.take("train_slots") {
+            Some(v) => expect_count("train_slots", v, 1)?,
+            None => 12_000,
+        };
+        let durations = match root.take("durations") {
+            Some(v) => {
+                let raw = expect_arr("durations", v)?;
+                if raw.is_empty() {
+                    return Err(invalid("durations", "need at least one duration"));
+                }
+                let mut out = Vec::new();
+                for (i, item) in raw.iter().enumerate() {
+                    out.push(expect_positive(&format!("durations[{i}]"), item)?);
+                }
+                out
+            }
+            None => vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        };
+        let (num_peripherals, payload_len) = match root.take("config") {
+            Some(v) => {
+                let mut c = Obj::new("config", v)?;
+                let n = match c.take("num_peripherals") {
+                    Some(v) => expect_count("config.num_peripherals", v, 1)?,
+                    None => 3,
+                };
+                let p = match c.take("payload_len") {
+                    Some(v) => expect_count("config.payload_len", v, 1)?,
+                    None => 100,
+                };
+                c.finish(&["num_peripherals", "payload_len"])?;
+                (n, p)
+            }
+            None => (3, 100),
+        };
+        Ok(Field {
+            seed,
+            slots,
+            train_slots,
+            durations,
+            num_peripherals,
+            payload_len,
+        })
+    }
+
+    fn emit(&self, o: &mut JsonValue) {
+        o.set("seed", self.seed);
+        o.set("slots", self.slots);
+        o.set("train_slots", self.train_slots);
+        o.set(
+            "durations",
+            JsonValue::Arr(self.durations.iter().map(|&d| d.into()).collect()),
+        );
+        let mut c = JsonValue::object();
+        c.set("num_peripherals", self.num_peripherals)
+            .set("payload_len", self.payload_len);
+        o.set("config", c);
+    }
+}
+
+impl Campaign {
+    fn decode(root: &mut Obj<'_>) -> Result<Self, ScenarioError> {
+        let base_seed = expect_seed("base_seed", root.require("base_seed")?)?;
+        let slots = expect_count("slots", root.require("slots")?, 1)?;
+        let kernel = match root.take("kernel") {
+            Some(v) => expect_bool("kernel", v)?,
+            None => false,
+        };
+        let seeds_raw = expect_arr("seeds", root.require("seeds")?)?;
+        if seeds_raw.is_empty() {
+            return Err(invalid("seeds", "need at least one replicate seed"));
+        }
+        let mut seeds = Vec::new();
+        for (i, v) in seeds_raw.iter().enumerate() {
+            seeds.push(expect_seed(&format!("seeds[{i}]"), v)?);
+        }
+        let adversaries_raw = expect_arr("adversaries", root.require("adversaries")?)?;
+        if adversaries_raw.is_empty() {
+            return Err(invalid("adversaries", "need at least one adversary"));
+        }
+        let mut adversaries = Vec::new();
+        for (i, v) in adversaries_raw.iter().enumerate() {
+            adversaries.push(expect_adversary_label(&format!("adversaries[{i}]"), v)?);
+        }
+        let policies_raw = expect_arr("policies", root.require("policies")?)?;
+        if policies_raw.is_empty() {
+            return Err(invalid("policies", "need at least one policy"));
+        }
+        let mut policies = Vec::new();
+        for (i, v) in policies_raw.iter().enumerate() {
+            let path = format!("policies[{i}]");
+            let s = expect_str(&path, v)?;
+            if parse_policy(s).is_none() {
+                return Err(ScenarioError::InvalidValue {
+                    path,
+                    message: format!(
+                        "unknown policy {s:?} (expected \"no-defense\", \"passive-fh\", \
+                         \"random-fh\", \"decoy-random-fh(RATE)\", or \"train-dqn\")"
+                    ),
+                });
+            }
+            policies.push(s.to_string());
+        }
+        let env = match root.take("env") {
+            Some(v) => {
+                let e = Obj::new("env", v)?;
+                let mut overrides = Vec::new();
+                for (key, value) in e.pairs {
+                    let path = format!("env.{key}");
+                    if !ENV_KEYS.contains(&key.as_str()) {
+                        return Err(ScenarioError::UnknownKey {
+                            path: "env".into(),
+                            key: key.clone(),
+                            hint: did_you_mean(key, &ENV_KEYS),
+                        });
+                    }
+                    let n = expect_num(&path, value)?;
+                    if key == "tx_lower_bound" {
+                        expect_integer(&path, value)?;
+                    }
+                    overrides.push((key.clone(), n));
+                }
+                overrides
+            }
+            None => Vec::new(),
+        };
+        let (train_slots, eval_slots) = decode_budget(root, 12_000, 20_000)?;
+        let faults = match root.take("faults") {
+            Some(v) => {
+                let mut f = Obj::new("faults", v)?;
+                let seed = expect_seed("faults.seed", f.require("seed")?)?;
+                let rates_value = f.require("rates")?;
+                let r = Obj::new("faults.rates", rates_value)?;
+                let site_names: Vec<&str> = std::iter::once("uniform")
+                    .chain(FaultSite::ALL.iter().map(|s| s.name()))
+                    .collect();
+                let mut rates = Vec::new();
+                for (key, value) in r.pairs {
+                    let path = format!("faults.rates.{key}");
+                    if !site_names.contains(&key.as_str()) {
+                        return Err(ScenarioError::UnknownKey {
+                            path: "faults.rates".into(),
+                            key: key.clone(),
+                            hint: did_you_mean(key, &site_names),
+                        });
+                    }
+                    let p = expect_num(&path, value)?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(ScenarioError::InvalidValue {
+                            path,
+                            message: format!("rate {p} not in [0, 1]"),
+                        });
+                    }
+                    rates.push((key.clone(), p));
+                }
+                f.finish(&["seed", "rates"])?;
+                Some(Faults { seed, rates })
+            }
+            None => None,
+        };
+        Ok(Campaign {
+            base_seed,
+            slots,
+            kernel,
+            seeds,
+            adversaries,
+            policies,
+            env,
+            train_slots,
+            eval_slots,
+            faults,
+        })
+    }
+
+    fn emit(&self, o: &mut JsonValue) {
+        o.set("base_seed", self.base_seed);
+        o.set("slots", self.slots);
+        o.set("kernel", self.kernel);
+        o.set(
+            "seeds",
+            JsonValue::Arr(self.seeds.iter().map(|&s| s.into()).collect()),
+        );
+        o.set(
+            "adversaries",
+            JsonValue::Arr(self.adversaries.iter().map(|a| a.as_str().into()).collect()),
+        );
+        o.set(
+            "policies",
+            JsonValue::Arr(self.policies.iter().map(|p| p.as_str().into()).collect()),
+        );
+        if !self.env.is_empty() {
+            let mut e = JsonValue::object();
+            for (k, v) in &self.env {
+                e.set(k, *v);
+            }
+            o.set("env", e);
+        }
+        emit_budget(o, self.train_slots, self.eval_slots);
+        if let Some(f) = &self.faults {
+            let mut fo = JsonValue::object();
+            fo.set("seed", f.seed);
+            let mut ro = JsonValue::object();
+            for (k, v) in &f.rates {
+                ro.set(k, *v);
+            }
+            fo.set("rates", ro);
+            o.set("faults", fo);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding machinery.
+
+/// An object walker that tracks which keys were consumed, so
+/// [`Obj::finish`] can reject leftovers with a did-you-mean hint.
+struct Obj<'a> {
+    path: String,
+    pairs: &'a [(String, JsonValue)],
+    taken: Vec<bool>,
+}
+
+impl<'a> Obj<'a> {
+    fn new(path: &str, value: &'a JsonValue) -> Result<Self, ScenarioError> {
+        match value {
+            JsonValue::Obj(pairs) => Ok(Obj {
+                path: path.to_string(),
+                pairs,
+                taken: vec![false; pairs.len()],
+            }),
+            _ => Err(ScenarioError::TypeMismatch {
+                path: if path.is_empty() {
+                    "scenario".into()
+                } else {
+                    path.into()
+                },
+                expected: "an object",
+            }),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<&'a JsonValue> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if k == key {
+                self.taken[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn require(&mut self, key: &str) -> Result<&'a JsonValue, ScenarioError> {
+        self.take(key).ok_or_else(|| ScenarioError::MissingKey {
+            path: self.path.clone(),
+            key: key.to_string(),
+        })
+    }
+
+    fn finish(&self, allowed: &[&str]) -> Result<(), ScenarioError> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !self.taken[i] {
+                return Err(ScenarioError::UnknownKey {
+                    path: self.path.clone(),
+                    key: k.clone(),
+                    hint: did_you_mean(k, allowed),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn invalid(path: &str, message: &str) -> ScenarioError {
+    ScenarioError::InvalidValue {
+        path: path.to_string(),
+        message: message.to_string(),
+    }
+}
+
+fn expect_num(path: &str, v: &JsonValue) -> Result<f64, ScenarioError> {
+    match v {
+        JsonValue::Num(n) => Ok(*n),
+        _ => Err(ScenarioError::TypeMismatch {
+            path: path.to_string(),
+            expected: "a number",
+        }),
+    }
+}
+
+fn expect_positive(path: &str, v: &JsonValue) -> Result<f64, ScenarioError> {
+    let n = expect_num(path, v)?;
+    if n > 0.0 {
+        Ok(n)
+    } else {
+        Err(invalid(path, "must be positive"))
+    }
+}
+
+/// An integral number within ±2⁵³ (exactly representable), as i64.
+fn expect_integer(path: &str, v: &JsonValue) -> Result<i64, ScenarioError> {
+    let n = expect_num(path, v)?;
+    if n.trunc() == n && n.abs() <= MAX_EXACT_INT as f64 {
+        Ok(n as i64)
+    } else {
+        Err(invalid(path, "must be an integer within ±2^53"))
+    }
+}
+
+/// A non-negative integral number within 2⁵³, as u64 (seeds).
+fn expect_seed(path: &str, v: &JsonValue) -> Result<u64, ScenarioError> {
+    let n = expect_integer(path, v)?;
+    if n >= 0 {
+        Ok(n as u64)
+    } else {
+        Err(invalid(path, "must be non-negative"))
+    }
+}
+
+/// An integral count with a lower bound, as usize.
+fn expect_count(path: &str, v: &JsonValue, min: usize) -> Result<usize, ScenarioError> {
+    let n = expect_integer(path, v)?;
+    if n >= min as i64 {
+        Ok(n as usize)
+    } else {
+        Err(invalid(path, &format!("must be at least {min}")))
+    }
+}
+
+fn expect_bool(path: &str, v: &JsonValue) -> Result<bool, ScenarioError> {
+    match v {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(ScenarioError::TypeMismatch {
+            path: path.to_string(),
+            expected: "a boolean",
+        }),
+    }
+}
+
+fn expect_str<'a>(path: &str, v: &'a JsonValue) -> Result<&'a str, ScenarioError> {
+    match v {
+        JsonValue::Str(s) => Ok(s),
+        _ => Err(ScenarioError::TypeMismatch {
+            path: path.to_string(),
+            expected: "a string",
+        }),
+    }
+}
+
+fn expect_arr<'a>(path: &str, v: &'a JsonValue) -> Result<&'a [JsonValue], ScenarioError> {
+    match v {
+        JsonValue::Arr(items) => Ok(items),
+        _ => Err(ScenarioError::TypeMismatch {
+            path: path.to_string(),
+            expected: "an array",
+        }),
+    }
+}
+
+/// A string the adversary-label grammar accepts.
+fn expect_adversary_label(path: &str, v: &JsonValue) -> Result<String, ScenarioError> {
+    let s = expect_str(path, v)?;
+    if AdversaryConfig::parse_label(s).is_none() {
+        return Err(ScenarioError::InvalidValue {
+            path: path.to_string(),
+            message: format!(
+                "unknown adversary label {s:?} (grammar: \"none\", \"sweep\", \"pursuit\", \
+                 \"dqn\", \"reactive(tT,lL)\", \"energy(CAP/RECHARGE,INNER)\", \
+                 \"adaptive-lastblock|markov|rnn[+eaves]\", optional \"-rnd\" suffix)"
+            ),
+        });
+    }
+    Ok(s.to_string())
+}
+
+/// A list of strings drawn from `names`, duplicates rejected.
+fn decode_name_list(
+    path: &str,
+    v: &JsonValue,
+    names: &[&str],
+) -> Result<Vec<String>, ScenarioError> {
+    let items = expect_arr(path, v)?;
+    if items.is_empty() {
+        return Err(invalid(path, "must not be empty"));
+    }
+    let mut out: Vec<String> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        let ip = format!("{path}[{i}]");
+        let s = expect_str(&ip, item)?;
+        if !names.contains(&s) {
+            return Err(ScenarioError::InvalidValue {
+                path: ip,
+                message: format!("unknown name {s:?} (expected one of {names:?})"),
+            });
+        }
+        if out.iter().any(|seen| seen == s) {
+            return Err(ScenarioError::InvalidValue {
+                path: ip,
+                message: format!("{s:?} listed twice"),
+            });
+        }
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+/// The shared `budget: {train_slots, eval_slots}` sub-object.
+fn decode_budget(
+    root: &mut Obj<'_>,
+    default_train: usize,
+    default_eval: usize,
+) -> Result<(usize, usize), ScenarioError> {
+    match root.take("budget") {
+        Some(v) => {
+            let mut b = Obj::new("budget", v)?;
+            let train = match b.take("train_slots") {
+                Some(v) => expect_count("budget.train_slots", v, 1)?,
+                None => default_train,
+            };
+            let eval = match b.take("eval_slots") {
+                Some(v) => expect_count("budget.eval_slots", v, 1)?,
+                None => default_eval,
+            };
+            b.finish(&["train_slots", "eval_slots"])?;
+            Ok((train, eval))
+        }
+        None => Ok((default_train, default_eval)),
+    }
+}
+
+fn emit_budget(o: &mut JsonValue, train_slots: usize, eval_slots: usize) {
+    let mut b = JsonValue::object();
+    b.set("train_slots", train_slots)
+        .set("eval_slots", eval_slots);
+    o.set("budget", b);
+}
+
+/// Decodes the `"quick"` override object against the kind's allowed
+/// knob list: every value must be a count (integral, ≥ 1).
+fn decode_quick(root: &mut Obj<'_>, allowed: &[&str]) -> Result<Vec<(String, f64)>, ScenarioError> {
+    match root.take("quick") {
+        Some(v) => {
+            let q = Obj::new("quick", v)?;
+            let mut out = Vec::new();
+            for (key, value) in q.pairs {
+                if !allowed.contains(&key.as_str()) {
+                    return Err(ScenarioError::UnknownKey {
+                        path: "quick".into(),
+                        key: key.clone(),
+                        hint: did_you_mean(key, allowed),
+                    });
+                }
+                let n = expect_count(&format!("quick.{key}"), value, 1)?;
+                out.push((key.clone(), n as f64));
+            }
+            Ok(out)
+        }
+        None => Ok(Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_text() -> &'static str {
+        r#"{
+            "schema": "ctjam-scenario/v1",
+            "name": "unit_sweep",
+            "kind": "sweep",
+            "seed": 51105,
+            "budget": { "train_slots": 300, "eval_slots": 400 },
+            "sweeps": [
+                { "name": "L_J", "axis": "l_j", "values": [50, 100] }
+            ],
+            "quick": { "train_slots": 10, "eval_slots": 20 }
+        }"#
+    }
+
+    #[test]
+    fn decodes_a_sweep_with_defaults() {
+        let s = Scenario::parse_str(sweep_text()).unwrap();
+        assert_eq!(s.name, "unit_sweep");
+        let ScenarioKind::Sweep(sw) = &s.kind else {
+            panic!("wrong kind")
+        };
+        assert!(sw.kernel, "kernel defaults to true");
+        assert_eq!(sw.modes, vec!["max-power", "random-power"]);
+        assert_eq!(sw.adversary, "sweep");
+        assert_eq!(sw.train_slots, 300);
+    }
+
+    #[test]
+    fn emission_is_a_fixpoint() {
+        let s = Scenario::parse_str(sweep_text()).unwrap();
+        let once = s.canonical_bytes();
+        let reparsed = Scenario::parse(&once).unwrap();
+        assert_eq!(reparsed, s);
+        assert_eq!(reparsed.canonical_bytes(), once);
+    }
+
+    #[test]
+    fn quick_mode_moves_the_fingerprint() {
+        let s = Scenario::parse_str(sweep_text()).unwrap();
+        assert_ne!(s.fingerprint(false), s.fingerprint(true));
+        let ScenarioKind::Sweep(sw) = s.effective(true).kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!((sw.train_slots, sw.eval_slots), (10, 20));
+    }
+
+    #[test]
+    fn unknown_keys_get_hints() {
+        let text = sweep_text().replace("\"seed\": 51105,", "\"seed\": 51105, \"sede\": 1,");
+        match Scenario::parse_str(&text) {
+            Err(ScenarioError::UnknownKey { key, hint, .. }) => {
+                assert_eq!(key, "sede");
+                assert_eq!(hint.as_deref(), Some("seed"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_rejected() {
+        let text = sweep_text().replace("ctjam-scenario/v1", "ctjam-scenario/v9");
+        assert!(matches!(
+            Scenario::parse_str(&text),
+            Err(ScenarioError::UnsupportedSchema { .. })
+        ));
+    }
+
+    #[test]
+    fn campaign_round_trips_with_faults_and_env() {
+        let text = r#"{
+            "schema": "ctjam-scenario/v1",
+            "name": "zoo",
+            "kind": "campaign",
+            "base_seed": 77,
+            "slots": 200,
+            "seeds": [1, 2],
+            "adversaries": ["none", "reactive(t8,l1)", "energy(40/2,pursuit)"],
+            "policies": ["random-fh", "decoy-random-fh(0.5)", "train-dqn"],
+            "env": { "l_j": 100, "tx_lower_bound": 6 },
+            "budget": { "train_slots": 50, "eval_slots": 60 },
+            "faults": { "seed": 9, "rates": { "uniform": 0.01 } }
+        }"#;
+        let s = Scenario::parse_str(text).unwrap();
+        let bytes = s.canonical_bytes();
+        assert_eq!(Scenario::parse(&bytes).unwrap(), s);
+        let ScenarioKind::Campaign(c) = &s.kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!(c.env.len(), 2);
+        assert!(c.faults.is_some());
+    }
+
+    #[test]
+    fn bad_adversary_labels_and_rates_are_rejected() {
+        let bad_label = r#"{"schema":"ctjam-scenario/v1","name":"x","kind":"campaign",
+            "base_seed":1,"slots":10,"seeds":[1],"adversaries":["sweeep"],
+            "policies":["random-fh"]}"#;
+        assert!(matches!(
+            Scenario::parse_str(bad_label),
+            Err(ScenarioError::InvalidValue { .. })
+        ));
+        let bad_rate = r#"{"schema":"ctjam-scenario/v1","name":"x","kind":"campaign",
+            "base_seed":1,"slots":10,"seeds":[1],"adversaries":["sweep"],
+            "policies":["random-fh"],"faults":{"seed":1,"rates":{"uniform":1.5}}}"#;
+        assert!(matches!(
+            Scenario::parse_str(bad_rate),
+            Err(ScenarioError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn seeds_beyond_exact_f64_range_are_rejected() {
+        let text = r#"{"schema":"ctjam-scenario/v1","name":"x","kind":"field",
+            "seed":18446744073709551615}"#;
+        assert!(Scenario::parse_str(text).is_err());
+    }
+}

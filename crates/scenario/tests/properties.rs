@@ -1,0 +1,138 @@
+//! Parser fuzz/property tests for the scenario DSL.
+//!
+//! The decoding contract is *total*: no input — byte soup, truncated
+//! files, single-byte mutations of valid files — may panic the parser;
+//! everything either decodes or returns a typed [`ScenarioError`]. And
+//! canonical emission is a *fixpoint*: any file that parses round-trips
+//! parse → emit → parse to bit-identical canonical bytes, which is what
+//! makes the scenario fingerprint a stable identity.
+
+use ctjam_scenario::{Scenario, ScenarioError};
+use proptest::prelude::*;
+
+/// The checked-in scenario corpus, one file per kind — the mutation and
+/// round-trip properties perturb real inputs, not synthetic ones.
+const FIXTURES: [&str; 4] = [
+    include_str!("../../../scenarios/fig02_jamming_effect.json"),
+    include_str!("../../../scenarios/fig06_07_08_sweeps.json"),
+    include_str!("../../../scenarios/fig10_goodput_utilization.json"),
+    include_str!("../../../scenarios/zoo_campaign.json"),
+];
+
+/// Exercises the full decode surface on arbitrary bytes. Panics inside
+/// `parse` fail the test; a returned error is the expected outcome.
+fn assert_total(bytes: &[u8]) {
+    match Scenario::parse(bytes) {
+        Ok(scenario) => {
+            // Anything that decodes must re-emit parseably.
+            let emitted = scenario.canonical_bytes();
+            Scenario::parse(&emitted).expect("emitted scenario must re-parse");
+        }
+        Err(ScenarioError::FingerprintMismatch { .. }) => {
+            panic!("parse cannot produce a checkpoint error")
+        }
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn checked_in_scenarios_parse_and_round_trip() {
+    for text in FIXTURES {
+        let scenario = Scenario::parse_str(text).expect("fixture must parse");
+        let emitted = scenario.canonical_bytes();
+        let reparsed = Scenario::parse(&emitted).expect("canonical bytes must parse");
+        assert_eq!(
+            emitted,
+            reparsed.canonical_bytes(),
+            "canonical emission must be a fixpoint for {}",
+            scenario.name
+        );
+        // Quick mode must change the identity, not crash it.
+        assert_ne!(
+            scenario.fingerprint(false),
+            scenario.fingerprint(true),
+            "quick overrides must move the fingerprint for {}",
+            scenario.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the parser.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        assert_total(&bytes);
+    }
+
+    /// Truncating a valid scenario at any offset never panics; the
+    /// result is either a parse error or (at full length) the original.
+    #[test]
+    fn truncation_never_panics(which in 0usize..4, cut in 0usize..2048) {
+        let bytes = FIXTURES[which].as_bytes();
+        let cut = cut.min(bytes.len());
+        assert_total(&bytes[..cut]);
+    }
+
+    /// Overwriting one byte of a valid scenario never panics, and
+    /// whatever still parses still round-trips bit-identically.
+    #[test]
+    fn single_byte_mutation_never_panics(
+        which in 0usize..4,
+        offset in 0usize..2048,
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = FIXTURES[which].as_bytes().to_vec();
+        let offset = offset % bytes.len();
+        bytes[offset] = byte;
+        assert_total(&bytes);
+    }
+
+    /// Splicing a chunk of noise into a valid scenario never panics.
+    #[test]
+    fn spliced_noise_never_panics(
+        which in 0usize..4,
+        offset in 0usize..2048,
+        noise in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let base = FIXTURES[which].as_bytes();
+        let offset = offset % (base.len() + 1);
+        let mut bytes = base[..offset].to_vec();
+        bytes.extend_from_slice(&noise);
+        bytes.extend_from_slice(&base[offset..]);
+        assert_total(&bytes);
+    }
+
+    /// Generated campaign scenarios (random seeds, slots, budgets)
+    /// round-trip parse → emit → parse to identical canonical bytes,
+    /// and the fingerprint is a pure function of those bytes.
+    #[test]
+    fn generated_campaigns_round_trip(
+        base_seed in 0u64..(1 << 53),
+        slots in 1usize..10_000,
+        train in 1usize..20_000,
+        eval in 1usize..20_000,
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+    ) {
+        let text = format!(
+            r#"{{
+                "schema": "ctjam-scenario/v1",
+                "name": "generated",
+                "kind": "campaign",
+                "base_seed": {base_seed},
+                "slots": {slots},
+                "seeds": [{seed_a}, {seed_b}],
+                "adversaries": ["sweep", "pursuit"],
+                "policies": ["random-fh"],
+                "budget": {{ "train_slots": {train}, "eval_slots": {eval} }}
+            }}"#
+        );
+        let scenario = Scenario::parse_str(&text).unwrap();
+        let emitted = scenario.canonical_bytes();
+        let reparsed = Scenario::parse(&emitted).unwrap();
+        prop_assert_eq!(&emitted, &reparsed.canonical_bytes());
+        prop_assert_eq!(scenario.fingerprint(false), reparsed.fingerprint(false));
+    }
+}

@@ -7,7 +7,7 @@
 //!   time the connection is assigned a unique id and pinned to one
 //!   worker shard (`conn_id % workers`), thread-per-core style — a
 //!   connection's requests always flow through the same
-//!   [`crate::batcher::BatchQueue`], which is what preserves
+//!   `BatchQueue` (crate-private `batcher` module), which is what preserves
 //!   per-connection reply order with many workers;
 //! * connection threads decode framed requests
 //!   ([`crate::protocol::Message`]) out of a growing byte buffer — one

@@ -8,5 +8,6 @@ for bin in fig01_emulation_error fig02_jamming_effect fig09_time_consumption mdp
   cargo run --release -p ctjam-bench --bin $bin > results/$bin.txt 2>&1
 done
 CTJAM_CSV_DIR=results/csv cargo run --release -p ctjam-bench --bin fig06_07_08_sweeps > results/fig06_07_08_sweeps.txt 2>&1
+cargo run --release -p ctjam-bench --bin campaign -- --out results/campaign > results/campaign.txt 2>&1
 cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
 echo ALL_DONE

@@ -20,6 +20,7 @@
 //! | [`core`] | `ctjam-core` | jammer, environments, defenders, metrics, `RunBuilder`, field sim |
 //! | [`fleet`] | `ctjam-fleet` | sharded campaign engine: `EnvParams` × seed × policy grids, bit-exact at any thread count |
 //! | [`serve`] | `ctjam-serve` | micro-batching TCP policy-inference server, hot-reloadable checkpoints |
+//! | [`scenario`] | `ctjam-scenario` | declarative JSON scenario DSL, campaign runners, deterministic HTML reports |
 //!
 //! # Quickstart
 //!
@@ -78,4 +79,5 @@ pub use ctjam_mdp as mdp;
 pub use ctjam_net as net;
 pub use ctjam_nn as nn;
 pub use ctjam_phy as phy;
+pub use ctjam_scenario as scenario;
 pub use ctjam_serve as serve;

@@ -429,3 +429,92 @@ fn checkpoint_resume_is_bit_exact_with_uninterrupted_training() {
         "resumed weights diverged bit-wise from the uninterrupted run"
     );
 }
+
+/// The scenario DSL is a *compiler*, not a second engine: a campaign
+/// scenario file must produce bit-identical results to hand-built
+/// [`CampaignSpec`]s run straight through the fleet — at every worker
+/// count. This pins the whole chain (parse → compile → run) to the
+/// fleet's partition-invariance contract, so `campaign` runs of the
+/// checked-in files are interchangeable with hand-coded experiments.
+#[test]
+fn scenario_campaign_matches_hand_coded_specs_at_every_worker_count() {
+    use ctjam_core::adversary::AdversaryConfig;
+    use ctjam_fleet::{CampaignPolicy, CampaignSpec, Fleet};
+    use ctjam_scenario::run::{run_campaign, CampaignOptions};
+    use ctjam_scenario::{Scenario, ScenarioKind};
+
+    let text = r#"{
+        "schema": "ctjam-scenario/v1",
+        "name": "determinism_campaign",
+        "kind": "campaign",
+        "base_seed": 99,
+        "slots": 80,
+        "seeds": [5, 6],
+        "adversaries": ["sweep", "pursuit"],
+        "policies": ["random-fh", "no-defense"]
+    }"#;
+    let scenario = Scenario::parse_str(text).expect("inline scenario parses");
+    let ScenarioKind::Campaign(campaign) = &scenario.kind else {
+        panic!("wrong scenario kind")
+    };
+
+    // The hand-coded twin of what the DSL should compile to.
+    let points: Vec<EnvParams> = [AdversaryConfig::sweep(), AdversaryConfig::pursuit()]
+        .into_iter()
+        .map(|adversary| EnvParams {
+            adversary,
+            ..EnvParams::default()
+        })
+        .collect();
+    let hand_policies: [(&str, CampaignPolicy); 2] = [
+        ("random-fh", CampaignPolicy::RandomFh),
+        ("no-defense", CampaignPolicy::NoDefense),
+    ];
+
+    for threads in [1usize, 2, 8] {
+        let runs = run_campaign(
+            &scenario.name,
+            campaign,
+            scenario.fingerprint(false),
+            &CampaignOptions {
+                threads: Some(threads),
+                ..CampaignOptions::default()
+            },
+        )
+        .expect("scenario campaign runs");
+        assert_eq!(runs.len(), hand_policies.len());
+        for (run, (label, policy)) in runs.iter().zip(&hand_policies) {
+            let spec = CampaignSpec {
+                name: format!("determinism_campaign::{label}"),
+                points: points.clone(),
+                seeds: vec![5, 6],
+                policy: policy.clone(),
+                slots: 80,
+                kernel: false,
+                base_seed: 99,
+                faults: None,
+            };
+            let hand = Fleet::new().threads(threads).run(&spec);
+            let hand_bits: Vec<u64> = hand.goodput_vector().iter().map(|g| g.to_bits()).collect();
+            let dsl_bits: Vec<u64> = run
+                .result
+                .goodput_vector()
+                .iter()
+                .map(|g| g.to_bits())
+                .collect();
+            assert_eq!(
+                hand_bits, dsl_bits,
+                "{label}@{threads} workers: scenario goodput diverged from hand-coded spec"
+            );
+            assert_eq!(
+                hand.outcomes, run.result.outcomes,
+                "{label}@{threads} workers: outcomes diverged"
+            );
+            assert_eq!(
+                hand.telemetry.to_json().to_string_compact(),
+                run.result.telemetry.to_json().to_string_compact(),
+                "{label}@{threads} workers: telemetry diverged"
+            );
+        }
+    }
+}
